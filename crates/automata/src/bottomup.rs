@@ -1,0 +1,225 @@
+//! Deterministic bottom-up evaluation (§3.2, Algorithm B.2) and bottom-up
+//! relevance (Lemma 3.2).
+
+use crate::sta::{StateId, Sta};
+use xwq_index::{FxHashMap, LabelId, NodeId, TreeIndex, NONE};
+
+/// Compiled bottom-up transition function of a complete BDSTA.
+#[derive(Clone, Debug)]
+pub struct BuTable {
+    map: FxHashMap<(StateId, StateId, LabelId), StateId>,
+    /// The unique bottom state `q₀`.
+    pub init: StateId,
+}
+
+impl BuTable {
+    /// Builds the table; `None` unless `a` is bottom-up deterministic and
+    /// complete.
+    pub fn new(a: &Sta) -> Option<Self> {
+        let init = match &a.bottom_states()[..] {
+            [q] => *q,
+            _ => return None,
+        };
+        let mut map = FxHashMap::default();
+        for t in &a.delta {
+            for l in t.labels.iter() {
+                match map.insert((t.q1, t.q2, l), t.q) {
+                    Some(prev) if prev != t.q => return None, // nondeterministic
+                    _ => {}
+                }
+            }
+        }
+        let n = a.n_states;
+        let complete = (0..n).all(|q1| {
+            (0..n).all(|q2| {
+                (0..a.alphabet_size as u32).all(|l| map.contains_key(&(q1, q2, l)))
+            })
+        });
+        if !complete {
+            return None;
+        }
+        Some(Self { map, init })
+    }
+
+    /// `δ(q₁, q₂, l)` as the unique source state.
+    #[inline]
+    pub fn step(&self, q1: StateId, q2: StateId, l: LabelId) -> StateId {
+        self.map[&(q1, q2, l)]
+    }
+}
+
+/// The unique run of a complete BDSTA over a tree.
+#[derive(Clone, Debug)]
+pub struct BuRun {
+    /// `states[v]` = state assigned to real node `v` (all `#` leaves carry
+    /// the unique bottom state).
+    pub states: Vec<StateId>,
+    /// True iff the root state is in `T`.
+    pub accepting: bool,
+}
+
+/// Computes the unique bottom-up run. `None` unless `a` is bottom-up
+/// deterministic and complete.
+///
+/// Both binary children of a node have larger preorder ids, so a single
+/// reverse-preorder pass computes the run without recursion.
+pub fn run_bottomup(a: &Sta, ix: &TreeIndex) -> Option<BuRun> {
+    let table = BuTable::new(a)?;
+    let n = ix.len();
+    let mut states = vec![0u32; n];
+    for v in (0..n as NodeId).rev() {
+        let fc = ix.first_child(v);
+        let ns = ix.next_sibling(v);
+        let s1 = if fc == NONE { table.init } else { states[fc as usize] };
+        let s2 = if ns == NONE { table.init } else { states[ns as usize] };
+        states[v as usize] = table.step(s1, s2, ix.label(v));
+    }
+    let accepting = a.top[states[0] as usize];
+    Some(BuRun { states, accepting })
+}
+
+/// The selected nodes of an accepting bottom-up run (empty if rejecting).
+pub fn selected_of_run(a: &Sta, run: &BuRun, ix: &TreeIndex) -> Vec<NodeId> {
+    if !run.accepting {
+        return Vec::new();
+    }
+    (0..ix.len() as NodeId)
+        .filter(|&v| a.selects(run.states[v as usize], ix.label(v)))
+        .collect()
+}
+
+/// Bottom-up relevance per Lemma 3.2.
+///
+/// `a` must be the minimal bottom-up complete BDSTA; `q⊤` is its bottom-up
+/// universal state (non-changing, in `T`), if any.
+pub fn bottomup_relevant(a: &Sta, run: &BuRun, ix: &TreeIndex) -> Vec<bool> {
+    let table = BuTable::new(a).expect("complete BDSTA required");
+    let q0 = table.init;
+    let q_top = a
+        .states()
+        .find(|&q| a.is_non_changing(q) && a.top[q as usize]);
+    let skippable = |s: StateId| s == q0 || Some(s) == q_top;
+    (0..ix.len() as NodeId)
+        .map(|v| {
+            let q = run.states[v as usize];
+            let l = ix.label(v);
+            if a.selects(q, l) {
+                return true;
+            }
+            if Some(q) == q_top {
+                return false;
+            }
+            let s1 = child_state(run, ix.first_child(v), q0);
+            let s2 = child_state(run, ix.next_sibling(v), q0);
+            let loop_both = q == s1 && q == s2;
+            let loop_left = q == s1 && skippable(s2);
+            let loop_right = q == s2 && skippable(s1);
+            !(loop_both || loop_left || loop_right)
+        })
+        .collect()
+}
+
+#[inline]
+fn child_state(run: &BuRun, child: NodeId, q0: StateId) -> StateId {
+    if child == NONE {
+        q0
+    } else {
+        run.states[child as usize]
+    }
+}
+
+/// Algorithm B.2, faithfully: reduce the preorder sequence of `#`-leaves.
+///
+/// A binary-tree position is either a real node or a missing child of one;
+/// the shift-reduce loop below is the iterative form of the paper's
+/// recursive list reduction (the recursion on the tail is exactly "shift").
+/// Exposed to validate [`run_bottomup`] against the paper's own formulation.
+pub fn bottomup_shift_reduce(a: &Sta, ix: &TreeIndex) -> Option<BuRun> {
+    let table = BuTable::new(a)?;
+    // Binary position: real node v, or the missing side of one.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Pos {
+        Real(NodeId),
+        HashLeft(NodeId),
+        HashRight(NodeId),
+    }
+    // Binary parent and side of a position.
+    let bin_parent = |p: Pos, ix: &TreeIndex| -> Option<(NodeId, bool)> {
+        match p {
+            Pos::HashLeft(v) => Some((v, true)),
+            Pos::HashRight(v) => Some((v, false)),
+            Pos::Real(v) => {
+                // v is the left child of its binary parent iff it is a first
+                // child; otherwise it is the right child of its previous
+                // sibling. The previous sibling is not stored, so walk.
+                if v == ix.root() {
+                    return None;
+                }
+                let parent = ix.parent(v);
+                if ix.first_child(parent) == v {
+                    return Some((parent, true));
+                }
+                let mut s = ix.first_child(parent);
+                while ix.next_sibling(s) != v {
+                    s = ix.next_sibling(s);
+                }
+                Some((s, false))
+            }
+        }
+    };
+    // Enumerate the `#` leaves in preorder of the binary tree.
+    let mut leaves: Vec<Pos> = Vec::new();
+    {
+        // Iterative preorder over binary positions.
+        let mut stack = vec![Pos::Real(ix.root())];
+        while let Some(p) = stack.pop() {
+            match p {
+                Pos::Real(v) => {
+                    let fc = ix.first_child(v);
+                    let ns = ix.next_sibling(v);
+                    // Right pushed first so left is processed first.
+                    stack.push(if ns == NONE {
+                        Pos::HashRight(v)
+                    } else {
+                        Pos::Real(ns)
+                    });
+                    stack.push(if fc == NONE {
+                        Pos::HashLeft(v)
+                    } else {
+                        Pos::Real(fc)
+                    });
+                }
+                leaf => leaves.push(leaf),
+            }
+        }
+    }
+    // Shift-reduce: two adjacent items that are the two children of the same
+    // real node reduce to their parent.
+    let mut states = vec![u32::MAX; ix.len()];
+    // (position, state, binary parent and side).
+    type Slot = (Pos, StateId, Option<(NodeId, bool)>);
+    let mut stack: Vec<Slot> = Vec::new();
+    for leaf in leaves {
+        let meta = bin_parent(leaf, ix);
+        stack.push((leaf, table.init, meta));
+        // Reduce as long as the top two items are siblings.
+        while stack.len() >= 2 {
+            let (_, q2, m2) = stack[stack.len() - 1];
+            let (_, q1, m1) = stack[stack.len() - 2];
+            match (m1, m2) {
+                (Some((p1, true)), Some((p2, false))) if p1 == p2 => {
+                    stack.pop();
+                    stack.pop();
+                    let q = table.step(q1, q2, ix.label(p1));
+                    states[p1 as usize] = q;
+                    let meta = bin_parent(Pos::Real(p1), ix);
+                    stack.push((Pos::Real(p1), q, meta));
+                }
+                _ => break,
+            }
+        }
+    }
+    debug_assert_eq!(stack.len(), 1, "reduction must end at the root");
+    let accepting = a.top[states[0] as usize];
+    Some(BuRun { states, accepting })
+}

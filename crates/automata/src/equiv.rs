@@ -1,0 +1,252 @@
+//! Exact equivalence of selecting tree automata.
+//!
+//! Route: encode selection into labels (App. A.1), view the recognizer as a
+//! nondeterministic bottom-up automaton, determinize by subset construction,
+//! then decide language equivalence of the two complete BDTAs by exploring
+//! reachable state *pairs* — two automata differ iff some reachable pair
+//! disagrees on finality. This is the effective form of Lemma A.1, used by
+//! the test-suite to validate minimization; it is exponential in the worst
+//! case and intended for small automata.
+
+use crate::recognizer::encode;
+use crate::sta::{StateId, Sta};
+use xwq_index::FxHashMap;
+use xwq_xml::LabelId;
+
+/// A complete deterministic bottom-up recognizer over subset states.
+#[derive(Clone, Debug)]
+pub struct SubsetBdta {
+    /// Number of subset states.
+    pub n_states: u32,
+    /// Alphabet size.
+    pub alphabet_size: usize,
+    /// `delta[(q1, q2, l)] = q` (total).
+    pub delta: FxHashMap<(StateId, StateId, LabelId), StateId>,
+    /// The leaf state (set of `B`-states of the source automaton).
+    pub init: StateId,
+    /// Finality per subset state (`S ∩ T ≠ ∅`).
+    pub is_final: Vec<bool>,
+}
+
+/// Determinizes an arbitrary STA-as-recognizer bottom-up.
+///
+/// Subset semantics: a state set `S` at a node means "exactly the states from
+/// which the automaton can accept this subtree bottom-up".
+pub fn determinize_bu(a: &Sta) -> SubsetBdta {
+    let alphabet_size = a.alphabet_size;
+    // Intern subsets as sorted Vec<StateId>.
+    let mut ids: FxHashMap<Vec<StateId>, StateId> = FxHashMap::default();
+    let mut sets: Vec<Vec<StateId>> = Vec::new();
+    let mut intern = |s: Vec<StateId>, sets: &mut Vec<Vec<StateId>>| -> (StateId, bool) {
+        if let Some(&id) = ids.get(&s) {
+            return (id, false);
+        }
+        let id = sets.len() as StateId;
+        ids.insert(s.clone(), id);
+        sets.push(s);
+        (id, true)
+    };
+
+    let leaf: Vec<StateId> = a.states().filter(|&q| a.bottom[q as usize]).collect();
+    let (init, _) = intern(leaf, &mut sets);
+
+    let mut delta: FxHashMap<(StateId, StateId, LabelId), StateId> = FxHashMap::default();
+    // Fixpoint: keep combining known subsets until no new subset appears.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = sets.len() as StateId;
+        for s1 in 0..snapshot {
+            for s2 in 0..snapshot {
+                for l in 0..alphabet_size as LabelId {
+                    if delta.contains_key(&(s1, s2, l)) {
+                        continue;
+                    }
+                    let mut next: Vec<StateId> = Vec::new();
+                    for t in &a.delta {
+                        if t.labels.contains(l)
+                            && sets[s1 as usize].contains(&t.q1)
+                            && sets[s2 as usize].contains(&t.q2)
+                            && !next.contains(&t.q)
+                        {
+                            next.push(t.q);
+                        }
+                    }
+                    next.sort_unstable();
+                    let (id, fresh) = intern(next, &mut sets);
+                    delta.insert((s1, s2, l), id);
+                    changed |= fresh;
+                }
+            }
+        }
+    }
+    // Complete the table for subsets discovered in the last round.
+    let n = sets.len() as StateId;
+    for s1 in 0..n {
+        for s2 in 0..n {
+            for l in 0..alphabet_size as LabelId {
+                if let std::collections::hash_map::Entry::Vacant(e) = delta.entry((s1, s2, l)) {
+                    // All successor sets were already interned by the loop
+                    // above; a vacant entry can only mean the empty set.
+                    let mut next: Vec<StateId> = Vec::new();
+                    for t in &a.delta {
+                        if t.labels.contains(l)
+                            && sets[s1 as usize].contains(&t.q1)
+                            && sets[s2 as usize].contains(&t.q2)
+                            && !next.contains(&t.q)
+                        {
+                            next.push(t.q);
+                        }
+                    }
+                    next.sort_unstable();
+                    let id = *ids.get(&next).expect("fixpoint interned all subsets");
+                    e.insert(id);
+                }
+            }
+        }
+    }
+    let is_final = sets
+        .iter()
+        .map(|s| s.iter().any(|&q| a.top[q as usize]))
+        .collect();
+    SubsetBdta {
+        n_states: sets.len() as u32,
+        alphabet_size,
+        delta,
+        init,
+        is_final,
+    }
+}
+
+/// Language equivalence of two complete subset-BDTAs by reachable-pair
+/// exploration.
+pub fn bdta_equiv(a: &SubsetBdta, b: &SubsetBdta) -> bool {
+    assert_eq!(a.alphabet_size, b.alphabet_size);
+    let mut pairs: Vec<(StateId, StateId)> = vec![(a.init, b.init)];
+    let mut seen: std::collections::HashSet<(StateId, StateId)> =
+        pairs.iter().copied().collect();
+    let mut i = 0;
+    while i < pairs.len() {
+        // Combine every known pair with every known pair under every label.
+        // (Quadratic, but the automata here are tiny.)
+        let (x, y) = pairs[i];
+        if a.is_final[x as usize] != b.is_final[y as usize] {
+            return false;
+        }
+        let snapshot = pairs.len();
+        for j in 0..snapshot {
+            let (x2, y2) = pairs[j];
+            for l in 0..a.alphabet_size as LabelId {
+                for (p, q) in [
+                    (a.delta[&(x, x2, l)], b.delta[&(y, y2, l)]),
+                    (a.delta[&(x2, x, l)], b.delta[&(y2, y, l)]),
+                ] {
+                    if seen.insert((p, q)) {
+                        pairs.push((p, q));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // All reachable pairs already checked for finality agreement above,
+    // except ones appended after their scan; check the tail.
+    pairs
+        .iter()
+        .all(|&(x, y)| a.is_final[x as usize] == b.is_final[y as usize])
+}
+
+/// Exact STA equivalence (`A ≡ A'` of Def. 2.3): same language and same
+/// selected nodes on every tree. Implements Lemma A.1 via [`encode`] +
+/// [`determinize_bu`] + [`bdta_equiv`].
+pub fn sta_equiv(a: &Sta, b: &Sta) -> bool {
+    assert_eq!(a.alphabet_size, b.alphabet_size);
+    bdta_equiv(&determinize_bu(&encode(a)), &determinize_bu(&encode(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use xwq_xml::LabelSet;
+
+    #[test]
+    fn automaton_equals_itself() {
+        let (a, _) = examples::a_descendant_b();
+        assert!(sta_equiv(&a, &a));
+        let (b, _) = examples::a_with_b_descendant();
+        assert!(sta_equiv(&b, &b));
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let (a, _) = examples::a_descendant_b();
+        let (b, _) = examples::a_with_b_descendant();
+        assert!(!sta_equiv(&a, &b));
+    }
+
+    #[test]
+    fn selection_matters_not_just_language() {
+        // Same language (all trees), different selection (b vs nothing).
+        let (a, _) = examples::a_descendant_b();
+        let mut no_sel = a.clone();
+        no_sel.select = vec![LabelSet::empty(a.alphabet_size); a.n_states as usize];
+        assert!(!sta_equiv(&a, &no_sel));
+    }
+
+    #[test]
+    fn state_renaming_preserves_equivalence() {
+        let (a, _) = examples::a_descendant_b();
+        // Swap state ids 0 and 1.
+        let mut b = Sta::new(2, a.alphabet_size);
+        let sw = |q: u32| 1 - q;
+        for q in a.states() {
+            b.top[sw(q) as usize] = a.top[q as usize];
+            b.bottom[sw(q) as usize] = a.bottom[q as usize];
+            b.select[sw(q) as usize] = a.select[q as usize].clone();
+        }
+        for t in &a.delta {
+            b.add(sw(t.q), t.labels.clone(), sw(t.q1), sw(t.q2));
+        }
+        assert!(sta_equiv(&a, &b));
+    }
+
+    #[test]
+    fn redundant_state_still_equivalent() {
+        // Duplicate q1 of A_{//a//b} as q2; route half the a-transitions there.
+        let (a, al) = examples::a_descendant_b();
+        let n = al.len();
+        let mut b = Sta::new(3, n);
+        b.top[0] = true;
+        b.bottom = vec![true, true, true];
+        let la = LabelSet::singleton(n, al.lookup("a").unwrap());
+        let lb = LabelSet::singleton(n, al.lookup("b").unwrap());
+        b.add(0, la.clone(), 2, 0);
+        b.add(0, la.complement(), 0, 0);
+        for q in [1u32, 2] {
+            b.add_selecting(q, lb.clone(), 1, 2);
+            b.add(q, lb.complement(), 2, 1);
+        }
+        assert!(sta_equiv(&a, &b));
+    }
+
+    #[test]
+    fn dtd_recognizer_language() {
+        // The DTD automaton accepts exactly trees rooted at `a`.
+        let (dtd, al) = examples::dtd_root_a();
+        let det = determinize_bu(&encode(&dtd));
+        // Build "root is b" variant and check difference.
+        let n = al.len();
+        let mut other = Sta::new(3, n);
+        other.top[0] = true;
+        other.bottom[1] = true;
+        let lb = LabelSet::singleton(n, al.lookup("b").unwrap());
+        let full = LabelSet::empty(n).complement();
+        other.add(0, lb.clone(), 1, 1);
+        other.add(0, lb.complement(), 2, 2);
+        other.add(1, full.clone(), 1, 1);
+        other.add(2, full, 2, 2);
+        assert!(!sta_equiv(&dtd, &other));
+        assert!(det.n_states >= 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's running-example automata, over the alphabet `{a, b, c}`.
+
+use crate::Sta;
+use xwq_xml::{Alphabet, LabelSet};
+
+/// The `{a, b, c}` alphabet used by the paper's examples.
+pub fn abc_alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.intern("a");
+    al.intern("b");
+    al.intern("c");
+    al
+}
+
+fn sets(al: &Alphabet, names: &[&str]) -> LabelSet {
+    LabelSet::from_ids(al.len(), names.iter().map(|n| al.lookup(n).unwrap()))
+}
+
+/// Example 2.1 — `A_{//a//b}`, a top-down deterministic STA selecting all
+/// `b`-descendants of `a`-nodes. States: `q0 = 0`, `q1 = 1`.
+pub fn a_descendant_b() -> (Sta, Alphabet) {
+    let al = abc_alphabet();
+    let n = al.len();
+    let mut a = Sta::new(2, n);
+    a.top[0] = true;
+    a.bottom[0] = true;
+    a.bottom[1] = true;
+    let la = sets(&al, &["a"]);
+    let lb = sets(&al, &["b"]);
+    a.add(0, la.clone(), 1, 0); // q0, {a}   -> (q1, q0)
+    a.add(0, la.complement(), 0, 0); // q0, Σ∖{a} -> (q0, q0)
+    a.add_selecting(1, lb.clone(), 1, 1); // q1, {b}   => (q1, q1)
+    a.add(1, lb.complement(), 1, 1); // q1, Σ∖{b} -> (q1, q1)
+    (a, al)
+}
+
+/// Example A.1 / B.1 — `A_{//a[.//b]}`, a bottom-up deterministic STA
+/// selecting `a`-nodes with a `b` in their left (first-child) subtree,
+/// i.e. the XPath query `//a[.//b]`.
+///
+/// **Erratum.** The paper's two-state transition table propagates the
+/// "b seen" state only through *left* children, which misses `b`s reachable
+/// through right (next-sibling) edges inside the descendant subtree; with
+/// two states no BDSTA can simultaneously track "subtree contains b" and
+/// keep selection exact. We use the minimal correct three-state automaton:
+///
+/// * `q0 = 0` — subtree contains no `b`;
+/// * `q1 = 1` — the *left child's* subtree contains `b` (selecting on `a`);
+/// * `q2 = 2` — the subtree contains `b`, but not via the left child.
+pub fn a_with_b_descendant() -> (Sta, Alphabet) {
+    let al = abc_alphabet();
+    let n = al.len();
+    let lb = sets(&al, &["b"]);
+    let la = sets(&al, &["a"]);
+    let mut a = Sta::new(3, n);
+    a.top = vec![true, true, true];
+    a.bottom[0] = true;
+    let full = LabelSet::empty(n).complement();
+    for l_state in 0..3u32 {
+        for r_state in 0..3u32 {
+            let left_has_b = l_state != 0;
+            let right_has_b = r_state != 0;
+            if left_has_b {
+                // Any label: b is below-left.
+                a.add(1, full.clone(), l_state, r_state);
+            } else if right_has_b {
+                // b below-right (and possibly here).
+                a.add(2, full.clone(), l_state, r_state);
+            } else {
+                // b only if this node is b.
+                a.add(2, lb.clone(), l_state, r_state);
+                a.add(0, lb.complement(), l_state, r_state);
+            }
+        }
+    }
+    a.select[1] = la;
+    (a, al)
+}
+
+/// §3's DTD recognizer for `<!ELEMENT a ANY>`: root must be `a`, anything
+/// below. States: `q0 = 0`, `q⊤ = 1`, `q⊥ = 2`. No selection.
+pub fn dtd_root_a() -> (Sta, Alphabet) {
+    let al = abc_alphabet();
+    let n = al.len();
+    let mut a = Sta::new(3, n);
+    a.top[0] = true;
+    a.bottom[1] = true;
+    let la = sets(&al, &["a"]);
+    let full = LabelSet::empty(n).complement();
+    a.add(0, la.clone(), 1, 1);
+    a.add(0, la.complement(), 2, 2);
+    a.add(1, full.clone(), 1, 1);
+    a.add(2, full, 2, 2);
+    (a, al)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_is_stable() {
+        let al = abc_alphabet();
+        assert_eq!(al.lookup("a"), Some(0));
+        assert_eq!(al.lookup("b"), Some(1));
+        assert_eq!(al.lookup("c"), Some(2));
+    }
+
+    #[test]
+    fn selection_sets_match_paper() {
+        let (a, al) = a_descendant_b();
+        assert!(a.selects(1, al.lookup("b").unwrap()));
+        assert!(!a.selects(0, al.lookup("b").unwrap()));
+        let (a, al) = a_with_b_descendant();
+        assert!(a.selects(1, al.lookup("a").unwrap()));
+        assert!(!a.selects(0, al.lookup("a").unwrap()));
+    }
+}

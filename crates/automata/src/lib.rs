@@ -1,0 +1,30 @@
+//! Selecting tree automata — the deterministic theory of the paper.
+//!
+//! * [`Sta`] — selecting tree automata over binary trees (Def. 2.1): top
+//!   states `T`, bottom states `B`, selecting configurations `S ⊆ Q×Σ`, and
+//!   transitions `(q, L, q₁, q₂)`.
+//! * [`recognizer`] — the hat-alphabet encoding `Â` of App. A.1 that reduces
+//!   STA equivalence/minimization to ordinary tree-automata problems.
+//! * [`minimize`] — unique minimal TDSTA/BDSTA via selection-aware Moore
+//!   refinement (App. A.2, Thm A.1).
+//! * [`topdown`] — full deterministic top-down runs, top-down relevance
+//!   (Lemma 3.1) and the jumping run `topdown_jump` (Alg. B.1, Thm 3.1).
+//! * [`bottomup`] — bottom-up runs (Alg. B.2) and bottom-up relevance
+//!   (Lemma 3.2, Thm 3.2).
+//! * [`equiv`] — exact language/selection equivalence for deterministic
+//!   automata (product construction + subset construction), used to validate
+//!   minimization.
+//! * [`examples`] — the automata the paper uses as running examples.
+//!
+//! Trees are the binary (first-child/next-sibling) view of a
+//! [`xwq_index::TreeIndex`]; the `#` leaf is [`xwq_index::NONE`].
+
+pub mod bottomup;
+pub mod equiv;
+pub mod examples;
+pub mod minimize;
+pub mod recognizer;
+mod sta;
+pub mod topdown;
+
+pub use sta::{StateId, Sta, Transition};

@@ -1,0 +1,403 @@
+//! Minimization of deterministic selecting tree automata (App. A.2).
+//!
+//! Theorem A.1: every complete TDSTA (resp. BDSTA) has a unique equivalent
+//! minimal one. The appendix computes it by encoding into a recognizer over
+//! `Σ ∪ Σ̂` and running standard minimization with a selection-aware initial
+//! partition; refining directly over `Σ` with the selection status folded
+//! into each state's per-label signature is the same computation without the
+//! detour — which is what we do here.
+
+use crate::bottomup::BuTable;
+use crate::sta::{StateId, Sta};
+use xwq_index::FxHashMap;
+use xwq_xml::{LabelId, LabelSet};
+
+/// Minimizes a complete top-down deterministic STA.
+///
+/// Steps: trim states unreachable from the top state, Moore-refine with
+/// signatures `(B-membership; per label: child blocks and selection)`,
+/// quotient.
+///
+/// # Panics
+/// Panics if `a` is not a complete TDSTA.
+pub fn minimize_tdsta(a: &Sta) -> Sta {
+    let table = a.td_table().expect("complete TDSTA required");
+    let sigma = a.alphabet_size;
+
+    // Empty-language states absorb their siblings (a subtree sent to an
+    // empty state rejects the whole tree no matter what the other child
+    // does), so plain refinement would keep apart states that only differ
+    // below an empty branch. Collapse every empty state to one sink first:
+    // q is non-empty iff q ∈ B (accepts #) or some transition leads to two
+    // non-empty states.
+    let mut nonempty: Vec<bool> = a.bottom.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for q in a.states() {
+            if nonempty[q as usize] {
+                continue;
+            }
+            for l in 0..sigma as LabelId {
+                let (q1, q2) = table.step(q, l);
+                if nonempty[q1 as usize] && nonempty[q2 as usize] {
+                    nonempty[q as usize] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    let sink = a.states().find(|&q| !nonempty[q as usize]);
+    // A transition with *either* child empty accepts nothing at all, so the
+    // whole pair normalizes to (sink, sink) — not just the empty side.
+    let step = |q: StateId, l: LabelId| -> (StateId, StateId) {
+        let (q1, q2) = table.step(q, l);
+        if nonempty[q1 as usize] && nonempty[q2 as usize] {
+            (q1, q2)
+        } else {
+            (sink.unwrap(), sink.unwrap())
+        }
+    };
+
+    // Reachability from the initial state (through the collapsed table).
+    let mut reach = vec![false; a.n_states as usize];
+    let mut work = vec![table.init];
+    reach[table.init as usize] = true;
+    while let Some(q) = work.pop() {
+        for l in 0..sigma as LabelId {
+            let (q1, q2) = step(q, l);
+            for nq in [q1, q2] {
+                if !reach[nq as usize] {
+                    reach[nq as usize] = true;
+                    work.push(nq);
+                }
+            }
+        }
+    }
+    let alive: Vec<StateId> = a.states().filter(|&q| reach[q as usize]).collect();
+
+    // Moore refinement. block[q] is meaningful only for reachable q.
+    let mut block: Vec<u32> = a
+        .states()
+        .map(|q| u32::from(a.bottom[q as usize]))
+        .collect();
+    loop {
+        let mut sig_ids: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        let mut next: Vec<u32> = block.clone();
+        let mut changed = false;
+        for &q in &alive {
+            let mut sig: Vec<u32> = Vec::with_capacity(1 + 3 * sigma);
+            sig.push(block[q as usize]);
+            for l in 0..sigma as LabelId {
+                let (q1, q2) = step(q, l);
+                sig.push(block[q1 as usize]);
+                sig.push(block[q2 as usize]);
+                // A selection mark at (q, l) is observable only when some
+                // tree rooted at l is actually accepted from q.
+                let observable = nonempty[q1 as usize] && nonempty[q2 as usize];
+                sig.push(u32::from(observable && a.selects(q, l)));
+            }
+            let fresh = sig_ids.len() as u32;
+            let id = *sig_ids.entry(sig).or_insert(fresh);
+            if id != block[q as usize] {
+                changed = true;
+            }
+            next[q as usize] = id;
+        }
+        block = next;
+        if !changed {
+            break;
+        }
+    }
+
+    quotient_td(a, &step, &nonempty, table.init, &alive, &block)
+}
+
+fn quotient_td(
+    a: &Sta,
+    step: &dyn Fn(StateId, LabelId) -> (StateId, StateId),
+    nonempty: &[bool],
+    init: StateId,
+    alive: &[StateId],
+    block: &[u32],
+) -> Sta {
+    let sigma = a.alphabet_size;
+    // Dense block ids and one representative per block.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut reps: Vec<StateId> = Vec::new();
+    for &q in alive {
+        let fresh = dense.len() as u32;
+        dense.entry(block[q as usize]).or_insert_with(|| {
+            reps.push(q);
+            fresh
+        });
+    }
+    let n = reps.len() as u32;
+    let mut out = Sta::new(n, sigma);
+    let b_of = |q: StateId| dense[&block[q as usize]];
+    out.top[b_of(init) as usize] = true;
+    for (i, &rep) in reps.iter().enumerate() {
+        out.bottom[i] = a.bottom[rep as usize];
+        if nonempty[rep as usize] {
+            out.select[i] = a.select[rep as usize].clone();
+        }
+    }
+    // Group labels by destination pair for compact transitions.
+    for (i, &rep) in reps.iter().enumerate() {
+        let mut by_dest: FxHashMap<(StateId, StateId), LabelSet> = FxHashMap::default();
+        for l in 0..sigma as LabelId {
+            let (q1, q2) = step(rep, l);
+            by_dest
+                .entry((b_of(q1), b_of(q2)))
+                .or_insert_with(|| LabelSet::empty(sigma))
+                .insert(l);
+        }
+        let mut dests: Vec<_> = by_dest.into_iter().collect();
+        dests.sort_by_key(|&((d1, d2), _)| (d1, d2));
+        for ((d1, d2), labels) in dests {
+            out.add(i as u32, labels, d1, d2);
+        }
+    }
+    out
+}
+
+/// Minimizes a complete bottom-up deterministic STA.
+///
+/// Same structure as [`minimize_tdsta`], with bottom-up reachability
+/// (derivability from the leaf state) and context signatures
+/// `δ(q, r, l), δ(r, q, l)` over all reachable partners `r`.
+///
+/// # Panics
+/// Panics if `a` is not a complete BDSTA.
+pub fn minimize_bdsta(a: &Sta) -> Sta {
+    let table = BuTable::new(a).expect("complete BDSTA required");
+    let sigma = a.alphabet_size;
+
+    // Derivable states (reachable bottom-up from q0).
+    let mut reach = vec![false; a.n_states as usize];
+    reach[table.init as usize] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot: Vec<StateId> = a.states().filter(|&q| reach[q as usize]).collect();
+        for &q1 in &snapshot {
+            for &q2 in &snapshot {
+                for l in 0..sigma as LabelId {
+                    let q = table.step(q1, q2, l);
+                    if !reach[q as usize] {
+                        reach[q as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let alive: Vec<StateId> = a.states().filter(|&q| reach[q as usize]).collect();
+
+    // Dual of the empty-state collapse: a state from which no context can
+    // reach acceptance ("dead") is equivalent to every other dead state,
+    // and any transition *producing* a dead state may as well produce the
+    // canonical one. useful(q): q ∈ T, or q can appear as a child of a
+    // useful result together with some derivable partner.
+    let mut useful: Vec<bool> = a.top.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &q in &alive {
+            if useful[q as usize] {
+                continue;
+            }
+            'search: for &r in &alive {
+                for l in 0..sigma as LabelId {
+                    if useful[table.step(q, r, l) as usize]
+                        || useful[table.step(r, q, l) as usize]
+                    {
+                        useful[q as usize] = true;
+                        changed = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+    }
+    let dead = alive.iter().copied().find(|&q| !useful[q as usize]);
+    let step = |q1: StateId, q2: StateId, l: LabelId| -> StateId {
+        let q = table.step(q1, q2, l);
+        if useful[q as usize] {
+            q
+        } else {
+            dead.unwrap_or(q)
+        }
+    };
+
+    // Moore refinement with initial partition by T-membership.
+    let mut block: Vec<u32> = a.states().map(|q| u32::from(a.top[q as usize])).collect();
+    loop {
+        let mut sig_ids: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        let mut next = block.clone();
+        let mut any_change = false;
+        for &q in &alive {
+            let mut sig: Vec<u32> = Vec::with_capacity(2 + alive.len() * sigma * 2);
+            sig.push(block[q as usize]);
+            for l in 0..sigma as LabelId {
+                // Selection is observable only at useful states.
+                sig.push(u32::from(useful[q as usize] && a.selects(q, l)));
+            }
+            for &r in &alive {
+                for l in 0..sigma as LabelId {
+                    sig.push(block[step(q, r, l) as usize]);
+                    sig.push(block[step(r, q, l) as usize]);
+                }
+            }
+            let fresh = sig_ids.len() as u32;
+            let id = *sig_ids.entry(sig).or_insert(fresh);
+            if id != block[q as usize] {
+                any_change = true;
+            }
+            next[q as usize] = id;
+        }
+        block = next;
+        if !any_change {
+            break;
+        }
+    }
+
+    // Quotient.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut reps: Vec<StateId> = Vec::new();
+    for &q in &alive {
+        let fresh = dense.len() as u32;
+        dense.entry(block[q as usize]).or_insert_with(|| {
+            reps.push(q);
+            fresh
+        });
+    }
+    let n = reps.len() as u32;
+    let mut out = Sta::new(n, sigma);
+    let b_of = |q: StateId| dense[&block[q as usize]];
+    out.bottom[b_of(table.init) as usize] = true;
+    for (i, &rep) in reps.iter().enumerate() {
+        out.top[i] = a.top[rep as usize];
+        if useful[rep as usize] {
+            out.select[i] = a.select[rep as usize].clone();
+        }
+    }
+    for (i, &rep1) in reps.iter().enumerate() {
+        for (j, &rep2) in reps.iter().enumerate() {
+            let mut by_src: FxHashMap<StateId, LabelSet> = FxHashMap::default();
+            for l in 0..sigma as LabelId {
+                let q = step(rep1, rep2, l);
+                by_src
+                    .entry(b_of(q))
+                    .or_insert_with(|| LabelSet::empty(sigma))
+                    .insert(l);
+            }
+            let mut srcs: Vec<_> = by_src.into_iter().collect();
+            srcs.sort_by_key(|&(q, _)| q);
+            for (q, labels) in srcs {
+                out.add(q, labels, i as u32, j as u32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::sta_equiv;
+    use crate::examples;
+    use xwq_xml::LabelSet;
+
+    #[test]
+    fn paper_examples_are_already_minimal() {
+        let (a, _) = examples::a_descendant_b();
+        let m = minimize_tdsta(&a);
+        assert_eq!(m.n_states, 2);
+        assert!(sta_equiv(&a, &m));
+
+        let (b, _) = examples::a_with_b_descendant();
+        let m = minimize_bdsta(&b);
+        assert_eq!(m.n_states, 3, "q0, q1, q2 are pairwise inequivalent");
+        assert!(sta_equiv(&b, &m));
+    }
+
+    #[test]
+    fn redundant_copy_state_is_merged() {
+        // Three-state variant of A_{//a//b} with q2 ≡ q1.
+        let (orig, al) = examples::a_descendant_b();
+        let n = al.len();
+        let mut a = Sta::new(3, n);
+        a.top[0] = true;
+        a.bottom = vec![true, true, true];
+        let la = LabelSet::singleton(n, al.lookup("a").unwrap());
+        let lb = LabelSet::singleton(n, al.lookup("b").unwrap());
+        a.add(0, la.clone(), 2, 0);
+        a.add(0, la.complement(), 0, 0);
+        for q in [1u32, 2] {
+            a.add_selecting(q, lb.clone(), 1, 2);
+            a.add(q, lb.complement(), 2, 1);
+        }
+        assert!(a.is_tdsta() && a.is_topdown_complete());
+        let m = minimize_tdsta(&a);
+        assert_eq!(m.n_states, 2);
+        assert!(sta_equiv(&m, &orig));
+        assert!(sta_equiv(&m, &a));
+    }
+
+    #[test]
+    fn unreachable_states_are_trimmed() {
+        let (orig, _) = examples::a_descendant_b();
+        let mut a = orig.clone();
+        // Add an unreachable state with arbitrary complete behaviour.
+        let q = a.n_states;
+        a.n_states += 1;
+        a.top.push(false);
+        a.bottom.push(true);
+        a.select.push(LabelSet::empty(a.alphabet_size));
+        a.add(q, LabelSet::empty(a.alphabet_size).complement(), q, q);
+        let m = minimize_tdsta(&a);
+        assert_eq!(m.n_states, 2);
+        assert!(sta_equiv(&m, &orig));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let (a, _) = examples::a_descendant_b();
+        let m1 = minimize_tdsta(&a);
+        let m2 = minimize_tdsta(&m1);
+        assert_eq!(m1.n_states, m2.n_states);
+        assert!(sta_equiv(&m1, &m2));
+
+        let (b, _) = examples::a_with_b_descendant();
+        let m1 = minimize_bdsta(&b);
+        let m2 = minimize_bdsta(&m1);
+        assert_eq!(m1.n_states, m2.n_states);
+        assert!(sta_equiv(&m1, &m2));
+    }
+
+    #[test]
+    fn selection_prevents_merging() {
+        // Two states with identical language but different selection must
+        // not merge (the 4-way E0 of App. A.2).
+        let (a, al) = examples::a_descendant_b();
+        let m = minimize_tdsta(&a);
+        // q0 and q1 accept the same language (everything) but differ in
+        // selection — both survive.
+        assert_eq!(m.n_states, 2);
+        let lb = al.lookup("b").unwrap();
+        let selecting: Vec<_> = m.states().filter(|&q| m.selects(q, lb)).collect();
+        assert_eq!(selecting.len(), 1);
+    }
+
+    #[test]
+    fn minimal_dtd_recognizer_keeps_three_states() {
+        let (dtd, _) = examples::dtd_root_a();
+        let mut complete = dtd.clone();
+        complete.complete_topdown();
+        let m = minimize_tdsta(&complete);
+        assert_eq!(m.n_states, 3, "q0, q⊤, q⊥ are pairwise distinct");
+        assert!(sta_equiv(&m, &dtd));
+    }
+}

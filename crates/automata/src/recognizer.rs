@@ -1,0 +1,157 @@
+//! The recognizer encoding `Â` over `Σ ∪ Σ̂` (Appendix A.1).
+//!
+//! Selection is encoded into labels: where `A` selects a node labelled `l`,
+//! `Â` accepts the tree with that node relabelled `l̂`. Hatted label ids are
+//! `l + |Σ|`. `Â` has an empty selection set; Lemma A.1 then reduces STA
+//! equivalence to recognizer language equivalence, which [`crate::equiv`]
+//! decides exactly.
+
+use crate::sta::Sta;
+use xwq_xml::{LabelId, LabelSet};
+
+/// Hatted id of label `l` in the doubled alphabet.
+#[inline]
+pub fn hat(l: LabelId, sigma: usize) -> LabelId {
+    l + sigma as LabelId
+}
+
+/// True if `l` is a hatted label of the doubled alphabet.
+#[inline]
+pub fn is_hat(l: LabelId, sigma: usize) -> bool {
+    (l as usize) >= sigma
+}
+
+/// Encodes an STA into its recognizer `Â` over the doubled alphabet.
+///
+/// For each transition `(q, L, q₁, q₂)`: labels of `L` on which `q` selects
+/// move to their hatted version; the rest stay plain. No sink-completion is
+/// performed (the subset construction in [`crate::equiv`] treats missing
+/// transitions as rejection, which is equivalent).
+pub fn encode(a: &Sta) -> Sta {
+    let sigma = a.alphabet_size;
+    let doubled = 2 * sigma;
+    let mut out = Sta::new(a.n_states, doubled);
+    out.top = a.top.clone();
+    out.bottom = a.bottom.clone();
+    for t in &a.delta {
+        let sel = &a.select[t.q as usize];
+        let mut plain = LabelSet::empty(doubled);
+        let mut hatted = LabelSet::empty(doubled);
+        for l in t.labels.iter() {
+            if sel.contains(l) {
+                hatted.insert(hat(l, sigma));
+            } else {
+                plain.insert(l);
+            }
+        }
+        if !plain.is_empty() {
+            out.add(t.q, plain, t.q1, t.q2);
+        }
+        if !hatted.is_empty() {
+            out.add(t.q, hatted, t.q1, t.q2);
+        }
+    }
+    out
+}
+
+/// Decodes a recognizer over `Σ ∪ Σ̂` back into a selecting automaton over
+/// `Σ` (the inverse translation sketched in Lemma A.3). Requires the
+/// recognizer to be selecting-unambiguous for the result to be equivalent.
+pub fn decode(a_hat: &Sta, sigma: usize) -> Sta {
+    debug_assert_eq!(a_hat.alphabet_size, 2 * sigma);
+    let mut out = Sta::new(a_hat.n_states, sigma);
+    out.top = a_hat.top.clone();
+    out.bottom = a_hat.bottom.clone();
+    for t in &a_hat.delta {
+        let mut plain = LabelSet::empty(sigma);
+        let mut selected = LabelSet::empty(sigma);
+        for l in t.labels.iter() {
+            if is_hat(l, sigma) {
+                selected.insert(l - sigma as LabelId);
+            } else {
+                plain.insert(l);
+            }
+        }
+        if !plain.is_empty() {
+            out.add(t.q, plain, t.q1, t.q2);
+        }
+        if !selected.is_empty() {
+            out.add_selecting(t.q, selected, t.q1, t.q2);
+        }
+    }
+    out
+}
+
+/// Checks selecting-unambiguity of a *deterministic top-down* recognizer:
+/// no state may reach, for the same label, both its plain and hatted
+/// version with identical continuations. (Lemma A.2 guarantees this for
+/// automata produced by [`encode`]; decode relies on it.)
+pub fn td_selecting_unambiguous(a_hat: &Sta, sigma: usize) -> bool {
+    for q in a_hat.states() {
+        for l in 0..sigma as LabelId {
+            let plain = a_hat.dest(q, l);
+            let hatted = a_hat.dest(q, hat(l, sigma));
+            if !plain.is_empty() && !hatted.is_empty() {
+                // Both versions lead somewhere: ambiguous only if both can
+                // accept — conservatively report ambiguity when the
+                // continuations coincide.
+                if plain.iter().any(|p| hatted.contains(p)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn encode_moves_selection_into_hats() {
+        let (a, al) = examples::a_descendant_b();
+        let sigma = al.len();
+        let hat_b = hat(al.lookup("b").unwrap(), sigma);
+        let enc = encode(&a);
+        assert_eq!(enc.alphabet_size, 2 * sigma);
+        assert!(enc.select.iter().all(|s| s.is_empty()));
+        // q1 on b̂ keeps looping; q1 on plain b also loops via the Σ∖{b} rule?
+        // No: plain b is removed from the selecting transition but kept by
+        // the non-selecting catch-all? In Ex. 2.1, q1 has both `{b} ⇒` and
+        // `Σ∖{b} →`; after encoding, q1 reads b̂ from the first and plain b
+        // from nothing — plain b under q1 must be dead.
+        assert_eq!(enc.dest(1, hat_b), vec![(1, 1)]);
+        assert_eq!(enc.dest(1, al.lookup("b").unwrap()), vec![]);
+        // q0 never selects: plain labels survive, hatted are dead.
+        assert_eq!(enc.dest(0, al.lookup("a").unwrap()), vec![(1, 0)]);
+        assert_eq!(enc.dest(0, hat(al.lookup("a").unwrap(), sigma)), vec![]);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let (a, _) = examples::a_descendant_b();
+        let back = decode(&encode(&a), a.alphabet_size);
+        assert_eq!(back.n_states, a.n_states);
+        // Same destination sets and selection everywhere.
+        for q in a.states() {
+            for l in 0..a.alphabet_size as LabelId {
+                let mut d1 = a.dest(q, l);
+                let mut d2 = back.dest(q, l);
+                d1.sort_unstable();
+                d2.sort_unstable();
+                assert_eq!(d1, d2, "dest({q},{l})");
+                assert_eq!(a.selects(q, l), back.selects(q, l), "sel({q},{l})");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_recognizer_is_unambiguous() {
+        let (a, _) = examples::a_descendant_b();
+        assert!(td_selecting_unambiguous(&encode(&a), a.alphabet_size));
+        let (a, _) = examples::a_with_b_descendant();
+        assert!(td_selecting_unambiguous(&encode(&a), a.alphabet_size));
+    }
+}

@@ -1,0 +1,410 @@
+//! The selecting-tree-automaton model (Def. 2.1–2.4).
+
+use xwq_xml::{LabelId, LabelSet};
+
+/// Automaton state identifier.
+pub type StateId = u32;
+
+/// A transition `(q, L, q₁, q₂)`: in state `q` at a node with label in `L`,
+/// send `q₁` to the first binary child (`π·1`) and `q₂` to the second (`π·2`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub q: StateId,
+    /// Label guard `L ⊆ Σ` (non-empty).
+    pub labels: LabelSet,
+    /// State for the first child.
+    pub q1: StateId,
+    /// State for the second child.
+    pub q2: StateId,
+}
+
+/// A selecting tree automaton `A = (Σ, Q, T, B, S, δ)` (Def. 2.1).
+///
+/// Σ is implicit: label ids range over `0..alphabet_size`. `select[q]` is the
+/// set of labels `l` with `(q, l) ∈ S`.
+#[derive(Clone, Debug)]
+pub struct Sta {
+    /// Number of states `|Q|`.
+    pub n_states: u32,
+    /// Size of the alphabet Σ.
+    pub alphabet_size: usize,
+    /// Membership of the top-state set `T`.
+    pub top: Vec<bool>,
+    /// Membership of the bottom-state set `B`.
+    pub bottom: Vec<bool>,
+    /// Selecting configurations: `select[q]` = labels on which `q` selects.
+    pub select: Vec<LabelSet>,
+    /// The transition set δ.
+    pub delta: Vec<Transition>,
+}
+
+impl Sta {
+    /// Creates an automaton with `n_states` states and no transitions.
+    pub fn new(n_states: u32, alphabet_size: usize) -> Self {
+        Self {
+            n_states,
+            alphabet_size,
+            top: vec![false; n_states as usize],
+            bottom: vec![false; n_states as usize],
+            select: vec![LabelSet::empty(alphabet_size); n_states as usize],
+            delta: Vec::new(),
+        }
+    }
+
+    /// Adds a transition `q, L → (q₁, q₂)`.
+    pub fn add(&mut self, q: StateId, labels: LabelSet, q1: StateId, q2: StateId) {
+        debug_assert!(!labels.is_empty(), "transition guards must be non-empty");
+        self.delta.push(Transition { q, labels, q1, q2 });
+    }
+
+    /// Adds a selecting transition `q, L ⇒ (q₁, q₂)`: the transition plus
+    /// `(q, l) ∈ S` for every `l ∈ L`.
+    pub fn add_selecting(&mut self, q: StateId, labels: LabelSet, q1: StateId, q2: StateId) {
+        self.select[q as usize].union_with(&labels);
+        self.add(q, labels, q1, q2);
+    }
+
+    /// Iterator over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        0..self.n_states
+    }
+
+    /// The destination set `δ(q, l)` (Def. after 2.1).
+    pub fn dest(&self, q: StateId, l: LabelId) -> Vec<(StateId, StateId)> {
+        let mut out = Vec::new();
+        for t in &self.delta {
+            if t.q == q && t.labels.contains(l) && !out.contains(&(t.q1, t.q2)) {
+                out.push((t.q1, t.q2));
+            }
+        }
+        out
+    }
+
+    /// The source set `δ(q₁, q₂, l)`.
+    pub fn src(&self, q1: StateId, q2: StateId, l: LabelId) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for t in &self.delta {
+            if t.q1 == q1 && t.q2 == q2 && t.labels.contains(l) && !out.contains(&t.q) {
+                out.push(t.q);
+            }
+        }
+        out
+    }
+
+    /// True if `(q, l) ∈ S`.
+    #[inline]
+    pub fn selects(&self, q: StateId, l: LabelId) -> bool {
+        self.select[q as usize].contains(l)
+    }
+
+    /// States in `T`.
+    pub fn top_states(&self) -> Vec<StateId> {
+        self.states().filter(|&q| self.top[q as usize]).collect()
+    }
+
+    /// States in `B`.
+    pub fn bottom_states(&self) -> Vec<StateId> {
+        self.states().filter(|&q| self.bottom[q as usize]).collect()
+    }
+
+    /// Top-down deterministic: `|T| = 1` and every `δ(q, l)` is a singleton.
+    pub fn is_tdsta(&self) -> bool {
+        self.top_states().len() == 1
+            && self.states().all(|q| {
+                (0..self.alphabet_size as u32).all(|l| self.dest(q, l).len() <= 1)
+            })
+    }
+
+    /// Top-down complete: every `δ(q, l)` is non-empty.
+    pub fn is_topdown_complete(&self) -> bool {
+        self.states()
+            .all(|q| (0..self.alphabet_size as u32).all(|l| !self.dest(q, l).is_empty()))
+    }
+
+    /// Bottom-up deterministic: `|B| = 1` and every `δ(q₁, q₂, l)` is at most
+    /// a singleton.
+    pub fn is_bdsta(&self) -> bool {
+        if self.bottom_states().len() != 1 {
+            return false;
+        }
+        for q1 in self.states() {
+            for q2 in self.states() {
+                for l in 0..self.alphabet_size as u32 {
+                    if self.src(q1, q2, l).len() > 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Bottom-up complete: every `δ(q₁, q₂, l)` is non-empty.
+    pub fn is_bottomup_complete(&self) -> bool {
+        for q1 in self.states() {
+            for q2 in self.states() {
+                for l in 0..self.alphabet_size as u32 {
+                    if self.src(q1, q2, l).is_empty() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Non-changing state (Def. 2.4): `∀l. δ(q, l) = {(q, q)}`.
+    pub fn is_non_changing(&self, q: StateId) -> bool {
+        (0..self.alphabet_size as u32).all(|l| self.dest(q, l) == vec![(q, q)])
+    }
+
+    /// Top-down universal state: non-changing and in `B` (accepts `T(Σ)`,
+    /// selects nothing — requires an empty selection set too).
+    pub fn is_td_universal(&self, q: StateId) -> bool {
+        self.is_non_changing(q) && self.bottom[q as usize] && self.select[q as usize].is_empty()
+    }
+
+    /// Top-down sink state: non-changing and not in `B` (accepts nothing).
+    pub fn is_td_sink(&self, q: StateId) -> bool {
+        self.is_non_changing(q) && !self.bottom[q as usize]
+    }
+
+    /// Makes the automaton top-down complete by routing every missing
+    /// `(q, l)` pair to a (possibly fresh) sink state. Returns the sink id.
+    pub fn complete_topdown(&mut self) -> StateId {
+        let sink = match self.states().find(|&q| self.is_td_sink(q)) {
+            Some(q) => q,
+            None => {
+                let q = self.n_states;
+                self.n_states += 1;
+                self.top.push(false);
+                self.bottom.push(false);
+                self.select.push(LabelSet::empty(self.alphabet_size));
+                self.add(q, full_set(self.alphabet_size), q, q);
+                q
+            }
+        };
+        for q in 0..self.n_states {
+            let mut missing = full_set(self.alphabet_size);
+            for t in &self.delta {
+                if t.q == q {
+                    missing.subtract(&t.labels);
+                }
+            }
+            if !missing.is_empty() {
+                self.add(q, missing, sink, sink);
+            }
+        }
+        sink
+    }
+
+    /// The *essential labels* of `q` (§2, after Def. 2.4): labels `l` such
+    /// that `δ(q, l)` contains a pair other than `(q, q)`, or on which `q`
+    /// selects.
+    pub fn essential_labels(&self, q: StateId) -> LabelSet {
+        let mut out = self.select[q as usize].clone();
+        for t in &self.delta {
+            if t.q == q && (t.q1 != q || t.q2 != q) {
+                out.union_with(&t.labels);
+            }
+        }
+        out
+    }
+
+    /// Restriction `A[q]` (Def. A.2): `T` replaced by `{q}`, trimmed to
+    /// states reachable from `q`.
+    pub fn restrict(&self, q: StateId) -> Sta {
+        let mut reach = vec![false; self.n_states as usize];
+        let mut work = vec![q];
+        reach[q as usize] = true;
+        while let Some(p) = work.pop() {
+            for t in &self.delta {
+                if t.q == p {
+                    for nq in [t.q1, t.q2] {
+                        if !reach[nq as usize] {
+                            reach[nq as usize] = true;
+                            work.push(nq);
+                        }
+                    }
+                }
+            }
+        }
+        // Remap reachable states to dense ids.
+        let mut map = vec![u32::MAX; self.n_states as usize];
+        let mut n = 0u32;
+        for s in self.states() {
+            if reach[s as usize] {
+                map[s as usize] = n;
+                n += 1;
+            }
+        }
+        let mut out = Sta::new(n, self.alphabet_size);
+        out.top[map[q as usize] as usize] = true;
+        for s in self.states() {
+            if reach[s as usize] {
+                let m = map[s as usize] as usize;
+                out.bottom[m] = self.bottom[s as usize];
+                out.select[m] = self.select[s as usize].clone();
+            }
+        }
+        for t in &self.delta {
+            if reach[t.q as usize] {
+                out.add(
+                    map[t.q as usize],
+                    t.labels.clone(),
+                    map[t.q1 as usize],
+                    map[t.q2 as usize],
+                );
+            }
+        }
+        out
+    }
+
+    /// Dense top-down lookup table: `table[q * |Σ| + l] = (q1, q2)`.
+    ///
+    /// Returns `None` unless the automaton is top-down deterministic and
+    /// complete.
+    pub fn td_table(&self) -> Option<TdTable> {
+        let sz = self.n_states as usize * self.alphabet_size;
+        let mut table = vec![(u32::MAX, u32::MAX); sz];
+        for t in &self.delta {
+            for l in t.labels.iter() {
+                let cell = &mut table[t.q as usize * self.alphabet_size + l as usize];
+                if *cell != (u32::MAX, u32::MAX) && *cell != (t.q1, t.q2) {
+                    return None; // nondeterministic
+                }
+                *cell = (t.q1, t.q2);
+            }
+        }
+        if table.contains(&(u32::MAX, u32::MAX)) {
+            return None; // incomplete
+        }
+        let init = match &self.top_states()[..] {
+            [q] => *q,
+            _ => return None,
+        };
+        Some(TdTable {
+            table,
+            alphabet_size: self.alphabet_size,
+            init,
+        })
+    }
+}
+
+/// Σ as a set.
+pub(crate) fn full_set(alphabet_size: usize) -> LabelSet {
+    LabelSet::empty(alphabet_size).complement()
+}
+
+/// Compiled top-down transition table for a complete TDSTA.
+#[derive(Clone, Debug)]
+pub struct TdTable {
+    table: Vec<(StateId, StateId)>,
+    alphabet_size: usize,
+    /// The unique top state.
+    pub init: StateId,
+}
+
+impl TdTable {
+    /// `δ(q, l)` as the unique pair.
+    #[inline]
+    pub fn step(&self, q: StateId, l: LabelId) -> (StateId, StateId) {
+        self.table[q as usize * self.alphabet_size + l as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn a_desc_b_is_tdsta_not_bdsta() {
+        let (a, _) = examples::a_descendant_b();
+        assert!(a.is_tdsta());
+        assert!(a.is_topdown_complete());
+        assert!(!a.is_bdsta(), "B is not a singleton (Ex. 2.1 discussion)");
+    }
+
+    #[test]
+    fn a_filter_b_is_bdsta() {
+        let (a, _) = examples::a_with_b_descendant();
+        assert!(a.is_bdsta());
+        assert!(a.is_bottomup_complete());
+        assert!(!a.is_tdsta(), "T is not a singleton");
+    }
+
+    #[test]
+    fn dtd_recognizer_states_classified() {
+        let (a, _) = examples::dtd_root_a();
+        // q0=0, q_top=1, q_bot=2 per examples.rs construction.
+        assert!(!a.is_non_changing(0));
+        assert!(a.is_td_universal(1));
+        assert!(a.is_td_sink(2));
+        assert!(!a.is_td_sink(1));
+        assert!(!a.is_td_universal(2));
+    }
+
+    #[test]
+    fn essential_labels_of_a_desc_b() {
+        let (a, alpha) = examples::a_descendant_b();
+        let la = alpha.lookup("a").unwrap();
+        let lb = alpha.lookup("b").unwrap();
+        // q0 changes state exactly on `a`.
+        let e0 = a.essential_labels(0);
+        assert_eq!(e0.iter().collect::<Vec<_>>(), vec![la]);
+        // q1 never changes state but selects on `b`.
+        let e1 = a.essential_labels(1);
+        assert_eq!(e1.iter().collect::<Vec<_>>(), vec![lb]);
+    }
+
+    #[test]
+    fn dest_and_src_lookups() {
+        let (a, alpha) = examples::a_descendant_b();
+        let la = alpha.lookup("a").unwrap();
+        let lc = alpha.lookup("c").unwrap();
+        assert_eq!(a.dest(0, la), vec![(1, 0)]);
+        assert_eq!(a.dest(0, lc), vec![(0, 0)]);
+        assert_eq!(a.src(1, 0, la), vec![0]);
+        assert_eq!(a.src(0, 0, la), vec![]);
+    }
+
+    #[test]
+    fn complete_topdown_adds_sink() {
+        let mut a = Sta::new(1, 2);
+        a.top[0] = true;
+        a.bottom[0] = true;
+        a.add(0, LabelSet::singleton(2, 0), 0, 0);
+        assert!(!a.is_topdown_complete());
+        let sink = a.complete_topdown();
+        assert!(a.is_topdown_complete());
+        assert!(a.is_td_sink(sink));
+        // Completing an already-complete automaton is a no-op on δ size.
+        let before = a.delta.len();
+        a.complete_topdown();
+        assert_eq!(a.delta.len(), before);
+    }
+
+    #[test]
+    fn td_table_round_trips_transitions() {
+        let (a, alpha) = examples::a_descendant_b();
+        let t = a.td_table().expect("complete TDSTA");
+        let la = alpha.lookup("a").unwrap();
+        let lb = alpha.lookup("b").unwrap();
+        assert_eq!(t.init, 0);
+        assert_eq!(t.step(0, la), (1, 0));
+        assert_eq!(t.step(0, lb), (0, 0));
+        assert_eq!(t.step(1, lb), (1, 1));
+    }
+
+    #[test]
+    fn restriction_trims_unreachable() {
+        let (a, _) = examples::a_descendant_b();
+        // From q1, q0 is unreachable.
+        let r = a.restrict(1);
+        assert_eq!(r.n_states, 1);
+        assert_eq!(r.top_states(), vec![0]);
+        assert!(!r.select[0].is_empty(), "selection on b survives");
+    }
+}

@@ -1,0 +1,363 @@
+//! Deterministic top-down evaluation: full runs, relevance (Lemma 3.1), and
+//! the jumping run `topdown_jump` (Algorithm B.1 / Theorem 3.1).
+
+use crate::sta::{StateId, Sta};
+use xwq_index::{FxHashMap, LabelSet, NodeId, TreeIndex, NONE};
+
+/// The unique run of a complete TDSTA over a tree.
+#[derive(Clone, Debug)]
+pub struct TdRun {
+    /// `states[v]` = state assigned to real node `v`.
+    pub states: Vec<StateId>,
+    /// True iff the run is accepting (root in `T` by construction; every `#`
+    /// leaf state in `B`).
+    pub accepting: bool,
+}
+
+/// Computes the unique run of a complete TDSTA. Returns `None` if the
+/// automaton is not top-down deterministic and complete.
+///
+/// Recursion is on first-child edges only (depth = XML depth); sibling
+/// chains are iterated, so arbitrarily wide documents are safe.
+pub fn run_topdown(a: &Sta, ix: &TreeIndex) -> Option<TdRun> {
+    let table = a.td_table()?;
+    let mut states = vec![0u32; ix.len()];
+    let mut accepting = true;
+
+    fn rec(
+        a: &Sta,
+        table: &crate::sta::TdTable,
+        ix: &TreeIndex,
+        states: &mut [StateId],
+        accepting: &mut bool,
+        mut v: NodeId,
+        mut q: StateId,
+    ) {
+        loop {
+            states[v as usize] = q;
+            let (q1, q2) = table.step(q, ix.label(v));
+            let fc = ix.first_child(v);
+            if fc == NONE {
+                if !a.bottom[q1 as usize] {
+                    *accepting = false;
+                }
+            } else {
+                rec(a, table, ix, states, accepting, fc, q1);
+            }
+            let ns = ix.next_sibling(v);
+            if ns == NONE {
+                if !a.bottom[q2 as usize] {
+                    *accepting = false;
+                }
+                return;
+            }
+            v = ns;
+            q = q2;
+        }
+    }
+
+    rec(a, &table, ix, &mut states, &mut accepting, ix.root(), table.init);
+    Some(TdRun { states, accepting })
+}
+
+/// The selected nodes `A(t)` of an accepting run (Def. 2.3); empty if the
+/// run is rejecting.
+pub fn selected_of_run(a: &Sta, run: &TdRun, ix: &TreeIndex) -> Vec<NodeId> {
+    if !run.accepting {
+        return Vec::new();
+    }
+    (0..ix.len() as NodeId)
+        .filter(|&v| a.selects(run.states[v as usize], ix.label(v)))
+        .collect()
+}
+
+/// Top-down relevance of every real node per Lemma 3.1.
+///
+/// `a` must be the *minimal* complete TDSTA for its query: relevance is only
+/// canonical for minimal automata (§3). States of `#` children are taken
+/// from the transition itself.
+pub fn topdown_relevant(a: &Sta, run: &TdRun, ix: &TreeIndex) -> Vec<bool> {
+    let table = a.td_table().expect("complete TDSTA required");
+    let q_top = a.states().find(|&q| a.is_td_universal(q));
+    (0..ix.len() as NodeId)
+        .map(|v| {
+            let q = run.states[v as usize];
+            let l = ix.label(v);
+            if a.selects(q, l) {
+                return true;
+            }
+            let (q1, q2) = table.step(q, l);
+            let s1 = child_state(run, ix.first_child(v), q1);
+            let s2 = child_state(run, ix.next_sibling(v), q2);
+            let loop_both = q == s1 && q == s2;
+            let loop_left = q == s1 && Some(s2) == q_top;
+            let loop_right = q == s2 && Some(s1) == q_top;
+            !(loop_both || loop_left || loop_right)
+        })
+        .collect()
+}
+
+#[inline]
+fn child_state(run: &TdRun, child: NodeId, from_delta: StateId) -> StateId {
+    if child == NONE {
+        from_delta
+    } else {
+        run.states[child as usize]
+    }
+}
+
+/// Statistics of a jumping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JumpStats {
+    /// Real nodes whose transition was evaluated.
+    pub visited: usize,
+    /// Index jump operations performed (`dt`/`ft`/`lt`/`rt`).
+    pub jumps: usize,
+}
+
+/// Result of [`topdown_jump`].
+#[derive(Clone, Debug)]
+pub struct JumpRun {
+    /// Partial mapping node → state, defined exactly on the visited nodes.
+    /// Empty if the full run is rejecting.
+    pub states: FxHashMap<NodeId, StateId>,
+    /// True iff the underlying full run is accepting.
+    pub accepting: bool,
+    /// Traversal statistics.
+    pub stats: JumpStats,
+}
+
+impl JumpRun {
+    /// Selected nodes of the jumping run, in document order.
+    pub fn selected(&self, a: &Sta, ix: &TreeIndex) -> Vec<NodeId> {
+        if !self.accepting {
+            return Vec::new();
+        }
+        let mut out: Vec<NodeId> = self
+            .states
+            .iter()
+            .filter(|&(&v, &q)| a.selects(q, ix.label(v)))
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// How a state lets the automaton move without gaining information.
+enum SkipShape {
+    /// Loops `(q, q)` on `keep`; jump to top-most nodes labelled outside it.
+    Both { essential: LabelSet },
+    /// Loops `(q, q⊤)`; walk the left-most (first-child) path.
+    LeftSpine { essential: LabelSet },
+    /// Loops `(q⊤, q)`; walk the right-most (next-sibling) path.
+    RightSpine { essential: LabelSet },
+    /// No skip possible.
+    None,
+}
+
+/// Pre-computed per-state skip classification.
+struct SkipPlan {
+    shapes: Vec<SkipShape>,
+    sink: Option<StateId>,
+}
+
+impl SkipPlan {
+    fn new(a: &Sta) -> Self {
+        let q_top = a.states().find(|&q| a.is_td_universal(q));
+        let sink = a.states().find(|&q| a.is_td_sink(q));
+        let full = LabelSet::empty(a.alphabet_size).complement();
+        let shapes = a
+            .states()
+            .map(|q| {
+                // Labels with pure (q,q) loops and no selection.
+                let mut loop_both = LabelSet::empty(a.alphabet_size);
+                let mut loop_left = LabelSet::empty(a.alphabet_size);
+                let mut loop_right = LabelSet::empty(a.alphabet_size);
+                for t in &a.delta {
+                    if t.q != q {
+                        continue;
+                    }
+                    if (t.q1, t.q2) == (q, q) {
+                        loop_both.union_with(&t.labels);
+                    }
+                    if Some(t.q2) == q_top && t.q1 == q {
+                        loop_left.union_with(&t.labels);
+                    }
+                    if Some(t.q1) == q_top && t.q2 == q {
+                        loop_right.union_with(&t.labels);
+                    }
+                }
+                let sel = &a.select[q as usize];
+                loop_both.subtract(sel);
+                loop_left.subtract(sel);
+                loop_right.subtract(sel);
+                // Case priority follows Algorithm B.1.
+                if !loop_both.is_empty() {
+                    let mut essential = full.clone();
+                    essential.subtract(&loop_both);
+                    SkipShape::Both { essential }
+                } else if !loop_left.is_empty() && q_top.is_some() {
+                    let mut essential = full.clone();
+                    essential.subtract(&loop_left);
+                    SkipShape::LeftSpine { essential }
+                } else if !loop_right.is_empty() && q_top.is_some() {
+                    let mut essential = full.clone();
+                    essential.subtract(&loop_right);
+                    SkipShape::RightSpine { essential }
+                } else {
+                    SkipShape::None
+                }
+            })
+            .collect();
+        Self { shapes, sink }
+    }
+}
+
+/// Executes a minimal complete TDSTA visiting (approximately) only the
+/// relevant nodes, via the index's jumping functions (Algorithm B.1).
+///
+/// Two deliberate deviations from the paper's pseudo-code, both required for
+/// correctness (see DESIGN.md):
+///
+/// * case C uses `rt` (the pseudo-code's line 23 repeats `lt` — an erratum);
+/// * skipping additionally requires the looping state to be in `B`, and a
+///   spine that runs off the tree (`Ω`) fails unless the state is in `B`;
+///   otherwise a rejecting run could be mistaken for an accepting one.
+///
+/// # Panics
+/// Panics if the automaton is not top-down deterministic and complete.
+pub fn topdown_jump(a: &Sta, ix: &TreeIndex) -> JumpRun {
+    let table = a.td_table().expect("complete TDSTA required");
+    let plan = SkipPlan::new(a);
+    let mut stats = JumpStats::default();
+    let mut states: FxHashMap<NodeId, StateId> = FxHashMap::default();
+
+    // Worklist of (node, state) pairs to evaluate.
+    let mut work: Vec<(NodeId, StateId)> = Vec::new();
+    let mut frontier_buf: Vec<NodeId> = Vec::new();
+    let ok = seed_frontier(
+        a,
+        &plan,
+        ix,
+        ix.root(),
+        table.init,
+        &mut stats,
+        &mut frontier_buf,
+    );
+    if !ok {
+        return JumpRun {
+            states: FxHashMap::default(),
+            accepting: false,
+            stats,
+        };
+    }
+    for &f in &frontier_buf {
+        work.push((f, table.init));
+    }
+
+    let mut accepting = true;
+    'outer: while let Some((v, q)) = work.pop() {
+        stats.visited += 1;
+        states.insert(v, q);
+        let (q1, q2) = table.step(q, ix.label(v));
+        for (child, qc) in [(ix.first_child(v), q1), (ix.next_sibling(v), q2)] {
+            if plan.sink == Some(qc) {
+                accepting = false;
+                break 'outer;
+            }
+            if child == NONE {
+                if !a.bottom[qc as usize] {
+                    accepting = false;
+                    break 'outer;
+                }
+                continue;
+            }
+            frontier_buf.clear();
+            if !seed_frontier(a, &plan, ix, child, qc, &mut stats, &mut frontier_buf) {
+                accepting = false;
+                break 'outer;
+            }
+            for &f in &frontier_buf {
+                work.push((f, qc));
+            }
+        }
+    }
+
+    if !accepting {
+        states.clear();
+    }
+    JumpRun {
+        states,
+        accepting,
+        stats,
+    }
+}
+
+/// Computes the top-most relevant nodes of the binary subtree rooted at `v`,
+/// entered in state `q` (the `relevant nodes` function of Algorithm B.1).
+/// Returns false if a rejecting leaf is certain (Failure).
+fn seed_frontier(
+    a: &Sta,
+    plan: &SkipPlan,
+    ix: &TreeIndex,
+    v: NodeId,
+    q: StateId,
+    stats: &mut JumpStats,
+    out: &mut Vec<NodeId>,
+) -> bool {
+    match &plan.shapes[q as usize] {
+        SkipShape::Both { essential } => {
+            // Skipping drops whole subtrees whose leaves all get `q`.
+            if !a.bottom[q as usize] {
+                out.push(v);
+                return true;
+            }
+            if essential.contains(ix.label(v)) {
+                out.push(v);
+                return true;
+            }
+            stats.jumps += 1;
+            let mut cur = ix.jump_desc_bin(v, essential);
+            while cur != NONE {
+                out.push(cur);
+                stats.jumps += 1;
+                cur = ix.jump_following_bin(cur, essential, v);
+            }
+            true
+        }
+        SkipShape::LeftSpine { essential } => {
+            if essential.contains(ix.label(v)) {
+                out.push(v);
+                return true;
+            }
+            stats.jumps += 1;
+            let hit = ix.jump_leftmost(v, essential);
+            if hit == NONE {
+                // The spine ends in a `#` leaf carrying `q`.
+                a.bottom[q as usize]
+            } else {
+                out.push(hit);
+                true
+            }
+        }
+        SkipShape::RightSpine { essential } => {
+            if essential.contains(ix.label(v)) {
+                out.push(v);
+                return true;
+            }
+            stats.jumps += 1;
+            let hit = ix.jump_rightmost(v, essential);
+            if hit == NONE {
+                a.bottom[q as usize]
+            } else {
+                out.push(hit);
+                true
+            }
+        }
+        SkipShape::None => {
+            out.push(v);
+            true
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Concrete jumping-run scenarios from the paper's §3 narrative: the DTD
+//! recognizer that only needs the root, and the staircase-join comparison
+//! for `A_{//a//b}` (only top-most `a`s and their `b` descendants touched).
+
+use xwq_automata::{examples, topdown};
+use xwq_index::TreeIndex;
+use xwq_xml::parse_seeded;
+
+fn index(xml: &str) -> TreeIndex {
+    TreeIndex::build(&parse_seeded(xml, &["a", "b", "c"]).unwrap())
+}
+
+#[test]
+fn dtd_recognizer_touches_only_the_root() {
+    // §3: "Since the automaton only changes state at the root node, only
+    // this node is relevant; no information is gained at any other node."
+    let (mut dtd, _) = examples::dtd_root_a();
+    dtd.complete_topdown();
+    let ix = index("<a><b><c/><c/></b><b/><c><b/></c></a>");
+    let run = topdown::topdown_jump(&dtd, &ix);
+    assert!(run.accepting);
+    assert_eq!(
+        run.states.keys().copied().collect::<Vec<_>>(),
+        vec![0],
+        "only the root is visited"
+    );
+    assert_eq!(run.stats.visited, 1);
+}
+
+#[test]
+fn dtd_recognizer_rejects_wrong_root_immediately() {
+    let (mut dtd, _) = examples::dtd_root_a();
+    dtd.complete_topdown();
+    let ix = index("<b><a/></b>");
+    let run = topdown::topdown_jump(&dtd, &ix);
+    assert!(!run.accepting);
+    assert!(run.states.is_empty(), "rejecting runs return ∅ (Thm 3.1)");
+}
+
+#[test]
+fn staircase_narrative_topmost_a_and_their_bs() {
+    // §1: for //a//b "all top-most a-nodes and all their b-labeled
+    // descendants are relevant" — plus descendant a's that re-change state
+    // never exist (a is non-essential inside q1-regions), and b's outside
+    // any a are never touched.
+    let xml = "<c>\
+                 <a><c><b/></c><a><b/></a></a>\
+                 <b/>\
+                 <c><b/></c>\
+                 <a><b/></a>\
+               </c>";
+    // ids: c0 a1 c2 b3 a4 b5 b6 c7 b8 a9 b10
+    let (a, _) = examples::a_descendant_b();
+    let ix = index(xml);
+    let run = topdown::topdown_jump(&a, &ix);
+    assert!(run.accepting);
+    let mut visited: Vec<u32> = run.states.keys().copied().collect();
+    visited.sort_unstable();
+    // Top-most a's: 1 and 9. Their b-descendants: 3, 5, 10. The nested a4
+    // is NOT visited (a is non-essential in state q1), and the b's at 6, 8
+    // (outside any a) are never touched.
+    assert_eq!(visited, vec![1, 3, 5, 9, 10]);
+    assert_eq!(run.selected(&a, &ix), vec![3, 5, 10]);
+}
+
+#[test]
+fn acceptance_guards_on_spine_runs() {
+    // A hand-built minimal TDSTA requiring "root's children chain contains
+    // a b" — its searcher walks the right spine and must REJECT when the
+    // spine runs off the tree (the Ω acceptance erratum of Alg. B.1).
+    use xwq_automata::Sta;
+    use xwq_xml::LabelSet;
+    let sigma = 3;
+    let mut a = Sta::new(3, sigma);
+    // q0 at root: descend to chain searcher q1 on the left, # on the right.
+    // q1: b found -> q2 (universal); otherwise keep walking right.
+    a.top[0] = true;
+    a.bottom[0] = true; // root-in-B irrelevant for the run itself
+    a.bottom[2] = true;
+    let full = LabelSet::empty(sigma).complement();
+    let lb = LabelSet::singleton(sigma, 1);
+    a.add(0, full.clone(), 1, 2);
+    a.add(1, lb.clone(), 2, 2);
+    a.add(1, lb.complement(), 2, 1);
+    a.add(2, full, 2, 2);
+    // q1 ∉ B: a chain without b must reject.
+    let with_b = index("<a><c/><b/><c/></a>");
+    let without_b = index("<a><c/><c/></a>");
+    let run = topdown::topdown_jump(&a, &with_b);
+    assert!(run.accepting, "chain containing b accepts");
+    let run = topdown::topdown_jump(&a, &without_b);
+    assert!(!run.accepting, "chain without b must reject, not silently skip");
+}

@@ -1,0 +1,152 @@
+//! Randomized validation of Theorem A.1: minimization preserves exact
+//! equivalence (language *and* selection), never grows the automaton, is
+//! idempotent, and produces pairwise-inequivalent states.
+
+use proptest::prelude::*;
+use xwq_automata::equiv::sta_equiv;
+use xwq_automata::minimize::{minimize_bdsta, minimize_tdsta};
+use xwq_automata::Sta;
+use xwq_xml::LabelSet;
+
+const SIGMA: usize = 2;
+
+/// Random complete TDSTA over a 2-letter alphabet with ≤4 states.
+fn arb_tdsta() -> impl Strategy<Value = Sta> {
+    let n = 4u32;
+    let per_state = prop::collection::vec((0..n, 0..n, prop::bool::ANY), SIGMA);
+    (
+        prop::collection::vec(per_state, n as usize),
+        prop::collection::vec(prop::bool::ANY, n as usize),
+    )
+        .prop_map(move |(rows, bottoms)| {
+            let mut a = Sta::new(n, SIGMA);
+            a.top[0] = true;
+            for (q, b) in bottoms.iter().enumerate() {
+                a.bottom[q] = *b;
+            }
+            for (q, row) in rows.iter().enumerate() {
+                for (l, &(q1, q2, sel)) in row.iter().enumerate() {
+                    let ls = LabelSet::singleton(SIGMA, l as u32);
+                    if sel {
+                        a.add_selecting(q as u32, ls, q1, q2);
+                    } else {
+                        a.add(q as u32, ls, q1, q2);
+                    }
+                }
+            }
+            a
+        })
+}
+
+/// Random complete BDSTA: δ(q1,q2,l) ↦ q for all triples.
+fn arb_bdsta() -> impl Strategy<Value = Sta> {
+    let n = 3u32;
+    let triples = prop::collection::vec(0..n, (n * n) as usize * SIGMA);
+    (
+        triples,
+        prop::collection::vec(prop::bool::ANY, n as usize),
+        prop::collection::vec(prop::bool::ANY, n as usize * SIGMA),
+    )
+        .prop_map(move |(dests, tops, sels)| {
+            let mut a = Sta::new(n, SIGMA);
+            a.bottom[0] = true;
+            for (q, t) in tops.iter().enumerate() {
+                a.top[q] = *t;
+            }
+            let mut i = 0;
+            for q1 in 0..n {
+                for q2 in 0..n {
+                    for l in 0..SIGMA as u32 {
+                        let q = dests[i];
+                        i += 1;
+                        let ls = LabelSet::singleton(SIGMA, l);
+                        if sels[(q as usize) * SIGMA + l as usize] {
+                            a.add_selecting(q, ls.clone(), q1, q2);
+                        } else {
+                            a.add(q, ls, q1, q2);
+                        }
+                    }
+                }
+            }
+            a
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tdsta_minimization_is_sound_and_minimal(a in arb_tdsta()) {
+        prop_assert!(a.is_tdsta() && a.is_topdown_complete());
+        let m = minimize_tdsta(&a);
+        prop_assert!(m.is_tdsta() && m.is_topdown_complete());
+        prop_assert!(m.n_states <= a.n_states);
+        prop_assert!(sta_equiv(&a, &m), "quotient must stay equivalent");
+        // Idempotence.
+        let m2 = minimize_tdsta(&m);
+        prop_assert_eq!(m2.n_states, m.n_states);
+        // Pairwise inequivalent states: restricting to different states
+        // gives different automata.
+        for q1 in m.states() {
+            for q2 in m.states() {
+                if q1 < q2 {
+                    prop_assert!(
+                        !sta_equiv(&m.restrict(q1), &m.restrict(q2)),
+                        "states {} and {} should have been merged", q1, q2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bdsta_minimization_is_sound_and_minimal(a in arb_bdsta()) {
+        prop_assert!(a.is_bdsta() && a.is_bottomup_complete());
+        let m = minimize_bdsta(&a);
+        prop_assert!(m.is_bdsta() && m.is_bottomup_complete());
+        prop_assert!(m.n_states <= a.n_states);
+        prop_assert!(sta_equiv(&a, &m));
+        let m2 = minimize_bdsta(&m);
+        prop_assert_eq!(m2.n_states, m.n_states);
+        // Pairwise inequivalence of the quotient's states as *top* choices.
+        for q1 in m.states() {
+            for q2 in m.states() {
+                if q1 < q2 {
+                    let mut r1 = m.clone();
+                    r1.top = vec![false; m.n_states as usize];
+                    r1.top[q1 as usize] = true;
+                    let mut r2 = m.clone();
+                    r2.top = vec![false; m.n_states as usize];
+                    r2.top[q2 as usize] = true;
+                    prop_assert!(
+                        !sta_equiv(&r1, &r2),
+                        "BU states {} and {} should have been merged", q1, q2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_sizes_agree_across_presentations(a in arb_tdsta()) {
+        // Minimizing A and minimizing a state-renamed copy of A must give
+        // automata of the same size (uniqueness up to isomorphism).
+        let n = a.n_states;
+        let mut b = Sta::new(n, SIGMA);
+        let perm = |q: u32| (q + 1) % n;
+        for q in a.states() {
+            b.top[perm(q) as usize] = a.top[q as usize];
+            b.bottom[perm(q) as usize] = a.bottom[q as usize];
+            b.select[perm(q) as usize] = a.select[q as usize].clone();
+        }
+        for t in &a.delta {
+            b.add(perm(t.q), t.labels.clone(), perm(t.q1), perm(t.q2));
+        }
+        // b's top set is a singleton at perm(0); still a TDSTA.
+        prop_assert!(b.is_tdsta());
+        let ma = minimize_tdsta(&a);
+        let mb = minimize_tdsta(&b);
+        prop_assert_eq!(ma.n_states, mb.n_states);
+        prop_assert!(sta_equiv(&ma, &mb));
+    }
+}

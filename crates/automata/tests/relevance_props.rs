@@ -1,0 +1,171 @@
+//! Theorem 3.1 and Lemma 3.1/3.2 properties: the jumping run agrees with the
+//! full run exactly on the relevant nodes, over random documents and random
+//! minimal automata.
+
+use proptest::prelude::*;
+use xwq_automata::{bottomup, examples, minimize, topdown, Sta};
+use xwq_index::{NodeId, TreeIndex};
+use xwq_xml::{LabelSet, TreeBuilder};
+
+const NAMES: [&str; 3] = ["a", "b", "c"];
+
+/// Random document over {a,b,c} with the alphabet forced to contain all
+/// three labels (so automata over the example alphabet always apply).
+fn build_doc(ops: &[(u8, u8)], root_label: u8) -> TreeIndex {
+    let mut b = TreeBuilder::new();
+    // Fix the label ids to match `examples::abc_alphabet`.
+    for n in NAMES {
+        b.reserve(n);
+    }
+    b.open(NAMES[root_label as usize % 3]);
+    let mut depth = 1usize;
+    for &(pops, label) in ops {
+        let pops = (pops as usize).min(depth - 1);
+        for _ in 0..pops {
+            b.close();
+            depth -= 1;
+        }
+        b.open(NAMES[label as usize % 3]);
+        depth += 1;
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    TreeIndex::build(&b.finish())
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..4, 0u8..3), 0..120)
+}
+
+/// A random complete TDSTA over {a,b,c} with `n` states: for every (q, l)
+/// pick a destination pair; make some states selecting on some labels;
+/// all states bottom (so rejection never hides selection differences).
+fn arb_tdsta(n: u32) -> impl Strategy<Value = Sta> {
+    let per_state = prop::collection::vec((0..n, 0..n, prop::bool::ANY), 3usize);
+    prop::collection::vec(per_state, n as usize).prop_map(move |rows| {
+        let mut a = Sta::new(n, 3);
+        a.top[0] = true;
+        for q in 0..n {
+            a.bottom[q as usize] = true;
+        }
+        for (q, row) in rows.iter().enumerate() {
+            for (l, &(q1, q2, sel)) in row.iter().enumerate() {
+                let ls = LabelSet::singleton(3, l as u32);
+                if sel {
+                    a.add_selecting(q as u32, ls, q1, q2);
+                } else {
+                    a.add(q as u32, ls, q1, q2);
+                }
+            }
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1 on the paper's minimal automaton A_{//a//b}: the jumping
+    /// run visits *exactly* the relevant nodes and agrees with the full run.
+    #[test]
+    fn theorem_3_1_exact_on_paper_automaton(ops in arb_ops(), root in 0u8..3) {
+        let ix = build_doc(&ops, root);
+        let (a, _) = examples::a_descendant_b();
+        let full = topdown::run_topdown(&a, &ix).unwrap();
+        prop_assert!(full.accepting);
+        let jump = topdown::topdown_jump(&a, &ix);
+        prop_assert!(jump.accepting);
+        let relevant = topdown::topdown_relevant(&a, &full, &ix);
+        for v in 0..ix.len() as NodeId {
+            let visited = jump.states.get(&v);
+            if relevant[v as usize] {
+                prop_assert_eq!(visited, Some(&full.states[v as usize]),
+                    "relevant node {} missing or wrong", v);
+            } else {
+                prop_assert!(visited.is_none(), "irrelevant node {} visited", v);
+            }
+        }
+        // Selected sets agree too.
+        prop_assert_eq!(
+            jump.selected(&a, &ix),
+            topdown::selected_of_run(&a, &full, &ix)
+        );
+    }
+
+    /// Soundness of the jumping run on arbitrary random minimal TDSTAs:
+    /// every visited node carries the full run's state, every relevant node
+    /// is visited, and the selected sets agree.
+    #[test]
+    fn jump_sound_on_random_minimal_tdsta(
+        ops in arb_ops(),
+        root in 0u8..3,
+        a in arb_tdsta(3),
+    ) {
+        let ix = build_doc(&ops, root);
+        let m = minimize::minimize_tdsta(&a);
+        let full = topdown::run_topdown(&m, &ix).unwrap();
+        let jump = topdown::topdown_jump(&m, &ix);
+        prop_assert_eq!(jump.accepting, full.accepting);
+        if !full.accepting {
+            prop_assert!(jump.states.is_empty());
+            return Ok(());
+        }
+        for (&v, &q) in &jump.states {
+            prop_assert_eq!(q, full.states[v as usize], "state at visited {}", v);
+        }
+        let relevant = topdown::topdown_relevant(&m, &full, &ix);
+        for v in 0..ix.len() as NodeId {
+            if relevant[v as usize] {
+                prop_assert!(jump.states.contains_key(&v), "relevant {} skipped", v);
+            }
+        }
+        prop_assert_eq!(
+            jump.selected(&m, &ix),
+            topdown::selected_of_run(&m, &full, &ix)
+        );
+    }
+
+    /// Lemma 3.2 sanity on the paper's BDSTA: selected nodes are relevant,
+    /// and nodes in skippable states with skippable children are not.
+    #[test]
+    fn bottomup_relevance_contains_selection(ops in arb_ops(), root in 0u8..3) {
+        let ix = build_doc(&ops, root);
+        let (a, al) = examples::a_with_b_descendant();
+        let run = bottomup::run_bottomup(&a, &ix).unwrap();
+        let rel = bottomup::bottomup_relevant(&a, &run, &ix);
+        let la = al.lookup("a").unwrap();
+        for v in 0..ix.len() as NodeId {
+            let selected = run.states[v as usize] == 1 && ix.label(v) == la;
+            if selected {
+                prop_assert!(rel[v as usize], "selected node {} must be relevant", v);
+            }
+        }
+        // q0-rooted subtrees are entirely irrelevant (App. B.2 discussion).
+        for v in 0..ix.len() as NodeId {
+            if run.states[v as usize] == 0 {
+                let end = ix.subtree_end(v);
+                for d in v..end {
+                    if run.states[d as usize] == 0 && !a.selects(0, ix.label(d)) {
+                        prop_assert!(
+                            !rel[d as usize] || relevant_by_lemma_edge(&run, &ix, d),
+                            "q0 node {} marked relevant", d
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A q0 node can still be relevant if one of its children is in a
+/// non-skippable different state — recompute the lemma edge case directly.
+fn relevant_by_lemma_edge(run: &bottomup::BuRun, ix: &TreeIndex, v: NodeId) -> bool {
+    let q = run.states[v as usize];
+    let fc = ix.first_child(v);
+    let ns = ix.next_sibling(v);
+    let s1 = if fc == xwq_index::NONE { 0 } else { run.states[fc as usize] };
+    let s2 = if ns == xwq_index::NONE { 0 } else { run.states[ns as usize] };
+    // Skippable partner states for A_{//a[.//b]}: q0 only (no universal).
+    !((q == s1 && s2 == 0) || (q == s2 && s1 == 0) || (q == s1 && q == s2))
+}

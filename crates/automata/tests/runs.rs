@@ -1,0 +1,115 @@
+//! Run semantics on concrete documents: Example 2.1, Example B.1 (Fig. 6),
+//! and agreement between the evaluation styles.
+
+use xwq_automata::{bottomup, examples, topdown};
+use xwq_index::{NodeId, TreeIndex};
+use xwq_xml::parse_seeded;
+
+/// Parse with the canonical {a,b,c} label ids of `examples::abc_alphabet`.
+fn index(xml: &str) -> TreeIndex {
+    TreeIndex::build(&parse_seeded(xml, &["a", "b", "c"]).unwrap())
+}
+
+/// Naive XPath-semantics oracle for `//a//b`.
+fn oracle_a_desc_b(ix: &TreeIndex) -> Vec<NodeId> {
+    (0..ix.len() as NodeId)
+        .filter(|&v| {
+            if ix.name(v) != "b" {
+                return false;
+            }
+            let mut p = ix.parent(v);
+            while p != xwq_index::NONE {
+                if ix.name(p) == "a" {
+                    return true;
+                }
+                p = ix.parent(p);
+            }
+            false
+        })
+        .collect()
+}
+
+/// Naive oracle for `//a[.//b]`.
+fn oracle_a_with_b(ix: &TreeIndex) -> Vec<NodeId> {
+    (0..ix.len() as NodeId)
+        .filter(|&v| {
+            ix.name(v) == "a"
+                && (v + 1..ix.subtree_end(v)).any(|d| ix.name(d) == "b")
+        })
+        .collect()
+}
+
+const DOCS: &[&str] = &[
+    "<a/>",
+    "<b/>",
+    "<a><b/></a>",
+    "<b><a/></b>",
+    "<c><a><c><b/><b><b/></b></c></a><b/><a><b/></a></c>",
+    "<a><a><b/></a><c><b/></c></a>",
+    "<c><c><c/></c></c>",
+    "<b><b><b/></b></b>",
+    "<a><c/><c><a/><b/></c><b><a><b/></a></b></a>",
+];
+
+#[test]
+fn topdown_run_selects_per_xpath_semantics() {
+    let (a, _) = examples::a_descendant_b();
+    for doc in DOCS {
+        let ix = index(doc);
+        let run = topdown::run_topdown(&a, &ix).expect("TDSTA");
+        assert!(run.accepting, "A_//a//b accepts all trees: {doc}");
+        let sel = topdown::selected_of_run(&a, &run, &ix);
+        assert_eq!(sel, oracle_a_desc_b(&ix), "doc {doc}");
+    }
+}
+
+#[test]
+fn bottomup_run_selects_per_xpath_semantics() {
+    let (a, _) = examples::a_with_b_descendant();
+    for doc in DOCS {
+        let ix = index(doc);
+        let run = bottomup::run_bottomup(&a, &ix).expect("BDSTA");
+        assert!(run.accepting, "A_//a[.//b] accepts all trees: {doc}");
+        let sel = bottomup::selected_of_run(&a, &run, &ix);
+        assert_eq!(sel, oracle_a_with_b(&ix), "doc {doc}");
+    }
+}
+
+#[test]
+fn shift_reduce_matches_reverse_preorder_loop() {
+    let (a, _) = examples::a_with_b_descendant();
+    for doc in DOCS {
+        let ix = index(doc);
+        let loop_run = bottomup::run_bottomup(&a, &ix).unwrap();
+        let sr_run = bottomup::bottomup_shift_reduce(&a, &ix).unwrap();
+        assert_eq!(loop_run.states, sr_run.states, "doc {doc}");
+        assert_eq!(loop_run.accepting, sr_run.accepting);
+    }
+}
+
+#[test]
+fn dtd_recognizer_accepts_only_a_roots() {
+    let (mut dtd, _) = examples::dtd_root_a();
+    dtd.complete_topdown();
+    for doc in DOCS {
+        let ix = index(doc);
+        let run = topdown::run_topdown(&dtd, &ix).unwrap();
+        assert_eq!(run.accepting, doc.starts_with("<a"), "doc {doc}");
+    }
+}
+
+#[test]
+fn figure6_style_run_tracks_b_locations() {
+    // States of A_//a[.//b]: q0 = no b in (binary) subtree, q1 = b below the
+    // left child (selecting on a), q2 = b in the subtree but not below-left.
+    let (a, _) = examples::a_with_b_descendant();
+    let ix = index("<a><c/><a><b/></a></a>");
+    let run = bottomup::run_bottomup(&a, &ix).unwrap();
+    // Nodes: a=0, c=1, a=2, b=3.
+    assert_eq!(run.states[3], 2, "the b node itself");
+    assert_eq!(run.states[2], 1, "a with b as descendant");
+    assert_eq!(run.states[1], 2, "c: b under the following sibling");
+    assert_eq!(run.states[0], 1, "root a: b among descendants");
+    let sel = bottomup::selected_of_run(&a, &run, &ix);
+    assert_eq!(sel, vec![0, 2]);
+}

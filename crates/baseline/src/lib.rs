@@ -1,0 +1,307 @@
+//! Step-wise Core XPath evaluation in the Gottlob–Koch style.
+//!
+//! This is the *conventional engine* the automaton approach is measured
+//! against (App. D substitutes MonetDB/XQuery; see DESIGN.md): each location
+//! step maps a sorted, duplicate-free context node-set to the next one, and
+//! predicates are checked per candidate with existential sub-evaluation.
+//! Worst-case O(|D|·|Q|), no whole-query optimization — and a fully
+//! independent implementation, which the test-suite uses as the semantics
+//! oracle for the automaton engine.
+
+use xwq_index::{NodeId, TreeIndex, NONE};
+use xwq_xml::LabelKind;
+use xwq_xpath::{parse_xpath, Axis, NodeTest, Path, Pred, Step, XPathError};
+
+/// Statistics of one baseline run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Nodes examined across all steps and predicate checks.
+    pub visited: u64,
+}
+
+/// Evaluates `query` over `ix`. Returns the selected nodes in document
+/// order, duplicate-free.
+pub fn evaluate_query(ix: &TreeIndex, query: &str) -> Result<Vec<NodeId>, XPathError> {
+    let path = parse_xpath(query)?;
+    Ok(evaluate_path(ix, &path).0)
+}
+
+/// Evaluates a parsed path; also returns statistics.
+pub fn evaluate_path(ix: &TreeIndex, path: &Path) -> (Vec<NodeId>, BaselineStats) {
+    let mut ev = Eval {
+        ix,
+        stats: BaselineStats::default(),
+    };
+    // Absolute paths (and top-level relative ones, by the convention shared
+    // with the compiler) start at the virtual document node.
+    let out = ev.steps_from_document(&path.steps);
+    (out, ev.stats)
+}
+
+struct Eval<'a> {
+    ix: &'a TreeIndex,
+    stats: BaselineStats,
+}
+
+impl<'a> Eval<'a> {
+    fn steps_from_document(&mut self, steps: &[Step]) -> Vec<NodeId> {
+        let step = &steps[0];
+        // Candidates for the first step, interpreted from the document node.
+        let mut ctx: Vec<NodeId> = Vec::new();
+        match step.axis {
+            Axis::Child => {
+                let root = self.ix.root();
+                self.stats.visited += 1;
+                if self.matches(step, root) {
+                    ctx.push(root);
+                }
+            }
+            Axis::Descendant => {
+                for v in 0..self.ix.len() as NodeId {
+                    self.stats.visited += 1;
+                    if self.matches(step, v) {
+                        ctx.push(v);
+                    }
+                }
+            }
+            // following-sibling / attribute / self from the document node
+            // select nothing (the document node has no siblings, attributes,
+            // or label).
+            _ => return Vec::new(),
+        }
+        self.apply_steps(&steps[1..], ctx)
+    }
+
+    /// Applies the remaining steps to a sorted duplicate-free context set.
+    fn apply_steps(&mut self, steps: &[Step], mut ctx: Vec<NodeId>) -> Vec<NodeId> {
+        for step in steps {
+            ctx = self.apply_step(step, &ctx);
+            if ctx.is_empty() {
+                break;
+            }
+        }
+        ctx
+    }
+
+    fn apply_step(&mut self, step: &Step, ctx: &[NodeId]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        match step.axis {
+            Axis::Child | Axis::Attribute => {
+                for &v in ctx {
+                    let mut c = self.ix.first_child(v);
+                    while c != NONE {
+                        self.stats.visited += 1;
+                        if self.matches(step, c) {
+                            out.push(c);
+                        }
+                        c = self.ix.next_sibling(c);
+                    }
+                }
+                // Children of distinct contexts are disjoint but interleave
+                // in document order when contexts nest.
+                out.sort_unstable();
+            }
+            Axis::Descendant => {
+                // Merge overlapping subtree ranges to keep the scan linear
+                // and the output duplicate-free.
+                let mut hi = 0u32;
+                for &v in ctx {
+                    let start = (v + 1).max(hi);
+                    let end = self.ix.subtree_end(v);
+                    for d in start..end.max(start) {
+                        self.stats.visited += 1;
+                        if self.matches(step, d) {
+                            out.push(d);
+                        }
+                    }
+                    hi = hi.max(end);
+                }
+            }
+            Axis::FollowingSibling => {
+                for &v in ctx {
+                    let mut s = self.ix.next_sibling(v);
+                    while s != NONE {
+                        self.stats.visited += 1;
+                        if self.matches(step, s) {
+                            out.push(s);
+                        }
+                        s = self.ix.next_sibling(s);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+            Axis::SelfAxis => {
+                for &v in ctx {
+                    self.stats.visited += 1;
+                    if self.matches(step, v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Axis::Parent => {
+                for &v in ctx {
+                    let p = self.ix.parent(v);
+                    if p != NONE {
+                        self.stats.visited += 1;
+                        if self.matches(step, p) {
+                            out.push(p);
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+            Axis::Ancestor => {
+                for &v in ctx {
+                    let mut p = self.ix.parent(v);
+                    while p != NONE {
+                        self.stats.visited += 1;
+                        if self.matches(step, p) {
+                            out.push(p);
+                        }
+                        p = self.ix.parent(p);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+        out
+    }
+
+    /// Text-predicate semantics shared with the compiler: a node that
+    /// carries content itself (attribute or text node) is checked directly;
+    /// an element is checked against its text children.
+    fn text_child(&mut self, v: NodeId, f: impl Fn(&str) -> bool) -> bool {
+        if let Some(t) = self.ix.text_of(v) {
+            return f(t);
+        }
+        let mut c = self.ix.first_child(v);
+        while c != NONE {
+            self.stats.visited += 1;
+            if let Some(t) = self.ix.text_of(c) {
+                if f(t) {
+                    return true;
+                }
+            }
+            c = self.ix.next_sibling(c);
+        }
+        false
+    }
+
+    /// Node test plus predicates.
+    fn matches(&mut self, step: &Step, v: NodeId) -> bool {
+        self.test_matches(&step.test, step.axis, v)
+            && step.preds.iter().all(|p| self.pred(p, v))
+    }
+
+    fn test_matches(&self, test: &NodeTest, axis: Axis, v: NodeId) -> bool {
+        let al = self.ix.alphabet();
+        let l = self.ix.label(v);
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => al.kind(l) == LabelKind::Text,
+            NodeTest::Star => {
+                if axis == Axis::Attribute {
+                    al.kind(l) == LabelKind::Attribute
+                } else {
+                    al.kind(l) == LabelKind::Element
+                }
+            }
+            NodeTest::Name(n) => {
+                let key = if axis == Axis::Attribute {
+                    format!("@{n}")
+                } else {
+                    n.clone()
+                };
+                al.lookup(&key) == Some(l)
+            }
+        }
+    }
+
+    fn pred(&mut self, p: &Pred, v: NodeId) -> bool {
+        match p {
+            Pred::And(a, b) => self.pred(a, v) && self.pred(b, v),
+            Pred::Or(a, b) => self.pred(a, v) || self.pred(b, v),
+            Pred::Not(a) => !self.pred(a, v),
+            Pred::TextEq(lit) => self.text_child(v, |t| t == lit),
+            Pred::TextContains(lit) => self.text_child(v, |t| t.contains(lit.as_str())),
+            Pred::Path(path) => {
+                if path.absolute {
+                    // Existential absolute path, evaluated from the root.
+                    !self.steps_from_document(&path.steps).is_empty()
+                } else {
+                    !self.apply_steps(&path.steps, vec![v]).is_empty()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_xml::parse;
+
+    fn ix(xml: &str) -> TreeIndex {
+        TreeIndex::build(&parse(xml).unwrap())
+    }
+
+    #[test]
+    fn child_and_descendant() {
+        let i = ix("<a><b><b/></b><c><b/></c></a>");
+        assert_eq!(evaluate_query(&i, "/a/b").unwrap(), vec![1]);
+        assert_eq!(evaluate_query(&i, "//b").unwrap(), vec![1, 2, 4]);
+        assert_eq!(evaluate_query(&i, "//b//b").unwrap(), vec![2]);
+        assert_eq!(evaluate_query(&i, "/a/c/b").unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn descendant_of_nested_contexts_is_duplicate_free() {
+        let i = ix("<a><a><a><b/></a></a></a>");
+        assert_eq!(evaluate_query(&i, "//a//b").unwrap(), vec![3]);
+        assert_eq!(evaluate_query(&i, "//a//a").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_contexts_keep_child_output_sorted() {
+        // ctx {a0, a1} where a1 is a's child: /…/b children interleave.
+        let i = ix("<a><a><b/></a><b/></a>");
+        assert_eq!(evaluate_query(&i, "//a/b").unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn predicates() {
+        let i = ix("<a><b><c/></b><b/></a>");
+        assert_eq!(evaluate_query(&i, "//b[c]").unwrap(), vec![1]);
+        assert_eq!(evaluate_query(&i, "//b[not(c)]").unwrap(), vec![3]);
+        assert_eq!(evaluate_query(&i, "//a[b and not(d)]").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn following_sibling_and_self() {
+        let i = ix("<a><b/><c/><b/></a>");
+        assert_eq!(
+            evaluate_query(&i, "/a/c/following-sibling::b").unwrap(),
+            vec![3]
+        );
+        assert_eq!(evaluate_query(&i, "//b[ . ]").unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let i = ix(r#"<a x="1"><b>t</b></a>"#);
+        assert_eq!(evaluate_query(&i, "/a/@x").unwrap(), vec![1]);
+        assert_eq!(evaluate_query(&i, "//b/text()").unwrap(), vec![3]);
+        assert_eq!(evaluate_query(&i, "//*").unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn absolute_predicate_paths_are_supported_here() {
+        // The automaton compiler rejects these; the baseline handles them,
+        // which is fine — they are outside the shared comparison fragment.
+        let i = ix("<a><b/></a>");
+        assert_eq!(evaluate_query(&i, "//b[ /a ]").unwrap(), vec![1]);
+    }
+}

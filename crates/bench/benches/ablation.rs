@@ -1,0 +1,99 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * topology backend: array vs succinct (the §1 memory/speed trade-off),
+//! * index construction cost,
+//! * each optimization knob in isolation on a representative query (Q06),
+//! * the exponential-in-theory state-set blow-up query family of Ex. C.1
+//!   evaluated by the linear-size ASTA.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xwq_core::{Engine, Strategy};
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_xmark::GenOptions;
+
+fn bench_topology(c: &mut Criterion) {
+    let doc = xwq_xmark::generate(GenOptions {
+        factor: 0.2,
+        seed: 42,
+    });
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for kind in [TopologyKind::Array, TopologyKind::Succinct] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| TreeIndex::build_with(&doc, kind).len()),
+        );
+        let engine = Engine::build_with(&doc, kind);
+        let q = engine.compile(xwq_xmark::query(6)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("q06", format!("{kind:?}")),
+            &q,
+            |b, q| b.iter(|| engine.run(q, Strategy::Optimized).nodes.len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_knobs(c: &mut Criterion) {
+    let doc = xwq_xmark::generate(GenOptions {
+        factor: 0.2,
+        seed: 42,
+    });
+    let engine = Engine::build(&doc);
+    let q = engine.compile(xwq_xmark::query(6)).unwrap();
+    let mut group = c.benchmark_group("knobs_q06");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for strat in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strat.name().replace([' ', '.'], "")),
+            &q,
+            |b, q| b.iter(|| engine.run(q, strat).nodes.len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_blowup_family(c: &mut Criterion) {
+    // //x[(a1 or a2) and ... and (a2n-1 or a2n)] — Ex. C.1: the ASTA stays
+    // linear, so evaluation time should grow linearly in n.
+    let mut b = xwq_xml::TreeBuilder::new();
+    b.open("root");
+    for i in 0..64 {
+        b.open("x");
+        for j in 0..16 {
+            b.open(&format!("l{}", (i + j) % 32));
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+    let doc = b.finish();
+    let engine = Engine::build(&doc);
+    let mut group = c.benchmark_group("blowup_family");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for n in [2usize, 4, 8] {
+        let mut q = String::from("//x[ ");
+        for i in 0..n {
+            if i > 0 {
+                q.push_str(" and ");
+            }
+            q.push_str(&format!("(l{} or l{})", 2 * i, 2 * i + 1));
+        }
+        q.push_str(" ]");
+        let compiled = engine.compile(&q).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &compiled, |b, q| {
+            b.iter(|| engine.run(q, Strategy::Optimized).nodes.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology, bench_knobs, bench_blowup_family);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion version of Figure 4: per-query evaluation time under the four
+//! strategy series. `cargo bench -p xwq-bench --bench fig4`.
+//!
+//! Uses a smaller default scale than the table binary so the full sweep
+//! finishes quickly; set `XWQ_FACTOR` to change it.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xwq_bench::FIG4_SERIES;
+use xwq_core::Engine;
+use xwq_xmark::GenOptions;
+
+fn factor() -> f64 {
+    std::env::var("XWQ_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let doc = xwq_xmark::generate(GenOptions {
+        factor: factor(),
+        seed: 42,
+    });
+    let engine = Engine::build(&doc);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for (n, text) in xwq_xmark::queries() {
+        let q = engine.compile(text).expect("compiles");
+        for strat in FIG4_SERIES {
+            group.bench_with_input(
+                BenchmarkId::new(strat.name().replace([' ', '.'], ""), format!("Q{n:02}")),
+                &q,
+                |b, q| b.iter(|| engine.run(q, strat).nodes.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

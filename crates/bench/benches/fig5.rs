@@ -1,0 +1,39 @@
+//! Criterion version of Figure 5: hybrid vs regular evaluation of
+//! `//listitem//keyword//emph` over configurations A–D.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xwq_core::{Engine, Strategy};
+use xwq_xmark::{config_a, config_b, config_c, config_d};
+
+const QUERY: &str = "//listitem//keyword//emph";
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = std::env::var("XWQ_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.3);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for (name, doc) in [
+        ("A", config_a(scale)),
+        ("B", config_b(scale)),
+        ("C", config_c(scale)),
+        ("D", config_d(scale)),
+    ] {
+        let engine = Engine::build(&doc);
+        let q = engine.compile(QUERY).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("hybrid", name), &q, |b, q| {
+            b.iter(|| engine.run(q, Strategy::Hybrid).nodes.len())
+        });
+        group.bench_with_input(BenchmarkId::new("regular", name), &q, |b, q| {
+            b.iter(|| engine.run(q, Strategy::Optimized).nodes.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion version of Figure 8 (App. D): the automaton engine vs the
+//! step-wise baseline across Q01–Q15.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xwq_core::{Engine, Strategy};
+use xwq_xmark::GenOptions;
+use xwq_xpath::parse_xpath;
+
+fn bench_fig8(c: &mut Criterion) {
+    let factor = std::env::var("XWQ_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let doc = xwq_xmark::generate(GenOptions { factor, seed: 42 });
+    let engine = Engine::build(&doc);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for (n, text) in xwq_xmark::queries() {
+        let q = engine.compile(text).expect("compiles");
+        let path = parse_xpath(text).unwrap();
+        group.bench_with_input(BenchmarkId::new("engine", format!("Q{n:02}")), &q, |b, q| {
+            b.iter(|| engine.run(q, Strategy::Optimized).nodes.len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", format!("Q{n:02}")),
+            &path,
+            |b, path| b.iter(|| xwq_baseline::evaluate_path(engine.index(), path).0.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates Figure 3: number of selected and visited nodes (with and
+//! without jumping) and number of memoized configurations, for Q01–Q15.
+//!
+//! Rows, as in the paper:
+//! (1) selected nodes; (2) visited with jumping; (3) visited without jumping
+//! (but with subtree pruning); (4) memoized transitions; (5) ratio of
+//! selected vs. approximated relevant nodes in %. `# nodes` marks a full
+//! traversal, exactly as the paper prints it.
+
+use xwq_bench::{compile_queries, BenchConfig};
+use xwq_core::{Engine, Strategy};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let doc = cfg.document();
+    let engine = Engine::build(&doc);
+    let n_nodes = doc.len() as u64;
+    println!(
+        "Figure 3 — selected/visited nodes and memoized configurations \
+         (factor {}, seed {}, {} nodes)",
+        cfg.factor, cfg.seed, n_nodes
+    );
+    let queries = compile_queries(&engine);
+
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for (_, _, q) in &queries {
+        let opt = engine.run(q, Strategy::Optimized);
+        let jump = engine.run(q, Strategy::Jumping);
+        let prune = engine.run(q, Strategy::Pruning);
+        let memo = engine.run(q, Strategy::Memoized);
+        let without = if prune.stats.visited >= n_nodes {
+            "# nodes".to_string()
+        } else {
+            prune.stats.visited.to_string()
+        };
+        let ratio = if jump.stats.visited > 0 {
+            100.0 * opt.stats.selected as f64 / jump.stats.visited as f64
+        } else {
+            0.0
+        };
+        rows.push([
+            opt.stats.selected.to_string(),
+            jump.stats.visited.to_string(),
+            without,
+            memo.stats.memo_entries.to_string(),
+            format!("{ratio:.1}"),
+        ]);
+    }
+
+    print!("{:<28}", "");
+    for (n, _, _) in &queries {
+        print!("{:>9}", format!("Q{n:02}"));
+    }
+    println!();
+    let labels = [
+        "(1) selected",
+        "(2) visited w/ jumping",
+        "(3) visited w/o jumping",
+        "(4) memoized transitions",
+        "(5) ratio sel/visited %",
+    ];
+    for (r, label) in labels.iter().enumerate() {
+        print!("{label:<28}");
+        for row in &rows {
+            print!("{:>9}", row[r]);
+        }
+        println!();
+    }
+    println!("# nodes = {n_nodes}");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 4: query answering time per query for the four
+//! series Naive / Jumping / Memo. / Opt. (log-scale in the paper; we print
+//! milliseconds).
+
+use xwq_bench::{best_of, compile_queries, ms, BenchConfig, FIG4_SERIES};
+use xwq_core::Engine;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let doc = cfg.document();
+    let engine = Engine::build(&doc);
+    println!(
+        "Figure 4 — query answering time in ms (factor {}, seed {}, {} nodes, best of {})",
+        cfg.factor,
+        cfg.seed,
+        doc.len(),
+        cfg.repeats
+    );
+    print!("{:<6}", "Query");
+    for s in FIG4_SERIES {
+        print!("{:>16}", s.name());
+    }
+    println!();
+    for (n, _, q) in compile_queries(&engine) {
+        print!("Q{n:02}   ");
+        for s in FIG4_SERIES {
+            let (t, out) = best_of(cfg.repeats, || engine.run(&q, s));
+            let _ = out;
+            print!("{:>16}", ms(t));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates Figure 5: hybrid vs. regular (top-down+bottom-up) evaluation
+//! of `//listitem//keyword//emph` over the hand-shaped configurations A–D —
+//! both the timing bars and the selected/visited table.
+
+use xwq_bench::{best_of, ms, BenchConfig};
+use xwq_core::{Engine, Strategy};
+use xwq_index::TopologyKind;
+use xwq_xmark::{config_a, config_b, config_c, config_d};
+
+const QUERY: &str = "//listitem//keyword//emph";
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!(
+        "Figure 5 — hybrid vs regular for {QUERY} (scale {}, best of {})",
+        cfg.factor, cfg.repeats
+    );
+    println!(
+        "{:<5} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "Cfg", "(1) sel", "(2) hybrid", "(3) td+bu", "t-hybrid", "t-regular", "winner"
+    );
+    let topology = if std::env::var("XWQ_SUCCINCT").is_ok() {
+        println!("(succinct topology: parent moves cost polylog, as in SXSI)");
+        TopologyKind::Succinct
+    } else {
+        TopologyKind::Array
+    };
+    for (name, doc) in [
+        ("A", config_a(cfg.factor)),
+        ("B", config_b(cfg.factor)),
+        ("C", config_c(cfg.factor)),
+        ("D", config_d(cfg.factor)),
+    ] {
+        let engine = Engine::build_with(&doc, topology);
+        let q = engine.compile(QUERY).expect("query compiles");
+        let (t_h, h) = best_of(cfg.repeats, || engine.run(&q, Strategy::Hybrid));
+        let (t_r, r) = best_of(cfg.repeats, || engine.run(&q, Strategy::Optimized));
+        assert_eq!(h.nodes, r.nodes, "strategies disagree on config {name}");
+        assert!(!h.hybrid_fallback, "hybrid must run natively here");
+        let winner = if t_h < t_r { "hybrid" } else { "regular" };
+        println!(
+            "{:<5} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+            name,
+            h.nodes.len(),
+            h.stats.visited,
+            r.stats.visited,
+            ms(t_h),
+            ms(t_r),
+            winner
+        );
+    }
+    println!(
+        "(paper: hybrid wins A and B, ties C, loses D; \
+         (2) and (3) are nodes visited by each run)"
+    );
+}

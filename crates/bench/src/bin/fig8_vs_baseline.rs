@@ -1,0 +1,43 @@
+//! Regenerates Figure 8 (App. D): query answering time of the automaton
+//! engine vs. a conventional step-wise engine, Q01–Q15.
+//!
+//! The paper compares SXSI against MonetDB/XQuery; our comparator is the
+//! independently implemented Gottlob/Koch-style step-wise evaluator
+//! (`xwq-baseline`) — see the substitution table in DESIGN.md.
+
+use xwq_bench::{best_of, compile_queries, ms, BenchConfig};
+use xwq_core::{Engine, Strategy};
+use xwq_xpath::parse_xpath;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let doc = cfg.document();
+    let engine = Engine::build(&doc);
+    println!(
+        "Figure 8 — engine (Opt.) vs step-wise baseline, ms (factor {}, seed {}, {} nodes, best of {})",
+        cfg.factor,
+        cfg.seed,
+        doc.len(),
+        cfg.repeats
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>9} {:>9}",
+        "Query", "engine", "baseline", "speedup", "results"
+    );
+    for (n, text, q) in compile_queries(&engine) {
+        let path = parse_xpath(text).unwrap();
+        let (t_e, out) = best_of(cfg.repeats, || engine.run(&q, Strategy::Optimized));
+        let (t_b, base) = best_of(cfg.repeats, || {
+            xwq_baseline::evaluate_path(engine.index(), &path)
+        });
+        assert_eq!(out.nodes, base.0, "Q{n:02}: engines disagree");
+        let speedup = t_b.as_secs_f64() / t_e.as_secs_f64().max(1e-9);
+        println!(
+            "Q{n:02}    {:>12} {:>12} {:>8.1}x {:>9}",
+            ms(t_e),
+            ms(t_b),
+            speedup,
+            out.nodes.len()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The §1 memory argument: pointer-style tree structures cost 5–10× the
+//! document, succinct trees a fraction of it. Prints bytes per node and the
+//! ratio for both topology backends across document scales.
+
+use xwq_bench::BenchConfig;
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_xmark::GenOptions;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Topology memory (bytes) — array vs balanced-parentheses succinct");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>10} {:>12} {:>12}",
+        "factor", "nodes", "array B", "succinct B", "ratio", "arr B/node", "succ b/node"
+    );
+    for factor in [cfg.factor * 0.25, cfg.factor * 0.5, cfg.factor] {
+        let doc = xwq_xmark::generate(GenOptions {
+            factor,
+            seed: cfg.seed,
+        });
+        let a = TreeIndex::build_with(&doc, TopologyKind::Array);
+        let s = TreeIndex::build_with(&doc, TopologyKind::Succinct);
+        let (ab, sb) = (a.topology_heap_bytes(), s.topology_heap_bytes());
+        println!(
+            "{:>8.2} {:>10} {:>14} {:>14} {:>9.1}x {:>12.1} {:>12.2}",
+            factor,
+            doc.len(),
+            ab,
+            sb,
+            ab as f64 / sb as f64,
+            ab as f64 / doc.len() as f64,
+            8.0 * sb as f64 / doc.len() as f64,
+        );
+    }
+}

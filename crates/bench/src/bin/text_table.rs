@@ -1,0 +1,74 @@
+//! Text-oriented queries (§5's closing observation: the Fig. 5 A/B shapes
+//! "actually simulate the behaviour of text-oriented queries, where the
+//! text predicate is often very selective").
+//!
+//! Picks a rare and a common text content from the generated document and
+//! runs `//item[…[text() = '…']]`-style queries under the automaton and
+//! hybrid strategies, reporting visited counts and times.
+
+use xwq_bench::{best_of, ms, BenchConfig};
+use xwq_core::{Engine, Strategy};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let doc = cfg.document();
+    let engine = Engine::build(&doc);
+    let ix = engine.index();
+    println!(
+        "Text predicates — selective vs common content (factor {}, {} nodes, {} distinct contents)",
+        cfg.factor,
+        doc.len(),
+        ix.distinct_text_count()
+    );
+
+    // Find the rarest and the most common keyword contents.
+    let kw = ix.alphabet().lookup("keyword").expect("keyword label");
+    let mut by_content: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for &k in ix.label_list(kw) {
+        let mut c = ix.first_child(k);
+        while c != xwq_index::NONE {
+            if let Some(t) = ix.text_of(c) {
+                *by_content.entry(t).or_default() += 1;
+            }
+            c = ix.next_sibling(c);
+        }
+    }
+    let rare = by_content
+        .iter()
+        .min_by_key(|&(_, &n)| n)
+        .map(|(&t, _)| t.to_string())
+        .expect("some keyword text");
+    let common = by_content
+        .iter()
+        .max_by_key(|&(_, &n)| n)
+        .map(|(&t, _)| t.to_string())
+        .expect("some keyword text");
+
+    println!(
+        "rare content: {:?} ({}x), common content: {:?} ({}x)\n",
+        rare, by_content[rare.as_str()], common, by_content[common.as_str()]
+    );
+    println!(
+        "{:<58} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "query", "results", "vis-opt", "vis-hyb", "t-opt", "t-hybrid"
+    );
+    for (desc, lit) in [("selective", &rare), ("common", &common)] {
+        let query = format!("//keyword[ text() = '{lit}' ]");
+        let q = engine.compile(&query).expect("compiles");
+        let (t_o, o) = best_of(cfg.repeats, || engine.run(&q, Strategy::Optimized));
+        let (t_h, h) = best_of(cfg.repeats, || engine.run(&q, Strategy::Hybrid));
+        assert_eq!(o.nodes, h.nodes);
+        println!(
+            "{:<58} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            format!("{desc}: //keyword[text()='…']"),
+            o.nodes.len(),
+            o.stats.visited,
+            h.stats.visited,
+            ms(t_o),
+            ms(t_h)
+        );
+    }
+    println!("\n(the automaton jumps only to keyword nodes; the node filter");
+    println!(" discharges the content test without touching text children —");
+    println!(" SXSI's text-predicate integration, §5 of the paper)");
+}

@@ -1,0 +1,133 @@
+//! Shared plumbing for the experiment binaries and criterion benches.
+//!
+//! Every `fig*` binary regenerates one table or figure of the paper's §5 /
+//! App. D (see DESIGN.md's experiment index). Workload size is controlled
+//! by `--factor <f>` (or `XWQ_FACTOR`), the RNG seed by `--seed <n>`
+//! (or `XWQ_SEED`); defaults reproduce the numbers in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+use xwq_core::{CompiledQuery, Engine, Strategy};
+use xwq_xmark::GenOptions;
+
+/// Workload parameters shared by all binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// XMark scale factor.
+    pub factor: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Timing repetitions (best-of, like the paper's App. D).
+    pub repeats: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            factor: 1.0,
+            seed: 42,
+            repeats: 5,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads `--factor`, `--seed`, `--repeats` from argv, then the
+    /// `XWQ_FACTOR` / `XWQ_SEED` / `XWQ_REPEATS` environment.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("XWQ_FACTOR") {
+            cfg.factor = v.parse().expect("XWQ_FACTOR");
+        }
+        if let Ok(v) = std::env::var("XWQ_SEED") {
+            cfg.seed = v.parse().expect("XWQ_SEED");
+        }
+        if let Ok(v) = std::env::var("XWQ_REPEATS") {
+            cfg.repeats = v.parse().expect("XWQ_REPEATS");
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--factor" => cfg.factor = args[i + 1].parse().expect("--factor"),
+                "--seed" => cfg.seed = args[i + 1].parse().expect("--seed"),
+                "--repeats" => cfg.repeats = args[i + 1].parse().expect("--repeats"),
+                other => panic!("unknown flag {other}"),
+            }
+            i += 2;
+        }
+        cfg
+    }
+
+    /// Generates the XMark document for this configuration.
+    pub fn document(&self) -> xwq_xml::Document {
+        xwq_xmark::generate(GenOptions {
+            factor: self.factor,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Best-of-`repeats` wall time of `f`, paper-style (App. D: "best of 5").
+pub fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(v);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Compiles all fifteen Fig. 2 queries against an engine.
+pub fn compile_queries(engine: &Engine) -> Vec<(usize, &'static str, CompiledQuery)> {
+    xwq_xmark::queries()
+        .map(|(n, q)| {
+            let c = engine
+                .compile(q)
+                .unwrap_or_else(|e| panic!("Q{n:02} failed to compile: {e}"));
+            (n, q, c)
+        })
+        .collect()
+}
+
+/// The Fig. 4 strategy series, in the paper's legend order.
+pub const FIG4_SERIES: [Strategy; 4] = [
+    Strategy::Naive,
+    Strategy::Jumping,
+    Strategy::Memoized,
+    Strategy::Optimized,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_result() {
+        let (d, v) = best_of(3, || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn queries_compile_on_a_small_doc() {
+        let doc = BenchConfig {
+            factor: 0.02,
+            seed: 1,
+            repeats: 1,
+        }
+        .document();
+        let e = Engine::build(&doc);
+        assert_eq!(compile_queries(&e).len(), 15);
+    }
+}

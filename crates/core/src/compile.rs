@@ -1,0 +1,465 @@
+//! Compilation of forward Core XPath into ASTAs (§4.2).
+//!
+//! One state per query step, two transition shapes per state (Ex. 4.1):
+//! a *progress* transition fired at nodes matching the step's node test —
+//! carrying the predicate checks, the continuation to the next step, and
+//! `⇒` selection on the final step — and a *recursion* transition that keeps
+//! searching: `↓1 q ∨ ↓2 q` for `descendant`, `↓2 q` for the sibling-chain
+//! walk that implements `child` / `following-sibling` / `attribute`.
+//!
+//! Queries are compiled against a concrete document [`Alphabet`], so label
+//! guards are plain bitsets and `Σ∖L` is materialized (see DESIGN.md).
+
+use crate::asta::{Asta, Formula, StateId};
+use std::fmt;
+use xwq_index::TreeIndex;
+use xwq_xml::{Alphabet, LabelKind, LabelSet};
+use xwq_xpath::{Axis, NodeTest, Path, Pred, Step};
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Absolute paths inside predicates would need evaluation from the
+    /// document root, which transition formulas cannot express.
+    AbsolutePredicatePath,
+    /// `self::` steps are only supported as the head of a relative path
+    /// (the `.` abbreviation), mirroring the paper's fragment.
+    UnsupportedSelfStep,
+    /// A path with no steps.
+    EmptyPath,
+    /// A backward axis survived to compilation (use
+    /// [`xwq_xpath::rewrite_forward`] first; `Engine::compile` does).
+    BackwardAxis,
+    /// A text predicate needs the document's text index: use
+    /// [`compile_path_indexed`] (which `Engine::compile` does).
+    TextPredicateNeedsIndex,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::AbsolutePredicatePath => {
+                write!(f, "absolute paths inside predicates are not supported")
+            }
+            CompileError::UnsupportedSelfStep => {
+                write!(f, "self:: steps are only supported as `.` at a predicate path head")
+            }
+            CompileError::EmptyPath => write!(f, "empty location path"),
+            CompileError::BackwardAxis => write!(
+                f,
+                "backward axis not rewritable into the forward fragment"
+            ),
+            CompileError::TextPredicateNeedsIndex => write!(
+                f,
+                "text predicates require compiling against a document index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Intersection of two sorted node lists.
+fn intersect_sorted(a: &[xwq_index::NodeId], b: &[xwq_index::NodeId]) -> Vec<xwq_index::NodeId> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Compiles `path` against `alphabet` into an ASTA whose top states accept
+/// at the document root element.
+pub fn compile_path(path: &Path, alphabet: &Alphabet) -> Result<Asta, CompileError> {
+    compile_inner(path, alphabet, None)
+}
+
+/// Compiles `path` against a document index; text predicates resolve to
+/// node filters over the index's text lists.
+pub fn compile_path_indexed(path: &Path, ix: &TreeIndex) -> Result<Asta, CompileError> {
+    compile_inner(path, ix.alphabet(), Some(ix))
+}
+
+fn compile_inner(
+    path: &Path,
+    alphabet: &Alphabet,
+    ix: Option<&TreeIndex>,
+) -> Result<Asta, CompileError> {
+    let mut c = Compiler {
+        asta: Asta::new(alphabet.len()),
+        alphabet,
+        ix,
+    };
+    if path.steps.is_empty() {
+        return Err(CompileError::EmptyPath);
+    }
+    // Main paths behave as absolute (the paper's Core grammar allows a
+    // relative LocationPath at top level; we anchor it at the root element,
+    // which matches evaluating from the document node for `//`-headed paths).
+    let entry = c.compile_steps(&path.steps, 0, true, true)?;
+    // `entry` is the formula to assert at the *document node*; but evaluation
+    // starts at the root element, one level below. Wrap: create a start state
+    // whose transitions fire directly at the root element. Rather than a
+    // wrapper, compile_steps in "top" mode returns the state to seed at the
+    // root element directly.
+    c.asta.top = vec![entry];
+    Ok(c.asta)
+}
+
+struct Compiler<'a> {
+    asta: Asta,
+    alphabet: &'a Alphabet,
+    ix: Option<&'a TreeIndex>,
+}
+
+impl<'a> Compiler<'a> {
+    fn full(&self) -> LabelSet {
+        LabelSet::empty(self.alphabet.len()).complement()
+    }
+
+    /// Label guard for a node test under an axis.
+    fn test_labels(&self, axis: Axis, test: &NodeTest) -> LabelSet {
+        let n = self.alphabet.len();
+        match test {
+            NodeTest::Name(name) => {
+                let key = if axis == Axis::Attribute {
+                    format!("@{name}")
+                } else {
+                    name.clone()
+                };
+                match self.alphabet.lookup(&key) {
+                    Some(id) => LabelSet::singleton(n, id),
+                    None => LabelSet::empty(n), // label absent: never matches
+                }
+            }
+            NodeTest::Star => {
+                if axis == Axis::Attribute {
+                    self.alphabet.all_of_kind(LabelKind::Attribute)
+                } else {
+                    self.alphabet.all_of_kind(LabelKind::Element)
+                }
+            }
+            NodeTest::AnyNode => self.full(),
+            NodeTest::Text => self.alphabet.all_of_kind(LabelKind::Text),
+        }
+    }
+
+    /// Compiles `steps[i..]`; returns the searcher state to seed where the
+    /// search begins. `mark` is true on the main path, whose final step
+    /// selects; predicate paths are recognition-only.
+    ///
+    /// For `top_level = true` the returned state is seeded at the *root
+    /// element* and the first step's axis is interpreted from the document
+    /// node: `child` means "the root element itself", `descendant` means
+    /// "any node including the root".
+    fn compile_steps(
+        &mut self,
+        steps: &[Step],
+        i: usize,
+        top_level: bool,
+        mark: bool,
+    ) -> Result<StateId, CompileError> {
+        let step = &steps[i];
+        if step.axis == Axis::SelfAxis {
+            return Err(CompileError::UnsupportedSelfStep);
+        }
+        if step.axis.is_backward() {
+            return Err(CompileError::BackwardAxis);
+        }
+        let q = self.asta.fresh_state();
+        let labels = self.test_labels(step.axis, &step.test);
+        let selecting_here = mark && i + 1 == steps.len();
+
+        // Attribute and text() steps carry their content directly (they
+        // have no text children), so top-level text predicates on them
+        // become node filters on the progress transition itself.
+        let self_content = step.axis == Axis::Attribute || step.test == NodeTest::Text;
+        let mut progress_filter: Option<Vec<xwq_index::NodeId>> = None;
+
+        // Predicate formula (conjunction of all predicates).
+        let mut phi = Formula::True;
+        for p in &step.preds {
+            if self_content {
+                let content = match p {
+                    Pred::TextEq(lit) => {
+                        let ix = self.ix.ok_or(CompileError::TextPredicateNeedsIndex)?;
+                        Some(match ix.lookup_text(lit) {
+                            Some(id) => ix.text_list(id).to_vec(),
+                            None => Vec::new(),
+                        })
+                    }
+                    Pred::TextContains(lit) => {
+                        let ix = self.ix.ok_or(CompileError::TextPredicateNeedsIndex)?;
+                        Some(ix.text_nodes_containing(lit))
+                    }
+                    _ => None,
+                };
+                if let Some(nodes) = content {
+                    progress_filter = Some(match progress_filter.take() {
+                        None => nodes,
+                        Some(prev) => intersect_sorted(&prev, &nodes),
+                    });
+                    continue;
+                }
+            }
+            phi = Formula::and(phi, self.compile_pred(p)?);
+        }
+        // Continuation to the next step.
+        if i + 1 != steps.len() {
+            let cont = self.continuation(&steps[i + 1..], mark)?;
+            phi = Formula::and(phi, cont);
+        }
+        // Recursion guard: how far the searcher keeps looking. For a pure
+        // existential match (non-selecting, φ = ⊤) the search can stop at a
+        // match, so the recursion guard excludes the match labels — this is
+        // what makes them *essential* for the top-down approximation (the
+        // `q2, Σ → ↓2 q2` of Ex. 4.1 reads Σ∖{c} in Fig. 1's tda table).
+        let recursion_guard = if !selecting_here && phi == Formula::True {
+            let mut g = self.full();
+            g.subtract(&labels);
+            g
+        } else {
+            self.full()
+        };
+        // Progress transition (⇒ on the final step of the main path).
+        match progress_filter {
+            None => self.asta.add(q, labels, selecting_here, phi),
+            Some(nodes) if nodes.is_empty() => {} // provably no match here
+            Some(nodes) => {
+                let f = self.asta.add_filter(nodes);
+                self.asta.add_filtered(q, labels, selecting_here, phi, Some(f));
+            }
+        }
+
+        let search_from_doc_node = top_level;
+        let axis = step.axis;
+        let recursion = match axis {
+            Axis::Descendant => {
+                Formula::or(Formula::Down1(q), Formula::Down2(q))
+            }
+            Axis::Child | Axis::FollowingSibling | Axis::Attribute => {
+                if search_from_doc_node && axis == Axis::Child {
+                    // The document node has a single child (the root
+                    // element); there is nowhere further to walk.
+                    Formula::False
+                } else {
+                    Formula::Down2(q)
+                }
+            }
+            Axis::SelfAxis | Axis::Parent | Axis::Ancestor => unreachable!("rejected above"),
+        };
+        if recursion != Formula::False {
+            self.asta.add(q, recursion_guard, false, recursion);
+        }
+        Ok(q)
+    }
+
+    /// Formula placing the searcher for `steps` relative to a *matched*
+    /// context node. `mark` propagates main-path selection.
+    fn continuation(&mut self, steps: &[Step], mark: bool) -> Result<Formula, CompileError> {
+        let step = &steps[0];
+        match step.axis {
+            Axis::Parent | Axis::Ancestor => Err(CompileError::BackwardAxis),
+            // descendant / child / attribute start below the context node.
+            Axis::Descendant | Axis::Child | Axis::Attribute => {
+                let q = self.compile_steps(steps, 0, false, mark)?;
+                Ok(Formula::Down1(q))
+            }
+            // following-sibling continues on the context node's chain.
+            Axis::FollowingSibling => {
+                let q = self.compile_steps(steps, 0, false, mark)?;
+                Ok(Formula::Down2(q))
+            }
+            // `.` — the remaining steps apply at the context node itself.
+            Axis::SelfAxis => {
+                if step.test != NodeTest::AnyNode || !step.preds.is_empty() {
+                    return Err(CompileError::UnsupportedSelfStep);
+                }
+                if steps.len() == 1 {
+                    // A bare `.` is always true.
+                    return Ok(Formula::True);
+                }
+                self.continuation(&steps[1..], mark)
+            }
+        }
+    }
+
+    fn compile_pred(&mut self, p: &Pred) -> Result<Formula, CompileError> {
+        match p {
+            Pred::And(a, b) => Ok(Formula::and(self.compile_pred(a)?, self.compile_pred(b)?)),
+            Pred::Or(a, b) => Ok(Formula::or(self.compile_pred(a)?, self.compile_pred(b)?)),
+            Pred::Not(a) => Ok(Formula::not(self.compile_pred(a)?)),
+            Pred::Path(path) => {
+                if path.absolute {
+                    return Err(CompileError::AbsolutePredicatePath);
+                }
+                if path.steps.is_empty() {
+                    return Err(CompileError::EmptyPath);
+                }
+                self.continuation(&path.steps, false)
+            }
+            Pred::TextEq(lit) => {
+                let ix = self.ix.ok_or(CompileError::TextPredicateNeedsIndex)?;
+                let nodes = match ix.lookup_text(lit) {
+                    Some(id) => ix.text_list(id).to_vec(),
+                    None => Vec::new(),
+                };
+                Ok(self.text_filter_formula(nodes))
+            }
+            Pred::TextContains(lit) => {
+                let ix = self.ix.ok_or(CompileError::TextPredicateNeedsIndex)?;
+                Ok(self.text_filter_formula(ix.text_nodes_containing(lit)))
+            }
+        }
+    }
+
+    /// `↓1 q_t` where `q_t` walks the child chain looking for a text node
+    /// in the (sorted) filter set. An empty set compiles to ⊥.
+    fn text_filter_formula(&mut self, nodes: Vec<xwq_index::NodeId>) -> Formula {
+        if nodes.is_empty() {
+            return Formula::False;
+        }
+        let filter = self.asta.add_filter(nodes);
+        let q = self.asta.fresh_state();
+        let text_labels = self.alphabet.all_of_kind(LabelKind::Text);
+        self.asta
+            .add_filtered(q, text_labels, false, Formula::True, Some(filter));
+        // Keep walking the sibling chain past non-matching children
+        // (including other text nodes).
+        self.asta.add(q, self.full(), false, Formula::Down2(q));
+        Formula::Down1(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_xpath::parse_xpath;
+
+    fn abc() -> Alphabet {
+        let mut al = Alphabet::new();
+        for n in ["a", "b", "c"] {
+            al.intern(n);
+        }
+        al
+    }
+
+    fn compile(q: &str, al: &Alphabet) -> Asta {
+        compile_path(&parse_xpath(q).unwrap(), al).unwrap()
+    }
+
+    #[test]
+    fn example_4_1_shape() {
+        // //a//b[c] — Ex. 4.1: three states, the paper's exact transitions.
+        let al = abc();
+        let a = compile("//a//b[c]", &al);
+        assert_eq!(a.n_states, 3);
+        assert_eq!(a.top.len(), 1);
+        let q0 = a.top[0];
+        let la = al.lookup("a").unwrap();
+        let lb = al.lookup("b").unwrap();
+        let lc = al.lookup("c").unwrap();
+        // q0 on a: progress ↓1 q1 + recursion ↓1 q0 ∨ ↓2 q0.
+        let on_a: Vec<_> = a.active(q0, la).collect();
+        assert_eq!(on_a.len(), 2);
+        // q0 on c: recursion only.
+        assert_eq!(a.active(q0, lc).count(), 1);
+        // Find q1 (the b-searcher): referenced by q0's progress formula.
+        let progress = on_a
+            .iter()
+            .find(|t| !t.labels.contains(lc))
+            .expect("progress transition");
+        let q1 = match &progress.phi {
+            Formula::Down1(q) => *q,
+            other => panic!("expected ↓1 q1, got {other:?}"),
+        };
+        // q1's progress on b is selecting with φ = ↓1 q2.
+        let sel: Vec<_> = a.active(q1, lb).filter(|t| t.selecting).collect();
+        assert_eq!(sel.len(), 1);
+        let q2 = match &sel[0].phi {
+            Formula::Down1(q) => *q,
+            other => panic!("expected ↓1 q2, got {other:?}"),
+        };
+        // q2 on c: ⊤; q2 elsewhere: ↓2 q2.
+        let on_c: Vec<_> = a.active(q2, lc).collect();
+        assert!(on_c.iter().any(|t| t.phi == Formula::True));
+        let on_a2: Vec<_> = a.active(q2, la).collect();
+        assert_eq!(on_a2.len(), 1);
+        assert_eq!(on_a2[0].phi, Formula::Down2(q2));
+    }
+
+    #[test]
+    fn example_c_1_is_linear() {
+        // //x[(a1 or a2) and ... and (a2n-1 or a2n)] — ASTA stays linear.
+        let mut al = Alphabet::new();
+        al.intern("x");
+        let n = 8;
+        let mut q = String::from("//x[ ");
+        for i in 0..n {
+            let (a, b) = (format!("l{}", 2 * i), format!("l{}", 2 * i + 1));
+            al.intern(&a);
+            al.intern(&b);
+            if i > 0 {
+                q.push_str(" and ");
+            }
+            q.push_str(&format!("({a} or {b})"));
+        }
+        q.push_str(" ]");
+        let asta = compile(&q, &al);
+        // 1 searcher for x + one chain searcher per aᵢ: 2n+1 states.
+        assert_eq!(asta.n_states, 2 * n as u32 + 1);
+        // Transition count is linear too: 2 per state (progress+recursion),
+        // except the x-searcher's recursion and 2n progress/chain pairs.
+        assert!(asta.delta.len() <= 2 * (2 * n + 1));
+    }
+
+    #[test]
+    fn missing_label_compiles_to_dead_guard() {
+        let al = abc();
+        let a = compile("//zzz", &al);
+        // The progress transition is dropped (empty guard); only the
+        // recursion transition remains.
+        assert_eq!(a.delta.len(), 1);
+    }
+
+    #[test]
+    fn absolute_child_path_has_no_root_recursion() {
+        let al = abc();
+        let a = compile("/a/b", &al);
+        let q0 = a.top[0];
+        // The root searcher must not walk siblings (the document node has
+        // exactly one child): only the progress transition exists.
+        assert_eq!(a.trans_of[q0 as usize].len(), 1);
+    }
+
+    #[test]
+    fn predicate_errors() {
+        let al = abc();
+        let p = parse_xpath("//a[ /b ]").unwrap();
+        assert_eq!(
+            compile_path(&p, &al).unwrap_err(),
+            CompileError::AbsolutePredicatePath
+        );
+    }
+
+    #[test]
+    fn not_compiles_to_negation() {
+        let al = abc();
+        let a = compile("//a[ not(b) ]", &al);
+        let q0 = a.top[0];
+        let la = al.lookup("a").unwrap();
+        let has_not = a
+            .active(q0, la)
+            .any(|t| matches!(&t.phi, Formula::Not(_)) && t.selecting);
+        assert!(has_not);
+    }
+}

@@ -1,0 +1,244 @@
+//! The public engine API.
+
+use crate::compile::{compile_path_indexed, CompileError};
+use crate::eval::{EvalOptions, EvalStats, Evaluator};
+use crate::hybrid::try_hybrid;
+use crate::Asta;
+use std::fmt;
+use xwq_index::{Document, NodeId, TopologyKind, TreeIndex};
+use xwq_xpath::{parse_xpath, rewrite_forward, Path, XPathError};
+
+/// Evaluation strategies (the series of Fig. 4, plus hybrid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 4.1 verbatim ("Naive Eval.").
+    Naive,
+    /// Naive plus empty-state-set subtree pruning (Fig. 3 line (3)).
+    Pruning,
+    /// Relevant-node jumping, no memoization ("Jumping Eval.").
+    Jumping,
+    /// Memoization, no jumping ("Memo. Eval.").
+    Memoized,
+    /// Jumping + memoization + information propagation ("Opt. Eval.").
+    Optimized,
+    /// Start-anywhere evaluation (§4.4); falls back to [`Self::Optimized`]
+    /// for query shapes it does not cover.
+    Hybrid,
+}
+
+impl Strategy {
+    /// All automaton-based strategies, in Fig. 4 order.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Naive,
+        Strategy::Pruning,
+        Strategy::Jumping,
+        Strategy::Memoized,
+        Strategy::Optimized,
+        Strategy::Hybrid,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "Naive Eval.",
+            Strategy::Pruning => "Pruning Eval.",
+            Strategy::Jumping => "Jumping Eval.",
+            Strategy::Memoized => "Memo. Eval.",
+            Strategy::Optimized => "Opt. Eval.",
+            Strategy::Hybrid => "Hybrid Eval.",
+        }
+    }
+}
+
+/// Anything that can go wrong between a query string and an automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error.
+    Parse(XPathError),
+    /// The query parsed but lies outside the compilable fragment.
+    Compile(CompileError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A parsed and compiled query, reusable across runs.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The parsed path.
+    pub path: Path,
+    /// The ASTA compiled against the engine's alphabet.
+    pub asta: Asta,
+}
+
+/// The outcome of one evaluation.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Selected nodes, document order, duplicate-free.
+    pub nodes: Vec<NodeId>,
+    /// Traversal statistics.
+    pub stats: EvalStats,
+    /// True if [`Strategy::Hybrid`] was requested but the query shape made
+    /// the engine fall back to the optimized automaton run.
+    pub hybrid_fallback: bool,
+}
+
+/// The XPath engine over one indexed document.
+pub struct Engine {
+    ix: TreeIndex,
+}
+
+impl Engine {
+    /// Indexes `doc` with the default (array) topology.
+    pub fn build(doc: &Document) -> Self {
+        Self {
+            ix: TreeIndex::build(doc),
+        }
+    }
+
+    /// Indexes `doc` with an explicit topology backend.
+    pub fn build_with(doc: &Document, kind: TopologyKind) -> Self {
+        Self {
+            ix: TreeIndex::build_with(doc, kind),
+        }
+    }
+
+    /// Wraps an existing index.
+    pub fn from_index(ix: TreeIndex) -> Self {
+        Self { ix }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &TreeIndex {
+        &self.ix
+    }
+
+    /// Parses and compiles a query against this document's alphabet.
+    ///
+    /// Backward axes (`parent::`, `ancestor::`, `..`) are rewritten into
+    /// the forward fragment first (see [`rewrite_forward`]); queries whose
+    /// backward steps cannot be rewritten are rejected.
+    pub fn compile(&self, query: &str) -> Result<CompiledQuery, QueryError> {
+        let parsed = parse_xpath(query).map_err(QueryError::Parse)?;
+        let path = rewrite_forward(&parsed)
+            .ok_or(QueryError::Compile(CompileError::BackwardAxis))?;
+        let asta = compile_path_indexed(&path, &self.ix).map_err(QueryError::Compile)?;
+        Ok(CompiledQuery { path, asta })
+    }
+
+    /// Evaluates a compiled query under a strategy.
+    pub fn run(&self, q: &CompiledQuery, strategy: Strategy) -> QueryOutput {
+        let sigma = self.ix.alphabet().len();
+        let opts = match strategy {
+            Strategy::Naive => EvalOptions::naive(),
+            Strategy::Pruning => EvalOptions::pruning(),
+            Strategy::Jumping => EvalOptions::jumping(sigma),
+            Strategy::Memoized => EvalOptions::memoized(),
+            Strategy::Optimized => EvalOptions::optimized(sigma),
+            Strategy::Hybrid => {
+                if let Some((nodes, stats)) = try_hybrid(&q.path, &self.ix) {
+                    return QueryOutput {
+                        nodes,
+                        stats,
+                        hybrid_fallback: false,
+                    };
+                }
+                EvalOptions::optimized(sigma)
+            }
+        };
+        let mut ev = Evaluator::new(&q.asta, &self.ix, opts);
+        let nodes = ev.run();
+        QueryOutput {
+            nodes,
+            stats: ev.stats,
+            hybrid_fallback: strategy == Strategy::Hybrid,
+        }
+    }
+
+    /// One-shot convenience: compile and run with [`Strategy::Optimized`].
+    pub fn query(&self, query: &str) -> Result<Vec<NodeId>, QueryError> {
+        let q = self.compile(query)?;
+        Ok(self.run(&q, Strategy::Optimized).nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_xml::parse;
+
+    #[test]
+    fn end_to_end_query() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let e = Engine::build(&doc);
+        assert_eq!(e.query("//b[c]").unwrap(), vec![1]);
+        assert_eq!(e.query("//b").unwrap(), vec![1, 3]);
+        assert_eq!(e.query("/a/b/c").unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn all_strategies_agree_end_to_end() {
+        let doc = parse("<a><b><c/><b><c/></b></b><d><b/></d></a>").unwrap();
+        let e = Engine::build(&doc);
+        let q = e.compile("//b[c]").unwrap();
+        let expected = e.run(&q, Strategy::Naive).nodes;
+        for s in Strategy::ALL {
+            assert_eq!(e.run(&q, s).nodes, expected, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn hybrid_runs_without_fallback_on_spine_queries() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let e = Engine::build(&doc);
+        let q = e.compile("//a//b[c]").unwrap();
+        let out = e.run(&q, Strategy::Hybrid);
+        assert!(!out.hybrid_fallback);
+        assert_eq!(out.nodes, vec![1]);
+    }
+
+    #[test]
+    fn hybrid_falls_back_on_star() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let e = Engine::build(&doc);
+        let q = e.compile("//*").unwrap();
+        let out = e.run(&q, Strategy::Hybrid);
+        assert!(out.hybrid_fallback);
+        assert_eq!(out.nodes, vec![0, 1]);
+    }
+
+    #[test]
+    fn parse_and_compile_errors_surface() {
+        let doc = parse("<a/>").unwrap();
+        let e = Engine::build(&doc);
+        assert!(matches!(e.compile("//["), Err(QueryError::Parse(_))));
+        assert!(matches!(
+            e.compile("//a[ /b ]"),
+            Err(QueryError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_queries() {
+        let doc = parse(r#"<a><b id="1"/><b/></a>"#).unwrap();
+        let e = Engine::build(&doc);
+        assert_eq!(e.query("//b[@id]").unwrap(), vec![1]);
+        assert_eq!(e.query("//b/@id").unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn text_queries() {
+        let doc = parse("<a><b>hello</b><b/></a>").unwrap();
+        let e = Engine::build(&doc);
+        assert_eq!(e.query("//b[text()]").unwrap(), vec![1]);
+        assert_eq!(e.query("//b/text()").unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,849 @@
+//! ASTA evaluation (Algorithm 4.1) in all the paper's variants.
+//!
+//! The traversal is a bottom-up pass with top-down pre-processing: state
+//! sets `r` flow down (and left-to-right along sibling chains), result sets
+//! Γ flow up (and right-to-left). Sibling chains are iterated, children
+//! recursed, so stack depth is bounded by XML depth plus the number of
+//! nested frontier jumps (a depth guard degrades to plain stepping beyond
+//! that, preserving correctness).
+//!
+//! Strategy knobs ([`EvalOptions`]):
+//!
+//! * `pruning` — stop at empty state sets (subtree skipping, Fig. 3 line 3).
+//! * `jumping` — relevant-node jumping via [`crate::Tda`] (Def. 4.2, §4.3).
+//! * `memo` — memoize transition selection and formula evaluation (§4.4).
+//! * `info_prop` — information propagation (§4.4): once one child's result
+//!   is known, resolve what it decides and narrow the state set sent to the
+//!   other child. (The paper propagates first-child results to the second;
+//!   our chain evaluation computes sibling results first, so the mirror
+//!   direction — pruning the *first* child's set from Γ₂ — is used.)
+
+use crate::asta::{Asta, StateId};
+use crate::results::{NodeList, ResultSet};
+use crate::sets::{SetId, SetInterner};
+use crate::tda::{SkipKind, Tda, TransEval};
+use std::rc::Rc;
+use xwq_index::{FxHashMap, LabelId, NodeId, TreeIndex, NONE};
+
+/// Evaluation strategy knobs; see module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Stop at empty state sets.
+    pub pruning: bool,
+    /// Jump between (approximately) relevant nodes.
+    pub jumping: bool,
+    /// Memoize transition selection and formula evaluation.
+    pub memo: bool,
+    /// Information propagation between siblings.
+    pub info_prop: bool,
+    /// Maximum jump-set width for `dt`/`ft` frontier jumps; wider sets fall
+    /// back to stepping (the `{q0,q1,q2}` case of Fig. 1).
+    pub jump_width: usize,
+}
+
+impl EvalOptions {
+    /// Algorithm 4.1 verbatim: visit everything, pay |Q| per node.
+    pub fn naive() -> Self {
+        Self {
+            pruning: false,
+            jumping: false,
+            memo: false,
+            info_prop: false,
+            jump_width: 0,
+        }
+    }
+
+    /// Naive plus empty-set subtree pruning (Fig. 3 line (3)).
+    pub fn pruning() -> Self {
+        Self {
+            pruning: true,
+            ..Self::naive()
+        }
+    }
+
+    /// Jumping evaluation (no memoization) — Fig. 4 "Jumping Eval.".
+    pub fn jumping(alphabet: usize) -> Self {
+        Self {
+            pruning: true,
+            jumping: true,
+            jump_width: default_jump_width(alphabet),
+            ..Self::naive()
+        }
+    }
+
+    /// Memoized evaluation (no jumping) — Fig. 4 "Memo. Eval.".
+    pub fn memoized() -> Self {
+        Self {
+            pruning: true,
+            memo: true,
+            ..Self::naive()
+        }
+    }
+
+    /// Everything on — Fig. 4 "Opt. Eval.".
+    pub fn optimized(alphabet: usize) -> Self {
+        Self {
+            pruning: true,
+            jumping: true,
+            memo: true,
+            info_prop: true,
+            jump_width: default_jump_width(alphabet),
+        }
+    }
+}
+
+/// Wider jump sets than this degrade to stepping: each `dt`/`ft` probe costs
+/// O(|L| log n), so near-alphabet-wide sets are cheaper to scan.
+fn default_jump_width(alphabet: usize) -> usize {
+    (alphabet / 2).max(8)
+}
+
+/// Counters reported by every run (the raw material of Fig. 3 and Fig. 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Real nodes whose transitions were evaluated.
+    pub visited: u64,
+    /// Index jump probes (`dt`/`ft`/`lt`/`rt`).
+    pub jumps: u64,
+    /// Entries in all memo tables at the end of the run.
+    pub memo_entries: u64,
+    /// Memo hits.
+    pub memo_hits: u64,
+    /// Number of selected nodes.
+    pub selected: u64,
+}
+
+/// Recursion ceiling for nested frontier jumps; beyond it the evaluator
+/// steps instead of jumping (correct, just less skippy).
+const DEPTH_LIMIT: usize = 1500;
+
+/// One evaluation run.
+pub struct Evaluator<'a> {
+    asta: &'a Asta,
+    ix: &'a TreeIndex,
+    opts: EvalOptions,
+    tda: Tda<'a>,
+    /// Formula-evaluation memo: (set, label, dom1, dom2) → recipe.
+    recipe_memo: FxHashMap<(SetId, LabelId, SetId, SetId), Rc<Recipe>>,
+    /// Information-propagation memo: (set, label, dom2) → (active', r1').
+    residual_memo: FxHashMap<(SetId, LabelId, SetId), Rc<Residual>>,
+    carrier: Vec<bool>,
+    /// Per-state downward closures (see [`Asta::state_closures`]).
+    closures: Vec<Vec<u64>>,
+    /// Per-set split into component subsets (empty vec = single component).
+    split_memo: FxHashMap<SetId, Rc<Vec<SetId>>>,
+    /// Existential evaluation memo: is state `q` accepted at node `v`?
+    exists_memo: FxHashMap<(StateId, NodeId), bool>,
+    /// Distinct nodes visited so far (the paper's Fig. 3 counts nodes, and
+    /// independent components may touch the same node).
+    visited_seen: xwq_index::FxHashSet<NodeId>,
+    /// Statistics.
+    pub stats: EvalStats,
+    depth: usize,
+}
+
+/// A memoized information-propagation outcome: the surviving transitions
+/// and the narrowed first-child state set.
+type Residual = (Vec<u32>, SetId);
+
+/// A memoized formula-evaluation outcome: which states fire, whether they
+/// select, and which child entries their lists concatenate.
+struct Recipe {
+    rows: Vec<RecipeRow>,
+}
+
+struct RecipeRow {
+    q: StateId,
+    selecting: bool,
+    /// Node filter of the originating transition, checked at apply time
+    /// (the recipe itself is node-independent).
+    filter: Option<u32>,
+    /// `(side, state)` sources in formula order.
+    srcs: Vec<(u8, StateId)>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for one automaton over one index.
+    pub fn new(asta: &'a Asta, ix: &'a TreeIndex, opts: EvalOptions) -> Self {
+        assert_eq!(
+            asta.alphabet_size,
+            ix.alphabet().len(),
+            "automaton compiled against a different alphabet"
+        );
+        let carrier = asta.carrier_states();
+        let closures = asta.state_closures();
+        Self {
+            asta,
+            ix,
+            opts,
+            tda: Tda::new(asta),
+            recipe_memo: FxHashMap::default(),
+            residual_memo: FxHashMap::default(),
+            carrier,
+            closures,
+            split_memo: FxHashMap::default(),
+            exists_memo: FxHashMap::default(),
+            visited_seen: xwq_index::FxHashSet::default(),
+            stats: EvalStats::default(),
+            depth: 0,
+        }
+    }
+
+    /// Runs the automaton; returns the selected nodes in document order
+    /// (duplicate-free) and fills [`Self::stats`].
+    pub fn run(&mut self) -> Vec<NodeId> {
+        let top = self.tda.top_set();
+        let gamma = self.eval_entry(self.ix.root(), top);
+        let mut list = NodeList::empty();
+        for &q in self.asta.top.iter() {
+            if let Some(l) = gamma.get(q) {
+                list = list.concat(l);
+            }
+        }
+        let out = list.to_sorted_set();
+        self.stats.selected = out.len() as u64;
+        self.stats.memo_entries =
+            (self.tda.trans_memo_len() + self.recipe_memo.len() + self.residual_memo.len()) as u64;
+        out
+    }
+
+    /// Evaluates the *binary subtree* rooted at `w` under state set `r`:
+    /// the chain `w, w·2, w·2·2, …` with recursion into first children.
+    fn eval_entry(&mut self, w: NodeId, r: SetId) -> ResultSet {
+        if self.opts.jumping && w != NONE && r != SetInterner::EMPTY {
+            // Independent state-graph components evaluate separately: a
+            // recognition-only (predicate) component can then short-circuit
+            // after its first witness instead of riding along with the
+            // selecting main path (§4.4).
+            let comps = self.split(r);
+            if comps.len() > 1 {
+                let mut out = ResultSet::empty();
+                for c in comps.iter() {
+                    out = out.union(&self.eval_component(w, *c));
+                }
+                return out;
+            }
+            let only = comps.first().copied().unwrap_or(r);
+            if self.is_existential(only) {
+                return self.exists_set(w, only);
+            }
+        }
+        self.eval_chain(w, r)
+    }
+
+    /// Per-component evaluation: recognition-only components go through the
+    /// short-circuiting existential evaluator.
+    fn eval_component(&mut self, w: NodeId, c: SetId) -> ResultSet {
+        if self.is_existential(c) {
+            self.exists_set(w, c)
+        } else {
+            self.eval_chain(w, c)
+        }
+    }
+
+    /// True if no state of the set can carry selected nodes.
+    fn is_existential(&self, set: SetId) -> bool {
+        self.tda
+            .sets
+            .get(set)
+            .iter()
+            .all(|&q| !self.carrier[q as usize])
+    }
+
+    /// Splits `set` into groups whose state closures are pairwise disjoint
+    /// (cached). Disjoint closures share no sub-computation, so the groups
+    /// evaluate independently and exactly.
+    fn split(&mut self, set: SetId) -> Rc<Vec<SetId>> {
+        if let Some(v) = self.split_memo.get(&set) {
+            return v.clone();
+        }
+        let states = self.tda.sets.get(set).to_vec();
+        // Greedy closure-overlap grouping; |set| is query-sized.
+        let mut groups: Vec<(Vec<u64>, Vec<StateId>)> = Vec::new();
+        for q in states {
+            let qc = &self.closures[q as usize];
+            let mut target: Option<usize> = None;
+            let mut gi = 0;
+            while gi < groups.len() {
+                let overlaps = groups[gi].0.iter().zip(qc).any(|(a, b)| a & b != 0);
+                if overlaps {
+                    match target {
+                        None => {
+                            target = Some(gi);
+                            gi += 1;
+                        }
+                        Some(t) => {
+                            // q bridges two groups: merge them.
+                            let (clo, members) = groups.remove(gi);
+                            for (a, b) in groups[t].0.iter_mut().zip(&clo) {
+                                *a |= b;
+                            }
+                            groups[t].1.extend(members);
+                        }
+                    }
+                } else {
+                    gi += 1;
+                }
+            }
+            match target {
+                Some(t) => {
+                    for (a, b) in groups[t].0.iter_mut().zip(qc) {
+                        *a |= b;
+                    }
+                    groups[t].1.push(q);
+                }
+                None => groups.push((qc.clone(), vec![q])),
+            }
+        }
+        let ids: Vec<SetId> = groups
+            .into_iter()
+            .map(|(_, g)| self.tda.sets.intern(g))
+            .collect();
+        let out = Rc::new(ids);
+        self.split_memo.insert(set, out.clone());
+        out
+    }
+
+    /// Accepted states of an existential (recognition-only) set at `w`,
+    /// with per-witness short-circuiting and memoization.
+    fn exists_set(&mut self, w: NodeId, set: SetId) -> ResultSet {
+        let mut out = ResultSet::empty();
+        for q in self.tda.sets.get(set).to_vec() {
+            if self.exists(q, w, 0) {
+                out.add(q, crate::results::NodeList::empty());
+            }
+        }
+        out
+    }
+
+    /// Is `q` accepted at binary node `v`? Exact (handles ¬), memoized,
+    /// short-circuiting. Deep recursions fall back to the chain evaluator.
+    fn exists(&mut self, q: StateId, v: NodeId, depth: usize) -> bool {
+        if v == NONE {
+            return false;
+        }
+        if let Some(&b) = self.exists_memo.get(&(q, v)) {
+            return b;
+        }
+        if depth > 800 {
+            // Fall back to the iterative evaluator for pathological chains.
+            let set = self.tda.sets.intern(vec![q]);
+            let g = self.eval_chain(v, set);
+            let b = g.contains(q);
+            self.exists_memo.insert((q, v), b);
+            return b;
+        }
+        // Jump like the main evaluator: a state that merely loops at this
+        // label moves straight to the next essential node via the index.
+        let singleton = self.tda.sets.intern(vec![q]);
+        let info = self.tda.skip_info(singleton);
+        let label = self.ix.label(v);
+        if !info.jump.contains(label) {
+            let b = match info.kind {
+                SkipKind::Both if info.jump.len() <= self.opts.jump_width.max(1) => {
+                    let jump = info.jump.clone();
+                    self.stats.jumps += 1;
+                    let mut f = self.ix.jump_desc_bin(v, &jump);
+                    let mut found = false;
+                    while f != NONE {
+                        if self.exists(q, f, depth + 1) {
+                            found = true;
+                            break;
+                        }
+                        self.stats.jumps += 1;
+                        f = self.ix.jump_following_bin(f, &jump, v);
+                    }
+                    found
+                }
+                SkipKind::Right => {
+                    self.stats.jumps += 1;
+                    let t = self.ix.jump_rightmost(v, &info.jump.clone());
+                    t != NONE && self.exists(q, t, depth + 1)
+                }
+                SkipKind::Left => {
+                    self.stats.jumps += 1;
+                    let t = self.ix.jump_leftmost(v, &info.jump.clone());
+                    t != NONE && self.exists(q, t, depth + 1)
+                }
+                _ => return self.exists_structural(q, v, depth),
+            };
+            self.exists_memo.insert((q, v), b);
+            return b;
+        }
+        self.exists_structural(q, v, depth)
+    }
+
+    fn exists_structural(&mut self, q: StateId, v: NodeId, depth: usize) -> bool {
+        self.mark_visited(v);
+        let label = self.ix.label(v);
+        let trans: Vec<u32> = self.asta.trans_of[q as usize]
+            .iter()
+            .copied()
+            .filter(|&ti| {
+                let t = &self.asta.delta[ti as usize];
+                t.labels.contains(label) && t.filter_admits(&self.asta.filters, v)
+            })
+            .collect();
+        let mut b = false;
+        for ti in trans {
+            let phi = self.asta.delta[ti as usize].phi.clone();
+            if self.exists_formula(&phi, v, depth) {
+                b = true;
+                break;
+            }
+        }
+        self.exists_memo.insert((q, v), b);
+        b
+    }
+
+    fn exists_formula(&mut self, phi: &crate::asta::Formula, v: NodeId, depth: usize) -> bool {
+        use crate::asta::Formula as F;
+        match phi {
+            F::True => true,
+            F::False => false,
+            F::Not(a) => !self.exists_formula(a, v, depth),
+            F::Or(a, b) => self.exists_formula(a, v, depth) || self.exists_formula(b, v, depth),
+            F::And(a, b) => self.exists_formula(a, v, depth) && self.exists_formula(b, v, depth),
+            F::Down1(q) => {
+                let fc = self.ix.first_child(v);
+                self.exists(*q, fc, depth + 1)
+            }
+            F::Down2(q) => {
+                let ns = self.ix.next_sibling(v);
+                self.exists(*q, ns, depth + 1)
+            }
+        }
+    }
+
+    /// Evaluates the chain `w, w·2, w·2·2, …` with recursion into first
+    /// children (the body of Algorithm 4.1).
+    fn eval_chain(&mut self, w: NodeId, r: SetId) -> ResultSet {
+        let mut cur = w;
+        let mut rcur = r;
+        // Phase 1: walk the chain left-to-right collecting work items.
+        // `extra` joins the fold after (to the right of) its item — produced
+        // by frontier jumps whose members sit in skipped subtrees rather
+        // than on this chain.
+        struct Item {
+            node: NodeId,
+            rset: SetId,
+            trans: Rc<TransEval>,
+            extra: Option<ResultSet>,
+        }
+        let mut items: Vec<Item> = Vec::new();
+        let mut tail = ResultSet::empty();
+        loop {
+            if cur == NONE {
+                break;
+            }
+            if rcur == SetInterner::EMPTY && self.opts.pruning {
+                break;
+            }
+            if self.opts.jumping && rcur != SetInterner::EMPTY && self.depth < DEPTH_LIMIT {
+                let info = self.tda.skip_info(rcur);
+                let at_jump_label = info.jump.contains(self.ix.label(cur));
+                match info.kind {
+                    SkipKind::Right if !at_jump_label => {
+                        // Inline spine skip along the sibling chain.
+                        self.stats.jumps += 1;
+                        let jump = info.jump.clone();
+                        cur = self.ix.jump_rightmost(cur, &jump);
+                        continue;
+                    }
+                    SkipKind::Left if !at_jump_label => {
+                        // Spine skip down the first-child chain; the rest of
+                        // this chain is ignored by construction (no ↓2).
+                        self.stats.jumps += 1;
+                        let jump = info.jump.clone();
+                        let target = self.ix.jump_leftmost(cur, &jump);
+                        tail = self.recurse(target, rcur);
+                        break;
+                    }
+                    SkipKind::Both
+                        if !at_jump_label && info.jump.len() <= self.opts.jump_width =>
+                    {
+                        // Frontier jump over cur's whole binary subtree
+                        // (which includes the rest of this chain).
+                        let jump = info.jump.clone();
+                        self.stats.jumps += 1;
+                        let mut f = self.ix.jump_desc_bin(cur, &jump);
+                        let mut acc = ResultSet::empty();
+                        let mut inline: Option<NodeId> = None;
+                        while f != NONE {
+                            // A frontier node that is a sibling on this very
+                            // chain is continued inline (keeps recursion
+                            // flat on long alternating chains).
+                            if self.ix.parent(f) == self.ix.parent(cur) {
+                                inline = Some(f);
+                                break;
+                            }
+                            acc = acc.union(&self.recurse(f, rcur));
+                            // Existential cut (§4.4): when every state the
+                            // region tracks is recognition-only (non-carrier)
+                            // and already accepted, later frontier members
+                            // can add neither truth nor selected nodes — one
+                            // witness suffices.
+                            let settled = self
+                                .tda
+                                .sets
+                                .get(rcur)
+                                .iter()
+                                .all(|&q| !self.carrier[q as usize] && acc.contains(q));
+                            if settled {
+                                break;
+                            }
+                            self.stats.jumps += 1;
+                            f = self.ix.jump_following_bin(f, &jump, cur);
+                        }
+                        if !acc.is_empty() {
+                            // Deep members' states propagate up through the
+                            // skipped loops into the ↓2 view of the last
+                            // collected item (or of the whole entry).
+                            match items.last_mut() {
+                                Some(it) => {
+                                    it.extra = Some(match it.extra.take() {
+                                        Some(e) => e.union(&acc),
+                                        None => acc,
+                                    })
+                                }
+                                None => tail = tail.union(&acc),
+                            }
+                        }
+                        match inline {
+                            Some(f) => {
+                                cur = f;
+                                continue;
+                            }
+                            None => break,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let t = if self.opts.memo {
+                self.tda
+                    .trans(rcur, self.ix.label(cur), &mut self.stats.memo_hits)
+            } else {
+                Rc::new(self.tda.compute_trans(rcur, self.ix.label(cur)))
+            };
+            self.mark_visited(cur);
+            items.push(Item {
+                node: cur,
+                rset: rcur,
+                trans: t.clone(),
+                extra: None,
+            });
+            rcur = t.r2;
+            cur = self.ix.next_sibling(cur);
+        }
+        // Phase 2: fold right-to-left.
+        let mut g2 = tail;
+        for it in items.into_iter().rev() {
+            if let Some(extra) = it.extra {
+                g2 = g2.union(&extra);
+            }
+            let label = self.ix.label(it.node);
+            let (active, r1) = if self.opts.info_prop {
+                let dom2 = self.intern_domain(&g2);
+                let res = self.residual(it.rset, label, &it.trans, dom2);
+                (res.0.clone(), res.1)
+            } else {
+                (it.trans.active.clone(), it.trans.r1)
+            };
+            let g1 = self.recurse_child(it.node, r1);
+            g2 = self.apply_trans(it.rset, label, &active, &g1, &g2, it.node);
+        }
+        g2
+    }
+
+    /// Counts distinct visited nodes.
+    fn mark_visited(&mut self, v: NodeId) {
+        if self.visited_seen.insert(v) {
+            self.stats.visited += 1;
+        }
+    }
+
+    fn recurse_child(&mut self, u: NodeId, r1: SetId) -> ResultSet {
+        let fc = self.ix.first_child(u);
+        self.recurse(fc, r1)
+    }
+
+    fn recurse(&mut self, w: NodeId, r: SetId) -> ResultSet {
+        if w == NONE {
+            return ResultSet::empty();
+        }
+        self.depth += 1;
+        let g = self.eval_entry(w, r);
+        self.depth -= 1;
+        g
+    }
+
+    fn intern_domain(&mut self, g: &ResultSet) -> SetId {
+        if g.is_empty() {
+            return SetInterner::EMPTY;
+        }
+        let dom: Vec<StateId> = g.domain().collect();
+        self.tda.sets.intern_sorted(dom)
+    }
+
+    /// Information propagation: given Γ₂'s domain, drop transitions that are
+    /// already false and prune non-carrier `↓1` atoms of transitions that
+    /// are already true (§4.4, mirrored — see module docs).
+    fn residual(
+        &mut self,
+        set: SetId,
+        label: LabelId,
+        t: &TransEval,
+        dom2: SetId,
+    ) -> Rc<Residual> {
+        if let Some(r) = self.residual_memo.get(&(set, label, dom2)) {
+            self.stats.memo_hits += 1;
+            return r.clone();
+        }
+        let dom2_states: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
+        let mut active = Vec::new();
+        let mut r1: Vec<StateId> = Vec::new();
+        for &ti in &t.active {
+            let tr = &self.asta.delta[ti as usize];
+            match tr.phi.val3_given2(&dom2_states) {
+                Some(false) => continue, // can never fire here
+                Some(true) => {
+                    active.push(ti);
+                    // Truth settled: only carrier lists still matter.
+                    let mut d1 = Vec::new();
+                    let mut d2 = Vec::new();
+                    tr.phi.collect_down(&mut d1, &mut d2);
+                    r1.extend(d1.into_iter().filter(|&q| self.carrier[q as usize]));
+                }
+                None => {
+                    active.push(ti);
+                    let mut d1 = Vec::new();
+                    let mut d2 = Vec::new();
+                    tr.phi.collect_down(&mut d1, &mut d2);
+                    r1.extend(d1);
+                }
+            }
+        }
+        let r1 = self.tda.sets.intern(r1);
+        let out = Rc::new((active, r1));
+        self.residual_memo.insert((set, label, dom2), out.clone());
+        out
+    }
+
+    /// `eval_trans` (Def. C.3): evaluate the active transitions under
+    /// (Γ₁, Γ₂) and assemble the node's result set.
+    fn apply_trans(
+        &mut self,
+        set: SetId,
+        label: LabelId,
+        active: &[u32],
+        g1: &ResultSet,
+        g2: &ResultSet,
+        node: NodeId,
+    ) -> ResultSet {
+        if active.is_empty() {
+            return ResultSet::empty();
+        }
+        if !self.opts.memo {
+            let mut out = ResultSet::empty();
+            for &ti in active {
+                let t = &self.asta.delta[ti as usize];
+                if !t.filter_admits(&self.asta.filters, node) {
+                    continue;
+                }
+                let (b, list) = t.phi.eval(g1, g2);
+                if b {
+                    let list = if t.selecting {
+                        NodeList::leaf(node).concat(&list)
+                    } else {
+                        list
+                    };
+                    out.add(t.q, list);
+                }
+            }
+            return out;
+        }
+        // Memoized: look up (or build) the recipe keyed by the domains.
+        let dom1 = self.intern_domain(g1);
+        let dom2 = self.intern_domain(g2);
+        let key = (set, label, dom1, dom2);
+        let recipe = if let Some(r) = self.recipe_memo.get(&key) {
+            self.stats.memo_hits += 1;
+            r.clone()
+        } else {
+            let d1: Vec<StateId> = self.tda.sets.get(dom1).to_vec();
+            let d2: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
+            let mut rows = Vec::new();
+            for &ti in active {
+                let t = &self.asta.delta[ti as usize];
+                let mut srcs = Vec::new();
+                if t.phi.contributing_atoms(&d1, &d2, &mut srcs) {
+                    rows.push(RecipeRow {
+                        q: t.q,
+                        selecting: t.selecting,
+                        filter: t.filter,
+                        srcs,
+                    });
+                }
+            }
+            let r = Rc::new(Recipe { rows });
+            self.recipe_memo.insert(key, r.clone());
+            r
+        };
+        let mut out = ResultSet::empty();
+        for row in &recipe.rows {
+            if let Some(f) = row.filter {
+                if self.asta.filters[f as usize].binary_search(&node).is_err() {
+                    continue;
+                }
+            }
+            let mut list = if row.selecting {
+                NodeList::leaf(node)
+            } else {
+                NodeList::empty()
+            };
+            for &(side, q) in &row.srcs {
+                let g = if side == 1 { g1 } else { g2 };
+                if let Some(l) = g.get(q) {
+                    list = list.concat(l);
+                }
+            }
+            out.add(row.q, list);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_path;
+    use xwq_xml::parse_seeded;
+    use xwq_xpath::parse_xpath;
+
+    fn run(query: &str, xml: &str, opts_of: fn(usize) -> EvalOptions) -> (Vec<NodeId>, EvalStats) {
+        let doc = parse_seeded(xml, &["a", "b", "c", "d"]).unwrap();
+        let ix = TreeIndex::build(&doc);
+        let asta = compile_path(&parse_xpath(query).unwrap(), ix.alphabet()).unwrap();
+        let mut ev = Evaluator::new(&asta, &ix, opts_of(ix.alphabet().len()));
+        let out = ev.run();
+        (out, ev.stats)
+    }
+
+    const STRATS: [fn(usize) -> EvalOptions; 5] = [
+        |_| EvalOptions::naive(),
+        |_| EvalOptions::pruning(),
+        EvalOptions::jumping,
+        |_| EvalOptions::memoized(),
+        EvalOptions::optimized,
+    ];
+
+    fn all_agree(query: &str, xml: &str, expected: &[NodeId]) {
+        for (i, s) in STRATS.iter().enumerate() {
+            let (out, _) = run(query, xml, *s);
+            assert_eq!(out, expected, "strategy #{i} on {query} over {xml}");
+        }
+    }
+
+    #[test]
+    fn descendant_chain() {
+        // <a>(0) <b>(1) <b/>(2) </b> <c>(3) <b/>(4) </c> </a>
+        all_agree("//a//b", "<a><b><b/></b><c><b/></c></a>", &[1, 2, 4]);
+        all_agree("//b//b", "<a><b><b/></b><c><b/></c></a>", &[2]);
+        all_agree("//c//b", "<a><b><b/></b><c><b/></c></a>", &[4]);
+    }
+
+    #[test]
+    fn root_matching() {
+        all_agree("//a", "<a><a/></a>", &[0, 1]);
+        all_agree("/a", "<a><a/></a>", &[0]);
+        all_agree("/b", "<a><a/></a>", &[]);
+        all_agree("/a/a", "<a><a/></a>", &[1]);
+    }
+
+    #[test]
+    fn child_steps() {
+        // <a>(0) <b/>(1) <c>(2) <b/>(3) </c> <b/>(4) </a>
+        all_agree("/a/b", "<a><b/><c><b/></c><b/></a>", &[1, 4]);
+        all_agree("/a/c/b", "<a><b/><c><b/></c><b/></a>", &[3]);
+        all_agree("/a/b/c", "<a><b/><c><b/></c><b/></a>", &[]);
+    }
+
+    #[test]
+    fn predicates() {
+        // <a>(0) <b>(1) <c/>(2) </b> <b/>(3) </a>
+        all_agree("//b[c]", "<a><b><c/></b><b/></a>", &[1]);
+        all_agree("//b[not(c)]", "<a><b><c/></b><b/></a>", &[3]);
+        all_agree("//a[b and c]", "<a><b><c/></b><b/></a>", &[]);
+        all_agree("//a[b or c]", "<a><b><c/></b><b/></a>", &[0]);
+        all_agree("//b[.//c]", "<a><b><d><c/></d></b><b/></a>", &[1]);
+    }
+
+    #[test]
+    fn example_4_1_full() {
+        // //a//b[c]: b must be a descendant of an a and have a c child.
+        let xml = "<a><b><c/></b><b><d/></b><d><b><c/></b></d></a>";
+        // nodes: a0 b1 c2 b3 d4 d5 b6 c7
+        all_agree("//a//b[c]", xml, &[1, 6]);
+    }
+
+    #[test]
+    fn following_sibling() {
+        // <a>(0) <b/>(1) <c/>(2) <b/>(3) </a>
+        all_agree("/a/c/following-sibling::b", "<a><b/><c/><b/></a>", &[3]);
+        all_agree("/a/b/following-sibling::c", "<a><b/><c/><b/></a>", &[2]);
+    }
+
+    #[test]
+    fn wildcard_and_nested() {
+        // <a>(0) <b>(1) <d/>(2) </b> <c>(3) <d/>(4) </c> </a>
+        all_agree("/a/*/d", "<a><b><d/></b><c><d/></c></a>", &[2, 4]);
+        all_agree("//*[d]", "<a><b><d/></b><c><d/></c></a>", &[1, 3]);
+    }
+
+    #[test]
+    fn empty_results_and_acceptance() {
+        all_agree("//d", "<a><b/></a>", &[]);
+        all_agree("//a[b]//c", "<a><d/></a>", &[]);
+    }
+
+    #[test]
+    fn jumping_visits_fewer_nodes() {
+        // A wide flat document: jumping should skip the c-subtrees entirely.
+        let mut xml = String::from("<a>");
+        for _ in 0..50 {
+            xml.push_str("<c><c/><c/></c>");
+        }
+        xml.push_str("<b/></a>");
+        let (out_p, stats_p) = run("//a//b", &xml, |_| EvalOptions::pruning());
+        let (out_j, stats_j) = run("//a//b", &xml, EvalOptions::jumping);
+        assert_eq!(out_p, out_j);
+        assert!(
+            stats_j.visited * 10 < stats_p.visited,
+            "jumping visited {} vs pruning {}",
+            stats_j.visited,
+            stats_p.visited
+        );
+    }
+
+    #[test]
+    fn memo_amortizes() {
+        let mut xml = String::from("<a>");
+        for _ in 0..100 {
+            xml.push_str("<b><c/></b>");
+        }
+        xml.push_str("</a>");
+        let (_, stats) = run("//a//b[c]", &xml, |_| EvalOptions::memoized());
+        assert!(stats.memo_hits > 100, "hits {}", stats.memo_hits);
+        assert!(stats.memo_entries < 40, "entries {}", stats.memo_entries);
+    }
+
+    #[test]
+    fn naive_visits_everything() {
+        let xml = "<a><b><c/></b><d/></a>";
+        let (_, stats) = run("/a", xml, |_| EvalOptions::naive());
+        assert_eq!(stats.visited, 4);
+        let (_, stats) = run("/a", xml, |_| EvalOptions::pruning());
+        assert!(stats.visited < 4);
+    }
+}

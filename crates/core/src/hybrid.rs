@@ -1,0 +1,312 @@
+//! Hybrid (start-anywhere) evaluation (§4.4, Fig. 5).
+//!
+//! For spine queries `/…/l₁/…//l₂//…/lₖ` the engine may start at the spine
+//! label with the *lowest global count* (O(1) from the index), check the
+//! upward context with parent moves, and evaluate the remaining downward
+//! steps inside each candidate's subtree. The paper's index lacks upward
+//! label jumps, so the upward part uses plain parent steps — same here.
+//!
+//! Applicability: every main-path step uses the `child` or `descendant`
+//! axis (plus `attribute`, which behaves like `child` over `@`-labels) and
+//! a named or `*` node test, with at least one named step to pivot on.
+//! Otherwise the engine falls back to the optimized automaton run
+//! (reported via [`crate::QueryOutput::hybrid_fallback`]).
+
+use crate::eval::EvalStats;
+use xwq_index::{LabelId, NodeId, TreeIndex, NONE};
+use xwq_xpath::{Axis, NodeTest, Path, Pred, Step};
+
+/// One resolved spine step: `label = None` is a `*` wildcard.
+type SpineStep<'p> = (Axis, Option<LabelId>, &'p [Pred]);
+
+/// Attempts hybrid evaluation; `None` if the query shape is unsupported.
+pub fn try_hybrid(path: &Path, ix: &TreeIndex) -> Option<(Vec<NodeId>, EvalStats)> {
+    let mut spine: Vec<SpineStep> = Vec::new();
+    for step in &path.steps {
+        let axis = step.axis;
+        if !matches!(axis, Axis::Child | Axis::Descendant | Axis::Attribute) {
+            return None;
+        }
+        let label = match &step.test {
+            NodeTest::Name(n) => {
+                let name = if axis == Axis::Attribute {
+                    format!("@{n}")
+                } else {
+                    n.clone()
+                };
+                match ix.alphabet().lookup(&name) {
+                    Some(l) => Some(l),
+                    // Label absent from the document: no match possible.
+                    None => return Some((Vec::new(), EvalStats::default())),
+                }
+            }
+            NodeTest::Star => None,
+            _ => return None,
+        };
+        spine.push((axis, label, &step.preds));
+    }
+    if spine.is_empty() {
+        return None;
+    }
+    // Pivot = named spine label with the lowest global count.
+    let pivot = (0..spine.len())
+        .filter(|&i| spine[i].1.is_some())
+        .min_by_key(|&i| ix.label_count(spine[i].1.unwrap()))?;
+
+    let mut stats = EvalStats::default();
+    let mut h = Hybrid { ix, stats: &mut stats };
+    let mut out: Vec<NodeId> = Vec::new();
+    let candidates = ix
+        .label_list(spine[pivot].1.expect("pivot is named"))
+        .to_vec();
+    for v in candidates {
+        h.stats.visited += 1;
+        // Pivot's own predicates.
+        if !spine[pivot].2.iter().all(|p| h.pred_holds(p, v)) {
+            continue;
+        }
+        // Upward context: steps[..pivot] along the ancestor path.
+        if !h.match_up(&spine[..pivot], v, spine[pivot].0) {
+            continue;
+        }
+        // Downward: remaining steps below v.
+        h.collect_down(&spine[pivot + 1..], v, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    stats.selected = out.len() as u64;
+    Some((out, stats))
+}
+
+struct Hybrid<'a> {
+    ix: &'a TreeIndex,
+    stats: &'a mut EvalStats,
+}
+
+impl<'a> Hybrid<'a> {
+    /// Does the prefix `steps` match above `v`, where `v` was matched by a
+    /// step with axis `v_axis` (constraining how far its matched parent may
+    /// sit)? The virtual document node anchors the start: the first step's
+    /// `child` axis forces the root element, `descendant` allows any depth.
+    fn match_up(&mut self, steps: &[SpineStep], v: NodeId, v_axis: Axis) -> bool {
+        // The node matched by the last prefix step must be:
+        // * the parent of `v` for child/attribute,
+        // * a proper ancestor for descendant.
+        match steps.last() {
+            None => {
+                // `v` was matched by the first query step, anchored at the
+                // document node.
+                match v_axis {
+                    Axis::Child | Axis::Attribute => v == self.ix.root(),
+                    Axis::Descendant => true,
+                    _ => unreachable!(),
+                }
+            }
+            Some(&(axis, label, preds)) => {
+                let prefix = &steps[..steps.len() - 1];
+                match v_axis {
+                    Axis::Child | Axis::Attribute => {
+                        let p = self.ix.parent(v);
+                        if p == NONE {
+                            return false;
+                        }
+                        self.stats.visited += 1;
+                        self.spine_label_matches(label, p)
+                            && preds.iter().all(|pr| self.pred_holds(pr, p))
+                            && self.match_up(prefix, p, axis)
+                    }
+                    Axis::Descendant => {
+                        let mut p = self.ix.parent(v);
+                        while p != NONE {
+                            self.stats.visited += 1;
+                            if self.spine_label_matches(label, p)
+                                && preds.iter().all(|pr| self.pred_holds(pr, p))
+                                && self.match_up(prefix, p, axis)
+                            {
+                                return true;
+                            }
+                            p = self.ix.parent(p);
+                        }
+                        false
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// True if a spine label constraint matches node `u` (None = any
+    /// element, the `*` test).
+    fn spine_label_matches(&self, label: Option<LabelId>, u: NodeId) -> bool {
+        match label {
+            Some(l) => self.ix.label(u) == l,
+            None => self.ix.kind(u) == xwq_xml::LabelKind::Element,
+        }
+    }
+
+    /// Collects all matches of `steps` below `v` into `out`.
+    fn collect_down(&mut self, steps: &[SpineStep], v: NodeId, out: &mut Vec<NodeId>) {
+        match steps.first() {
+            None => out.push(v),
+            Some(&(axis, label, preds)) => {
+                let rest = &steps[1..];
+                match (axis, label) {
+                    (Axis::Descendant, Some(l)) => {
+                        // Label-list range scan over v's subtree.
+                        let list = self.ix.label_list(l);
+                        let end = self.ix.subtree_end(v);
+                        let from = list.partition_point(|&u| u <= v);
+                        for &u in &list[from..] {
+                            if u >= end {
+                                break;
+                            }
+                            self.stats.visited += 1;
+                            if preds.iter().all(|p| self.pred_holds(p, u)) {
+                                self.collect_down(rest, u, out);
+                            }
+                        }
+                    }
+                    (Axis::Descendant, None) => {
+                        let end = self.ix.subtree_end(v);
+                        for u in v + 1..end {
+                            self.stats.visited += 1;
+                            if self.spine_label_matches(None, u)
+                                && preds.iter().all(|p| self.pred_holds(p, u))
+                            {
+                                self.collect_down(rest, u, out);
+                            }
+                        }
+                    }
+                    (Axis::Child | Axis::Attribute, _) => {
+                        let mut c = self.ix.first_child(v);
+                        while c != NONE {
+                            self.stats.visited += 1;
+                            if self.spine_label_matches(label, c)
+                                && preds.iter().all(|p| self.pred_holds(p, c))
+                            {
+                                self.collect_down(rest, c, out);
+                            }
+                            c = self.ix.next_sibling(c);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Structural predicate check at `u` (existential semantics).
+    fn pred_holds(&mut self, p: &Pred, u: NodeId) -> bool {
+        match p {
+            Pred::And(a, b) => self.pred_holds(a, u) && self.pred_holds(b, u),
+            Pred::Or(a, b) => self.pred_holds(a, u) || self.pred_holds(b, u),
+            Pred::Not(a) => !self.pred_holds(a, u),
+            Pred::TextEq(lit) => self.text_child(u, |t| t == lit),
+            Pred::TextContains(lit) => self.text_child(u, |t| t.contains(lit.as_str())),
+            Pred::Path(path) => !path.absolute && self.path_exists(&path.steps, u),
+        }
+    }
+
+    /// Does a relative path match starting at context `u`?
+    fn path_exists(&mut self, steps: &[Step], u: NodeId) -> bool {
+        let step = match steps.first() {
+            None => return true,
+            Some(s) => s,
+        };
+        let rest = &steps[1..];
+        match step.axis {
+            Axis::SelfAxis => {
+                self.test_matches(&step.test, u, Axis::SelfAxis)
+                    && step.preds.iter().all(|p| self.pred_holds(p, u))
+                    && self.path_exists(rest, u)
+            }
+            Axis::Child | Axis::Attribute => {
+                let mut c = self.ix.first_child(u);
+                while c != NONE {
+                    self.stats.visited += 1;
+                    if self.test_matches(&step.test, c, step.axis)
+                        && step.preds.iter().all(|p| self.pred_holds(p, c))
+                        && self.path_exists(rest, c)
+                    {
+                        return true;
+                    }
+                    c = self.ix.next_sibling(c);
+                }
+                false
+            }
+            Axis::Descendant => {
+                let end = self.ix.subtree_end(u);
+                for d in u + 1..end {
+                    self.stats.visited += 1;
+                    if self.test_matches(&step.test, d, Axis::Descendant)
+                        && step.preds.iter().all(|p| self.pred_holds(p, d))
+                        && self.path_exists(rest, d)
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+            Axis::FollowingSibling => {
+                let mut s = self.ix.next_sibling(u);
+                while s != NONE {
+                    self.stats.visited += 1;
+                    if self.test_matches(&step.test, s, step.axis)
+                        && step.preds.iter().all(|p| self.pred_holds(p, s))
+                        && self.path_exists(rest, s)
+                    {
+                        return true;
+                    }
+                    s = self.ix.next_sibling(s);
+                }
+                false
+            }
+            // The engine rewrites backward axes away before evaluation;
+            // an un-rewritable query never reaches the hybrid evaluator.
+            Axis::Parent | Axis::Ancestor => false,
+        }
+    }
+
+    /// Text-predicate semantics shared with the compiler: self-content
+    /// nodes are checked directly, elements against their text children.
+    fn text_child(&mut self, u: NodeId, f: impl Fn(&str) -> bool) -> bool {
+        if let Some(t) = self.ix.text_of(u) {
+            return f(t);
+        }
+        let mut c = self.ix.first_child(u);
+        while c != NONE {
+            self.stats.visited += 1;
+            if let Some(t) = self.ix.text_of(c) {
+                if f(t) {
+                    return true;
+                }
+            }
+            c = self.ix.next_sibling(c);
+        }
+        false
+    }
+
+    fn test_matches(&self, test: &NodeTest, u: NodeId, axis: Axis) -> bool {
+        let al = self.ix.alphabet();
+        let l = self.ix.label(u);
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => al.kind(l) == xwq_xml::LabelKind::Text,
+            NodeTest::Star => {
+                if axis == Axis::Attribute {
+                    al.kind(l) == xwq_xml::LabelKind::Attribute
+                } else {
+                    al.kind(l) == xwq_xml::LabelKind::Element
+                }
+            }
+            NodeTest::Name(n) => {
+                let key = if axis == Axis::Attribute {
+                    format!("@{n}")
+                } else {
+                    n.clone()
+                };
+                al.lookup(&key) == Some(l)
+            }
+        }
+    }
+}

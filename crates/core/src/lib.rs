@@ -1,0 +1,35 @@
+//! The whole-query-optimizing XPath engine (§4 of the paper).
+//!
+//! Pipeline: an XPath query (parsed by [`xwq_xpath`]) is compiled against a
+//! document's label alphabet into an *alternating selecting tree automaton*
+//! ([`Asta`]), which is then evaluated over a [`xwq_index::TreeIndex`] in one
+//! bottom-up pass with top-down pre-processing (Algorithm 4.1), optionally:
+//!
+//! * **pruning** empty state-set subtrees (the implicit skip of §5's Fig. 3
+//!   line (3)),
+//! * **jumping** directly between (approximately) relevant nodes using the
+//!   on-the-fly top-down approximation of Def. 4.2 and the index's `dt`/`ft`/
+//!   `lt`/`rt` primitives,
+//! * **memoizing** transition selection and formula evaluation (§4.4),
+//! * **propagating information** between sibling evaluations so predicate
+//!   states are only verified once (§4.4),
+//! * or running the **hybrid** start-anywhere strategy (§4.4, Fig. 5).
+//!
+//! Entry point: [`Engine`].
+
+mod asta;
+mod compile;
+mod engine;
+mod eval;
+mod hybrid;
+mod results;
+mod sets;
+mod tda;
+
+pub use asta::{Asta, AstaTransition, Formula, StateId};
+pub use compile::{compile_path, compile_path_indexed, CompileError};
+pub use engine::{CompiledQuery, Engine, QueryError, QueryOutput, Strategy};
+pub use eval::{EvalOptions, EvalStats};
+pub use results::{NodeList, ResultSet};
+pub use sets::SetInterner;
+pub use tda::{SkipKind, Tda};

@@ -1,0 +1,257 @@
+//! Result sets Γ (Def. C.2): mappings from states to selected-node lists.
+//!
+//! §4.4 "Result Sets": nodes are traversed in document order and each node is
+//! inserted at most once per state, so lists with O(1) concatenation suffice.
+//! [`NodeList`] is an immutable rope (`Rc`-shared), [`ResultSet`] a small
+//! sorted vector of `(state, list)` entries — its *domain* (which states are
+//! accepted) is what formula evaluation inspects.
+
+use crate::asta::StateId;
+use std::rc::Rc;
+use xwq_index::NodeId;
+
+/// An immutable node list with O(1) concatenation.
+#[derive(Clone, Default)]
+pub struct NodeList(Option<Rc<Rope>>);
+
+enum Rope {
+    Leaf(NodeId),
+    Concat(NodeList, NodeList, u32),
+}
+
+impl NodeList {
+    /// The empty list.
+    pub fn empty() -> Self {
+        NodeList(None)
+    }
+
+    /// A one-element list.
+    pub fn leaf(v: NodeId) -> Self {
+        NodeList(Some(Rc::new(Rope::Leaf(v))))
+    }
+
+    /// Number of elements (with multiplicity).
+    pub fn len(&self) -> u32 {
+        match &self.0 {
+            None => 0,
+            Some(r) => match &**r {
+                Rope::Leaf(_) => 1,
+                Rope::Concat(_, _, n) => *n,
+            },
+        }
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// O(1) concatenation.
+    pub fn concat(&self, other: &NodeList) -> NodeList {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let n = self.len() + other.len();
+        NodeList(Some(Rc::new(Rope::Concat(self.clone(), other.clone(), n))))
+    }
+
+    /// Flattens to a vector (document order of insertion, duplicates kept).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        // Iterative flatten to avoid deep recursion on long concat chains.
+        let mut stack: Vec<&NodeList> = vec![self];
+        while let Some(l) = stack.pop() {
+            if let Some(r) = &l.0 {
+                match &**r {
+                    Rope::Leaf(v) => out.push(*v),
+                    Rope::Concat(a, b, _) => {
+                        stack.push(b);
+                        stack.push(a);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattens, sorts and deduplicates — the final answer form.
+    pub fn to_sorted_set(&self) -> Vec<NodeId> {
+        let mut v = self.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl Drop for NodeList {
+    fn drop(&mut self) {
+        // Default recursive drop would overflow the stack on long concat
+        // chains; unwind iteratively instead.
+        let mut stack = Vec::new();
+        if let Some(rc) = self.0.take() {
+            stack.push(rc);
+        }
+        while let Some(rc) = stack.pop() {
+            if let Ok(Rope::Concat(mut a, mut b, _)) = Rc::try_unwrap(rc) {
+                if let Some(x) = a.0.take() {
+                    stack.push(x);
+                }
+                if let Some(x) = b.0.take() {
+                    stack.push(x);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+/// A result set Γ: sorted association from accepted states to node lists.
+///
+/// `q ∈ Dom(Γ)` ⇔ `get(q).is_some()` — note a state can be accepted with an
+/// empty list (recognition without selection).
+#[derive(Clone, Debug, Default)]
+pub struct ResultSet {
+    entries: Vec<(StateId, NodeList)>,
+}
+
+impl ResultSet {
+    /// The empty result set (`∅` — nothing accepted).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True if no state is accepted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of accepted states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Membership in the domain.
+    pub fn contains(&self, q: StateId) -> bool {
+        self.entries.binary_search_by_key(&q, |e| e.0).is_ok()
+    }
+
+    /// The list bound to `q`, if `q` is accepted.
+    pub fn get(&self, q: StateId) -> Option<&NodeList> {
+        self.entries
+            .binary_search_by_key(&q, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Adds `q ↦ list`, unioning with an existing binding (Def. C.2).
+    pub fn add(&mut self, q: StateId, list: NodeList) {
+        match self.entries.binary_search_by_key(&q, |e| e.0) {
+            Ok(i) => {
+                let merged = self.entries[i].1.concat(&list);
+                self.entries[i].1 = merged;
+            }
+            Err(i) => self.entries.insert(i, (q, list)),
+        }
+    }
+
+    /// Union of two result sets.
+    pub fn union(&self, other: &ResultSet) -> ResultSet {
+        let mut out = self.clone();
+        for (q, l) in &other.entries {
+            out.add(*q, l.clone());
+        }
+        out
+    }
+
+    /// The accepted states, ascending.
+    pub fn domain(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.entries.iter().map(|e| e.0)
+    }
+
+    /// Entries view.
+    pub fn entries(&self) -> &[(StateId, NodeList)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_concat_preserves_order() {
+        let a = NodeList::leaf(1).concat(&NodeList::leaf(2));
+        let b = NodeList::leaf(3);
+        let c = a.concat(&b);
+        assert_eq!(c.to_vec(), vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn empty_concat_is_identity() {
+        let e = NodeList::empty();
+        let a = NodeList::leaf(7);
+        assert_eq!(e.concat(&a).to_vec(), vec![7]);
+        assert_eq!(a.concat(&e).to_vec(), vec![7]);
+        assert!(e.concat(&e).is_empty());
+    }
+
+    #[test]
+    fn shared_sublists_flatten_with_multiplicity() {
+        let a = NodeList::leaf(5);
+        let twice = a.concat(&a);
+        assert_eq!(twice.to_vec(), vec![5, 5]);
+        assert_eq!(twice.to_sorted_set(), vec![5]);
+    }
+
+    #[test]
+    fn long_chain_flatten_does_not_overflow() {
+        let mut l = NodeList::empty();
+        for i in 0..100_000 {
+            l = l.concat(&NodeList::leaf(i));
+        }
+        assert_eq!(l.len(), 100_000);
+        assert_eq!(l.to_vec().len(), 100_000);
+    }
+
+    #[test]
+    fn result_set_domain_vs_lists() {
+        let mut g = ResultSet::empty();
+        g.add(3, NodeList::empty());
+        g.add(1, NodeList::leaf(10));
+        assert!(g.contains(3), "accepted with empty list is still accepted");
+        assert!(g.contains(1));
+        assert!(!g.contains(2));
+        assert_eq!(g.domain().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(g.get(1).unwrap().to_vec(), vec![10]);
+    }
+
+    #[test]
+    fn add_unions_lists() {
+        let mut g = ResultSet::empty();
+        g.add(1, NodeList::leaf(10));
+        g.add(1, NodeList::leaf(20));
+        assert_eq!(g.get(1).unwrap().to_vec(), vec![10, 20]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_domains() {
+        let mut a = ResultSet::empty();
+        a.add(1, NodeList::leaf(1));
+        let mut b = ResultSet::empty();
+        b.add(2, NodeList::leaf(2));
+        b.add(1, NodeList::leaf(3));
+        let u = a.union(&b);
+        assert_eq!(u.domain().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(u.get(1).unwrap().to_sorted_set(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,393 @@
+//! The on-the-fly top-down approximation `tda(A)` (Def. 4.2) and the skip
+//! classification that drives jumping.
+//!
+//! A state *set* `S` is what the determinized automaton carries; [`Tda`]
+//! interns sets, computes (and optionally memoizes) the transition
+//! `(S, σ) ↦ (active transitions, S₁, S₂)`, and classifies each set by how
+//! the automaton can move without gaining information:
+//!
+//! * a label is a **pure loop** when every state's active transitions there
+//!   are exactly its own self-recursion (`↓1q ∨ ↓2q`, `↓1q`, or `↓2q`,
+//!   non-selecting) — skipping is then sound for arbitrary formulas
+//!   elsewhere;
+//! * in addition, a label with *monotone* (¬-free) transitions whose
+//!   set-level successors satisfy `S₁ = S₂ = S` is treated as non-changing
+//!   (this is the paper's set-level approximation of Fig. 1 — it is what
+//!   lets `//a//b` skip nested `a`s; soundness for ¬-free compiled queries
+//!   is argued in DESIGN.md, and labels under a `¬` never qualify).
+//!
+//! The classification yields the *jump set* (the set-level essential
+//! labels): `dt`/`ft` frontier jumps when all loops go through both
+//! children, `rt`/`lt` spine jumps when they go through exactly one.
+
+use crate::asta::{Asta, Formula, StateId};
+use crate::sets::{SetId, SetInterner};
+use std::rc::Rc;
+use xwq_index::FxHashMap;
+use xwq_xml::{LabelId, LabelSet};
+
+/// One determinized transition: the active ASTA transitions and the state
+/// sets sent to the children.
+#[derive(Debug)]
+pub struct TransEval {
+    /// Indices into `asta.delta`.
+    pub active: Vec<u32>,
+    /// `S₁`.
+    pub r1: SetId,
+    /// `S₂`.
+    pub r2: SetId,
+}
+
+/// How a state set can skip (Fig. 1 / Algorithm B.1 case analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipKind {
+    /// Loops through both children on non-jump labels: `dt`/`ft` frontier.
+    Both,
+    /// Loops through the first child only: `lt` spine.
+    Left,
+    /// Loops through the second child only: `rt` spine.
+    Right,
+    /// No skip possible.
+    None,
+}
+
+/// Skip classification of one state set.
+#[derive(Debug)]
+pub struct SkipInfo {
+    /// The skip shape.
+    pub kind: SkipKind,
+    /// Labels that must be visited (set-level essential labels).
+    pub jump: LabelSet,
+}
+
+/// On-the-fly determinization context for one ASTA.
+pub struct Tda<'a> {
+    /// The automaton.
+    pub asta: &'a Asta,
+    /// The state-set interner (id 0 = ∅).
+    pub sets: SetInterner,
+    trans_memo: FxHashMap<(SetId, LabelId), Rc<TransEval>>,
+    skip_memo: FxHashMap<SetId, Rc<SkipInfo>>,
+}
+
+impl<'a> Tda<'a> {
+    /// Creates the context.
+    pub fn new(asta: &'a Asta) -> Self {
+        Self {
+            asta,
+            sets: SetInterner::new(),
+            trans_memo: FxHashMap::default(),
+            skip_memo: FxHashMap::default(),
+        }
+    }
+
+    /// Interns the automaton's top-state set.
+    pub fn top_set(&mut self) -> SetId {
+        self.sets.intern(self.asta.top.clone())
+    }
+
+    /// Number of memoized `(S, σ)` transitions.
+    pub fn trans_memo_len(&self) -> usize {
+        self.trans_memo.len()
+    }
+
+    /// Computes `(S, σ) ↦ (active, S₁, S₂)` without memoization.
+    pub fn compute_trans(&mut self, set: SetId, label: LabelId) -> TransEval {
+        let states = self.sets.get(set);
+        let mut active = Vec::new();
+        let mut r1 = Vec::new();
+        let mut r2 = Vec::new();
+        for &q in states {
+            for &ti in &self.asta.trans_of[q as usize] {
+                let t = &self.asta.delta[ti as usize];
+                if t.labels.contains(label) {
+                    active.push(ti);
+                    t.phi.collect_down(&mut r1, &mut r2);
+                }
+            }
+        }
+        let r1 = self.sets.intern(r1);
+        let r2 = self.sets.intern(r2);
+        TransEval { active, r1, r2 }
+    }
+
+    /// Memoized variant; `hits` is incremented on a cache hit.
+    pub fn trans(&mut self, set: SetId, label: LabelId, hits: &mut u64) -> Rc<TransEval> {
+        if let Some(t) = self.trans_memo.get(&(set, label)) {
+            *hits += 1;
+            return t.clone();
+        }
+        let t = Rc::new(self.compute_trans(set, label));
+        self.trans_memo.insert((set, label), t.clone());
+        t
+    }
+
+    /// Skip classification of `set`, cached.
+    pub fn skip_info(&mut self, set: SetId) -> Rc<SkipInfo> {
+        if let Some(s) = self.skip_memo.get(&set) {
+            return s.clone();
+        }
+        let info = Rc::new(self.classify(set));
+        self.skip_memo.insert(set, info.clone());
+        info
+    }
+
+    fn classify(&mut self, set: SetId) -> SkipInfo {
+        let sigma = self.asta.alphabet_size;
+        let mut loop_both = LabelSet::empty(sigma);
+        let mut loop_left = LabelSet::empty(sigma);
+        let mut loop_right = LabelSet::empty(sigma);
+        let states: Vec<StateId> = self.sets.get(set).to_vec();
+        'labels: for l in 0..sigma as LabelId {
+            // Gather per-state shapes.
+            let mut all_pure = true;
+            let mut kinds: [bool; 3] = [false; 3]; // both, left, right present
+            let mut any_select = false;
+            let mut any_not = false;
+            for &q in &states {
+                let mut has_d1 = false;
+                let mut has_d2 = false;
+                let mut pure = true;
+                let mut any = false;
+                for t in self.asta.active(q, l) {
+                    any = true;
+                    any_select |= t.selecting;
+                    if !t.phi.is_monotone() || t.filter.is_some() {
+                        // Node filters make firing node-dependent: treat the
+                        // label as changing (no aggressive skip either).
+                        any_not = true;
+                    }
+                    if t.filter.is_some() {
+                        pure = false;
+                    }
+                    match &t.phi {
+                        Formula::Down1(p) if *p == q => has_d1 = true,
+                        Formula::Down2(p) if *p == q => has_d2 = true,
+                        Formula::Or(a, b) => match (&**a, &**b) {
+                            (Formula::Down1(p1), Formula::Down2(p2))
+                                if *p1 == q && *p2 == q =>
+                            {
+                                has_d1 = true;
+                                has_d2 = true;
+                            }
+                            _ => pure = false,
+                        },
+                        _ => pure = false,
+                    }
+                    if t.selecting {
+                        pure = false;
+                    }
+                }
+                if !any {
+                    // Dead label for q: evaluation yields ∅ here; the node
+                    // must be visited (it cuts acceptance).
+                    continue 'labels;
+                }
+                if !pure {
+                    all_pure = false;
+                } else if has_d1 && has_d2 {
+                    kinds[0] = true;
+                } else if has_d1 {
+                    kinds[1] = true;
+                } else {
+                    kinds[2] = true;
+                }
+            }
+            if any_select {
+                continue;
+            }
+            if all_pure {
+                match kinds {
+                    [true, false, false] => loop_both.insert(l),
+                    [false, true, false] => loop_left.insert(l),
+                    [false, false, true] => loop_right.insert(l),
+                    _ => {} // mixed shapes: essential
+                }
+                continue;
+            }
+            // Aggressive set-level rule (the Fig. 1 approximation that lets
+            // //a//b skip nested a's). Soundness of the union-of-frontier
+            // reconstruction needs, at label `l`:
+            //   * monotone formulas only (¬ would turn the benign
+            //     under-reporting of cross-state acceptance into
+            //     over-reporting);
+            //   * no acceptance *origination* (a formula true under empty
+            //     child domains would be lost by skipping);
+            //   * (S₁, S₂) = (S, S) at the set level;
+            //   * every state must carry its own `↓1 q ∨ ↓2 q` loop here, so
+            //     frontier acceptance genuinely propagates up to the entry —
+            //     a right-only chain searcher in the set would otherwise be
+            //     teleported across parent edges it cannot cross.
+            if !any_not {
+                let originates = states.iter().any(|&q| {
+                    self.asta
+                        .active(q, l)
+                        .any(|t| t.phi.eval_bool(&[], &[]))
+                });
+                let all_self_loop_both = states.iter().all(|&q| {
+                    self.asta.active(q, l).any(|t| {
+                        !t.selecting
+                            && matches!(
+                                &t.phi,
+                                Formula::Or(a, b)
+                                    if matches!((&**a, &**b),
+                                        (Formula::Down1(p1), Formula::Down2(p2))
+                                            if *p1 == q && *p2 == q)
+                            )
+                    })
+                });
+                if !originates && all_self_loop_both {
+                    let te = self.compute_trans(set, l);
+                    if te.r1 == set && te.r2 == set {
+                        loop_both.insert(l);
+                    }
+                }
+            }
+        }
+        let full = LabelSet::empty(sigma).complement();
+        let (kind, loops) = if !loop_both.is_empty() {
+            (SkipKind::Both, loop_both)
+        } else if !loop_right.is_empty() {
+            (SkipKind::Right, loop_right)
+        } else if !loop_left.is_empty() {
+            (SkipKind::Left, loop_left)
+        } else {
+            (SkipKind::None, LabelSet::empty(sigma))
+        };
+        let mut jump = full;
+        jump.subtract(&loops);
+        SkipInfo { kind, jump }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_path;
+    use xwq_xml::Alphabet;
+    use xwq_xpath::parse_xpath;
+
+    fn abc() -> Alphabet {
+        let mut al = Alphabet::new();
+        for n in ["a", "b", "c"] {
+            al.intern(n);
+        }
+        al
+    }
+
+    /// Figure 1: the tda of //a//b[c] and its jump sets.
+    #[test]
+    fn figure1_jump_sets() {
+        let al = abc();
+        let asta = compile_path(&parse_xpath("//a//b[c]").unwrap(), &al).unwrap();
+        let mut tda = Tda::new(&asta);
+        let la = al.lookup("a").unwrap();
+        let lb = al.lookup("b").unwrap();
+        let lc = al.lookup("c").unwrap();
+
+        // {q0}: jump to top-most a.
+        let s0 = tda.top_set();
+        let i0 = tda.skip_info(s0);
+        assert_eq!(i0.kind, SkipKind::Both);
+        assert_eq!(i0.jump.iter().collect::<Vec<_>>(), vec![la]);
+
+        // δa({q0}, a) = ({q0,q1}, {q0}).
+        let mut h = 0;
+        let t = tda.trans(s0, la, &mut h);
+        let s01 = t.r1;
+        assert_eq!(t.r2, s0);
+        assert_eq!(tda.sets.get(s01).len(), 2);
+
+        // {q0,q1}: jump to top-most b (a is set-level non-changing).
+        let i01 = tda.skip_info(s01);
+        assert_eq!(i01.kind, SkipKind::Both);
+        assert_eq!(i01.jump.iter().collect::<Vec<_>>(), vec![lb]);
+
+        // δa({q0,q1}, b) = ({q0,q1,q2}, {q0,q1}).
+        let t = tda.trans(s01, lb, &mut h);
+        let s012 = t.r1;
+        assert_eq!(t.r2, s01);
+        assert_eq!(tda.sets.get(s012).len(), 3);
+
+        // {q0,q1,q2}: no jump (the paper: "the automaton must perform a
+        // firstChild or nextSibling move") — a and c change the set, and b,
+        // though set-level non-changing, selects and is therefore relevant.
+        let i012 = tda.skip_info(s012);
+        assert_eq!(i012.kind, SkipKind::None);
+        assert!(i012.jump.contains(la) && i012.jump.contains(lb) && i012.jump.contains(lc));
+
+        // δa({q0,q1,q2}, c) = ({q0,q1}, {q0,q1}) — Fig. 1's table: the
+        // predicate searcher q2 stops at the first c (its recursion guard
+        // excludes c), so "the automaton returns in state {q0,q1} and can
+        // therefore jump to find new b nodes".
+        let t = tda.trans(s012, lc, &mut h);
+        assert_eq!(t.r1, s01);
+        assert_eq!(t.r2, s01);
+    }
+
+    #[test]
+    fn chain_searcher_is_right_spine() {
+        // /a/b: the b-searcher walks the sibling chain: Right skip.
+        let al = abc();
+        let asta = compile_path(&parse_xpath("/a/b").unwrap(), &al).unwrap();
+        let mut tda = Tda::new(&asta);
+        let s0 = tda.top_set();
+        let mut h = 0;
+        let t = tda.trans(s0, al.lookup("a").unwrap(), &mut h);
+        let chain = t.r1; // the b-chain searcher below a
+        let info = tda.skip_info(chain);
+        assert_eq!(info.kind, SkipKind::Right);
+        assert_eq!(
+            info.jump.iter().collect::<Vec<_>>(),
+            vec![al.lookup("b").unwrap()]
+        );
+    }
+
+    #[test]
+    fn negation_disables_aggressive_skip() {
+        // //a[not(.//b)]//c: below a matched `a`, the set contains the
+        // predicate searcher; `a` must stay essential because the match
+        // formula is non-monotone.
+        let al = abc();
+        let asta = compile_path(&parse_xpath("//a[ not(.//b) ]//c").unwrap(), &al).unwrap();
+        let mut tda = Tda::new(&asta);
+        let s0 = tda.top_set();
+        let la = al.lookup("a").unwrap();
+        let mut h = 0;
+        let t = tda.trans(s0, la, &mut h);
+        let below = t.r1;
+        let info = tda.skip_info(below);
+        assert!(
+            info.jump.contains(la),
+            "nested a must be visited under negation; jump set {:?}",
+            info.jump
+        );
+    }
+
+    #[test]
+    fn memoization_counts_hits() {
+        let al = abc();
+        let asta = compile_path(&parse_xpath("//a").unwrap(), &al).unwrap();
+        let mut tda = Tda::new(&asta);
+        let s0 = tda.top_set();
+        let mut hits = 0;
+        let _ = tda.trans(s0, 0, &mut hits);
+        assert_eq!(hits, 0);
+        assert_eq!(tda.trans_memo_len(), 1);
+        let _ = tda.trans(s0, 0, &mut hits);
+        assert_eq!(hits, 1);
+        assert_eq!(tda.trans_memo_len(), 1);
+    }
+
+    #[test]
+    fn empty_set_never_skips_into_work() {
+        let al = abc();
+        let asta = compile_path(&parse_xpath("//a").unwrap(), &al).unwrap();
+        let mut tda = Tda::new(&asta);
+        let mut h = 0;
+        let t = tda.trans(SetInterner::EMPTY, 0, &mut h);
+        assert!(t.active.is_empty());
+        assert_eq!(t.r1, SetInterner::EMPTY);
+        assert_eq!(t.r2, SetInterner::EMPTY);
+    }
+}

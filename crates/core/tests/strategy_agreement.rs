@@ -1,0 +1,121 @@
+//! The central correctness property of the whole system: every evaluation
+//! strategy — naive, pruning, jumping, memoized, optimized, hybrid — and the
+//! independently implemented step-wise baseline must select exactly the same
+//! nodes, on arbitrary random documents and random queries of the fragment.
+
+use proptest::prelude::*;
+use xwq_core::{Engine, Strategy as EvalStrategy};
+use xwq_xml::TreeBuilder;
+use xwq_xpath::parse_xpath;
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn build_doc(ops: &[(u8, u8)], root: u8) -> xwq_xml::Document {
+    let mut b = TreeBuilder::new();
+    for n in NAMES {
+        b.reserve(n);
+    }
+    b.open(NAMES[root as usize % NAMES.len()]);
+    let mut depth = 1usize;
+    for &(pops, label) in ops {
+        let pops = (pops as usize).min(depth - 1);
+        for _ in 0..pops {
+            b.close();
+            depth -= 1;
+        }
+        b.open(NAMES[label as usize % NAMES.len()]);
+        depth += 1;
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    b.finish()
+}
+
+fn arb_doc() -> impl Strategy<Value = xwq_xml::Document> {
+    (prop::collection::vec((0u8..4, 0u8..5), 0..150), 0u8..5)
+        .prop_map(|(ops, root)| build_doc(&ops, root))
+}
+
+/// Random queries from the compilable fragment, as strings.
+fn arb_query() -> impl Strategy<Value = String> {
+    let name = prop::sample::select(vec!["a", "b", "c", "d", "e", "*"]);
+    let axis = prop::sample::select(vec!["/", "//"]);
+    let leaf_pred = (prop::sample::select(vec!["", ".//"]), name.clone())
+        .prop_map(|(pfx, n)| format!("{pfx}{n}"));
+    let pred = leaf_pred.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
+            inner.prop_map(|a| format!("not({a})")),
+        ]
+    });
+    let step = (name, prop::option::of(pred)).prop_map(|(n, p)| match p {
+        Some(p) => format!("{n}[ {p} ]"),
+        None => n.to_string(),
+    });
+    prop::collection::vec((axis, step), 1..4).prop_map(|parts| {
+        let mut q = String::new();
+        for (sep, st) in parts {
+            q.push_str(sep);
+            q.push_str(&st);
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn all_strategies_match_the_baseline(doc in arb_doc(), query in arb_query()) {
+        let engine = Engine::build(&doc);
+        let compiled = match engine.compile(&query) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!("compile {query}: {e}"))),
+        };
+        let path = parse_xpath(&query).unwrap();
+        let (expected, _) = xwq_baseline::evaluate_path(engine.index(), &path);
+        for strat in EvalStrategy::ALL {
+            let out = engine.run(&compiled, strat);
+            prop_assert_eq!(
+                &out.nodes,
+                &expected,
+                "{} disagrees with baseline on `{}` over {}",
+                strat.name(),
+                &query,
+                doc.to_xml()
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_never_visits_more_than_pruning(doc in arb_doc(), query in arb_query()) {
+        let engine = Engine::build(&doc);
+        let compiled = match engine.compile(&query) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let p = engine.run(&compiled, EvalStrategy::Pruning);
+        let o = engine.run(&compiled, EvalStrategy::Optimized);
+        prop_assert!(
+            o.stats.visited <= p.stats.visited,
+            "optimized visited {} > pruning {} on `{}`",
+            o.stats.visited,
+            p.stats.visited,
+            &query
+        );
+    }
+
+    #[test]
+    fn succinct_topology_gives_identical_results(doc in arb_doc(), query in arb_query()) {
+        let a = Engine::build(&doc);
+        let s = Engine::build_with(&doc, xwq_index::TopologyKind::Succinct);
+        if let (Ok(qa), Ok(qs)) = (a.compile(&query), s.compile(&query)) {
+            prop_assert_eq!(
+                a.run(&qa, EvalStrategy::Optimized).nodes,
+                s.run(&qs, EvalStrategy::Optimized).nodes
+            );
+        }
+    }
+}

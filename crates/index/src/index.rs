@@ -1,0 +1,403 @@
+//! The jumping tree index (Def. 3.2).
+
+use crate::{Topology, TopologyKind};
+use xwq_xml::{Alphabet, Document, LabelId, LabelKind, LabelSet, NodeId, NONE};
+
+/// A static index over one document: topology + per-label preorder arrays.
+///
+/// All jumping functions run in O(|L| · log n); navigation is O(1) (array
+/// topology) or O(polylog) (succinct topology). `label_count` is O(1), which
+/// the hybrid evaluation strategy (§4.4) relies on.
+#[derive(Clone, Debug)]
+pub struct TreeIndex {
+    alphabet: Alphabet,
+    labels: Vec<LabelId>,
+    topo: Topology,
+    /// For each label, the sorted list of preorder ids carrying it.
+    label_lists: Vec<Vec<NodeId>>,
+    /// Distinct text/attribute contents, interned.
+    text_values: Vec<String>,
+    /// Content id per node (`u32::MAX` for elements).
+    text_ids: Vec<u32>,
+    /// For each content id, the sorted list of nodes carrying it.
+    text_lists: Vec<Vec<NodeId>>,
+}
+
+impl TreeIndex {
+    /// Builds an index with the default (array) topology.
+    pub fn build(doc: &Document) -> Self {
+        Self::build_with(doc, TopologyKind::Array)
+    }
+
+    /// Builds an index with an explicit topology backend.
+    pub fn build_with(doc: &Document, kind: TopologyKind) -> Self {
+        let alphabet = doc.alphabet().clone();
+        let labels: Vec<LabelId> = doc.nodes().map(|v| doc.label(v)).collect();
+        let mut label_lists = vec![Vec::new(); alphabet.len()];
+        for (v, &l) in labels.iter().enumerate() {
+            label_lists[l as usize].push(v as NodeId);
+        }
+        // Text index: intern distinct contents, invert to node lists
+        // (the stand-in for SXSI's compressed text index — the interface
+        // is "which nodes carry this content", in document order).
+        let mut text_values: Vec<String> = Vec::new();
+        let mut text_map: crate::FxHashMap<String, u32> = crate::FxHashMap::default();
+        let mut text_ids = vec![u32::MAX; doc.len()];
+        let mut text_lists: Vec<Vec<NodeId>> = Vec::new();
+        for v in doc.nodes() {
+            if let Some(t) = doc.text(v) {
+                let id = *text_map.entry(t.to_string()).or_insert_with(|| {
+                    text_values.push(t.to_string());
+                    text_lists.push(Vec::new());
+                    (text_values.len() - 1) as u32
+                });
+                text_ids[v as usize] = id;
+                text_lists[id as usize].push(v);
+            }
+        }
+        Self {
+            alphabet,
+            labels,
+            topo: Topology::build(doc, kind),
+            label_lists,
+            text_values,
+            text_ids,
+            text_lists,
+        }
+    }
+
+    /// The indexed document's alphabet.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Trees are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.labels[v as usize]
+    }
+
+    /// Label name of `v`.
+    #[inline]
+    pub fn name(&self, v: NodeId) -> &str {
+        self.alphabet.name(self.label(v))
+    }
+
+    /// First child (`π·1`) or [`NONE`].
+    #[inline]
+    pub fn first_child(&self, v: NodeId) -> NodeId {
+        self.topo.first_child(v)
+    }
+
+    /// Next sibling (`π·2`) or [`NONE`].
+    #[inline]
+    pub fn next_sibling(&self, v: NodeId) -> NodeId {
+        self.topo.next_sibling(v)
+    }
+
+    /// Parent or [`NONE`].
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.topo.parent(v)
+    }
+
+    /// One past the last id of `v`'s XML subtree.
+    #[inline]
+    pub fn subtree_end(&self, v: NodeId) -> NodeId {
+        self.topo.subtree_end(v)
+    }
+
+    /// Depth of `v` (root = 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.topo.depth(v)
+    }
+
+    /// True if `a` is a strict XML ancestor of `d`.
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        a < d && d < self.subtree_end(a)
+    }
+
+    /// One past the last id of `v`'s subtree *in the binary (FCNS) view*:
+    /// `v`'s XML subtree plus all following siblings and their subtrees.
+    #[inline]
+    pub fn bin_subtree_end(&self, v: NodeId) -> NodeId {
+        let p = self.parent(v);
+        if p == NONE {
+            self.len() as NodeId
+        } else {
+            self.subtree_end(p)
+        }
+    }
+
+    /// Global number of nodes labelled `l` — O(1), used by hybrid evaluation.
+    #[inline]
+    pub fn label_count(&self, l: LabelId) -> usize {
+        self.label_lists[l as usize].len()
+    }
+
+    /// All nodes labelled `l`, in document order.
+    #[inline]
+    pub fn label_list(&self, l: LabelId) -> &[NodeId] {
+        &self.label_lists[l as usize]
+    }
+
+    /// Smallest node id in `[lo, hi)` whose label is in `L`, or [`NONE`].
+    ///
+    /// This is the primitive behind `dt` and `ft`: one binary search per
+    /// label in `L`.
+    pub fn first_labeled_in_range(&self, lo: NodeId, hi: NodeId, l_set: &LabelSet) -> NodeId {
+        if lo >= hi {
+            return NONE;
+        }
+        let mut best = NONE;
+        for l in l_set.iter() {
+            let list = &self.label_lists[l as usize];
+            let i = list.partition_point(|&v| v < lo);
+            if let Some(&v) = list.get(i) {
+                if v < hi && (best == NONE || v < best) {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+
+    /// `dt(π, L)` over the *binary* tree: first node after `π` in document
+    /// order, within `π`'s binary subtree, whose label is in `L`.
+    #[inline]
+    pub fn jump_desc_bin(&self, v: NodeId, l_set: &LabelSet) -> NodeId {
+        self.first_labeled_in_range(v + 1, self.bin_subtree_end(v), l_set)
+    }
+
+    /// `ft(π, L, π₀)` over the *binary* tree: first node following `π`'s
+    /// binary subtree, inside `π₀`'s binary subtree, with label in `L`.
+    #[inline]
+    pub fn jump_following_bin(&self, v: NodeId, l_set: &LabelSet, scope: NodeId) -> NodeId {
+        self.first_labeled_in_range(
+            self.bin_subtree_end(v),
+            self.bin_subtree_end(scope),
+            l_set,
+        )
+    }
+
+    /// `dt` in the *XML* sense: first strict XML descendant of `v` with label
+    /// in `L` (used by the baseline and hybrid strategies).
+    #[inline]
+    pub fn jump_desc_xml(&self, v: NodeId, l_set: &LabelSet) -> NodeId {
+        self.first_labeled_in_range(v + 1, self.subtree_end(v), l_set)
+    }
+
+    /// `ft` in the *XML* sense: first node after `v`'s XML subtree, before
+    /// `hi`, with label in `L`.
+    #[inline]
+    pub fn jump_following_xml(&self, v: NodeId, l_set: &LabelSet, hi: NodeId) -> NodeId {
+        self.first_labeled_in_range(self.subtree_end(v), hi, l_set)
+    }
+
+    /// `lt(π, L)`: first node on the binary left-most path below `π`
+    /// (`π·1`, `π·1·1`, …, i.e. the first-child chain) with label in `L`.
+    pub fn jump_leftmost(&self, v: NodeId, l_set: &LabelSet) -> NodeId {
+        let mut cur = self.first_child(v);
+        while cur != NONE {
+            if l_set.contains(self.label(cur)) {
+                return cur;
+            }
+            cur = self.first_child(cur);
+        }
+        NONE
+    }
+
+    /// `rt(π, L)`: first node on the binary right-most path below `π`
+    /// (`π·2`, `π·2·2`, …, i.e. the next-sibling chain) with label in `L`.
+    pub fn jump_rightmost(&self, v: NodeId, l_set: &LabelSet) -> NodeId {
+        let mut cur = self.next_sibling(v);
+        while cur != NONE {
+            if l_set.contains(self.label(cur)) {
+                return cur;
+            }
+            cur = self.next_sibling(cur);
+        }
+        NONE
+    }
+
+    /// Node kind shortcut.
+    #[inline]
+    pub fn kind(&self, v: NodeId) -> LabelKind {
+        self.alphabet.kind(self.label(v))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.topo.heap_bytes()
+            + self.labels.capacity() * 4
+            + self
+                .label_lists
+                .iter()
+                .map(|l| l.capacity() * 4)
+                .sum::<usize>()
+    }
+
+    /// Heap footprint of the topology alone (for the memory ablation).
+    pub fn topology_heap_bytes(&self) -> usize {
+        self.topo.heap_bytes()
+    }
+
+    /// Text content of a text/attribute node, `None` for elements.
+    pub fn text_of(&self, v: NodeId) -> Option<&str> {
+        let id = self.text_ids[v as usize];
+        if id == u32::MAX {
+            None
+        } else {
+            Some(&self.text_values[id as usize])
+        }
+    }
+
+    /// Id of an exact text content, if it occurs in the document.
+    pub fn lookup_text(&self, content: &str) -> Option<u32> {
+        // The distinct-content list is scanned; for repeated lookups the
+        // engine compiles the answer into the query once.
+        self.text_values.iter().position(|t| t == content).map(|i| i as u32)
+    }
+
+    /// Nodes carrying exactly this content id, in document order.
+    pub fn text_list(&self, id: u32) -> &[NodeId] {
+        &self.text_lists[id as usize]
+    }
+
+    /// Sorted nodes whose content *contains* `needle` (substring search
+    /// over the distinct contents — the stand-in for SXSI's FM-index).
+    pub fn text_nodes_containing(&self, needle: &str) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (i, t) in self.text_values.iter().enumerate() {
+            if t.contains(needle) {
+                out.extend_from_slice(&self.text_lists[i]);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct text contents.
+    pub fn distinct_text_count(&self) -> usize {
+        self.text_values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_xml::parse;
+
+    /// `<a><b><c/><b/></b><c><b/></c></a>` — a=0 b=1 c=2 b=3 c=4 b=5.
+    fn idx() -> TreeIndex {
+        TreeIndex::build(&parse("<a><b><c/><b/></b><c><b/></c></a>").unwrap())
+    }
+
+    fn set(ix: &TreeIndex, names: &[&str]) -> LabelSet {
+        LabelSet::from_ids(
+            ix.alphabet().len(),
+            names.iter().map(|n| ix.alphabet().lookup(n).unwrap()),
+        )
+    }
+
+    #[test]
+    fn label_lists_and_counts() {
+        let ix = idx();
+        let b = ix.alphabet().lookup("b").unwrap();
+        assert_eq!(ix.label_list(b), &[1, 3, 5]);
+        assert_eq!(ix.label_count(b), 3);
+        assert_eq!(ix.label_count(ix.alphabet().lookup("a").unwrap()), 1);
+    }
+
+    #[test]
+    fn xml_descendant_jumps() {
+        let ix = idx();
+        let bs = set(&ix, &["b"]);
+        assert_eq!(ix.jump_desc_xml(0, &bs), 1);
+        assert_eq!(ix.jump_desc_xml(1, &bs), 3);
+        assert_eq!(ix.jump_desc_xml(4, &bs), 5);
+        assert_eq!(ix.jump_desc_xml(5, &bs), NONE);
+        let cs = set(&ix, &["c"]);
+        assert_eq!(ix.jump_desc_xml(0, &cs), 2);
+        // Multi-label jump picks the earliest.
+        let bc = set(&ix, &["b", "c"]);
+        assert_eq!(ix.jump_desc_xml(0, &bc), 1);
+    }
+
+    #[test]
+    fn binary_subtree_ends() {
+        let ix = idx();
+        // Binary subtree of node 1 (b) = 1..6 (its subtree + sibling c's).
+        assert_eq!(ix.bin_subtree_end(1), 6);
+        assert_eq!(ix.bin_subtree_end(2), 4); // c(2) + sibling b(3)
+        assert_eq!(ix.bin_subtree_end(0), 6);
+        assert_eq!(ix.bin_subtree_end(5), 6);
+    }
+
+    #[test]
+    fn following_jumps() {
+        let ix = idx();
+        let bs = set(&ix, &["b"]);
+        // After node 1's XML subtree (ids 1..4), next b before 6 is 5.
+        assert_eq!(ix.jump_following_xml(1, &bs, 6), 5);
+        // After node 1's *binary* subtree (1..6) there is nothing.
+        assert_eq!(ix.jump_following_bin(1, &bs, 0), NONE);
+        // After node 2's binary subtree (2..4): b at 5 is inside scope 1.
+        assert_eq!(ix.jump_following_bin(2, &bs, 1), 5);
+    }
+
+    #[test]
+    fn leftmost_rightmost_paths() {
+        let ix = idx();
+        let cs = set(&ix, &["c"]);
+        // Left-most path below a(0): b(1) then c(2).
+        assert_eq!(ix.jump_leftmost(0, &cs), 2);
+        let bs = set(&ix, &["b"]);
+        assert_eq!(ix.jump_leftmost(0, &bs), 1);
+        // Right-most path below b(1): sibling chain -> c(4).
+        assert_eq!(ix.jump_rightmost(1, &cs), 4);
+        assert_eq!(ix.jump_rightmost(1, &bs), NONE);
+        // c(2)'s sibling chain has b(3).
+        assert_eq!(ix.jump_rightmost(2, &bs), 3);
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let ix = idx();
+        assert!(ix.is_ancestor(0, 5));
+        assert!(ix.is_ancestor(1, 3));
+        assert!(!ix.is_ancestor(1, 4));
+        assert!(!ix.is_ancestor(3, 3));
+        assert!(!ix.is_ancestor(5, 0));
+    }
+
+    #[test]
+    fn empty_label_set_never_jumps() {
+        let ix = idx();
+        let empty = LabelSet::empty(ix.alphabet().len());
+        assert_eq!(ix.jump_desc_xml(0, &empty), NONE);
+        assert_eq!(ix.jump_leftmost(0, &empty), NONE);
+        assert_eq!(ix.jump_rightmost(1, &empty), NONE);
+    }
+}

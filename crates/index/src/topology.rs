@@ -1,0 +1,251 @@
+//! Tree topology backends.
+//!
+//! The paper's §1 problem (1): pointer-based in-memory XML trees cost 5–10×
+//! the document size, so SXSI uses succinct trees. Both backends below expose
+//! the same operations; [`ArrayTopology`] is the conventional pointer (well,
+//! index) structure, [`SuccinctTopology`] stores ~2.2 bits per node plus
+//! directories.
+
+use xwq_succinct::{SuccinctTree, SuccinctTreeBuilder};
+use xwq_xml::{Document, NodeId, NONE};
+
+/// Which backend a [`crate::TreeIndex`] should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TopologyKind {
+    /// Plain preorder arrays: fastest navigation, ~20 bytes/node.
+    #[default]
+    Array,
+    /// Balanced-parentheses succinct tree: ~2.2 bits/node + rank directory.
+    Succinct,
+}
+
+/// Tree navigation operations shared by both backends.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// Array-backed.
+    Array(ArrayTopology),
+    /// Succinct (balanced parentheses).
+    Succinct(SuccinctTopology),
+}
+
+impl Topology {
+    /// Builds the chosen backend from a document.
+    pub fn build(doc: &Document, kind: TopologyKind) -> Self {
+        match kind {
+            TopologyKind::Array => Topology::Array(ArrayTopology::build(doc)),
+            TopologyKind::Succinct => Topology::Succinct(SuccinctTopology::build(doc)),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Array(t) => t.parent.len(),
+            Topology::Succinct(t) => t.tree.len(),
+        }
+    }
+
+    /// Always false (trees are non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First child (`π·1`) or [`NONE`].
+    #[inline]
+    pub fn first_child(&self, v: NodeId) -> NodeId {
+        match self {
+            Topology::Array(t) => t.first_child[v as usize],
+            Topology::Succinct(t) => t.tree.first_child(v).unwrap_or(NONE),
+        }
+    }
+
+    /// Next sibling (`π·2`) or [`NONE`].
+    #[inline]
+    pub fn next_sibling(&self, v: NodeId) -> NodeId {
+        match self {
+            Topology::Array(t) => t.next_sibling[v as usize],
+            Topology::Succinct(t) => t.tree.next_sibling(v).unwrap_or(NONE),
+        }
+    }
+
+    /// Parent or [`NONE`] for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        match self {
+            Topology::Array(t) => t.parent[v as usize],
+            Topology::Succinct(t) => t.tree.parent(v).unwrap_or(NONE),
+        }
+    }
+
+    /// One past the last preorder id in `v`'s (XML) subtree.
+    #[inline]
+    pub fn subtree_end(&self, v: NodeId) -> NodeId {
+        match self {
+            Topology::Array(t) => t.subtree_end[v as usize],
+            Topology::Succinct(t) => t.tree.subtree_end(v),
+        }
+    }
+
+    /// Depth (root = 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        match self {
+            Topology::Array(t) => t.depth[v as usize],
+            Topology::Succinct(t) => t.tree.depth(v),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Topology::Array(t) => t.heap_bytes(),
+            Topology::Succinct(t) => t.tree.heap_bytes(),
+        }
+    }
+}
+
+/// Conventional preorder-array topology.
+#[derive(Clone, Debug)]
+pub struct ArrayTopology {
+    pub(crate) parent: Vec<NodeId>,
+    pub(crate) first_child: Vec<NodeId>,
+    pub(crate) next_sibling: Vec<NodeId>,
+    pub(crate) subtree_end: Vec<NodeId>,
+    pub(crate) depth: Vec<u32>,
+}
+
+impl ArrayTopology {
+    /// Copies the document arrays and derives subtree extents and depths.
+    pub fn build(doc: &Document) -> Self {
+        let n = doc.len();
+        let mut subtree_end = vec![0u32; n];
+        let mut depth = vec![0u32; n];
+        // A node's subtree ends where its next sibling starts; a last
+        // sibling inherits the parent's end. Parents precede children in
+        // preorder, so one ascending pass suffices.
+        for v in 0..n as u32 {
+            let ns = doc.next_sibling(v);
+            let p = doc.parent(v);
+            subtree_end[v as usize] = if ns != NONE {
+                ns
+            } else if p != NONE {
+                subtree_end[p as usize]
+            } else {
+                n as u32
+            };
+        }
+        for v in 1..n as u32 {
+            depth[v as usize] = depth[doc.parent(v) as usize] + 1;
+        }
+        Self {
+            parent: (0..n as u32).map(|v| doc.parent(v)).collect(),
+            first_child: (0..n as u32).map(|v| doc.first_child(v)).collect(),
+            next_sibling: (0..n as u32).map(|v| doc.next_sibling(v)).collect(),
+            subtree_end,
+            depth,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.parent.capacity()
+            + self.first_child.capacity()
+            + self.next_sibling.capacity()
+            + self.subtree_end.capacity()
+            + self.depth.capacity())
+            * 4
+    }
+}
+
+/// Succinct balanced-parentheses topology.
+#[derive(Clone, Debug)]
+pub struct SuccinctTopology {
+    pub(crate) tree: SuccinctTree,
+}
+
+impl SuccinctTopology {
+    /// Builds the parentheses sequence via an iterative preorder walk.
+    pub fn build(doc: &Document) -> Self {
+        let mut b = SuccinctTreeBuilder::new();
+        // Iterative DFS emitting open/close; avoids recursion on deep docs.
+        enum Step {
+            Open(NodeId),
+            Close,
+        }
+        let mut stack = vec![Step::Open(doc.root())];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Open(v) => {
+                    b.open();
+                    stack.push(Step::Close);
+                    // Children pushed in reverse so the first child pops first.
+                    let kids: Vec<NodeId> = doc.children(v).collect();
+                    for &c in kids.iter().rev() {
+                        stack.push(Step::Open(c));
+                    }
+                }
+                Step::Close => b.close(),
+            }
+        }
+        Self { tree: b.finish() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_xml::parse;
+
+    fn doc() -> Document {
+        parse("<a><b><d/><e/></b><c><f/></c></a>").unwrap()
+    }
+
+    #[test]
+    fn backends_agree() {
+        let d = doc();
+        let a = Topology::build(&d, TopologyKind::Array);
+        let s = Topology::build(&d, TopologyKind::Succinct);
+        assert_eq!(a.len(), s.len());
+        for v in 0..d.len() as u32 {
+            assert_eq!(a.first_child(v), s.first_child(v), "fc({v})");
+            assert_eq!(a.next_sibling(v), s.next_sibling(v), "ns({v})");
+            assert_eq!(a.parent(v), s.parent(v), "parent({v})");
+            assert_eq!(a.subtree_end(v), s.subtree_end(v), "end({v})");
+            assert_eq!(a.depth(v), s.depth(v), "depth({v})");
+        }
+    }
+
+    #[test]
+    fn subtree_extents() {
+        let d = doc();
+        let t = Topology::build(&d, TopologyKind::Array);
+        // a=0 b=1 d=2 e=3 c=4 f=5
+        assert_eq!(t.subtree_end(0), 6);
+        assert_eq!(t.subtree_end(1), 4);
+        assert_eq!(t.subtree_end(2), 3);
+        assert_eq!(t.subtree_end(4), 6);
+        assert_eq!(t.subtree_end(5), 6);
+    }
+
+    #[test]
+    fn succinct_is_smaller_on_large_docs() {
+        // Build a 20k-node comb document.
+        let mut b = xwq_xml::TreeBuilder::new();
+        b.open("r");
+        for _ in 0..20_000 {
+            b.open("x");
+            b.close();
+        }
+        b.close();
+        let d = b.finish();
+        let a = Topology::build(&d, TopologyKind::Array);
+        let s = Topology::build(&d, TopologyKind::Succinct);
+        assert!(
+            s.heap_bytes() * 4 < a.heap_bytes(),
+            "succinct {} vs array {}",
+            s.heap_bytes(),
+            a.heap_bytes()
+        );
+    }
+}

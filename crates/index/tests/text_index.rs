@@ -1,0 +1,51 @@
+//! The text index: content lookup, per-content node lists, and substring
+//! search (the stand-in for SXSI's compressed text index).
+
+use xwq_index::TreeIndex;
+use xwq_xml::parse;
+
+fn ix() -> TreeIndex {
+    TreeIndex::build(
+        &parse(r#"<r a="x1"><p>hello</p><p>world</p><p>hello</p><q b="hello"/></r>"#).unwrap(),
+    )
+}
+
+#[test]
+fn content_interning_and_lists() {
+    let ix = ix();
+    // Distinct contents: x1, hello, world (hello appears three times:
+    // two text nodes and one attribute value).
+    assert_eq!(ix.distinct_text_count(), 3);
+    let hello = ix.lookup_text("hello").expect("interned");
+    let nodes = ix.text_list(hello);
+    assert_eq!(nodes.len(), 3);
+    for &v in nodes {
+        assert_eq!(ix.text_of(v), Some("hello"));
+    }
+    assert!(nodes.windows(2).all(|w| w[0] < w[1]), "document order");
+    assert_eq!(ix.lookup_text("nope"), None);
+}
+
+#[test]
+fn elements_have_no_content() {
+    let ix = ix();
+    assert_eq!(ix.text_of(0), None, "root element");
+    assert_eq!(ix.text_of(ix.first_child(0)), Some("x1"), "attribute @a");
+}
+
+#[test]
+fn substring_search() {
+    let ix = ix();
+    let hits = ix.text_nodes_containing("ell");
+    assert_eq!(hits.len(), 3);
+    let hits = ix.text_nodes_containing("o");
+    assert_eq!(hits.len(), 4, "hello ×3 and world");
+    assert!(ix.text_nodes_containing("zzz").is_empty());
+    assert!(hits.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn empty_needle_matches_every_content_node() {
+    let ix = ix();
+    assert_eq!(ix.text_nodes_containing("").len(), 5);
+}

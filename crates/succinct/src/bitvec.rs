@@ -1,0 +1,152 @@
+//! A plain, growable bit vector backed by `u64` words.
+
+/// A growable sequence of bits.
+///
+/// Bits are stored LSB-first inside `u64` words. This type is the mutable
+/// builder; wrap it in [`crate::RankSelect`] for rank/select queries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Returns the bit at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// The backing words (the last word's unused high bits are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let pattern: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        let bv: BitVec = pattern.iter().copied().collect();
+        assert_eq!(bv.len(), 300);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bv.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut bv: BitVec = (0..130).map(|_| false).collect();
+        bv.set(0, true);
+        bv.set(64, true);
+        bv.set(129, true);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        assert!(!bv.get(1) && !bv.get(63) && !bv.get(128));
+        bv.set(64, false);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bv: BitVec = [true].into_iter().collect();
+        bv.get(1);
+    }
+
+    #[test]
+    fn count_ones_matches_naive() {
+        let bv: BitVec = (0..1000).map(|i| i % 7 < 3).collect();
+        let naive = (0..1000).filter(|i| i % 7 < 3).count();
+        assert_eq!(bv.count_ones(), naive);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let bv = BitVec::new();
+        assert!(bv.is_empty());
+        assert_eq!(bv.len(), 0);
+        assert_eq!(bv.count_ones(), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Balanced-parentheses sequences with a range-min-max segment tree.
+//!
+//! An open parenthesis is a `1` bit, a close is `0`. With
+//! `excess(p) = 2·rank1(p) − p` (the nesting depth after the first `p`
+//! parentheses), matching and enclosing parentheses reduce to searching the
+//! excess walk for its first/last visit to a target value. Because the walk
+//! moves in ±1 steps, a block contains the target value iff the target lies
+//! between the block's min and max excess — which is exactly what the segment
+//! tree stores.
+
+use crate::{BitVec, RankSelect};
+
+/// Bits per leaf block of the range-min-max tree.
+const BLOCK: usize = 256;
+
+/// A balanced-parentheses sequence supporting `find_close`, `find_open`,
+/// and `enclose` in O(BLOCK + log n) time.
+#[derive(Clone, Debug)]
+pub struct Bp {
+    rs: RankSelect,
+    /// Number of leaves in the segment tree (power of two ≥ number of blocks).
+    seg_leaves: usize,
+    /// Implicit segment tree, 1-based; `seg[i] = (min, max)` excess in range.
+    seg: Vec<(i32, i32)>,
+}
+
+/// Sentinel interval for segment-tree nodes covering no positions.
+const EMPTY: (i32, i32) = (i32::MAX, i32::MIN);
+
+impl Bp {
+    /// Builds the structure from a parentheses bit sequence (open = `1`).
+    ///
+    /// The sequence does not need to be balanced as a whole (the tree crate
+    /// always produces balanced input, but partial sequences are permitted
+    /// here; unbalanced queries simply return `None`).
+    pub fn new(bits: BitVec) -> Self {
+        let n = bits.len();
+        let rs = RankSelect::new(bits);
+        // v_p = excess(p) for p in 0..=n  (n+1 values).
+        let n_vals = n + 1;
+        let n_blocks = n_vals.div_ceil(BLOCK);
+        let seg_leaves = n_blocks.next_power_of_two().max(1);
+        let mut seg = vec![EMPTY; 2 * seg_leaves];
+        let mut excess: i32 = 0;
+        let mut cur_min: i32 = i32::MAX;
+        let mut cur_max: i32 = i32::MIN;
+        let mut block = 0usize;
+        for p in 0..=n {
+            if p > 0 {
+                excess += if rs.get(p - 1) { 1 } else { -1 };
+            }
+            let b = p / BLOCK;
+            if b != block {
+                seg[seg_leaves + block] = (cur_min, cur_max);
+                block = b;
+                cur_min = i32::MAX;
+                cur_max = i32::MIN;
+            }
+            cur_min = cur_min.min(excess);
+            cur_max = cur_max.max(excess);
+        }
+        seg[seg_leaves + block] = (cur_min, cur_max);
+        for i in (1..seg_leaves).rev() {
+            let (l, r) = (seg[2 * i], seg[2 * i + 1]);
+            seg[i] = (l.0.min(r.0), l.1.max(r.1));
+        }
+        Self {
+            rs,
+            seg_leaves,
+            seg,
+        }
+    }
+
+    /// Number of parentheses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// True if the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rs.is_empty()
+    }
+
+    /// True if position `p` holds an open parenthesis.
+    #[inline]
+    pub fn is_open(&self, p: usize) -> bool {
+        self.rs.get(p)
+    }
+
+    /// Nesting depth after the first `p` parentheses.
+    #[inline]
+    pub fn excess(&self, p: usize) -> i32 {
+        2 * self.rs.rank1(p) as i32 - p as i32
+    }
+
+    /// Number of open parentheses in `[0, p)` — the preorder rank.
+    #[inline]
+    pub fn rank_open(&self, p: usize) -> usize {
+        self.rs.rank1(p)
+    }
+
+    /// Position of the `k`-th (0-based) open parenthesis.
+    #[inline]
+    pub fn select_open(&self, k: usize) -> Option<usize> {
+        self.rs.select1(k)
+    }
+
+    /// Position of the close parenthesis matching the open at `p`.
+    ///
+    /// Returns `None` if `p` is not an open parenthesis or is unmatched.
+    pub fn find_close(&self, p: usize) -> Option<usize> {
+        if p >= self.len() || !self.is_open(p) {
+            return None;
+        }
+        let target = self.excess(p);
+        // Smallest q in [p+2, n] with excess(q) == target; the match is q-1.
+        self.fwd_value_search(p + 2, target).map(|q| q - 1)
+    }
+
+    /// Position of the open parenthesis matching the close at `p`.
+    pub fn find_open(&self, p: usize) -> Option<usize> {
+        if p >= self.len() || self.is_open(p) {
+            return None;
+        }
+        let target = self.excess(p + 1);
+        // Largest q in [0, p-1] with excess(q) == target; the match is q.
+        if p == 0 {
+            return None;
+        }
+        self.bwd_value_search(p - 1, target)
+    }
+
+    /// Position of the open parenthesis of the tightest enclosing pair of the
+    /// open parenthesis at `p` (its parent in tree terms).
+    pub fn enclose(&self, p: usize) -> Option<usize> {
+        if p >= self.len() || !self.is_open(p) || p == 0 {
+            return None;
+        }
+        let target = self.excess(p) - 1;
+        if target < 0 {
+            return None;
+        }
+        self.bwd_value_search(p - 1, target)
+    }
+
+    /// Smallest `q ≥ from` with `excess(q) == target` (`q` ranges over `0..=len`).
+    fn fwd_value_search(&self, from: usize, target: i32) -> Option<usize> {
+        let n_vals = self.len() + 1;
+        if from >= n_vals {
+            return None;
+        }
+        // Scan the remainder of `from`'s block.
+        let b0 = from / BLOCK;
+        let block_end = ((b0 + 1) * BLOCK).min(n_vals);
+        let mut e = self.excess(from);
+        for q in from..block_end {
+            if q > from {
+                e += if self.rs.get(q - 1) { 1 } else { -1 };
+            }
+            if e == target {
+                return Some(q);
+            }
+        }
+        // Locate the leftmost later block containing the target value.
+        let b = self.seg_find_first(b0 + 1, target)?;
+        let start = b * BLOCK;
+        let end = ((b + 1) * BLOCK).min(n_vals);
+        let mut e = self.excess(start);
+        for q in start..end {
+            if q > start {
+                e += if self.rs.get(q - 1) { 1 } else { -1 };
+            }
+            if e == target {
+                return Some(q);
+            }
+        }
+        unreachable!("segment tree promised the value in block {b}");
+    }
+
+    /// Largest `q ≤ from` with `excess(q) == target`.
+    fn bwd_value_search(&self, from: usize, target: i32) -> Option<usize> {
+        let b0 = from / BLOCK;
+        let block_start = b0 * BLOCK;
+        let mut e = self.excess(from);
+        let mut q = from;
+        loop {
+            if e == target {
+                return Some(q);
+            }
+            if q == block_start {
+                break;
+            }
+            e -= if self.rs.get(q - 1) { 1 } else { -1 };
+            q -= 1;
+        }
+        if b0 == 0 {
+            return None;
+        }
+        // Locate the rightmost earlier block containing the target value.
+        let b = self.seg_find_last(b0 - 1, target)?;
+        let start = b * BLOCK;
+        let end = (b + 1) * BLOCK - 1; // last value index in block b
+        let mut e = self.excess(end);
+        let mut q = end;
+        loop {
+            if e == target {
+                return Some(q);
+            }
+            if q == start {
+                unreachable!("segment tree promised the value in block {b}");
+            }
+            e -= if self.rs.get(q - 1) { 1 } else { -1 };
+            q -= 1;
+        }
+    }
+
+    /// Leftmost leaf block `≥ from_block` whose excess interval contains `t`.
+    fn seg_find_first(&self, from_block: usize, t: i32) -> Option<usize> {
+        self.seg_first_rec(1, 0, self.seg_leaves, from_block, t)
+    }
+
+    fn seg_first_rec(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        t: i32,
+    ) -> Option<usize> {
+        if hi <= from {
+            return None;
+        }
+        let (mn, mx) = self.seg[node];
+        if t < mn || t > mx {
+            return None;
+        }
+        if hi - lo == 1 {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        self.seg_first_rec(2 * node, lo, mid, from, t)
+            .or_else(|| self.seg_first_rec(2 * node + 1, mid, hi, from, t))
+    }
+
+    /// Rightmost leaf block `≤ to_block` whose excess interval contains `t`.
+    fn seg_find_last(&self, to_block: usize, t: i32) -> Option<usize> {
+        self.seg_last_rec(1, 0, self.seg_leaves, to_block, t)
+    }
+
+    fn seg_last_rec(&self, node: usize, lo: usize, hi: usize, to: usize, t: i32) -> Option<usize> {
+        if lo > to {
+            return None;
+        }
+        let (mn, mx) = self.seg[node];
+        if t < mn || t > mx {
+            return None;
+        }
+        if hi - lo == 1 {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        self.seg_last_rec(2 * node + 1, mid, hi, to, t)
+            .or_else(|| self.seg_last_rec(2 * node, lo, mid, to, t))
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.rs.heap_bytes() + self.seg.capacity() * std::mem::size_of::<(i32, i32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp_of(s: &str) -> Bp {
+        Bp::new(s.chars().map(|c| c == '(').collect())
+    }
+
+    /// Naive matching-parenthesis reference.
+    fn naive_close(s: &str, i: usize) -> Option<usize> {
+        let b: Vec<bool> = s.chars().map(|c| c == '(').collect();
+        if !b[i] {
+            return None;
+        }
+        let mut d = 1i32;
+        for (j, &open) in b.iter().enumerate().skip(i + 1) {
+            d += if open { 1 } else { -1 };
+            if d == 0 {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn naive_enclose(s: &str, i: usize) -> Option<usize> {
+        let b: Vec<bool> = s.chars().map(|c| c == '(').collect();
+        if !b[i] || i == 0 {
+            return None;
+        }
+        let mut d = 0i32;
+        for j in (0..i).rev() {
+            if b[j] {
+                if d == 0 {
+                    return Some(j);
+                }
+                d -= 1;
+            } else {
+                d += 1;
+            }
+        }
+        None
+    }
+
+    fn check_all(s: &str) {
+        let bp = bp_of(s);
+        for i in 0..s.len() {
+            if bp.is_open(i) {
+                let close = bp.find_close(i);
+                assert_eq!(close, naive_close(s, i), "find_close({i}) on {s}");
+                if let Some(c) = close {
+                    assert_eq!(bp.find_open(c), Some(i), "find_open({c}) on {s}");
+                }
+                assert_eq!(bp.enclose(i), naive_enclose(s, i), "enclose({i}) on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sequences() {
+        check_all("()");
+        check_all("(())");
+        check_all("()()");
+        check_all("((()())())");
+    }
+
+    #[test]
+    fn deep_nesting_crossing_blocks() {
+        let depth = 3 * BLOCK;
+        let s: String = "(".repeat(depth) + &")".repeat(depth);
+        let bp = bp_of(&s);
+        for i in [0, 1, BLOCK, depth - 1] {
+            assert_eq!(bp.find_close(i), Some(2 * depth - 1 - i));
+            if i > 0 {
+                assert_eq!(bp.enclose(i), Some(i - 1));
+            }
+        }
+        assert_eq!(bp.enclose(0), None);
+    }
+
+    #[test]
+    fn wide_flat_tree_crossing_blocks() {
+        let kids = 2 * BLOCK;
+        let s: String = "(".to_string() + &"()".repeat(kids) + ")";
+        let bp = bp_of(&s);
+        assert_eq!(bp.find_close(0), Some(2 * kids + 1));
+        for k in 0..kids {
+            let open = 1 + 2 * k;
+            assert_eq!(bp.find_close(open), Some(open + 1));
+            assert_eq!(bp.enclose(open), Some(0));
+        }
+    }
+
+    #[test]
+    fn pseudorandom_trees() {
+        // Generate random balanced sequences via a random walk that is forced
+        // to stay positive and return to zero.
+        let mut x = 12345u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..10 {
+            let n = 600 + (rnd() % 512) as usize;
+            let mut s = String::new();
+            let mut depth = 0usize;
+            let mut remaining = n;
+            while remaining > 0 {
+                let must_open = depth == 0;
+                let must_close = depth >= remaining;
+                if must_open || (!must_close && rnd() % 2 == 0) {
+                    s.push('(');
+                    depth += 1;
+                } else {
+                    s.push(')');
+                    depth -= 1;
+                }
+                remaining -= 1;
+            }
+            while depth > 0 {
+                s.push(')');
+                depth -= 1;
+            }
+            check_all(&s);
+        }
+    }
+
+    #[test]
+    fn excess_matches_definition() {
+        let s = "(()((})".replace('}', ")"); // "(()(())" prefix — unbalanced OK
+        let bp = bp_of(&s);
+        let mut e = 0i32;
+        for p in 0..=s.len() {
+            assert_eq!(bp.excess(p), e);
+            if p < s.len() {
+                e += if s.as_bytes()[p] == b'(' { 1 } else { -1 };
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Succinct data structures used as the tree-index substrate.
+//!
+//! The paper (§1) attributes a large part of SXSI's practicality to replacing
+//! pointer-based in-memory XML trees (5–10× memory blow-up) with
+//! *state-of-the-art succinct trees* (Sadakane & Navarro). This crate provides
+//! that substrate from scratch:
+//!
+//! * [`BitVec`] — a plain growable bit vector.
+//! * [`RankSelect`] — constant-time `rank1`/`rank0` and fast `select1` over a
+//!   frozen [`BitVec`].
+//! * [`Bp`] — a balanced-parentheses sequence with `find_close`, `find_open`
+//!   and `enclose` accelerated by a range-min-max (segment) tree.
+//! * [`SuccinctTree`] — an ordinal tree over [`Bp`] exposing the navigation
+//!   operations the index crate needs (`first_child`, `next_sibling`,
+//!   `parent`, `subtree_size`, preorder ids).
+//!
+//! All node identifiers are preorder ranks (`u32`), which is also the node
+//! numbering used throughout the rest of the workspace.
+
+mod bitvec;
+mod bp;
+mod rank_select;
+mod tree;
+
+pub use bitvec::BitVec;
+pub use bp::Bp;
+pub use rank_select::RankSelect;
+pub use tree::{SuccinctTree, SuccinctTreeBuilder};

@@ -1,0 +1,234 @@
+//! Rank/select over a frozen bit vector.
+//!
+//! `rank1(i)` is O(1) via 512-bit superblock counters plus in-word popcounts;
+//! `select1(k)` binary-searches the superblock directory and then scans at
+//! most one superblock, which is O(log n) worst case and effectively constant
+//! for the densities that occur in balanced-parentheses sequences.
+
+use crate::BitVec;
+
+const SUPER_BITS: usize = 512; // 8 words per superblock
+
+/// An immutable bit vector with rank and select support.
+#[derive(Clone, Debug)]
+pub struct RankSelect {
+    bits: BitVec,
+    /// `super_ranks[i]` = number of ones strictly before superblock `i`.
+    super_ranks: Vec<u64>,
+    ones: usize,
+}
+
+impl RankSelect {
+    /// Freezes `bits` and builds the rank directory.
+    pub fn new(bits: BitVec) -> Self {
+        let n_super = bits.len().div_ceil(SUPER_BITS).max(1);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut acc = 0u64;
+        let words = bits.words();
+        for sb in 0..n_super {
+            super_ranks.push(acc);
+            let w0 = sb * (SUPER_BITS / 64);
+            let w1 = (w0 + SUPER_BITS / 64).min(words.len());
+            for w in &words[w0..w1] {
+                acc += w.count_ones() as u64;
+            }
+        }
+        super_ranks.push(acc);
+        Self {
+            bits,
+            super_ranks,
+            ones: acc as usize,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if there are no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// The bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Number of set bits in `[0, i)`. `i` may equal `len()`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.bits.len());
+        let sb = i / SUPER_BITS;
+        let mut r = self.super_ranks[sb] as usize;
+        let words = self.bits.words();
+        let w0 = sb * (SUPER_BITS / 64);
+        let w_end = i / 64;
+        for w in &words[w0..w_end] {
+            r += w.count_ones() as usize;
+        }
+        let rem = i % 64;
+        if rem != 0 {
+            r += (words[w_end] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of clear bits in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th (0-based) set bit, or `None` if `k >= count_ones()`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        let target = k as u64;
+        // Largest superblock whose prefix rank is <= target.
+        let mut lo = 0usize;
+        let mut hi = self.super_ranks.len() - 1; // exclusive upper candidate
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.super_ranks[mid] <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - self.super_ranks[lo] as usize;
+        let words = self.bits.words();
+        let w0 = lo * (SUPER_BITS / 64);
+        for (off, &w) in words[w0..].iter().enumerate() {
+            let c = w.count_ones() as usize;
+            if remaining < c {
+                return Some((w0 + off) * 64 + select_in_word(w, remaining as u32) as usize);
+            }
+            remaining -= c;
+        }
+        None
+    }
+
+    /// Heap footprint in bytes (bit data + directory).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes() + self.super_ranks.capacity() * 8
+    }
+}
+
+/// Position of the `k`-th (0-based) set bit within `w`; requires `k < popcount(w)`.
+#[inline]
+fn select_in_word(mut w: u64, mut k: u32) -> u32 {
+    // Portable binary reduction: halve the candidate range three times, then
+    // scan the remaining byte.
+    let mut pos = 0u32;
+    for shift in [32u32, 16, 8] {
+        let c = (w & ((1u64 << shift) - 1)).count_ones();
+        if k >= c {
+            k -= c;
+            w >>= shift;
+            pos += shift;
+        }
+    }
+    let mut bits = w & 0xFF;
+    loop {
+        let tz = bits.trailing_zeros();
+        if k == 0 {
+            return pos + tz;
+        }
+        k -= 1;
+        bits &= bits - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank(bits: &[bool], i: usize) -> usize {
+        bits[..i].iter().filter(|&&b| b).count()
+    }
+
+    fn naive_select(bits: &[bool], k: usize) -> Option<usize> {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .nth(k)
+            .map(|(i, _)| i)
+    }
+
+    fn check(bits: Vec<bool>) {
+        let rs = RankSelect::new(bits.iter().copied().collect());
+        for i in 0..=bits.len() {
+            assert_eq!(rs.rank1(i), naive_rank(&bits, i), "rank1({i})");
+            assert_eq!(rs.rank0(i), i - naive_rank(&bits, i), "rank0({i})");
+        }
+        let ones = rs.count_ones();
+        for k in 0..ones + 2 {
+            assert_eq!(rs.select1(k), naive_select(&bits, k), "select1({k})");
+        }
+        // rank/select inverse law.
+        for k in 0..ones {
+            let p = rs.select1(k).unwrap();
+            assert_eq!(rs.rank1(p), k);
+            assert!(rs.get(p));
+        }
+    }
+
+    #[test]
+    fn small_patterns() {
+        check(vec![]);
+        check(vec![true]);
+        check(vec![false]);
+        check(vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn periodic_pattern_crossing_superblocks() {
+        check((0..1500).map(|i| i % 5 == 0).collect());
+    }
+
+    #[test]
+    fn dense_and_sparse() {
+        check((0..1200).map(|_| true).collect());
+        check((0..1200).map(|_| false).collect());
+        check((0..1200).map(|i| i == 1199).collect());
+        check((0..1200).map(|i| i == 0).collect());
+    }
+
+    #[test]
+    fn pseudorandom_pattern() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let bits: Vec<bool> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect();
+        check(bits);
+    }
+
+    #[test]
+    fn select_in_word_all_positions() {
+        for bitpos in 0..64u32 {
+            let w = 1u64 << bitpos;
+            assert_eq!(select_in_word(w, 0), bitpos);
+        }
+        let w = 0xAAAA_AAAA_AAAA_AAAAu64; // odd positions set
+        for k in 0..32 {
+            assert_eq!(select_in_word(w, k), 2 * k + 1);
+        }
+    }
+}

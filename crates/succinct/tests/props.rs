@@ -1,0 +1,105 @@
+//! Property tests: succinct tree navigation must agree with a naive
+//! pointer-based reference on arbitrary trees.
+
+use proptest::prelude::*;
+use xwq_succinct::{SuccinctTree, SuccinctTreeBuilder};
+
+/// Reference implementation: explicit child lists.
+struct RefTree {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
+/// A random tree shape: `parents[i]` < `i+1` is the parent of node `i+1`
+/// (node 0 is the root), preorder-numbered by construction below.
+fn arb_tree() -> impl Strategy<Value = Vec<u8>> {
+    // Sequence of "attach depth" choices turned into a preorder walk:
+    // each entry is how many levels to pop before opening the next node.
+    prop::collection::vec(0u8..4, 0..250)
+}
+
+fn build(pops: &[u8]) -> (SuccinctTree, RefTree) {
+    let mut b = SuccinctTreeBuilder::new();
+    let mut stack: Vec<u32> = vec![0];
+    let mut parent: Vec<Option<u32>> = vec![None];
+    let mut children: Vec<Vec<u32>> = vec![vec![]];
+    b.open(); // root = 0
+    let mut next_id = 1u32;
+    #[allow(clippy::explicit_counter_loop)] // next_id doubles as node id
+    for &p in pops {
+        let pops = (p as usize).min(stack.len() - 1);
+        for _ in 0..pops {
+            b.close();
+            stack.pop();
+        }
+        let par = *stack.last().unwrap();
+        b.open();
+        parent.push(Some(par));
+        children.push(vec![]);
+        children[par as usize].push(next_id);
+        stack.push(next_id);
+        next_id += 1;
+    }
+    while stack.pop().is_some() {
+        b.close();
+    }
+    (b.finish(), RefTree { parent, children })
+}
+
+impl RefTree {
+    fn first_child(&self, v: u32) -> Option<u32> {
+        self.children[v as usize].first().copied()
+    }
+    fn next_sibling(&self, v: u32) -> Option<u32> {
+        let p = self.parent[v as usize]?;
+        let sibs = &self.children[p as usize];
+        let i = sibs.iter().position(|&c| c == v).unwrap();
+        sibs.get(i + 1).copied()
+    }
+    fn subtree_size(&self, v: u32) -> u32 {
+        1 + self.children[v as usize]
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<u32>()
+    }
+    fn depth(&self, v: u32) -> u32 {
+        match self.parent[v as usize] {
+            None => 0,
+            Some(p) => 1 + self.depth(p),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn navigation_agrees_with_reference(pops in arb_tree()) {
+        let (st, rt) = build(&pops);
+        let n = st.len() as u32;
+        prop_assert_eq!(n as usize, rt.parent.len());
+        for v in 0..n {
+            prop_assert_eq!(st.parent(v), rt.parent[v as usize], "parent({})", v);
+            prop_assert_eq!(st.first_child(v), rt.first_child(v), "first_child({})", v);
+            prop_assert_eq!(st.next_sibling(v), rt.next_sibling(v), "next_sibling({})", v);
+            prop_assert_eq!(st.subtree_size(v), rt.subtree_size(v), "subtree_size({})", v);
+            prop_assert_eq!(st.depth(v), rt.depth(v), "depth({})", v);
+        }
+    }
+
+    #[test]
+    fn preorder_ids_are_consistent(pops in arb_tree()) {
+        // Walking the succinct tree in preorder must enumerate 0..n in order.
+        let (st, _) = build(&pops);
+        let mut order = vec![];
+        let mut stack = vec![st.root()];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push next sibling first so first child is visited next.
+            if let Some(s) = st.next_sibling(v) { stack.push(s); }
+            if let Some(c) = st.first_child(v) { stack.push(c); }
+        }
+        // The stack walk above visits first-child chains eagerly: this is a
+        // preorder traversal of the whole tree starting at the root.
+        let expected: Vec<u32> = (0..st.len() as u32).collect();
+        prop_assert_eq!(order, expected);
+    }
+}

@@ -1,0 +1,212 @@
+//! The four hand-shaped documents of Fig. 5 (configurations A–D), used with
+//! the query `//listitem//keyword//emph` to probe the hybrid strategy.
+//!
+//! Paper shapes (at scale 1.0):
+//!
+//! * **A** — 75021 `listitem`, 3 `keyword` below listitems (3 in total),
+//!   4 `emph` below those keywords. Hybrid starts at the 3 keywords.
+//! * **B** — 75021 `listitem`, 60234 `keyword` below listitems, 4 `emph`
+//!   below those keywords. Hybrid runs bottom-up from the 4 emphs.
+//! * **C** — 9083 `listitem`, 40493 `keyword` of which only one sits below
+//!   a listitem, 65831 `emph` below that one keyword.
+//! * **D** — 20304 `listitem`, 10209 `keyword` all below one listitem,
+//!   15074 `emph` below one of those keywords (the hybrid worst case).
+//!
+//! `scale` multiplies the large counts; the small absolute counts (3, 4, 1)
+//! are kept, since the paper's point is their *absolute* smallness.
+
+use xwq_xml::{Document, TreeBuilder};
+
+/// Which Fig. 5 document to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig5Config {
+    /// Few keywords below many listitems.
+    A,
+    /// Many keywords, few emphs.
+    B,
+    /// Keywords mostly outside listitems.
+    C,
+    /// Everything under one hub listitem.
+    D,
+}
+
+fn builder() -> TreeBuilder {
+    let mut b = TreeBuilder::new();
+    for n in ["site", "filler", "listitem", "keyword", "emph", "other"] {
+        b.reserve(n);
+    }
+    b
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64) * scale).round().max(1.0) as usize
+}
+
+/// Configuration A.
+pub fn config_a(scale: f64) -> Document {
+    let n_listitem = scaled(75_021, scale);
+    let mut b = builder();
+    b.open("site");
+    for i in 0..n_listitem {
+        b.open("listitem");
+        // 3 keywords spread over the first 3 listitems; 4 emphs over them.
+        if i < 3 {
+            b.open("keyword");
+            b.open("emph");
+            b.close();
+            if i == 0 {
+                b.open("emph");
+                b.close();
+            }
+            b.close();
+        } else {
+            b.open("filler");
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// Configuration B.
+pub fn config_b(scale: f64) -> Document {
+    let n_listitem = scaled(75_021, scale);
+    let n_keyword = scaled(60_234, scale).min(n_listitem);
+    let mut b = builder();
+    b.open("site");
+    for i in 0..n_listitem {
+        b.open("listitem");
+        if i < n_keyword {
+            b.open("keyword");
+            if i < 4 {
+                b.open("emph");
+                b.close();
+            }
+            b.close();
+        } else {
+            b.open("filler");
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// Configuration C.
+pub fn config_c(scale: f64) -> Document {
+    let n_listitem = scaled(9_083, scale);
+    let n_keyword_outside = scaled(40_493, scale) - 1;
+    let n_emph = scaled(65_831, scale);
+    let mut b = builder();
+    b.open("site");
+    // Keywords outside any listitem.
+    b.open("other");
+    for _ in 0..n_keyword_outside {
+        b.open("keyword");
+        b.close();
+    }
+    b.close();
+    // One listitem hosts the single inside-keyword with all the emphs.
+    b.open("listitem");
+    b.open("keyword");
+    for _ in 0..n_emph {
+        b.open("emph");
+        b.close();
+    }
+    b.close();
+    b.close();
+    for _ in 1..n_listitem {
+        b.open("listitem");
+        b.open("filler");
+        b.close();
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// Configuration D.
+pub fn config_d(scale: f64) -> Document {
+    let n_listitem = scaled(20_304, scale);
+    let n_keyword = scaled(10_209, scale);
+    let n_emph = scaled(15_074, scale);
+    let mut b = builder();
+    b.open("site");
+    // One hub listitem owns every keyword; one keyword owns every emph.
+    b.open("listitem");
+    b.open("keyword");
+    for _ in 0..n_emph {
+        b.open("emph");
+        b.close();
+    }
+    b.close();
+    for _ in 1..n_keyword {
+        b.open("keyword");
+        b.close();
+    }
+    b.close();
+    for _ in 1..n_listitem {
+        b.open("listitem");
+        b.open("filler");
+        b.close();
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// Builds the document for a configuration.
+pub fn build(config: Fig5Config, scale: f64) -> Document {
+    match config {
+        Fig5Config::A => config_a(scale),
+        Fig5Config::B => config_b(scale),
+        Fig5Config::C => config_c(scale),
+        Fig5Config::D => config_d(scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(d: &Document, name: &str) -> usize {
+        match d.alphabet().lookup(name) {
+            None => 0,
+            Some(l) => (0..d.len() as u32).filter(|&v| d.label(v) == l).count(),
+        }
+    }
+
+    #[test]
+    fn config_a_shape() {
+        let d = config_a(0.01);
+        assert_eq!(count(&d, "listitem"), 750);
+        assert_eq!(count(&d, "keyword"), 3);
+        assert_eq!(count(&d, "emph"), 4);
+    }
+
+    #[test]
+    fn config_b_shape() {
+        let d = config_b(0.01);
+        assert_eq!(count(&d, "listitem"), 750);
+        assert_eq!(count(&d, "keyword"), 602);
+        assert_eq!(count(&d, "emph"), 4);
+    }
+
+    #[test]
+    fn config_c_shape() {
+        let d = config_c(0.01);
+        assert_eq!(count(&d, "listitem"), 91);
+        assert_eq!(count(&d, "keyword"), 405);
+        assert_eq!(count(&d, "emph"), 658);
+    }
+
+    #[test]
+    fn config_d_shape() {
+        let d = config_d(0.01);
+        assert_eq!(count(&d, "listitem"), 203);
+        assert_eq!(count(&d, "keyword"), 102);
+        assert_eq!(count(&d, "emph"), 151);
+    }
+}

@@ -1,0 +1,494 @@
+//! The XMark-shaped document generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xwq_xml::{Document, TreeBuilder};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    /// Scale factor: 1.0 ≈ 600k nodes (use 0.1 for quick tests).
+    pub factor: f64,
+    /// RNG seed; same seed + factor ⇒ identical document.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            factor: 0.1,
+            seed: 0x5eed_dead_beef,
+        }
+    }
+}
+
+const WORDS: [&str; 24] = [
+    "mountain", "river", "auction", "quality", "vintage", "gold", "silver", "rapid", "quiet",
+    "storm", "harbor", "signal", "meadow", "copper", "lantern", "summer", "winter", "bridge",
+    "castle", "orchid", "falcon", "ember", "willow", "granite",
+];
+
+const REGIONS: [(&str, f64); 6] = [
+    ("africa", 0.06),
+    ("asia", 0.11),
+    ("australia", 0.12),
+    ("europe", 0.33),
+    ("namerica", 0.27),
+    ("samerica", 0.11),
+];
+
+/// Generates an XMark-shaped document.
+pub fn generate(opts: GenOptions) -> Document {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(opts.seed),
+        b: TreeBuilder::new(),
+        id: 0,
+    };
+    let f = opts.factor;
+    // Reserve the full vocabulary so label ids are stable across scales.
+    for name in [
+        "site", "regions", "africa", "asia", "australia", "europe", "namerica", "samerica",
+        "item", "location", "quantity", "name", "payment", "description", "shipping",
+        "incategory", "mailbox", "mail", "from", "to", "date", "text", "keyword", "bold",
+        "emph", "parlist", "listitem", "people", "person", "emailaddress", "phone", "address",
+        "street", "city", "country", "zipcode", "homepage", "creditcard", "open_auctions",
+        "open_auction", "initial", "bidder", "increase", "current", "itemref", "seller",
+        "annotation", "author", "happiness", "closed_auctions", "closed_auction", "buyer",
+        "price", "type", "categories", "category", "catgraph", "edge", "@id", "@category",
+        "@person", "@item", "@open_auction", "@from", "@to", "#text",
+    ] {
+        g.b.reserve(name);
+    }
+
+    let n_items = (2000.0 * f) as usize;
+    let n_people = (1200.0 * f) as usize;
+    let n_open = (600.0 * f) as usize;
+    let n_closed = (500.0 * f) as usize;
+    let n_categories = (100.0 * f).max(1.0) as usize;
+
+    g.b.open("site");
+    g.regions(n_items);
+    g.categories(n_categories);
+    g.catgraph(n_categories);
+    g.people(n_people);
+    g.open_auctions(n_open);
+    g.closed_auctions(n_closed);
+    g.b.close();
+    g.b.finish()
+}
+
+struct Gen {
+    rng: StdRng,
+    b: TreeBuilder,
+    id: u64,
+}
+
+impl Gen {
+    fn fresh_id(&mut self, prefix: &str) -> String {
+        self.id += 1;
+        format!("{prefix}{}", self.id)
+    }
+
+    fn words(&mut self, lo: usize, hi: usize) -> String {
+        let n = self.rng.gen_range(lo..=hi);
+        let mut s = String::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        s
+    }
+
+    /// XMark's `text` content: words with sprinkled keyword/bold/emph markup.
+    /// Adjacent plain-text pieces are coalesced so the document round-trips
+    /// through serialization without node-count changes.
+    fn markup_text(&mut self, depth: usize) {
+        self.b.open("text");
+        let pieces = self.rng.gen_range(1..=4);
+        let mut pending = String::new();
+        for _ in 0..pieces {
+            let roll: f64 = self.rng.gen();
+            if roll < 0.55 || depth == 0 {
+                let w = self.words(2, 8);
+                if !pending.is_empty() {
+                    pending.push(' ');
+                }
+                pending.push_str(&w);
+                continue;
+            }
+            if !pending.is_empty() {
+                self.b.text(&pending);
+                pending.clear();
+            }
+            let tag = if roll < 0.75 {
+                "keyword"
+            } else if roll < 0.9 {
+                "emph"
+            } else {
+                "bold"
+            };
+            self.inline_markup(tag, depth);
+        }
+        if !pending.is_empty() {
+            self.b.text(&pending);
+        }
+        self.b.close();
+    }
+
+    /// One inline markup element; XMark's text grammar lets markup nest
+    /// (`<keyword>… <emph>…</emph></keyword>`), which Q08 and Q14 rely on.
+    fn inline_markup(&mut self, tag: &str, depth: usize) {
+        self.b.open(tag);
+        let w = self.words(1, 3);
+        self.b.text(&w);
+        if depth > 0 && self.rng.gen_bool(0.25) {
+            let inner = match self.rng.gen_range(0..3) {
+                0 => "keyword",
+                1 => "emph",
+                _ => "bold",
+            };
+            self.inline_markup(inner, depth - 1);
+        }
+        self.b.close();
+    }
+
+    /// `description ::= text | parlist`.
+    fn description(&mut self, depth: usize) {
+        self.b.open("description");
+        if self.rng.gen_bool(0.6) || depth == 0 {
+            self.markup_text(depth);
+        } else {
+            self.parlist(depth - 1);
+        }
+        self.b.close();
+    }
+
+    /// `parlist ::= listitem*`, `listitem ::= text | parlist` (recursive).
+    fn parlist(&mut self, depth: usize) {
+        self.b.open("parlist");
+        let n = self.rng.gen_range(1..=4);
+        for _ in 0..n {
+            self.b.open("listitem");
+            if depth > 0 && self.rng.gen_bool(0.3) {
+                self.parlist(depth - 1);
+            } else {
+                self.markup_text(depth);
+            }
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn regions(&mut self, n_items: usize) {
+        self.b.open("regions");
+        for (name, share) in REGIONS {
+            self.b.open(name);
+            let count = ((n_items as f64) * share).round() as usize;
+            for _ in 0..count {
+                self.item();
+            }
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn item(&mut self) {
+        self.b.open("item");
+        let id = self.fresh_id("item");
+        self.b.attribute("id", &id);
+        self.b.open("location");
+        let w = self.words(1, 2);
+        self.b.text(&w);
+        self.b.close();
+        self.b.open("quantity");
+        let q = self.rng.gen_range(1..5).to_string();
+        self.b.text(&q);
+        self.b.close();
+        self.b.open("name");
+        let w = self.words(1, 3);
+        self.b.text(&w);
+        self.b.close();
+        self.b.open("payment");
+        let w = self.words(1, 2);
+        self.b.text(&w);
+        self.b.close();
+        self.description(2);
+        self.b.open("shipping");
+        let w = self.words(1, 3);
+        self.b.text(&w);
+        self.b.close();
+        for _ in 0..self.rng.gen_range(0..3) {
+            self.b.open("incategory");
+            let c = self.fresh_id("category");
+            self.b.attribute("category", &c);
+            self.b.close();
+        }
+        self.mailbox();
+        self.b.close();
+    }
+
+    fn mailbox(&mut self) {
+        self.b.open("mailbox");
+        let mails = self.rng.gen_range(0..4);
+        for _ in 0..mails {
+            self.b.open("mail");
+            self.b.open("from");
+            let w = self.words(1, 2);
+            self.b.text(&w);
+            self.b.close();
+            self.b.open("to");
+            let w = self.words(1, 2);
+            self.b.text(&w);
+            self.b.close();
+            // Some mails lack a date — Q09's predicate is selective.
+            if self.rng.gen_bool(0.8) {
+                self.b.open("date");
+                let d = format!(
+                    "{:02}/{:02}/{}",
+                    self.rng.gen_range(1..13),
+                    self.rng.gen_range(1..29),
+                    self.rng.gen_range(1998..2002)
+                );
+                self.b.text(&d);
+                self.b.close();
+            }
+            self.markup_text(1);
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn people(&mut self, n: usize) {
+        self.b.open("people");
+        for _ in 0..n {
+            self.b.open("person");
+            let id = self.fresh_id("person");
+            self.b.attribute("id", &id);
+            self.b.open("name");
+            let w = self.words(2, 2);
+            self.b.text(&w);
+            self.b.close();
+            self.b.open("emailaddress");
+            let w = self.words(1, 1);
+            self.b.text(&w);
+            self.b.close();
+            if self.rng.gen_bool(0.5) {
+                self.b.open("phone");
+                let p = format!("+{} ({}) {}", self.rng.gen_range(1..99),
+                    self.rng.gen_range(100..999), self.rng.gen_range(1000..99999));
+                self.b.text(&p);
+                self.b.close();
+            }
+            if self.rng.gen_bool(0.6) {
+                self.b.open("address");
+                for part in ["street", "city", "country", "zipcode"] {
+                    self.b.open(part);
+                    let w = self.words(1, 2);
+                    self.b.text(&w);
+                    self.b.close();
+                }
+                self.b.close();
+            }
+            if self.rng.gen_bool(0.3) {
+                self.b.open("homepage");
+                let w = format!("http://www.{}.example/", self.words(1, 1));
+                self.b.text(&w);
+                self.b.close();
+            }
+            if self.rng.gen_bool(0.4) {
+                self.b.open("creditcard");
+                let c = format!("{} {} {} {}", self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999), self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999));
+                self.b.text(&c);
+                self.b.close();
+            }
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn open_auctions(&mut self, n: usize) {
+        self.b.open("open_auctions");
+        for _ in 0..n {
+            self.b.open("open_auction");
+            let id = self.fresh_id("open_auction");
+            self.b.attribute("id", &id);
+            self.b.open("initial");
+            let v = format!("{:.2}", self.rng.gen_range(1.0..100.0));
+            self.b.text(&v);
+            self.b.close();
+            for _ in 0..self.rng.gen_range(0..4) {
+                self.b.open("bidder");
+                self.b.open("date");
+                let d = self.words(1, 1);
+                self.b.text(&d);
+                self.b.close();
+                self.b.open("increase");
+                let v = format!("{:.2}", self.rng.gen_range(1.0..20.0));
+                self.b.text(&v);
+                self.b.close();
+                self.b.close();
+            }
+            self.b.open("current");
+            let v = format!("{:.2}", self.rng.gen_range(1.0..300.0));
+            self.b.text(&v);
+            self.b.close();
+            self.b.open("itemref");
+            let r = self.fresh_id("item");
+            self.b.attribute("item", &r);
+            self.b.close();
+            self.b.open("seller");
+            let p = self.fresh_id("person");
+            self.b.attribute("person", &p);
+            self.b.close();
+            self.annotation();
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn closed_auctions(&mut self, n: usize) {
+        self.b.open("closed_auctions");
+        for _ in 0..n {
+            self.b.open("closed_auction");
+            self.b.open("seller");
+            let p = self.fresh_id("person");
+            self.b.attribute("person", &p);
+            self.b.close();
+            self.b.open("buyer");
+            let p = self.fresh_id("person");
+            self.b.attribute("person", &p);
+            self.b.close();
+            self.b.open("itemref");
+            let r = self.fresh_id("item");
+            self.b.attribute("item", &r);
+            self.b.close();
+            self.b.open("price");
+            let v = format!("{:.2}", self.rng.gen_range(1.0..500.0));
+            self.b.text(&v);
+            self.b.close();
+            self.b.open("date");
+            let d = format!(
+                "{:02}/{:02}/{}",
+                self.rng.gen_range(1..13),
+                self.rng.gen_range(1..29),
+                self.rng.gen_range(1998..2002)
+            );
+            self.b.text(&d);
+            self.b.close();
+            self.b.open("quantity");
+            let q = self.rng.gen_range(1..5).to_string();
+            self.b.text(&q);
+            self.b.close();
+            self.b.open("type");
+            let w = self.words(1, 1);
+            self.b.text(&w);
+            self.b.close();
+            self.annotation();
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    /// Closed/open-auction annotations: where Q03's
+    /// `annotation/description/parlist/listitem` paths come from.
+    fn annotation(&mut self) {
+        self.b.open("annotation");
+        self.b.open("author");
+        let p = self.fresh_id("person");
+        self.b.attribute("person", &p);
+        self.b.close();
+        self.b.open("description");
+        if self.rng.gen_bool(0.7) {
+            self.parlist(2);
+        } else {
+            self.markup_text(1);
+        }
+        self.b.close();
+        self.b.open("happiness");
+        let h = self.rng.gen_range(1..11).to_string();
+        self.b.text(&h);
+        self.b.close();
+        self.b.close();
+    }
+
+    fn categories(&mut self, n: usize) {
+        self.b.open("categories");
+        for _ in 0..n {
+            self.b.open("category");
+            let id = self.fresh_id("category");
+            self.b.attribute("id", &id);
+            self.b.open("name");
+            let w = self.words(1, 2);
+            self.b.text(&w);
+            self.b.close();
+            self.description(1);
+            self.b.close();
+        }
+        self.b.close();
+    }
+
+    fn catgraph(&mut self, n: usize) {
+        self.b.open("catgraph");
+        for _ in 0..n {
+            self.b.open("edge");
+            let f = self.fresh_id("category");
+            self.b.attribute("from", &f);
+            let t = self.fresh_id("category");
+            self.b.attribute("to", &t);
+            self.b.close();
+        }
+        self.b.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(GenOptions { factor: 0.02, seed: 7 });
+        let b = generate(GenOptions { factor: 0.02, seed: 7 });
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.to_xml(), b.to_xml());
+        let c = generate(GenOptions { factor: 0.02, seed: 8 });
+        assert_ne!(a.to_xml(), c.to_xml());
+    }
+
+    #[test]
+    fn has_the_vocabulary_the_queries_need() {
+        let d = generate(GenOptions { factor: 0.05, seed: 1 });
+        let al = d.alphabet();
+        for name in [
+            "site", "regions", "europe", "item", "mailbox", "mail", "date", "text", "keyword",
+            "emph", "parlist", "listitem", "people", "person", "address", "phone", "homepage",
+            "closed_auctions", "closed_auction", "annotation", "description",
+        ] {
+            let l = al.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(
+                (0..d.len() as u32).any(|v| d.label(v) == l),
+                "no node labelled {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn scales_roughly_linearly() {
+        let small = generate(GenOptions { factor: 0.02, seed: 3 });
+        let large = generate(GenOptions { factor: 0.08, seed: 3 });
+        let ratio = large.len() as f64 / small.len() as f64;
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn parses_back_from_serialization() {
+        let d = generate(GenOptions { factor: 0.01, seed: 4 });
+        let xml = d.to_xml();
+        let d2 = xwq_xml::parse(&xml).unwrap();
+        assert_eq!(d.len(), d2.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! Deterministic XMark-like documents (§5 of the paper).
+//!
+//! The paper's experiments run over documents produced by the XMark
+//! benchmark generator \[19\] and the queries of XPathMark \[4\] (Fig. 2). We
+//! cannot ship the original generator, so this crate synthesizes documents
+//! with the same element vocabulary and nesting grammar — `site/regions/…/
+//! item/mailbox/mail/text/keyword`, `people/person/(address|phone|homepage)`,
+//! `closed_auctions/…/annotation/description/parlist/listitem` with the
+//! recursive `listitem/parlist` structure, and `keyword`/`bold`/`emph` text
+//! markup — scaled by a factor and fully deterministic given a seed (see
+//! DESIGN.md, substitution table).
+//!
+//! Also here: the four hand-shaped documents of Fig. 5 (configurations A–D)
+//! and the Fig. 2 query list Q01–Q15.
+
+mod figure5;
+mod generator;
+mod queries;
+
+pub use figure5::{build as fig5_build, config_a, config_b, config_c, config_d, Fig5Config};
+pub use generator::{generate, GenOptions};
+pub use queries::{queries, query, QUERY_COUNT};

@@ -1,0 +1,55 @@
+//! The tree queries of Fig. 2 (XPathMark Q01–Q09 plus the paper's Q10–Q15).
+
+/// Number of queries.
+pub const QUERY_COUNT: usize = 15;
+
+const QUERIES: [&str; QUERY_COUNT] = [
+    "/site/regions",
+    "/site/regions/europe/item/mailbox/mail/text/keyword",
+    "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem",
+    "/site/regions/*/item",
+    "//listitem//keyword",
+    "/site/regions/*/item//keyword",
+    "/site/people/person[ address and (phone or homepage) ]",
+    "//listitem[ .//keyword and .//emph ]//parlist",
+    "/site/regions/*/item[ mailbox/mail/date ]/mailbox/mail",
+    "/site[ .//keyword ]",
+    "/site//keyword",
+    "/site[ .//keyword ]//keyword",
+    "/site[ .//keyword or .//keyword/emph ]//keyword",
+    "/site[ .//keyword//emph ]/descendant::keyword",
+    "/site[ .//*//* ]//keyword",
+];
+
+/// All queries with their 1-based Fig. 2 numbering.
+pub fn queries() -> impl Iterator<Item = (usize, &'static str)> {
+    QUERIES.iter().enumerate().map(|(i, &q)| (i + 1, q))
+}
+
+/// Query `Qnn` by 1-based number.
+///
+/// # Panics
+/// Panics if `n` is not in `1..=15`.
+pub fn query(n: usize) -> &'static str {
+    QUERIES[n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for (n, q) in queries() {
+            assert!(xwq_xpath::parse_xpath(q).is_ok(), "Q{n:02}: {q}");
+        }
+    }
+
+    #[test]
+    fn numbering() {
+        assert_eq!(query(1), "/site/regions");
+        assert_eq!(query(5), "//listitem//keyword");
+        assert_eq!(query(15), "/site[ .//*//* ]//keyword");
+        assert_eq!(queries().count(), QUERY_COUNT);
+    }
+}

@@ -1,0 +1,213 @@
+//! Programmatic document construction.
+
+use crate::{Alphabet, Document, LabelKind, NodeId, NONE};
+
+/// Builds a [`Document`] through a preorder walk.
+///
+/// ```
+/// use xwq_xml::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// b.open("site");
+/// b.attribute("id", "s1");
+/// b.open("regions");
+/// b.text("hello");
+/// b.close();
+/// b.close();
+/// let doc = b.finish();
+/// assert_eq!(doc.to_xml(), r#"<site id="s1"><regions>hello</regions></site>"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    alphabet: Alphabet,
+    labels: Vec<u32>,
+    parent: Vec<NodeId>,
+    first_child: Vec<NodeId>,
+    next_sibling: Vec<NodeId>,
+    text_ref: Vec<u32>,
+    texts: Vec<String>,
+    /// Stack of (node, last_child_so_far).
+    stack: Vec<(NodeId, NodeId)>,
+    /// True once the root element has been closed.
+    root_done: bool,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` into the alphabet without creating a node.
+    ///
+    /// Useful to fix label ids across documents (automata compiled against
+    /// one alphabet can then run on several documents).
+    pub fn reserve(&mut self, name: &str) {
+        self.alphabet.intern(name);
+    }
+
+    fn add_node(&mut self, name: &str, text: Option<&str>) -> NodeId {
+        assert!(
+            !self.root_done,
+            "document already has a closed root element"
+        );
+        let id = self.labels.len() as NodeId;
+        let label = self.alphabet.intern(name);
+        self.labels.push(label);
+        self.first_child.push(NONE);
+        self.next_sibling.push(NONE);
+        match self.stack.last_mut() {
+            None => {
+                assert!(id == 0, "only one root element is allowed");
+                self.parent.push(NONE);
+            }
+            Some((p, last)) => {
+                self.parent.push(*p);
+                if *last == NONE {
+                    self.first_child[*p as usize] = id;
+                } else {
+                    self.next_sibling[*last as usize] = id;
+                }
+                *last = id;
+            }
+        }
+        match text {
+            Some(t) => {
+                self.text_ref.push(self.texts.len() as u32);
+                self.texts.push(t.to_string());
+            }
+            None => self.text_ref.push(u32::MAX),
+        }
+        id
+    }
+
+    /// Opens an element.
+    pub fn open(&mut self, name: &str) -> NodeId {
+        assert!(
+            self.alphabet.lookup(name).map(|l| self.alphabet.kind(l)) != Some(LabelKind::Text)
+                && !name.starts_with('@')
+                && name != "#text",
+            "use text()/attribute() for non-element nodes"
+        );
+        let id = self.add_node(name, None);
+        self.stack.push((id, NONE));
+        id
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close(&mut self) {
+        self.stack.pop().expect("close() without open()");
+        if self.stack.is_empty() {
+            self.root_done = true;
+        }
+    }
+
+    /// Adds a text node under the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn text(&mut self, content: &str) -> NodeId {
+        assert!(!self.stack.is_empty(), "text() outside any element");
+        self.add_node("#text", Some(content))
+    }
+
+    /// Adds an attribute node under the current element.
+    ///
+    /// Attributes must be added before any child elements or text, matching
+    /// the encoding convention (attribute nodes sort first among children).
+    ///
+    /// # Panics
+    /// Panics if no element is open or a non-attribute child already exists.
+    pub fn attribute(&mut self, name: &str, value: &str) -> NodeId {
+        let (_, last) = *self.stack.last().expect("attribute() outside any element");
+        if last != NONE {
+            assert_eq!(
+                self.alphabet.kind(self.labels[last as usize]),
+                LabelKind::Attribute,
+                "attributes must precede other children"
+            );
+        }
+        self.add_node(&format!("@{name}"), Some(value))
+    }
+
+    /// Finishes and returns the document.
+    ///
+    /// # Panics
+    /// Panics if no root was created or elements are still open.
+    pub fn finish(self) -> Document {
+        assert!(self.stack.is_empty(), "unclosed element(s)");
+        assert!(!self.labels.is_empty(), "empty document");
+        Document {
+            alphabet: self.alphabet,
+            labels: self.labels,
+            parent: self.parent,
+            first_child: self.first_child,
+            next_sibling: self.next_sibling,
+            text_ref: self.text_ref,
+            texts: self.texts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_preorder_arrays() {
+        let mut b = TreeBuilder::new();
+        b.open("a"); // 0
+        b.open("b"); // 1
+        b.open("d"); // 2
+        b.close();
+        b.close();
+        b.open("c"); // 3
+        b.close();
+        b.close();
+        let d = b.finish();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.name(0), "a");
+        assert_eq!(d.first_child(0), 1);
+        assert_eq!(d.next_sibling(1), 3);
+        assert_eq!(d.first_child(1), 2);
+        assert_eq!(d.next_sibling(2), NONE);
+        assert_eq!(d.parent(3), 0);
+        assert_eq!(d.children(0).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a closed root")]
+    fn two_roots_panic() {
+        let mut b = TreeBuilder::new();
+        b.open("a");
+        b.close();
+        b.open("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes must precede")]
+    fn late_attribute_panics() {
+        let mut b = TreeBuilder::new();
+        b.open("a");
+        b.open("b");
+        b.close();
+        b.attribute("id", "1");
+    }
+
+    #[test]
+    fn text_and_attributes() {
+        let mut b = TreeBuilder::new();
+        b.open("item");
+        b.attribute("id", "i7");
+        b.text("hi");
+        b.close();
+        let d = b.finish();
+        assert_eq!(d.kind(1), LabelKind::Attribute);
+        assert_eq!(d.text(1), Some("i7"));
+        assert_eq!(d.kind(2), LabelKind::Text);
+        assert_eq!(d.text(2), Some("hi"));
+        assert_eq!(d.text(0), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! The preorder-array document representation.
+//!
+//! Nodes are numbered in document (pre-)order, root = 0. The arrays
+//! `first_child` / `next_sibling` are exactly the binary-tree view of §2:
+//! `π·1` is the first child and `π·2` the next sibling; the absent-child
+//! leaf `#` corresponds to [`NONE`].
+
+use crate::{Alphabet, LabelId, LabelKind};
+use std::fmt::Write as _;
+
+/// Preorder node identifier.
+pub type NodeId = u32;
+
+/// Sentinel for "no node" — the `#` leaf of the paper's binary trees.
+pub const NONE: NodeId = u32::MAX;
+
+/// An immutable XML document in preorder arrays.
+#[derive(Clone, Debug)]
+pub struct Document {
+    pub(crate) alphabet: Alphabet,
+    pub(crate) labels: Vec<LabelId>,
+    pub(crate) parent: Vec<NodeId>,
+    pub(crate) first_child: Vec<NodeId>,
+    pub(crate) next_sibling: Vec<NodeId>,
+    /// Index into `texts` for text/attribute nodes, `u32::MAX` otherwise.
+    pub(crate) text_ref: Vec<u32>,
+    pub(crate) texts: Vec<String>,
+}
+
+impl Document {
+    /// Number of nodes (elements + attributes + text nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Documents always have a root element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root element (node 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// The document's label alphabet.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.labels[v as usize]
+    }
+
+    /// Label name of `v`.
+    #[inline]
+    pub fn name(&self, v: NodeId) -> &str {
+        self.alphabet.name(self.label(v))
+    }
+
+    /// Node kind of `v` (element / text / attribute).
+    #[inline]
+    pub fn kind(&self, v: NodeId) -> LabelKind {
+        self.alphabet.kind(self.label(v))
+    }
+
+    /// Parent of `v`, or [`NONE`] for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// First child (`π·1`), or [`NONE`].
+    #[inline]
+    pub fn first_child(&self, v: NodeId) -> NodeId {
+        self.first_child[v as usize]
+    }
+
+    /// Next sibling (`π·2`), or [`NONE`].
+    #[inline]
+    pub fn next_sibling(&self, v: NodeId) -> NodeId {
+        self.next_sibling[v as usize]
+    }
+
+    /// Text content of a text or attribute node, `None` for elements.
+    pub fn text(&self, v: NodeId) -> Option<&str> {
+        let r = self.text_ref[v as usize];
+        if r == u32::MAX {
+            None
+        } else {
+            Some(&self.texts[r as usize])
+        }
+    }
+
+    /// Iterator over the children of `v` in document order.
+    pub fn children(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.first_child(v);
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                None
+            } else {
+                let out = cur;
+                cur = self.next_sibling(out);
+                Some(out)
+            }
+        })
+    }
+
+    /// Iterator over all nodes in document order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.len() as NodeId
+    }
+
+    /// Serializes the document back to XML text.
+    ///
+    /// Attribute nodes become attributes, text nodes are escaped, everything
+    /// else round-trips through [`crate::parse`].
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_node(0, &mut out);
+        out
+    }
+
+    fn write_node(&self, v: NodeId, out: &mut String) {
+        match self.kind(v) {
+            LabelKind::Text => escape_text(self.text(v).unwrap_or(""), out),
+            LabelKind::Attribute => {
+                // Attributes are emitted by their parent element.
+            }
+            LabelKind::Element => {
+                let name = self.name(v);
+                let _ = write!(out, "<{name}");
+                let mut child = self.first_child(v);
+                // Attributes come first by construction.
+                while child != NONE && self.kind(child) == LabelKind::Attribute {
+                    let aname = &self.name(child)[1..]; // strip '@'
+                    let _ = write!(out, " {aname}=\"");
+                    escape_attr(self.text(child).unwrap_or(""), out);
+                    out.push('"');
+                    child = self.next_sibling(child);
+                }
+                if child == NONE {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                while child != NONE {
+                    self.write_node(child, out);
+                    child = self.next_sibling(child);
+                }
+                let _ = write!(out, "</{name}>");
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.capacity() * 4
+            + self.parent.capacity() * 4
+            + self.first_child.capacity() * 4
+            + self.next_sibling.capacity() * 4
+            + self.text_ref.capacity() * 4
+            + self.texts.iter().map(|t| t.capacity()).sum::<usize>()
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! A small, non-validating XML parser.
+//!
+//! Supports the subset needed for XMark-style documents and tests: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions, an optional XML declaration and DOCTYPE (both skipped), and
+//! the five named entities plus numeric character references.
+//! Whitespace-only text between elements is dropped (data-oriented XML).
+
+use crate::{Document, TreeBuilder};
+use std::fmt;
+
+/// A parse failure with byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_seeded(input, &[])
+}
+
+/// Parses an XML document with label ids pre-assigned to `seed_labels` in
+/// order (labels not occurring in the document still enter the alphabet).
+pub fn parse_seeded(input: &str, seed_labels: &[&str]) -> Result<Document, ParseError> {
+    let mut builder = TreeBuilder::new();
+    for l in seed_labels {
+        builder.reserve(l);
+    }
+    Parser {
+        s: input.as_bytes(),
+        pos: 0,
+        builder,
+        depth: 0,
+        seen_root: false,
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+    depth: usize,
+    seen_root: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        self.s[self.pos..].starts_with(pat.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, pat: &str) -> Result<(), ParseError> {
+        if self.starts_with(pat) {
+            self.pos += pat.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{pat}`"))
+        }
+    }
+
+    /// Skips until (and over) `pat`.
+    fn skip_until(&mut self, pat: &str) -> Result<(), ParseError> {
+        match self.s[self.pos..]
+            .windows(pat.len())
+            .position(|w| w == pat.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct, expected `{pat}`")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        let first = self.s[start];
+        if first.is_ascii_digit() || matches!(first, b'-' | b'.') {
+            return self.err("names may not start with a digit, '-' or '.'");
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn run(mut self) -> Result<Document, ParseError> {
+        self.misc()?;
+        if self.peek() != Some(b'<') {
+            return self.err("expected root element");
+        }
+        self.element()?;
+        self.seen_root = true;
+        self.misc()?;
+        if self.pos != self.s.len() {
+            return self.err("trailing content after root element");
+        }
+        Ok(self.builder.finish())
+    }
+
+    /// Skips whitespace, comments, PIs, XML declaration and DOCTYPE.
+    fn misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // No internal-subset support: skip to the first '>'.
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<(), ParseError> {
+        self.expect("<")?;
+        let name = self.name()?;
+        self.builder.open(&name);
+        self.depth += 1;
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self.builder.close();
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return self.err("unterminated attribute value");
+                    }
+                    let raw = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    let value = decode_entities(&raw).map_err(|m| ParseError {
+                        offset: start,
+                        message: m,
+                    })?;
+                    self.builder.attribute(&aname, &value);
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end = self.name()?;
+                if end != name {
+                    return self.err(format!("mismatched end tag `</{end}>`, expected `{name}`"));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                self.builder.close();
+                self.depth -= 1;
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let content =
+                    String::from_utf8_lossy(&self.s[start..self.pos - 3]).into_owned();
+                if !content.is_empty() {
+                    self.builder.text(&content);
+                }
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                self.element()?;
+            } else if self.peek().is_none() {
+                return self.err(format!("unterminated element `{name}`"));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                let text = decode_entities(&raw).map_err(|m| ParseError {
+                    offset: start,
+                    message: m,
+                })?;
+                if !text.trim().is_empty() {
+                    self.builder.text(&text);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes `&lt; &gt; &amp; &quot; &apos; &#NN; &#xHH;`.
+fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad hex character reference `&{ent};`"))?;
+                out.push(
+                    char::from_u32(cp).ok_or_else(|| format!("invalid code point {cp:#x}"))?,
+                );
+            }
+            _ if ent.starts_with('#') => {
+                let cp: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference `&{ent};`"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point {cp}"))?);
+            }
+            _ => return Err(format!("unknown entity `&{ent};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelKind;
+
+    #[test]
+    fn minimal_document() {
+        let d = parse("<a/>").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.name(0), "a");
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let d = parse("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.name(1), "b");
+        assert_eq!(d.kind(2), LabelKind::Text);
+        assert_eq!(d.text(2), Some("hi"));
+        assert_eq!(d.name(3), "c");
+    }
+
+    #[test]
+    fn attributes() {
+        let d = parse(r#"<a x="1" y='two'><b z="&lt;3"/></a>"#).unwrap();
+        assert_eq!(d.name(1), "@x");
+        assert_eq!(d.text(1), Some("1"));
+        assert_eq!(d.text(2), Some("two"));
+        assert_eq!(d.text(4), Some("<3"));
+    }
+
+    #[test]
+    fn prolog_comments_cdata() {
+        let d = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><![CDATA[x<y]]><!-- in --></a>",
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.text(1), Some("x<y"));
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let d = parse("<a>&amp;&lt;&gt;&#65;&#x42;</a>").unwrap();
+        assert_eq!(d.text(1), Some("&<>AB"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let d = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_tag_is_error() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>x").is_err());
+    }
+
+    #[test]
+    fn unterminated_is_error() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("<a x=1/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let e = parse("<a>&nope;</a>").unwrap_err();
+        assert!(e.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let src = r#"<site id="s1"><regions><item x="1">text &amp; more</item><item/></regions></site>"#;
+        let d = parse(src).unwrap();
+        let out = d.to_xml();
+        let d2 = parse(&out).unwrap();
+        assert_eq!(d.len(), d2.len());
+        assert_eq!(out, d2.to_xml());
+    }
+}

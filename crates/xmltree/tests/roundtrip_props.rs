@@ -1,0 +1,114 @@
+//! Property tests for the XML front-end: serialize→parse round-trips,
+//! entity escaping, and structural invariants of the preorder arrays.
+
+use proptest::prelude::*;
+use xwq_xml::{parse, Document, LabelKind, TreeBuilder, NONE};
+
+/// Random document with elements, attributes, and text containing
+/// characters that require escaping.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    let text = prop::sample::select(vec![
+        "plain", "with <angle>", "amp & semi;", "quote \"q\" 'a'", "mixed <&>", "x",
+    ]);
+    let name = prop::sample::select(vec!["a", "b", "item", "x-y", "n_1"]);
+    prop::collection::vec(
+        (0u8..5, name, prop::option::of(text), prop::bool::ANY),
+        1..60,
+    )
+    .prop_map(|ops| {
+        let mut b = TreeBuilder::new();
+        b.open("root");
+        let mut depth = 1usize;
+        let mut fresh = true; // may still add attributes to current element
+        for (pops, name, text, attr) in ops {
+            let pops = (pops as usize).min(depth - 1);
+            if pops > 0 {
+                for _ in 0..pops {
+                    b.close();
+                    depth -= 1;
+                }
+                fresh = false;
+            }
+            if attr && fresh {
+                b.attribute(name, text.unwrap_or("v"));
+            } else {
+                match text {
+                    Some(t) => {
+                        b.text(t);
+                        fresh = false;
+                    }
+                    None => {
+                        b.open(name);
+                        depth += 1;
+                        fresh = true;
+                    }
+                }
+            }
+        }
+        for _ in 0..depth {
+            b.close();
+        }
+        b.finish()
+    })
+}
+
+/// Adjacent sibling text nodes merge on reparse; count them so the
+/// node-count assertion can compensate.
+fn adjacent_text_pairs(d: &Document) -> usize {
+    let mut n = 0;
+    for v in d.nodes() {
+        if d.kind(v) == LabelKind::Text {
+            let ns = d.next_sibling(v);
+            if ns != NONE && d.kind(ns) == LabelKind::Text {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_roundtrip(doc in arb_doc()) {
+        let xml = doc.to_xml();
+        let back = parse(&xml).unwrap_or_else(|e| panic!("reparse of {xml}: {e}"));
+        prop_assert_eq!(back.len(), doc.len() - adjacent_text_pairs(&doc));
+        // Second round-trip is a fixpoint.
+        let xml2 = back.to_xml();
+        let back2 = parse(&xml2).unwrap();
+        prop_assert_eq!(back2.len(), back.len());
+        prop_assert_eq!(xml2, back2.to_xml());
+    }
+
+    #[test]
+    fn preorder_arrays_are_consistent(doc in arb_doc()) {
+        for v in doc.nodes() {
+            let fc = doc.first_child(v);
+            if fc != NONE {
+                prop_assert_eq!(doc.parent(fc), v);
+                prop_assert_eq!(fc, v + 1, "first child is the next preorder id");
+            }
+            let ns = doc.next_sibling(v);
+            if ns != NONE {
+                prop_assert_eq!(doc.parent(ns), doc.parent(v));
+                prop_assert!(ns > v);
+            }
+            // children() agrees with the sibling chain.
+            let kids: Vec<_> = doc.children(v).collect();
+            for w in kids.windows(2) {
+                prop_assert_eq!(doc.next_sibling(w[0]), w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn text_content_survives_roundtrip(doc in arb_doc()) {
+        // The concatenated text of the whole document is preserved exactly
+        // (attribute values and text nodes, in document order).
+        fn all_text(d: &Document) -> String {
+            d.nodes().filter_map(|v| d.text(v)).collect::<Vec<_>>().concat()
+        }
+        let back = parse(&doc.to_xml()).unwrap();
+        prop_assert_eq!(all_text(&doc), all_text(&back));
+    }
+}

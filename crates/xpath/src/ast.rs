@@ -1,0 +1,156 @@
+//! XPath abstract syntax.
+
+use std::fmt;
+
+/// Navigation axes of the fragment (Def. C.1), plus `self` which the
+/// abbreviation `.` inside predicates desugars to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `self::` (only produced by the `.` abbreviation)
+    SelfAxis,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `attribute::` / `@`
+    Attribute,
+    /// `parent::` / `..` — backward; rewritten into the forward fragment
+    /// by [`crate::rewrite_forward`] before compilation.
+    Parent,
+    /// `ancestor::` — backward; rewritten like [`Axis::Parent`].
+    Ancestor,
+}
+
+impl Axis {
+    /// The `axis::` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::SelfAxis => "self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::Attribute => "attribute",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+        }
+    }
+
+    /// True for the backward axes (`parent`, `ancestor`).
+    pub fn is_backward(self) -> bool {
+        matches!(self, Axis::Parent | Axis::Ancestor)
+    }
+}
+
+impl Path {
+    /// True if any step (including inside predicates) uses a backward axis.
+    pub fn has_backward_axis(&self) -> bool {
+        fn pred(p: &Pred) -> bool {
+            match p {
+                Pred::And(a, b) | Pred::Or(a, b) => pred(a) || pred(b),
+                Pred::Not(a) => pred(a),
+                Pred::Path(path) => path.has_backward_axis(),
+                Pred::TextEq(_) | Pred::TextContains(_) => false,
+            }
+        }
+        self.steps
+            .iter()
+            .any(|s| s.axis.is_backward() || s.preds.iter().any(pred))
+    }
+}
+
+/// Node tests of the fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A tag (or attribute) name.
+    Name(String),
+    /// `*` — any element (or any attribute on the attribute axis).
+    Star,
+    /// `node()` — any node.
+    AnyNode,
+    /// `text()` — text nodes.
+    Text,
+}
+
+/// One location step: axis, node test, and conjunction of predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more bracketed predicates (implicitly conjoined).
+    pub preds: Vec<Pred>,
+}
+
+/// Predicate expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// `p and p`
+    And(Box<Pred>, Box<Pred>),
+    /// `p or p`
+    Or(Box<Pred>, Box<Pred>),
+    /// `not(p)`
+    Not(Box<Pred>),
+    /// An existential path (relative to the context node, or absolute).
+    Path(Path),
+    /// `text() = 'literal'` — the context node has a text child with
+    /// exactly this content (the text predicates of SXSI / \[1\]).
+    TextEq(String),
+    /// `contains(text(), 'literal')` — a text child contains the substring.
+    TextContains(String),
+}
+
+/// A location path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// True if the path starts at the (virtual) document node.
+    pub absolute: bool,
+    /// The steps, outermost first. Non-empty.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::", self.axis.name())?;
+        match &self.test {
+            NodeTest::Name(n) => write!(f, "{n}")?,
+            NodeTest::Star => write!(f, "*")?,
+            NodeTest::AnyNode => write!(f, "node()")?,
+            NodeTest::Text => write!(f, "text()")?,
+        }
+        for p in &self.preds {
+            write!(f, "[ {p} ]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::And(a, b) => write!(f, "({a} and {b})"),
+            Pred::Or(a, b) => write!(f, "({a} or {b})"),
+            Pred::Not(p) => write!(f, "not({p})"),
+            Pred::Path(p) => write!(f, "{p}"),
+            Pred::TextEq(s) => write!(f, "text() = '{s}'"),
+            Pred::TextContains(s) => write!(f, "contains(text(), '{s}')"),
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Rewriting backward axes into the forward fragment.
+//!
+//! The paper's prototype "implements backward axes by adding up-moves to
+//! formulas of the ASTA which are rewritten into down moves on-the-fly"
+//! (§6). We realize the same capability at the query level: a path with
+//! `parent::` / `ancestor::` steps is rewritten into an equivalent
+//! forward-only path when the structure allows it, before compilation.
+//!
+//! Supported shapes (applied left-to-right, so chains compose):
+//!
+//! * `α/x/parent::t[P]` where `x` arrived via `child`/`attribute` — the
+//!   parent *is* the `α`-match: intersect the node tests and move `x` into
+//!   a predicate: `α'[x]` with `P` appended;
+//! * `//x[P']/parent::t[P]` (descendant step straight from the document
+//!   node) — any `t` with an `x[P']` child: `//t[P][ x[P'] ]`;
+//! * `//x[P']/ancestor::t[P]` — any `t` with an `x[P']` descendant:
+//!   `//t[P][ .//x[P'] ]`.
+//!
+//! Anything else (e.g. `parent` after a mid-path `descendant` step, which
+//! would need `descendant-or-self`) returns `None` and the caller reports
+//! the query as outside the supported fragment. Backward axes inside
+//! predicates are not rewritten.
+
+use crate::ast::{Axis, NodeTest, Path, Pred, Step};
+
+/// Rewrites a path with backward axes into the forward fragment.
+///
+/// Returns the input unchanged (cloned) if it is already forward-only,
+/// the rewritten path if a supported shape applies, and `None` otherwise.
+/// A rewrite may produce a node test with an empty name — an intentionally
+/// unsatisfiable test (the query provably selects nothing, e.g.
+/// `/x/parent::t`, whose parent is the document node).
+pub fn rewrite_forward(path: &Path) -> Option<Path> {
+    if !path.has_backward_axis() {
+        return Some(path.clone());
+    }
+    if path.steps.iter().any(|s| {
+        s.preds
+            .iter()
+            .any(pred_has_backward)
+    }) {
+        return None; // backward axes inside predicates: unsupported
+    }
+    let mut out: Vec<Step> = Vec::new();
+    for step in &path.steps {
+        match step.axis {
+            Axis::Parent => rewrite_parent(&mut out, step, path.absolute)?,
+            Axis::Ancestor => rewrite_ancestor(&mut out, step, path.absolute)?,
+            _ => out.push(step.clone()),
+        }
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(Path {
+        absolute: path.absolute,
+        steps: out,
+    })
+}
+
+fn pred_has_backward(p: &Pred) -> bool {
+    match p {
+        Pred::And(a, b) | Pred::Or(a, b) => pred_has_backward(a) || pred_has_backward(b),
+        Pred::Not(a) => pred_has_backward(a),
+        Pred::Path(path) => path.has_backward_axis(),
+        Pred::TextEq(_) | Pred::TextContains(_) => false,
+    }
+}
+
+/// An intentionally unsatisfiable step (empty result).
+fn impossible(axis: Axis) -> Step {
+    Step {
+        axis,
+        test: NodeTest::Name(String::new()),
+        preds: Vec::new(),
+    }
+}
+
+/// Intersection of two node tests; `None` if provably empty.
+fn intersect_tests(a: &NodeTest, b: &NodeTest) -> Option<NodeTest> {
+    match (a, b) {
+        (NodeTest::AnyNode, t) | (t, NodeTest::AnyNode) => Some(t.clone()),
+        (NodeTest::Star, NodeTest::Star) => Some(NodeTest::Star),
+        (NodeTest::Star, NodeTest::Name(n)) | (NodeTest::Name(n), NodeTest::Star) => {
+            Some(NodeTest::Name(n.clone()))
+        }
+        (NodeTest::Name(x), NodeTest::Name(y)) if x == y => Some(NodeTest::Name(x.clone())),
+        (NodeTest::Text, NodeTest::Text) => Some(NodeTest::Text),
+        _ => None,
+    }
+}
+
+fn rewrite_parent(out: &mut Vec<Step>, step: &Step, absolute: bool) -> Option<()> {
+    match out.pop() {
+        None => return None, // `parent` as the first step
+        Some(prev) => {
+            let prev_first = out.is_empty();
+            match prev.axis {
+                Axis::Child | Axis::Attribute if prev_first && absolute => {
+                    // Parent of the root element is the document node:
+                    // no element can match.
+                    out.push(impossible(Axis::Child));
+                }
+                Axis::Child | Axis::Attribute => {
+                    // The parent is the previous context node.
+                    let target = out.pop()?; // exists: prev was not first
+                    let test = match intersect_tests(&target.test, &step.test) {
+                        Some(t) => t,
+                        None => {
+                            out.push(impossible(target.axis));
+                            return Some(());
+                        }
+                    };
+                    let mut preds = target.preds;
+                    preds.push(Pred::Path(Path {
+                        absolute: false,
+                        steps: vec![prev],
+                    }));
+                    preds.extend(step.preds.iter().cloned());
+                    out.push(Step {
+                        axis: target.axis,
+                        test,
+                        preds,
+                    });
+                }
+                Axis::Descendant if prev_first && absolute => {
+                    // //x/parent::t — any t with an x child.
+                    let mut preds = vec![Pred::Path(Path {
+                        absolute: false,
+                        steps: vec![Step {
+                            axis: Axis::Child,
+                            test: prev.test,
+                            preds: prev.preds,
+                        }],
+                    })];
+                    preds.extend(step.preds.iter().cloned());
+                    out.push(Step {
+                        axis: Axis::Descendant,
+                        test: step.test.clone(),
+                        preds,
+                    });
+                }
+                _ => return None, // mid-path descendant etc.: unsupported
+            }
+        }
+    }
+    Some(())
+}
+
+fn rewrite_ancestor(out: &mut Vec<Step>, step: &Step, absolute: bool) -> Option<()> {
+    // Only `//x[P']/ancestor::t[P]` is supported.
+    if out.len() != 1 || !absolute {
+        return None;
+    }
+    let prev = out.pop()?;
+    if prev.axis != Axis::Descendant {
+        out.push(prev);
+        return None;
+    }
+    let mut preds = vec![Pred::Path(Path {
+        absolute: false,
+        steps: vec![Step {
+            axis: Axis::Descendant,
+            test: prev.test,
+            preds: prev.preds,
+        }],
+    })];
+    preds.extend(step.preds.iter().cloned());
+    out.push(Step {
+        axis: Axis::Descendant,
+        test: step.test.clone(),
+        preds,
+    });
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xpath;
+
+    fn rw(q: &str) -> Option<String> {
+        rewrite_forward(&parse_xpath(q).unwrap()).map(|p| p.to_string())
+    }
+
+    #[test]
+    fn forward_paths_pass_through() {
+        let p = parse_xpath("//a/b[c]").unwrap();
+        assert_eq!(rewrite_forward(&p), Some(p.clone()));
+    }
+
+    #[test]
+    fn parent_after_child_merges_into_context() {
+        // //a/b/parent::a == //a[b]
+        let got = rw("//a/b/parent::a").unwrap();
+        let want = parse_xpath("//a[ b ]").unwrap().to_string();
+        assert_eq!(got, want);
+        // Dotdot form.
+        assert_eq!(rw("//a/b/..").unwrap(), parse_xpath("//a[ b ]").unwrap().to_string());
+    }
+
+    #[test]
+    fn parent_with_conflicting_test_is_unsatisfiable() {
+        // //a/b/parent::c can never match; the rewrite keeps an empty-name
+        // test that no label satisfies.
+        let p = rewrite_forward(&parse_xpath("//a/b/parent::c").unwrap()).unwrap();
+        assert!(matches!(&p.steps[0].test, NodeTest::Name(n) if n.is_empty()));
+    }
+
+    #[test]
+    fn parent_of_descendant_head() {
+        // //b[c]/parent::t == //t[ b[c] ]
+        let got = rw("//b[ c ]/parent::t").unwrap();
+        let want = parse_xpath("//t[ b[ c ] ]").unwrap().to_string();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ancestor_of_descendant_head() {
+        // //x/ancestor::t == //t[ .//x ] (the rewrite emits the descendant
+        // step directly, without the redundant self:: head).
+        let got = rw("//x/ancestor::t").unwrap();
+        let want = parse_xpath("//t[ descendant::x ]").unwrap().to_string();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parent_of_root_is_empty() {
+        let p = rewrite_forward(&parse_xpath("/a/parent::t").unwrap()).unwrap();
+        assert!(matches!(&p.steps[0].test, NodeTest::Name(n) if n.is_empty()));
+    }
+
+    #[test]
+    fn chains_compose() {
+        // //a/b/../c == //a[b]/c
+        let got = rw("//a/b/../c").unwrap();
+        let want = parse_xpath("//a[ b ]/c").unwrap().to_string();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_refused() {
+        assert_eq!(rw("//a//b/parent::t"), None, "mid-path descendant parent");
+        assert_eq!(rw("//a/b/ancestor::t"), None, "ancestor after two steps");
+        assert_eq!(rw("//a[ ../b ]"), None, "backward axis inside predicate");
+    }
+
+    #[test]
+    fn parent_continues_with_forward_steps() {
+        // //x/parent::t/y == //t[x]/y
+        let got = rw("//x/parent::t/y").unwrap();
+        let want = parse_xpath("//t[ x ]/y").unwrap().to_string();
+        assert_eq!(got, want);
+    }
+}

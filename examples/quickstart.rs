@@ -1,0 +1,59 @@
+//! Quickstart: parse XML, build the engine, run queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xwq::core::{Engine, Strategy};
+use xwq::xml::parse;
+
+fn main() {
+    let doc = parse(
+        r#"<library>
+             <shelf floor="1">
+               <book year="1969"><title>Ubik</title><author>Dick</author></book>
+               <book year="1984"><title>Neuromancer</title><author>Gibson</author></book>
+             </shelf>
+             <shelf floor="2">
+               <book year="1992"><title>Snow Crash</title><author>Stephenson</author></book>
+               <magazine><title>Byte</title></magazine>
+             </shelf>
+           </library>"#,
+    )
+    .expect("well-formed XML");
+
+    let engine = Engine::build(&doc);
+
+    // One-shot convenience API.
+    for query in [
+        "//book/title",
+        "/library/shelf/book[author]",
+        "//shelf[ book and magazine ]",
+        "//book/@year",
+        "//title/text()",
+    ] {
+        let nodes = engine.query(query).expect("valid query");
+        println!("{query}");
+        for v in nodes {
+            let text = doc
+                .text(v)
+                .map(str::to_owned)
+                .or_else(|| doc.children(v).find_map(|c| doc.text(c).map(str::to_owned)))
+                .unwrap_or_default();
+            println!("   node {v:>2}  <{}>  {text}", doc.name(v));
+        }
+    }
+
+    // Compile once, run under different strategies, inspect statistics.
+    let q = engine.compile("//book[ title ]").unwrap();
+    println!("\nstrategy comparison for //book[ title ]:");
+    for s in Strategy::ALL {
+        let out = engine.run(&q, s);
+        println!(
+            "   {:<14} {} result(s), {} node(s) visited",
+            s.name(),
+            out.nodes.len(),
+            out.stats.visited
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Auction-site analytics: the workloads the paper's introduction motivates —
+//! time-critical XPath over a large data-oriented document.
+//!
+//! Generates an XMark-like auction document and answers the kinds of
+//! questions a marketplace dashboard would ask, printing the answer sizes
+//! and how little of the document each query had to touch.
+//!
+//! ```sh
+//! cargo run --release --example xmark_analytics [factor]
+//! ```
+
+use xwq::core::{Engine, Strategy};
+use xwq::xmark::{generate, GenOptions};
+
+fn main() {
+    let factor: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    let t0 = std::time::Instant::now();
+    let doc = generate(GenOptions { factor, seed: 7 });
+    println!(
+        "generated auction site: {} nodes in {:?}",
+        doc.len(),
+        t0.elapsed()
+    );
+    let t0 = std::time::Instant::now();
+    let engine = Engine::build(&doc);
+    println!("index built in {:?}\n", t0.elapsed());
+
+    let dashboard: &[(&str, &str)] = &[
+        ("items listed in Europe", "/site/regions/europe/item"),
+        ("items anywhere", "/site/regions/*/item"),
+        (
+            "items with dated mail correspondence",
+            "/site/regions/*/item[ mailbox/mail/date ]",
+        ),
+        (
+            "reachable sellers (address + phone or homepage)",
+            "/site/people/person[ address and (phone or homepage) ]",
+        ),
+        (
+            "highlighted terms inside item descriptions",
+            "/site/regions/*/item/description//keyword",
+        ),
+        (
+            "annotated past sales",
+            "/site/closed_auctions/closed_auction[ annotation ]",
+        ),
+        (
+            "list items that mix keywords and emphasis",
+            "//listitem[ .//keyword and .//emph ]",
+        ),
+        ("anonymous bids (bidder without date)", "//bidder[ not(date) ]"),
+    ];
+
+    println!(
+        "{:<52} {:>8} {:>10} {:>10} {:>9}",
+        "question", "answers", "visited", "% of doc", "time"
+    );
+    for (label, query) in dashboard {
+        let q = engine.compile(query).expect("valid query");
+        let t0 = std::time::Instant::now();
+        let out = engine.run(&q, Strategy::Optimized);
+        let dt = t0.elapsed();
+        println!(
+            "{:<52} {:>8} {:>10} {:>9.2}% {:>8.1?}",
+            label,
+            out.nodes.len(),
+            out.stats.visited,
+            100.0 * out.stats.visited as f64 / doc.len() as f64,
+            dt
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The `xwq` command-line query tool.
+//!
+//! ```sh
+//! xwq '<xpath>' <file.xml> [--strategy naive|pruning|jumping|memo|opt|hybrid]
+//!                          [--count] [--stats] [--text]
+//! ```
+//!
+//! Prints one line per selected node: its preorder id, a simple absolute
+//! path, and (with `--text`) the concatenated text content.
+
+use std::process::ExitCode;
+use xwq::core::{Engine, Strategy};
+use xwq::xml::{Document, NodeId, NONE};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xwq '<xpath>' <file.xml> [--strategy naive|pruning|jumping|memo|opt|hybrid] [--count] [--stats] [--text]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut strategy = Strategy::Optimized;
+    let mut count_only = false;
+    let mut show_stats = false;
+    let mut show_text = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                i += 1;
+                strategy = match args.get(i).map(String::as_str) {
+                    Some("naive") => Strategy::Naive,
+                    Some("pruning") => Strategy::Pruning,
+                    Some("jumping") => Strategy::Jumping,
+                    Some("memo") => Strategy::Memoized,
+                    Some("opt") => Strategy::Optimized,
+                    Some("hybrid") => Strategy::Hybrid,
+                    other => {
+                        eprintln!("unknown strategy {other:?}");
+                        return usage();
+                    }
+                };
+            }
+            "--count" => count_only = true,
+            "--stats" => show_stats = true,
+            "--text" => show_text = true,
+            "--help" | "-h" => return usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let (query, file) = match positional[..] {
+        [q, f] => (q, f),
+        _ => return usage(),
+    };
+
+    let xml = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xwq: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match xwq::xml::parse(&xml) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xwq: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Engine::build(&doc);
+    let compiled = match engine.compile(query) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xwq: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = engine.run(&compiled, strategy);
+
+    if count_only {
+        println!("{}", out.nodes.len());
+    } else {
+        for &v in &out.nodes {
+            if show_text {
+                println!("{:>8}  {}  {}", v, node_path(&doc, v), text_of(&doc, v));
+            } else {
+                println!("{:>8}  {}", v, node_path(&doc, v));
+            }
+        }
+    }
+    if show_stats {
+        eprintln!(
+            "# {} results, visited {} of {} nodes, {} jumps, {} memo entries ({} hits){}",
+            out.nodes.len(),
+            out.stats.visited,
+            doc.len(),
+            out.stats.jumps,
+            out.stats.memo_entries,
+            out.stats.memo_hits,
+            if out.hybrid_fallback {
+                ", hybrid fell back to optimized"
+            } else {
+                ""
+            }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `/site/regions[1]/item[3]`-style path (1-based positions among
+/// same-named siblings).
+fn node_path(doc: &Document, v: NodeId) -> String {
+    let mut parts = Vec::new();
+    let mut cur = v;
+    while cur != NONE {
+        let name = doc.name(cur);
+        let parent = doc.parent(cur);
+        let pos = if parent == NONE {
+            1
+        } else {
+            doc.children(parent)
+                .filter(|&c| doc.name(c) == name && c <= cur)
+                .count()
+        };
+        parts.push(format!("{name}[{pos}]"));
+        cur = parent;
+    }
+    parts.reverse();
+    format!("/{}", parts.join("/"))
+}
+
+/// Concatenated text content of a subtree (first 60 chars).
+fn text_of(doc: &Document, v: NodeId) -> String {
+    let mut out = String::new();
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        if let Some(t) = doc.text(u) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(t);
+        }
+        let kids: Vec<NodeId> = doc.children(u).collect();
+        for c in kids.into_iter().rev() {
+            stack.push(c);
+        }
+        if out.len() > 60 {
+            out.truncate(60);
+            out.push('…');
+            break;
+        }
+    }
+    out
+}

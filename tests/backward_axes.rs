@@ -1,0 +1,96 @@
+//! Backward axes: the engine rewrites `parent::`/`ancestor::`/`..` into the
+//! forward fragment (§6's up-moves extension); the baseline implements them
+//! natively. Both must agree on arbitrary documents.
+
+use proptest::prelude::*;
+use xwq::core::{Engine, Strategy};
+use xwq_xml::TreeBuilder;
+use xwq_xpath::parse_xpath;
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn build_doc(ops: &[(u8, u8)]) -> xwq_xml::Document {
+    let mut b = TreeBuilder::new();
+    for n in NAMES {
+        b.reserve(n);
+    }
+    b.open("a");
+    let mut depth = 1usize;
+    for &(pops, label) in ops {
+        let pops = (pops as usize).min(depth - 1);
+        for _ in 0..pops {
+            b.close();
+            depth -= 1;
+        }
+        b.open(NAMES[label as usize % NAMES.len()]);
+        depth += 1;
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    b.finish()
+}
+
+const QUERIES: &[&str] = &[
+    "//a/b/parent::a",
+    "//b/..",
+    "//c/parent::b",
+    "//c/parent::*",
+    "//b[c]/parent::a/d",
+    "//c/ancestor::a",
+    "//c/ancestor::b",
+    "//d/ancestor::*",
+    "//b/../c",
+    "//a/b/../b",
+    "/a/b/parent::a",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rewritten_queries_match_native_baseline(
+        ops in prop::collection::vec((0u8..4, 0u8..4), 0..120),
+        qi in 0..QUERIES.len(),
+    ) {
+        let doc = build_doc(&ops);
+        let engine = Engine::build(&doc);
+        let query = QUERIES[qi];
+        let compiled = engine
+            .compile(query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        // The baseline evaluates the *original* path with its native
+        // parent/ancestor support — an independent oracle for the rewrite.
+        let original = parse_xpath(query).unwrap();
+        let (expected, _) = xwq::baseline::evaluate_path(engine.index(), &original);
+        for s in Strategy::ALL {
+            let out = engine.run(&compiled, s);
+            prop_assert_eq!(
+                &out.nodes,
+                &expected,
+                "{} on `{}` over {}",
+                s.name(),
+                query,
+                doc.to_xml()
+            );
+        }
+    }
+}
+
+#[test]
+fn unsupported_backward_shapes_error_cleanly() {
+    let doc = xwq_xml::parse("<a><b/></a>").unwrap();
+    let engine = Engine::build(&doc);
+    for q in ["//a//b/parent::t", "//a/b/ancestor::t", "//a[ ../b ]"] {
+        assert!(engine.compile(q).is_err(), "{q} should be rejected");
+    }
+}
+
+#[test]
+fn parent_of_root_selects_nothing() {
+    let doc = xwq_xml::parse("<a><a><a/></a></a>").unwrap();
+    let engine = Engine::build(&doc);
+    assert_eq!(engine.query("/a/parent::a").unwrap(), Vec::<u32>::new());
+    // But //a/parent::a finds real parents.
+    assert_eq!(engine.query("//a/parent::a").unwrap(), vec![0, 1]);
+}

@@ -1,0 +1,156 @@
+//! Text predicates — `text() = '…'` and `contains(text(), '…')` — the
+//! SXSI-style extension beyond the paper's didactic fragment. The automaton
+//! resolves them into node filters over the index's text lists; the
+//! baseline checks content directly; both must agree.
+
+use proptest::prelude::*;
+use xwq::core::{Engine, Strategy};
+use xwq_xml::TreeBuilder;
+use xwq_xpath::parse_xpath;
+
+fn doc() -> xwq_xml::Document {
+    xwq_xml::parse(
+        r#"<library>
+             <book lang="en"><title>dune</title><topic>sand</topic></book>
+             <book lang="de"><title>faust</title></book>
+             <book lang="en"><title>dune messiah</title></book>
+             <note>dune</note>
+           </library>"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn exact_text_equality() {
+    let d = doc();
+    let e = Engine::build(&d);
+    // Books whose title is exactly "dune".
+    let hits = e.query("//book[ title[ text() = 'dune' ] ]").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(d.name(hits[0]), "book");
+    // Any element with text "dune" (book title and the note).
+    let hits = e.query("//*[ text() = 'dune' ]").unwrap();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn substring_contains() {
+    let d = doc();
+    let e = Engine::build(&d);
+    let hits = e
+        .query("//book[ title[ contains(text(), 'dune') ] ]")
+        .unwrap();
+    assert_eq!(hits.len(), 2, "dune and dune messiah");
+    let none = e
+        .query("//book[ title[ contains(text(), 'zebra') ] ]")
+        .unwrap();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn text_predicates_combine_with_boolean_structure() {
+    let d = doc();
+    let e = Engine::build(&d);
+    let hits = e
+        .query("//book[ title[ contains(text(), 'dune') ] and not(topic) ]")
+        .unwrap();
+    assert_eq!(hits.len(), 1, "dune messiah has no topic");
+    let hits = e
+        .query("//book[ topic[ text() = 'sand' ] or title[ text() = 'faust' ] ]")
+        .unwrap();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn attribute_values_are_searchable_too() {
+    // Attribute nodes carry their value as content in the text index.
+    let d = doc();
+    let e = Engine::build(&d);
+    let hits = e.query("//book[ @lang[ text() = 'en' ] ]").unwrap();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn absent_literal_compiles_to_empty() {
+    let d = doc();
+    let e = Engine::build(&d);
+    let q = e.compile("//book[ title[ text() = 'nope' ] ]").unwrap();
+    for s in Strategy::ALL {
+        assert!(e.run(&q, s).nodes.is_empty(), "{}", s.name());
+    }
+}
+
+#[test]
+fn display_round_trips_through_parser() {
+    for q in [
+        "//b[ text() = 'x y' ]",
+        "//b[ contains(text(), 'z') ]",
+        "//a[ b[ text() = 'q' ] and not(contains(text(), 'w')) ]",
+    ] {
+        let p1 = parse_xpath(q).unwrap();
+        let p2 = parse_xpath(&p1.to_string()).unwrap();
+        assert_eq!(p1, p2, "{q}");
+    }
+}
+
+const WORDS: [&str; 4] = ["alpha", "beta", "gamma", "alpha beta"];
+
+fn build_doc(ops: &[(u8, u8, bool)]) -> xwq_xml::Document {
+    let mut b = TreeBuilder::new();
+    for n in ["a", "b", "c"] {
+        b.reserve(n);
+    }
+    b.open("a");
+    let mut depth = 1usize;
+    for &(pops, pick, is_text) in ops {
+        let pops = (pops as usize).min(depth - 1);
+        for _ in 0..pops {
+            b.close();
+            depth -= 1;
+        }
+        if is_text {
+            b.text(WORDS[pick as usize % WORDS.len()]);
+        } else {
+            b.open(["a", "b", "c"][pick as usize % 3]);
+            depth += 1;
+        }
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_strategies_match_baseline_on_text_queries(
+        ops in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 0..120),
+        qi in 0..8usize,
+    ) {
+        const QUERIES: [&str; 8] = [
+            "//b[ text() = 'alpha' ]",
+            "//b[ contains(text(), 'beta') ]",
+            "//a[ b[ text() = 'alpha beta' ] ]",
+            "//*[ text() = 'gamma' ]//c",
+            "//b[ not(text() = 'alpha') ]",
+            "//a[ contains(text(), 'alpha') and b ]",
+            "//b/text()[ contains(text(), 'alpha') ]",
+            "//a/text()[ text() = 'beta' ]",
+        ];
+        let d = build_doc(&ops);
+        let engine = Engine::build(&d);
+        let query = QUERIES[qi];
+        let compiled = engine.compile(query).unwrap();
+        let path = parse_xpath(query).unwrap();
+        let (expected, _) = xwq::baseline::evaluate_path(engine.index(), &path);
+        for s in Strategy::ALL {
+            let out = engine.run(&compiled, s);
+            prop_assert_eq!(
+                &out.nodes, &expected,
+                "{} on `{}` over {}", s.name(), query, d.to_xml()
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end: the fifteen Fig. 2 queries over a generated XMark document,
+//! every strategy against the independent baseline.
+
+use xwq::core::{Engine, Strategy};
+use xwq::xmark::{queries, GenOptions};
+use xwq_xpath::parse_xpath;
+
+fn engine() -> Engine {
+    let doc = xwq::xmark::generate(GenOptions {
+        factor: 0.05,
+        seed: 42,
+    });
+    Engine::build(&doc)
+}
+
+#[test]
+fn all_queries_all_strategies_match_baseline() {
+    let e = engine();
+    for (n, q) in queries() {
+        let compiled = e.compile(q).unwrap_or_else(|err| panic!("Q{n:02}: {err}"));
+        let path = parse_xpath(q).unwrap();
+        let (expected, _) = xwq::baseline::evaluate_path(e.index(), &path);
+        for s in Strategy::ALL {
+            let out = e.run(&compiled, s);
+            assert_eq!(
+                out.nodes,
+                expected,
+                "Q{n:02} under {} ({} vs {} nodes)",
+                s.name(),
+                out.nodes.len(),
+                expected.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn jumping_beats_pruning_on_selective_queries() {
+    let e = engine();
+    // Q01 touches two nodes; Q05 only listitems/keywords.
+    for n in [1, 5, 6] {
+        let q = e.compile(xwq::xmark::query(n)).unwrap();
+        let p = e.run(&q, Strategy::Pruning);
+        let j = e.run(&q, Strategy::Jumping);
+        assert_eq!(p.nodes, j.nodes);
+        assert!(
+            j.stats.visited < p.stats.visited,
+            "Q{n:02}: jumping {} !< pruning {}",
+            j.stats.visited,
+            p.stats.visited
+        );
+    }
+}
+
+#[test]
+fn q01_touches_a_handful_of_nodes() {
+    // The paper's Fig. 3: Q01 visits 2 nodes with jumping (selected: 1).
+    let e = engine();
+    let q = e.compile(xwq::xmark::query(1)).unwrap();
+    let out = e.run(&q, Strategy::Optimized);
+    assert_eq!(out.nodes.len(), 1, "exactly one regions element");
+    assert!(
+        out.stats.visited <= 4,
+        "visited {} nodes for /site/regions",
+        out.stats.visited
+    );
+}
+
+#[test]
+fn q10_selects_the_root_only() {
+    let e = engine();
+    let q = e.compile(xwq::xmark::query(10)).unwrap();
+    let out = e.run(&q, Strategy::Optimized);
+    assert_eq!(out.nodes, vec![0], "/site[.//keyword] selects the root");
+    // Fig. 3 line (2) reports 2 visited nodes for Q10: the root and one
+    // keyword witness. Allow a little slack but require the same order of
+    // magnitude of skipping.
+    assert!(
+        out.stats.visited <= 8,
+        "visited {} nodes for Q10",
+        out.stats.visited
+    );
+}
+
+#[test]
+fn memoization_stays_small_and_hot() {
+    let e = engine();
+    for (n, q) in queries() {
+        let compiled = e.compile(q).unwrap();
+        let out = e.run(&compiled, Strategy::Memoized);
+        assert!(
+            out.stats.memo_entries < 600,
+            "Q{n:02}: memo table grew to {}",
+            out.stats.memo_entries
+        );
+        if out.stats.visited > 1000 {
+            assert!(
+                out.stats.memo_hits > out.stats.visited / 2,
+                "Q{n:02}: only {} hits for {} visits",
+                out.stats.memo_hits,
+                out.stats.visited
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_agrees_on_its_native_queries() {
+    let e = engine();
+    for n in [2, 3, 5, 6, 11] {
+        let q = e.compile(xwq::xmark::query(n)).unwrap();
+        let h = e.run(&q, Strategy::Hybrid);
+        let o = e.run(&q, Strategy::Optimized);
+        assert_eq!(h.nodes, o.nodes, "Q{n:02}");
+        assert!(!h.hybrid_fallback, "Q{n:02} should run natively");
+    }
+}
