@@ -1,7 +1,7 @@
 //! Deterministic bottom-up evaluation (§3.2, Algorithm B.2) and bottom-up
 //! relevance (Lemma 3.2).
 
-use crate::sta::{StateId, Sta};
+use crate::sta::{Sta, StateId};
 use xwq_index::{FxHashMap, LabelId, NodeId, TreeIndex, NONE};
 
 /// Compiled bottom-up transition function of a complete BDSTA.
@@ -31,9 +31,7 @@ impl BuTable {
         }
         let n = a.n_states;
         let complete = (0..n).all(|q1| {
-            (0..n).all(|q2| {
-                (0..a.alphabet_size as u32).all(|l| map.contains_key(&(q1, q2, l)))
-            })
+            (0..n).all(|q2| (0..a.alphabet_size as u32).all(|l| map.contains_key(&(q1, q2, l))))
         });
         if !complete {
             return None;
@@ -70,8 +68,16 @@ pub fn run_bottomup(a: &Sta, ix: &TreeIndex) -> Option<BuRun> {
     for v in (0..n as NodeId).rev() {
         let fc = ix.first_child(v);
         let ns = ix.next_sibling(v);
-        let s1 = if fc == NONE { table.init } else { states[fc as usize] };
-        let s2 = if ns == NONE { table.init } else { states[ns as usize] };
+        let s1 = if fc == NONE {
+            table.init
+        } else {
+            states[fc as usize]
+        };
+        let s2 = if ns == NONE {
+            table.init
+        } else {
+            states[ns as usize]
+        };
         states[v as usize] = table.step(s1, s2, ix.label(v));
     }
     let accepting = a.top[states[0] as usize];

@@ -9,7 +9,7 @@
 //! case and intended for small automata.
 
 use crate::recognizer::encode;
-use crate::sta::{StateId, Sta};
+use crate::sta::{Sta, StateId};
 use xwq_index::FxHashMap;
 use xwq_xml::LabelId;
 
@@ -123,8 +123,7 @@ pub fn determinize_bu(a: &Sta) -> SubsetBdta {
 pub fn bdta_equiv(a: &SubsetBdta, b: &SubsetBdta) -> bool {
     assert_eq!(a.alphabet_size, b.alphabet_size);
     let mut pairs: Vec<(StateId, StateId)> = vec![(a.init, b.init)];
-    let mut seen: std::collections::HashSet<(StateId, StateId)> =
-        pairs.iter().copied().collect();
+    let mut seen: std::collections::HashSet<(StateId, StateId)> = pairs.iter().copied().collect();
     let mut i = 0;
     while i < pairs.len() {
         // Combine every known pair with every known pair under every label.

@@ -27,4 +27,4 @@ pub mod recognizer;
 mod sta;
 pub mod topdown;
 
-pub use sta::{StateId, Sta, Transition};
+pub use sta::{Sta, StateId, Transition};

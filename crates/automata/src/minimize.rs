@@ -8,7 +8,7 @@
 //! detour — which is what we do here.
 
 use crate::bottomup::BuTable;
-use crate::sta::{StateId, Sta};
+use crate::sta::{Sta, StateId};
 use xwq_index::FxHashMap;
 use xwq_xml::{LabelId, LabelSet};
 
@@ -210,8 +210,7 @@ pub fn minimize_bdsta(a: &Sta) -> Sta {
             }
             'search: for &r in &alive {
                 for l in 0..sigma as LabelId {
-                    if useful[table.step(q, r, l) as usize]
-                        || useful[table.step(r, q, l) as usize]
+                    if useful[table.step(q, r, l) as usize] || useful[table.step(r, q, l) as usize]
                     {
                         useful[q as usize] = true;
                         changed = true;

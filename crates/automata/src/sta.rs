@@ -111,9 +111,9 @@ impl Sta {
     /// Top-down deterministic: `|T| = 1` and every `δ(q, l)` is a singleton.
     pub fn is_tdsta(&self) -> bool {
         self.top_states().len() == 1
-            && self.states().all(|q| {
-                (0..self.alphabet_size as u32).all(|l| self.dest(q, l).len() <= 1)
-            })
+            && self
+                .states()
+                .all(|q| (0..self.alphabet_size as u32).all(|l| self.dest(q, l).len() <= 1))
     }
 
     /// Top-down complete: every `δ(q, l)` is non-empty.

@@ -1,7 +1,7 @@
 //! Deterministic top-down evaluation: full runs, relevance (Lemma 3.1), and
 //! the jumping run `topdown_jump` (Algorithm B.1 / Theorem 3.1).
 
-use crate::sta::{StateId, Sta};
+use crate::sta::{Sta, StateId};
 use xwq_index::{FxHashMap, LabelSet, NodeId, TreeIndex, NONE};
 
 /// The unique run of a complete TDSTA over a tree.
@@ -56,7 +56,15 @@ pub fn run_topdown(a: &Sta, ix: &TreeIndex) -> Option<TdRun> {
         }
     }
 
-    rec(a, &table, ix, &mut states, &mut accepting, ix.root(), table.init);
+    rec(
+        a,
+        &table,
+        ix,
+        &mut states,
+        &mut accepting,
+        ix.root(),
+        table.init,
+    );
     Some(TdRun { states, accepting })
 }
 

@@ -89,5 +89,8 @@ fn acceptance_guards_on_spine_runs() {
     let run = topdown::topdown_jump(&a, &with_b);
     assert!(run.accepting, "chain containing b accepts");
     let run = topdown::topdown_jump(&a, &without_b);
-    assert!(!run.accepting, "chain without b must reject, not silently skip");
+    assert!(
+        !run.accepting,
+        "chain without b must reject, not silently skip"
+    );
 }

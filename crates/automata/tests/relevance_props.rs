@@ -164,8 +164,16 @@ fn relevant_by_lemma_edge(run: &bottomup::BuRun, ix: &TreeIndex, v: NodeId) -> b
     let q = run.states[v as usize];
     let fc = ix.first_child(v);
     let ns = ix.next_sibling(v);
-    let s1 = if fc == xwq_index::NONE { 0 } else { run.states[fc as usize] };
-    let s2 = if ns == xwq_index::NONE { 0 } else { run.states[ns as usize] };
+    let s1 = if fc == xwq_index::NONE {
+        0
+    } else {
+        run.states[fc as usize]
+    };
+    let s2 = if ns == xwq_index::NONE {
+        0
+    } else {
+        run.states[ns as usize]
+    };
     // Skippable partner states for A_{//a[.//b]}: q0 only (no universal).
     !((q == s1 && s2 == 0) || (q == s2 && s1 == 0) || (q == s1 && q == s2))
 }

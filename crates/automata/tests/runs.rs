@@ -32,10 +32,7 @@ fn oracle_a_desc_b(ix: &TreeIndex) -> Vec<NodeId> {
 /// Naive oracle for `//a[.//b]`.
 fn oracle_a_with_b(ix: &TreeIndex) -> Vec<NodeId> {
     (0..ix.len() as NodeId)
-        .filter(|&v| {
-            ix.name(v) == "a"
-                && (v + 1..ix.subtree_end(v)).any(|d| ix.name(d) == "b")
-        })
+        .filter(|&v| ix.name(v) == "a" && (v + 1..ix.subtree_end(v)).any(|d| ix.name(d) == "b"))
         .collect()
 }
 

@@ -192,8 +192,7 @@ impl<'a> Eval<'a> {
 
     /// Node test plus predicates.
     fn matches(&mut self, step: &Step, v: NodeId) -> bool {
-        self.test_matches(&step.test, step.axis, v)
-            && step.preds.iter().all(|p| self.pred(p, v))
+        self.test_matches(&step.test, step.axis, v) && step.preds.iter().all(|p| self.pred(p, v))
     }
 
     fn test_matches(&self, test: &NodeTest, axis: Axis, v: NodeId) -> bool {

@@ -6,8 +6,8 @@
 //! * the exponential-in-theory state-set blow-up query family of Ex. C.1
 //!   evaluated by the linear-size ASTA.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xwq_core::{Engine, Strategy};
 use xwq_index::{TopologyKind, TreeIndex};
 use xwq_xmark::GenOptions;
@@ -29,11 +29,9 @@ fn bench_topology(c: &mut Criterion) {
         );
         let engine = Engine::build_with(&doc, kind);
         let q = engine.compile(xwq_xmark::query(6)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("q06", format!("{kind:?}")),
-            &q,
-            |b, q| b.iter(|| engine.run(q, Strategy::Optimized).nodes.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("q06", format!("{kind:?}")), &q, |b, q| {
+            b.iter(|| engine.run(q, Strategy::Optimized).nodes.len())
+        });
     }
     group.finish();
 }

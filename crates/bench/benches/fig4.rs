@@ -4,8 +4,8 @@
 //! Uses a smaller default scale than the table binary so the full sweep
 //! finishes quickly; set `XWQ_FACTOR` to change it.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xwq_bench::FIG4_SERIES;
 use xwq_core::Engine;
 use xwq_xmark::GenOptions;

@@ -1,8 +1,8 @@
 //! Criterion version of Figure 5: hybrid vs regular evaluation of
 //! `//listitem//keyword//emph` over configurations A–D.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xwq_core::{Engine, Strategy};
 use xwq_xmark::{config_a, config_b, config_c, config_d};
 

@@ -1,8 +1,8 @@
 //! Criterion version of Figure 8 (App. D): the automaton engine vs the
 //! step-wise baseline across Q01–Q15.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xwq_core::{Engine, Strategy};
 use xwq_xmark::GenOptions;
 use xwq_xpath::parse_xpath;
@@ -21,9 +21,11 @@ fn bench_fig8(c: &mut Criterion) {
     for (n, text) in xwq_xmark::queries() {
         let q = engine.compile(text).expect("compiles");
         let path = parse_xpath(text).unwrap();
-        group.bench_with_input(BenchmarkId::new("engine", format!("Q{n:02}")), &q, |b, q| {
-            b.iter(|| engine.run(q, Strategy::Optimized).nodes.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("engine", format!("Q{n:02}")),
+            &q,
+            |b, q| b.iter(|| engine.run(q, Strategy::Optimized).nodes.len()),
+        );
         group.bench_with_input(
             BenchmarkId::new("baseline", format!("Q{n:02}")),
             &path,

@@ -1,0 +1,103 @@
+//! Benchmarks for the `xwq-store` layer.
+//!
+//! 1. **Cold start** — loading a persisted `.xwqi` index versus re-parsing
+//!    the XML and rebuilding the index from scratch, for both topology
+//!    backends, over XMark documents of growing size. This is the
+//!    motivating measurement for the persistent-index subsystem: the
+//!    load path is a bulk read + validation pass, the rebuild path pays
+//!    parsing, interning, label-list and directory construction.
+//! 2. **Serving** — repeated-query throughput through a
+//!    [`xwq_store::Session`] with the compiled-query cache enabled versus
+//!    disabled (capacity 0), over the Fig. 2 XMark query workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use xwq_core::Strategy;
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_store::{deserialize, serialize, DocumentStore, QueryRequest, Session};
+use xwq_xmark::GenOptions;
+
+fn bench_cold_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_load");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+
+    for factor in [0.05, 0.2] {
+        let doc = xwq_xmark::generate(GenOptions { factor, seed: 42 });
+        let xml = doc.to_xml();
+        let n = doc.len();
+
+        group.bench_with_input(
+            BenchmarkId::new("xml_parse_and_index", n),
+            &xml,
+            |b, xml| {
+                b.iter(|| {
+                    let doc = xwq_xml::parse(xml).expect("valid xml");
+                    TreeIndex::build(&doc).len()
+                })
+            },
+        );
+        for (tag, topo) in [
+            ("xwqi_load_array", TopologyKind::Array),
+            ("xwqi_load_succinct", TopologyKind::Succinct),
+        ] {
+            let index = TreeIndex::build_with(&doc, topo);
+            let bytes = serialize(&doc, &index).expect("serialize");
+            group.bench_with_input(BenchmarkId::new(tag, n), &bytes, |b, bytes| {
+                b.iter(|| {
+                    let (doc, index) = deserialize(bytes).expect("valid file");
+                    doc.len() + index.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_session_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_cache");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // Two serving regimes: a large document (evaluation-dominated — the
+    // cache matters little) and a small one (compile-dominated — the
+    // cache is most of the request), bracketing real workloads.
+    for (tag, factor) in [("large_doc", 0.1), ("small_doc", 0.002)] {
+        let doc = xwq_xmark::generate(GenOptions { factor, seed: 42 });
+        let n = doc.len();
+        let store = DocumentStore::new();
+        store
+            .insert("xmark", doc, TopologyKind::Array)
+            .expect("insert");
+        let store = Arc::new(store);
+
+        // The compilable subset of the Fig. 2 workload.
+        let engine_probe = store.get("xmark").expect("registered");
+        let workload: Vec<QueryRequest> = xwq_xmark::queries()
+            .filter(|(_, q)| engine_probe.engine().compile(q).is_ok())
+            .map(|(_, q)| QueryRequest::new("xmark", q).with_strategy(Strategy::Optimized))
+            .collect();
+        assert!(workload.len() >= 8, "workload unexpectedly small");
+
+        group.bench_function(BenchmarkId::new(format!("{tag}_cached"), n), |b| {
+            let session = Session::new(Arc::clone(&store));
+            b.iter(|| {
+                let results = session.query_many(&workload);
+                results.iter().filter(|r| r.is_ok()).count()
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{tag}_uncached"), n), |b| {
+            let session = Session::with_cache_capacity(Arc::clone(&store), 0);
+            b.iter(|| {
+                let results = session.query_many(&workload);
+                results.iter().filter(|r| r.is_ok()).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_load, bench_session_cache);
+criterion_main!(benches);

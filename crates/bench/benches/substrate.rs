@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the index substrate: rank/select, balanced
 //! parentheses navigation, and the Def. 3.2 jumping primitives.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xwq_index::{TopologyKind, TreeIndex};
 use xwq_succinct::{BitVec, Bp, RankSelect};
-use xwq_xml::LabelSet;
 use xwq_xmark::GenOptions;
+use xwq_xml::LabelSet;
 
 fn pseudorandom_bits(n: usize) -> BitVec {
     let mut x = 0x9E3779B97F4A7C15u64;

@@ -46,7 +46,10 @@ fn main() {
 
     println!(
         "rare content: {:?} ({}x), common content: {:?} ({}x)\n",
-        rare, by_content[rare.as_str()], common, by_content[common.as_str()]
+        rare,
+        by_content[rare.as_str()],
+        common,
+        by_content[common.as_str()]
     );
     println!(
         "{:<58} {:>8} {:>10} {:>10} {:>10} {:>10}",

@@ -2,7 +2,7 @@
 //! (Fig. 7).
 
 use crate::results::{NodeList, ResultSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use xwq_index::NodeId;
 use xwq_xml::{LabelId, LabelSet};
 
@@ -161,7 +161,12 @@ impl Formula {
     /// children domains — exactly the atoms whose lists the Fig. 7 rules
     /// union into the result. Atoms under `¬` never contribute; a false
     /// subformula contributes nothing.
-    pub fn contributing_atoms(&self, dom1: &[StateId], dom2: &[StateId], out: &mut Vec<(u8, StateId)>) -> bool {
+    pub fn contributing_atoms(
+        &self,
+        dom1: &[StateId],
+        dom2: &[StateId],
+        out: &mut Vec<(u8, StateId)>,
+    ) -> bool {
         match self {
             Formula::True => true,
             Formula::False => false,
@@ -234,7 +239,7 @@ pub struct AstaTransition {
 impl AstaTransition {
     /// True if the transition may fire at `node` under its filter.
     #[inline]
-    pub fn filter_admits(&self, filters: &[Rc<Vec<NodeId>>], node: NodeId) -> bool {
+    pub fn filter_admits(&self, filters: &[Arc<Vec<NodeId>>], node: NodeId) -> bool {
         match self.filter {
             None => true,
             Some(f) => filters[f as usize].binary_search(&node).is_ok(),
@@ -257,7 +262,7 @@ pub struct Asta {
     /// `trans_of[q]` = indices into `delta`.
     pub trans_of: Vec<Vec<u32>>,
     /// Sorted node sets referenced by transition filters.
-    pub filters: Vec<Rc<Vec<NodeId>>>,
+    pub filters: Vec<Arc<Vec<NodeId>>>,
 }
 
 impl Asta {
@@ -312,7 +317,7 @@ impl Asta {
     /// Registers a sorted node set as a filter; returns its id.
     pub fn add_filter(&mut self, nodes: Vec<NodeId>) -> u32 {
         debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
-        self.filters.push(Rc::new(nodes));
+        self.filters.push(Arc::new(nodes));
         (self.filters.len() - 1) as u32
     }
 
@@ -391,11 +396,7 @@ impl Asta {
                 let mut r1 = Vec::new();
                 let mut r2 = Vec::new();
                 t.phi.collect_down(&mut r1, &mut r2);
-                if r1
-                    .iter()
-                    .chain(&r2)
-                    .any(|&q| carrier[q as usize])
-                {
+                if r1.iter().chain(&r2).any(|&q| carrier[q as usize]) {
                     carrier[t.q as usize] = true;
                     changed = true;
                 }

@@ -42,13 +42,15 @@ impl fmt::Display for CompileError {
                 write!(f, "absolute paths inside predicates are not supported")
             }
             CompileError::UnsupportedSelfStep => {
-                write!(f, "self:: steps are only supported as `.` at a predicate path head")
+                write!(
+                    f,
+                    "self:: steps are only supported as `.` at a predicate path head"
+                )
             }
             CompileError::EmptyPath => write!(f, "empty location path"),
-            CompileError::BackwardAxis => write!(
-                f,
-                "backward axis not rewritable into the forward fragment"
-            ),
+            CompileError::BackwardAxis => {
+                write!(f, "backward axis not rewritable into the forward fragment")
+            }
             CompileError::TextPredicateNeedsIndex => write!(
                 f,
                 "text predicates require compiling against a document index"
@@ -236,16 +238,15 @@ impl<'a> Compiler<'a> {
             Some(nodes) if nodes.is_empty() => {} // provably no match here
             Some(nodes) => {
                 let f = self.asta.add_filter(nodes);
-                self.asta.add_filtered(q, labels, selecting_here, phi, Some(f));
+                self.asta
+                    .add_filtered(q, labels, selecting_here, phi, Some(f));
             }
         }
 
         let search_from_doc_node = top_level;
         let axis = step.axis;
         let recursion = match axis {
-            Axis::Descendant => {
-                Formula::or(Formula::Down1(q), Formula::Down2(q))
-            }
+            Axis::Descendant => Formula::or(Formula::Down1(q), Formula::Down2(q)),
             Axis::Child | Axis::FollowingSibling | Axis::Attribute => {
                 if search_from_doc_node && axis == Axis::Child {
                     // The document node has a single child (the root

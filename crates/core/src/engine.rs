@@ -9,7 +9,7 @@ use xwq_index::{Document, NodeId, TopologyKind, TreeIndex};
 use xwq_xpath::{parse_xpath, rewrite_forward, Path, XPathError};
 
 /// Evaluation strategies (the series of Fig. 4, plus hybrid).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Algorithm 4.1 verbatim ("Naive Eval.").
     Naive,
@@ -24,6 +24,13 @@ pub enum Strategy {
     /// Start-anywhere evaluation (§4.4); falls back to [`Self::Optimized`]
     /// for query shapes it does not cover.
     Hybrid,
+}
+
+impl Default for Strategy {
+    /// [`Strategy::Optimized`] — the paper's headline configuration.
+    fn default() -> Self {
+        Strategy::Optimized
+    }
 }
 
 impl Strategy {
@@ -46,6 +53,53 @@ impl Strategy {
             Strategy::Memoized => "Memo. Eval.",
             Strategy::Optimized => "Opt. Eval.",
             Strategy::Hybrid => "Hybrid Eval.",
+        }
+    }
+
+    /// The short CLI token for this strategy (the inverse of
+    /// [`Strategy::from_str`]).
+    pub fn token(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::Pruning => "pruning",
+            Strategy::Jumping => "jumping",
+            Strategy::Memoized => "memo",
+            Strategy::Optimized => "opt",
+            Strategy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Error for an unrecognized strategy name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStrategyError(String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy {:?} (expected naive|pruning|jumping|memo|opt|hybrid)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the CLI strategy tokens, case-insensitively; `memoized` and
+    /// `optimized` are accepted as aliases of their short forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" => Ok(Strategy::Naive),
+            "pruning" => Ok(Strategy::Pruning),
+            "jumping" => Ok(Strategy::Jumping),
+            "memo" | "memoized" => Ok(Strategy::Memoized),
+            "opt" | "optimized" => Ok(Strategy::Optimized),
+            "hybrid" => Ok(Strategy::Hybrid),
+            _ => Err(ParseStrategyError(s.to_string())),
         }
     }
 }
@@ -128,8 +182,8 @@ impl Engine {
     /// backward steps cannot be rewritten are rejected.
     pub fn compile(&self, query: &str) -> Result<CompiledQuery, QueryError> {
         let parsed = parse_xpath(query).map_err(QueryError::Parse)?;
-        let path = rewrite_forward(&parsed)
-            .ok_or(QueryError::Compile(CompileError::BackwardAxis))?;
+        let path =
+            rewrite_forward(&parsed).ok_or(QueryError::Compile(CompileError::BackwardAxis))?;
         let asta = compile_path_indexed(&path, &self.ix).map_err(QueryError::Compile)?;
         Ok(CompiledQuery { path, asta })
     }

@@ -459,9 +459,7 @@ impl<'a> Evaluator<'a> {
                         tail = self.recurse(target, rcur);
                         break;
                     }
-                    SkipKind::Both
-                        if !at_jump_label && info.jump.len() <= self.opts.jump_width =>
-                    {
+                    SkipKind::Both if !at_jump_label && info.jump.len() <= self.opts.jump_width => {
                         // Frontier jump over cur's whole binary subtree
                         // (which includes the rest of this chain).
                         let jump = info.jump.clone();
@@ -589,13 +587,7 @@ impl<'a> Evaluator<'a> {
     /// Information propagation: given Γ₂'s domain, drop transitions that are
     /// already false and prune non-carrier `↓1` atoms of transitions that
     /// are already true (§4.4, mirrored — see module docs).
-    fn residual(
-        &mut self,
-        set: SetId,
-        label: LabelId,
-        t: &TransEval,
-        dom2: SetId,
-    ) -> Rc<Residual> {
+    fn residual(&mut self, set: SetId, label: LabelId, t: &TransEval, dom2: SetId) -> Rc<Residual> {
         if let Some(r) = self.residual_memo.get(&(set, label, dom2)) {
             self.stats.memo_hits += 1;
             return r.clone();

@@ -54,7 +54,10 @@ pub fn try_hybrid(path: &Path, ix: &TreeIndex) -> Option<(Vec<NodeId>, EvalStats
         .min_by_key(|&i| ix.label_count(spine[i].1.unwrap()))?;
 
     let mut stats = EvalStats::default();
-    let mut h = Hybrid { ix, stats: &mut stats };
+    let mut h = Hybrid {
+        ix,
+        stats: &mut stats,
+    };
     let mut out: Vec<NodeId> = Vec::new();
     let candidates = ix
         .label_list(spine[pivot].1.expect("pivot is named"))

@@ -28,7 +28,7 @@ mod tda;
 
 pub use asta::{Asta, AstaTransition, Formula, StateId};
 pub use compile::{compile_path, compile_path_indexed, CompileError};
-pub use engine::{CompiledQuery, Engine, QueryError, QueryOutput, Strategy};
+pub use engine::{CompiledQuery, Engine, ParseStrategyError, QueryError, QueryOutput, Strategy};
 pub use eval::{EvalOptions, EvalStats};
 pub use results::{NodeList, ResultSet};
 pub use sets::SetInterner;

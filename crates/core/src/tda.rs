@@ -164,9 +164,7 @@ impl<'a> Tda<'a> {
                         Formula::Down1(p) if *p == q => has_d1 = true,
                         Formula::Down2(p) if *p == q => has_d2 = true,
                         Formula::Or(a, b) => match (&**a, &**b) {
-                            (Formula::Down1(p1), Formula::Down2(p2))
-                                if *p1 == q && *p2 == q =>
-                            {
+                            (Formula::Down1(p1), Formula::Down2(p2)) if *p1 == q && *p2 == q => {
                                 has_d1 = true;
                                 has_d2 = true;
                             }
@@ -219,11 +217,9 @@ impl<'a> Tda<'a> {
             //     a right-only chain searcher in the set would otherwise be
             //     teleported across parent edges it cannot cross.
             if !any_not {
-                let originates = states.iter().any(|&q| {
-                    self.asta
-                        .active(q, l)
-                        .any(|t| t.phi.eval_bool(&[], &[]))
-                });
+                let originates = states
+                    .iter()
+                    .any(|&q| self.asta.active(q, l).any(|t| t.phi.eval_bool(&[], &[])));
                 let all_self_loop_both = states.iter().all(|&q| {
                     self.asta.active(q, l).any(|t| {
                         !t.selecting

@@ -125,10 +125,8 @@ fn query_for_label_absent_from_document() {
 #[test]
 fn nested_negation_with_jumping() {
     // ¬ disables the aggressive skip; the results must still match.
-    let doc = xwq_xml::parse(
-        "<a><a><c><b/></c></a><a><c/></a><b><a><c><d/></c></a></b></a>",
-    )
-    .unwrap();
+    let doc =
+        xwq_xml::parse("<a><a><c><b/></c></a><a><c/></a><b><a><c><d/></c></a></b></a>").unwrap();
     let e = Engine::build(&doc);
     for query in [
         "//a[not(.//b)]//c",
@@ -187,10 +185,8 @@ fn compiled_query_reusable_across_equal_alphabet_documents() {
 
 #[test]
 fn predicates_on_multiple_steps_simultaneously() {
-    let doc = xwq_xml::parse(
-        "<a><b><c><d/></c></b><b><c/></b><e><b><c><d/></c></b></e></a>",
-    )
-    .unwrap();
+    let doc =
+        xwq_xml::parse("<a><b><c><d/></c></b><b><c/></b><e><b><c><d/></c></b></e></a>").unwrap();
     let e = Engine::build(&doc);
     let q = e.compile("//b[c]/c[d]").unwrap();
     let expected = e.run(&q, Strategy::Naive).nodes;

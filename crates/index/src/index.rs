@@ -72,6 +72,82 @@ impl TreeIndex {
         &self.alphabet
     }
 
+    /// The topology backend (for persistence).
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The distinct text contents, in id order (for persistence).
+    pub fn text_values(&self) -> &[String] {
+        &self.text_values
+    }
+
+    /// Per-node content ids, `u32::MAX` for elements (for persistence).
+    pub fn text_ids(&self) -> &[u32] {
+        &self.text_ids
+    }
+
+    /// Reassembles an index from deserialized parts (the `.xwqi`
+    /// persistence layer). `label_lists` (the per-label preorder arrays)
+    /// are validated to be a partition of `0..n` consistent with `labels`;
+    /// the per-content inverted lists are rebuilt from `text_ids` in one
+    /// pass (cheaper to derive than to store and validate).
+    pub fn from_raw_parts(
+        alphabet: Alphabet,
+        labels: Vec<LabelId>,
+        topo: Topology,
+        label_lists: Vec<Vec<NodeId>>,
+        text_values: Vec<String>,
+        text_ids: Vec<u32>,
+    ) -> Result<Self, String> {
+        let n = labels.len();
+        if topo.len() != n {
+            return Err("index: topology / label array length mismatch".to_string());
+        }
+        if label_lists.len() != alphabet.len() {
+            return Err("index: one label list per alphabet entry required".to_string());
+        }
+        if text_ids.len() != n {
+            return Err("index: text id array length mismatch".to_string());
+        }
+        let mut seen = 0usize;
+        for (l, list) in label_lists.iter().enumerate() {
+            let mut prev = None;
+            for &v in list {
+                if (v as usize) >= n || labels[v as usize] as usize != l {
+                    return Err(format!("index: label list {l} contains a wrong node"));
+                }
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(format!("index: label list {l} is not strictly ascending"));
+                }
+                prev = Some(v);
+            }
+            seen += list.len();
+        }
+        if seen != n {
+            return Err("index: label lists do not partition the nodes".to_string());
+        }
+        let mut text_lists: Vec<Vec<NodeId>> = vec![Vec::new(); text_values.len()];
+        for (v, &id) in text_ids.iter().enumerate() {
+            if id != u32::MAX {
+                let list = text_lists
+                    .get_mut(id as usize)
+                    .ok_or_else(|| format!("index: node {v} has an out-of-range content id"))?;
+                list.push(v as NodeId);
+            }
+        }
+        Ok(Self {
+            alphabet,
+            labels,
+            topo,
+            label_lists,
+            text_values,
+            text_ids,
+            text_lists,
+        })
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
@@ -194,11 +270,7 @@ impl TreeIndex {
     /// binary subtree, inside `π₀`'s binary subtree, with label in `L`.
     #[inline]
     pub fn jump_following_bin(&self, v: NodeId, l_set: &LabelSet, scope: NodeId) -> NodeId {
-        self.first_labeled_in_range(
-            self.bin_subtree_end(v),
-            self.bin_subtree_end(scope),
-            l_set,
-        )
+        self.first_labeled_in_range(self.bin_subtree_end(v), self.bin_subtree_end(scope), l_set)
     }
 
     /// `dt` in the *XML* sense: first strict XML descendant of `v` with label
@@ -277,7 +349,10 @@ impl TreeIndex {
     pub fn lookup_text(&self, content: &str) -> Option<u32> {
         // The distinct-content list is scanned; for repeated lookups the
         // engine compiles the answer into the query once.
-        self.text_values.iter().position(|t| t == content).map(|i| i as u32)
+        self.text_values
+            .iter()
+            .position(|t| t == content)
+            .map(|i| i as u32)
     }
 
     /// Nodes carrying exactly this content id, in document order.

@@ -104,6 +104,89 @@ impl Topology {
             Topology::Succinct(t) => t.tree.heap_bytes(),
         }
     }
+
+    /// Which backend this topology uses.
+    pub fn kind(&self) -> TopologyKind {
+        match self {
+            Topology::Array(_) => TopologyKind::Array,
+            Topology::Succinct(_) => TopologyKind::Succinct,
+        }
+    }
+
+    /// The array backend's derived arrays `(subtree_end, depth)`, if this
+    /// is an array topology. The three navigation arrays are shared with
+    /// the document, so the `.xwqi` persistence layer stores only these two.
+    pub fn array_derived(&self) -> Option<(&[NodeId], &[u32])> {
+        match self {
+            Topology::Array(t) => Some((&t.subtree_end, &t.depth)),
+            Topology::Succinct(_) => None,
+        }
+    }
+
+    /// The succinct backend's tree, if this is a succinct topology.
+    pub fn succinct_tree(&self) -> Option<&SuccinctTree> {
+        match self {
+            Topology::Succinct(t) => Some(&t.tree),
+            Topology::Array(_) => None,
+        }
+    }
+
+    /// Reassembles an array topology from the document's navigation arrays
+    /// plus deserialized derived arrays (the `.xwqi` persistence layer).
+    /// `subtree_end` / `depth` are validated against the document in one
+    /// O(n) pass — they must be exactly what [`ArrayTopology::build`]
+    /// would derive.
+    pub fn from_array_parts(
+        doc: &Document,
+        subtree_end: Vec<NodeId>,
+        depth: Vec<u32>,
+    ) -> Result<Self, String> {
+        let n = doc.len();
+        if subtree_end.len() != n || depth.len() != n {
+            return Err("topology: derived array length mismatch".to_string());
+        }
+        for v in 0..n as NodeId {
+            let ns = doc.next_sibling(v);
+            let p = doc.parent(v);
+            let expect_end = if ns != NONE {
+                ns
+            } else if p != NONE {
+                subtree_end[p as usize]
+            } else {
+                n as u32
+            };
+            if subtree_end[v as usize] != expect_end {
+                return Err(format!("topology: bad subtree_end at node {v}"));
+            }
+            // `Document::from_raw_parts` guarantees `p < v` (preorder parent
+            // invariant), so `depth[p]` was already checked against its own
+            // expected value — bounded by n, so the `+ 1` cannot overflow.
+            let expect_depth = if p == NONE { 0 } else { depth[p as usize] + 1 };
+            if depth[v as usize] != expect_depth {
+                return Err(format!("topology: bad depth at node {v}"));
+            }
+        }
+        Ok(Topology::Array(ArrayTopology {
+            parent: (0..n as u32).map(|v| doc.parent(v)).collect(),
+            first_child: (0..n as u32).map(|v| doc.first_child(v)).collect(),
+            next_sibling: (0..n as u32).map(|v| doc.next_sibling(v)).collect(),
+            subtree_end,
+            depth,
+        }))
+    }
+
+    /// Wraps a deserialized succinct tree (the `.xwqi` persistence layer).
+    /// The tree must have one node per document node.
+    pub fn from_succinct_tree(doc: &Document, tree: SuccinctTree) -> Result<Self, String> {
+        if tree.len() != doc.len() {
+            return Err(format!(
+                "topology: succinct tree has {} nodes, document has {}",
+                tree.len(),
+                doc.len()
+            ));
+        }
+        Ok(Topology::Succinct(SuccinctTopology { tree }))
+    }
 }
 
 /// Conventional preorder-array topology.

@@ -1,0 +1,80 @@
+//! `xwq-store` — the persistence and serving layer.
+//!
+//! The paper's engine (see [`xwq_core`]) answers one query over one
+//! in-memory index, but building that index means parsing XML and
+//! constructing label lists, rank/select directories and (optionally)
+//! balanced-parentheses topology on every invocation — parse+index cost
+//! dominates any single query. This crate turns the index into a
+//! *persistent artifact* and adds the serving machinery on top:
+//!
+//! * **`.xwqi` files** — a versioned, checksummed binary serialization of
+//!   a fully built index (document arrays + alphabet + per-label preorder
+//!   arrays + topology, including the succinct backend's
+//!   balanced-parentheses bits and rank/select directories). Cold start
+//!   becomes a bulk read plus structural validation: [`read_index_file`] /
+//!   [`write_index_file`] / [`serialize`] / [`deserialize`]. Corrupt or
+//!   truncated input yields [`FormatError`], never a panic. The byte
+//!   layout is documented in `src/format.rs`.
+//!
+//! * **[`DocumentStore`]** — a named catalog of indexed documents behind
+//!   `Arc`, safe for concurrent readers: lookups clone an
+//!   [`Arc<StoredDocument>`] out of a short read lock, inserts and
+//!   removals never invalidate in-flight queries.
+//!
+//! * **[`Session`]** — the query-serving API: an LRU compiled-query cache
+//!   keyed by `(document, query, strategy)` (repeats skip the XPath→ASTA
+//!   compile), single [`Session::query`] and batched
+//!   [`Session::query_many`] entry points, and cache observability via
+//!   [`Session::cache_stats`].
+//!
+//! The `xwq` CLI exposes this layer as `xwq index`, `xwq query --index`
+//! and `xwq batch`; see the workspace README for the end-to-end tour and
+//! `benches/store_load.rs` in `xwq-bench` for the cold-load vs re-parse
+//! and cached vs uncached measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xwq_store::{DocumentStore, Session, QueryRequest};
+//! use xwq_index::TopologyKind;
+//! use xwq_core::Strategy;
+//!
+//! let store = DocumentStore::new();
+//! store.insert_xml("auctions", "<site><item/><item/></site>", TopologyKind::Array)?;
+//!
+//! // Persist the built index and load it back without re-parsing.
+//! let path = std::env::temp_dir().join("xwq-store-doctest.xwqi");
+//! store.get("auctions").unwrap().save(&path)?;
+//! store.load_index_file("auctions-cold", &path)?;
+//!
+//! let session = Session::new(Arc::new(store));
+//! let hot = session.query("auctions", "//item", Strategy::Optimized)?;
+//! assert_eq!(hot.nodes.len(), 2);
+//! let again = session.query("auctions", "//item", Strategy::Optimized)?;
+//! assert!(again.cache_hit);
+//!
+//! let batch = session.query_many(&[
+//!     QueryRequest::new("auctions", "//item"),
+//!     QueryRequest::new("auctions-cold", "//item"),
+//! ]);
+//! assert!(batch.iter().all(|r| r.is_ok()));
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod format;
+mod lru;
+mod session;
+mod store;
+mod wire;
+
+pub use format::{
+    deserialize, read_index_file, serialize, write_index_file, FormatError, HEADER_LEN, MAGIC,
+    VERSION,
+};
+pub use lru::LruCache;
+pub use session::{
+    CacheStats, QueryRequest, QueryResponse, Session, SessionError, DEFAULT_CACHE_CAPACITY,
+};
+pub use store::{DocumentStore, StoreError, StoredDocument};

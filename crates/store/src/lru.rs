@@ -1,0 +1,227 @@
+//! A small, dependency-free LRU cache used for compiled-query caching.
+//!
+//! Entries live in a slab threaded by an intrusive doubly-linked list, so
+//! `get` / `insert` are O(1) (plus hashing). This is deliberately a plain
+//! single-threaded structure — [`crate::Session`] wraps it in a `Mutex`,
+//! which at compiled-query granularity (the microseconds-to-milliseconds
+//! of XPath→ASTA work saved per hit) is not a contention point.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    /// `None` slots are free (tracked in `free`).
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache evicting beyond `capacity` entries (capacity 0 disables
+    /// caching entirely: every insert is immediately bounced back).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn entry(&self, i: usize) -> &Entry<K, V> {
+        self.slab[i].as_ref().expect("linked slot is occupied")
+    }
+
+    fn entry_mut(&mut self, i: usize) -> &mut Entry<K, V> {
+        self.slab[i].as_mut().expect("linked slot is occupied")
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let e = self.entry(i);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.entry_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entry_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(i);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.entry(i).value)
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry if
+    /// the cache is full. Returns the displaced `(key, value)` pair: the
+    /// evicted LRU entry, the previous value under the same key, or the
+    /// input itself when capacity is 0.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(&i) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.entry_mut(i).value, value);
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return Some((key, old));
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let e = self.slab[lru].take().expect("tail slot is occupied");
+            self.map.remove(&e.key);
+            self.free.push(lru);
+            Some((e.key, e.value))
+        } else {
+            None
+        };
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert("a", 1).is_none());
+        assert!(c.insert("b", 2).is_none());
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now MRU
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_updates_and_promotes() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), Some(("a", 1)));
+        c.insert("c", 3); // must evict b, not a
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert("a", 1), Some(("a", 1)));
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn churn_against_reference_model() {
+        // Pseudorandom workload checked against an O(n) reference.
+        let mut c = LruCache::new(8);
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // MRU-first
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 24;
+            if x & 1 == 0 {
+                c.insert(key, x);
+                if let Some(p) = reference.iter().position(|&(k, _)| k == key) {
+                    reference.remove(p);
+                }
+                reference.insert(0, (key, x));
+                reference.truncate(8);
+            } else {
+                let got = c.get(&key).copied();
+                let expect = reference.iter().position(|&(k, _)| k == key);
+                assert_eq!(got, expect.map(|p| reference[p].1), "key {key}");
+                if let Some(p) = expect {
+                    let e = reference.remove(p);
+                    reference.insert(0, e);
+                }
+            }
+            assert_eq!(c.len(), reference.len());
+        }
+    }
+}

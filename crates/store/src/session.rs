@@ -1,0 +1,339 @@
+//! The [`Session`] serving layer: cached, batched query evaluation over a
+//! shared [`DocumentStore`].
+//!
+//! A session holds an LRU cache of compiled queries keyed by
+//! `(document, query, strategy)`, so a repeated query skips the
+//! XPath→ASTA compile entirely and goes straight to automaton evaluation.
+//! Sessions are `Sync`: one session can serve many threads (the cache sits
+//! behind a `Mutex`; hit/miss counters are atomics), or each connection
+//! can hold its own session over the same store — compiled queries are
+//! `Arc`-shared either way.
+
+use crate::lru::LruCache;
+use crate::{DocumentStore, StoredDocument};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xwq_core::{CompiledQuery, EvalStats, QueryError, Strategy};
+use xwq_xml::NodeId;
+
+/// Default number of compiled queries kept per session.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Errors from serving a query.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The request named a document the store does not have.
+    UnknownDocument(String),
+    /// Parsing or compiling the query failed.
+    Query(QueryError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownDocument(d) => write!(f, "no document named {d:?}"),
+            SessionError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One unit of work for [`Session::query_many`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Name of the document in the store.
+    pub document: String,
+    /// The XPath query text.
+    pub query: String,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+}
+
+impl QueryRequest {
+    /// A request with the given document and query, using
+    /// [`Strategy::Optimized`].
+    pub fn new(document: impl Into<String>, query: impl Into<String>) -> Self {
+        Self {
+            document: document.into(),
+            query: query.into(),
+            strategy: Strategy::Optimized,
+        }
+    }
+
+    /// Overrides the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// The outcome of one served query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Selected nodes in document order.
+    pub nodes: Vec<NodeId>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+    /// True if the compiled query came from the session cache.
+    pub cache_hit: bool,
+    /// True if [`Strategy::Hybrid`] fell back to the optimized automaton.
+    pub hybrid_fallback: bool,
+}
+
+/// Cache observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from the compiled-query cache.
+    pub hits: u64,
+    /// Queries that had to compile.
+    pub misses: u64,
+    /// Compiled queries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// `(document name, document generation, query, strategy)`. The generation
+/// (see [`StoredDocument::generation`]) makes entries compiled against a
+/// removed-and-replaced document unreachable — without it, re-registering
+/// a different document under the same name would serve stale automata
+/// whose label ids and filter node lists belong to the old document.
+type CacheKey = (String, u64, String, Strategy);
+
+/// A serving session over a shared [`DocumentStore`].
+pub struct Session {
+    store: Arc<DocumentStore>,
+    cache: Mutex<LruCache<CacheKey, Arc<CompiledQuery>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Session {
+    /// A session with the default compiled-query cache capacity.
+    pub fn new(store: Arc<DocumentStore>) -> Self {
+        Self::with_cache_capacity(store, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A session with an explicit cache capacity (0 disables caching).
+    pub fn with_cache_capacity(store: Arc<DocumentStore>, capacity: usize) -> Self {
+        Self {
+            store,
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<DocumentStore> {
+        &self.store
+    }
+
+    /// Fetches a compiled query for `(document, query, strategy)`, from
+    /// cache if possible. The compiled automaton itself does not depend on
+    /// the strategy, but the strategy is part of the cache key so the
+    /// cache's working set mirrors the serving workload (and eviction
+    /// pressure is observable per strategy mix).
+    fn compiled(
+        &self,
+        doc: &StoredDocument,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<(Arc<CompiledQuery>, bool), SessionError> {
+        let key: CacheKey = (
+            doc.name().to_string(),
+            doc.generation(),
+            query.to_string(),
+            strategy,
+        );
+        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        // Compile outside the cache lock: compilation can be slow and
+        // other threads should keep hitting the cache meanwhile. Two
+        // threads may race to compile the same query; both results are
+        // identical and the second insert simply refreshes the entry.
+        let compiled = Arc::new(doc.engine().compile(query).map_err(SessionError::Query)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let displaced = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key.clone(), Arc::clone(&compiled));
+        // A displaced different key is a capacity eviction; getting our own
+        // key back means a concurrent thread compiled the same query (a
+        // refresh, not an eviction).
+        if displaced.is_some_and(|(k, _)| k != key) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((compiled, false))
+    }
+
+    /// Serves one query.
+    pub fn query(
+        &self,
+        document: &str,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<QueryResponse, SessionError> {
+        let doc = self
+            .store
+            .get(document)
+            .ok_or_else(|| SessionError::UnknownDocument(document.to_string()))?;
+        let (compiled, cache_hit) = self.compiled(&doc, query, strategy)?;
+        let out = doc.engine().run(&compiled, strategy);
+        Ok(QueryResponse {
+            nodes: out.nodes,
+            stats: out.stats,
+            cache_hit,
+            hybrid_fallback: out.hybrid_fallback,
+        })
+    }
+
+    /// Serves a batch of queries across documents, in request order.
+    ///
+    /// Each request is answered independently: one bad query or missing
+    /// document does not abort the rest of the batch.
+    pub fn query_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, SessionError>> {
+        requests
+            .iter()
+            .map(|r| self.query(&r.document, &r.query, r.strategy))
+            .collect()
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity(),
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xwq_index::TopologyKind;
+
+    fn store() -> Arc<DocumentStore> {
+        let s = DocumentStore::new();
+        s.insert_xml("a", "<r><x><y/></x><x/></r>", TopologyKind::Array)
+            .unwrap();
+        s.insert_xml("b", "<r><y/></r>", TopologyKind::Succinct)
+            .unwrap();
+        Arc::new(s)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let session = Session::new(store());
+        let first = session.query("a", "//x[y]", Strategy::Optimized).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.nodes, vec![1]);
+        let second = session.query("a", "//x[y]", Strategy::Optimized).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.nodes, first.nodes);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Different strategy is a different cache entry.
+        assert!(
+            !session
+                .query("a", "//x[y]", Strategy::Naive)
+                .unwrap()
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn batch_mixes_documents_and_errors() {
+        let session = Session::new(store());
+        let results = session.query_many(&[
+            QueryRequest::new("a", "//x"),
+            QueryRequest::new("b", "//y"),
+            QueryRequest::new("missing", "//y"),
+            QueryRequest::new("a", "//["),
+        ]);
+        assert_eq!(results[0].as_ref().unwrap().nodes, vec![1, 3]);
+        assert_eq!(results[1].as_ref().unwrap().nodes, vec![1]);
+        assert!(matches!(results[2], Err(SessionError::UnknownDocument(_))));
+        assert!(matches!(results[3], Err(SessionError::Query(_))));
+    }
+
+    #[test]
+    fn replaced_document_is_never_served_stale_compilations() {
+        let store = Arc::new(DocumentStore::new());
+        store
+            .insert_xml("d", "<r><x>old</x></r>", TopologyKind::Array)
+            .unwrap();
+        let session = Session::new(Arc::clone(&store));
+        // Warm the cache against the first registration; the compiled
+        // automaton embeds this document's label ids and text-filter nodes.
+        let old = session
+            .query("d", "//x[text()='old']", Strategy::Optimized)
+            .unwrap();
+        assert_eq!(old.nodes, vec![1]);
+
+        // Replace "d" with a structurally different document.
+        store.remove("d").unwrap();
+        store
+            .insert_xml("d", "<r><y/><x>new</x><x>old</x></r>", TopologyKind::Array)
+            .unwrap();
+
+        // The same (name, query, strategy) must recompile, not hit stale
+        // cache state from the old registration.
+        let new = session
+            .query("d", "//x[text()='old']", Strategy::Optimized)
+            .unwrap();
+        assert!(!new.cache_hit, "stale compiled query served after replace");
+        assert_eq!(new.nodes, vec![4]);
+        assert_eq!(
+            session
+                .query("d", "//x[text()='new']", Strategy::Optimized)
+                .unwrap()
+                .nodes,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_evicts() {
+        let session = Session::with_cache_capacity(store(), 2);
+        for q in ["//x", "//y", "//x/y", "//x"] {
+            session.query("a", q, Strategy::Optimized).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.evictions >= 1);
+        // "//x" was evicted by the time it repeats, so all 4 are misses.
+        assert_eq!(stats.misses, 4);
+    }
+}

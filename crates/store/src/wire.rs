@@ -1,0 +1,320 @@
+//! Low-level byte-level plumbing for the `.xwqi` format: a little-endian
+//! writer, a bounds-checked reader that never panics on corrupt input, and
+//! the payload checksum.
+//!
+//! Layout conventions (see the crate docs for the full file layout):
+//!
+//! * all integers are little-endian;
+//! * numeric arrays are a `u64` element count followed by the elements;
+//! * string tables are an offset directory plus one contiguous UTF-8 blob;
+//! * byte blobs are padded to an 8-byte boundary, so every numeric array
+//!   in the file sits at 8-byte alignment relative to the payload start —
+//!   a memory-mapped reader could reinterpret them in place (the current
+//!   reader copies into `Vec`s, which is still a bulk `memcpy`, not a
+//!   parse).
+
+use crate::FormatError;
+
+/// Mixer used by [`checksum`] (splitmix64's finalizer constant).
+const MIX: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// A fast 64-bit payload checksum (not cryptographic — it guards against
+/// truncation and bit rot, like a CRC).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ v).wrapping_mul(MIX).rotate_left(27);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        tail[7] = rem.len() as u8 | 0x80;
+        h = (h ^ u64::from_le_bytes(tail))
+            .wrapping_mul(MIX)
+            .rotate_left(27);
+    }
+    h ^ (h >> 29)
+}
+
+/// Append-only little-endian buffer writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes followed by zero padding to an 8-byte boundary.
+    pub fn put_padded_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Writes a length-prefixed `u32` array.
+    pub fn put_u32_array(&mut self, vals: &[u32]) {
+        self.put_u64(vals.len() as u64);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Writes a length-prefixed `u64` array.
+    pub fn put_u64_array(&mut self, vals: &[u64]) {
+        self.put_u64(vals.len() as u64);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Writes a length-prefixed `(i32, i32)` array.
+    pub fn put_i32_pair_array(&mut self, vals: &[(i32, i32)]) {
+        self.put_u64(vals.len() as u64);
+        for &(a, b) in vals {
+            self.buf.extend_from_slice(&a.to_le_bytes());
+            self.buf.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+
+    /// Writes a string table: count, offset directory, and one padded
+    /// UTF-8 blob.
+    pub fn put_string_table<S: AsRef<str>>(&mut self, strings: &[S]) {
+        self.put_u64(strings.len() as u64);
+        let mut off = 0u64;
+        self.put_u64(off);
+        for s in strings {
+            off += s.as_ref().len() as u64;
+            self.put_u64(off);
+        }
+        let mut blob = Vec::with_capacity(off as usize);
+        for s in strings {
+            blob.extend_from_slice(s.as_ref().as_bytes());
+        }
+        self.put_padded_bytes(&blob);
+    }
+}
+
+/// Bounds-checked little-endian reader over a borrowed payload. Every
+/// accessor returns `Err(FormatError::Truncated)` instead of panicking
+/// when the payload is too short, and array lengths are validated against
+/// the remaining bytes *before* any allocation, so a corrupt length field
+/// cannot trigger a huge allocation.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.remaining() < n {
+            return Err(FormatError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an element count: a `u64` that must fit in `usize` and whose
+    /// elements (of `elem_bytes` each) must fit in the remaining bytes.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, FormatError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw)
+            .ok()
+            .filter(|&n| {
+                n.checked_mul(elem_bytes)
+                    .is_some_and(|b| b <= self.remaining())
+            })
+            .ok_or(FormatError::Truncated {
+                need: raw.saturating_mul(elem_bytes as u64) as usize,
+                have: self.remaining(),
+            })?;
+        Ok(n)
+    }
+
+    fn skip_padding(&mut self) -> Result<(), FormatError> {
+        while !self.pos.is_multiple_of(8) {
+            self.take(1)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a length-prefixed `u32` array.
+    pub fn u32_array(&mut self) -> Result<Vec<u32>, FormatError> {
+        let n = self.count(4)?;
+        let bytes = self.take(n * 4)?;
+        let out = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        self.skip_padding()?;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` array.
+    pub fn u64_array(&mut self) -> Result<Vec<u64>, FormatError> {
+        let n = self.count(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `(i32, i32)` array.
+    pub fn i32_pair_array(&mut self) -> Result<Vec<(i32, i32)>, FormatError> {
+        let n = self.count(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    i32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                    i32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                )
+            })
+            .collect())
+    }
+
+    /// Reads a string table written by [`Writer::put_string_table`].
+    pub fn string_table(&mut self) -> Result<Vec<String>, FormatError> {
+        let n = self.count(8)?;
+        let offsets = self.take((n + 1) * 8)?;
+        let offsets: Vec<u64> = offsets
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(FormatError::Corrupt(
+                "string table offsets not ascending".into(),
+            ));
+        }
+        let total = usize::try_from(offsets[n])
+            .map_err(|_| FormatError::Corrupt("string table too large".into()))?;
+        let blob = self.take(total)?;
+        let mut out = Vec::with_capacity(n);
+        for w in offsets.windows(2) {
+            let s = &blob[w[0] as usize..w[1] as usize];
+            out.push(
+                std::str::from_utf8(s)
+                    .map_err(|_| FormatError::Corrupt("string table is not UTF-8".into()))?
+                    .to_string(),
+            );
+        }
+        self.skip_padding()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u64(7);
+        w.put_u32_array(&[1, 2, 3]);
+        w.put_u64_array(&[u64::MAX, 0]);
+        w.put_i32_pair_array(&[(-1, 2), (i32::MIN, i32::MAX)]);
+        w.put_string_table(&["", "héllo", "x"]);
+        w.put_u32(9);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.u32_array().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u64_array().unwrap(), vec![u64::MAX, 0]);
+        assert_eq!(
+            r.i32_pair_array().unwrap(),
+            vec![(-1, 2), (i32::MIN, i32::MAX)]
+        );
+        assert_eq!(r.string_table().unwrap(), vec!["", "héllo", "x"]);
+        assert_eq!(r.u32().unwrap(), 9);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u32_array(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            // Either the array reads short (impossible here) or errors.
+            assert!(r.u32_array().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_allocate() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~1.8e19 elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.u32_array(), Err(FormatError::Truncated { .. })));
+    }
+
+    #[test]
+    fn checksum_sensitivity() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let base = checksum(&data);
+        let mut flipped = data.clone();
+        flipped[500] ^= 1;
+        assert_ne!(base, checksum(&flipped));
+        assert_ne!(base, checksum(&data[..999]));
+        assert_eq!(base, checksum(&data));
+    }
+}

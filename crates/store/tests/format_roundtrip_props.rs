@@ -1,0 +1,71 @@
+//! Property tests for the `.xwqi` format: build → serialize → deserialize
+//! must preserve query results exactly, for every evaluation strategy and
+//! both topology backends, on random XMark-generated documents.
+
+use proptest::prelude::*;
+use xwq_core::{Engine, Strategy as EvalStrategy};
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_store::{deserialize, serialize};
+use xwq_xmark::GenOptions;
+
+fn arb_doc() -> impl Strategy<Value = xwq_xml::Document> {
+    // Small scale factors keep a case in the low milliseconds while still
+    // producing documents with hundreds of nodes, text, and attributes.
+    (1u64..1000, 1u32..25).prop_map(|(seed, f)| {
+        xwq_xmark::generate(GenOptions {
+            factor: f as f64 / 2000.0,
+            seed,
+        })
+    })
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologyKind> {
+    prop::sample::select(vec![TopologyKind::Array, TopologyKind::Succinct])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn roundtrip_preserves_all_query_results(doc in arb_doc(), topo in arb_topology()) {
+        let index = TreeIndex::build_with(&doc, topo);
+        let bytes = serialize(&doc, &index).expect("serialize");
+        let (doc2, index2) = match deserialize(&bytes) {
+            Ok(x) => x,
+            Err(e) => return Err(TestCaseError::fail(format!("deserialize: {e}"))),
+        };
+
+        prop_assert_eq!(doc.len(), doc2.len());
+        prop_assert_eq!(doc.to_xml(), doc2.to_xml());
+
+        let warm = Engine::from_index(index);
+        let cold = Engine::from_index(index2);
+        for (n, query) in xwq_xmark::queries() {
+            let warm_q = match warm.compile(query) {
+                Ok(c) => c,
+                Err(_) => continue, // outside the compilable fragment
+            };
+            let cold_q = cold.compile(query).expect("fragment is alphabet-independent");
+            for strategy in EvalStrategy::ALL {
+                prop_assert_eq!(
+                    warm.run(&warm_q, strategy).nodes,
+                    cold.run(&cold_q, strategy).nodes,
+                    "Q{:02} diverges under {} after a round-trip",
+                    n,
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_identical_bytes(doc in arb_doc(), topo in arb_topology()) {
+        // serialize ∘ deserialize ∘ serialize must be a fixed point: the
+        // format has no nondeterminism (map ordering, capacity) to leak.
+        let index = TreeIndex::build_with(&doc, topo);
+        let bytes = serialize(&doc, &index).expect("serialize");
+        let (doc2, index2) = deserialize(&bytes).expect("deserialize");
+        let bytes2 = serialize(&doc2, &index2).expect("re-serialize");
+        prop_assert_eq!(&bytes, &bytes2);
+    }
+}

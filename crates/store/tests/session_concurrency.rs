@@ -1,0 +1,143 @@
+//! Concurrency tests: one [`DocumentStore`] + one [`Session`] shared by
+//! many threads must serve correct results while documents are added and
+//! removed underneath.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xwq_core::Strategy;
+use xwq_index::TopologyKind;
+use xwq_store::{DocumentStore, QueryRequest, Session, SessionError};
+use xwq_xmark::GenOptions;
+
+fn workload_store() -> (Arc<DocumentStore>, Vec<(String, usize)>) {
+    let store = DocumentStore::new();
+    let mut expected = Vec::new();
+    for (i, topo) in [TopologyKind::Array, TopologyKind::Succinct]
+        .into_iter()
+        .enumerate()
+    {
+        let name = format!("xmark-{i}");
+        let doc = xwq_xmark::generate(GenOptions {
+            factor: 0.02,
+            seed: 7 + i as u64,
+        });
+        let stored = store.insert(&name, doc, topo).unwrap();
+        let n = stored.engine().query("//item").unwrap().len();
+        expected.push((name, n));
+    }
+    (Arc::new(store), expected)
+}
+
+#[test]
+fn many_threads_one_session() {
+    let (store, expected) = workload_store();
+    let session = Arc::new(Session::new(Arc::clone(&store)));
+    let queries = ["//item", "//item[name]", "//person", "//keyword"];
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let session = Arc::clone(&session);
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..50 {
+                // Every thread hits every document with every query, in a
+                // thread-dependent order, all through the shared cache.
+                let q = queries[(t + round) % queries.len()];
+                for (doc, n_items) in &expected {
+                    let resp = session.query(doc, q, Strategy::Optimized).unwrap();
+                    if q == "//item" {
+                        assert_eq!(resp.nodes.len(), *n_items, "{doc}: {q}");
+                    }
+                    // Results are preorder-sorted and duplicate-free.
+                    assert!(resp.nodes.windows(2).all(|w| w[0] < w[1]), "{doc}: {q}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let stats = session.cache_stats();
+    let unique = queries.len() * expected.len();
+    assert_eq!(stats.hits + stats.misses, (8 * 50 * expected.len()) as u64);
+    // Racing threads may each compile the same query once, but the miss
+    // count must stay within a small multiple of the unique workload.
+    assert!(
+        stats.misses >= unique as u64 && stats.misses <= (unique * 8) as u64,
+        "implausible miss count: {stats:?}"
+    );
+    assert!(
+        stats.hits > stats.misses * 10,
+        "cache barely hit: {stats:?}"
+    );
+}
+
+#[test]
+fn queries_survive_concurrent_removal() {
+    let (store, _) = workload_store();
+    let session = Arc::new(Session::new(Arc::clone(&store)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writer thread: repeatedly remove and re-register xmark-1.
+    let writer = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut churns = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(doc) = store.get("xmark-1") {
+                    // Prepare the replacement first so the absent window is
+                    // only the instant between remove and insert.
+                    let d = doc.document().clone();
+                    let ix = doc.engine().index().clone();
+                    store.remove("xmark-1");
+                    store.insert_prebuilt("xmark-1", d, ix).unwrap();
+                    churns += 1;
+                }
+            }
+            assert!(churns > 0, "writer never churned");
+        })
+    };
+
+    let mut ok = 0u32;
+    let mut missing = 0u32;
+    for _ in 0..500 {
+        match session.query("xmark-1", "//item", Strategy::Optimized) {
+            Ok(resp) => {
+                assert!(!resp.nodes.is_empty());
+                ok += 1;
+            }
+            // The instant between remove() and insert() is allowed to
+            // surface as UnknownDocument — but never a panic or a torn read.
+            Err(SessionError::UnknownDocument(_)) => missing += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer panicked");
+    assert!(ok > 0, "no query ever succeeded ({missing} gaps)");
+}
+
+#[test]
+fn batch_across_documents_matches_single_queries() {
+    let (store, expected) = workload_store();
+    let session = Session::new(store);
+    let requests: Vec<QueryRequest> = expected
+        .iter()
+        .flat_map(|(doc, _)| {
+            [
+                QueryRequest::new(doc.clone(), "//item"),
+                QueryRequest::new(doc.clone(), "//person").with_strategy(Strategy::Hybrid),
+            ]
+        })
+        .collect();
+    let batch = session.query_many(&requests);
+    assert_eq!(batch.len(), requests.len());
+    for (req, res) in requests.iter().zip(&batch) {
+        let single = session
+            .query(&req.document, &req.query, req.strategy)
+            .unwrap();
+        assert_eq!(res.as_ref().unwrap().nodes, single.nodes);
+    }
+}

@@ -80,6 +80,28 @@ impl BitVec {
         &self.words
     }
 
+    /// Reassembles a bit vector from its backing words, as produced by
+    /// [`Self::words`] / [`Self::len`] (used by the `.xwqi` persistence
+    /// layer). Fails if the word count does not match `len` or if unused
+    /// high bits of the last word are set.
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "bitvec: {} words cannot hold exactly {} bits",
+                words.len(),
+                len
+            ));
+        }
+        let rem = len % 64;
+        if rem != 0 {
+            let last = *words.last().expect("len > 0 implies a word");
+            if last >> rem != 0 {
+                return Err("bitvec: set bits beyond len".to_string());
+            }
+        }
+        Ok(Self { words, len })
+    }
+
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

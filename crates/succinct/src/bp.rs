@@ -77,6 +77,50 @@ impl Bp {
         self.rs.len()
     }
 
+    /// The underlying rank/select structure (bits + directory).
+    #[inline]
+    pub fn rank_select(&self) -> &RankSelect {
+        &self.rs
+    }
+
+    /// The range-min-max directory as `(leaf_count, flattened tree)`.
+    #[inline]
+    pub fn seg_directory(&self) -> (usize, &[(i32, i32)]) {
+        (self.seg_leaves, &self.seg)
+    }
+
+    /// Reassembles from a serialized range-min-max directory (the `.xwqi`
+    /// persistence layer). Shape is validated (leaf count and tree size
+    /// must match what [`Self::new`] would build for `rs.len()` bits);
+    /// directory *contents* are trusted — persisted payloads are
+    /// checksummed upstream, so this only needs to rule out shape
+    /// mismatches that could cause out-of-bounds access.
+    pub fn from_raw_parts(
+        rs: RankSelect,
+        seg_leaves: usize,
+        seg: Vec<(i32, i32)>,
+    ) -> Result<Self, String> {
+        let n_blocks = (rs.len() + 1).div_ceil(BLOCK);
+        let expect_leaves = n_blocks.next_power_of_two().max(1);
+        if seg_leaves != expect_leaves {
+            return Err(format!(
+                "bp: {seg_leaves} segment leaves, expected {expect_leaves}"
+            ));
+        }
+        if seg.len() != 2 * seg_leaves {
+            return Err(format!(
+                "bp: segment tree has {} entries, expected {}",
+                seg.len(),
+                2 * seg_leaves
+            ));
+        }
+        Ok(Self {
+            rs,
+            seg_leaves,
+            seg,
+        })
+    }
+
     /// True if the sequence is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -124,6 +124,50 @@ impl RankSelect {
     pub fn heap_bytes(&self) -> usize {
         self.bits.heap_bytes() + self.super_ranks.capacity() * 8
     }
+
+    /// The frozen bit data.
+    #[inline]
+    pub fn bit_vec(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The superblock rank directory (`super_ranks[i]` = ones strictly
+    /// before superblock `i`, with one trailing total entry).
+    #[inline]
+    pub fn super_ranks(&self) -> &[u64] {
+        &self.super_ranks
+    }
+
+    /// Reassembles from a serialized directory (the `.xwqi` persistence
+    /// layer). The directory is validated structurally: correct length,
+    /// nondecreasing, and its final entry must equal the actual popcount
+    /// of `bits`.
+    pub fn from_raw_parts(bits: BitVec, super_ranks: Vec<u64>) -> Result<Self, String> {
+        let n_super = bits.len().div_ceil(SUPER_BITS).max(1);
+        if super_ranks.len() != n_super + 1 {
+            return Err(format!(
+                "rank directory has {} entries, expected {}",
+                super_ranks.len(),
+                n_super + 1
+            ));
+        }
+        if super_ranks.windows(2).any(|w| w[0] > w[1]) {
+            return Err("rank directory is not nondecreasing".to_string());
+        }
+        let ones = bits.count_ones();
+        if *super_ranks.last().expect("nonempty") != ones as u64 {
+            return Err(format!(
+                "rank directory total {} does not match popcount {}",
+                super_ranks.last().expect("nonempty"),
+                ones
+            ));
+        }
+        Ok(Self {
+            bits,
+            super_ranks,
+            ones,
+        })
+    }
 }
 
 /// Position of the `k`-th (0-based) set bit within `w`; requires `k < popcount(w)`.

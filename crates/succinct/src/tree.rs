@@ -66,6 +66,30 @@ impl SuccinctTree {
         self.n_nodes
     }
 
+    /// The underlying balanced-parentheses structure.
+    #[inline]
+    pub fn bp(&self) -> &Bp {
+        &self.bp
+    }
+
+    /// Reassembles a tree from a deserialized parentheses structure (the
+    /// `.xwqi` persistence layer). The open-parenthesis count must match
+    /// the sequence length and be non-zero.
+    pub fn from_raw_parts(bp: Bp) -> Result<Self, String> {
+        let n_nodes = bp.rank_select().count_ones();
+        if n_nodes == 0 {
+            return Err("succinct tree: empty parentheses sequence".to_string());
+        }
+        if bp.len() != 2 * n_nodes {
+            return Err(format!(
+                "succinct tree: {} parentheses for {} opens (unbalanced)",
+                bp.len(),
+                n_nodes
+            ));
+        }
+        Ok(Self { bp, n_nodes })
+    }
+
     /// Always false: trees have at least a root.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -47,15 +47,72 @@ pub fn generate(opts: GenOptions) -> Document {
     let f = opts.factor;
     // Reserve the full vocabulary so label ids are stable across scales.
     for name in [
-        "site", "regions", "africa", "asia", "australia", "europe", "namerica", "samerica",
-        "item", "location", "quantity", "name", "payment", "description", "shipping",
-        "incategory", "mailbox", "mail", "from", "to", "date", "text", "keyword", "bold",
-        "emph", "parlist", "listitem", "people", "person", "emailaddress", "phone", "address",
-        "street", "city", "country", "zipcode", "homepage", "creditcard", "open_auctions",
-        "open_auction", "initial", "bidder", "increase", "current", "itemref", "seller",
-        "annotation", "author", "happiness", "closed_auctions", "closed_auction", "buyer",
-        "price", "type", "categories", "category", "catgraph", "edge", "@id", "@category",
-        "@person", "@item", "@open_auction", "@from", "@to", "#text",
+        "site",
+        "regions",
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+        "item",
+        "location",
+        "quantity",
+        "name",
+        "payment",
+        "description",
+        "shipping",
+        "incategory",
+        "mailbox",
+        "mail",
+        "from",
+        "to",
+        "date",
+        "text",
+        "keyword",
+        "bold",
+        "emph",
+        "parlist",
+        "listitem",
+        "people",
+        "person",
+        "emailaddress",
+        "phone",
+        "address",
+        "street",
+        "city",
+        "country",
+        "zipcode",
+        "homepage",
+        "creditcard",
+        "open_auctions",
+        "open_auction",
+        "initial",
+        "bidder",
+        "increase",
+        "current",
+        "itemref",
+        "seller",
+        "annotation",
+        "author",
+        "happiness",
+        "closed_auctions",
+        "closed_auction",
+        "buyer",
+        "price",
+        "type",
+        "categories",
+        "category",
+        "catgraph",
+        "edge",
+        "@id",
+        "@category",
+        "@person",
+        "@item",
+        "@open_auction",
+        "@from",
+        "@to",
+        "#text",
     ] {
         g.b.reserve(name);
     }
@@ -276,8 +333,12 @@ impl Gen {
             self.b.close();
             if self.rng.gen_bool(0.5) {
                 self.b.open("phone");
-                let p = format!("+{} ({}) {}", self.rng.gen_range(1..99),
-                    self.rng.gen_range(100..999), self.rng.gen_range(1000..99999));
+                let p = format!(
+                    "+{} ({}) {}",
+                    self.rng.gen_range(1..99),
+                    self.rng.gen_range(100..999),
+                    self.rng.gen_range(1000..99999)
+                );
                 self.b.text(&p);
                 self.b.close();
             }
@@ -299,9 +360,13 @@ impl Gen {
             }
             if self.rng.gen_bool(0.4) {
                 self.b.open("creditcard");
-                let c = format!("{} {} {} {}", self.rng.gen_range(1000..9999),
-                    self.rng.gen_range(1000..9999), self.rng.gen_range(1000..9999),
-                    self.rng.gen_range(1000..9999));
+                let c = format!(
+                    "{} {} {} {}",
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999)
+                );
                 self.b.text(&c);
                 self.b.close();
             }
@@ -451,22 +516,52 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate(GenOptions { factor: 0.02, seed: 7 });
-        let b = generate(GenOptions { factor: 0.02, seed: 7 });
+        let a = generate(GenOptions {
+            factor: 0.02,
+            seed: 7,
+        });
+        let b = generate(GenOptions {
+            factor: 0.02,
+            seed: 7,
+        });
         assert_eq!(a.len(), b.len());
         assert_eq!(a.to_xml(), b.to_xml());
-        let c = generate(GenOptions { factor: 0.02, seed: 8 });
+        let c = generate(GenOptions {
+            factor: 0.02,
+            seed: 8,
+        });
         assert_ne!(a.to_xml(), c.to_xml());
     }
 
     #[test]
     fn has_the_vocabulary_the_queries_need() {
-        let d = generate(GenOptions { factor: 0.05, seed: 1 });
+        let d = generate(GenOptions {
+            factor: 0.05,
+            seed: 1,
+        });
         let al = d.alphabet();
         for name in [
-            "site", "regions", "europe", "item", "mailbox", "mail", "date", "text", "keyword",
-            "emph", "parlist", "listitem", "people", "person", "address", "phone", "homepage",
-            "closed_auctions", "closed_auction", "annotation", "description",
+            "site",
+            "regions",
+            "europe",
+            "item",
+            "mailbox",
+            "mail",
+            "date",
+            "text",
+            "keyword",
+            "emph",
+            "parlist",
+            "listitem",
+            "people",
+            "person",
+            "address",
+            "phone",
+            "homepage",
+            "closed_auctions",
+            "closed_auction",
+            "annotation",
+            "description",
         ] {
             let l = al.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(
@@ -478,15 +573,24 @@ mod tests {
 
     #[test]
     fn scales_roughly_linearly() {
-        let small = generate(GenOptions { factor: 0.02, seed: 3 });
-        let large = generate(GenOptions { factor: 0.08, seed: 3 });
+        let small = generate(GenOptions {
+            factor: 0.02,
+            seed: 3,
+        });
+        let large = generate(GenOptions {
+            factor: 0.08,
+            seed: 3,
+        });
         let ratio = large.len() as f64 / small.len() as f64;
         assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
     fn parses_back_from_serialization() {
-        let d = generate(GenOptions { factor: 0.01, seed: 4 });
+        let d = generate(GenOptions {
+            factor: 0.01,
+            seed: 4,
+        });
         let xml = d.to_xml();
         let d2 = xwq_xml::parse(&xml).unwrap();
         assert_eq!(d.len(), d2.len());

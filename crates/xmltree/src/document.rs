@@ -159,6 +159,121 @@ impl Document {
         }
     }
 
+    /// Borrowed views of every internal array, in a fixed order used by the
+    /// `.xwqi` persistence layer: `(labels, parent, first_child,
+    /// next_sibling, text_ref)` plus the text arena via [`Self::texts`].
+    #[allow(clippy::type_complexity)]
+    pub fn raw_arrays(&self) -> (&[LabelId], &[NodeId], &[NodeId], &[NodeId], &[u32]) {
+        (
+            &self.labels,
+            &self.parent,
+            &self.first_child,
+            &self.next_sibling,
+            &self.text_ref,
+        )
+    }
+
+    /// The distinct-text arena backing [`Self::text`], in id order.
+    pub fn texts(&self) -> &[String] {
+        &self.texts
+    }
+
+    /// Reassembles a document from serialized arrays (the `.xwqi`
+    /// persistence layer). Validates every structural invariant needed so
+    /// that no later navigation or query can index out of bounds: equal
+    /// array lengths, label ids inside the alphabet, node references that
+    /// are in-range or [`NONE`], a rooted parent structure, and text refs
+    /// that land inside `texts` exactly for text/attribute labels.
+    pub fn from_raw_parts(
+        alphabet: Alphabet,
+        labels: Vec<LabelId>,
+        parent: Vec<NodeId>,
+        first_child: Vec<NodeId>,
+        next_sibling: Vec<NodeId>,
+        text_ref: Vec<u32>,
+        texts: Vec<String>,
+    ) -> Result<Self, String> {
+        let n = labels.len();
+        if n == 0 {
+            return Err("document: no nodes".to_string());
+        }
+        if n > NONE as usize {
+            return Err(format!("document: {n} nodes exceeds the u32 id space"));
+        }
+        if [
+            parent.len(),
+            first_child.len(),
+            next_sibling.len(),
+            text_ref.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err("document: array length mismatch".to_string());
+        }
+        let in_range = |v: NodeId| v == NONE || (v as usize) < n;
+        for v in 0..n {
+            if labels[v] as usize >= alphabet.len() {
+                return Err(format!(
+                    "document: node {v} has label {} outside alphabet",
+                    labels[v]
+                ));
+            }
+            if !in_range(parent[v]) || !in_range(first_child[v]) || !in_range(next_sibling[v]) {
+                return Err(format!("document: node {v} has an out-of-range link"));
+            }
+            let is_texty = matches!(
+                alphabet.kind(labels[v]),
+                LabelKind::Text | LabelKind::Attribute
+            );
+            if is_texty {
+                if text_ref[v] == u32::MAX || text_ref[v] as usize >= texts.len() {
+                    return Err(format!("document: node {v} has an invalid text ref"));
+                }
+            } else if text_ref[v] != u32::MAX {
+                return Err(format!("document: element node {v} carries a text ref"));
+            }
+        }
+        if parent[0] != NONE {
+            return Err("document: root must have no parent".to_string());
+        }
+        // Preorder invariant: every non-root node has a parent that precedes
+        // it. This is what makes upward walks (`parent*`) terminate — it
+        // rules out parent cycles and forward references outright.
+        for (v, &p) in parent.iter().enumerate().skip(1) {
+            if p == NONE || p as usize >= v {
+                return Err(format!(
+                    "document: node {v} violates the preorder parent invariant"
+                ));
+            }
+        }
+        // Children must point at their parent; this pass also ensures the
+        // preorder convention (a first child is its parent's successor).
+        for v in 0..n as NodeId {
+            let fc = first_child[v as usize];
+            if fc != NONE && (parent[fc as usize] != v || fc != v + 1) {
+                return Err(format!(
+                    "document: node {v} has an inconsistent first child"
+                ));
+            }
+            let ns = next_sibling[v as usize];
+            if ns != NONE && (parent[ns as usize] != parent[v as usize] || ns <= v) {
+                return Err(format!(
+                    "document: node {v} has an inconsistent next sibling"
+                ));
+            }
+        }
+        Ok(Self {
+            alphabet,
+            labels,
+            parent,
+            first_child,
+            next_sibling,
+            text_ref,
+            texts,
+        })
+    }
+
     /// Approximate heap footprint in bytes (for the memory experiment).
     pub fn heap_bytes(&self) -> usize {
         self.labels.capacity() * 4
@@ -189,5 +304,105 @@ fn escape_attr(s: &str, out: &mut String) {
             '"' => out.push_str("&quot;"),
             _ => out.push(c),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[allow(clippy::type_complexity)]
+    fn parts(
+        doc: &Document,
+    ) -> (
+        Alphabet,
+        Vec<LabelId>,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        Vec<u32>,
+        Vec<String>,
+    ) {
+        let (labels, parent, first_child, next_sibling, text_ref) = doc.raw_arrays();
+        (
+            doc.alphabet().clone(),
+            labels.to_vec(),
+            parent.to_vec(),
+            first_child.to_vec(),
+            next_sibling.to_vec(),
+            text_ref.to_vec(),
+            doc.texts().to_vec(),
+        )
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let doc = parse(r#"<a x="1"><b>t</b><c/></a>"#).unwrap();
+        let (al, l, p, fc, ns, tr, tx) = parts(&doc);
+        let re = Document::from_raw_parts(al, l, p, fc, ns, tr, tx).unwrap();
+        assert_eq!(doc.to_xml(), re.to_xml());
+    }
+
+    #[test]
+    fn parent_cycles_and_orphans_are_rejected() {
+        let doc = parse("<a><b/><c/></a>").unwrap();
+        // Cycle between unreachable-by-children nodes 1 and 2.
+        let (al, l, mut p, _, _, tr, tx) = parts(&doc);
+        p[1] = 2;
+        p[2] = 1;
+        let fc = vec![NONE; 3];
+        let ns = vec![NONE; 3];
+        let err = Document::from_raw_parts(
+            al.clone(),
+            l.clone(),
+            p,
+            fc.clone(),
+            ns.clone(),
+            tr.clone(),
+            tx.clone(),
+        )
+        .unwrap_err();
+        assert!(err.contains("preorder parent invariant"), "{err}");
+        // Orphan (non-root node without a parent).
+        let (_, _, mut p, _, _, _, _) = parts(&doc);
+        p[2] = NONE;
+        assert!(Document::from_raw_parts(al, l, p, fc, ns, tr, tx).is_err());
+    }
+
+    #[test]
+    fn structural_lies_are_rejected() {
+        let doc = parse("<a><b>t</b></a>").unwrap();
+        let (al, l, p, fc, ns, tr, tx) = parts(&doc);
+        // Label outside the alphabet.
+        let mut bad = l.clone();
+        bad[1] = 99;
+        assert!(Document::from_raw_parts(
+            al.clone(),
+            bad,
+            p.clone(),
+            fc.clone(),
+            ns.clone(),
+            tr.clone(),
+            tx.clone()
+        )
+        .is_err());
+        // Text ref on an element.
+        let mut bad = tr.clone();
+        bad[0] = 0;
+        assert!(Document::from_raw_parts(
+            al.clone(),
+            l.clone(),
+            p.clone(),
+            fc.clone(),
+            ns.clone(),
+            bad,
+            tx.clone()
+        )
+        .is_err());
+        // First child that skips a preorder id.
+        let mut bad = fc.clone();
+        bad[0] = 2;
+        assert!(Document::from_raw_parts(al, l, p, bad, ns, tr, tx).is_err());
     }
 }

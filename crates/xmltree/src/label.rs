@@ -56,6 +56,30 @@ impl Alphabet {
         id
     }
 
+    /// Rebuilds an alphabet from its name list in id order (kinds and the
+    /// lookup map are re-derived, exactly as successive [`Self::intern`]
+    /// calls would). Fails on duplicate names — ids would not be dense.
+    pub fn from_names<I, S>(names: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for (i, name) in names.into_iter().enumerate() {
+            let name = name.as_ref();
+            let id = a.intern(name);
+            if id as usize != i {
+                return Err(format!("alphabet: duplicate label name {name:?}"));
+            }
+        }
+        Ok(a)
+    }
+
+    /// Label names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
     /// Looks up an existing label.
     pub fn lookup(&self, name: &str) -> Option<LabelId> {
         self.map.get(name).copied()

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -217,8 +221,7 @@ impl<'a> Parser<'a> {
                 self.pos += "<![CDATA[".len();
                 let start = self.pos;
                 self.skip_until("]]>")?;
-                let content =
-                    String::from_utf8_lossy(&self.s[start..self.pos - 3]).into_owned();
+                let content = String::from_utf8_lossy(&self.s[start..self.pos - 3]).into_owned();
                 if !content.is_empty() {
                     self.builder.text(&content);
                 }
@@ -269,9 +272,7 @@ fn decode_entities(s: &str) -> Result<String, String> {
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let cp = u32::from_str_radix(&ent[2..], 16)
                     .map_err(|_| format!("bad hex character reference `&{ent};`"))?;
-                out.push(
-                    char::from_u32(cp).ok_or_else(|| format!("invalid code point {cp:#x}"))?,
-                );
+                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point {cp:#x}"))?);
             }
             _ if ent.starts_with('#') => {
                 let cp: u32 = ent[1..]
@@ -367,7 +368,8 @@ mod tests {
 
     #[test]
     fn roundtrip_through_serializer() {
-        let src = r#"<site id="s1"><regions><item x="1">text &amp; more</item><item/></regions></site>"#;
+        let src =
+            r#"<site id="s1"><regions><item x="1">text &amp; more</item><item/></regions></site>"#;
         let d = parse(src).unwrap();
         let out = d.to_xml();
         let d2 = parse(&out).unwrap();

@@ -8,7 +8,12 @@ use xwq_xml::{parse, Document, LabelKind, TreeBuilder, NONE};
 /// characters that require escaping.
 fn arb_doc() -> impl Strategy<Value = Document> {
     let text = prop::sample::select(vec![
-        "plain", "with <angle>", "amp & semi;", "quote \"q\" 'a'", "mixed <&>", "x",
+        "plain",
+        "with <angle>",
+        "amp & semi;",
+        "quote \"q\" 'a'",
+        "mixed <&>",
+        "x",
     ]);
     let name = prop::sample::select(vec!["a", "b", "item", "x-y", "n_1"]);
     prop::collection::vec(

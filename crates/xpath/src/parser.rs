@@ -48,7 +48,11 @@ impl<'a> P<'a> {
     }
 
     fn ws(&mut self) {
-        while self.s.get(self.pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }

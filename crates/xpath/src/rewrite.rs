@@ -34,11 +34,11 @@ pub fn rewrite_forward(path: &Path) -> Option<Path> {
     if !path.has_backward_axis() {
         return Some(path.clone());
     }
-    if path.steps.iter().any(|s| {
-        s.preds
-            .iter()
-            .any(pred_has_backward)
-    }) {
+    if path
+        .steps
+        .iter()
+        .any(|s| s.preds.iter().any(pred_has_backward))
+    {
         return None; // backward axes inside predicates: unsupported
     }
     let mut out: Vec<Step> = Vec::new();
@@ -196,7 +196,10 @@ mod tests {
         let want = parse_xpath("//a[ b ]").unwrap().to_string();
         assert_eq!(got, want);
         // Dotdot form.
-        assert_eq!(rw("//a/b/..").unwrap(), parse_xpath("//a[ b ]").unwrap().to_string());
+        assert_eq!(
+            rw("//a/b/..").unwrap(),
+            parse_xpath("//a[ b ]").unwrap().to_string()
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ fn fmt_phi(phi: &Formula) -> String {
 }
 
 fn main() {
-    let query = std::env::args().nth(1).unwrap_or_else(|| "//a//b[c]".into());
+    let query = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "//a//b[c]".into());
     // A demonstration alphabet; real engines compile against the document's.
     let mut alphabet = Alphabet::new();
     for l in ["a", "b", "c", "d", "#text"] {

@@ -17,9 +17,18 @@ const QUERY: &str = "//listitem//keyword//emph";
 fn main() {
     println!("query: {QUERY}\n");
     for (desc, doc) in [
-        ("A: 75k listitems, 3 keywords (start at keywords)", config_a(1.0)),
-        ("B: 75k listitems, 60k keywords, 4 emphs (start at emphs)", config_b(1.0)),
-        ("D: one hub listitem owns every keyword (worst case)", config_d(1.0)),
+        (
+            "A: 75k listitems, 3 keywords (start at keywords)",
+            config_a(1.0),
+        ),
+        (
+            "B: 75k listitems, 60k keywords, 4 emphs (start at emphs)",
+            config_b(1.0),
+        ),
+        (
+            "D: one hub listitem owns every keyword (worst case)",
+            config_d(1.0),
+        ),
     ] {
         let engine = Engine::build(&doc);
         let q = engine.compile(QUERY).unwrap();
@@ -34,7 +43,11 @@ fn main() {
 
         assert_eq!(hybrid.nodes, regular.nodes);
         println!("{desc}");
-        println!("   document: {} nodes, results: {}", doc.len(), hybrid.nodes.len());
+        println!(
+            "   document: {} nodes, results: {}",
+            doc.len(),
+            hybrid.nodes.len()
+        );
         println!(
             "   hybrid : visited {:>7}  in {:>9.1?}",
             hybrid.stats.visited, t_hybrid

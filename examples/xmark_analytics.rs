@@ -51,7 +51,10 @@ fn main() {
             "list items that mix keywords and emphasis",
             "//listitem[ .//keyword and .//emph ]",
         ),
-        ("anonymous bids (bidder without date)", "//bidder[ not(date) ]"),
+        (
+            "anonymous bids (bidder without date)",
+            "//bidder[ not(date) ]",
+        ),
     ];
 
     println!(

@@ -1,102 +1,237 @@
 //! The `xwq` command-line query tool.
 //!
 //! ```sh
-//! xwq '<xpath>' <file.xml> [--strategy naive|pruning|jumping|memo|opt|hybrid]
-//!                          [--count] [--stats] [--text]
+//! xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]
+//! xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
+//! xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
+//! xwq '<xpath>' <file.xml> [options]     # legacy one-shot form
 //! ```
 //!
-//! Prints one line per selected node: its preorder id, a simple absolute
-//! path, and (with `--text`) the concatenated text content.
+//! `xwq index` persists a fully built document index as a `.xwqi` file
+//! (see `xwq_store`); `xwq query --index` answers queries from that file
+//! without re-parsing the XML; `xwq batch` serves a whole query workload
+//! through a compiled-query-caching `xwq_store::Session`.
+//!
+//! Query output is one line per selected node: its preorder id, a simple
+//! absolute path, and (with `--text`) the concatenated text content.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use xwq::core::{Engine, Strategy};
+use xwq::index::TopologyKind;
+use xwq::store::{DocumentStore, QueryRequest, Session};
 use xwq::xml::{Document, NodeId, NONE};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: xwq '<xpath>' <file.xml> [--strategy naive|pruning|jumping|memo|opt|hybrid] [--count] [--stats] [--text]"
-    );
+const USAGE: &str = "\
+usage:
+  xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]
+  xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
+  xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
+  xwq '<xpath>' <file.xml> [options]
+  xwq --help | --version
+
+options:
+  --strategy naive|pruning|jumping|memo|opt|hybrid   evaluation strategy [opt]
+  --count        print only the number of selected nodes
+  --stats        print traversal / cache statistics to stderr
+  --text         include each node's text content
+  --repeat <n>   (batch) run the workload n times, exercising the cache [1]
+
+subcommands:
+  index   parse + index an XML file once, persist it as a .xwqi artifact
+  query   evaluate one XPath query against an .xwqi index or an XML file
+  batch   evaluate a file of queries (one per line, # comments) via a
+          Session with a compiled-query LRU cache";
+
+fn usage_error(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("xwq: {msg}");
+    }
+    eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("xwq: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Flags shared by `query`, `batch`, and the legacy form.
+struct CommonFlags {
+    strategy: Strategy,
+    count_only: bool,
+    show_stats: bool,
+    show_text: bool,
+    repeat: usize,
+}
+
+impl CommonFlags {
+    fn new() -> Self {
+        Self {
+            strategy: Strategy::default(),
+            count_only: false,
+            show_stats: false,
+            show_text: false,
+            repeat: 1,
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => usage_error(""),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!(
+                "xwq {} — whole-query-optimized XPath engine",
+                env!("CARGO_PKG_VERSION")
+            );
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("--version") | Some("-V") => {
+            println!("xwq {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Some("index") => cmd_index(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        // Legacy one-shot form: xwq '<xpath>' <file.xml> [options].
+        Some(_) => cmd_query(&args),
+    }
+}
+
+/// `xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]`
+fn cmd_index(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
-    let mut strategy = Strategy::Optimized;
-    let mut count_only = false;
-    let mut show_stats = false;
-    let mut show_text = false;
+    let mut out: Option<&str> = None;
+    let mut topology = TopologyKind::Array;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--strategy" => {
+            "-o" | "--out" => {
                 i += 1;
-                strategy = match args.get(i).map(String::as_str) {
-                    Some("naive") => Strategy::Naive,
-                    Some("pruning") => Strategy::Pruning,
-                    Some("jumping") => Strategy::Jumping,
-                    Some("memo") => Strategy::Memoized,
-                    Some("opt") => Strategy::Optimized,
-                    Some("hybrid") => Strategy::Hybrid,
+                match args.get(i) {
+                    Some(p) => out = Some(p),
+                    None => return usage_error("-o needs a path"),
+                }
+            }
+            "--topology" => {
+                i += 1;
+                topology = match args.get(i).map(String::as_str) {
+                    Some("array") => TopologyKind::Array,
+                    Some("succinct") => TopologyKind::Succinct,
                     other => {
-                        eprintln!("unknown strategy {other:?}");
-                        return usage();
+                        return usage_error(&format!(
+                            "unknown topology {other:?} (expected array|succinct)"
+                        ))
                     }
                 };
             }
-            "--count" => count_only = true,
-            "--stats" => show_stats = true,
-            "--text" => show_text = true,
-            "--help" | "-h" => return usage(),
-            flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}");
-                return usage();
-            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
             p => positional.push(p),
         }
         i += 1;
     }
-    let (query, file) = match positional[..] {
-        [q, f] => (q, f),
-        _ => return usage(),
+    let [xml_path] = positional[..] else {
+        return usage_error("index needs exactly one XML file");
+    };
+    let Some(out) = out else {
+        return usage_error("index needs -o <file.xwqi>");
     };
 
-    let xml = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("xwq: cannot read {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let doc = match xwq::xml::parse(&xml) {
+    let doc = match load_xml(xml_path) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("xwq: {file}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
-    let engine = Engine::build(&doc);
+    let index = xwq::index::TreeIndex::build_with(&doc, topology);
+    match xwq::store::write_index_file(out, &doc, &index) {
+        Ok(()) => {
+            eprintln!(
+                "# indexed {} nodes ({} labels, {:?} topology) -> {}",
+                doc.len(),
+                doc.alphabet().len(),
+                topology,
+                out
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]`
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut index_path: Option<&str> = None;
+    let mut flags = CommonFlags::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => index_path = Some(p),
+                    None => return usage_error("--index needs a path"),
+                }
+            }
+            _ => match parse_common_flag(args, &mut i, &mut flags) {
+                FlagParse::Consumed => {}
+                FlagParse::Err(code) => return code,
+                FlagParse::Positional(p) => positional.push(p),
+            },
+        }
+        i += 1;
+    }
+
+    if flags.repeat != 1 {
+        return usage_error("--repeat is only valid with the batch subcommand");
+    }
+
+    let (query, doc, engine) = match (index_path, &positional[..]) {
+        (Some(path), [q]) => match xwq::store::read_index_file(path) {
+            Ok((doc, index)) => (*q, doc, Engine::from_index(index)),
+            Err(e) => return fail(format!("{path}: {e}")),
+        },
+        (None, [q, file]) => match load_xml(file) {
+            Ok(doc) => {
+                let engine = Engine::build(&doc);
+                (*q, doc, engine)
+            }
+            Err(code) => return code,
+        },
+        _ => return usage_error("query needs '<xpath>' plus --index <file.xwqi> or <file.xml>"),
+    };
+
     let compiled = match engine.compile(query) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("xwq: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(e),
     };
-    let out = engine.run(&compiled, strategy);
+    let out = engine.run(&compiled, flags.strategy);
 
-    if count_only {
+    if flags.count_only {
         println!("{}", out.nodes.len());
     } else {
+        // Buffered + EPIPE-tolerant: `xwq query … | head` must exit
+        // cleanly when the reader closes the pipe, not panic.
+        let stdout = std::io::stdout();
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        use std::io::Write as _;
         for &v in &out.nodes {
-            if show_text {
-                println!("{:>8}  {}  {}", v, node_path(&doc, v), text_of(&doc, v));
+            let line = if flags.show_text {
+                writeln!(w, "{:>8}  {}  {}", v, node_path(&doc, v), text_of(&doc, v))
             } else {
-                println!("{:>8}  {}", v, node_path(&doc, v));
+                writeln!(w, "{:>8}  {}", v, node_path(&doc, v))
+            };
+            if line.is_err() {
+                return ExitCode::SUCCESS;
             }
         }
+        if w.flush().is_err() {
+            return ExitCode::SUCCESS;
+        }
     }
-    if show_stats {
+    if flags.show_stats {
         eprintln!(
             "# {} results, visited {} of {} nodes, {} jumps, {} memo entries ({} hits){}",
             out.nodes.len(),
@@ -113,6 +248,174 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt>`
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut index_path: Option<&str> = None;
+    let mut xml_path: Option<&str> = None;
+    let mut flags = CommonFlags::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => index_path = Some(p),
+                    None => return usage_error("--index needs a path"),
+                }
+            }
+            "--xml" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => xml_path = Some(p),
+                    None => return usage_error("--xml needs a path"),
+                }
+            }
+            _ => match parse_common_flag(args, &mut i, &mut flags) {
+                FlagParse::Consumed => {}
+                FlagParse::Err(code) => return code,
+                FlagParse::Positional(p) => positional.push(p),
+            },
+        }
+        i += 1;
+    }
+    let [queries_path] = positional[..] else {
+        return usage_error("batch needs exactly one queries file");
+    };
+    if flags.show_text {
+        return usage_error("--text is not supported by batch (it prints per-query counts)");
+    }
+
+    let store = DocumentStore::new();
+    let doc_name = match (index_path, xml_path) {
+        (Some(path), None) => match store.load_index_file("doc", path) {
+            Ok(_) => "doc",
+            Err(e) => return fail(format!("{path}: {e}")),
+        },
+        (None, Some(path)) => match store.load_xml_file("doc", path, TopologyKind::Array) {
+            Ok(_) => "doc",
+            Err(e) => return fail(format!("{path}: {e}")),
+        },
+        _ => return usage_error("batch needs exactly one of --index or --xml"),
+    };
+
+    let queries: Vec<String> = match std::fs::read_to_string(queries_path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect(),
+        Err(e) => return fail(format!("cannot read {queries_path}: {e}")),
+    };
+    if queries.is_empty() {
+        return fail(format!("{queries_path}: no queries"));
+    }
+
+    let session = Session::new(Arc::new(store));
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::new(doc_name, q).with_strategy(flags.strategy))
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut failures = 0usize;
+    for round in 0..flags.repeat.max(1) {
+        let results = session.query_many(&requests);
+        if round == 0 {
+            for (q, r) in queries.iter().zip(&results) {
+                match r {
+                    Ok(resp) => println!("{:>8}  {q}", resp.nodes.len()),
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("xwq: {q}: {e}");
+                    }
+                }
+            }
+        } else {
+            failures += results.iter().filter(|r| r.is_err()).count();
+        }
+    }
+    if flags.show_stats {
+        let stats = session.cache_stats();
+        eprintln!(
+            "# {} queries x {} rounds in {:.1?}; cache: {} hits, {} misses, {} evictions, {}/{} entries",
+            queries.len(),
+            flags.repeat.max(1),
+            started.elapsed(),
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.entries,
+            stats.capacity
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+enum FlagParse<'a> {
+    Consumed,
+    Positional(&'a str),
+    Err(ExitCode),
+}
+
+/// Parses one argument at `*i` against the shared flag set.
+fn parse_common_flag<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flags: &mut CommonFlags,
+) -> FlagParse<'a> {
+    match args[*i].as_str() {
+        "--strategy" => {
+            *i += 1;
+            match args.get(*i).map(|s| s.parse::<Strategy>()) {
+                Some(Ok(s)) => {
+                    flags.strategy = s;
+                    FlagParse::Consumed
+                }
+                Some(Err(e)) => FlagParse::Err(usage_error(&e.to_string())),
+                None => FlagParse::Err(usage_error("--strategy needs a value")),
+            }
+        }
+        "--repeat" => {
+            *i += 1;
+            match args.get(*i).map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => {
+                    flags.repeat = n;
+                    FlagParse::Consumed
+                }
+                _ => FlagParse::Err(usage_error("--repeat needs a positive integer")),
+            }
+        }
+        "--count" => {
+            flags.count_only = true;
+            FlagParse::Consumed
+        }
+        "--stats" => {
+            flags.show_stats = true;
+            FlagParse::Consumed
+        }
+        "--text" => {
+            flags.show_text = true;
+            FlagParse::Consumed
+        }
+        flag if flag.starts_with("--") => {
+            FlagParse::Err(usage_error(&format!("unknown flag {flag}")))
+        }
+        p => FlagParse::Positional(p),
+    }
+}
+
+fn load_xml(path: &str) -> Result<Document, ExitCode> {
+    let xml =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    xwq::xml::parse(&xml).map_err(|e| fail(format!("{path}: {e}")))
 }
 
 /// `/site/regions[1]/item[3]`-style path (1-based positions among

@@ -1,0 +1,263 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API used by this workspace's
+//! benches — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! warmup-then-measure loop that prints the mean time per iteration.
+//! There is no statistical analysis, outlier rejection, or HTML report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `"<name>/<parameter>"`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just `"<parameter>"`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to the closure of `bench_function`.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: first for the warmup window, then for the
+    /// measurement window, recording iterations and elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let measure_end = start + self.measure;
+        loop {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warmup window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's loop is time-bounded, so
+    /// the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput units (accepted and ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, elapsed)) if iters > 0 => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{full_id:<60} {:>14} iters  {:>14.1} ns/iter", iters, per);
+            }
+            _ => println!("{full_id:<60} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+/// Both the plain form and the `name/config/targets` form are accepted
+/// (the config expression is evaluated and used as the driver).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,559 @@
+//! Offline shim for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the subset of proptest 1.x used by this workspace's test suites:
+//! the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`; the
+//! strategies in [`prop`] (`collection::vec`, `bool::ANY`, `option::of`,
+//! `sample::select`), ranges and tuples as strategies; and the
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`]
+//! macros. Cases are drawn from a deterministic per-test seed. There is no
+//! shrinking: a failing case panics immediately with its case number.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+use std::fmt;
+use std::rc::Rc;
+
+/// The random source handed to [`Strategy::sample`].
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator derived from the test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        self.0.gen_range(0..n)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}
+
+/// Error type carried by `prop_assert!` failures (no shrinking, so it is
+/// just a message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed test case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// Alias used by some proptest call sites.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Recursive strategies: `f` receives the strategy built so far and
+    /// returns the strategy for one more level of nesting; `depth` levels
+    /// are stacked, each level choosing 50/50 between recursing and the
+    /// base. (`_desired_size` / `_expected_branch` are accepted for
+    /// proptest API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let rec = f(cur.clone()).boxed();
+            cur = Union::new(vec![cur, rec]).boxed();
+        }
+        cur
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Strategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.inner.sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between several strategies (the engine of [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+impl_tuple_strategy!(A B C D E F);
+
+/// The `prop::` strategy namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Length specification for [`vec`]: a `usize` or a range of sizes.
+        pub trait IntoSizeRange {
+            /// Inclusive `(lo, hi)` length bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy for `Vec`s of values drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { elem, lo, hi }
+        }
+
+        /// Output of [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.lo == self.hi {
+                    self.lo
+                } else {
+                    self.lo + rng.index(self.hi - self.lo + 1)
+                };
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform `bool`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// `Some` with probability 3/4 (matching proptest's default), else
+        /// `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Output of [`of`].
+        #[derive(Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.bool(0.75) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice of one element of `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select over empty list");
+            Select { items }
+        }
+
+        /// Output of [`select`].
+        #[derive(Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.items[rng.index(self.items.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right` (both `{:?}`)",
+                l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategy arms (all arms must yield the same type).
+/// Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(prop::bool::ANY, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (no shrinking in offline shim):\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges_and_vec_bounds");
+        let s = prop::collection::vec(0u8..4, 0..250);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 250);
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_union_and_recursive() {
+        let mut rng = crate::TestRng::deterministic("oneof_union_and_recursive");
+        let leaf = prop::sample::select(vec!["x".to_string()]);
+        let expr = leaf.prop_recursive(2, 8, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} {b})")),
+                inner.prop_map(|a| format!("!{a}")),
+            ]
+        });
+        let mut saw_nested = false;
+        for _ in 0..100 {
+            let e = expr.sample(&mut rng);
+            assert!(e.contains('x'));
+            saw_nested |= e != "x";
+        }
+        assert!(saw_nested, "recursion never fired");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_form_works(x in 0u32..10, flags in prop::collection::vec(prop::bool::ANY, 3)) {
+            prop_assert!(x < 10, "x = {}", x);
+            prop_assert_eq!(flags.len(), 3);
+        }
+    }
+}
