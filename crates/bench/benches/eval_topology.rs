@@ -1,0 +1,49 @@
+//! The Fig. 2 workload evaluated over both topology backends.
+//!
+//! The array backend answers `first_child`/`next_sibling` from plain
+//! arrays; the succinct backend pays balanced-parentheses navigation
+//! (`find_close`, `enclose`, rank/select) on every step, so this bench is
+//! the end-to-end evidence for the succinct substrate's hot-path work:
+//! the O(1) select directories and the byte-table excess scans land here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xwq_core::{CompiledQuery, Engine, Strategy};
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_xmark::GenOptions;
+
+fn bench_eval_topology(c: &mut Criterion) {
+    let factor = std::env::var("XWQ_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let doc = xwq_xmark::generate(GenOptions { factor, seed: 42 });
+    let n = doc.len();
+    let mut group = c.benchmark_group("eval_topology");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for (tag, kind) in [
+        ("array", TopologyKind::Array),
+        ("succinct", TopologyKind::Succinct),
+    ] {
+        let engine = Engine::from_index(TreeIndex::build_with(&doc, kind));
+        let workload: Vec<CompiledQuery> = xwq_xmark::queries()
+            .filter_map(|(_, q)| engine.compile(q).ok())
+            .collect();
+        assert!(workload.len() >= 8, "workload unexpectedly small");
+        // The whole suite per iteration: a serving-shaped batch where
+        // navigation cost, not compile cost, dominates.
+        group.bench_with_input(BenchmarkId::new(tag, n), &workload, |b, workload| {
+            b.iter(|| {
+                workload
+                    .iter()
+                    .map(|q| engine.run(q, Strategy::Optimized).nodes.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_topology);
+criterion_main!(benches);

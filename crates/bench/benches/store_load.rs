@@ -9,6 +9,11 @@
 //! 2. **Serving** — repeated-query throughput through a
 //!    [`xwq_store::Session`] with the compiled-query cache enabled versus
 //!    disabled (capacity 0), over the Fig. 2 XMark query workload.
+//! 3. **Batch scaling** — [`xwq_store::Session::query_many_with_threads`]
+//!    over the same workload at growing worker counts: independent
+//!    `(document, query)` pairs evaluate on a scoped thread pool, so the
+//!    batch should speed up with cores until the longest single query
+//!    dominates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -99,5 +104,53 @@ fn bench_session_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_load, bench_session_cache);
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_scaling");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    let doc = xwq_xmark::generate(GenOptions {
+        factor: 0.1,
+        seed: 42,
+    });
+    let n = doc.len();
+    let store = DocumentStore::new();
+    store
+        .insert("xmark", doc, TopologyKind::Array)
+        .expect("insert");
+    let store = Arc::new(store);
+    let engine_probe = store.get("xmark").expect("registered");
+    let workload: Vec<QueryRequest> = xwq_xmark::queries()
+        .filter(|(_, q)| engine_probe.engine().compile(q).is_ok())
+        .map(|(_, q)| QueryRequest::new("xmark", q).with_strategy(Strategy::Optimized))
+        .collect();
+    assert!(workload.len() >= 4, "need ≥4 independent queries");
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let session = Session::new(Arc::clone(&store));
+    let _ = session.query_many_with_threads(&workload, 1); // warm compile cache
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&t| t <= cores.max(1) * 2); // oversubscribe once, no more
+    for t in counts {
+        group.bench_function(BenchmarkId::new(format!("threads{t:02}"), n), |b| {
+            b.iter(|| {
+                session
+                    .query_many_with_threads(&workload, t)
+                    .iter()
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_load,
+    bench_session_cache,
+    bench_batch_scaling
+);
 criterion_main!(benches);

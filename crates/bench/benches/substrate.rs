@@ -41,6 +41,25 @@ fn bench_rank_select(c: &mut Criterion) {
             rs.select1(k)
         })
     });
+    group.bench_function("select0", |b| {
+        let zeros = rs.count_zeros();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k * 7 + 13) % zeros;
+            rs.select0(k)
+        })
+    });
+    // The sampled directory is most stressed on sparse vectors (many
+    // superblocks between consecutive ones).
+    let sparse = RankSelect::new((0..n).map(|i| i % 701 == 0).collect());
+    let sparse_ones = sparse.count_ones();
+    group.bench_function("select1_sparse", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k * 7 + 13) % sparse_ones;
+            sparse.select1(k)
+        })
+    });
     group.finish();
 }
 

@@ -72,6 +72,25 @@ impl Formula {
         }
     }
 
+    /// Collects the `↓i` atoms into bitsets (the hot-loop variant of
+    /// [`Self::collect_down`]: no per-visit sort/dedup).
+    pub fn collect_down_bits(
+        &self,
+        r1: &mut crate::bits::StateBits,
+        r2: &mut crate::bits::StateBits,
+    ) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Or(a, b) | Formula::And(a, b) => {
+                a.collect_down_bits(r1, r2);
+                b.collect_down_bits(r1, r2);
+            }
+            Formula::Not(a) => a.collect_down_bits(r1, r2),
+            Formula::Down1(q) => r1.insert(*q),
+            Formula::Down2(q) => r2.insert(*q),
+        }
+    }
+
     /// True if the formula contains no negation.
     pub fn is_monotone(&self) -> bool {
         match self {
@@ -334,22 +353,26 @@ impl Asta {
     /// so a state set can be evaluated per closure-group — which is what
     /// lets predicate branches short-circuit independently of the selecting
     /// main path (§4.4 information propagation).
-    pub fn state_closures(&self) -> Vec<Vec<u64>> {
+    pub fn state_closures(&self) -> Vec<crate::bits::StateBits> {
+        use crate::bits::StateBits;
         let n = self.n_states as usize;
-        let words = n.div_ceil(64);
-        let mut clo = vec![vec![0u64; words]; n];
-        for (q, c) in clo.iter_mut().enumerate() {
-            c[q / 64] |= 1u64 << (q % 64);
-        }
+        let mut clo: Vec<StateBits> = (0..n)
+            .map(|q| {
+                let mut s = StateBits::with_universe(n);
+                s.insert(q as StateId);
+                s
+            })
+            .collect();
         // Transitive closure by iteration (|Q| is query-sized).
         let mut changed = true;
         while changed {
             changed = false;
             for t in &self.delta {
-                let mut r1 = Vec::new();
-                let mut r2 = Vec::new();
-                t.phi.collect_down(&mut r1, &mut r2);
-                for q in r1.into_iter().chain(r2) {
+                let mut d1 = StateBits::with_universe(n);
+                let mut d2 = StateBits::with_universe(n);
+                t.phi.collect_down_bits(&mut d1, &mut d2);
+                d1.union_with(&d2);
+                for q in d1.iter() {
                     let (src, dst) = (t.q as usize, q as usize);
                     if src == dst {
                         continue;
@@ -362,11 +385,10 @@ impl Asta {
                         let (l, r) = clo.split_at_mut(src);
                         (&mut r[0], &l[dst])
                     };
-                    for (x, y) in a.iter_mut().zip(b) {
-                        if *x | *y != *x {
-                            *x |= *y;
-                            changed = true;
-                        }
+                    let before = a.len();
+                    a.union_with(b);
+                    if a.len() != before {
+                        changed = true;
                     }
                 }
             }
@@ -403,6 +425,12 @@ impl Asta {
             }
         }
         carrier
+    }
+
+    /// [`Self::carrier_states`] as a [`crate::bits::StateBits`] — the form
+    /// the evaluator probes per node visit.
+    pub fn carrier_bits(&self) -> crate::bits::StateBits {
+        crate::bits::StateBits::from_bools(&self.carrier_states())
     }
 }
 

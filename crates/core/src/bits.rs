@@ -1,0 +1,214 @@
+//! Dense `u64`-backed bitsets for the evaluation hot loops.
+//!
+//! The on-the-fly determinization touches sets of ASTA states at every
+//! node visit. Representing them as `Vec<StateId>` (sort + dedup per
+//! visit) or `Vec<bool>` (byte-per-state probes) leaves word-level
+//! parallelism on the table; [`StateBits`] packs them 64-per-word so
+//! collection is an OR, dedup is free, membership is one shift, and
+//! ascending iteration is a `trailing_zeros` loop — which is exactly the
+//! order [`crate::sets::SetInterner`] wants its keys in.
+//!
+//! The same type doubles as the evaluator's visited-node set (node ids
+//! are dense preorder ranks, states are dense `u32`s — the structure
+//! doesn't care which id space it indexes).
+
+use crate::asta::StateId;
+
+/// A fixed-universe bitset over dense `u32` identifiers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateBits {
+    words: Vec<u64>,
+}
+
+impl StateBits {
+    /// An empty set able to hold ids `0..universe` without reallocating.
+    pub fn with_universe(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// An empty set with no capacity (grows on first insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a `bool`-per-id slice (e.g. [`crate::Asta::carrier_states`]).
+    pub fn from_bools(flags: &[bool]) -> Self {
+        let mut s = Self::with_universe(flags.len());
+        for (i, &b) in flags.iter().enumerate() {
+            if b {
+                s.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        s
+    }
+
+    /// Removes every member; keeps capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Adds `id`, growing the universe if needed (geometrically, so a
+    /// sequence of ascending inserts reallocates O(log n) times).
+    #[inline]
+    pub fn insert(&mut self, id: StateId) {
+        let w = id as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize((w + 1).max(self.words.len() * 2), 0);
+        }
+        self.words[w] |= 1u64 << (id % 64);
+    }
+
+    /// Membership test (out-of-universe ids are absent, not an error).
+    #[inline]
+    pub fn contains(&self, id: StateId) -> bool {
+        let w = id as usize / 64;
+        w < self.words.len() && (self.words[w] >> (id % 64)) & 1 == 1
+    }
+
+    /// True if no id is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &StateBits) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True if the sets share any member.
+    pub fn intersects(&self, other: &StateBits) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Inserts `id` and returns whether it was newly added (the visited-set
+    /// idiom).
+    #[inline]
+    pub fn insert_check(&mut self, id: StateId) -> bool {
+        let w = id as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize((w + 1).max(self.words.len() * 2), 0);
+        }
+        let mask = 1u64 << (id % 64);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> StateBitsIter<'_> {
+        StateBitsIter {
+            words: &self.words,
+            word_idx: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the members into an ascending `Vec` (already sorted and
+    /// deduplicated — fit for [`crate::sets::SetInterner::intern_sorted`]).
+    pub fn to_sorted_vec(&self) -> Vec<StateId> {
+        self.iter().collect()
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl FromIterator<StateId> for StateBits {
+    fn from_iter<I: IntoIterator<Item = StateId>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// Ascending iterator over a [`StateBits`].
+pub struct StateBitsIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    cur: u64,
+}
+
+impl Iterator for StateBitsIter<'_> {
+    type Item = StateId;
+
+    fn next(&mut self) -> Option<StateId> {
+        loop {
+            if self.cur != 0 {
+                let tz = self.cur.trailing_zeros();
+                self.cur &= self.cur - 1;
+                return Some((self.word_idx * 64) as StateId + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter_ascending() {
+        let mut s = StateBits::with_universe(10);
+        for q in [7, 3, 200, 3, 64] {
+            s.insert(q);
+        }
+        assert!(s.contains(3) && s.contains(7) && s.contains(64) && s.contains(200));
+        assert!(!s.contains(4) && !s.contains(63) && !s.contains(1000));
+        assert_eq!(s.to_sorted_vec(), vec![3, 7, 64, 200]);
+        assert_eq!(s.len(), 4);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a: StateBits = [1u32, 65].into_iter().collect();
+        let b: StateBits = [2u32, 65].into_iter().collect();
+        let c: StateBits = [3u32].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_sorted_vec(), vec![1, 2, 65]);
+    }
+
+    #[test]
+    fn from_bools_matches_inserts() {
+        let flags = [false, true, true, false, true];
+        let s = StateBits::from_bools(&flags);
+        assert_eq!(s.to_sorted_vec(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn insert_check_reports_novelty() {
+        let mut s = StateBits::new();
+        assert!(s.insert_check(9));
+        assert!(!s.insert_check(9));
+        assert!(s.insert_check(10));
+    }
+}

@@ -1,7 +1,7 @@
 //! The public engine API.
 
 use crate::compile::{compile_path_indexed, CompileError};
-use crate::eval::{EvalOptions, EvalStats, Evaluator};
+use crate::eval::{EvalOptions, EvalScratch, EvalStats, Evaluator};
 use crate::hybrid::try_hybrid;
 use crate::Asta;
 use std::fmt;
@@ -190,6 +190,19 @@ impl Engine {
 
     /// Evaluates a compiled query under a strategy.
     pub fn run(&self, q: &CompiledQuery, strategy: Strategy) -> QueryOutput {
+        self.run_with_scratch(q, strategy, &mut EvalScratch::new())
+    }
+
+    /// Evaluates a compiled query, reusing allocations from `scratch`.
+    /// A thread serving many queries over the same (or similar) documents
+    /// keeps one scratch and avoids re-allocating the document-sized
+    /// visited set per query.
+    pub fn run_with_scratch(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+    ) -> QueryOutput {
         let sigma = self.ix.alphabet().len();
         let opts = match strategy {
             Strategy::Naive => EvalOptions::naive(),
@@ -209,7 +222,7 @@ impl Engine {
             }
         };
         let mut ev = Evaluator::new(&q.asta, &self.ix, opts);
-        let nodes = ev.run();
+        let nodes = ev.run_with_scratch(scratch);
         QueryOutput {
             nodes,
             stats: ev.stats,

@@ -19,6 +19,8 @@
 //!   direction — pruning the *first* child's set from Γ₂ — is used.)
 
 use crate::asta::{Asta, StateId};
+use crate::bits::StateBits;
+use crate::cache::SetLabelCache;
 use crate::results::{NodeList, ResultSet};
 use crate::sets::{SetId, SetInterner};
 use crate::tda::{SkipKind, Tda, TransEval};
@@ -109,8 +111,40 @@ pub struct EvalStats {
     pub memo_entries: u64,
     /// Memo hits.
     pub memo_hits: u64,
+    /// Memo lookups that had to compute (each unique key computes once, so
+    /// this equals [`Self::memo_entries`] at the end of a run; kept as its
+    /// own counter so hit rates read directly as `hits / (hits + misses)`).
+    pub memo_misses: u64,
     /// Number of selected nodes.
     pub selected: u64,
+}
+
+impl EvalStats {
+    /// Accumulates another run's counters (batch reporting).
+    pub fn accumulate(&mut self, other: &EvalStats) {
+        self.visited += other.visited;
+        self.jumps += other.jumps;
+        self.memo_entries += other.memo_entries;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.selected += other.selected;
+    }
+}
+
+/// Reusable evaluation allocations. A serving thread keeps one of these
+/// and passes it to every run ([`crate::Engine::run_with_scratch`]): the
+/// visited-node bitset is document-sized, so reusing it turns a per-query
+/// allocation into a `memset`.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    pub(crate) visited: StateBits,
+}
+
+impl EvalScratch {
+    /// An empty scratch (grows to document size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Recursion ceiling for nested frontier jumps; beyond it the evaluator
@@ -123,20 +157,26 @@ pub struct Evaluator<'a> {
     ix: &'a TreeIndex,
     opts: EvalOptions,
     tda: Tda<'a>,
-    /// Formula-evaluation memo: (set, label, dom1, dom2) → recipe.
-    recipe_memo: FxHashMap<(SetId, LabelId, SetId, SetId), Rc<Recipe>>,
-    /// Information-propagation memo: (set, label, dom2) → (active', r1').
-    residual_memo: FxHashMap<(SetId, LabelId, SetId), Rc<Residual>>,
-    carrier: Vec<bool>,
+    /// Formula-evaluation memo, `(set, label)` dense-indexed; each slot
+    /// holds the `(dom1, dom2)`-keyed recipes for that pair (few per slot,
+    /// scanned linearly — cheaper than hashing a 4-tuple per node).
+    recipe_memo: SetLabelCache<Vec<(u64, Rc<Recipe>)>>,
+    recipe_entries: usize,
+    /// Information-propagation memo, same two-tier layout, `dom2`-keyed
+    /// within the slot.
+    residual_memo: SetLabelCache<Vec<(SetId, Rc<Residual>)>>,
+    residual_entries: usize,
+    carrier: StateBits,
     /// Per-state downward closures (see [`Asta::state_closures`]).
-    closures: Vec<Vec<u64>>,
+    closures: Vec<StateBits>,
     /// Per-set split into component subsets (empty vec = single component).
     split_memo: FxHashMap<SetId, Rc<Vec<SetId>>>,
     /// Existential evaluation memo: is state `q` accepted at node `v`?
     exists_memo: FxHashMap<(StateId, NodeId), bool>,
     /// Distinct nodes visited so far (the paper's Fig. 3 counts nodes, and
-    /// independent components may touch the same node).
-    visited_seen: xwq_index::FxHashSet<NodeId>,
+    /// independent components may touch the same node). A dense bitset over
+    /// preorder ids; swapped in from an [`EvalScratch`] when serving.
+    visited_seen: StateBits,
     /// Statistics.
     pub stats: EvalStats,
     depth: usize,
@@ -170,20 +210,25 @@ impl<'a> Evaluator<'a> {
             ix.alphabet().len(),
             "automaton compiled against a different alphabet"
         );
-        let carrier = asta.carrier_states();
+        let carrier = asta.carrier_bits();
         let closures = asta.state_closures();
         Self {
             asta,
             ix,
             opts,
             tda: Tda::new(asta),
-            recipe_memo: FxHashMap::default(),
-            residual_memo: FxHashMap::default(),
+            recipe_memo: SetLabelCache::new(asta.alphabet_size),
+            recipe_entries: 0,
+            residual_memo: SetLabelCache::new(asta.alphabet_size),
+            residual_entries: 0,
             carrier,
             closures,
             split_memo: FxHashMap::default(),
             exists_memo: FxHashMap::default(),
-            visited_seen: xwq_index::FxHashSet::default(),
+            // Starts empty and grows geometrically with the nodes actually
+            // visited; run_with_scratch swaps in a pre-grown bitset, so a
+            // warm serving thread pays no per-query allocation here.
+            visited_seen: StateBits::new(),
             stats: EvalStats::default(),
             depth: 0,
         }
@@ -203,7 +248,20 @@ impl<'a> Evaluator<'a> {
         let out = list.to_sorted_set();
         self.stats.selected = out.len() as u64;
         self.stats.memo_entries =
-            (self.tda.trans_memo_len() + self.recipe_memo.len() + self.residual_memo.len()) as u64;
+            (self.tda.trans_memo_len() + self.recipe_entries + self.residual_entries) as u64;
+        self.stats.memo_misses = self.stats.memo_entries;
+        out
+    }
+
+    /// [`Self::run`] with the visited bitset borrowed from (and returned
+    /// to) a reusable [`EvalScratch`]: after the scratch's first run it is
+    /// document-sized, so subsequent runs pay a `memset` instead of an
+    /// allocation.
+    pub fn run_with_scratch(&mut self, scratch: &mut EvalScratch) -> Vec<NodeId> {
+        self.visited_seen = std::mem::take(&mut scratch.visited);
+        self.visited_seen.clear();
+        let out = self.run();
+        scratch.visited = std::mem::take(&mut self.visited_seen);
         out
     }
 
@@ -247,7 +305,7 @@ impl<'a> Evaluator<'a> {
             .sets
             .get(set)
             .iter()
-            .all(|&q| !self.carrier[q as usize])
+            .all(|&q| !self.carrier.contains(q))
     }
 
     /// Splits `set` into groups whose state closures are pairwise disjoint
@@ -259,14 +317,13 @@ impl<'a> Evaluator<'a> {
         }
         let states = self.tda.sets.get(set).to_vec();
         // Greedy closure-overlap grouping; |set| is query-sized.
-        let mut groups: Vec<(Vec<u64>, Vec<StateId>)> = Vec::new();
+        let mut groups: Vec<(StateBits, Vec<StateId>)> = Vec::new();
         for q in states {
             let qc = &self.closures[q as usize];
             let mut target: Option<usize> = None;
             let mut gi = 0;
             while gi < groups.len() {
-                let overlaps = groups[gi].0.iter().zip(qc).any(|(a, b)| a & b != 0);
-                if overlaps {
+                if groups[gi].0.intersects(qc) {
                     match target {
                         None => {
                             target = Some(gi);
@@ -275,9 +332,7 @@ impl<'a> Evaluator<'a> {
                         Some(t) => {
                             // q bridges two groups: merge them.
                             let (clo, members) = groups.remove(gi);
-                            for (a, b) in groups[t].0.iter_mut().zip(&clo) {
-                                *a |= b;
-                            }
+                            groups[t].0.union_with(&clo);
                             groups[t].1.extend(members);
                         }
                     }
@@ -287,9 +342,7 @@ impl<'a> Evaluator<'a> {
             }
             match target {
                 Some(t) => {
-                    for (a, b) in groups[t].0.iter_mut().zip(qc) {
-                        *a |= b;
-                    }
+                    groups[t].0.union_with(qc);
                     groups[t].1.push(q);
                 }
                 None => groups.push((qc.clone(), vec![q])),
@@ -341,9 +394,8 @@ impl<'a> Evaluator<'a> {
         if !info.jump.contains(label) {
             let b = match info.kind {
                 SkipKind::Both if info.jump.len() <= self.opts.jump_width.max(1) => {
-                    let jump = info.jump.clone();
                     self.stats.jumps += 1;
-                    let mut f = self.ix.jump_desc_bin(v, &jump);
+                    let mut f = self.ix.jump_desc_bin(v, &info.jump);
                     let mut found = false;
                     while f != NONE {
                         if self.exists(q, f, depth + 1) {
@@ -351,18 +403,18 @@ impl<'a> Evaluator<'a> {
                             break;
                         }
                         self.stats.jumps += 1;
-                        f = self.ix.jump_following_bin(f, &jump, v);
+                        f = self.ix.jump_following_bin(f, &info.jump, v);
                     }
                     found
                 }
                 SkipKind::Right => {
                     self.stats.jumps += 1;
-                    let t = self.ix.jump_rightmost(v, &info.jump.clone());
+                    let t = self.ix.jump_rightmost(v, &info.jump);
                     t != NONE && self.exists(q, t, depth + 1)
                 }
                 SkipKind::Left => {
                     self.stats.jumps += 1;
-                    let t = self.ix.jump_leftmost(v, &info.jump.clone());
+                    let t = self.ix.jump_leftmost(v, &info.jump);
                     t != NONE && self.exists(q, t, depth + 1)
                 }
                 _ => return self.exists_structural(q, v, depth),
@@ -446,25 +498,22 @@ impl<'a> Evaluator<'a> {
                     SkipKind::Right if !at_jump_label => {
                         // Inline spine skip along the sibling chain.
                         self.stats.jumps += 1;
-                        let jump = info.jump.clone();
-                        cur = self.ix.jump_rightmost(cur, &jump);
+                        cur = self.ix.jump_rightmost(cur, &info.jump);
                         continue;
                     }
                     SkipKind::Left if !at_jump_label => {
                         // Spine skip down the first-child chain; the rest of
                         // this chain is ignored by construction (no ↓2).
                         self.stats.jumps += 1;
-                        let jump = info.jump.clone();
-                        let target = self.ix.jump_leftmost(cur, &jump);
+                        let target = self.ix.jump_leftmost(cur, &info.jump);
                         tail = self.recurse(target, rcur);
                         break;
                     }
                     SkipKind::Both if !at_jump_label && info.jump.len() <= self.opts.jump_width => {
                         // Frontier jump over cur's whole binary subtree
                         // (which includes the rest of this chain).
-                        let jump = info.jump.clone();
                         self.stats.jumps += 1;
-                        let mut f = self.ix.jump_desc_bin(cur, &jump);
+                        let mut f = self.ix.jump_desc_bin(cur, &info.jump);
                         let mut acc = ResultSet::empty();
                         let mut inline: Option<NodeId> = None;
                         while f != NONE {
@@ -486,12 +535,12 @@ impl<'a> Evaluator<'a> {
                                 .sets
                                 .get(rcur)
                                 .iter()
-                                .all(|&q| !self.carrier[q as usize] && acc.contains(q));
+                                .all(|&q| !self.carrier.contains(q) && acc.contains(q));
                             if settled {
                                 break;
                             }
                             self.stats.jumps += 1;
-                            f = self.ix.jump_following_bin(f, &jump, cur);
+                            f = self.ix.jump_following_bin(f, &info.jump, cur);
                         }
                         if !acc.is_empty() {
                             // Deep members' states propagate up through the
@@ -556,7 +605,8 @@ impl<'a> Evaluator<'a> {
 
     /// Counts distinct visited nodes.
     fn mark_visited(&mut self, v: NodeId) {
-        if self.visited_seen.insert(v) {
+        debug_assert!(v != NONE);
+        if self.visited_seen.insert_check(v) {
             self.stats.visited += 1;
         }
     }
@@ -588,9 +638,11 @@ impl<'a> Evaluator<'a> {
     /// already false and prune non-carrier `↓1` atoms of transitions that
     /// are already true (§4.4, mirrored — see module docs).
     fn residual(&mut self, set: SetId, label: LabelId, t: &TransEval, dom2: SetId) -> Rc<Residual> {
-        if let Some(r) = self.residual_memo.get(&(set, label, dom2)) {
-            self.stats.memo_hits += 1;
-            return r.clone();
+        if let Some(slot) = self.residual_memo.slot(set, label) {
+            if let Some((_, r)) = slot.iter().find(|(d, _)| *d == dom2) {
+                self.stats.memo_hits += 1;
+                return r.clone();
+            }
         }
         let dom2_states: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
         let mut active = Vec::new();
@@ -605,7 +657,7 @@ impl<'a> Evaluator<'a> {
                     let mut d1 = Vec::new();
                     let mut d2 = Vec::new();
                     tr.phi.collect_down(&mut d1, &mut d2);
-                    r1.extend(d1.into_iter().filter(|&q| self.carrier[q as usize]));
+                    r1.extend(d1.into_iter().filter(|&q| self.carrier.contains(q)));
                 }
                 None => {
                     active.push(ti);
@@ -618,7 +670,10 @@ impl<'a> Evaluator<'a> {
         }
         let r1 = self.tda.sets.intern(r1);
         let out = Rc::new((active, r1));
-        self.residual_memo.insert((set, label, dom2), out.clone());
+        self.residual_memo
+            .slot_mut(set, label)
+            .push((dom2, out.clone()));
+        self.residual_entries += 1;
         out
     }
 
@@ -658,10 +713,15 @@ impl<'a> Evaluator<'a> {
         // Memoized: look up (or build) the recipe keyed by the domains.
         let dom1 = self.intern_domain(g1);
         let dom2 = self.intern_domain(g2);
-        let key = (set, label, dom1, dom2);
-        let recipe = if let Some(r) = self.recipe_memo.get(&key) {
+        let domkey = ((dom1 as u64) << 32) | dom2 as u64;
+        let cached = self
+            .recipe_memo
+            .slot(set, label)
+            .and_then(|slot| slot.iter().find(|(k, _)| *k == domkey))
+            .map(|(_, r)| r.clone());
+        let recipe = if let Some(r) = cached {
             self.stats.memo_hits += 1;
-            r.clone()
+            r
         } else {
             let d1: Vec<StateId> = self.tda.sets.get(dom1).to_vec();
             let d2: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
@@ -679,7 +739,10 @@ impl<'a> Evaluator<'a> {
                 }
             }
             let r = Rc::new(Recipe { rows });
-            self.recipe_memo.insert(key, r.clone());
+            self.recipe_memo
+                .slot_mut(set, label)
+                .push((domkey, r.clone()));
+            self.recipe_entries += 1;
             r
         };
         let mut out = ResultSet::empty();

@@ -18,6 +18,8 @@
 //! Entry point: [`Engine`].
 
 mod asta;
+mod bits;
+mod cache;
 mod compile;
 mod engine;
 mod eval;
@@ -27,9 +29,10 @@ mod sets;
 mod tda;
 
 pub use asta::{Asta, AstaTransition, Formula, StateId};
+pub use bits::StateBits;
 pub use compile::{compile_path, compile_path_indexed, CompileError};
 pub use engine::{CompiledQuery, Engine, ParseStrategyError, QueryError, QueryOutput, Strategy};
-pub use eval::{EvalOptions, EvalStats};
+pub use eval::{EvalOptions, EvalScratch, EvalStats};
 pub use results::{NodeList, ResultSet};
 pub use sets::SetInterner;
 pub use tda::{SkipKind, Tda};

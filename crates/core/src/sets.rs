@@ -35,6 +35,13 @@ impl SetInterner {
         self.intern_sorted(states)
     }
 
+    /// Interns the members of a bitset. Bitset iteration is already
+    /// ascending and duplicate-free, so this skips the sort/dedup pass of
+    /// [`Self::intern`] — the form the evaluation hot loop uses.
+    pub fn intern_bits(&mut self, states: &crate::bits::StateBits) -> SetId {
+        self.intern_sorted(states.to_sorted_vec())
+    }
+
     /// Interns a sorted, deduplicated vector.
     pub fn intern_sorted(&mut self, states: Vec<StateId>) -> SetId {
         debug_assert!(states.windows(2).all(|w| w[0] < w[1]));

@@ -21,6 +21,8 @@
 //! children, `rt`/`lt` spine jumps when they go through exactly one.
 
 use crate::asta::{Asta, Formula, StateId};
+use crate::bits::StateBits;
+use crate::cache::SetLabelCache;
 use crate::sets::{SetId, SetInterner};
 use std::rc::Rc;
 use xwq_index::FxHashMap;
@@ -66,18 +68,30 @@ pub struct Tda<'a> {
     pub asta: &'a Asta,
     /// The state-set interner (id 0 = ∅).
     pub sets: SetInterner,
-    trans_memo: FxHashMap<(SetId, LabelId), Rc<TransEval>>,
+    /// `(S, σ)`-keyed transition memo: dense direct-indexed region for the
+    /// low set ids that dominate, hash spill above (no tuple hashing in
+    /// the per-node inner loop).
+    trans_memo: SetLabelCache<Option<Rc<TransEval>>>,
+    trans_memo_entries: usize,
     skip_memo: FxHashMap<SetId, Rc<SkipInfo>>,
+    /// Reusable per-call scratch for `compute_trans` (collection is an OR;
+    /// dedup/sort are free at intern time).
+    scratch_r1: StateBits,
+    scratch_r2: StateBits,
 }
 
 impl<'a> Tda<'a> {
     /// Creates the context.
     pub fn new(asta: &'a Asta) -> Self {
+        let n = asta.n_states as usize;
         Self {
             asta,
             sets: SetInterner::new(),
-            trans_memo: FxHashMap::default(),
+            trans_memo: SetLabelCache::new(asta.alphabet_size),
+            trans_memo_entries: 0,
             skip_memo: FxHashMap::default(),
+            scratch_r1: StateBits::with_universe(n),
+            scratch_r2: StateBits::with_universe(n),
         }
     }
 
@@ -88,37 +102,39 @@ impl<'a> Tda<'a> {
 
     /// Number of memoized `(S, σ)` transitions.
     pub fn trans_memo_len(&self) -> usize {
-        self.trans_memo.len()
+        self.trans_memo_entries
     }
 
     /// Computes `(S, σ) ↦ (active, S₁, S₂)` without memoization.
     pub fn compute_trans(&mut self, set: SetId, label: LabelId) -> TransEval {
         let states = self.sets.get(set);
         let mut active = Vec::new();
-        let mut r1 = Vec::new();
-        let mut r2 = Vec::new();
+        self.scratch_r1.clear();
+        self.scratch_r2.clear();
         for &q in states {
             for &ti in &self.asta.trans_of[q as usize] {
                 let t = &self.asta.delta[ti as usize];
                 if t.labels.contains(label) {
                     active.push(ti);
-                    t.phi.collect_down(&mut r1, &mut r2);
+                    t.phi
+                        .collect_down_bits(&mut self.scratch_r1, &mut self.scratch_r2);
                 }
             }
         }
-        let r1 = self.sets.intern(r1);
-        let r2 = self.sets.intern(r2);
+        let r1 = self.sets.intern_bits(&self.scratch_r1);
+        let r2 = self.sets.intern_bits(&self.scratch_r2);
         TransEval { active, r1, r2 }
     }
 
     /// Memoized variant; `hits` is incremented on a cache hit.
     pub fn trans(&mut self, set: SetId, label: LabelId, hits: &mut u64) -> Rc<TransEval> {
-        if let Some(t) = self.trans_memo.get(&(set, label)) {
+        if let Some(Some(t)) = self.trans_memo.slot(set, label) {
             *hits += 1;
             return t.clone();
         }
         let t = Rc::new(self.compute_trans(set, label));
-        self.trans_memo.insert((set, label), t.clone());
+        *self.trans_memo.slot_mut(set, label) = Some(t.clone());
+        self.trans_memo_entries += 1;
         t
     }
 

@@ -70,8 +70,8 @@ mod store;
 mod wire;
 
 pub use format::{
-    deserialize, read_index_file, serialize, write_index_file, FormatError, HEADER_LEN, MAGIC,
-    VERSION,
+    deserialize, read_index_file, serialize, serialize_version, write_index_file, FormatError,
+    HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
 pub use lru::LruCache;
 pub use session::{

@@ -8,13 +8,19 @@
 //! behind a `Mutex`; hit/miss counters are atomics), or each connection
 //! can hold its own session over the same store — compiled queries are
 //! `Arc`-shared either way.
+//!
+//! [`Session::query_many`] additionally parallelizes *within* one batch:
+//! independent `(document, query)` pairs are claimed work-stealing-style
+//! by a scoped `std::thread` pool (no extra dependencies), each worker
+//! reusing one [`EvalScratch`] across its share of the batch, so batch
+//! throughput scales with cores while results stay in request order.
 
 use crate::lru::LruCache;
 use crate::{DocumentStore, StoredDocument};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use xwq_core::{CompiledQuery, EvalStats, QueryError, Strategy};
+use xwq_core::{CompiledQuery, EvalScratch, EvalStats, QueryError, Strategy};
 use xwq_xml::NodeId;
 
 /// Default number of compiled queries kept per session.
@@ -190,12 +196,24 @@ impl Session {
         query: &str,
         strategy: Strategy,
     ) -> Result<QueryResponse, SessionError> {
+        self.query_with_scratch(document, query, strategy, &mut EvalScratch::new())
+    }
+
+    /// Serves one query reusing a caller-held [`EvalScratch`] (the
+    /// per-thread form `query_many` workers use).
+    pub fn query_with_scratch(
+        &self,
+        document: &str,
+        query: &str,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+    ) -> Result<QueryResponse, SessionError> {
         let doc = self
             .store
             .get(document)
             .ok_or_else(|| SessionError::UnknownDocument(document.to_string()))?;
         let (compiled, cache_hit) = self.compiled(&doc, query, strategy)?;
-        let out = doc.engine().run(&compiled, strategy);
+        let out = doc.engine().run_with_scratch(&compiled, strategy, scratch);
         Ok(QueryResponse {
             nodes: out.nodes,
             stats: out.stats,
@@ -204,7 +222,9 @@ impl Session {
         })
     }
 
-    /// Serves a batch of queries across documents, in request order.
+    /// Serves a batch of queries across documents, in request order,
+    /// evaluating independent requests in parallel on a scoped thread pool
+    /// sized to the machine (see [`Self::query_many_with_threads`]).
     ///
     /// Each request is answered independently: one bad query or missing
     /// document does not abort the rest of the batch.
@@ -212,9 +232,71 @@ impl Session {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse, SessionError>> {
-        requests
-            .iter()
-            .map(|r| self.query(&r.document, &r.query, r.strategy))
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.query_many_with_threads(requests, threads)
+    }
+
+    /// [`Self::query_many`] with an explicit worker count (`0` and `1`
+    /// both mean serial). Workers claim requests from a shared atomic
+    /// cursor — load balance is per-request, not per-chunk — and each
+    /// keeps one [`EvalScratch`] across all its requests, so the
+    /// document-sized visited bitset is allocated `threads` times per
+    /// batch, not `requests.len()` times. Results come back in request
+    /// order regardless of completion order.
+    pub fn query_many_with_threads(
+        &self,
+        requests: &[QueryRequest],
+        threads: usize,
+    ) -> Vec<Result<QueryResponse, SessionError>> {
+        let threads = threads.max(1).min(requests.len().max(1));
+        if threads == 1 {
+            let mut scratch = EvalScratch::new();
+            return requests
+                .iter()
+                .map(|r| self.query_with_scratch(&r.document, &r.query, r.strategy, &mut scratch))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<QueryResponse, SessionError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut scratch = EvalScratch::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            let r = &requests[i];
+                            local.push((
+                                i,
+                                self.query_with_scratch(
+                                    &r.document,
+                                    &r.query,
+                                    r.strategy,
+                                    &mut scratch,
+                                ),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, result) in h.join().expect("query_many worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every request answered exactly once"))
             .collect()
     }
 
@@ -322,6 +404,36 @@ mod tests {
                 .nodes,
             vec![2]
         );
+    }
+
+    #[test]
+    fn parallel_batches_match_serial() {
+        let store = Arc::new(DocumentStore::new());
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(if i % 3 == 0 { "<x><y/></x>" } else { "<x/>" });
+        }
+        xml.push_str("</r>");
+        store.insert_xml("d", &xml, TopologyKind::Succinct).unwrap();
+        let session = Session::new(Arc::clone(&store));
+        let requests: Vec<QueryRequest> = ["//x", "//x[y]", "//y", "//x[not(y)]", "//r/x", "//["]
+            .iter()
+            .cycle()
+            .take(30)
+            .map(|q| QueryRequest::new("d", *q))
+            .collect();
+        let serial = session.query_many_with_threads(&requests, 1);
+        for threads in [2, 4, 8] {
+            let par = session.query_many_with_threads(&requests, threads);
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                match (a, b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x.nodes, y.nodes, "request {i}"),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("request {i}: serial/parallel disagree on success"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,75 @@ pub struct Bp {
 /// Sentinel interval for segment-tree nodes covering no positions.
 const EMPTY: (i32, i32) = (i32::MAX, i32::MIN);
 
+/// Per-byte excess summaries for the in-block value searches: an open bit
+/// contributes `+1`, a close bit `−1`, LSB processed first (lower position).
+struct ExcessTables {
+    /// Total excess change across the byte.
+    delta: [i8; 256],
+    /// Min/max of the cumulative excess after each of the byte's 8 bits
+    /// (prefix walk, for forward scans).
+    fwd_min: [i8; 256],
+    fwd_max: [i8; 256],
+    /// Min/max of the suffix sums (bits `t..8` for `t = 0..8`, i.e. the
+    /// amount a backward scan must still undo), for backward scans.
+    suf_min: [i8; 256],
+    suf_max: [i8; 256],
+}
+
+/// Built at compile time; 1.25 KiB total, hot in L1 during navigation.
+static EXCESS_TABLES: ExcessTables = build_excess_tables();
+
+const fn build_excess_tables() -> ExcessTables {
+    let mut t = ExcessTables {
+        delta: [0; 256],
+        fwd_min: [0; 256],
+        fwd_max: [0; 256],
+        suf_min: [0; 256],
+        suf_max: [0; 256],
+    };
+    let mut b = 0usize;
+    while b < 256 {
+        let mut e: i8 = 0;
+        let mut mn: i8 = i8::MAX;
+        let mut mx: i8 = i8::MIN;
+        let mut i = 0;
+        while i < 8 {
+            e += if (b >> i) & 1 == 1 { 1 } else { -1 };
+            if e < mn {
+                mn = e;
+            }
+            if e > mx {
+                mx = e;
+            }
+            i += 1;
+        }
+        t.delta[b] = e;
+        t.fwd_min[b] = mn;
+        t.fwd_max[b] = mx;
+        // Suffix sums: s_t = delta − prefix(t), for t = 0..8 (t = 8 → 0 is
+        // the caller's own position and is excluded).
+        let mut smn: i8 = i8::MAX;
+        let mut smx: i8 = i8::MIN;
+        let mut prefix: i8 = 0;
+        let mut tt = 0;
+        while tt < 8 {
+            let s = t.delta[b] - prefix;
+            if s < smn {
+                smn = s;
+            }
+            if s > smx {
+                smx = s;
+            }
+            prefix += if (b >> tt) & 1 == 1 { 1 } else { -1 };
+            tt += 1;
+        }
+        t.suf_min[b] = smn;
+        t.suf_max[b] = smx;
+        b += 1;
+    }
+    t
+}
+
 impl Bp {
     /// Builds the structure from a parentheses bit sequence (open = `1`).
     ///
@@ -158,9 +227,34 @@ impl Bp {
         if p >= self.len() || !self.is_open(p) {
             return None;
         }
-        let target = self.excess(p);
-        // Smallest q in [p+2, n] with excess(q) == target; the match is q-1.
-        self.fwd_value_search(p + 2, target).map(|q| q - 1)
+        self.find_close_at(p, self.excess(p))
+    }
+
+    /// [`Self::find_close`] for an open parenthesis whose open-rank
+    /// (`rank_open(p)`) the caller already knows — e.g. from the `select`
+    /// that produced `p`. Skips the `rank1` the excess would otherwise
+    /// cost: `excess(p) = 2·rank − p` for the position of the `rank`-th
+    /// open parenthesis.
+    #[inline]
+    pub fn find_close_with_rank(&self, p: usize, open_rank: usize) -> Option<usize> {
+        if p >= self.len() || !self.is_open(p) {
+            return None;
+        }
+        let e_p = 2 * open_rank as i32 - p as i32;
+        debug_assert_eq!(e_p, self.excess(p));
+        self.find_close_at(p, e_p)
+    }
+
+    /// Shared tail of the `find_close` variants; `e_p = excess(p)`.
+    fn find_close_at(&self, p: usize, e_p: i32) -> Option<usize> {
+        // Smallest q in [p+2, n] with excess(q) == e_p; the match is q-1.
+        let from = p + 2;
+        if from > self.len() {
+            return None;
+        }
+        // excess(p+1) = e_p + 1 (p is open); one bit read gets excess(p+2).
+        let e_from = e_p + 1 + if self.rs.get(p + 1) { 1 } else { -1 };
+        self.fwd_value_search_at(from, e_from, e_p).map(|q| q - 1)
     }
 
     /// Position of the open parenthesis matching the close at `p`.
@@ -182,62 +276,132 @@ impl Bp {
         if p >= self.len() || !self.is_open(p) || p == 0 {
             return None;
         }
-        let target = self.excess(p) - 1;
+        self.enclose_at(p, self.excess(p))
+    }
+
+    /// [`Self::enclose`] with the open-rank of `p` already known (see
+    /// [`Self::find_close_with_rank`]).
+    #[inline]
+    pub fn enclose_with_rank(&self, p: usize, open_rank: usize) -> Option<usize> {
+        if p >= self.len() || !self.is_open(p) || p == 0 {
+            return None;
+        }
+        let e_p = 2 * open_rank as i32 - p as i32;
+        debug_assert_eq!(e_p, self.excess(p));
+        self.enclose_at(p, e_p)
+    }
+
+    /// Shared tail of the `enclose` variants; `e_p = excess(p)`.
+    fn enclose_at(&self, p: usize, e_p: i32) -> Option<usize> {
+        let target = e_p - 1;
         if target < 0 {
             return None;
         }
-        self.bwd_value_search(p - 1, target)
+        // excess(p-1) from one bit read.
+        let e_from = e_p - if self.rs.get(p - 1) { 1 } else { -1 };
+        self.bwd_value_search_at(p - 1, e_from, target)
     }
 
-    /// Smallest `q ≥ from` with `excess(q) == target` (`q` ranges over `0..=len`).
-    fn fwd_value_search(&self, from: usize, target: i32) -> Option<usize> {
+    /// Smallest `q ≥ from` with `excess(q) == target` (`q` ranges over
+    /// `0..=len`); `e` must equal `excess(from)` (callers derive it from a
+    /// known open-rank or a neighbouring bit instead of paying a rank).
+    fn fwd_value_search_at(&self, from: usize, e: i32, target: i32) -> Option<usize> {
         let n_vals = self.len() + 1;
         if from >= n_vals {
             return None;
         }
+        debug_assert_eq!(e, self.excess(from));
         // Scan the remainder of `from`'s block.
         let b0 = from / BLOCK;
         let block_end = ((b0 + 1) * BLOCK).min(n_vals);
-        let mut e = self.excess(from);
-        for q in from..block_end {
-            if q > from {
-                e += if self.rs.get(q - 1) { 1 } else { -1 };
-            }
-            if e == target {
-                return Some(q);
-            }
+        if e == target {
+            return Some(from);
+        }
+        if let Some(q) = self.scan_fwd(from, block_end - 1, e, target) {
+            return Some(q);
         }
         // Locate the leftmost later block containing the target value.
         let b = self.seg_find_first(b0 + 1, target)?;
         let start = b * BLOCK;
         let end = ((b + 1) * BLOCK).min(n_vals);
-        let mut e = self.excess(start);
-        for q in start..end {
-            if q > start {
-                e += if self.rs.get(q - 1) { 1 } else { -1 };
+        let e = self.excess(start);
+        if e == target {
+            return Some(start);
+        }
+        match self.scan_fwd(start, end - 1, e, target) {
+            Some(q) => Some(q),
+            None => unreachable!("segment tree promised the value in block {b}"),
+        }
+    }
+
+    /// First position `i + 1` with `excess(i + 1) == target` over bits
+    /// `i ∈ [bit_lo, bit_hi)`, given `e = excess(bit_lo)`. Skips whole
+    /// bytes via the [`EXCESS_TABLES`] prefix min/max: the excess walk
+    /// moves in ±1 steps, so a byte contains the target iff
+    /// `target − e` lies inside the byte's prefix-excess range.
+    fn scan_fwd(&self, bit_lo: usize, bit_hi: usize, mut e: i32, target: i32) -> Option<usize> {
+        let words = self.rs.bit_vec().words();
+        let step = |w: &[u64], i: usize| -> i32 {
+            if (w[i >> 6] >> (i & 63)) & 1 == 1 {
+                1
+            } else {
+                -1
             }
+        };
+        let mut i = bit_lo;
+        // Head: single bits up to the next byte boundary.
+        while i < bit_hi && !i.is_multiple_of(8) {
+            e += step(words, i);
+            i += 1;
             if e == target {
-                return Some(q);
+                return Some(i);
             }
         }
-        unreachable!("segment tree promised the value in block {b}");
+        // Byte-at-a-time middle.
+        while i + 8 <= bit_hi {
+            let b = ((words[i >> 6] >> (i & 63)) & 0xFF) as usize;
+            let diff = target - e;
+            if i32::from(EXCESS_TABLES.fwd_min[b]) <= diff
+                && diff <= i32::from(EXCESS_TABLES.fwd_max[b])
+            {
+                for _ in 0..8 {
+                    e += step(words, i);
+                    i += 1;
+                    if e == target {
+                        return Some(i);
+                    }
+                }
+                unreachable!("byte table promised the value in this byte");
+            }
+            e += i32::from(EXCESS_TABLES.delta[b]);
+            i += 8;
+        }
+        // Tail bits.
+        while i < bit_hi {
+            e += step(words, i);
+            i += 1;
+            if e == target {
+                return Some(i);
+            }
+        }
+        None
     }
 
     /// Largest `q ≤ from` with `excess(q) == target`.
     fn bwd_value_search(&self, from: usize, target: i32) -> Option<usize> {
+        self.bwd_value_search_at(from, self.excess(from), target)
+    }
+
+    /// [`Self::bwd_value_search`] with `excess(from)` already known.
+    fn bwd_value_search_at(&self, from: usize, e: i32, target: i32) -> Option<usize> {
+        debug_assert_eq!(e, self.excess(from));
         let b0 = from / BLOCK;
         let block_start = b0 * BLOCK;
-        let mut e = self.excess(from);
-        let mut q = from;
-        loop {
-            if e == target {
-                return Some(q);
-            }
-            if q == block_start {
-                break;
-            }
-            e -= if self.rs.get(q - 1) { 1 } else { -1 };
-            q -= 1;
+        if e == target {
+            return Some(from);
+        }
+        if let Some(q) = self.scan_bwd(block_start, from, e, target) {
+            return Some(q);
         }
         if b0 == 0 {
             return None;
@@ -246,18 +410,66 @@ impl Bp {
         let b = self.seg_find_last(b0 - 1, target)?;
         let start = b * BLOCK;
         let end = (b + 1) * BLOCK - 1; // last value index in block b
-        let mut e = self.excess(end);
-        let mut q = end;
-        loop {
-            if e == target {
-                return Some(q);
-            }
-            if q == start {
-                unreachable!("segment tree promised the value in block {b}");
-            }
-            e -= if self.rs.get(q - 1) { 1 } else { -1 };
-            q -= 1;
+        let e = self.excess(end);
+        if e == target {
+            return Some(end);
         }
+        match self.scan_bwd(start, end, e, target) {
+            Some(q) => Some(q),
+            None => unreachable!("segment tree promised the value in block {b}"),
+        }
+    }
+
+    /// Largest position `q ∈ [bit_lo, bit_hi)` with `excess(q) == target`,
+    /// given `e = excess(bit_hi)`; byte-skipping mirror of [`Self::scan_fwd`]
+    /// using the suffix-excess tables.
+    fn scan_bwd(&self, bit_lo: usize, bit_hi: usize, mut e: i32, target: i32) -> Option<usize> {
+        let words = self.rs.bit_vec().words();
+        let step = |w: &[u64], i: usize| -> i32 {
+            if (w[i >> 6] >> (i & 63)) & 1 == 1 {
+                1
+            } else {
+                -1
+            }
+        };
+        let mut i = bit_hi;
+        // Head: single bits down to a byte boundary.
+        while i > bit_lo && !i.is_multiple_of(8) {
+            i -= 1;
+            e -= step(words, i);
+            if e == target {
+                return Some(i);
+            }
+        }
+        // Byte-at-a-time middle (positions i-8..i-1, excess taken *before*
+        // each byte's bits going backwards).
+        while i >= bit_lo + 8 {
+            let b = ((words[(i - 8) >> 6] >> ((i - 8) & 63)) & 0xFF) as usize;
+            let diff = e - target;
+            if i32::from(EXCESS_TABLES.suf_min[b]) <= diff
+                && diff <= i32::from(EXCESS_TABLES.suf_max[b])
+            {
+                for _ in 0..8 {
+                    i -= 1;
+                    e -= step(words, i);
+                    if e == target {
+                        return Some(i);
+                    }
+                }
+                unreachable!("byte table promised the value in this byte");
+            }
+            e -= i32::from(EXCESS_TABLES.delta[b]);
+            i -= 8;
+        }
+        // Tail bits.
+        while i > bit_lo {
+            i -= 1;
+            e -= step(words, i);
+            if e == target {
+                return Some(i);
+            }
+        }
+        None
     }
 
     /// Leftmost leaf block `≥ from_block` whose excess interval contains `t`.

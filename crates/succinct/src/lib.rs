@@ -6,10 +6,12 @@
 //! that substrate from scratch:
 //!
 //! * [`BitVec`] — a plain growable bit vector.
-//! * [`RankSelect`] — constant-time `rank1`/`rank0` and fast `select1` over a
-//!   frozen [`BitVec`].
+//! * [`RankSelect`] — constant-time `rank1`/`rank0` and directory-backed
+//!   O(1) `select1`/`select0` over a frozen [`BitVec`] (two-level rank
+//!   directory plus sampled select directories).
 //! * [`Bp`] — a balanced-parentheses sequence with `find_close`, `find_open`
-//!   and `enclose` accelerated by a range-min-max (segment) tree.
+//!   and `enclose` accelerated by a range-min-max (segment) tree and 8-bit
+//!   lookup-table byte scans inside blocks.
 //! * [`SuccinctTree`] — an ordinal tree over [`Bp`] exposing the navigation
 //!   operations the index crate needs (`first_child`, `next_sibling`,
 //!   `parent`, `subtree_size`, preorder ids).
@@ -24,5 +26,5 @@ mod tree;
 
 pub use bitvec::BitVec;
 pub use bp::Bp;
-pub use rank_select::RankSelect;
+pub use rank_select::{RankSelect, SELECT_SAMPLE};
 pub use tree::{SuccinctTree, SuccinctTreeBuilder};

@@ -114,24 +114,31 @@ impl SuccinctTree {
         self.bp.rank_open(pos) as u32
     }
 
-    /// First child of `v` in document order, if any.
+    /// First child of `v` in document order, if any. In preorder the
+    /// first child (when the bit after `v`'s open is another open) is
+    /// always `v + 1` — no rank query needed.
     #[inline]
     pub fn first_child(&self, v: u32) -> Option<u32> {
         let p = self.pos(v);
         if p + 1 < self.bp.len() && self.bp.is_open(p + 1) {
-            Some(self.node_at(p + 1))
+            Some(v + 1)
         } else {
             None
         }
     }
 
-    /// Next sibling of `v` in document order, if any.
+    /// Next sibling of `v` in document order, if any. The sibling's
+    /// preorder id is `v + subtree_size(v)`, and the subtree size falls
+    /// out of the matching-parenthesis span — no rank query needed.
     #[inline]
     pub fn next_sibling(&self, v: u32) -> Option<u32> {
         let p = self.pos(v);
-        let c = self.bp.find_close(p).expect("balanced by construction");
+        let c = self
+            .bp
+            .find_close_with_rank(p, v as usize)
+            .expect("balanced by construction");
         if c + 1 < self.bp.len() && self.bp.is_open(c + 1) {
-            Some(self.node_at(c + 1))
+            Some(v + ((c + 1 - p) / 2) as u32)
         } else {
             None
         }
@@ -141,14 +148,19 @@ impl SuccinctTree {
     #[inline]
     pub fn parent(&self, v: u32) -> Option<u32> {
         let p = self.pos(v);
-        self.bp.enclose(p).map(|q| self.node_at(q))
+        self.bp
+            .enclose_with_rank(p, v as usize)
+            .map(|q| self.node_at(q))
     }
 
     /// Number of nodes in the subtree rooted at `v` (including `v`).
     #[inline]
     pub fn subtree_size(&self, v: u32) -> u32 {
         let p = self.pos(v);
-        let c = self.bp.find_close(p).expect("balanced by construction");
+        let c = self
+            .bp
+            .find_close_with_rank(p, v as usize)
+            .expect("balanced by construction");
         (c - p).div_ceil(2) as u32
     }
 
@@ -159,11 +171,13 @@ impl SuccinctTree {
         v + self.subtree_size(v)
     }
 
-    /// Depth of `v` (root has depth 0).
+    /// Depth of `v` (root has depth 0). `excess(p+1) = 2·(v+1) − (p+1)`
+    /// because `p` is the position of the `v`-th open parenthesis — no
+    /// rank query needed at all.
     #[inline]
     pub fn depth(&self, v: u32) -> u32 {
         let p = self.pos(v);
-        (self.bp.excess(p + 1) - 1) as u32
+        (2 * (v as usize + 1) - (p + 1) - 1) as u32
     }
 
     /// True if `a` is an ancestor of `d` (strict).

@@ -102,4 +102,59 @@ proptest! {
         let expected: Vec<u32> = (0..st.len() as u32).collect();
         prop_assert_eq!(order, expected);
     }
+
+    #[test]
+    fn rank_select_agree_with_naive(bits in prop::collection::vec(prop::bool::ANY, 0..2000)) {
+        let rs = xwq_succinct::RankSelect::new(bits.iter().copied().collect());
+        let ones = bits.iter().filter(|&&b| b).count();
+        let zeros = bits.len() - ones;
+        prop_assert_eq!(rs.count_ones(), ones);
+        prop_assert_eq!(rs.count_zeros(), zeros);
+        // k-th-bit convention: select1(k) is the position of the k-th set
+        // bit, 0-based; rank1(select1(k)) == k.
+        for (k, pos) in bits.iter().enumerate().filter(|(_, &b)| b)
+            .map(|(i, _)| i).enumerate()
+        {
+            prop_assert_eq!(rs.select1(k), Some(pos), "select1({})", k);
+            prop_assert_eq!(rs.rank1(pos), k);
+        }
+        for (k, pos) in bits.iter().enumerate().filter(|(_, &b)| !b)
+            .map(|(i, _)| i).enumerate()
+        {
+            prop_assert_eq!(rs.select0(k), Some(pos), "select0({})", k);
+            prop_assert_eq!(rs.rank0(pos), k);
+        }
+        // Boundary: k == count is the first out-of-range k.
+        prop_assert_eq!(rs.select1(ones), None);
+        prop_assert_eq!(rs.select0(zeros), None);
+        prop_assert_eq!(rs.select1(usize::MAX), None);
+        prop_assert_eq!(rs.select0(usize::MAX), None);
+    }
+}
+
+/// Deterministic select boundary cases (satellite of the hot-path PR):
+/// empty bitvec, all-ones, last-bit-only, and `k == count`.
+#[test]
+fn select_boundaries() {
+    use xwq_succinct::RankSelect;
+    // Empty.
+    let rs = RankSelect::new(std::iter::empty::<bool>().collect());
+    assert_eq!(rs.select1(0), None);
+    assert_eq!(rs.select0(0), None);
+    assert_eq!(rs.count_ones(), 0);
+    assert_eq!(rs.count_zeros(), 0);
+    // All ones: select1(k) == k, select0 never answers.
+    let n = 1500;
+    let rs = RankSelect::new((0..n).map(|_| true).collect());
+    for k in [0, 1, 63, 64, 511, 512, n - 1] {
+        assert_eq!(rs.select1(k), Some(k));
+    }
+    assert_eq!(rs.select1(n), None, "k == count_ones is out of range");
+    assert_eq!(rs.select0(0), None);
+    // Only the last bit set.
+    let rs = RankSelect::new((0..n).map(|i| i == n - 1).collect());
+    assert_eq!(rs.select1(0), Some(n - 1));
+    assert_eq!(rs.select1(1), None);
+    assert_eq!(rs.select0(n - 2), Some(n - 2));
+    assert_eq!(rs.select0(n - 1), None, "k == count_zeros is out of range");
 }

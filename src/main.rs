@@ -27,6 +27,8 @@ usage:
   xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]
   xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
+  xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <n>]
+            [--out <file.json>]
   xwq '<xpath>' <file.xml> [options]
   xwq --help | --version
 
@@ -36,12 +38,16 @@ options:
   --stats        print traversal / cache statistics to stderr
   --text         include each node's text content
   --repeat <n>   (batch) run the workload n times, exercising the cache [1]
+  --threads <n>  (batch) worker threads for the batch [machine cores]
 
 subcommands:
   index   parse + index an XML file once, persist it as a .xwqi artifact
   query   evaluate one XPath query against an .xwqi index or an XML file
   batch   evaluate a file of queries (one per line, # comments) via a
-          Session with a compiled-query LRU cache";
+          Session with a compiled-query LRU cache
+  bench   run the fixed XMark query suite under every strategy and write
+          machine-readable results (ns/query, nodes/sec, cache hit rates,
+          batch scaling) to BENCH_eval.json";
 
 fn usage_error(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -63,6 +69,7 @@ struct CommonFlags {
     show_stats: bool,
     show_text: bool,
     repeat: usize,
+    threads: Option<usize>,
 }
 
 impl CommonFlags {
@@ -73,6 +80,7 @@ impl CommonFlags {
             show_stats: false,
             show_text: false,
             repeat: 1,
+            threads: None,
         }
     }
 }
@@ -96,6 +104,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         // Legacy one-shot form: xwq '<xpath>' <file.xml> [options].
         Some(_) => cmd_query(&args),
     }
@@ -187,6 +196,9 @@ fn cmd_query(args: &[String]) -> ExitCode {
     if flags.repeat != 1 {
         return usage_error("--repeat is only valid with the batch subcommand");
     }
+    if flags.threads.is_some() {
+        return usage_error("--threads is only valid with the batch subcommand");
+    }
 
     let (query, doc, engine) = match (index_path, &positional[..]) {
         (Some(path), [q]) => match xwq::store::read_index_file(path) {
@@ -232,14 +244,22 @@ fn cmd_query(args: &[String]) -> ExitCode {
         }
     }
     if flags.show_stats {
+        let s = &out.stats;
+        let hit_rate = if s.memo_hits + s.memo_misses > 0 {
+            100.0 * s.memo_hits as f64 / (s.memo_hits + s.memo_misses) as f64
+        } else {
+            0.0
+        };
         eprintln!(
-            "# {} results, visited {} of {} nodes, {} jumps, {} memo entries ({} hits){}",
+            "# {} results, visited {} of {} nodes, {} jumps, memo: {} hits / {} misses ({:.1}% hit rate, {} entries){}",
             out.nodes.len(),
-            out.stats.visited,
+            s.visited,
             doc.len(),
-            out.stats.jumps,
-            out.stats.memo_entries,
-            out.stats.memo_hits,
+            s.jumps,
+            s.memo_hits,
+            s.memo_misses,
+            hit_rate,
+            s.memo_entries,
             if out.hybrid_fallback {
                 ", hybrid fell back to optimized"
             } else {
@@ -320,10 +340,19 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         .map(|q| QueryRequest::new(doc_name, q).with_strategy(flags.strategy))
         .collect();
 
+    let threads = flags.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let started = std::time::Instant::now();
     let mut failures = 0usize;
+    let mut eval_total = xwq::core::EvalStats::default();
     for round in 0..flags.repeat.max(1) {
-        let results = session.query_many(&requests);
+        let results = session.query_many_with_threads(&requests, threads);
+        for r in results.iter().flatten() {
+            eval_total.accumulate(&r.stats);
+        }
         if round == 0 {
             for (q, r) in queries.iter().zip(&results) {
                 match r {
@@ -341,9 +370,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     if flags.show_stats {
         let stats = session.cache_stats();
         eprintln!(
-            "# {} queries x {} rounds in {:.1?}; cache: {} hits, {} misses, {} evictions, {}/{} entries",
+            "# {} queries x {} rounds on {} threads in {:.1?}; cache: {} hits, {} misses, {} evictions, {}/{} entries",
             queries.len(),
             flags.repeat.max(1),
+            threads,
             started.elapsed(),
             stats.hits,
             stats.misses,
@@ -351,12 +381,230 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             stats.entries,
             stats.capacity
         );
+        eprintln!(
+            "# eval totals: {} nodes visited, {} jumps, memo {} hits / {} misses, {} selected",
+            eval_total.visited,
+            eval_total.jumps,
+            eval_total.memo_hits,
+            eval_total.memo_misses,
+            eval_total.selected
+        );
     }
     if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `xwq bench [--factor f] [--seed n] [--repeats n] [--threads n] [--out p]`
+///
+/// Runs the fixed XMark query suite (the paper's Fig. 2 workload) under
+/// every strategy and writes a machine-readable `BENCH_eval.json`:
+/// ns/query (best-of-`repeats`), traversal counters, nodes/sec, session
+/// cache hit rates, and `query_many` batch scaling per thread count. The
+/// file is the perf trajectory record — every hot-path PR appends a new
+/// measurement to compare against.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut factor = 0.1f64;
+    let mut seed = 42u64;
+    let mut repeats = 5usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out_path = String::from("BENCH_eval.json");
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {{
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(v)) => v,
+                    _ => return usage_error(concat!($name, " needs a valid value")),
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--factor" => factor = value!("--factor"),
+            "--seed" => seed = value!("--seed"),
+            "--repeats" => repeats = value!("--repeats"),
+            "--threads" => threads = value!("--threads"),
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => return usage_error("--out needs a path"),
+                }
+            }
+            flag => return usage_error(&format!("unknown bench flag {flag}")),
+        }
+        i += 1;
+    }
+    let repeats = repeats.max(1);
+
+    eprintln!("# generating XMark factor {factor} (seed {seed})…");
+    let doc = xwq::xmark::generate(xwq::xmark::GenOptions { factor, seed });
+    let n_nodes = doc.len();
+    let engine = Engine::build(&doc);
+    eprintln!("# {n_nodes} nodes, {} labels", doc.alphabet().len());
+
+    // The compilable subset of the fixed suite.
+    let suite: Vec<(usize, &'static str, xwq::core::CompiledQuery)> = xwq::xmark::queries()
+        .filter_map(|(n, q)| engine.compile(q).ok().map(|c| (n, q, c)))
+        .collect();
+    if suite.is_empty() {
+        return fail("no query of the suite compiled");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"suite\": \"xmark-fig2\", \"factor\": {factor}, \"seed\": {seed}, \"nodes\": {n_nodes}, \"queries\": {}, \"repeats\": {repeats}}},\n",
+        suite.len()
+    ));
+
+    // Per-strategy, per-query evaluation timings.
+    json.push_str("  \"eval\": [\n");
+    let mut scratch = xwq::core::EvalScratch::new();
+    let mut first = true;
+    for strat in Strategy::ALL {
+        let mut total_ns = 0f64;
+        let mut total = xwq::core::EvalStats::default();
+        let mut per_query = String::new();
+        for (n, text, q) in &suite {
+            let mut best = f64::INFINITY;
+            let mut stats = xwq::core::EvalStats::default();
+            for _ in 0..repeats {
+                let t0 = std::time::Instant::now();
+                let out = engine.run_with_scratch(q, strat, &mut scratch);
+                let dt = t0.elapsed().as_nanos() as f64;
+                if dt < best {
+                    best = dt;
+                }
+                stats = out.stats;
+            }
+            total_ns += best;
+            total.accumulate(&stats);
+            if !per_query.is_empty() {
+                per_query.push_str(", ");
+            }
+            per_query.push_str(&format!(
+                "{{\"q\": {n}, \"query\": {}, \"ns\": {best:.0}, \"visited\": {}, \"jumps\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"selected\": {}}}",
+                json_str(text), stats.visited, stats.jumps, stats.memo_hits, stats.memo_misses, stats.selected
+            ));
+        }
+        let ns_per_query = total_ns / suite.len() as f64;
+        let nodes_per_sec = if total_ns > 0.0 {
+            total.visited as f64 / (total_ns / 1e9)
+        } else {
+            0.0
+        };
+        let hit_rate = if total.memo_hits + total.memo_misses > 0 {
+            total.memo_hits as f64 / (total.memo_hits + total.memo_misses) as f64
+        } else {
+            0.0
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"ns_per_query\": {ns_per_query:.0}, \"visited_nodes_per_sec\": {nodes_per_sec:.0}, \"memo_hit_rate\": {hit_rate:.4}, \"queries\": [{per_query}]}}",
+            strat.token()
+        ));
+        eprintln!(
+            "# {:<14} {:>12.0} ns/query  {:>14.0} visited-nodes/s  memo hit rate {:.1}%",
+            strat.token(),
+            ns_per_query,
+            nodes_per_sec,
+            hit_rate * 100.0
+        );
+    }
+    json.push_str("\n  ],\n");
+
+    // Serving layer: compiled-query cache hit rate and batch scaling.
+    let store = DocumentStore::new();
+    if let Err(e) = store.insert("bench", doc, TopologyKind::Array) {
+        return fail(e);
+    }
+    let session = Session::new(Arc::new(store));
+    let requests: Vec<QueryRequest> = suite
+        .iter()
+        .map(|(_, q, _)| QueryRequest::new("bench", *q))
+        .collect();
+    // Warm the compiled-query cache, then measure per thread count.
+    let _ = session.query_many_with_threads(&requests, 1);
+    json.push_str("  \"batch\": [\n");
+    let mut serial_ns = 0f64;
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4];
+    if !thread_counts.contains(&threads) {
+        thread_counts.push(threads);
+    }
+    thread_counts.retain(|&t| t <= threads.max(1));
+    for (bi, &t) in thread_counts.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = std::time::Instant::now();
+            let results = session.query_many_with_threads(&requests, t);
+            let dt = t0.elapsed().as_nanos() as f64;
+            assert_eq!(results.len(), requests.len());
+            if dt < best {
+                best = dt;
+            }
+        }
+        if t == 1 {
+            serial_ns = best;
+        }
+        let speedup = if best > 0.0 { serial_ns / best } else { 0.0 };
+        if bi > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"batch_ns\": {best:.0}, \"speedup_vs_serial\": {speedup:.2}}}"
+        ));
+        eprintln!(
+            "# query_many x{t:<2} {:>12.0} ns/batch  speedup {:.2}x",
+            best, speedup
+        );
+    }
+    json.push_str("\n  ],\n");
+    // Read the cache counters only after the measured batches, so the hit
+    // rate reflects the warm serving workload, not just the cold warm-up.
+    let cache = session.cache_stats();
+    let cache_hit_rate = if cache.hits + cache.misses > 0 {
+        cache.hits as f64 / (cache.hits + cache.misses) as f64
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  \"session_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {cache_hit_rate:.4}}}\n}}\n",
+        cache.hits, cache.misses
+    ));
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            eprintln!("# wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("cannot write {out_path}: {e}")),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 enum FlagParse<'a> {
@@ -391,6 +639,16 @@ fn parse_common_flag<'a>(
                     FlagParse::Consumed
                 }
                 _ => FlagParse::Err(usage_error("--repeat needs a positive integer")),
+            }
+        }
+        "--threads" => {
+            *i += 1;
+            match args.get(*i).map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => {
+                    flags.threads = Some(n);
+                    FlagParse::Consumed
+                }
+                _ => FlagParse::Err(usage_error("--threads needs a positive integer")),
             }
         }
         "--count" => {

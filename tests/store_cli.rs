@@ -180,3 +180,67 @@ fn batch_serves_a_workload_with_cache_stats() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `xwq bench` writes machine-readable results and exits cleanly even at
+/// a tiny scale factor (the CI smoke configuration).
+#[test]
+fn bench_subcommand_writes_json() {
+    let dir = tmp_dir("bench");
+    let out_path = dir.join("BENCH_eval.json");
+    let out = xwq(&[
+        "bench",
+        "--factor",
+        "0.002",
+        "--repeats",
+        "1",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&out_path).expect("bench output file");
+    for needle in [
+        "\"workload\"",
+        "\"eval\"",
+        "\"strategy\": \"opt\"",
+        "\"ns_per_query\"",
+        "\"visited_nodes_per_sec\"",
+        "\"memo_hit_rate\"",
+        "\"batch\"",
+        "\"speedup_vs_serial\"",
+        "\"session_cache\"",
+    ] {
+        assert!(json.contains(needle), "{needle} missing from {json}");
+    }
+    // Batch workers and threads flag are accepted by `batch` too.
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, DOC).unwrap();
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "//item\n//person\n").unwrap();
+    let out = xwq(&[
+        "batch",
+        "--xml",
+        xml.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--threads",
+        "4",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("4 threads"),
+        "thread count missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("eval totals:"),
+        "eval totals missing: {stderr}"
+    );
+    // --threads outside batch is rejected.
+    assert_eq!(
+        xwq(&["query", "//a", "x.xml", "--threads", "2"])
+            .status
+            .code(),
+        Some(2)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

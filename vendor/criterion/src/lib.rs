@@ -89,15 +89,19 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the warmup window.
+    /// Sets the warmup window (ignored in `--test` quick mode).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.criterion.warm_up = d;
+        if !self.criterion.quick {
+            self.criterion.warm_up = d;
+        }
         self
     }
 
-    /// Sets the measurement window.
+    /// Sets the measurement window (ignored in `--test` quick mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.criterion.measure = d;
+        if !self.criterion.quick {
+            self.criterion.measure = d;
+        }
         self
     }
 
@@ -156,13 +160,28 @@ pub enum Throughput {
 pub struct Criterion {
     warm_up: Duration,
     measure: Duration,
+    /// Real criterion's `--test` mode: run every benchmark once-ish to
+    /// prove the harness works, skip meaningful measurement. Detected
+    /// from the process arguments (cargo forwards `-- --test` to the
+    /// bench binary), so CI can smoke-test benches cheaply.
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self {
-            warm_up: Duration::from_millis(300),
-            measure: Duration::from_millis(800),
+        let quick = std::env::args().any(|a| a == "--test");
+        if quick {
+            Self {
+                warm_up: Duration::ZERO,
+                measure: Duration::from_millis(1),
+                quick,
+            }
+        } else {
+            Self {
+                warm_up: Duration::from_millis(300),
+                measure: Duration::from_millis(800),
+                quick,
+            }
         }
     }
 }
@@ -246,6 +265,7 @@ mod tests {
         let mut c = Criterion {
             warm_up: Duration::from_millis(1),
             measure: Duration::from_millis(5),
+            quick: false,
         };
         let mut group = c.benchmark_group("shim");
         group.sample_size(10).warm_up_time(Duration::from_millis(1));
