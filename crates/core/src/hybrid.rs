@@ -12,6 +12,7 @@
 //! Otherwise the engine falls back to the optimized automaton run
 //! (reported via [`crate::QueryOutput::hybrid_fallback`]).
 
+use crate::bits::StateBits;
 use crate::eval::EvalStats;
 use xwq_index::{LabelId, NodeId, TreeIndex, NONE};
 use xwq_xpath::{Axis, NodeTest, Path, Pred, Step};
@@ -57,13 +58,18 @@ pub fn try_hybrid(path: &Path, ix: &TreeIndex) -> Option<(Vec<NodeId>, EvalStats
     let mut h = Hybrid {
         ix,
         stats: &mut stats,
+        // Grows lazily to the highest node id actually touched: the hybrid
+        // path's whole point is visiting far fewer than n nodes, so a
+        // document-sized upfront allocation would make the counter itself
+        // O(n) per query.
+        seen: StateBits::new(),
     };
     let mut out: Vec<NodeId> = Vec::new();
     let candidates = ix
         .label_list(spine[pivot].1.expect("pivot is named"))
         .to_vec();
     for v in candidates {
-        h.stats.visited += 1;
+        h.mark_visited(v);
         // Pivot's own predicates.
         if !spine[pivot].2.iter().all(|p| h.pred_holds(p, v)) {
             continue;
@@ -84,9 +90,24 @@ pub fn try_hybrid(path: &Path, ix: &TreeIndex) -> Option<(Vec<NodeId>, EvalStats
 struct Hybrid<'a> {
     ix: &'a TreeIndex,
     stats: &'a mut EvalStats,
+    /// Distinct nodes examined so far. The automaton evaluators count
+    /// *distinct* visited nodes (a dense bitset — see
+    /// `Evaluator::mark_visited`); the hybrid walker examines the same
+    /// ancestors and predicate subtrees once per candidate, so counting
+    /// raw examinations inflated `visited` far past what pruning reports
+    /// for the same query (BENCH_eval.json q7: 1199 vs 708). Deduplicating
+    /// here makes the counter mean the same thing across strategies.
+    seen: StateBits,
 }
 
 impl<'a> Hybrid<'a> {
+    /// Counts `v` as visited if this is its first examination.
+    #[inline]
+    fn mark_visited(&mut self, v: NodeId) {
+        if self.seen.insert_check(v) {
+            self.stats.visited += 1;
+        }
+    }
     /// Does the prefix `steps` match above `v`, where `v` was matched by a
     /// step with axis `v_axis` (constraining how far its matched parent may
     /// sit)? The virtual document node anchors the start: the first step's
@@ -113,7 +134,7 @@ impl<'a> Hybrid<'a> {
                         if p == NONE {
                             return false;
                         }
-                        self.stats.visited += 1;
+                        self.mark_visited(p);
                         self.spine_label_matches(label, p)
                             && preds.iter().all(|pr| self.pred_holds(pr, p))
                             && self.match_up(prefix, p, axis)
@@ -121,7 +142,7 @@ impl<'a> Hybrid<'a> {
                     Axis::Descendant => {
                         let mut p = self.ix.parent(v);
                         while p != NONE {
-                            self.stats.visited += 1;
+                            self.mark_visited(p);
                             if self.spine_label_matches(label, p)
                                 && preds.iter().all(|pr| self.pred_holds(pr, p))
                                 && self.match_up(prefix, p, axis)
@@ -163,7 +184,7 @@ impl<'a> Hybrid<'a> {
                             if u >= end {
                                 break;
                             }
-                            self.stats.visited += 1;
+                            self.mark_visited(u);
                             if preds.iter().all(|p| self.pred_holds(p, u)) {
                                 self.collect_down(rest, u, out);
                             }
@@ -172,7 +193,7 @@ impl<'a> Hybrid<'a> {
                     (Axis::Descendant, None) => {
                         let end = self.ix.subtree_end(v);
                         for u in v + 1..end {
-                            self.stats.visited += 1;
+                            self.mark_visited(u);
                             if self.spine_label_matches(None, u)
                                 && preds.iter().all(|p| self.pred_holds(p, u))
                             {
@@ -183,7 +204,7 @@ impl<'a> Hybrid<'a> {
                     (Axis::Child | Axis::Attribute, _) => {
                         let mut c = self.ix.first_child(v);
                         while c != NONE {
-                            self.stats.visited += 1;
+                            self.mark_visited(c);
                             if self.spine_label_matches(label, c)
                                 && preds.iter().all(|p| self.pred_holds(p, c))
                             {
@@ -226,7 +247,7 @@ impl<'a> Hybrid<'a> {
             Axis::Child | Axis::Attribute => {
                 let mut c = self.ix.first_child(u);
                 while c != NONE {
-                    self.stats.visited += 1;
+                    self.mark_visited(c);
                     if self.test_matches(&step.test, c, step.axis)
                         && step.preds.iter().all(|p| self.pred_holds(p, c))
                         && self.path_exists(rest, c)
@@ -240,7 +261,7 @@ impl<'a> Hybrid<'a> {
             Axis::Descendant => {
                 let end = self.ix.subtree_end(u);
                 for d in u + 1..end {
-                    self.stats.visited += 1;
+                    self.mark_visited(d);
                     if self.test_matches(&step.test, d, Axis::Descendant)
                         && step.preds.iter().all(|p| self.pred_holds(p, d))
                         && self.path_exists(rest, d)
@@ -253,7 +274,7 @@ impl<'a> Hybrid<'a> {
             Axis::FollowingSibling => {
                 let mut s = self.ix.next_sibling(u);
                 while s != NONE {
-                    self.stats.visited += 1;
+                    self.mark_visited(s);
                     if self.test_matches(&step.test, s, step.axis)
                         && step.preds.iter().all(|p| self.pred_holds(p, s))
                         && self.path_exists(rest, s)
@@ -278,7 +299,7 @@ impl<'a> Hybrid<'a> {
         }
         let mut c = self.ix.first_child(u);
         while c != NONE {
-            self.stats.visited += 1;
+            self.mark_visited(c);
             if let Some(t) = self.ix.text_of(c) {
                 if f(t) {
                     return true;

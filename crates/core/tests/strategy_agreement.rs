@@ -119,3 +119,49 @@ proptest! {
         }
     }
 }
+
+/// BENCH_eval.json q7-style regression: the hybrid walker used to count
+/// raw node *examinations* (re-counting shared ancestors and re-scanned
+/// predicate children once per candidate), reporting more "visited" nodes
+/// than plain pruning on predicate queries. `visited` now means distinct
+/// nodes for every strategy, so hybrid — which skips straight to the
+/// rarest spine label — must not exceed pruning on its home turf.
+#[test]
+fn hybrid_visited_is_distinct_and_not_above_pruning() {
+    // A /site/people/person[address and (phone or homepage)] lookalike:
+    // many persons, each with several children, so per-candidate predicate
+    // scans and upward context walks revisit plenty of nodes.
+    let mut xml = String::from("<site><people>");
+    for i in 0..40 {
+        xml.push_str("<person>");
+        xml.push_str("<address/>");
+        if i % 2 == 0 {
+            xml.push_str("<phone/>");
+        }
+        if i % 3 == 0 {
+            xml.push_str("<homepage/>");
+        }
+        xml.push_str("<name/><watch/><watch/>");
+        xml.push_str("</person>");
+    }
+    xml.push_str("</people></site>");
+    let doc = xwq_xml::parse(&xml).unwrap();
+    let engine = Engine::build(&doc);
+    let q = "/site/people/person[ address and (phone or homepage) ]";
+    let compiled = engine.compile(q).unwrap();
+    let h = engine.run(&compiled, EvalStrategy::Hybrid);
+    assert!(
+        !h.hybrid_fallback,
+        "query shape must stay on the hybrid path"
+    );
+    let p = engine.run(&compiled, EvalStrategy::Pruning);
+    assert_eq!(h.nodes, p.nodes);
+    assert!(
+        h.stats.visited <= p.stats.visited,
+        "hybrid visited {} > pruning {}",
+        h.stats.visited,
+        p.stats.visited
+    );
+    // Distinctness: the counter can never exceed the document size.
+    assert!(h.stats.visited <= doc.len() as u64);
+}

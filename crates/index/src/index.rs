@@ -1,6 +1,7 @@
 //! The jumping tree index (Def. 3.2).
 
 use crate::{Topology, TopologyKind};
+use xwq_succinct::{Store, StrTable};
 use xwq_xml::{Alphabet, Document, LabelId, LabelKind, LabelSet, NodeId, NONE};
 
 /// A static index over one document: topology + per-label preorder arrays.
@@ -11,15 +12,18 @@ use xwq_xml::{Alphabet, Document, LabelId, LabelKind, LabelSet, NodeId, NONE};
 #[derive(Clone, Debug)]
 pub struct TreeIndex {
     alphabet: Alphabet,
-    labels: Vec<LabelId>,
+    labels: Store<LabelId>,
     topo: Topology,
-    /// For each label, the sorted list of preorder ids carrying it.
-    label_lists: Vec<Vec<NodeId>>,
+    /// For each label, the sorted list of preorder ids carrying it. Each
+    /// list is a [`Store`]: owned when built, a zero-copy view when loaded
+    /// from a memory-mapped `.xwqi` file.
+    label_lists: Vec<Store<NodeId>>,
     /// Distinct text/attribute contents, interned.
-    text_values: Vec<String>,
+    text_values: StrTable,
     /// Content id per node (`u32::MAX` for elements).
-    text_ids: Vec<u32>,
-    /// For each content id, the sorted list of nodes carrying it.
+    text_ids: Store<u32>,
+    /// For each content id, the sorted list of nodes carrying it (always
+    /// derived in memory — it is not part of the wire format).
     text_lists: Vec<Vec<NodeId>>,
 }
 
@@ -57,11 +61,11 @@ impl TreeIndex {
         }
         Self {
             alphabet,
-            labels,
+            labels: labels.into(),
             topo: Topology::build(doc, kind),
-            label_lists,
-            text_values,
-            text_ids,
+            label_lists: label_lists.into_iter().map(Store::from).collect(),
+            text_values: text_values.into(),
+            text_ids: text_ids.into(),
             text_lists,
         }
     }
@@ -79,7 +83,7 @@ impl TreeIndex {
     }
 
     /// The distinct text contents, in id order (for persistence).
-    pub fn text_values(&self) -> &[String] {
+    pub fn text_values(&self) -> &StrTable {
         &self.text_values
     }
 
@@ -95,12 +99,13 @@ impl TreeIndex {
     /// pass (cheaper to derive than to store and validate).
     pub fn from_raw_parts(
         alphabet: Alphabet,
-        labels: Vec<LabelId>,
+        labels: impl Into<Store<LabelId>>,
         topo: Topology,
-        label_lists: Vec<Vec<NodeId>>,
-        text_values: Vec<String>,
-        text_ids: Vec<u32>,
+        label_lists: Vec<Store<NodeId>>,
+        text_values: impl Into<StrTable>,
+        text_ids: impl Into<Store<u32>>,
     ) -> Result<Self, String> {
+        let (labels, text_values, text_ids) = (labels.into(), text_values.into(), text_ids.into());
         let n = labels.len();
         if topo.len() != n {
             return Err("index: topology / label array length mismatch".to_string());
@@ -114,7 +119,7 @@ impl TreeIndex {
         let mut seen = 0usize;
         for (l, list) in label_lists.iter().enumerate() {
             let mut prev = None;
-            for &v in list {
+            for &v in list.iter() {
                 if (v as usize) >= n || labels[v as usize] as usize != l {
                     return Err(format!("index: label list {l} contains a wrong node"));
                 }
@@ -322,11 +327,11 @@ impl TreeIndex {
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.topo.heap_bytes()
-            + self.labels.capacity() * 4
+            + self.labels.heap_bytes()
             + self
                 .label_lists
                 .iter()
-                .map(|l| l.capacity() * 4)
+                .map(|l| l.heap_bytes())
                 .sum::<usize>()
     }
 
@@ -341,7 +346,7 @@ impl TreeIndex {
         if id == u32::MAX {
             None
         } else {
-            Some(&self.text_values[id as usize])
+            Some(self.text_values.get(id as usize))
         }
     }
 

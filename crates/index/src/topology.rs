@@ -6,7 +6,7 @@
 //! index) structure, [`SuccinctTopology`] stores ~2.2 bits per node plus
 //! directories.
 
-use xwq_succinct::{SuccinctTree, SuccinctTreeBuilder};
+use xwq_succinct::{Store, SuccinctTree, SuccinctTreeBuilder};
 use xwq_xml::{Document, NodeId, NONE};
 
 /// Which backend a [`crate::TreeIndex`] should use.
@@ -118,7 +118,7 @@ impl Topology {
     /// the document, so the `.xwqi` persistence layer stores only these two.
     pub fn array_derived(&self) -> Option<(&[NodeId], &[u32])> {
         match self {
-            Topology::Array(t) => Some((&t.subtree_end, &t.depth)),
+            Topology::Array(t) => Some((t.subtree_end.as_slice(), t.depth.as_slice())),
             Topology::Succinct(_) => None,
         }
     }
@@ -138,9 +138,10 @@ impl Topology {
     /// would derive.
     pub fn from_array_parts(
         doc: &Document,
-        subtree_end: Vec<NodeId>,
-        depth: Vec<u32>,
+        subtree_end: impl Into<Store<NodeId>>,
+        depth: impl Into<Store<u32>>,
     ) -> Result<Self, String> {
+        let (subtree_end, depth) = (subtree_end.into(), depth.into());
         let n = doc.len();
         if subtree_end.len() != n || depth.len() != n {
             return Err("topology: derived array length mismatch".to_string());
@@ -166,10 +167,14 @@ impl Topology {
                 return Err(format!("topology: bad depth at node {v}"));
             }
         }
+        // The navigation arrays are shared with the document: cloning the
+        // stores is free for borrowed (mmap) views and a plain copy for
+        // owned ones — exactly what the collect() did before.
+        let (parent, first_child, next_sibling) = doc.nav_stores();
         Ok(Topology::Array(ArrayTopology {
-            parent: (0..n as u32).map(|v| doc.parent(v)).collect(),
-            first_child: (0..n as u32).map(|v| doc.first_child(v)).collect(),
-            next_sibling: (0..n as u32).map(|v| doc.next_sibling(v)).collect(),
+            parent: parent.clone(),
+            first_child: first_child.clone(),
+            next_sibling: next_sibling.clone(),
             subtree_end,
             depth,
         }))
@@ -192,11 +197,11 @@ impl Topology {
 /// Conventional preorder-array topology.
 #[derive(Clone, Debug)]
 pub struct ArrayTopology {
-    pub(crate) parent: Vec<NodeId>,
-    pub(crate) first_child: Vec<NodeId>,
-    pub(crate) next_sibling: Vec<NodeId>,
-    pub(crate) subtree_end: Vec<NodeId>,
-    pub(crate) depth: Vec<u32>,
+    pub(crate) parent: Store<NodeId>,
+    pub(crate) first_child: Store<NodeId>,
+    pub(crate) next_sibling: Store<NodeId>,
+    pub(crate) subtree_end: Store<NodeId>,
+    pub(crate) depth: Store<u32>,
 }
 
 impl ArrayTopology {
@@ -222,22 +227,22 @@ impl ArrayTopology {
         for v in 1..n as u32 {
             depth[v as usize] = depth[doc.parent(v) as usize] + 1;
         }
+        let (parent, first_child, next_sibling) = doc.nav_stores();
         Self {
-            parent: (0..n as u32).map(|v| doc.parent(v)).collect(),
-            first_child: (0..n as u32).map(|v| doc.first_child(v)).collect(),
-            next_sibling: (0..n as u32).map(|v| doc.next_sibling(v)).collect(),
-            subtree_end,
-            depth,
+            parent: parent.clone(),
+            first_child: first_child.clone(),
+            next_sibling: next_sibling.clone(),
+            subtree_end: subtree_end.into(),
+            depth: depth.into(),
         }
     }
 
     fn heap_bytes(&self) -> usize {
-        (self.parent.capacity()
-            + self.first_child.capacity()
-            + self.next_sibling.capacity()
-            + self.subtree_end.capacity()
-            + self.depth.capacity())
-            * 4
+        self.parent.heap_bytes()
+            + self.first_child.heap_bytes()
+            + self.next_sibling.heap_bytes()
+            + self.subtree_end.heap_bytes()
+            + self.depth.heap_bytes()
     }
 }
 

@@ -1,0 +1,250 @@
+//! [`IndexBytes`]: the reference-counted byte buffer behind zero-copy
+//! `.xwqi` loading.
+//!
+//! Two backings, one type:
+//!
+//! * **mmap** (64-bit unix): the whole file is mapped read-only and
+//!   private; pages fault in on demand and the kernel may share them
+//!   between processes (and between shards mapping the same file). No
+//!   read syscall copies, no heap allocation proportional to the file.
+//! * **aligned heap read** (fallback, and [`IndexBytes::read`]): the file
+//!   is read once into a `u64`-aligned heap buffer, so the zero-copy
+//!   reader can still reinterpret numeric sections in place.
+//!
+//! Either way the buffer is handed around as `Arc<IndexBytes>`; the
+//! borrowed views built over it (see `xwq_succinct::SharedSlice`) hold a
+//! clone of the `Arc`, so the mapping lives exactly as long as the last
+//! structure that points into it.
+//!
+//! ## Safety model
+//!
+//! A mapped file is *outside the process's ownership*: another process
+//! truncating it makes touched pages fault (`SIGBUS` on Linux), and
+//! concurrent modification can change bytes after validation. This is the
+//! standard, documented trade-off of every mmap-based store (the checksum
+//! and structural validation run once at open; treat the file as
+//! append-never and replace-by-rename, as `write_index_file` does). Use
+//! [`IndexBytes::read`] when the file cannot be trusted to stay put.
+
+use std::io::Read as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// An immutable, 8-byte-aligned byte buffer: an mmap or an owned heap
+/// allocation. Dereferences to `[u8]`.
+pub struct IndexBytes {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    /// `u64`-aligned heap buffer (kept for the allocation; read via `ptr`).
+    Heap(#[allow(dead_code)] Vec<u64>),
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mmap { map_len: usize },
+}
+
+// SAFETY: the buffer is immutable for the lifetime of the value, and both
+// backings are safe to access from any thread.
+unsafe impl Send for IndexBytes {}
+unsafe impl Sync for IndexBytes {}
+
+impl IndexBytes {
+    /// Memory-maps `path` read-only. Falls back to [`Self::read`] on
+    /// platforms without the mmap path, for empty files (zero-length
+    /// mappings are an error), and when the map syscall fails.
+    pub fn open_mmap(path: impl AsRef<Path>) -> std::io::Result<Arc<IndexBytes>> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let file = std::fs::File::open(path.as_ref())?;
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Some(mapped) = Self::mmap_file(&file, len as usize) {
+                    return Ok(Arc::new(mapped));
+                }
+            }
+        }
+        Self::read(path)
+    }
+
+    /// Reads `path` into a `u64`-aligned heap buffer (one bulk read, no
+    /// per-array copies later — the zero-copy reader views it in place).
+    pub fn read(path: impl AsRef<Path>) -> std::io::Result<Arc<IndexBytes>> {
+        let mut file = std::fs::File::open(path.as_ref())?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| std::io::Error::other("file too large to address"))?;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: a `u64` buffer viewed as bytes is plain memory; we only
+        // write within its length.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(Arc::new(Self::from_aligned(buf, len)))
+    }
+
+    /// Copies an in-memory byte buffer into an aligned [`IndexBytes`]
+    /// (tests and in-memory round-trips).
+    pub fn from_vec(bytes: Vec<u8>) -> Arc<IndexBytes> {
+        let len = bytes.len();
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: as above.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        dst[..len].copy_from_slice(&bytes);
+        Arc::new(Self::from_aligned(buf, len))
+    }
+
+    fn from_aligned(buf: Vec<u64>, len: usize) -> IndexBytes {
+        IndexBytes {
+            ptr: buf.as_ptr() as *const u8,
+            len,
+            backing: Backing::Heap(buf),
+        }
+    }
+
+    /// True if this buffer is a live file mapping (as opposed to a heap
+    /// copy).
+    pub fn is_mapped(&self) -> bool {
+        match self.backing {
+            Backing::Heap(_) => false,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap { .. } => true,
+        }
+    }
+
+    /// The bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr`/`len` describe the backing allocation or mapping,
+        // which lives as long as `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn mmap_file(file: &std::fs::File, len: usize) -> Option<IndexBytes> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh read-only private mapping of `len` bytes over an
+        // open fd; failure is reported as MAP_FAILED and handled.
+        let addr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if addr == sys::MAP_FAILED || addr.is_null() {
+            return None;
+        }
+        Some(IndexBytes {
+            ptr: addr as *const u8,
+            len,
+            backing: Backing::Mmap { map_len: len },
+        })
+    }
+}
+
+impl Drop for IndexBytes {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mmap { map_len } = self.backing {
+            // SAFETY: unmapping the exact region this value mapped; all
+            // views into it hold an Arc to this value, so none outlive it.
+            unsafe {
+                sys::munmap(self.ptr as *mut core::ffi::c_void, map_len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for IndexBytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for IndexBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexBytes")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// Minimal raw mmap bindings (libc is not a dependency; these are the
+/// stable POSIX symbols the platform libc exports).
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip_and_alignment() {
+        for n in [0usize, 1, 7, 8, 9, 4096] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+            let b = IndexBytes::from_vec(data.clone());
+            assert_eq!(&**b, &data[..]);
+            assert!(!b.is_mapped());
+            assert_eq!(b.as_slice().as_ptr() as usize % 8, 0, "8-byte aligned");
+        }
+    }
+
+    #[test]
+    fn mmap_matches_read() {
+        let dir = std::env::temp_dir().join("xwq-indexbytes-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let mapped = IndexBytes::open_mmap(&path).unwrap();
+        let read = IndexBytes::read(&path).unwrap();
+        assert_eq!(&**mapped, &**read);
+        assert_eq!(&**mapped, &data[..]);
+        assert_eq!(mapped.as_slice().as_ptr() as usize % 8, 0);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.is_mapped());
+        // The mapping outlives other handles via Arc.
+        let keep = Arc::clone(&mapped);
+        drop(mapped);
+        assert_eq!(keep[9_999], (9_999 % 256) as u8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_heap() {
+        let dir = std::env::temp_dir().join("xwq-indexbytes-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let b = IndexBytes::open_mmap(&path).unwrap();
+        assert!(b.is_empty());
+        assert!(!b.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -39,11 +39,13 @@
 //! [`FormatError`], never a panic.
 
 use crate::wire::{checksum, Reader, Writer};
+use crate::IndexBytes;
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 use xwq_index::{Topology, TopologyKind, TreeIndex};
-use xwq_succinct::{BitVec, Bp, RankSelect, SuccinctTree};
+use xwq_succinct::{BitVec, Bp, Owner, RankSelect, SuccinctTree};
 use xwq_xml::{Alphabet, Document};
 
 /// File magic: `XWQI`.
@@ -156,13 +158,13 @@ pub fn serialize_version(
     let (labels, parent, first_child, next_sibling, text_ref) = doc.raw_arrays();
     w.put_u64(doc.len() as u64);
     let names: Vec<&str> = doc.alphabet().names().collect();
-    w.put_string_table(&names);
+    w.put_string_table(names.iter());
     w.put_u32_array(labels);
     w.put_u32_array(parent);
     w.put_u32_array(first_child);
     w.put_u32_array(next_sibling);
     w.put_u32_array(text_ref);
-    w.put_string_table(doc.texts());
+    w.put_string_table(doc.texts().iter());
 
     // Index section.
     let topo = index.topology();
@@ -187,14 +189,14 @@ pub fn serialize_version(
             }
             let (seg_leaves, seg) = tree.bp().seg_directory();
             w.put_u64(seg_leaves as u64);
-            w.put_i32_pair_array(seg);
+            w.put_i32_pairs_flat(seg);
         }
     }
     w.put_u64(index.alphabet().len() as u64);
     for l in index.alphabet().ids() {
         w.put_u32_array(index.label_list(l));
     }
-    w.put_string_table(index.text_values());
+    w.put_string_table(index.text_values().iter());
     w.put_u32_array(index.text_ids());
 
     // Wrap in the header.
@@ -210,8 +212,30 @@ pub fn serialize_version(
     Ok(out)
 }
 
-/// Deserializes `.xwqi` bytes back into the document and its index.
+/// Deserializes `.xwqi` bytes back into the document and its index,
+/// copying every array into owned storage.
 pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
+    deserialize_inner(bytes, None)
+}
+
+/// Zero-copy deserialization: the document and index arrays become views
+/// into `bytes` (an mmap or aligned heap buffer), each view holding a
+/// clone of the `Arc` so the buffer lives as long as the last structure.
+///
+/// Validation is exactly as strict as [`deserialize`] — checksum, bounds
+/// and structural directory checks all run once against the mapped slice;
+/// only the per-array `memcpy`s and per-string allocations are gone. On
+/// big-endian targets or misaligned sections individual arrays silently
+/// fall back to owned copies (correctness first).
+pub fn deserialize_shared(bytes: &Arc<IndexBytes>) -> Result<(Document, TreeIndex), FormatError> {
+    let owner: Owner = Arc::clone(bytes) as Owner;
+    deserialize_inner(bytes.as_slice(), Some(owner))
+}
+
+fn deserialize_inner(
+    bytes: &[u8],
+    owner: Option<Owner>,
+) -> Result<(Document, TreeIndex), FormatError> {
     if bytes.len() < HEADER_LEN {
         return Err(FormatError::Truncated {
             need: HEADER_LEN,
@@ -252,13 +276,16 @@ pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
         return Err(FormatError::ChecksumMismatch { expect, got });
     }
 
-    let mut r = Reader::new(payload);
+    let mut r = match owner {
+        Some(owner) => Reader::new_shared(payload, owner),
+        None => Reader::new(payload),
+    };
     let corrupt = FormatError::Corrupt;
 
     // Document section.
     let n = r.u64()?;
     let names = r.string_table()?;
-    let alphabet = Alphabet::from_names(&names).map_err(corrupt)?;
+    let alphabet = Alphabet::from_names(names.iter()).map_err(corrupt)?;
     let labels = r.u32_array()?;
     if labels.len() as u64 != n {
         return Err(FormatError::Corrupt("node count mismatch".into()));
@@ -311,7 +338,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
             };
             let seg_leaves = usize::try_from(r.u64()?)
                 .map_err(|_| FormatError::Corrupt("segment tree too large".into()))?;
-            let seg = r.i32_pair_array()?;
+            let seg = r.i32_pairs_flat()?;
             let bp = Bp::from_raw_parts(rs, seg_leaves, seg).map_err(corrupt)?;
             let tree = SuccinctTree::from_raw_parts(bp).map_err(corrupt)?;
             Topology::from_succinct_tree(&doc, tree).map_err(corrupt)?
@@ -324,7 +351,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
     if n_lists != alphabet.len() as u64 {
         return Err(FormatError::Corrupt("label list count mismatch".into()));
     }
-    let mut label_lists = Vec::with_capacity(alphabet.len());
+    let mut label_lists: Vec<xwq_succinct::Store<u32>> = Vec::with_capacity(alphabet.len());
     for _ in 0..alphabet.len() {
         label_lists.push(r.u32_array()?);
     }
@@ -354,11 +381,21 @@ pub fn write_index_file(
     Ok(())
 }
 
-/// Reads a `.xwqi` file back into a document and its index.
+/// Reads a `.xwqi` file back into a document and its index, copying every
+/// array into owned storage.
 pub fn read_index_file(path: impl AsRef<Path>) -> Result<(Document, TreeIndex), FormatError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     deserialize(&bytes)
+}
+
+/// Memory-maps a `.xwqi` file and deserializes it zero-copy: queries run
+/// straight against the mapped pages (see [`deserialize_shared`] for the
+/// validation and fallback story, and `crate::IndexBytes` for the safety
+/// trade-offs of mapping files you don't control).
+pub fn read_index_file_mmap(path: impl AsRef<Path>) -> Result<(Document, TreeIndex), FormatError> {
+    let bytes = IndexBytes::open_mmap(path)?;
+    deserialize_shared(&bytes)
 }
 
 #[cfg(test)]

@@ -12,14 +12,20 @@
 //!   arrays + topology, including the succinct backend's
 //!   balanced-parentheses bits and rank/select directories). Cold start
 //!   becomes a bulk read plus structural validation: [`read_index_file`] /
-//!   [`write_index_file`] / [`serialize`] / [`deserialize`]. Corrupt or
-//!   truncated input yields [`FormatError`], never a panic. The byte
-//!   layout is documented in `src/format.rs`.
+//!   [`write_index_file`] / [`serialize`] / [`deserialize`] — or, zero-
+//!   copy, a memory map: [`read_index_file_mmap`] / [`deserialize_shared`]
+//!   build every array as a borrowed view into an [`IndexBytes`] buffer,
+//!   so queries run straight against the mapped file with no per-array
+//!   copies. Corrupt or truncated input yields [`FormatError`], never a
+//!   panic, on both paths. The byte layout is documented in
+//!   `src/format.rs`; the mapping trade-offs in `src/bytes.rs`.
 //!
 //! * **[`DocumentStore`]** — a named catalog of indexed documents behind
 //!   `Arc`, safe for concurrent readers: lookups clone an
 //!   [`Arc<StoredDocument>`] out of a short read lock, inserts and
 //!   removals never invalidate in-flight queries.
+//!   [`DocumentStore::open_mmap`] registers a memory-mapped `.xwqi`
+//!   directly.
 //!
 //! * **[`Session`]** — the query-serving API: an LRU compiled-query cache
 //!   keyed by `(document, query, strategy)` (repeats skip the XPath→ASTA
@@ -63,15 +69,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod bytes;
 mod format;
 mod lru;
 mod session;
 mod store;
 mod wire;
 
+pub use bytes::IndexBytes;
 pub use format::{
-    deserialize, read_index_file, serialize, serialize_version, write_index_file, FormatError,
-    HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
+    deserialize, deserialize_shared, read_index_file, read_index_file_mmap, serialize,
+    serialize_version, write_index_file, FormatError, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
 pub use lru::LruCache;
 pub use session::{

@@ -187,6 +187,22 @@ impl DocumentStore {
         self.register(name, doc, index)
     }
 
+    /// Memory-maps a persisted `.xwqi` file and registers it under `name`:
+    /// the zero-copy cold-start path. The registered document's arrays are
+    /// views into the mapping (kept alive by the structures themselves),
+    /// so queries served through a [`crate::Session`] run directly against
+    /// the mapped file with no per-array copies. Several stores (or NUMA
+    /// shards) mapping the same file share its page cache. See
+    /// [`crate::read_index_file_mmap`] for validation and safety notes.
+    pub fn open_mmap(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<StoredDocument>, StoreError> {
+        let (doc, index) = crate::read_index_file_mmap(path)?;
+        self.register(name, doc, index)
+    }
+
     /// Parses and indexes an XML file and registers it under `name`.
     pub fn load_xml_file(
         &self,

@@ -8,12 +8,20 @@
 //! * numeric arrays are a `u64` element count followed by the elements;
 //! * string tables are an offset directory plus one contiguous UTF-8 blob;
 //! * byte blobs are padded to an 8-byte boundary, so every numeric array
-//!   in the file sits at 8-byte alignment relative to the payload start —
-//!   a memory-mapped reader could reinterpret them in place (the current
-//!   reader copies into `Vec`s, which is still a bulk `memcpy`, not a
-//!   parse).
+//!   in the file sits at 8-byte alignment relative to the payload start.
+//!
+//! The [`Reader`] has two modes. In owned mode every array is decoded into
+//! a fresh `Vec`. In **zero-copy mode** ([`Reader::new_shared`]) the
+//! payload is a view into a reference-counted buffer (an mmap or an
+//! aligned heap read — see [`crate::IndexBytes`]) and arrays come back as
+//! borrowed [`Store::Shared`] views into that buffer: no copy, no
+//! allocation. Zero-copy engages per array only when the platform is
+//! little-endian (the wire format is LE) and the section is correctly
+//! aligned; otherwise that array silently decodes into an owned `Vec`, so
+//! corrupt alignment can never become undefined behavior — only a copy.
 
 use crate::FormatError;
+use xwq_succinct::{Owner, Pod, SharedSlice, Store, StrTable};
 
 /// Mixer used by [`checksum`] (splitmix64's finalizer constant).
 const MIX: u64 = 0x2545_F491_4F6C_DD1D;
@@ -93,22 +101,33 @@ impl Writer {
         }
     }
 
-    /// Writes a length-prefixed `(i32, i32)` array.
-    pub fn put_i32_pair_array(&mut self, vals: &[(i32, i32)]) {
-        self.put_u64(vals.len() as u64);
-        for &(a, b) in vals {
-            self.buf.extend_from_slice(&a.to_le_bytes());
-            self.buf.extend_from_slice(&b.to_le_bytes());
+    /// Writes a length-prefixed `(i32, i32)` pair array given in flat
+    /// interleaved form (`[a0, b0, a1, b1, …]`); the count written is the
+    /// number of *pairs*, byte-identical to the historical pair encoding.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is odd.
+    pub fn put_i32_pairs_flat(&mut self, flat: &[i32]) {
+        assert!(
+            flat.len().is_multiple_of(2),
+            "flat pair array has odd length"
+        );
+        self.put_u64((flat.len() / 2) as u64);
+        for &v in flat {
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
     /// Writes a string table: count, offset directory, and one padded
     /// UTF-8 blob.
-    pub fn put_string_table<S: AsRef<str>>(&mut self, strings: &[S]) {
+    pub fn put_string_table<S: AsRef<str>>(
+        &mut self,
+        strings: impl ExactSizeIterator<Item = S> + Clone,
+    ) {
         self.put_u64(strings.len() as u64);
         let mut off = 0u64;
         self.put_u64(off);
-        for s in strings {
+        for s in strings.clone() {
             off += s.as_ref().len() as u64;
             self.put_u64(off);
         }
@@ -120,6 +139,30 @@ impl Writer {
     }
 }
 
+/// Decoding of one wire element type (little-endian) for the owned path.
+trait Elem: Pod {
+    const BYTES: usize;
+    fn decode(bytes: &[u8]) -> Vec<Self>;
+}
+
+macro_rules! elem {
+    ($t:ty) => {
+        impl Elem for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            fn decode(bytes: &[u8]) -> Vec<Self> {
+                bytes
+                    .chunks_exact(Self::BYTES)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().expect("exact chunk")))
+                    .collect()
+            }
+        }
+    };
+}
+
+elem!(u32);
+elem!(u64);
+elem!(i32);
+
 /// Bounds-checked little-endian reader over a borrowed payload. Every
 /// accessor returns `Err(FormatError::Truncated)` instead of panicking
 /// when the payload is too short, and array lengths are validated against
@@ -128,12 +171,51 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Present in zero-copy mode: the handle keeping `buf`'s backing
+    /// memory alive, cloned into every [`Store::Shared`] view handed out.
+    owner: Option<Owner>,
 }
 
 impl<'a> Reader<'a> {
-    /// A reader positioned at the start of `buf`.
+    /// A reader positioned at the start of `buf` (owned mode: arrays are
+    /// decoded into fresh `Vec`s).
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self {
+            buf,
+            pos: 0,
+            owner: None,
+        }
+    }
+
+    /// A zero-copy reader: `buf` must borrow from memory kept alive by
+    /// `owner`, and arrays are returned as views into it where alignment
+    /// (and endianness) permit.
+    pub fn new_shared(buf: &'a [u8], owner: Owner) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            owner: Some(owner),
+        }
+    }
+
+    /// Wraps an element region as a shared view when possible, otherwise
+    /// decodes it into an owned `Vec`.
+    fn to_store<T: Elem>(&self, bytes: &'a [u8]) -> Store<T> {
+        if let Some(owner) = &self.owner {
+            #[cfg(target_endian = "little")]
+            {
+                // SAFETY: `T: Pod` (any bit pattern valid); the split below
+                // only yields the correctly aligned middle.
+                let (pre, mid, post) = unsafe { bytes.align_to::<T>() };
+                if pre.is_empty() && post.is_empty() {
+                    // SAFETY: `bytes` borrows from the owner's memory per
+                    // the `new_shared` contract.
+                    return Store::Shared(unsafe { SharedSlice::new(owner.clone(), mid) });
+                }
+            }
+            let _ = owner;
+        }
+        Store::Owned(T::decode(bytes))
     }
 
     /// Bytes not yet consumed.
@@ -192,50 +274,41 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a length-prefixed `u32` array.
-    pub fn u32_array(&mut self) -> Result<Vec<u32>, FormatError> {
+    pub fn u32_array(&mut self) -> Result<Store<u32>, FormatError> {
         let n = self.count(4)?;
         let bytes = self.take(n * 4)?;
-        let out = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
+        let out = self.to_store(bytes);
         self.skip_padding()?;
         Ok(out)
     }
 
     /// Reads a length-prefixed `u64` array.
-    pub fn u64_array(&mut self) -> Result<Vec<u64>, FormatError> {
+    pub fn u64_array(&mut self) -> Result<Store<u64>, FormatError> {
         let n = self.count(8)?;
         let bytes = self.take(n * 8)?;
-        Ok(bytes
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect())
+        Ok(self.to_store(bytes))
     }
 
-    /// Reads a length-prefixed `(i32, i32)` array.
-    pub fn i32_pair_array(&mut self) -> Result<Vec<(i32, i32)>, FormatError> {
+    /// Reads a length-prefixed `(i32, i32)` pair array in flat interleaved
+    /// form (`[a0, b0, a1, b1, …]` — the count on the wire is pairs).
+    pub fn i32_pairs_flat(&mut self) -> Result<Store<i32>, FormatError> {
         let n = self.count(8)?;
         let bytes = self.take(n * 8)?;
-        Ok(bytes
-            .chunks_exact(8)
-            .map(|c| {
-                (
-                    i32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
-                    i32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
-                )
-            })
-            .collect())
+        Ok(self.to_store(bytes))
     }
 
-    /// Reads a string table written by [`Writer::put_string_table`].
-    pub fn string_table(&mut self) -> Result<Vec<String>, FormatError> {
+    /// Reads a string table written by [`Writer::put_string_table`]. In
+    /// zero-copy mode the offsets and blob stay borrowed and every entry
+    /// is UTF-8-validated once here (via [`StrTable::shared`]).
+    pub fn string_table(&mut self) -> Result<StrTable, FormatError> {
         let n = self.count(8)?;
-        let offsets = self.take((n + 1) * 8)?;
-        let offsets: Vec<u64> = offsets
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
+        let off_bytes = self.take((n + 1) * 8)?;
+        let offsets: Store<u64> = self.to_store(off_bytes);
+        // This directory check is load-bearing for the owned branch below
+        // (which slices the blob by offset pairs) and for `total`;
+        // `StrTable::shared` intentionally re-validates on the shared
+        // branch because that constructor is public API in `xwq-succinct`
+        // and must stay safe standalone.
         if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::Corrupt(
                 "string table offsets not ascending".into(),
@@ -244,17 +317,28 @@ impl<'a> Reader<'a> {
         let total = usize::try_from(offsets[n])
             .map_err(|_| FormatError::Corrupt("string table too large".into()))?;
         let blob = self.take(total)?;
-        let mut out = Vec::with_capacity(n);
-        for w in offsets.windows(2) {
-            let s = &blob[w[0] as usize..w[1] as usize];
-            out.push(
-                std::str::from_utf8(s)
-                    .map_err(|_| FormatError::Corrupt("string table is not UTF-8".into()))?
-                    .to_string(),
-            );
-        }
+        let table = match (&self.owner, offsets) {
+            (Some(owner), Store::Shared(off_view)) => {
+                // SAFETY: `blob` borrows from the owner's memory per the
+                // `new_shared` contract; `u8` has no alignment demands.
+                let blob_view = unsafe { SharedSlice::new(owner.clone(), blob) };
+                StrTable::shared(off_view, blob_view).map_err(FormatError::Corrupt)?
+            }
+            (_, offsets) => {
+                let mut out = Vec::with_capacity(n);
+                for w in offsets.windows(2) {
+                    let s = &blob[w[0] as usize..w[1] as usize];
+                    out.push(
+                        std::str::from_utf8(s)
+                            .map_err(|_| FormatError::Corrupt("string table is not UTF-8".into()))?
+                            .to_string(),
+                    );
+                }
+                StrTable::Owned(out)
+            }
+        };
         self.skip_padding()?;
-        Ok(out)
+        Ok(table)
     }
 }
 
@@ -262,28 +346,66 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
 
+    fn strings(t: &StrTable) -> Vec<String> {
+        t.iter().map(String::from).collect()
+    }
+
     #[test]
     fn roundtrip_every_primitive() {
         let mut w = Writer::new();
         w.put_u64(7);
         w.put_u32_array(&[1, 2, 3]);
         w.put_u64_array(&[u64::MAX, 0]);
-        w.put_i32_pair_array(&[(-1, 2), (i32::MIN, i32::MAX)]);
-        w.put_string_table(&["", "héllo", "x"]);
+        w.put_i32_pairs_flat(&[-1, 2, i32::MIN, i32::MAX]);
+        w.put_string_table(["", "héllo", "x"].iter());
         w.put_u32(9);
         let bytes = w.into_bytes();
 
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u64().unwrap(), 7);
-        assert_eq!(r.u32_array().unwrap(), vec![1, 2, 3]);
-        assert_eq!(r.u64_array().unwrap(), vec![u64::MAX, 0]);
-        assert_eq!(
-            r.i32_pair_array().unwrap(),
-            vec![(-1, 2), (i32::MIN, i32::MAX)]
-        );
-        assert_eq!(r.string_table().unwrap(), vec!["", "héllo", "x"]);
+        assert_eq!(&*r.u32_array().unwrap(), &[1, 2, 3]);
+        assert_eq!(&*r.u64_array().unwrap(), &[u64::MAX, 0]);
+        assert_eq!(&*r.i32_pairs_flat().unwrap(), &[-1, 2, i32::MIN, i32::MAX]);
+        assert_eq!(strings(&r.string_table().unwrap()), ["", "héllo", "x"]);
         assert_eq!(r.u32().unwrap(), 9);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn shared_mode_returns_views_and_matches_owned() {
+        let mut w = Writer::new();
+        w.put_u32_array(&[10, 20, 30]);
+        w.put_u64_array(&[1, 2]);
+        w.put_string_table(["a", "bc"].iter());
+        let bytes = std::sync::Arc::new(w.into_bytes());
+        // The Vec<u8> allocation is not 8-aligned by contract, but arrays
+        // in it may still land aligned; read both modes and compare.
+        let owner: Owner = bytes.clone();
+        let mut shared = Reader::new_shared(&bytes, owner);
+        let mut owned = Reader::new(&bytes);
+        assert_eq!(&*shared.u32_array().unwrap(), &*owned.u32_array().unwrap());
+        assert_eq!(&*shared.u64_array().unwrap(), &*owned.u64_array().unwrap());
+        assert_eq!(
+            strings(&shared.string_table().unwrap()),
+            strings(&owned.string_table().unwrap())
+        );
+    }
+
+    #[test]
+    fn shared_mode_misaligned_base_falls_back_to_owned() {
+        let mut w = Writer::new();
+        w.put_u64_array(&[3, 5, 7]);
+        // An 8-aligned buffer holding the payload at offset 1: every u64
+        // section the reader sees is then guaranteed misaligned.
+        let mut padded = vec![0u8; 1];
+        padded.extend_from_slice(&w.into_bytes());
+        let buf = crate::IndexBytes::from_vec(padded);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 8, 0);
+        let owner: Owner = buf.clone();
+        let mut r = Reader::new_shared(&buf.as_slice()[1..], owner);
+        let arr = r.u64_array().unwrap();
+        assert!(!arr.is_shared(), "misaligned section must decode, not view");
+        assert_eq!(&*arr, &[3, 5, 7]);
     }
 
     #[test]
@@ -305,6 +427,19 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(matches!(r.u32_array(), Err(FormatError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_string_table_is_an_error_in_both_modes() {
+        let mut w = Writer::new();
+        w.put_u64(1); // one string
+        w.put_u64(0);
+        w.put_u64(2); // two bytes long
+        w.put_padded_bytes(&[0xFF, 0xFE]);
+        let bytes = std::sync::Arc::new(w.into_bytes());
+        assert!(Reader::new(&bytes).string_table().is_err());
+        let owner: Owner = bytes.clone();
+        assert!(Reader::new_shared(&bytes, owner).string_table().is_err());
     }
 
     #[test]

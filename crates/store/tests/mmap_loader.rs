@@ -1,0 +1,239 @@
+//! The zero-copy (`mmap`) load path: corruption robustness and exact
+//! owned-vs-borrowed equivalence.
+//!
+//! Every test here runs the *real* mapped path — a `.xwqi` file on disk,
+//! `IndexBytes::open_mmap`, `deserialize_shared` — against the historical
+//! copying reader, so the two loaders can never silently diverge in what
+//! they accept or in what queries return.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use xwq_core::{Engine, Strategy as EvalStrategy};
+use xwq_index::{TopologyKind, TreeIndex};
+use xwq_store::{
+    deserialize, deserialize_shared, read_index_file_mmap, serialize, DocumentStore, FormatError,
+    IndexBytes, Session,
+};
+use xwq_xmark::GenOptions;
+use xwq_xml::Document;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("xwq-mmap-loader-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}-{}.xwqi", std::process::id()))
+}
+
+fn sample(topology: TopologyKind) -> (Document, Vec<u8>) {
+    let doc = xwq_xml::parse(
+        r#"<site><regions><item id="7">gold <b>ring</b></item><item/><item>gold <b>ring</b></item></regions></site>"#,
+    )
+    .unwrap();
+    let index = TreeIndex::build_with(&doc, topology);
+    let bytes = serialize(&doc, &index).unwrap();
+    (doc, bytes)
+}
+
+#[test]
+fn truncated_map_is_an_error_never_a_panic() {
+    let (_, bytes) = sample(TopologyKind::Succinct);
+    let path = tmp_path("truncated");
+    // Every prefix must fail cleanly through the real mmap path. Checking
+    // all of them via the filesystem is slow; probe a spread plus both
+    // edges.
+    let cuts: Vec<usize> = (0..bytes.len())
+        .step_by(97)
+        .chain([0, bytes.len() - 1])
+        .collect();
+    for cut in cuts {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            read_index_file_mmap(&path).is_err(),
+            "cut at {cut} must fail"
+        );
+    }
+    // And the in-memory shared reader over every prefix.
+    for cut in 0..bytes.len() {
+        let buf = IndexBytes::from_vec(bytes[..cut].to_vec());
+        assert!(deserialize_shared(&buf).is_err(), "cut at {cut}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_flipped_map_is_caught_by_the_checksum() {
+    let (_, bytes) = sample(TopologyKind::Succinct);
+    let path = tmp_path("bitflip");
+    for i in (xwq_store::HEADER_LEN..bytes.len()).step_by(131) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x10;
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(
+            matches!(
+                read_index_file_mmap(&path),
+                Err(FormatError::ChecksumMismatch { .. })
+            ),
+            "flip at {i} slipped past the mmap checksum"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shared_and_owned_readers_accept_exactly_the_same_headers() {
+    let (_, bytes) = sample(TopologyKind::Array);
+    // Bad magic, bad version: same typed errors through both readers.
+    for (patch, expect_magic) in [((0usize, b'Y'), true), ((4usize, 99u8), false)] {
+        let mut m = bytes.clone();
+        m[patch.0] = patch.1;
+        let owned_err = deserialize(&m).unwrap_err();
+        let shared_err = deserialize_shared(&IndexBytes::from_vec(m)).unwrap_err();
+        match (expect_magic, &owned_err, &shared_err) {
+            (true, FormatError::BadMagic, FormatError::BadMagic) => {}
+            (false, FormatError::UnsupportedVersion(_), FormatError::UnsupportedVersion(_)) => {}
+            other => panic!("reader divergence: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mmap_load_is_actually_zero_copy() {
+    let doc = xwq_xmark::generate(GenOptions {
+        factor: 0.02,
+        seed: 7,
+    });
+    let index = TreeIndex::build_with(&doc, TopologyKind::Succinct);
+    let bytes = serialize(&doc, &index).unwrap();
+    let path = tmp_path("zerocopy");
+    std::fs::write(&path, &bytes).unwrap();
+    let (mdoc, mix) = read_index_file_mmap(&path).unwrap();
+    // Heap accounting counts only owned storage: a mapped document's
+    // arrays and text table live in the mapping, so its footprint must be
+    // a small fraction of the built one's.
+    assert!(
+        mdoc.heap_bytes() * 10 < doc.heap_bytes(),
+        "mapped doc owns {} heap bytes vs built {} — arrays were copied",
+        mdoc.heap_bytes(),
+        doc.heap_bytes()
+    );
+    assert!(
+        mix.heap_bytes() < index.heap_bytes(),
+        "mapped index owns {} heap bytes vs built {}",
+        mix.heap_bytes(),
+        index.heap_bytes()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The acceptance check: mmap-loaded and Vec-loaded indexes return
+/// identical results over the whole XMark suite, every strategy, both
+/// topologies — served through a real `DocumentStore` + `Session`.
+#[test]
+fn xmark_suite_owned_vs_mmap_equivalence() {
+    for (tag, topology) in [
+        ("array", TopologyKind::Array),
+        ("succinct", TopologyKind::Succinct),
+    ] {
+        let doc = xwq_xmark::generate(GenOptions {
+            factor: 0.02,
+            seed: 42,
+        });
+        let index = TreeIndex::build_with(&doc, topology);
+        let bytes = serialize(&doc, &index).unwrap();
+        let path = tmp_path(&format!("suite-{tag}"));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = DocumentStore::new();
+        store.load_index_file("owned", &path).unwrap();
+        store.open_mmap("mapped", &path).unwrap();
+        let session = Session::new(Arc::new(store));
+        for (n, query) in xwq_xmark::queries() {
+            for strategy in EvalStrategy::ALL {
+                let owned = session.query("owned", query, strategy);
+                let mapped = session.query("mapped", query, strategy);
+                match (owned, mapped) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a.nodes,
+                        b.nodes,
+                        "Q{n:02} under {} diverges owned vs mmap ({tag})",
+                        strategy.name()
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("Q{n:02} ({tag}): one load path errored, the other did not"),
+                }
+            }
+        }
+        // Text predicates exercise the zero-copy string table.
+        let q = "//item[@id='7']";
+        if let (Ok(a), Ok(b)) = (
+            session.query("owned", q, EvalStrategy::Optimized),
+            session.query("mapped", q, EvalStrategy::Optimized),
+        ) {
+            assert_eq!(a.nodes, b.nodes);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    (1u64..1000, 1u32..25).prop_map(|(seed, f)| {
+        xwq_xmark::generate(GenOptions {
+            factor: f as f64 / 2000.0,
+            seed,
+        })
+    })
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologyKind> {
+    prop::sample::select(vec![TopologyKind::Array, TopologyKind::Succinct])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Owned-vs-borrowed `TreeIndex` equivalence on random documents: the
+    /// shared reader must reproduce the owned reader's document, index and
+    /// query results bit-for-bit.
+    #[test]
+    fn random_documents_owned_vs_shared_agree(doc in arb_doc(), topo in arb_topology()) {
+        let index = TreeIndex::build_with(&doc, topo);
+        let bytes = serialize(&doc, &index).expect("serialize");
+        let (odoc, oix) = deserialize(&bytes).expect("owned deserialize");
+        let shared_buf = IndexBytes::from_vec(bytes);
+        let (sdoc, six) = match deserialize_shared(&shared_buf) {
+            Ok(x) => x,
+            Err(e) => return Err(TestCaseError::fail(format!("shared deserialize: {e}"))),
+        };
+        prop_assert_eq!(odoc.to_xml(), sdoc.to_xml());
+        let owned = Engine::from_index(oix);
+        let shared = Engine::from_index(six);
+        for (n, query) in xwq_xmark::queries() {
+            let oq = match owned.compile(query) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let sq = shared.compile(query).expect("same fragment");
+            for strategy in EvalStrategy::ALL {
+                prop_assert_eq!(
+                    owned.run(&oq, strategy).nodes,
+                    shared.run(&sq, strategy).nodes,
+                    "Q{:02} diverges owned vs shared under {}",
+                    n,
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    /// A shared-loaded index re-serializes to the identical bytes: the
+    /// borrowed views carry exactly the file's contents.
+    #[test]
+    fn shared_load_reserializes_to_identical_bytes(doc in arb_doc(), topo in arb_topology()) {
+        let index = TreeIndex::build_with(&doc, topo);
+        let bytes = serialize(&doc, &index).expect("serialize");
+        let buf = IndexBytes::from_vec(bytes.clone());
+        let (sdoc, six) = deserialize_shared(&buf).expect("shared deserialize");
+        let bytes2 = serialize(&sdoc, &six).expect("re-serialize");
+        prop_assert_eq!(&bytes, &bytes2);
+    }
+}

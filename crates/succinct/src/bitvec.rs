@@ -1,12 +1,17 @@
 //! A plain, growable bit vector backed by `u64` words.
 
+use crate::Store;
+
 /// A growable sequence of bits.
 ///
 /// Bits are stored LSB-first inside `u64` words. This type is the mutable
-/// builder; wrap it in [`crate::RankSelect`] for rank/select queries.
+/// builder; wrap it in [`crate::RankSelect`] for rank/select queries. The
+/// word storage is a [`Store`], so a `.xwqi` loader can back it with a
+/// borrowed view into a memory-mapped file (mutators detach to an owned
+/// copy first, but the serving path never mutates).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BitVec {
-    words: Vec<u64>,
+    words: Store<u64>,
     len: usize,
 }
 
@@ -19,7 +24,7 @@ impl BitVec {
     /// Creates an empty bit vector with room for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
         Self {
-            words: Vec::with_capacity(bits.div_ceil(64)),
+            words: Store::Owned(Vec::with_capacity(bits.div_ceil(64))),
             len: 0,
         }
     }
@@ -39,12 +44,14 @@ impl BitVec {
     /// Appends a bit.
     #[inline]
     pub fn push(&mut self, bit: bool) {
-        let word = self.len / 64;
-        if word == self.words.len() {
-            self.words.push(0);
+        let len = self.len;
+        let word = len / 64;
+        let words = self.words.make_mut();
+        if word == words.len() {
+            words.push(0);
         }
         if bit {
-            self.words[word] |= 1u64 << (self.len % 64);
+            words[word] |= 1u64 << (len % 64);
         }
         self.len += 1;
     }
@@ -67,10 +74,11 @@ impl BitVec {
     pub fn set(&mut self, i: usize, bit: bool) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % 64);
+        let words = self.words.make_mut();
         if bit {
-            self.words[i / 64] |= mask;
+            words[i / 64] |= mask;
         } else {
-            self.words[i / 64] &= !mask;
+            words[i / 64] &= !mask;
         }
     }
 
@@ -82,9 +90,11 @@ impl BitVec {
 
     /// Reassembles a bit vector from its backing words, as produced by
     /// [`Self::words`] / [`Self::len`] (used by the `.xwqi` persistence
-    /// layer). Fails if the word count does not match `len` or if unused
-    /// high bits of the last word are set.
-    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Result<Self, String> {
+    /// layer; the words may be a borrowed [`Store`] view). Fails if the
+    /// word count does not match `len` or if unused high bits of the last
+    /// word are set.
+    pub fn from_raw_parts(words: impl Into<Store<u64>>, len: usize) -> Result<Self, String> {
+        let words = words.into();
         if words.len() != len.div_ceil(64) {
             return Err(format!(
                 "bitvec: {} words cannot hold exactly {} bits",
@@ -107,9 +117,10 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Approximate heap footprint in bytes (for the memory experiment).
+    /// Approximate heap footprint in bytes (for the memory experiment);
+    /// borrowed views count 0 — their memory belongs to the mapping.
     pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * 8
+        self.words.heap_bytes()
     }
 }
 

@@ -8,7 +8,7 @@
 //! between the block's min and max excess — which is exactly what the segment
 //! tree stores.
 
-use crate::{BitVec, RankSelect};
+use crate::{BitVec, RankSelect, Store};
 
 /// Bits per leaf block of the range-min-max tree.
 const BLOCK: usize = 256;
@@ -20,8 +20,11 @@ pub struct Bp {
     rs: RankSelect,
     /// Number of leaves in the segment tree (power of two ≥ number of blocks).
     seg_leaves: usize,
-    /// Implicit segment tree, 1-based; `seg[i] = (min, max)` excess in range.
-    seg: Vec<(i32, i32)>,
+    /// Implicit segment tree, 1-based, stored *flat* as interleaved
+    /// `[min, max]` pairs (`seg[2i]` = min, `seg[2i + 1]` = max excess of
+    /// node `i`'s range) so a `.xwqi` loader can view it in place — the
+    /// wire format is the same interleaved `i32` sequence.
+    seg: Store<i32>,
 }
 
 /// Sentinel interval for segment-tree nodes covering no positions.
@@ -109,7 +112,14 @@ impl Bp {
         let n_vals = n + 1;
         let n_blocks = n_vals.div_ceil(BLOCK);
         let seg_leaves = n_blocks.next_power_of_two().max(1);
-        let mut seg = vec![EMPTY; 2 * seg_leaves];
+        let set = |seg: &mut [i32], i: usize, v: (i32, i32)| {
+            seg[2 * i] = v.0;
+            seg[2 * i + 1] = v.1;
+        };
+        let mut seg = vec![0i32; 4 * seg_leaves];
+        for i in 0..2 * seg_leaves {
+            set(&mut seg, i, EMPTY);
+        }
         let mut excess: i32 = 0;
         let mut cur_min: i32 = i32::MAX;
         let mut cur_max: i32 = i32::MIN;
@@ -120,7 +130,7 @@ impl Bp {
             }
             let b = p / BLOCK;
             if b != block {
-                seg[seg_leaves + block] = (cur_min, cur_max);
+                set(&mut seg, seg_leaves + block, (cur_min, cur_max));
                 block = b;
                 cur_min = i32::MAX;
                 cur_max = i32::MIN;
@@ -128,15 +138,18 @@ impl Bp {
             cur_min = cur_min.min(excess);
             cur_max = cur_max.max(excess);
         }
-        seg[seg_leaves + block] = (cur_min, cur_max);
+        set(&mut seg, seg_leaves + block, (cur_min, cur_max));
         for i in (1..seg_leaves).rev() {
-            let (l, r) = (seg[2 * i], seg[2 * i + 1]);
-            seg[i] = (l.0.min(r.0), l.1.max(r.1));
+            let (l, r) = (
+                (seg[4 * i], seg[4 * i + 1]),
+                (seg[4 * i + 2], seg[4 * i + 3]),
+            );
+            set(&mut seg, i, (l.0.min(r.0), l.1.max(r.1)));
         }
         Self {
             rs,
             seg_leaves,
-            seg,
+            seg: seg.into(),
         }
     }
 
@@ -152,23 +165,32 @@ impl Bp {
         &self.rs
     }
 
-    /// The range-min-max directory as `(leaf_count, flattened tree)`.
+    /// The range-min-max directory as `(leaf_count, flat interleaved
+    /// min/max tree)` — two `i32`s per tree node.
     #[inline]
-    pub fn seg_directory(&self) -> (usize, &[(i32, i32)]) {
+    pub fn seg_directory(&self) -> (usize, &[i32]) {
         (self.seg_leaves, &self.seg)
     }
 
+    /// The `(min, max)` excess interval of segment-tree node `i`.
+    #[inline]
+    fn seg_at(&self, i: usize) -> (i32, i32) {
+        (self.seg[2 * i], self.seg[2 * i + 1])
+    }
+
     /// Reassembles from a serialized range-min-max directory (the `.xwqi`
-    /// persistence layer). Shape is validated (leaf count and tree size
-    /// must match what [`Self::new`] would build for `rs.len()` bits);
-    /// directory *contents* are trusted — persisted payloads are
-    /// checksummed upstream, so this only needs to rule out shape
-    /// mismatches that could cause out-of-bounds access.
+    /// persistence layer; `seg` is the flat interleaved form of
+    /// [`Self::seg_directory`], possibly a borrowed view). Shape is
+    /// validated (leaf count and tree size must match what [`Self::new`]
+    /// would build for `rs.len()` bits); directory *contents* are trusted —
+    /// persisted payloads are checksummed upstream, so this only needs to
+    /// rule out shape mismatches that could cause out-of-bounds access.
     pub fn from_raw_parts(
         rs: RankSelect,
         seg_leaves: usize,
-        seg: Vec<(i32, i32)>,
+        seg: impl Into<Store<i32>>,
     ) -> Result<Self, String> {
+        let seg = seg.into();
         let n_blocks = (rs.len() + 1).div_ceil(BLOCK);
         let expect_leaves = n_blocks.next_power_of_two().max(1);
         if seg_leaves != expect_leaves {
@@ -176,10 +198,10 @@ impl Bp {
                 "bp: {seg_leaves} segment leaves, expected {expect_leaves}"
             ));
         }
-        if seg.len() != 2 * seg_leaves {
+        if seg.len() != 4 * seg_leaves {
             return Err(format!(
                 "bp: segment tree has {} entries, expected {}",
-                seg.len(),
+                seg.len() / 2,
                 2 * seg_leaves
             ));
         }
@@ -488,7 +510,7 @@ impl Bp {
         if hi <= from {
             return None;
         }
-        let (mn, mx) = self.seg[node];
+        let (mn, mx) = self.seg_at(node);
         if t < mn || t > mx {
             return None;
         }
@@ -509,7 +531,7 @@ impl Bp {
         if lo > to {
             return None;
         }
-        let (mn, mx) = self.seg[node];
+        let (mn, mx) = self.seg_at(node);
         if t < mn || t > mx {
             return None;
         }
@@ -523,7 +545,7 @@ impl Bp {
 
     /// Heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.rs.heap_bytes() + self.seg.capacity() * std::mem::size_of::<(i32, i32)>()
+        self.rs.heap_bytes() + self.seg.heap_bytes()
     }
 }
 

@@ -22,9 +22,11 @@
 mod bitvec;
 mod bp;
 mod rank_select;
+mod storage;
 mod tree;
 
 pub use bitvec::BitVec;
 pub use bp::Bp;
 pub use rank_select::{RankSelect, SELECT_SAMPLE};
+pub use storage::{Owner, Pod, SharedSlice, Store, StrTable};
 pub use tree::{SuccinctTree, SuccinctTreeBuilder};

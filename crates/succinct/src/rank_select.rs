@@ -18,7 +18,7 @@
 //! `None`. `select0` mirrors this for clear bits. `rank1(select1(k)) == k`
 //! for every valid `k`.
 
-use crate::BitVec;
+use crate::{BitVec, Store};
 
 const SUPER_BITS: usize = 512; // 8 words per superblock
 const WORDS_PER_SUPER: usize = SUPER_BITS / 64;
@@ -31,15 +31,15 @@ pub const SELECT_SAMPLE: usize = 256;
 pub struct RankSelect {
     bits: BitVec,
     /// `super_ranks[i]` = number of ones strictly before superblock `i`.
-    super_ranks: Vec<u64>,
+    super_ranks: Store<u64>,
     /// Packed per-superblock word counts: 7 × 9-bit cumulative one-counts
     /// (ones in words `0..j` of the superblock, for `j = 1..=7`).
-    block_ranks: Vec<u64>,
+    block_ranks: Store<u64>,
     /// `select1_samples[s]` = superblock containing the `s·SELECT_SAMPLE`-th
     /// set bit.
-    select1_samples: Vec<u32>,
+    select1_samples: Store<u32>,
     /// Same for clear bits.
-    select0_samples: Vec<u32>,
+    select0_samples: Store<u32>,
     ones: usize,
 }
 
@@ -90,10 +90,10 @@ impl RankSelect {
         });
         Self {
             bits,
-            super_ranks,
-            block_ranks,
-            select1_samples,
-            select0_samples,
+            super_ranks: super_ranks.into(),
+            block_ranks: block_ranks.into(),
+            select1_samples: select1_samples.into(),
+            select0_samples: select0_samples.into(),
             ones,
         }
     }
@@ -229,13 +229,14 @@ impl RankSelect {
         lo
     }
 
-    /// Heap footprint in bytes (bit data + directories).
+    /// Heap footprint in bytes (bit data + directories; borrowed views
+    /// count 0).
     pub fn heap_bytes(&self) -> usize {
         self.bits.heap_bytes()
-            + self.super_ranks.capacity() * 8
-            + self.block_ranks.capacity() * 8
-            + self.select1_samples.capacity() * 4
-            + self.select0_samples.capacity() * 4
+            + self.super_ranks.heap_bytes()
+            + self.block_ranks.heap_bytes()
+            + self.select1_samples.heap_bytes()
+            + self.select0_samples.heap_bytes()
     }
 
     /// The frozen bit data.
@@ -275,7 +276,11 @@ impl RankSelect {
     /// then the stored superblock directory is validated against the
     /// rebuilt one (v1 directories are deterministic, so any mismatch is
     /// corruption).
-    pub fn from_raw_parts(bits: BitVec, super_ranks: Vec<u64>) -> Result<Self, String> {
+    pub fn from_raw_parts(
+        bits: BitVec,
+        super_ranks: impl Into<Store<u64>>,
+    ) -> Result<Self, String> {
+        let super_ranks = super_ranks.into();
         let rebuilt = Self::new(bits);
         if super_ranks != rebuilt.super_ranks {
             return Err(format!(
@@ -291,14 +296,18 @@ impl RankSelect {
     /// directories. Every directory is validated against what
     /// [`Self::new`] would build — one linear pass over the words, the
     /// same cost as the v1 popcount validation — so corrupt directories
-    /// can never mis-route an O(1) lookup.
+    /// can never mis-route an O(1) lookup. The *validated input* stores
+    /// are kept (not the rebuilt copies), so zero-copy loads keep serving
+    /// straight out of the mapped file.
     pub fn from_raw_parts_v2(
         bits: BitVec,
-        super_ranks: Vec<u64>,
-        block_ranks: Vec<u64>,
-        select1_samples: Vec<u32>,
-        select0_samples: Vec<u32>,
+        super_ranks: impl Into<Store<u64>>,
+        block_ranks: impl Into<Store<u64>>,
+        select1_samples: impl Into<Store<u32>>,
+        select0_samples: impl Into<Store<u32>>,
     ) -> Result<Self, String> {
+        let (super_ranks, block_ranks) = (super_ranks.into(), block_ranks.into());
+        let (select1_samples, select0_samples) = (select1_samples.into(), select0_samples.into());
         let rebuilt = Self::new(bits);
         if super_ranks != rebuilt.super_ranks {
             return Err("rank superblock directory does not match the bit data".to_string());
@@ -312,7 +321,14 @@ impl RankSelect {
         if select0_samples != rebuilt.select0_samples {
             return Err("select0 sample directory does not match the bit data".to_string());
         }
-        Ok(rebuilt)
+        Ok(Self {
+            bits: rebuilt.bits,
+            super_ranks,
+            block_ranks,
+            select1_samples,
+            select0_samples,
+            ones: rebuilt.ones,
+        })
     }
 }
 

@@ -141,12 +141,12 @@ impl TreeBuilder {
         assert!(!self.labels.is_empty(), "empty document");
         Document {
             alphabet: self.alphabet,
-            labels: self.labels,
-            parent: self.parent,
-            first_child: self.first_child,
-            next_sibling: self.next_sibling,
-            text_ref: self.text_ref,
-            texts: self.texts,
+            labels: self.labels.into(),
+            parent: self.parent.into(),
+            first_child: self.first_child.into(),
+            next_sibling: self.next_sibling.into(),
+            text_ref: self.text_ref.into(),
+            texts: self.texts.into(),
         }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::{Alphabet, LabelId, LabelKind};
 use std::fmt::Write as _;
+use xwq_succinct::{Store, StrTable};
 
 /// Preorder node identifier.
 pub type NodeId = u32;
@@ -15,16 +16,20 @@ pub type NodeId = u32;
 pub const NONE: NodeId = u32::MAX;
 
 /// An immutable XML document in preorder arrays.
+///
+/// Every array is a [`Store`]: owned when built by the parser or
+/// [`crate::TreeBuilder`], a zero-copy borrowed view when reassembled from
+/// a memory-mapped `.xwqi` file.
 #[derive(Clone, Debug)]
 pub struct Document {
     pub(crate) alphabet: Alphabet,
-    pub(crate) labels: Vec<LabelId>,
-    pub(crate) parent: Vec<NodeId>,
-    pub(crate) first_child: Vec<NodeId>,
-    pub(crate) next_sibling: Vec<NodeId>,
+    pub(crate) labels: Store<LabelId>,
+    pub(crate) parent: Store<NodeId>,
+    pub(crate) first_child: Store<NodeId>,
+    pub(crate) next_sibling: Store<NodeId>,
     /// Index into `texts` for text/attribute nodes, `u32::MAX` otherwise.
-    pub(crate) text_ref: Vec<u32>,
-    pub(crate) texts: Vec<String>,
+    pub(crate) text_ref: Store<u32>,
+    pub(crate) texts: StrTable,
 }
 
 impl Document {
@@ -94,7 +99,7 @@ impl Document {
         if r == u32::MAX {
             None
         } else {
-            Some(&self.texts[r as usize])
+            Some(self.texts.get(r as usize))
         }
     }
 
@@ -165,34 +170,44 @@ impl Document {
     #[allow(clippy::type_complexity)]
     pub fn raw_arrays(&self) -> (&[LabelId], &[NodeId], &[NodeId], &[NodeId], &[u32]) {
         (
-            &self.labels,
-            &self.parent,
-            &self.first_child,
-            &self.next_sibling,
-            &self.text_ref,
+            self.labels.as_slice(),
+            self.parent.as_slice(),
+            self.first_child.as_slice(),
+            self.next_sibling.as_slice(),
+            self.text_ref.as_slice(),
         )
     }
 
     /// The distinct-text arena backing [`Self::text`], in id order.
-    pub fn texts(&self) -> &[String] {
+    pub fn texts(&self) -> &StrTable {
         &self.texts
     }
 
+    /// The navigation arrays as cloneable stores `(parent, first_child,
+    /// next_sibling)` — a zero-copy loaded topology shares these views
+    /// instead of copying them.
+    pub fn nav_stores(&self) -> (&Store<NodeId>, &Store<NodeId>, &Store<NodeId>) {
+        (&self.parent, &self.first_child, &self.next_sibling)
+    }
+
     /// Reassembles a document from serialized arrays (the `.xwqi`
-    /// persistence layer). Validates every structural invariant needed so
+    /// persistence layer; each array may be an owned `Vec` or a borrowed
+    /// [`Store`] view). Validates every structural invariant needed so
     /// that no later navigation or query can index out of bounds: equal
     /// array lengths, label ids inside the alphabet, node references that
     /// are in-range or [`NONE`], a rooted parent structure, and text refs
     /// that land inside `texts` exactly for text/attribute labels.
     pub fn from_raw_parts(
         alphabet: Alphabet,
-        labels: Vec<LabelId>,
-        parent: Vec<NodeId>,
-        first_child: Vec<NodeId>,
-        next_sibling: Vec<NodeId>,
-        text_ref: Vec<u32>,
-        texts: Vec<String>,
+        labels: impl Into<Store<LabelId>>,
+        parent: impl Into<Store<NodeId>>,
+        first_child: impl Into<Store<NodeId>>,
+        next_sibling: impl Into<Store<NodeId>>,
+        text_ref: impl Into<Store<u32>>,
+        texts: impl Into<StrTable>,
     ) -> Result<Self, String> {
+        let (labels, parent, first_child) = (labels.into(), parent.into(), first_child.into());
+        let (next_sibling, text_ref, texts) = (next_sibling.into(), text_ref.into(), texts.into());
         let n = labels.len();
         if n == 0 {
             return Err("document: no nodes".to_string());
@@ -274,14 +289,15 @@ impl Document {
         })
     }
 
-    /// Approximate heap footprint in bytes (for the memory experiment).
+    /// Approximate heap footprint in bytes (for the memory experiment;
+    /// borrowed views count 0 — their memory belongs to the mapping).
     pub fn heap_bytes(&self) -> usize {
-        self.labels.capacity() * 4
-            + self.parent.capacity() * 4
-            + self.first_child.capacity() * 4
-            + self.next_sibling.capacity() * 4
-            + self.text_ref.capacity() * 4
-            + self.texts.iter().map(|t| t.capacity()).sum::<usize>()
+        self.labels.heap_bytes()
+            + self.parent.heap_bytes()
+            + self.first_child.heap_bytes()
+            + self.next_sibling.heap_bytes()
+            + self.text_ref.heap_bytes()
+            + self.texts.heap_bytes()
     }
 }
 
@@ -332,7 +348,7 @@ mod tests {
             first_child.to_vec(),
             next_sibling.to_vec(),
             text_ref.to_vec(),
-            doc.texts().to_vec(),
+            doc.texts().iter().map(String::from).collect(),
         )
     }
 

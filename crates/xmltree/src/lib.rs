@@ -25,4 +25,4 @@ mod parser;
 pub use builder::TreeBuilder;
 pub use document::{Document, NodeId, NONE};
 pub use label::{Alphabet, LabelId, LabelKind, LabelSet};
-pub use parser::{parse, parse_seeded, ParseError};
+pub use parser::{parse, parse_bytes, parse_bytes_seeded, parse_seeded, ParseError};

@@ -35,15 +35,31 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
     parse_seeded(input, &[])
 }
 
+/// Parses an XML document from raw bytes.
+///
+/// Unlike [`parse`] the input is not known to be UTF-8 up front; every
+/// name, attribute value, text run and CDATA section is validated where
+/// it is sliced, and invalid UTF-8 is a [`ParseError`] at that offset —
+/// never a silent U+FFFD substitution (the same strictness as unknown
+/// entities).
+pub fn parse_bytes(input: &[u8]) -> Result<Document, ParseError> {
+    parse_bytes_seeded(input, &[])
+}
+
 /// Parses an XML document with label ids pre-assigned to `seed_labels` in
 /// order (labels not occurring in the document still enter the alphabet).
 pub fn parse_seeded(input: &str, seed_labels: &[&str]) -> Result<Document, ParseError> {
+    parse_bytes_seeded(input.as_bytes(), seed_labels)
+}
+
+/// [`parse_bytes`] with pre-assigned label ids (see [`parse_seeded`]).
+pub fn parse_bytes_seeded(input: &[u8], seed_labels: &[&str]) -> Result<Document, ParseError> {
     let mut builder = TreeBuilder::new();
     for l in seed_labels {
         builder.reserve(l);
     }
     Parser {
-        s: input.as_bytes(),
+        s: input,
         pos: 0,
         builder,
         depth: 0,
@@ -66,6 +82,20 @@ impl<'a> Parser<'a> {
             offset: self.pos,
             message: message.into(),
         })
+    }
+
+    /// Validates a byte slice starting at `start` as UTF-8. Invalid bytes
+    /// are a hard parse error, consistent with the parser's treatment of
+    /// unknown entities — silently replacing them with U+FFFD would let
+    /// corrupt names and text into the index unnoticed.
+    fn utf8(&self, start: usize, bytes: &[u8]) -> Result<String, ParseError> {
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(e) => Err(ParseError {
+                offset: start + e.valid_up_to(),
+                message: "invalid UTF-8".to_string(),
+            }),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -121,7 +151,7 @@ impl<'a> Parser<'a> {
         if first.is_ascii_digit() || matches!(first, b'-' | b'.') {
             return self.err("names may not start with a digit, '-' or '.'");
         }
-        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+        self.utf8(start, &self.s[start..self.pos])
     }
 
     fn run(mut self) -> Result<Document, ParseError> {
@@ -191,7 +221,7 @@ impl<'a> Parser<'a> {
                     if self.peek().is_none() {
                         return self.err("unterminated attribute value");
                     }
-                    let raw = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                    let raw = self.utf8(start, &self.s[start..self.pos])?;
                     self.pos += 1;
                     let value = decode_entities(&raw).map_err(|m| ParseError {
                         offset: start,
@@ -221,7 +251,7 @@ impl<'a> Parser<'a> {
                 self.pos += "<![CDATA[".len();
                 let start = self.pos;
                 self.skip_until("]]>")?;
-                let content = String::from_utf8_lossy(&self.s[start..self.pos - 3]).into_owned();
+                let content = self.utf8(start, &self.s[start..self.pos - 3])?;
                 if !content.is_empty() {
                     self.builder.text(&content);
                 }
@@ -236,7 +266,7 @@ impl<'a> Parser<'a> {
                 while self.peek().is_some_and(|c| c != b'<') {
                     self.pos += 1;
                 }
-                let raw = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                let raw = self.utf8(start, &self.s[start..self.pos])?;
                 let text = decode_entities(&raw).map_err(|m| ParseError {
                     offset: start,
                     message: m,
@@ -364,6 +394,32 @@ mod tests {
     fn unknown_entity_is_error() {
         let e = parse("<a>&nope;</a>").unwrap_err();
         assert!(e.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_error_not_replacement() {
+        // Text content.
+        let e = parse_bytes(b"<a>ab\xFFcd</a>").unwrap_err();
+        assert!(e.message.contains("invalid UTF-8"), "{e}");
+        assert_eq!(e.offset, 5, "points at the offending byte");
+        // Attribute value.
+        let e = parse_bytes(b"<a x=\"\xC3\x28\"/>").unwrap_err();
+        assert!(e.message.contains("invalid UTF-8"), "{e}");
+        // CDATA content.
+        let e = parse_bytes(b"<a><![CDATA[\xF0\x9F]]></a>").unwrap_err();
+        assert!(e.message.contains("invalid UTF-8"), "{e}");
+        // Truncated multibyte sequence at the end of a text run.
+        assert!(parse_bytes(b"<a>caf\xC3</a>").is_err());
+    }
+
+    #[test]
+    fn valid_multibyte_utf8_roundtrips_through_parse_bytes() {
+        let src = "<a x=\"héllo\">日本語 καλημέρα</a>".as_bytes();
+        let d = parse_bytes(src).unwrap();
+        assert_eq!(d.text(1), Some("héllo"));
+        assert_eq!(d.text(2), Some("日本語 καλημέρα"));
+        // And no U+FFFD anywhere.
+        assert!(!d.to_xml().contains('\u{FFFD}'));
     }
 
     #[test]

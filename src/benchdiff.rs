@@ -1,0 +1,380 @@
+//! `xwq bench-diff`: compare two `BENCH_eval.json` runs and fail on
+//! regression.
+//!
+//! The bench subcommand writes a machine-readable perf record; this module
+//! closes the loop by diffing two of them (old vs new) and exiting
+//! non-zero when any strategy's `ns_per_query` regressed by more than a
+//! threshold (default 15%). A tiny recursive-descent JSON reader is
+//! included so the binary stays dependency-free — it reads the full JSON
+//! value grammar (objects, arrays, strings with escapes, numbers, bools,
+//! null), which is more than the bench writer emits, so the two cannot
+//! drift apart.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        s: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("JSON error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat("{")?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat("[")?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.s.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogates are not paired here; the bench
+                            // writer never emits them.
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, boundaries ok).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.s.len() && (self.s[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.s[start..self.pos]).expect("utf8"));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("JSON error at byte {start}: bad number"))
+    }
+}
+
+/// One strategy-level comparison row.
+pub struct DiffRow {
+    pub strategy: String,
+    pub old_ns: f64,
+    pub new_ns: f64,
+    /// Relative change, +0.20 = 20% slower.
+    pub delta: f64,
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two bench files.
+pub struct DiffReport {
+    /// Strategies present in both files, in old-file order.
+    pub rows: Vec<DiffRow>,
+    /// Strategies only in the old file (removed/renamed — unjudged).
+    pub only_old: Vec<String>,
+    /// Strategies only in the new file (added/renamed — unjudged).
+    pub only_new: Vec<String>,
+}
+
+/// Compares two parsed `BENCH_eval.json` documents. A strategy regresses
+/// when its `ns_per_query` grew by more than `threshold` (e.g. `0.15`).
+/// Strategies present in only one file are reported in
+/// [`DiffReport::only_old`] / [`DiffReport::only_new`] so a rename can
+/// never silently drop a strategy out of the gate, but they never fail
+/// the diff by themselves (workloads evolve).
+pub fn diff_benches(old: &Json, new: &Json, threshold: f64) -> Result<DiffReport, String> {
+    let eval_of = |j: &Json, which: &str| -> Result<Vec<(String, f64)>, String> {
+        j.get("eval")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{which}: no `eval` array"))?
+            .iter()
+            .map(|row| {
+                let strategy = row
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{which}: eval row without `strategy`"))?
+                    .to_string();
+                let ns = row
+                    .get("ns_per_query")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("{which}: eval row without `ns_per_query`"))?;
+                Ok((strategy, ns))
+            })
+            .collect()
+    };
+    let old_rows = eval_of(old, "old")?;
+    let new_rows = eval_of(new, "new")?;
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for (strategy, old_ns) in old_rows {
+        let Some(&(_, new_ns)) = new_rows.iter().find(|(s, _)| *s == strategy) else {
+            only_old.push(strategy);
+            continue;
+        };
+        let delta = if old_ns > 0.0 {
+            (new_ns - old_ns) / old_ns
+        } else {
+            0.0
+        };
+        rows.push(DiffRow {
+            regressed: delta > threshold,
+            strategy,
+            old_ns,
+            new_ns,
+            delta,
+        });
+    }
+    let only_new: Vec<String> = new_rows
+        .into_iter()
+        .map(|(s, _)| s)
+        .filter(|s| !rows.iter().any(|r| r.strategy == *s))
+        .collect();
+    if rows.is_empty() {
+        return Err("no strategy appears in both files".to_string());
+    }
+    Ok(DiffReport {
+        rows,
+        only_old,
+        only_new,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_json() {
+        let v = parse_json(r#"{"a": [1, -2.5, "x\n\"y\""], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Num(-2.5));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Str("x\n\"y\"".to_string())
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    fn bench_json(opt_ns: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"eval": [
+                {{"strategy": "opt", "ns_per_query": {opt_ns}}},
+                {{"strategy": "naive", "ns_per_query": 100000}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_flags_only_real_regressions() {
+        let old = bench_json(1000.0);
+        let within = diff_benches(&old, &bench_json(1100.0), 0.15).unwrap();
+        assert!(within.rows.iter().all(|r| !r.regressed));
+        let beyond = diff_benches(&old, &bench_json(1200.0), 0.15).unwrap();
+        let row = beyond.rows.iter().find(|r| r.strategy == "opt").unwrap();
+        assert!(row.regressed);
+        assert!((row.delta - 0.2).abs() < 1e-9);
+        // Improvements never fail.
+        let faster = diff_benches(&old, &bench_json(500.0), 0.15).unwrap();
+        assert!(faster.rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn renamed_strategies_are_surfaced_not_silently_skipped() {
+        let old = bench_json(1000.0);
+        let renamed = parse_json(
+            r#"{"eval": [
+                {"strategy": "optimized", "ns_per_query": 9999999},
+                {"strategy": "naive", "ns_per_query": 100000}
+            ]}"#,
+        )
+        .unwrap();
+        let report = diff_benches(&old, &renamed, 0.15).unwrap();
+        assert_eq!(report.only_old, vec!["opt".to_string()]);
+        assert_eq!(report.only_new, vec!["optimized".to_string()]);
+        assert_eq!(report.rows.len(), 1, "only `naive` is judged");
+        // With zero overlap the diff refuses instead of passing vacuously.
+        let disjoint = parse_json(r#"{"eval": [{"strategy": "x", "ns_per_query": 1}]}"#).unwrap();
+        assert!(diff_benches(&old, &disjoint, 0.15).is_err());
+    }
+}

@@ -22,13 +22,16 @@ use xwq::index::TopologyKind;
 use xwq::store::{DocumentStore, QueryRequest, Session};
 use xwq::xml::{Document, NodeId, NONE};
 
+mod benchdiff;
+
 const USAGE: &str = "\
 usage:
-  xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]
+  xwq index <file.xml> -o <file.xwqi> [--topology array|succinct] [--mmap]
   xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
-  xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <n>]
-            [--out <file.json>]
+  xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
+            [--out <file.json>] [--mmap]
+  xwq bench-diff <old.json> <new.json> [--threshold <pct>]
   xwq '<xpath>' <file.xml> [options]
   xwq --help | --version
 
@@ -37,17 +40,23 @@ options:
   --count        print only the number of selected nodes
   --stats        print traversal / cache statistics to stderr
   --text         include each node's text content
+  --mmap         serve from a memory-mapped .xwqi (zero-copy load; with
+                 `index` it verifies the written file by mapping it back)
   --repeat <n>   (batch) run the workload n times, exercising the cache [1]
   --threads <n>  (batch) worker threads for the batch [machine cores]
+                 (bench) comma-separated list of thread counts to measure,
+                 e.g. `--threads 1,2,8` [derived from available cores]
 
 subcommands:
-  index   parse + index an XML file once, persist it as a .xwqi artifact
-  query   evaluate one XPath query against an .xwqi index or an XML file
-  batch   evaluate a file of queries (one per line, # comments) via a
-          Session with a compiled-query LRU cache
-  bench   run the fixed XMark query suite under every strategy and write
-          machine-readable results (ns/query, nodes/sec, cache hit rates,
-          batch scaling) to BENCH_eval.json";
+  index       parse + index an XML file once, persist it as a .xwqi artifact
+  query       evaluate one XPath query against an .xwqi index or an XML file
+  batch       evaluate a file of queries (one per line, # comments) via a
+              Session with a compiled-query LRU cache
+  bench       run the fixed XMark query suite under every strategy and write
+              machine-readable results (ns/query, nodes/sec, cache hit rates,
+              batch scaling vs a measured serial baseline) to BENCH_eval.json
+  bench-diff  compare two BENCH_eval.json runs; exit non-zero when any
+              strategy's ns/query regressed by more than the threshold [15%]";
 
 fn usage_error(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -68,6 +77,7 @@ struct CommonFlags {
     count_only: bool,
     show_stats: bool,
     show_text: bool,
+    mmap: bool,
     repeat: usize,
     threads: Option<usize>,
 }
@@ -79,6 +89,7 @@ impl CommonFlags {
             count_only: false,
             show_stats: false,
             show_text: false,
+            mmap: false,
             repeat: 1,
             threads: None,
         }
@@ -105,6 +116,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         // Legacy one-shot form: xwq '<xpath>' <file.xml> [options].
         Some(_) => cmd_query(&args),
     }
@@ -115,6 +127,7 @@ fn cmd_index(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut out: Option<&str> = None;
     let mut topology = TopologyKind::Array;
+    let mut verify_mmap = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -125,6 +138,7 @@ fn cmd_index(args: &[String]) -> ExitCode {
                     None => return usage_error("-o needs a path"),
                 }
             }
+            "--mmap" => verify_mmap = true,
             "--topology" => {
                 i += 1;
                 topology = match args.get(i).map(String::as_str) {
@@ -163,6 +177,19 @@ fn cmd_index(args: &[String]) -> ExitCode {
                 topology,
                 out
             );
+            if verify_mmap {
+                // Map the written artifact straight back: one zero-copy
+                // validation pass proving the file serves as-is.
+                match xwq::store::read_index_file_mmap(out) {
+                    Ok((vdoc, vix)) => {
+                        if vdoc.len() != doc.len() || vix.len() != index.len() {
+                            return fail(format!("{out}: mmap verify read a different index"));
+                        }
+                        eprintln!("# mmap verify ok ({} nodes)", vdoc.len());
+                    }
+                    Err(e) => return fail(format!("{out}: mmap verify failed: {e}")),
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => fail(e),
@@ -201,17 +228,29 @@ fn cmd_query(args: &[String]) -> ExitCode {
     }
 
     let (query, doc, engine) = match (index_path, &positional[..]) {
-        (Some(path), [q]) => match xwq::store::read_index_file(path) {
-            Ok((doc, index)) => (*q, doc, Engine::from_index(index)),
-            Err(e) => return fail(format!("{path}: {e}")),
-        },
-        (None, [q, file]) => match load_xml(file) {
-            Ok(doc) => {
-                let engine = Engine::build(&doc);
-                (*q, doc, engine)
+        (Some(path), [q]) => {
+            let loaded = if flags.mmap {
+                xwq::store::read_index_file_mmap(path)
+            } else {
+                xwq::store::read_index_file(path)
+            };
+            match loaded {
+                Ok((doc, index)) => (*q, doc, Engine::from_index(index)),
+                Err(e) => return fail(format!("{path}: {e}")),
             }
-            Err(code) => return code,
-        },
+        }
+        (None, [q, file]) => {
+            if flags.mmap {
+                return usage_error("--mmap needs --index <file.xwqi> (XML is always parsed)");
+            }
+            match load_xml(file) {
+                Ok(doc) => {
+                    let engine = Engine::build(&doc);
+                    (*q, doc, engine)
+                }
+                Err(code) => return code,
+            }
+        }
         _ => return usage_error("query needs '<xpath>' plus --index <file.xwqi> or <file.xml>"),
     };
 
@@ -310,14 +349,26 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 
     let store = DocumentStore::new();
     let doc_name = match (index_path, xml_path) {
-        (Some(path), None) => match store.load_index_file("doc", path) {
-            Ok(_) => "doc",
-            Err(e) => return fail(format!("{path}: {e}")),
-        },
-        (None, Some(path)) => match store.load_xml_file("doc", path, TopologyKind::Array) {
-            Ok(_) => "doc",
-            Err(e) => return fail(format!("{path}: {e}")),
-        },
+        (Some(path), None) => {
+            let loaded = if flags.mmap {
+                store.open_mmap("doc", path)
+            } else {
+                store.load_index_file("doc", path)
+            };
+            match loaded {
+                Ok(_) => "doc",
+                Err(e) => return fail(format!("{path}: {e}")),
+            }
+        }
+        (None, Some(path)) => {
+            if flags.mmap {
+                return usage_error("--mmap needs --index (XML is always parsed)");
+            }
+            match store.load_xml_file("doc", path, TopologyKind::Array) {
+                Ok(_) => "doc",
+                Err(e) => return fail(format!("{path}: {e}")),
+            }
+        }
         _ => return usage_error("batch needs exactly one of --index or --xml"),
     };
 
@@ -409,9 +460,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut factor = 0.1f64;
     let mut seed = 42u64;
     let mut repeats = 5usize;
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let mut thread_list: Option<Vec<usize>> = None;
+    let mut use_mmap = false;
     let mut out_path = String::from("BENCH_eval.json");
     let mut i = 0;
     while i < args.len() {
@@ -428,7 +478,26 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             "--factor" => factor = value!("--factor"),
             "--seed" => seed = value!("--seed"),
             "--repeats" => repeats = value!("--repeats"),
-            "--threads" => threads = value!("--threads"),
+            "--threads" => {
+                i += 1;
+                let parsed: Option<Vec<usize>> = args.get(i).map(|v| {
+                    v.split(',')
+                        .map(|t| t.trim().parse::<usize>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .unwrap_or_default()
+                });
+                match parsed {
+                    Some(list) if !list.is_empty() && list.iter().all(|&t| t > 0) => {
+                        thread_list = Some(list)
+                    }
+                    _ => {
+                        return usage_error(
+                            "--threads needs a comma-separated list of positive integers",
+                        )
+                    }
+                }
+            }
+            "--mmap" => use_mmap = true,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -441,12 +510,62 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         i += 1;
     }
     let repeats = repeats.max(1);
+    // The batch thread counts to measure: an explicit list wins; otherwise
+    // derive from the machine — powers of two up to the core count, the
+    // core count itself, and one oversubscribed point so single-core boxes
+    // still show a real (measured) comparison instead of a lone
+    // `threads: 1` row.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = match thread_list {
+        Some(list) => list,
+        None => {
+            let mut counts: Vec<usize> =
+                std::iter::successors(Some(1usize), |t| t.checked_mul(2).filter(|&t| t <= cores))
+                    .collect();
+            counts.push(cores);
+            counts.push(cores * 2);
+            counts.sort_unstable();
+            counts.dedup();
+            counts
+        }
+    };
 
     eprintln!("# generating XMark factor {factor} (seed {seed})…");
     let doc = xwq::xmark::generate(xwq::xmark::GenOptions { factor, seed });
     let n_nodes = doc.len();
-    let engine = Engine::build(&doc);
-    eprintln!("# {n_nodes} nodes, {} labels", doc.alphabet().len());
+    let n_labels = doc.alphabet().len();
+    // The serving store: built in memory, or round-tripped through a
+    // `.xwqi` file and memory-mapped so every evaluation below runs
+    // directly against the mapped pages.
+    let store = DocumentStore::new();
+    let mut mmap_tmp: Option<std::path::PathBuf> = None;
+    let stored = if use_mmap {
+        let index = xwq::index::TreeIndex::build(&doc);
+        let tmp = std::env::temp_dir().join(format!("xwq-bench-{}.xwqi", std::process::id()));
+        if let Err(e) = xwq::store::write_index_file(&tmp, &doc, &index) {
+            return fail(format!("{}: {e}", tmp.display()));
+        }
+        drop((doc, index));
+        match store.open_mmap("bench", &tmp) {
+            Ok(s) => {
+                mmap_tmp = Some(tmp);
+                s
+            }
+            Err(e) => return fail(format!("{}: {e}", tmp.display())),
+        }
+    } else {
+        match store.insert("bench", doc, TopologyKind::Array) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        }
+    };
+    let engine = stored.engine();
+    eprintln!(
+        "# {n_nodes} nodes, {n_labels} labels{}",
+        if use_mmap { " (mmap-served)" } else { "" }
+    );
 
     // The compilable subset of the fixed suite.
     let suite: Vec<(usize, &'static str, xwq::core::CompiledQuery)> = xwq::xmark::queries()
@@ -458,7 +577,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"workload\": {{\"suite\": \"xmark-fig2\", \"factor\": {factor}, \"seed\": {seed}, \"nodes\": {n_nodes}, \"queries\": {}, \"repeats\": {repeats}}},\n",
+        "  \"workload\": {{\"suite\": \"xmark-fig2\", \"factor\": {factor}, \"seed\": {seed}, \"nodes\": {n_nodes}, \"queries\": {}, \"repeats\": {repeats}, \"mmap\": {use_mmap}}},\n",
         suite.len()
     ));
 
@@ -522,25 +641,16 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     json.push_str("\n  ],\n");
 
     // Serving layer: compiled-query cache hit rate and batch scaling.
-    let store = DocumentStore::new();
-    if let Err(e) = store.insert("bench", doc, TopologyKind::Array) {
-        return fail(e);
-    }
     let session = Session::new(Arc::new(store));
     let requests: Vec<QueryRequest> = suite
         .iter()
         .map(|(_, q, _)| QueryRequest::new("bench", *q))
         .collect();
-    // Warm the compiled-query cache, then measure per thread count.
+    // Warm the compiled-query cache, then measure the serial baseline as
+    // its own run — every speedup below is relative to this *measured*
+    // number, never a definitionally-1.00 self-comparison.
     let _ = session.query_many_with_threads(&requests, 1);
-    json.push_str("  \"batch\": [\n");
-    let mut serial_ns = 0f64;
-    let mut thread_counts: Vec<usize> = vec![1, 2, 4];
-    if !thread_counts.contains(&threads) {
-        thread_counts.push(threads);
-    }
-    thread_counts.retain(|&t| t <= threads.max(1));
-    for (bi, &t) in thread_counts.iter().enumerate() {
+    let measure = |t: usize| {
         let mut best = f64::INFINITY;
         for _ in 0..repeats {
             let t0 = std::time::Instant::now();
@@ -551,9 +661,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 best = dt;
             }
         }
-        if t == 1 {
-            serial_ns = best;
-        }
+        best
+    };
+    let serial_ns = measure(1);
+    eprintln!("# query_many serial baseline {serial_ns:>12.0} ns/batch");
+    json.push_str(&format!("  \"batch_serial_ns\": {serial_ns:.0},\n"));
+    json.push_str("  \"batch\": [\n");
+    for (bi, &t) in thread_counts.iter().enumerate() {
+        let best = measure(t);
         let speedup = if best > 0.0 { serial_ns / best } else { 0.0 };
         if bi > 0 {
             json.push_str(",\n");
@@ -580,12 +695,88 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         cache.hits, cache.misses
     ));
 
+    // Unlinking while mapped is fine on unix: the session's pages stay
+    // valid until the last Arc into the mapping drops.
+    if let Some(tmp) = mmap_tmp {
+        std::fs::remove_file(tmp).ok();
+    }
     match std::fs::write(&out_path, &json) {
         Ok(()) => {
             eprintln!("# wrote {out_path}");
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("cannot write {out_path}: {e}")),
+    }
+}
+
+/// `xwq bench-diff <old.json> <new.json> [--threshold <pct>]`
+///
+/// Exits non-zero when any strategy's `ns_per_query` in `new` regressed by
+/// more than the threshold (percent, default 15) against `old` — the CI
+/// gate that closes the perf-regression loop on `BENCH_eval.json`.
+fn cmd_bench_diff(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut threshold_pct = 15.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) if v >= 0.0 => threshold_pct = v,
+                    _ => return usage_error("--threshold needs a non-negative percentage"),
+                }
+            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = positional[..] else {
+        return usage_error("bench-diff needs exactly two BENCH_eval.json paths");
+    };
+    let load = |path: &str| -> Result<benchdiff::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        benchdiff::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let report = match benchdiff::diff_benches(&old, &new, threshold_pct / 100.0) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let mut regressed = false;
+    for r in &report.rows {
+        let marker = if r.regressed {
+            regressed = true;
+            "REGRESSED"
+        } else if r.delta < 0.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<10} {:>12.0} -> {:>12.0} ns/query  {:>+7.1}%  {}",
+            r.strategy,
+            r.old_ns,
+            r.new_ns,
+            r.delta * 100.0,
+            marker
+        );
+    }
+    for s in &report.only_old {
+        println!("{s:<10} only in {old_path} — not judged (removed or renamed?)");
+    }
+    for s in &report.only_new {
+        println!("{s:<10} only in {new_path} — not judged (added or renamed?)");
+    }
+    if regressed {
+        eprintln!("xwq: bench-diff: regression beyond {threshold_pct}% threshold");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -655,6 +846,10 @@ fn parse_common_flag<'a>(
             flags.count_only = true;
             FlagParse::Consumed
         }
+        "--mmap" => {
+            flags.mmap = true;
+            FlagParse::Consumed
+        }
         "--stats" => {
             flags.show_stats = true;
             FlagParse::Consumed
@@ -671,9 +866,11 @@ fn parse_common_flag<'a>(
 }
 
 fn load_xml(path: &str) -> Result<Document, ExitCode> {
-    let xml =
-        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
-    xwq::xml::parse(&xml).map_err(|e| fail(format!("{path}: {e}")))
+    // Raw bytes + the strict byte parser: invalid UTF-8 is reported as a
+    // parse error at its offset, not an opaque I/O failure (and never a
+    // silent U+FFFD substitution).
+    let xml = std::fs::read(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    xwq::xml::parse_bytes(&xml).map_err(|e| fail(format!("{path}: {e}")))
 }
 
 /// `/site/regions[1]/item[3]`-style path (1-based positions among
