@@ -21,6 +21,7 @@ const DENSE_SET_CAP: usize = 1 << 12;
 
 /// A `(SetId, LabelId) → V` cache with a direct-indexed dense region for
 /// low set ids and a hash spill for the rest.
+#[derive(Debug)]
 pub(crate) struct SetLabelCache<V> {
     sigma: usize,
     /// Set ids below this are direct-indexed.

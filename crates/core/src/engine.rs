@@ -1,14 +1,16 @@
 //! The public engine API.
 
 use crate::compile::{compile_path_indexed, CompileError};
-use crate::eval::{EvalOptions, EvalScratch, EvalStats, Evaluator};
-use crate::hybrid::try_hybrid;
-use crate::Asta;
+use crate::eval::{EvalMemo, EvalScratch, EvalStats, Evaluator};
+use crate::plan::{Plan, PlanKind};
+use crate::{exec, planner, Asta};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 use xwq_index::{Document, NodeId, TopologyKind, TreeIndex};
 use xwq_xpath::{parse_xpath, rewrite_forward, Path, XPathError};
 
-/// Evaluation strategies (the series of Fig. 4, plus hybrid).
+/// Evaluation strategies (the series of Fig. 4, plus hybrid, plus the
+/// cost-based planner).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Algorithm 4.1 verbatim ("Naive Eval.").
@@ -24,24 +26,31 @@ pub enum Strategy {
     /// Start-anywhere evaluation (§4.4); falls back to [`Self::Optimized`]
     /// for query shapes it does not cover.
     Hybrid,
+    /// Cost-based planning: per query, the planner composes the spine
+    /// pipeline (LabelJump / UpwardMatch / PredicateProbe / SpineDescend /
+    /// Intersect) or a full automaton run from the index's label
+    /// statistics (see [`crate::planner`]). The chosen plan is cached on
+    /// the [`CompiledQuery`].
+    Auto,
 }
 
 impl Default for Strategy {
-    /// [`Strategy::Optimized`] — the paper's headline configuration.
+    /// [`Strategy::Auto`] — let the planner choose per query.
     fn default() -> Self {
-        Strategy::Optimized
+        Strategy::Auto
     }
 }
 
 impl Strategy {
-    /// All automaton-based strategies, in Fig. 4 order.
-    pub const ALL: [Strategy; 6] = [
+    /// All strategies, in Fig. 4 order (then hybrid, then auto).
+    pub const ALL: [Strategy; 7] = [
         Strategy::Naive,
         Strategy::Pruning,
         Strategy::Jumping,
         Strategy::Memoized,
         Strategy::Optimized,
         Strategy::Hybrid,
+        Strategy::Auto,
     ];
 
     /// Display name matching the paper's figure legends.
@@ -53,6 +62,7 @@ impl Strategy {
             Strategy::Memoized => "Memo. Eval.",
             Strategy::Optimized => "Opt. Eval.",
             Strategy::Hybrid => "Hybrid Eval.",
+            Strategy::Auto => "Auto (planned) Eval.",
         }
     }
 
@@ -66,6 +76,20 @@ impl Strategy {
             Strategy::Memoized => "memo",
             Strategy::Optimized => "opt",
             Strategy::Hybrid => "hybrid",
+            Strategy::Auto => "auto",
+        }
+    }
+
+    /// Dense index (for per-strategy caches).
+    fn idx(self) -> usize {
+        match self {
+            Strategy::Naive => 0,
+            Strategy::Pruning => 1,
+            Strategy::Jumping => 2,
+            Strategy::Memoized => 3,
+            Strategy::Optimized => 4,
+            Strategy::Hybrid => 5,
+            Strategy::Auto => 6,
         }
     }
 }
@@ -78,7 +102,7 @@ impl fmt::Display for ParseStrategyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown strategy {:?} (expected naive|pruning|jumping|memo|opt|hybrid)",
+            "unknown strategy {:?} (expected naive|pruning|jumping|memo|opt|hybrid|auto)",
             self.0
         )
     }
@@ -99,6 +123,7 @@ impl std::str::FromStr for Strategy {
             "memo" | "memoized" => Ok(Strategy::Memoized),
             "opt" | "optimized" => Ok(Strategy::Optimized),
             "hybrid" => Ok(Strategy::Hybrid),
+            "auto" => Ok(Strategy::Auto),
             _ => Err(ParseStrategyError(s.to_string())),
         }
     }
@@ -124,13 +149,88 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// A parsed and compiled query, reusable across runs.
-#[derive(Clone, Debug)]
+/// A parsed and compiled query, reusable across runs. Besides the parsed
+/// path and the automaton it carries two caches keyed by the document it
+/// was compiled against: the per-strategy physical [`Plan`]s, and a pool
+/// of [`EvalMemo`] tables reused across automaton runs (both tagged with
+/// [`TreeIndex::identity`], so running the query against a different
+/// document of the same alphabet silently skips the caches instead of
+/// serving wrong answers).
+#[derive(Debug)]
 pub struct CompiledQuery {
     /// The parsed path.
     pub path: Path,
     /// The ASTA compiled against the engine's alphabet.
     pub asta: Asta,
+    cache: QueryCache,
+}
+
+impl Clone for CompiledQuery {
+    /// Clones the query itself; the plan/memo caches start empty (they
+    /// refill on first run).
+    fn clone(&self) -> Self {
+        Self {
+            path: self.path.clone(),
+            asta: self.asta.clone(),
+            cache: QueryCache::default(),
+        }
+    }
+}
+
+impl CompiledQuery {
+    /// Wraps a compiled automaton (used by [`Engine::compile`]).
+    pub(crate) fn new(path: Path, asta: Asta) -> Self {
+        Self {
+            path,
+            asta,
+            cache: QueryCache::default(),
+        }
+    }
+}
+
+/// At most this many [`EvalMemo`]s are pooled per compiled query — enough
+/// for a couple of threads running the same query concurrently without
+/// letting a wide pool hold document-sized tables forever. Kept small
+/// deliberately: a serving layer caching many compiled queries holds up
+/// to `cache entries × this × O(visited document)` of memo state, so the
+/// cap — not the cache — bounds the per-query memory amplification
+/// (threads beyond it simply build and drop a fresh memo).
+const MEMO_POOL_CAP: usize = 2;
+
+/// The per-`(document, query)` caches living inside a [`CompiledQuery`].
+#[derive(Debug, Default)]
+struct QueryCache {
+    /// One plan slot per strategy, tagged with the document identity.
+    plans: [OnceLock<(u64, Arc<Plan>)>; 7],
+    /// Pooled automaton memo tables, tagged with the document identity.
+    pool: Mutex<Vec<(u64, EvalMemo)>>,
+}
+
+impl QueryCache {
+    fn take_memo(&self, identity: u64, asta: &Asta) -> EvalMemo {
+        let mut pool = self.pool.lock().expect("memo pool poisoned");
+        if let Some(i) = pool.iter().position(|(tag, _)| *tag == identity) {
+            return pool.swap_remove(i).1;
+        }
+        drop(pool);
+        EvalMemo::new(asta)
+    }
+
+    fn put_memo(&self, identity: u64, memo: EvalMemo) {
+        let mut pool = self.pool.lock().expect("memo pool poisoned");
+        if pool.len() >= MEMO_POOL_CAP {
+            // Prefer evicting a memo for some *other* document, so a
+            // query served against several documents in turn keeps warm
+            // tables for the current one instead of pinning dead ones.
+            match pool.iter().position(|(tag, _)| *tag != identity) {
+                Some(i) => {
+                    pool.swap_remove(i);
+                }
+                None => return, // full of same-document memos: drop this one
+            }
+        }
+        pool.push((identity, memo));
+    }
 }
 
 /// The outcome of one evaluation.
@@ -185,7 +285,26 @@ impl Engine {
         let path =
             rewrite_forward(&parsed).ok_or(QueryError::Compile(CompileError::BackwardAxis))?;
         let asta = compile_path_indexed(&path, &self.ix).map_err(QueryError::Compile)?;
-        Ok(CompiledQuery { path, asta })
+        Ok(CompiledQuery::new(path, asta))
+    }
+
+    /// The physical plan `strategy` uses for `q` on this document, cached
+    /// on the compiled query. The five automaton strategies and `hybrid`
+    /// are fixed templates; [`Strategy::Auto`] is the cost-based choice.
+    pub fn plan(&self, q: &CompiledQuery, strategy: Strategy) -> Arc<Plan> {
+        let identity = self.ix.identity();
+        let slot = &q.cache.plans[strategy.idx()];
+        if let Some((tag, plan)) = slot.get() {
+            if *tag == identity {
+                return Arc::clone(plan);
+            }
+            // Compiled against one document, run against another: plan
+            // fresh without caching (the slot stays owned by the first).
+            return Arc::new(planner::plan_strategy(strategy, &q.path, &self.ix));
+        }
+        let plan = Arc::new(planner::plan_strategy(strategy, &q.path, &self.ix));
+        let _ = slot.set((identity, Arc::clone(&plan)));
+        plan
     }
 
     /// Evaluates a compiled query under a strategy.
@@ -203,37 +322,52 @@ impl Engine {
         strategy: Strategy,
         scratch: &mut EvalScratch,
     ) -> QueryOutput {
-        let sigma = self.ix.alphabet().len();
-        let opts = match strategy {
-            Strategy::Naive => EvalOptions::naive(),
-            Strategy::Pruning => EvalOptions::pruning(),
-            Strategy::Jumping => EvalOptions::jumping(sigma),
-            Strategy::Memoized => EvalOptions::memoized(),
-            Strategy::Optimized => EvalOptions::optimized(sigma),
-            Strategy::Hybrid => {
-                if let Some((nodes, stats)) = try_hybrid(&q.path, &self.ix) {
-                    return QueryOutput {
-                        nodes,
-                        stats,
-                        hybrid_fallback: false,
-                    };
+        let plan = self.plan(q, strategy);
+        self.run_plan(q, &plan, strategy, scratch)
+    }
+
+    /// Executes a plan obtained from [`Self::plan`] for the same query.
+    pub fn run_plan(
+        &self,
+        q: &CompiledQuery,
+        plan: &Plan,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+    ) -> QueryOutput {
+        match &plan.kind {
+            PlanKind::Empty => QueryOutput {
+                nodes: Vec::new(),
+                stats: EvalStats::default(),
+                hybrid_fallback: false,
+            },
+            PlanKind::Spine(sp) => {
+                let (nodes, stats) = exec::run_spine(sp, &self.ix, scratch);
+                QueryOutput {
+                    nodes,
+                    stats,
+                    hybrid_fallback: false,
                 }
-                EvalOptions::optimized(sigma)
             }
-        };
-        let mut ev = Evaluator::new(&q.asta, &self.ix, opts);
-        let nodes = ev.run_with_scratch(scratch);
-        QueryOutput {
-            nodes,
-            stats: ev.stats,
-            hybrid_fallback: strategy == Strategy::Hybrid,
+            PlanKind::Automaton(opts) => {
+                let identity = self.ix.identity();
+                let memo = q.cache.take_memo(identity, &q.asta);
+                let mut ev = Evaluator::with_memo(&q.asta, &self.ix, *opts, memo);
+                let nodes = ev.run_with_scratch(scratch);
+                let stats = ev.stats;
+                q.cache.put_memo(identity, ev.into_memo());
+                QueryOutput {
+                    nodes,
+                    stats,
+                    hybrid_fallback: strategy == Strategy::Hybrid,
+                }
+            }
         }
     }
 
-    /// One-shot convenience: compile and run with [`Strategy::Optimized`].
+    /// One-shot convenience: compile and run with the default strategy.
     pub fn query(&self, query: &str) -> Result<Vec<NodeId>, QueryError> {
         let q = self.compile(query)?;
-        Ok(self.run(&q, Strategy::Optimized).nodes)
+        Ok(self.run(&q, Strategy::default()).nodes)
     }
 }
 

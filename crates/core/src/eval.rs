@@ -24,7 +24,7 @@ use crate::cache::SetLabelCache;
 use crate::results::{NodeList, ResultSet};
 use crate::sets::{SetId, SetInterner};
 use crate::tda::{SkipKind, Tda, TransEval};
-use std::rc::Rc;
+use std::sync::Arc;
 use xwq_index::{FxHashMap, LabelId, NodeId, TreeIndex, NONE};
 
 /// Evaluation strategy knobs; see module docs.
@@ -111,9 +111,10 @@ pub struct EvalStats {
     pub memo_entries: u64,
     /// Memo hits.
     pub memo_hits: u64,
-    /// Memo lookups that had to compute (each unique key computes once, so
-    /// this equals [`Self::memo_entries`] at the end of a run; kept as its
-    /// own counter so hit rates read directly as `hits / (hits + misses)`).
+    /// Memo lookups that had to compute *during this run*. On a cold run
+    /// this equals [`Self::memo_entries`]; when memo tables are pooled per
+    /// `(document, query)` (see [`crate::Engine::run_with_scratch`]) a
+    /// warm run reports few misses against a large table.
     pub memo_misses: u64,
     /// Number of selected nodes.
     pub selected: u64,
@@ -134,16 +135,63 @@ impl EvalStats {
 /// Reusable evaluation allocations. A serving thread keeps one of these
 /// and passes it to every run ([`crate::Engine::run_with_scratch`]): the
 /// visited-node bitset is document-sized, so reusing it turns a per-query
-/// allocation into a `memset`.
+/// allocation into a `memset`; the spine executor's memo tables and
+/// candidate buffers keep their capacity the same way.
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     pub(crate) visited: StateBits,
+    pub(crate) spine: crate::exec::SpineScratch,
 }
 
 impl EvalScratch {
     /// An empty scratch (grows to document size on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// The memo state of one evaluation, split from the per-run [`Evaluator`]
+/// so it can be pooled per `(document, query)` across runs (the ROADMAP
+/// "eval scratch for memo tables" item): every table is a pure function of
+/// the `(automaton, index)` pair, so a cache-warm repeated query reuses
+/// interned sets, transition/recipe/residual memos and existential
+/// answers instead of rebuilding them. `Send` (all `Arc`-shared), so the
+/// pool can live in an `Arc<CompiledQuery>` served from many threads.
+#[derive(Debug)]
+pub struct EvalMemo {
+    tda: Tda,
+    /// Formula-evaluation memo, `(set, label)` dense-indexed; each slot
+    /// holds the `(dom1, dom2)`-keyed recipes for that pair (few per slot,
+    /// scanned linearly — cheaper than hashing a 4-tuple per node).
+    recipe_memo: SetLabelCache<Vec<(u64, Arc<Recipe>)>>,
+    recipe_entries: usize,
+    /// Information-propagation memo, same two-tier layout, `dom2`-keyed
+    /// within the slot.
+    residual_memo: SetLabelCache<Vec<(SetId, Arc<Residual>)>>,
+    residual_entries: usize,
+    /// Per-set split into component subsets (empty vec = single component).
+    split_memo: FxHashMap<SetId, Arc<Vec<SetId>>>,
+    /// Existential evaluation memo: is state `q` accepted at node `v`?
+    exists_memo: FxHashMap<(StateId, NodeId), bool>,
+    carrier: StateBits,
+    /// Per-state downward closures (see [`Asta::state_closures`]).
+    closures: Vec<StateBits>,
+}
+
+impl EvalMemo {
+    /// Fresh memo state for one automaton.
+    pub fn new(asta: &Asta) -> Self {
+        Self {
+            tda: Tda::new(asta),
+            recipe_memo: SetLabelCache::new(asta.alphabet_size),
+            recipe_entries: 0,
+            residual_memo: SetLabelCache::new(asta.alphabet_size),
+            residual_entries: 0,
+            split_memo: FxHashMap::default(),
+            exists_memo: FxHashMap::default(),
+            carrier: asta.carrier_bits(),
+            closures: asta.state_closures(),
+        }
     }
 }
 
@@ -156,23 +204,9 @@ pub struct Evaluator<'a> {
     asta: &'a Asta,
     ix: &'a TreeIndex,
     opts: EvalOptions,
-    tda: Tda<'a>,
-    /// Formula-evaluation memo, `(set, label)` dense-indexed; each slot
-    /// holds the `(dom1, dom2)`-keyed recipes for that pair (few per slot,
-    /// scanned linearly — cheaper than hashing a 4-tuple per node).
-    recipe_memo: SetLabelCache<Vec<(u64, Rc<Recipe>)>>,
-    recipe_entries: usize,
-    /// Information-propagation memo, same two-tier layout, `dom2`-keyed
-    /// within the slot.
-    residual_memo: SetLabelCache<Vec<(SetId, Rc<Residual>)>>,
-    residual_entries: usize,
-    carrier: StateBits,
-    /// Per-state downward closures (see [`Asta::state_closures`]).
-    closures: Vec<StateBits>,
-    /// Per-set split into component subsets (empty vec = single component).
-    split_memo: FxHashMap<SetId, Rc<Vec<SetId>>>,
-    /// Existential evaluation memo: is state `q` accepted at node `v`?
-    exists_memo: FxHashMap<(StateId, NodeId), bool>,
+    /// The memo tables — fresh, or pooled across runs of the same
+    /// `(document, query)` pair (see [`EvalMemo`]).
+    m: EvalMemo,
     /// Distinct nodes visited so far (the paper's Fig. 3 counts nodes, and
     /// independent components may touch the same node). A dense bitset over
     /// preorder ids; swapped in from an [`EvalScratch`] when serving.
@@ -188,10 +222,12 @@ type Residual = (Vec<u32>, SetId);
 
 /// A memoized formula-evaluation outcome: which states fire, whether they
 /// select, and which child entries their lists concatenate.
+#[derive(Debug)]
 struct Recipe {
     rows: Vec<RecipeRow>,
 }
 
+#[derive(Debug)]
 struct RecipeRow {
     q: StateId,
     selecting: bool,
@@ -203,28 +239,26 @@ struct RecipeRow {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator for one automaton over one index.
+    /// Creates an evaluator for one automaton over one index with fresh
+    /// memo tables.
     pub fn new(asta: &'a Asta, ix: &'a TreeIndex, opts: EvalOptions) -> Self {
+        Self::with_memo(asta, ix, opts, EvalMemo::new(asta))
+    }
+
+    /// Creates an evaluator reusing pooled memo tables. `memo` must have
+    /// been produced by [`Self::into_memo`] for exactly this `(asta, ix)`
+    /// pair (the tables cache node- and state-keyed answers).
+    pub fn with_memo(asta: &'a Asta, ix: &'a TreeIndex, opts: EvalOptions, memo: EvalMemo) -> Self {
         assert_eq!(
             asta.alphabet_size,
             ix.alphabet().len(),
             "automaton compiled against a different alphabet"
         );
-        let carrier = asta.carrier_bits();
-        let closures = asta.state_closures();
         Self {
             asta,
             ix,
             opts,
-            tda: Tda::new(asta),
-            recipe_memo: SetLabelCache::new(asta.alphabet_size),
-            recipe_entries: 0,
-            residual_memo: SetLabelCache::new(asta.alphabet_size),
-            residual_entries: 0,
-            carrier,
-            closures,
-            split_memo: FxHashMap::default(),
-            exists_memo: FxHashMap::default(),
+            m: memo,
             // Starts empty and grows geometrically with the nodes actually
             // visited; run_with_scratch swaps in a pre-grown bitset, so a
             // warm serving thread pays no per-query allocation here.
@@ -234,10 +268,15 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Releases the memo tables for pooling.
+    pub fn into_memo(self) -> EvalMemo {
+        self.m
+    }
+
     /// Runs the automaton; returns the selected nodes in document order
     /// (duplicate-free) and fills [`Self::stats`].
     pub fn run(&mut self) -> Vec<NodeId> {
-        let top = self.tda.top_set();
+        let top = self.m.tda.top_set(self.asta);
         let gamma = self.eval_entry(self.ix.root(), top);
         let mut list = NodeList::empty();
         for &q in self.asta.top.iter() {
@@ -248,8 +287,7 @@ impl<'a> Evaluator<'a> {
         let out = list.to_sorted_set();
         self.stats.selected = out.len() as u64;
         self.stats.memo_entries =
-            (self.tda.trans_memo_len() + self.recipe_entries + self.residual_entries) as u64;
-        self.stats.memo_misses = self.stats.memo_entries;
+            (self.m.tda.trans_memo_len() + self.m.recipe_entries + self.m.residual_entries) as u64;
         out
     }
 
@@ -301,25 +339,26 @@ impl<'a> Evaluator<'a> {
 
     /// True if no state of the set can carry selected nodes.
     fn is_existential(&self, set: SetId) -> bool {
-        self.tda
+        self.m
+            .tda
             .sets
             .get(set)
             .iter()
-            .all(|&q| !self.carrier.contains(q))
+            .all(|&q| !self.m.carrier.contains(q))
     }
 
     /// Splits `set` into groups whose state closures are pairwise disjoint
     /// (cached). Disjoint closures share no sub-computation, so the groups
     /// evaluate independently and exactly.
-    fn split(&mut self, set: SetId) -> Rc<Vec<SetId>> {
-        if let Some(v) = self.split_memo.get(&set) {
+    fn split(&mut self, set: SetId) -> Arc<Vec<SetId>> {
+        if let Some(v) = self.m.split_memo.get(&set) {
             return v.clone();
         }
-        let states = self.tda.sets.get(set).to_vec();
+        let states = self.m.tda.sets.get(set).to_vec();
         // Greedy closure-overlap grouping; |set| is query-sized.
         let mut groups: Vec<(StateBits, Vec<StateId>)> = Vec::new();
         for q in states {
-            let qc = &self.closures[q as usize];
+            let qc = &self.m.closures[q as usize];
             let mut target: Option<usize> = None;
             let mut gi = 0;
             while gi < groups.len() {
@@ -350,10 +389,10 @@ impl<'a> Evaluator<'a> {
         }
         let ids: Vec<SetId> = groups
             .into_iter()
-            .map(|(_, g)| self.tda.sets.intern(g))
+            .map(|(_, g)| self.m.tda.sets.intern(g))
             .collect();
-        let out = Rc::new(ids);
-        self.split_memo.insert(set, out.clone());
+        let out = Arc::new(ids);
+        self.m.split_memo.insert(set, out.clone());
         out
     }
 
@@ -361,7 +400,7 @@ impl<'a> Evaluator<'a> {
     /// with per-witness short-circuiting and memoization.
     fn exists_set(&mut self, w: NodeId, set: SetId) -> ResultSet {
         let mut out = ResultSet::empty();
-        for q in self.tda.sets.get(set).to_vec() {
+        for q in self.m.tda.sets.get(set).to_vec() {
             if self.exists(q, w, 0) {
                 out.add(q, crate::results::NodeList::empty());
             }
@@ -375,21 +414,21 @@ impl<'a> Evaluator<'a> {
         if v == NONE {
             return false;
         }
-        if let Some(&b) = self.exists_memo.get(&(q, v)) {
+        if let Some(&b) = self.m.exists_memo.get(&(q, v)) {
             return b;
         }
         if depth > 800 {
             // Fall back to the iterative evaluator for pathological chains.
-            let set = self.tda.sets.intern(vec![q]);
+            let set = self.m.tda.sets.intern(vec![q]);
             let g = self.eval_chain(v, set);
             let b = g.contains(q);
-            self.exists_memo.insert((q, v), b);
+            self.m.exists_memo.insert((q, v), b);
             return b;
         }
         // Jump like the main evaluator: a state that merely loops at this
         // label moves straight to the next essential node via the index.
-        let singleton = self.tda.sets.intern(vec![q]);
-        let info = self.tda.skip_info(singleton);
+        let singleton = self.m.tda.sets.intern(vec![q]);
+        let info = self.m.tda.skip_info(self.asta, singleton);
         let label = self.ix.label(v);
         if !info.jump.contains(label) {
             let b = match info.kind {
@@ -419,7 +458,7 @@ impl<'a> Evaluator<'a> {
                 }
                 _ => return self.exists_structural(q, v, depth),
             };
-            self.exists_memo.insert((q, v), b);
+            self.m.exists_memo.insert((q, v), b);
             return b;
         }
         self.exists_structural(q, v, depth)
@@ -444,7 +483,7 @@ impl<'a> Evaluator<'a> {
                 break;
             }
         }
-        self.exists_memo.insert((q, v), b);
+        self.m.exists_memo.insert((q, v), b);
         b
     }
 
@@ -479,7 +518,7 @@ impl<'a> Evaluator<'a> {
         struct Item {
             node: NodeId,
             rset: SetId,
-            trans: Rc<TransEval>,
+            trans: Arc<TransEval>,
             extra: Option<ResultSet>,
         }
         let mut items: Vec<Item> = Vec::new();
@@ -492,7 +531,7 @@ impl<'a> Evaluator<'a> {
                 break;
             }
             if self.opts.jumping && rcur != SetInterner::EMPTY && self.depth < DEPTH_LIMIT {
-                let info = self.tda.skip_info(rcur);
+                let info = self.m.tda.skip_info(self.asta, rcur);
                 let at_jump_label = info.jump.contains(self.ix.label(cur));
                 match info.kind {
                     SkipKind::Right if !at_jump_label => {
@@ -531,11 +570,12 @@ impl<'a> Evaluator<'a> {
                             // can add neither truth nor selected nodes — one
                             // witness suffices.
                             let settled = self
+                                .m
                                 .tda
                                 .sets
                                 .get(rcur)
                                 .iter()
-                                .all(|&q| !self.carrier.contains(q) && acc.contains(q));
+                                .all(|&q| !self.m.carrier.contains(q) && acc.contains(q));
                             if settled {
                                 break;
                             }
@@ -568,10 +608,12 @@ impl<'a> Evaluator<'a> {
                 }
             }
             let t = if self.opts.memo {
-                self.tda
-                    .trans(rcur, self.ix.label(cur), &mut self.stats.memo_hits)
+                let label = self.ix.label(cur);
+                let stats = &mut self.stats;
+                self.m.tda.trans(self.asta, rcur, label, stats)
             } else {
-                Rc::new(self.tda.compute_trans(rcur, self.ix.label(cur)))
+                let label = self.ix.label(cur);
+                Arc::new(self.m.tda.compute_trans(self.asta, rcur, label))
             };
             self.mark_visited(cur);
             items.push(Item {
@@ -631,20 +673,26 @@ impl<'a> Evaluator<'a> {
             return SetInterner::EMPTY;
         }
         let dom: Vec<StateId> = g.domain().collect();
-        self.tda.sets.intern_sorted(dom)
+        self.m.tda.sets.intern_sorted(dom)
     }
 
     /// Information propagation: given Γ₂'s domain, drop transitions that are
     /// already false and prune non-carrier `↓1` atoms of transitions that
     /// are already true (§4.4, mirrored — see module docs).
-    fn residual(&mut self, set: SetId, label: LabelId, t: &TransEval, dom2: SetId) -> Rc<Residual> {
-        if let Some(slot) = self.residual_memo.slot(set, label) {
+    fn residual(
+        &mut self,
+        set: SetId,
+        label: LabelId,
+        t: &TransEval,
+        dom2: SetId,
+    ) -> Arc<Residual> {
+        if let Some(slot) = self.m.residual_memo.slot(set, label) {
             if let Some((_, r)) = slot.iter().find(|(d, _)| *d == dom2) {
                 self.stats.memo_hits += 1;
                 return r.clone();
             }
         }
-        let dom2_states: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
+        let dom2_states: Vec<StateId> = self.m.tda.sets.get(dom2).to_vec();
         let mut active = Vec::new();
         let mut r1: Vec<StateId> = Vec::new();
         for &ti in &t.active {
@@ -657,7 +705,7 @@ impl<'a> Evaluator<'a> {
                     let mut d1 = Vec::new();
                     let mut d2 = Vec::new();
                     tr.phi.collect_down(&mut d1, &mut d2);
-                    r1.extend(d1.into_iter().filter(|&q| self.carrier.contains(q)));
+                    r1.extend(d1.into_iter().filter(|&q| self.m.carrier.contains(q)));
                 }
                 None => {
                     active.push(ti);
@@ -668,12 +716,14 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        let r1 = self.tda.sets.intern(r1);
-        let out = Rc::new((active, r1));
-        self.residual_memo
+        let r1 = self.m.tda.sets.intern(r1);
+        let out = Arc::new((active, r1));
+        self.m
+            .residual_memo
             .slot_mut(set, label)
             .push((dom2, out.clone()));
-        self.residual_entries += 1;
+        self.m.residual_entries += 1;
+        self.stats.memo_misses += 1;
         out
     }
 
@@ -715,6 +765,7 @@ impl<'a> Evaluator<'a> {
         let dom2 = self.intern_domain(g2);
         let domkey = ((dom1 as u64) << 32) | dom2 as u64;
         let cached = self
+            .m
             .recipe_memo
             .slot(set, label)
             .and_then(|slot| slot.iter().find(|(k, _)| *k == domkey))
@@ -723,8 +774,8 @@ impl<'a> Evaluator<'a> {
             self.stats.memo_hits += 1;
             r
         } else {
-            let d1: Vec<StateId> = self.tda.sets.get(dom1).to_vec();
-            let d2: Vec<StateId> = self.tda.sets.get(dom2).to_vec();
+            let d1: Vec<StateId> = self.m.tda.sets.get(dom1).to_vec();
+            let d2: Vec<StateId> = self.m.tda.sets.get(dom2).to_vec();
             let mut rows = Vec::new();
             for &ti in active {
                 let t = &self.asta.delta[ti as usize];
@@ -738,11 +789,13 @@ impl<'a> Evaluator<'a> {
                     });
                 }
             }
-            let r = Rc::new(Recipe { rows });
-            self.recipe_memo
+            let r = Arc::new(Recipe { rows });
+            self.m
+                .recipe_memo
                 .slot_mut(set, label)
                 .push((domkey, r.clone()));
-            self.recipe_entries += 1;
+            self.m.recipe_entries += 1;
+            self.stats.memo_misses += 1;
             r
         };
         let mut out = ResultSet::empty();

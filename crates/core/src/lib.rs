@@ -23,7 +23,9 @@ mod cache;
 mod compile;
 mod engine;
 mod eval;
-mod hybrid;
+mod exec;
+mod plan;
+pub mod planner;
 mod results;
 mod sets;
 mod tda;
@@ -32,7 +34,11 @@ pub use asta::{Asta, AstaTransition, Formula, StateId};
 pub use bits::StateBits;
 pub use compile::{compile_path, compile_path_indexed, CompileError};
 pub use engine::{CompiledQuery, Engine, ParseStrategyError, QueryError, QueryOutput, Strategy};
-pub use eval::{EvalOptions, EvalScratch, EvalStats};
+pub use eval::{EvalMemo, EvalOptions, EvalScratch, EvalStats, Evaluator};
+pub use plan::{
+    CostEstimate, Descend, Plan, PlanKind, PlanOpLine, PredPlan, Probe, ProbeStep, SpinePlan,
+    SpineStep, SpineTest,
+};
 pub use results::{NodeList, ResultSet};
 pub use sets::SetInterner;
 pub use tda::{SkipKind, Tda};

@@ -1,0 +1,310 @@
+//! The physical plan IR the unified executor runs.
+//!
+//! A [`Plan`] is what every [`crate::Strategy`] lowers to: the five
+//! automaton variants become fixed [`PlanKind::Automaton`] templates, the
+//! hybrid strategy becomes a [`PlanKind::Spine`] template with the legacy
+//! rarest-label pivot rule, and [`crate::Strategy::Auto`] asks the
+//! cost-based planner ([`crate::planner`]) to choose pivot, per-step
+//! descent method and per-predicate evaluation method from the index's
+//! label statistics.
+//!
+//! The spine pipeline composes five physical operators over the index
+//! primitives (Def. 3.2):
+//!
+//! * **LabelJump** — seed candidates from a label's sorted preorder list;
+//! * **UpwardMatch** — verify the spine prefix above each candidate with
+//!   parent moves, memoized across candidates sharing ancestors;
+//! * **PredicateProbe** — answer an existential predicate purely from the
+//!   index (label-list range + depth checks), visiting no nodes;
+//! * **SpineDescend** — move one step down, by child scan, by label-list
+//!   range scan, or by full subtree scan;
+//! * **Intersect** — the descendant form of the range scan: a merge of the
+//!   candidates' subtree ranges with the step label's preorder list.
+//!
+//! [`PlanKind::AutomatonRun`] is itself the sixth operator: a full
+//! [`crate::eval::Evaluator`] pass, used when the query shape is outside
+//! the spine fragment or when the cost model says traversal would lose.
+
+use crate::eval::EvalOptions;
+use xwq_index::TreeIndex;
+use xwq_xml::LabelId;
+use xwq_xpath::{Axis, Pred};
+
+/// Abstract cost units: 1.0 ≈ one spine node visit (label read + a few
+/// compares). Automaton visits are weighted heavier (see
+/// [`crate::planner::AUTOMATON_VISIT`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted abstract cost.
+    pub cost: f64,
+    /// Predicted distinct node visits ([`crate::EvalStats::visited`]).
+    pub visits: f64,
+}
+
+impl CostEstimate {
+    pub(crate) fn add(&mut self, other: CostEstimate) {
+        self.cost += other.cost;
+        self.visits += other.visits;
+    }
+}
+
+/// A physical query plan with its total cost estimate.
+#[derive(Debug)]
+pub struct Plan {
+    /// What the executor runs.
+    pub kind: PlanKind,
+    /// Total estimate across the plan's operators.
+    pub est: CostEstimate,
+    /// One-line explanation of why this plan was chosen (for `explain`).
+    pub reason: String,
+}
+
+/// The plan shapes.
+#[derive(Debug)]
+pub enum PlanKind {
+    /// The query names a label the document does not contain: the result
+    /// is provably empty without touching a node.
+    Empty,
+    /// A full automaton evaluation under the given knobs.
+    Automaton(EvalOptions),
+    /// The start-anywhere spine pipeline.
+    Spine(SpinePlan),
+}
+
+/// A spine pipeline: `steps[pivot]` seeds candidates via LabelJump,
+/// `steps[..pivot]` are verified upward, `steps[pivot + 1..]` descend.
+#[derive(Debug)]
+pub struct SpinePlan {
+    /// The resolved main-path steps.
+    pub steps: Vec<SpineStep>,
+    /// Index of the LabelJump step (always a [`SpineTest::Label`]).
+    pub pivot: usize,
+    /// The pivot's label.
+    pub pivot_label: LabelId,
+    /// Estimate for the LabelJump + pivot predicate + UpwardMatch phase.
+    pub seed_est: CostEstimate,
+}
+
+/// One resolved spine step.
+#[derive(Debug)]
+pub struct SpineStep {
+    /// `child`, `descendant`, or `attribute`.
+    pub axis: Axis,
+    /// The node test.
+    pub test: SpineTest,
+    /// Predicates, each with its chosen evaluation method.
+    pub preds: Vec<PredPlan>,
+    /// How candidates are enumerated when this step lies after the pivot.
+    pub descend: Descend,
+    /// Shallowest depth at which this step's test can match (from the
+    /// index's depth statistics; 0 for wildcards). The UpwardMatch
+    /// ancestor walk stops as soon as it climbs above this — ancestors
+    /// only get shallower, so none further up can match.
+    pub min_depth: u32,
+    /// Per-operator estimate (descend steps only; zero for upward steps).
+    pub est: CostEstimate,
+}
+
+/// Node tests of the spine fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpineTest {
+    /// A resolved label (elements, `@attr` attributes, or `#text`).
+    Label(LabelId),
+    /// `*` — element kind (attribute kind on the attribute axis).
+    Star,
+    /// `node()` — anything.
+    Any,
+}
+
+/// How a downstream step enumerates matches below its candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Descend {
+    /// Iterate each candidate's child chain, testing labels.
+    ChildScan,
+    /// Walk the step label's preorder list restricted to each candidate's
+    /// subtree range (descendant axis: a merge over outermost candidates —
+    /// the Intersect operator; child axis: plus a depth filter).
+    RangeScan,
+    /// Scan whole candidate subtrees (star/any descendant steps).
+    SubtreeScan,
+    /// This step lies before the pivot; it is only matched upward.
+    Upward,
+}
+
+/// A predicate with its chosen evaluation method.
+#[derive(Debug)]
+pub enum PredPlan {
+    /// Index-only existential probe — no node visits, counted as jumps.
+    Probe(Probe),
+    /// Tree-walking fallback (the general evaluator), memoized per
+    /// `(predicate, node)` so candidates sharing ancestors or subtrees
+    /// never re-walk. The id keys the memo table.
+    Walk { id: u32, pred: Pred },
+}
+
+/// The probe algebra: existential checks answerable from label lists,
+/// subtree ranges, depths, and content ids alone.
+#[derive(Debug)]
+pub enum Probe {
+    /// Both hold.
+    And(Box<Probe>, Box<Probe>),
+    /// Either holds.
+    Or(Box<Probe>, Box<Probe>),
+    /// Does not hold (exact: probes are exact existential answers).
+    Not(Box<Probe>),
+    /// A relative label chain (`mailbox/mail/date`, `.//keyword`): each
+    /// step searched in the context's subtree range, child-like steps
+    /// additionally depth-constrained.
+    Chain(Vec<ProbeStep>),
+    /// `text() = 'lit'` with the content id resolved at plan time
+    /// (`None`: the content never occurs — constant false). Text-child
+    /// search semantics: matches when the context has a **text** child
+    /// carrying the content (the compiled automaton's general case).
+    TextEq(Option<u32>),
+    /// `text() = 'lit'` as a **direct** predicate of an attribute-axis or
+    /// `text()` step: those nodes carry their content themselves, and the
+    /// compiler special-cases exactly this syntactic position into a
+    /// filter on the node's own content (see `compile_steps`).
+    SelfTextEq(Option<u32>),
+    /// `contains(text(), 'lit')` in the same direct self-content position.
+    SelfTextContains(String),
+    /// A constant (e.g. a chain label absent from the document).
+    Const(bool),
+}
+
+/// One step of a probe chain.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeStep {
+    /// Child or attribute axis: matches must sit exactly one level below
+    /// their context (checked via the depth array — `u` in `subtree(c)`
+    /// with `depth(u) == depth(c) + 1` iff `parent(u) == c`).
+    pub child_like: bool,
+    /// The step's resolved label.
+    pub label: LabelId,
+}
+
+/// One rendered operator row of `xwq explain`.
+#[derive(Clone, Debug)]
+pub struct PlanOpLine {
+    /// Operator name (`LabelJump`, `SpineDescend`, `Intersect`, …).
+    pub op: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The operator's estimate.
+    pub est: CostEstimate,
+}
+
+impl Plan {
+    /// True if this plan runs the full automaton.
+    pub fn is_automaton(&self) -> bool {
+        matches!(self.kind, PlanKind::Automaton(_))
+    }
+
+    /// Renders the plan as one operator row per pipeline stage.
+    pub fn describe(&self, ix: &TreeIndex) -> Vec<PlanOpLine> {
+        let al = ix.alphabet();
+        let name = |t: &SpineTest| match t {
+            SpineTest::Label(l) => al.name(*l).to_string(),
+            SpineTest::Star => "*".to_string(),
+            SpineTest::Any => "node()".to_string(),
+        };
+        match &self.kind {
+            PlanKind::Empty => vec![PlanOpLine {
+                op: "Empty",
+                detail: "a queried label does not occur in this document".into(),
+                est: CostEstimate::default(),
+            }],
+            PlanKind::Automaton(opts) => vec![PlanOpLine {
+                op: "AutomatonRun",
+                detail: format!(
+                    "pruning={} jumping={} memo={} info_prop={}",
+                    opts.pruning, opts.jumping, opts.memo, opts.info_prop
+                ),
+                est: self.est,
+            }],
+            PlanKind::Spine(sp) => {
+                let mut out = Vec::new();
+                out.push(PlanOpLine {
+                    op: "LabelJump",
+                    detail: format!(
+                        "{} ({} candidates)",
+                        al.name(sp.pivot_label),
+                        ix.label_count(sp.pivot_label)
+                    ),
+                    est: sp.seed_est,
+                });
+                for p in &sp.steps[sp.pivot].preds {
+                    out.push(pred_line(p, al));
+                }
+                if sp.pivot > 0 {
+                    let prefix: Vec<String> = sp.steps[..sp.pivot]
+                        .iter()
+                        .map(|s| format!("{}::{}", s.axis.name(), name(&s.test)))
+                        .collect();
+                    out.push(PlanOpLine {
+                        op: "UpwardMatch",
+                        detail: prefix.join("/"),
+                        est: CostEstimate::default(),
+                    });
+                }
+                for s in &sp.steps[sp.pivot + 1..] {
+                    let (op, how): (&'static str, &str) = match (s.descend, s.axis) {
+                        (Descend::RangeScan, Axis::Descendant) => ("Intersect", "merge label list"),
+                        (Descend::RangeScan, _) => ("SpineDescend", "range scan + depth filter"),
+                        (Descend::SubtreeScan, _) => ("SpineDescend", "subtree scan"),
+                        _ => ("SpineDescend", "child scan"),
+                    };
+                    out.push(PlanOpLine {
+                        op,
+                        detail: format!("{}::{} via {how}", s.axis.name(), name(&s.test)),
+                        est: s.est,
+                    });
+                    for p in &s.preds {
+                        out.push(pred_line(p, al));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+fn pred_line(p: &PredPlan, al: &xwq_xml::Alphabet) -> PlanOpLine {
+    match p {
+        PredPlan::Probe(probe) => PlanOpLine {
+            op: "PredicateProbe",
+            detail: render_probe(probe, al),
+            est: CostEstimate::default(),
+        },
+        PredPlan::Walk { pred, .. } => PlanOpLine {
+            op: "PredicateWalk",
+            detail: format!("[ {pred} ] (memoized tree walk)"),
+            est: CostEstimate::default(),
+        },
+    }
+}
+
+fn render_probe(p: &Probe, al: &xwq_xml::Alphabet) -> String {
+    match p {
+        Probe::And(a, b) => format!("({} and {})", render_probe(a, al), render_probe(b, al)),
+        Probe::Or(a, b) => format!("({} or {})", render_probe(a, al), render_probe(b, al)),
+        Probe::Not(a) => format!("not({})", render_probe(a, al)),
+        Probe::Chain(steps) => steps
+            .iter()
+            .map(|s| {
+                if s.child_like {
+                    al.name(s.label).to_string()
+                } else {
+                    format!(".//{}", al.name(s.label))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("/"),
+        Probe::TextEq(Some(_)) => "text()=<interned content>".to_string(),
+        Probe::TextEq(None) => "text()=<absent content>".to_string(),
+        Probe::SelfTextEq(Some(_)) => "self content = <interned content>".to_string(),
+        Probe::SelfTextEq(None) => "self content = <absent content>".to_string(),
+        Probe::SelfTextContains(lit) => format!("self content contains {lit:?}"),
+        Probe::Const(b) => b.to_string(),
+    }
+}

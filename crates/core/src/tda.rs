@@ -23,8 +23,9 @@
 use crate::asta::{Asta, Formula, StateId};
 use crate::bits::StateBits;
 use crate::cache::SetLabelCache;
+use crate::eval::EvalStats;
 use crate::sets::{SetId, SetInterner};
-use std::rc::Rc;
+use std::sync::Arc;
 use xwq_index::FxHashMap;
 use xwq_xml::{LabelId, LabelSet};
 
@@ -62,30 +63,31 @@ pub struct SkipInfo {
     pub jump: LabelSet,
 }
 
-/// On-the-fly determinization context for one ASTA.
-pub struct Tda<'a> {
-    /// The automaton.
-    pub asta: &'a Asta,
+/// On-the-fly determinization state for one ASTA. Holds no reference to
+/// the automaton — every method takes it as a parameter — so the interner
+/// and memo tables can be pooled per `(document, query)` across runs (the
+/// tables are pure functions of the `(automaton, index)` pair).
+#[derive(Debug)]
+pub struct Tda {
     /// The state-set interner (id 0 = ∅).
     pub sets: SetInterner,
     /// `(S, σ)`-keyed transition memo: dense direct-indexed region for the
     /// low set ids that dominate, hash spill above (no tuple hashing in
     /// the per-node inner loop).
-    trans_memo: SetLabelCache<Option<Rc<TransEval>>>,
+    trans_memo: SetLabelCache<Option<Arc<TransEval>>>,
     trans_memo_entries: usize,
-    skip_memo: FxHashMap<SetId, Rc<SkipInfo>>,
+    skip_memo: FxHashMap<SetId, Arc<SkipInfo>>,
     /// Reusable per-call scratch for `compute_trans` (collection is an OR;
     /// dedup/sort are free at intern time).
     scratch_r1: StateBits,
     scratch_r2: StateBits,
 }
 
-impl<'a> Tda<'a> {
-    /// Creates the context.
-    pub fn new(asta: &'a Asta) -> Self {
+impl Tda {
+    /// Creates the context for `asta`.
+    pub fn new(asta: &Asta) -> Self {
         let n = asta.n_states as usize;
         Self {
-            asta,
             sets: SetInterner::new(),
             trans_memo: SetLabelCache::new(asta.alphabet_size),
             trans_memo_entries: 0,
@@ -96,8 +98,8 @@ impl<'a> Tda<'a> {
     }
 
     /// Interns the automaton's top-state set.
-    pub fn top_set(&mut self) -> SetId {
-        self.sets.intern(self.asta.top.clone())
+    pub fn top_set(&mut self, asta: &Asta) -> SetId {
+        self.sets.intern(asta.top.clone())
     }
 
     /// Number of memoized `(S, σ)` transitions.
@@ -106,14 +108,14 @@ impl<'a> Tda<'a> {
     }
 
     /// Computes `(S, σ) ↦ (active, S₁, S₂)` without memoization.
-    pub fn compute_trans(&mut self, set: SetId, label: LabelId) -> TransEval {
+    pub fn compute_trans(&mut self, asta: &Asta, set: SetId, label: LabelId) -> TransEval {
         let states = self.sets.get(set);
         let mut active = Vec::new();
         self.scratch_r1.clear();
         self.scratch_r2.clear();
         for &q in states {
-            for &ti in &self.asta.trans_of[q as usize] {
-                let t = &self.asta.delta[ti as usize];
+            for &ti in &asta.trans_of[q as usize] {
+                let t = &asta.delta[ti as usize];
                 if t.labels.contains(label) {
                     active.push(ti);
                     t.phi
@@ -126,30 +128,37 @@ impl<'a> Tda<'a> {
         TransEval { active, r1, r2 }
     }
 
-    /// Memoized variant; `hits` is incremented on a cache hit.
-    pub fn trans(&mut self, set: SetId, label: LabelId, hits: &mut u64) -> Rc<TransEval> {
+    /// Memoized variant; ticks `stats.memo_hits` / `stats.memo_misses`.
+    pub fn trans(
+        &mut self,
+        asta: &Asta,
+        set: SetId,
+        label: LabelId,
+        stats: &mut EvalStats,
+    ) -> Arc<TransEval> {
         if let Some(Some(t)) = self.trans_memo.slot(set, label) {
-            *hits += 1;
+            stats.memo_hits += 1;
             return t.clone();
         }
-        let t = Rc::new(self.compute_trans(set, label));
+        let t = Arc::new(self.compute_trans(asta, set, label));
         *self.trans_memo.slot_mut(set, label) = Some(t.clone());
         self.trans_memo_entries += 1;
+        stats.memo_misses += 1;
         t
     }
 
     /// Skip classification of `set`, cached.
-    pub fn skip_info(&mut self, set: SetId) -> Rc<SkipInfo> {
+    pub fn skip_info(&mut self, asta: &Asta, set: SetId) -> Arc<SkipInfo> {
         if let Some(s) = self.skip_memo.get(&set) {
             return s.clone();
         }
-        let info = Rc::new(self.classify(set));
+        let info = Arc::new(self.classify(asta, set));
         self.skip_memo.insert(set, info.clone());
         info
     }
 
-    fn classify(&mut self, set: SetId) -> SkipInfo {
-        let sigma = self.asta.alphabet_size;
+    fn classify(&mut self, asta: &Asta, set: SetId) -> SkipInfo {
+        let sigma = asta.alphabet_size;
         let mut loop_both = LabelSet::empty(sigma);
         let mut loop_left = LabelSet::empty(sigma);
         let mut loop_right = LabelSet::empty(sigma);
@@ -165,7 +174,7 @@ impl<'a> Tda<'a> {
                 let mut has_d2 = false;
                 let mut pure = true;
                 let mut any = false;
-                for t in self.asta.active(q, l) {
+                for t in asta.active(q, l) {
                     any = true;
                     any_select |= t.selecting;
                     if !t.phi.is_monotone() || t.filter.is_some() {
@@ -235,9 +244,9 @@ impl<'a> Tda<'a> {
             if !any_not {
                 let originates = states
                     .iter()
-                    .any(|&q| self.asta.active(q, l).any(|t| t.phi.eval_bool(&[], &[])));
+                    .any(|&q| asta.active(q, l).any(|t| t.phi.eval_bool(&[], &[])));
                 let all_self_loop_both = states.iter().all(|&q| {
-                    self.asta.active(q, l).any(|t| {
+                    asta.active(q, l).any(|t| {
                         !t.selecting
                             && matches!(
                                 &t.phi,
@@ -249,7 +258,7 @@ impl<'a> Tda<'a> {
                     })
                 });
                 if !originates && all_self_loop_both {
-                    let te = self.compute_trans(set, l);
+                    let te = self.compute_trans(asta, set, l);
                     if te.r1 == set && te.r2 == set {
                         loop_both.insert(l);
                     }
@@ -298,25 +307,25 @@ mod tests {
         let lc = al.lookup("c").unwrap();
 
         // {q0}: jump to top-most a.
-        let s0 = tda.top_set();
-        let i0 = tda.skip_info(s0);
+        let s0 = tda.top_set(&asta);
+        let i0 = tda.skip_info(&asta, s0);
         assert_eq!(i0.kind, SkipKind::Both);
         assert_eq!(i0.jump.iter().collect::<Vec<_>>(), vec![la]);
 
         // δa({q0}, a) = ({q0,q1}, {q0}).
-        let mut h = 0;
-        let t = tda.trans(s0, la, &mut h);
+        let mut h = EvalStats::default();
+        let t = tda.trans(&asta, s0, la, &mut h);
         let s01 = t.r1;
         assert_eq!(t.r2, s0);
         assert_eq!(tda.sets.get(s01).len(), 2);
 
         // {q0,q1}: jump to top-most b (a is set-level non-changing).
-        let i01 = tda.skip_info(s01);
+        let i01 = tda.skip_info(&asta, s01);
         assert_eq!(i01.kind, SkipKind::Both);
         assert_eq!(i01.jump.iter().collect::<Vec<_>>(), vec![lb]);
 
         // δa({q0,q1}, b) = ({q0,q1,q2}, {q0,q1}).
-        let t = tda.trans(s01, lb, &mut h);
+        let t = tda.trans(&asta, s01, lb, &mut h);
         let s012 = t.r1;
         assert_eq!(t.r2, s01);
         assert_eq!(tda.sets.get(s012).len(), 3);
@@ -324,7 +333,7 @@ mod tests {
         // {q0,q1,q2}: no jump (the paper: "the automaton must perform a
         // firstChild or nextSibling move") — a and c change the set, and b,
         // though set-level non-changing, selects and is therefore relevant.
-        let i012 = tda.skip_info(s012);
+        let i012 = tda.skip_info(&asta, s012);
         assert_eq!(i012.kind, SkipKind::None);
         assert!(i012.jump.contains(la) && i012.jump.contains(lb) && i012.jump.contains(lc));
 
@@ -332,7 +341,7 @@ mod tests {
         // predicate searcher q2 stops at the first c (its recursion guard
         // excludes c), so "the automaton returns in state {q0,q1} and can
         // therefore jump to find new b nodes".
-        let t = tda.trans(s012, lc, &mut h);
+        let t = tda.trans(&asta, s012, lc, &mut h);
         assert_eq!(t.r1, s01);
         assert_eq!(t.r2, s01);
     }
@@ -343,11 +352,11 @@ mod tests {
         let al = abc();
         let asta = compile_path(&parse_xpath("/a/b").unwrap(), &al).unwrap();
         let mut tda = Tda::new(&asta);
-        let s0 = tda.top_set();
-        let mut h = 0;
-        let t = tda.trans(s0, al.lookup("a").unwrap(), &mut h);
+        let s0 = tda.top_set(&asta);
+        let mut h = EvalStats::default();
+        let t = tda.trans(&asta, s0, al.lookup("a").unwrap(), &mut h);
         let chain = t.r1; // the b-chain searcher below a
-        let info = tda.skip_info(chain);
+        let info = tda.skip_info(&asta, chain);
         assert_eq!(info.kind, SkipKind::Right);
         assert_eq!(
             info.jump.iter().collect::<Vec<_>>(),
@@ -363,12 +372,12 @@ mod tests {
         let al = abc();
         let asta = compile_path(&parse_xpath("//a[ not(.//b) ]//c").unwrap(), &al).unwrap();
         let mut tda = Tda::new(&asta);
-        let s0 = tda.top_set();
+        let s0 = tda.top_set(&asta);
         let la = al.lookup("a").unwrap();
-        let mut h = 0;
-        let t = tda.trans(s0, la, &mut h);
+        let mut h = EvalStats::default();
+        let t = tda.trans(&asta, s0, la, &mut h);
         let below = t.r1;
-        let info = tda.skip_info(below);
+        let info = tda.skip_info(&asta, below);
         assert!(
             info.jump.contains(la),
             "nested a must be visited under negation; jump set {:?}",
@@ -381,13 +390,13 @@ mod tests {
         let al = abc();
         let asta = compile_path(&parse_xpath("//a").unwrap(), &al).unwrap();
         let mut tda = Tda::new(&asta);
-        let s0 = tda.top_set();
-        let mut hits = 0;
-        let _ = tda.trans(s0, 0, &mut hits);
-        assert_eq!(hits, 0);
+        let s0 = tda.top_set(&asta);
+        let mut stats = EvalStats::default();
+        let _ = tda.trans(&asta, s0, 0, &mut stats);
+        assert_eq!((stats.memo_hits, stats.memo_misses), (0, 1));
         assert_eq!(tda.trans_memo_len(), 1);
-        let _ = tda.trans(s0, 0, &mut hits);
-        assert_eq!(hits, 1);
+        let _ = tda.trans(&asta, s0, 0, &mut stats);
+        assert_eq!((stats.memo_hits, stats.memo_misses), (1, 1));
         assert_eq!(tda.trans_memo_len(), 1);
     }
 
@@ -396,8 +405,8 @@ mod tests {
         let al = abc();
         let asta = compile_path(&parse_xpath("//a").unwrap(), &al).unwrap();
         let mut tda = Tda::new(&asta);
-        let mut h = 0;
-        let t = tda.trans(SetInterner::EMPTY, 0, &mut h);
+        let mut h = EvalStats::default();
+        let t = tda.trans(&asta, SetInterner::EMPTY, 0, &mut h);
         assert!(t.active.is_empty());
         assert_eq!(t.r1, SetInterner::EMPTY);
         assert_eq!(t.r2, SetInterner::EMPTY);

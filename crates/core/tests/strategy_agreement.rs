@@ -120,6 +120,122 @@ proptest! {
     }
 }
 
+/// Attribute values share the content-id table with text nodes, but
+/// `[text()='…']` must only ever match *text* children — the spine
+/// executor's probe and walk paths both have to agree with the compiled
+/// automaton here (a node whose attribute value equals the literal, with
+/// no matching text child, is NOT selected; under `not(…)` it IS).
+#[test]
+fn text_predicates_never_match_attribute_content() {
+    let doc = xwq_xml::parse(
+        r#"<r><item id="gold"><name>x</name></item><item id="y">gold</item><item id="gold">gold</item></r>"#,
+    )
+    .unwrap();
+    let engine = Engine::build(&doc);
+    for query in [
+        "//item[ text() = 'gold' ]",
+        "//item[ not(text() = 'gold') ]",
+        "//item[ contains(text(), 'gol') ]",
+        "//item[ name and text() = 'gold' ]",
+    ] {
+        let q = engine.compile(query).unwrap();
+        let expected = engine.run(&q, EvalStrategy::Optimized).nodes;
+        for s in EvalStrategy::ALL {
+            assert_eq!(engine.run(&q, s).nodes, expected, "{} on {query}", s.name());
+        }
+    }
+}
+
+/// Text predicates on *self-content* contexts follow the compiler's
+/// syntactic rule: only a *direct* `text()=…`/`contains(text(),…)` on an
+/// attribute-axis or `text()` step compares the node's own content —
+/// nested (under `not`/`and`/`or`) or `node()`-step text predicates use
+/// text-child search even when the context node carries content itself.
+/// The spine executor's probes and walks must mirror this exactly.
+#[test]
+fn self_content_text_predicates_match_the_automaton() {
+    let doc = xwq_xml::parse(r#"<r><x id="gold"><a>t1</a><b>gold</b></x><x><a>gold</a></x></r>"#)
+        .unwrap();
+    let engine = Engine::build(&doc);
+    for query in [
+        // Direct self-content positions.
+        "//x/@id[ text() = 'gold' ]",
+        "//a/text()[ text() = 'gold' ]",
+        "//x/@id[ contains(text(), 'ol') ]",
+        // Nested: child-search semantics even at self-content contexts.
+        "//text()[ not(text() = 't1') ]",
+        "//a/text()[ not(text() = 'gold') ]",
+        // node() steps are never self-content, whatever they match.
+        "//x//node()[ text() = 'gold' ]",
+        "//node()[ contains(text(), 'gol') ]",
+        // Inside predicate paths the same rule applies to walked steps.
+        "//x[ .//text()[ not(text() = 'gold') ] ]",
+        "//x[ .//text()[ text() = 'gold' ] ]",
+        "//x[ @id[ text() = 'gold' ] ]",
+    ] {
+        let q = engine.compile(query).unwrap();
+        let expected = engine.run(&q, EvalStrategy::Naive).nodes;
+        for s in EvalStrategy::ALL {
+            assert_eq!(engine.run(&q, s).nodes, expected, "{} on {query}", s.name());
+        }
+    }
+}
+
+/// The planner's `Auto` strategy must select exactly the optimized
+/// automaton's result set on the full XMark Fig. 2 suite (its plans range
+/// from spine pipelines with index probes to automaton fallbacks, so this
+/// exercises every operator against the realistic workload).
+#[test]
+fn auto_agrees_with_opt_on_the_full_fig2_suite() {
+    let doc = xwq_xmark::generate(xwq_xmark::GenOptions {
+        factor: 0.05,
+        seed: 42,
+    });
+    let engine = Engine::build(&doc);
+    for (n, query) in xwq_xmark::queries() {
+        let q = match engine.compile(query) {
+            Ok(q) => q,
+            Err(e) => panic!("Q{n:02} must compile: {e}"),
+        };
+        let opt = engine.run(&q, EvalStrategy::Optimized);
+        let auto = engine.run(&q, EvalStrategy::Auto);
+        assert_eq!(auto.nodes, opt.nodes, "Q{n:02}: {query}");
+        assert!(!auto.hybrid_fallback, "auto never reports hybrid fallback");
+    }
+}
+
+/// The over-visit regression the planner was built to fix: on Q8 and Q9
+/// the legacy hybrid walker re-scanned predicate subtrees and ancestor
+/// chains per candidate (2500 / 2729 distinct visits vs opt's 913 / 808
+/// in `BENCH_eval.json`). The planned pipeline — predicate probes, the
+/// memoized upward match with its min-depth cutoff — must not pick a plan
+/// that visits more nodes than the optimized automaton run.
+#[test]
+fn planner_q8_q9_not_worse_than_opt_visits() {
+    let doc = xwq_xmark::generate(xwq_xmark::GenOptions {
+        factor: 0.1,
+        seed: 42,
+    });
+    let engine = Engine::build(&doc);
+    for n in [8usize, 9] {
+        let query = xwq_xmark::query(n);
+        let q = engine.compile(query).unwrap();
+        let opt = engine.run(&q, EvalStrategy::Optimized);
+        let auto = engine.run(&q, EvalStrategy::Auto);
+        assert_eq!(auto.nodes, opt.nodes, "Q{n:02}");
+        assert!(
+            auto.stats.visited <= opt.stats.visited,
+            "Q{n:02}: auto visited {} > opt {} — planner picked a worse plan",
+            auto.stats.visited,
+            opt.stats.visited
+        );
+        // And the chosen plan is the spine pipeline, not an automaton
+        // fallback that would trivially tie the bound.
+        let plan = engine.plan(&q, EvalStrategy::Auto);
+        assert!(!plan.is_automaton(), "Q{n:02} should plan a spine pipeline");
+    }
+}
+
 /// BENCH_eval.json q7-style regression: the hybrid walker used to count
 /// raw node *examinations* (re-counting shared ancestors and re-scanned
 /// predicate children once per candidate), reporting more "visited" nodes

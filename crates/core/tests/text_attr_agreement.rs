@@ -1,0 +1,94 @@
+//! Randomized strategy agreement over documents *with text and
+//! attributes* and queries using `text()` / `node()` / `@…` tests and
+//! text-content predicates — the shapes the main `strategy_agreement`
+//! generator does not produce (its fragment is element names only).
+//! This is what catches self-content semantics drift between the
+//! compiled automaton and the spine executor's probes/walks.
+
+use proptest::prelude::*;
+use xwq_core::{Engine, Strategy as EvalStrategy};
+use xwq_xml::TreeBuilder;
+
+fn build_doc(ops: &[(u8, u8, u8)]) -> xwq_xml::Document {
+    let mut b = TreeBuilder::new();
+    for n in ["a", "b", "c"] {
+        b.reserve(n);
+    }
+    b.open("a");
+    let mut depth = 1usize;
+    for &(pops, label, extra) in ops {
+        let pops = (pops as usize).min(depth - 1);
+        for _ in 0..pops {
+            b.close();
+            depth -= 1;
+        }
+        b.open(["a", "b", "c"][label as usize % 3]);
+        if extra % 4 == 0 {
+            b.attribute("id", ["gold", "t1", "x"][extra as usize % 3]);
+        }
+        if extra % 3 == 0 {
+            b.text(["gold", "t1", "zz"][extra as usize % 3]);
+        }
+        depth += 1;
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    b.finish()
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    let name = prop::sample::select(vec!["a", "b", "c", "*", "text()", "node()", "@id", "@*"]);
+    let axis = prop::sample::select(vec!["/", "//"]);
+    let leaf = prop::sample::select(vec![
+        "text()='gold'".to_string(),
+        "text()='t1'".to_string(),
+        "contains(text(), 'ol')".to_string(),
+        ".//b".to_string(),
+        "@id".to_string(),
+        "b".to_string(),
+    ]);
+    let pred = leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
+            inner.prop_map(|a| format!("not({a})")),
+        ]
+    });
+    let step = (name, prop::option::of(pred)).prop_map(|(n, p)| match p {
+        Some(p) => format!("{n}[ {p} ]"),
+        None => n.to_string(),
+    });
+    prop::collection::vec((axis, step), 1..4).prop_map(|parts| {
+        let mut q = String::new();
+        for (sep, st) in parts {
+            q.push_str(sep);
+            q.push_str(&st);
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+    #[test]
+    fn all_strategies_agree_with_text_and_attrs(
+        ops in prop::collection::vec((0u8..4, 0u8..3, 0u8..12), 0..60),
+        query in arb_query()
+    ) {
+        let doc = build_doc(&ops);
+        let engine = Engine::build(&doc);
+        let compiled = match engine.compile(&query) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let expected = engine.run(&compiled, EvalStrategy::Naive).nodes;
+        for strat in EvalStrategy::ALL {
+            let out = engine.run(&compiled, strat);
+            prop_assert_eq!(
+                &out.nodes, &expected,
+                "{} on `{}` over {}", strat.name(), &query, doc.to_xml()
+            );
+        }
+    }
+}

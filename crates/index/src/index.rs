@@ -1,8 +1,112 @@
 //! The jumping tree index (Def. 3.2).
 
 use crate::{Topology, TopologyKind};
+use std::sync::{Arc, OnceLock};
 use xwq_succinct::{Store, StrTable};
 use xwq_xml::{Alphabet, Document, LabelId, LabelKind, LabelSet, NodeId, NONE};
+
+/// Per-label statistics the cost-based query planner consumes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LabelStat {
+    /// Number of nodes carrying the label (`== label_count`).
+    pub count: u32,
+    /// Shallowest occurrence (root = 0); `u32::MAX` for absent labels.
+    pub min_depth: u32,
+    /// Deepest occurrence; 0 for absent labels.
+    pub max_depth: u32,
+    /// Sum of occurrence depths (`/ count` = mean depth).
+    pub total_depth: u64,
+    /// Sum of child counts over occurrences (`/ count` = mean fanout).
+    pub total_children: u64,
+    /// Sum of subtree sizes (self included) over occurrences
+    /// (`/ count` = mean subtree extent).
+    pub total_subtree: u64,
+}
+
+impl LabelStat {
+    /// Mean depth of this label's occurrences (0 when absent).
+    pub fn avg_depth(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_depth as f64 / self.count as f64
+        }
+    }
+
+    /// Mean number of children of this label's occurrences.
+    pub fn avg_children(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_children as f64 / self.count as f64
+        }
+    }
+
+    /// Mean subtree size (self included) of this label's occurrences.
+    pub fn avg_subtree(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.total_subtree as f64 / self.count as f64
+        }
+    }
+}
+
+/// Whole-document statistics: per-label aggregates plus a depth histogram.
+/// Computed lazily on first use (one topology pass) and shared between
+/// clones of the same index, so the zero-copy mmap open path never pays
+/// for them up front. The planner's cost model consumes the per-label
+/// counts, min/mean depths, fanouts and subtree extents; the histogram
+/// and max depths ride along for tooling and future calibration (they
+/// fall out of the same pass for free).
+#[derive(Clone, Debug, Default)]
+pub struct IndexStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Deepest node (root = 0).
+    pub max_depth: u32,
+    /// One entry per alphabet label.
+    pub labels: Vec<LabelStat>,
+    /// `depth_histogram[d]` = number of nodes at depth `d` (clamped into
+    /// the last bucket beyond [`Self::DEPTH_BUCKETS`]).
+    pub depth_histogram: Vec<u32>,
+}
+
+impl IndexStats {
+    /// Number of exact depth-histogram buckets; deeper nodes share the last.
+    pub const DEPTH_BUCKETS: usize = 64;
+
+    fn compute(ix: &TreeIndex) -> Self {
+        let n = ix.len();
+        let mut labels = vec![LabelStat::default(); ix.alphabet.len()];
+        for s in &mut labels {
+            s.min_depth = u32::MAX;
+        }
+        let mut depth_histogram = vec![0u32; Self::DEPTH_BUCKETS + 1];
+        let mut max_depth = 0u32;
+        for v in 0..n as NodeId {
+            let d = ix.depth(v);
+            max_depth = max_depth.max(d);
+            depth_histogram[(d as usize).min(Self::DEPTH_BUCKETS)] += 1;
+            let s = &mut labels[ix.label(v) as usize];
+            s.count += 1;
+            s.min_depth = s.min_depth.min(d);
+            s.max_depth = s.max_depth.max(d);
+            s.total_depth += d as u64;
+            s.total_subtree += (ix.subtree_end(v) - v) as u64;
+            let p = ix.parent(v);
+            if p != NONE {
+                labels[ix.label(p) as usize].total_children += 1;
+            }
+        }
+        Self {
+            nodes: n,
+            max_depth,
+            labels,
+            depth_histogram,
+        }
+    }
+}
 
 /// A static index over one document: topology + per-label preorder arrays.
 ///
@@ -25,7 +129,16 @@ pub struct TreeIndex {
     /// For each content id, the sorted list of nodes carrying it (always
     /// derived in memory — it is not part of the wire format).
     text_lists: Vec<Vec<NodeId>>,
+    /// Lazily computed planner statistics, shared across clones.
+    stats: Arc<OnceLock<IndexStats>>,
+    /// Process-unique identity, shared by clones (see [`Self::identity`]).
+    uid: u64,
 }
+
+/// Backing counter for [`TreeIndex::identity`]; never reused, so a stale
+/// cache tag can never collide with a later document the way a recycled
+/// heap address could.
+static NEXT_INDEX_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl TreeIndex {
     /// Builds an index with the default (array) topology.
@@ -67,6 +180,8 @@ impl TreeIndex {
             text_values: text_values.into(),
             text_ids: text_ids.into(),
             text_lists,
+            stats: Arc::new(OnceLock::new()),
+            uid: NEXT_INDEX_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -150,6 +265,8 @@ impl TreeIndex {
             text_values,
             text_ids,
             text_lists,
+            stats: Arc::new(OnceLock::new()),
+            uid: NEXT_INDEX_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
@@ -235,6 +352,22 @@ impl TreeIndex {
     #[inline]
     pub fn label_count(&self, l: LabelId) -> usize {
         self.label_lists[l as usize].len()
+    }
+
+    /// Planner statistics (label list lengths, depth histograms, fanouts),
+    /// computed on first call with one topology pass and cached; clones of
+    /// this index share the cache.
+    pub fn stats(&self) -> &IndexStats {
+        self.stats.get_or_init(|| IndexStats::compute(self))
+    }
+
+    /// A cheap process-unique identity for this index, shared by clones.
+    /// Per-`(document, query)` plan and memo caches tag their entries with
+    /// it to detect being handed a different document. Drawn from a
+    /// never-reused counter, so — unlike a heap address — a dropped
+    /// document's identity can never be recycled by a later one (no ABA).
+    pub fn identity(&self) -> u64 {
+        self.uid
     }
 
     /// All nodes labelled `l`, in document order.
@@ -347,6 +480,18 @@ impl TreeIndex {
             None
         } else {
             Some(self.text_values.get(id as usize))
+        }
+    }
+
+    /// Content id of a text/attribute node, `None` for elements (the id
+    /// form of [`Self::text_of`], for content-id comparisons).
+    #[inline]
+    pub fn text_id_of(&self, v: NodeId) -> Option<u32> {
+        let id = self.text_ids[v as usize];
+        if id == u32::MAX {
+            None
+        } else {
+            Some(id)
         }
     }
 

@@ -113,6 +113,25 @@ impl IndexBytes {
         }
     }
 
+    /// Hints the kernel to prefetch the whole mapping
+    /// (`madvise(MADV_WILLNEED)`): page-ins start asynchronously instead
+    /// of faulting one at a time on first access. No-op for heap backings
+    /// and on platforms without the mmap path; advisory everywhere — a
+    /// failed advise changes nothing but timing.
+    pub fn advise_willneed(&self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mmap { map_len } = self.backing {
+            // SAFETY: advising the exact region this value mapped.
+            unsafe {
+                sys::madvise(
+                    self.ptr as *mut core::ffi::c_void,
+                    map_len,
+                    sys::MADV_WILLNEED,
+                );
+            }
+        }
+    }
+
     /// The bytes.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
@@ -186,6 +205,9 @@ mod sys {
     pub const PROT_READ: i32 = 0x1;
     pub const MAP_PRIVATE: i32 = 0x02;
     pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+    /// `MADV_WILLNEED` — 3 on every unix this path compiles for (Linux,
+    /// macOS, the BSDs).
+    pub const MADV_WILLNEED: i32 = 3;
 
     extern "C" {
         pub fn mmap(
@@ -197,6 +219,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
     }
 }
 

@@ -215,7 +215,7 @@ pub fn serialize_version(
 /// Deserializes `.xwqi` bytes back into the document and its index,
 /// copying every array into owned storage.
 pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
-    deserialize_inner(bytes, None)
+    deserialize_inner(bytes, None, true)
 }
 
 /// Zero-copy deserialization: the document and index arrays become views
@@ -229,12 +229,26 @@ pub fn deserialize(bytes: &[u8]) -> Result<(Document, TreeIndex), FormatError> {
 /// fall back to owned copies (correctness first).
 pub fn deserialize_shared(bytes: &Arc<IndexBytes>) -> Result<(Document, TreeIndex), FormatError> {
     let owner: Owner = Arc::clone(bytes) as Owner;
-    deserialize_inner(bytes.as_slice(), Some(owner))
+    deserialize_inner(bytes.as_slice(), Some(owner), true)
+}
+
+/// [`deserialize_shared`] minus the checksum pass, for **trusted local
+/// files only**: the checksum reads every payload byte, which on a
+/// freshly mapped file faults in every page before the first query. All
+/// structural validation (magic, version, payload length, directory
+/// shapes, `from_raw_parts` consistency checks) still runs — only silent
+/// bit rot goes undetected, exactly what the checksum exists to catch.
+pub fn deserialize_shared_trusted(
+    bytes: &Arc<IndexBytes>,
+) -> Result<(Document, TreeIndex), FormatError> {
+    let owner: Owner = Arc::clone(bytes) as Owner;
+    deserialize_inner(bytes.as_slice(), Some(owner), false)
 }
 
 fn deserialize_inner(
     bytes: &[u8],
     owner: Option<Owner>,
+    verify_checksum: bool,
 ) -> Result<(Document, TreeIndex), FormatError> {
     if bytes.len() < HEADER_LEN {
         return Err(FormatError::Truncated {
@@ -271,9 +285,11 @@ fn deserialize_inner(
         )));
     }
     let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
-    let got = checksum(payload);
-    if got != expect {
-        return Err(FormatError::ChecksumMismatch { expect, got });
+    if verify_checksum {
+        let got = checksum(payload);
+        if got != expect {
+            return Err(FormatError::ChecksumMismatch { expect, got });
+        }
     }
 
     let mut r = match owner {
@@ -282,10 +298,12 @@ fn deserialize_inner(
     };
     let corrupt = FormatError::Corrupt;
 
-    // Document section.
+    // Document section. The alphabet wraps the name table directly: on
+    // the zero-copy path the label names stay views into the mapping —
+    // the last per-entry allocation on load is gone.
     let n = r.u64()?;
     let names = r.string_table()?;
-    let alphabet = Alphabet::from_names(names.iter()).map_err(corrupt)?;
+    let alphabet = Alphabet::from_table(names).map_err(corrupt)?;
     let labels = r.u32_array()?;
     if labels.len() as u64 != n {
         return Err(FormatError::Corrupt("node count mismatch".into()));
@@ -396,6 +414,19 @@ pub fn read_index_file(path: impl AsRef<Path>) -> Result<(Document, TreeIndex), 
 pub fn read_index_file_mmap(path: impl AsRef<Path>) -> Result<(Document, TreeIndex), FormatError> {
     let bytes = IndexBytes::open_mmap(path)?;
     deserialize_shared(&bytes)
+}
+
+/// [`read_index_file_mmap`] for **trusted local files**: skips the
+/// checksum pass (which touches every page at open) and issues an
+/// `madvise(WILLNEED)` prefetch hint so page-ins overlap with the
+/// structural validation. See [`deserialize_shared_trusted`] for exactly
+/// what is and is not still checked.
+pub fn read_index_file_mmap_trusted(
+    path: impl AsRef<Path>,
+) -> Result<(Document, TreeIndex), FormatError> {
+    let bytes = IndexBytes::open_mmap(path)?;
+    bytes.advise_willneed();
+    deserialize_shared_trusted(&bytes)
 }
 
 #[cfg(test)]

@@ -78,8 +78,9 @@ mod wire;
 
 pub use bytes::IndexBytes;
 pub use format::{
-    deserialize, deserialize_shared, read_index_file, read_index_file_mmap, serialize,
-    serialize_version, write_index_file, FormatError, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
+    deserialize, deserialize_shared, deserialize_shared_trusted, read_index_file,
+    read_index_file_mmap, read_index_file_mmap_trusted, serialize, serialize_version,
+    write_index_file, FormatError, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
 pub use lru::LruCache;
 pub use session::{

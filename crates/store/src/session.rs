@@ -3,23 +3,28 @@
 //!
 //! A session holds an LRU cache of compiled queries keyed by
 //! `(document, query, strategy)`, so a repeated query skips the
-//! XPath→ASTA compile entirely and goes straight to automaton evaluation.
+//! XPath→ASTA compile entirely and goes straight to plan execution.
 //! Sessions are `Sync`: one session can serve many threads (the cache sits
 //! behind a `Mutex`; hit/miss counters are atomics), or each connection
 //! can hold its own session over the same store — compiled queries are
 //! `Arc`-shared either way.
 //!
-//! [`Session::query_many`] additionally parallelizes *within* one batch:
-//! independent `(document, query)` pairs are claimed work-stealing-style
-//! by a scoped `std::thread` pool (no extra dependencies), each worker
-//! reusing one [`EvalScratch`] across its share of the batch, so batch
-//! throughput scales with cores while results stay in request order.
+//! [`Session::query_many`] additionally parallelizes *within* one batch on
+//! a **persistent worker pool**: long-lived `std::thread` workers (spawned
+//! lazily on the first parallel batch, no external dependencies) park on a
+//! condvar between batches and claim requests from a shared atomic work
+//! cursor — load balance is per-request, and the per-batch cost is a
+//! wake-up instead of a thread spawn. Each worker owns one
+//! [`EvalScratch`] for its whole lifetime, so the document-sized visited
+//! bitset and the spine executor's memo tables are reused across batches,
+//! not just within one. Results come back in request order; the calling
+//! thread works the batch too, so progress never depends on the pool.
 
 use crate::lru::LruCache;
 use crate::{DocumentStore, StoredDocument};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use xwq_core::{CompiledQuery, EvalScratch, EvalStats, QueryError, Strategy};
 use xwq_xml::NodeId;
 
@@ -65,13 +70,13 @@ pub struct QueryRequest {
 }
 
 impl QueryRequest {
-    /// A request with the given document and query, using
-    /// [`Strategy::Optimized`].
+    /// A request with the given document and query, using the default
+    /// strategy ([`Strategy::Auto`] — the cost-based planner).
     pub fn new(document: impl Into<String>, query: impl Into<String>) -> Self {
         Self {
             document: document.into(),
             query: query.into(),
-            strategy: Strategy::Optimized,
+            strategy: Strategy::default(),
         }
     }
 
@@ -119,6 +124,12 @@ type CacheKey = (String, u64, String, Strategy);
 
 /// A serving session over a shared [`DocumentStore`].
 pub struct Session {
+    inner: Arc<SessionInner>,
+    pool: WorkerPool,
+}
+
+/// The `'static` part workers share with the session.
+struct SessionInner {
     store: Arc<DocumentStore>,
     cache: Mutex<LruCache<CacheKey, Arc<CompiledQuery>>>,
     hits: AtomicU64,
@@ -135,19 +146,130 @@ impl Session {
     /// A session with an explicit cache capacity (0 disables caching).
     pub fn with_cache_capacity(store: Arc<DocumentStore>, capacity: usize) -> Self {
         Self {
-            store,
-            cache: Mutex::new(LruCache::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            inner: Arc::new(SessionInner {
+                store,
+                cache: Mutex::new(LruCache::new(capacity)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+            pool: WorkerPool::new(),
         }
     }
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<DocumentStore> {
-        &self.store
+        &self.inner.store
     }
 
+    /// Serves one query.
+    pub fn query(
+        &self,
+        document: &str,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<QueryResponse, SessionError> {
+        self.query_with_scratch(document, query, strategy, &mut EvalScratch::new())
+    }
+
+    /// Serves one query reusing a caller-held [`EvalScratch`] (the
+    /// per-thread form `query_many` workers use).
+    pub fn query_with_scratch(
+        &self,
+        document: &str,
+        query: &str,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+    ) -> Result<QueryResponse, SessionError> {
+        self.inner
+            .query_with_scratch(document, query, strategy, scratch)
+    }
+
+    /// Serves a batch of queries across documents, in request order,
+    /// evaluating independent requests in parallel on the persistent
+    /// worker pool sized to the machine (see
+    /// [`Self::query_many_with_threads`]).
+    ///
+    /// Each request is answered independently: one bad query or missing
+    /// document does not abort the rest of the batch.
+    pub fn query_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, SessionError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.query_many_with_threads(requests, threads)
+    }
+
+    /// [`Self::query_many`] with an explicit worker count (`0` and `1`
+    /// both mean serial). Up to `threads` workers — the calling thread
+    /// plus pool workers woken for this batch — claim requests from a
+    /// shared atomic cursor, so load balance is per-request, not
+    /// per-chunk. Pool workers are spawned lazily on the first parallel
+    /// batch and persist across batches, each keeping one [`EvalScratch`]
+    /// for its lifetime. Results come back in request order regardless of
+    /// completion order.
+    pub fn query_many_with_threads(
+        &self,
+        requests: &[QueryRequest],
+        threads: usize,
+    ) -> Vec<Result<QueryResponse, SessionError>> {
+        let threads = threads.max(1).min(requests.len().max(1));
+        if threads == 1 {
+            let mut scratch = EvalScratch::new();
+            return requests
+                .iter()
+                .map(|r| {
+                    self.inner
+                        .query_with_scratch(&r.document, &r.query, r.strategy, &mut scratch)
+                })
+                .collect();
+        }
+        // The workers need owned requests (they outlive this call's
+        // borrows); cloning a batch of strings is far cheaper than the
+        // per-batch thread spawns this pool replaces.
+        let job = Job {
+            id: self.pool.next_job_id(),
+            requests: Arc::new(requests.to_vec()),
+            cursor: Arc::new(AtomicUsize::new(0)),
+            participants: Arc::new(AtomicUsize::new(0)),
+            limit: threads,
+            out: Arc::new(Mutex::new((0..requests.len()).map(|_| None).collect())),
+            pending: Arc::new((Mutex::new(requests.len()), Condvar::new())),
+        };
+        // The caller is participant #0; the pool contributes the rest.
+        job.participants.fetch_add(1, Ordering::Relaxed);
+        self.pool.ensure_workers(threads - 1, &self.inner);
+        self.pool.publish(job.clone());
+        let mut scratch = EvalScratch::new();
+        self.inner.run_job_items(&job, &mut scratch);
+        job.wait_done();
+        let mut out = job.out.lock().expect("batch results poisoned");
+        out.iter_mut()
+            .map(|slot| slot.take().expect("every request answered exactly once"))
+            .collect()
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.inner.cache.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity(),
+        }
+    }
+
+    /// Number of live pool workers (observability / tests).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.worker_count()
+    }
+}
+
+impl SessionInner {
     /// Fetches a compiled query for `(document, query, strategy)`, from
     /// cache if possible. The compiled automaton itself does not depend on
     /// the strategy, but the strategy is part of the cache key so the
@@ -189,19 +311,7 @@ impl Session {
         Ok((compiled, false))
     }
 
-    /// Serves one query.
-    pub fn query(
-        &self,
-        document: &str,
-        query: &str,
-        strategy: Strategy,
-    ) -> Result<QueryResponse, SessionError> {
-        self.query_with_scratch(document, query, strategy, &mut EvalScratch::new())
-    }
-
-    /// Serves one query reusing a caller-held [`EvalScratch`] (the
-    /// per-thread form `query_many` workers use).
-    pub fn query_with_scratch(
+    fn query_with_scratch(
         &self,
         document: &str,
         query: &str,
@@ -222,93 +332,157 @@ impl Session {
         })
     }
 
-    /// Serves a batch of queries across documents, in request order,
-    /// evaluating independent requests in parallel on a scoped thread pool
-    /// sized to the machine (see [`Self::query_many_with_threads`]).
-    ///
-    /// Each request is answered independently: one bad query or missing
-    /// document does not abort the rest of the batch.
-    pub fn query_many(
-        &self,
-        requests: &[QueryRequest],
-    ) -> Vec<Result<QueryResponse, SessionError>> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.query_many_with_threads(requests, threads)
-    }
-
-    /// [`Self::query_many`] with an explicit worker count (`0` and `1`
-    /// both mean serial). Workers claim requests from a shared atomic
-    /// cursor — load balance is per-request, not per-chunk — and each
-    /// keeps one [`EvalScratch`] across all its requests, so the
-    /// document-sized visited bitset is allocated `threads` times per
-    /// batch, not `requests.len()` times. Results come back in request
-    /// order regardless of completion order.
-    pub fn query_many_with_threads(
-        &self,
-        requests: &[QueryRequest],
-        threads: usize,
-    ) -> Vec<Result<QueryResponse, SessionError>> {
-        let threads = threads.max(1).min(requests.len().max(1));
-        if threads == 1 {
-            let mut scratch = EvalScratch::new();
-            return requests
-                .iter()
-                .map(|r| self.query_with_scratch(&r.document, &r.query, r.strategy, &mut scratch))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<QueryResponse, SessionError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    s.spawn(move || {
-                        let mut scratch = EvalScratch::new();
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= requests.len() {
-                                break;
-                            }
-                            let r = &requests[i];
-                            local.push((
-                                i,
-                                self.query_with_scratch(
-                                    &r.document,
-                                    &r.query,
-                                    r.strategy,
-                                    &mut scratch,
-                                ),
-                            ));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, result) in h.join().expect("query_many worker panicked") {
-                    slots[i] = Some(result);
+    /// Claims and answers batch items until the cursor is exhausted.
+    fn run_job_items(&self, job: &Job, scratch: &mut EvalScratch) {
+        /// Decrements the pending count exactly once per claimed item —
+        /// on the normal path *and* during unwinding, so a panic inside
+        /// evaluation can never leave `wait_done` blocked forever (the
+        /// unanswered slot then fails the caller's "every request
+        /// answered" check, surfacing the panic instead of a deadlock).
+        struct PendingGuard<'a>(&'a (Mutex<usize>, Condvar));
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                let (left, cv) = self.0;
+                let mut left = left.lock().expect("batch pending poisoned");
+                *left -= 1;
+                if *left == 0 {
+                    cv.notify_all();
                 }
             }
-        });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every request answered exactly once"))
-            .collect()
+        }
+        loop {
+            let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.requests.len() {
+                return;
+            }
+            let _guard = PendingGuard(&job.pending);
+            let r = &job.requests[i];
+            let result = self.query_with_scratch(&r.document, &r.query, r.strategy, scratch);
+            job.out.lock().expect("batch results poisoned")[i] = Some(result);
+        }
+    }
+}
+
+/// Batch result slots, filled in request order.
+type BatchResults = Vec<Option<Result<QueryResponse, SessionError>>>;
+
+/// One published batch. Workers clone the whole job out of the slot, so a
+/// later batch overwriting the slot never disturbs a running one.
+#[derive(Clone)]
+struct Job {
+    id: u64,
+    requests: Arc<Vec<QueryRequest>>,
+    cursor: Arc<AtomicUsize>,
+    /// Threads that joined this batch (the caller counts as one).
+    participants: Arc<AtomicUsize>,
+    /// Maximum participants (`--threads`); extra workers sit the batch out
+    /// so an explicit thread count stays an upper bound.
+    limit: usize,
+    out: Arc<Mutex<BatchResults>>,
+    /// `(items not yet answered, completion signal)`.
+    pending: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Job {
+    fn wait_done(&self) {
+        let (left, cv) = &*self.pending;
+        let mut left = left.lock().expect("batch pending poisoned");
+        while *left > 0 {
+            left = cv.wait(left).expect("batch pending poisoned");
+        }
+    }
+}
+
+/// The persistent worker pool: a job slot + condvar the workers park on.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_job: AtomicU64,
+}
+
+struct PoolShared {
+    /// The latest published job (stale completed jobs linger harmlessly —
+    /// workers track the last job id they joined).
+    job: Mutex<Option<Job>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                job: Mutex::new(None),
+                work_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+            next_job: AtomicU64::new(1),
+        }
     }
 
-    /// Current cache counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().expect("cache lock poisoned");
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: cache.len(),
-            capacity: cache.capacity(),
+    fn next_job_id(&self) -> u64 {
+        self.next_job.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers.lock().expect("pool workers poisoned").len()
+    }
+
+    /// Grows the pool to at least `want` workers (lazily: a session that
+    /// only ever serves serially spawns none).
+    fn ensure_workers(&self, want: usize, inner: &Arc<SessionInner>) {
+        let mut workers = self.workers.lock().expect("pool workers poisoned");
+        while workers.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let inner = Arc::clone(inner);
+            workers.push(std::thread::spawn(move || worker_loop(shared, inner)));
+        }
+    }
+
+    fn publish(&self, job: Job) {
+        let mut slot = self.shared.job.lock().expect("pool job poisoned");
+        *slot = Some(job);
+        drop(slot);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, inner: Arc<SessionInner>) {
+    // The worker-lifetime scratch: visited bitsets and spine memo tables
+    // are reused across *batches*, not just within one.
+    let mut scratch = EvalScratch::new();
+    let mut last_job = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.job.lock().expect("pool job poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match &*slot {
+                    Some(job) if job.id > last_job => break job.clone(),
+                    _ => slot = shared.work_cv.wait(slot).expect("pool job poisoned"),
+                }
+            }
+        };
+        last_job = job.id;
+        // Respect the batch's thread limit: latecomers beyond it (the
+        // caller already counted itself) sit this one out.
+        if job.participants.fetch_add(1, Ordering::Relaxed) >= job.limit {
+            continue;
+        }
+        inner.run_job_items(&job, &mut scratch);
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.pool.shared.shutdown.store(true, Ordering::Release);
+        self.pool.shared.work_cv.notify_all();
+        let workers = std::mem::take(&mut *self.pool.workers.lock().expect("pool poisoned"));
+        for w in workers {
+            let _ = w.join();
         }
     }
 }
@@ -317,6 +491,7 @@ impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
             .field("cache", &self.cache_stats())
+            .field("pool_workers", &self.pool_workers())
             .finish()
     }
 }
@@ -423,6 +598,7 @@ mod tests {
             .map(|q| QueryRequest::new("d", *q))
             .collect();
         let serial = session.query_many_with_threads(&requests, 1);
+        assert_eq!(session.pool_workers(), 0, "serial batches spawn no pool");
         for threads in [2, 4, 8] {
             let par = session.query_many_with_threads(&requests, threads);
             assert_eq!(par.len(), serial.len());
@@ -434,6 +610,30 @@ mod tests {
                 }
             }
         }
+        // Workers persist across batches instead of respawning per batch.
+        assert_eq!(session.pool_workers(), 7);
+        let again = session.query_many_with_threads(&requests, 4);
+        assert_eq!(again.len(), serial.len());
+        assert_eq!(session.pool_workers(), 7);
+    }
+
+    #[test]
+    fn pool_survives_many_small_batches() {
+        let session = Session::new(store());
+        for round in 0..50 {
+            let requests = vec![
+                QueryRequest::new("a", "//x"),
+                QueryRequest::new("b", "//y"),
+                QueryRequest::new("a", "//x[y]"),
+            ];
+            let out = session.query_many_with_threads(&requests, 3);
+            assert_eq!(out.len(), 3, "round {round}");
+            assert_eq!(out[0].as_ref().unwrap().nodes, vec![1, 3]);
+            assert_eq!(out[1].as_ref().unwrap().nodes, vec![1]);
+            assert_eq!(out[2].as_ref().unwrap().nodes, vec![1]);
+        }
+        // Pool never exceeds the largest batch's worker demand.
+        assert!(session.pool_workers() <= 2);
     }
 
     #[test]

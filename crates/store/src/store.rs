@@ -203,6 +203,22 @@ impl DocumentStore {
         self.register(name, doc, index)
     }
 
+    /// [`Self::open_mmap`] for **trusted local files**: skips the payload
+    /// checksum pass (which faults in every page before the first query)
+    /// and issues an `madvise(WILLNEED)` prefetch hint on unix64. All
+    /// structural validation still runs. Only use this on artifacts this
+    /// process (or a trusted pipeline) wrote — it inherits every caveat of
+    /// mapping files you don't control *plus* undetected bit rot; see the
+    /// README's zero-copy section.
+    pub fn open_mmap_trusted(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<StoredDocument>, StoreError> {
+        let (doc, index) = crate::read_index_file_mmap_trusted(path)?;
+        self.register(name, doc, index)
+    }
+
     /// Parses and indexes an XML file and registers it under `name`.
     pub fn load_xml_file(
         &self,

@@ -122,7 +122,71 @@ fn mmap_load_is_actually_zero_copy() {
         mix.heap_bytes(),
         index.heap_bytes()
     );
+    // The alphabet too: label names stay views into the mapping — no
+    // per-label String materialization on the zero-copy path.
+    assert!(
+        mdoc.alphabet().is_shared(),
+        "alphabet names were materialized on the mmap path"
+    );
+    assert_eq!(
+        mdoc.alphabet().names().collect::<Vec<_>>(),
+        doc.alphabet().names().collect::<Vec<_>>()
+    );
+    for name in doc.alphabet().names() {
+        assert_eq!(mdoc.alphabet().lookup(name), doc.alphabet().lookup(name));
+    }
+    assert_eq!(mdoc.alphabet().lookup("no-such-label-anywhere"), None);
     std::fs::remove_file(&path).ok();
+}
+
+/// The trusted open skips only the checksum: queries agree with the
+/// verified path, structural damage is still rejected, and prefetch
+/// advice is harmless on every backing.
+#[test]
+fn trusted_mmap_open_agrees_and_still_validates_structure() {
+    let (_, bytes) = sample(TopologyKind::Succinct);
+    let path = tmp_path("trusted");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = DocumentStore::new();
+    store.open_mmap("checked", &path).unwrap();
+    store.open_mmap_trusted("trusted", &path).unwrap();
+    let session = Session::new(Arc::new(store));
+    for q in ["//item", "//item[b]", "//b", "//item[text()='gold ']"] {
+        let a = session.query("checked", q, EvalStrategy::Auto).unwrap();
+        let b = session.query("trusted", q, EvalStrategy::Auto).unwrap();
+        assert_eq!(a.nodes, b.nodes, "{q}");
+    }
+
+    // Truncation is structural, not a checksum matter: still an error.
+    let cut = tmp_path("trusted-cut");
+    std::fs::write(&cut, &bytes[..bytes.len() - 9]).unwrap();
+    assert!(xwq_store::read_index_file_mmap_trusted(&cut).is_err());
+
+    // A payload bit flip is exactly what the checksum exists to catch:
+    // the verified path rejects it; the trusted path is documented to
+    // accept content-level rot (flip inside a text blob, which no
+    // structural check constrains).
+    let gold = bytes
+        .windows(4)
+        .position(|w| w == b"gold")
+        .expect("text content in payload");
+    let mut rotted = bytes.clone();
+    rotted[gold] ^= 0x02; // "gold" -> "eold", still valid UTF-8
+    let rot_path = tmp_path("trusted-rot");
+    std::fs::write(&rot_path, &rotted).unwrap();
+    assert!(matches!(
+        xwq_store::read_index_file_mmap(&rot_path),
+        Err(FormatError::ChecksumMismatch { .. })
+    ));
+    assert!(
+        xwq_store::read_index_file_mmap_trusted(&rot_path).is_ok(),
+        "trusted open intentionally skips the checksum"
+    );
+
+    for p in [path, cut, rot_path] {
+        std::fs::remove_file(p).ok();
+    }
 }
 
 /// The acceptance check: mmap-loaded and Vec-loaded indexes return

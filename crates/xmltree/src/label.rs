@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use xwq_succinct::StrTable;
 
 /// Dense identifier of an interned label.
 pub type LabelId = u32;
@@ -23,11 +24,49 @@ pub enum LabelKind {
 }
 
 /// An interner from label names to dense [`LabelId`]s.
-#[derive(Clone, Debug, Default)]
+///
+/// Names are backed by a [`StrTable`], so an alphabet loaded from a
+/// memory-mapped `.xwqi` file keeps them as zero-copy views into the
+/// mapping ([`Self::from_table`]) — no per-label `String`. In that frozen
+/// mode, lookups go through a name-sorted id permutation (binary search);
+/// the building mode used by parsers keeps the usual hash map, and
+/// [`Self::intern`] on a frozen alphabet detaches back into it.
+#[derive(Clone, Debug)]
 pub struct Alphabet {
-    names: Vec<String>,
+    names: StrTable,
     kinds: Vec<LabelKind>,
-    map: HashMap<String, LabelId>,
+    lookup: LookupIndex,
+}
+
+#[derive(Clone, Debug)]
+enum LookupIndex {
+    /// Building mode: owned-name hash map (O(1) interning while parsing).
+    Map(HashMap<String, LabelId>),
+    /// Frozen mode: label ids sorted by name, searched by comparison
+    /// against the (possibly borrowed) name table — no owned keys.
+    Sorted(Vec<LabelId>),
+}
+
+impl Default for Alphabet {
+    fn default() -> Self {
+        Self {
+            names: StrTable::default(),
+            kinds: Vec::new(),
+            lookup: LookupIndex::Map(HashMap::new()),
+        }
+    }
+}
+
+/// Classifies a label name (`#text` → text, `@…` → attribute, otherwise
+/// element).
+fn kind_of(name: &str) -> LabelKind {
+    if name == "#text" {
+        LabelKind::Text
+    } else if name.starts_with('@') {
+        LabelKind::Attribute
+    } else {
+        LabelKind::Element
+    }
 }
 
 impl Alphabet {
@@ -39,20 +78,31 @@ impl Alphabet {
     /// Interns `name`, classifying it by its first character (`#text` → text,
     /// `@…` → attribute, otherwise element).
     pub fn intern(&mut self, name: &str) -> LabelId {
-        if let Some(&id) = self.map.get(name) {
+        let map = match &mut self.lookup {
+            LookupIndex::Map(map) => map,
+            LookupIndex::Sorted(_) => {
+                // Frozen alphabets are immutable in the serving path;
+                // interning into one (builder reuse) detaches to a map.
+                let map = self
+                    .names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.to_string(), i as LabelId))
+                    .collect();
+                self.lookup = LookupIndex::Map(map);
+                match &mut self.lookup {
+                    LookupIndex::Map(map) => map,
+                    LookupIndex::Sorted(_) => unreachable!("just replaced"),
+                }
+            }
+        };
+        if let Some(&id) = map.get(name) {
             return id;
         }
-        let id = self.names.len() as LabelId;
-        let kind = if name == "#text" {
-            LabelKind::Text
-        } else if name.starts_with('@') {
-            LabelKind::Attribute
-        } else {
-            LabelKind::Element
-        };
+        let id = self.kinds.len() as LabelId;
+        self.kinds.push(kind_of(name));
         self.names.push(name.to_string());
-        self.kinds.push(kind);
-        self.map.insert(name.to_string(), id);
+        map.insert(name.to_string(), id);
         id
     }
 
@@ -75,19 +125,54 @@ impl Alphabet {
         Ok(a)
     }
 
+    /// Builds a frozen alphabet directly over a name table — the zero-copy
+    /// load path: a table borrowed from an mmap stays borrowed, and no
+    /// per-label `String` is materialized (kinds and the name-sorted id
+    /// permutation are the only derived allocations). Fails on duplicate
+    /// names.
+    pub fn from_table(names: StrTable) -> Result<Self, String> {
+        let kinds: Vec<LabelKind> = names.iter().map(kind_of).collect();
+        let mut sorted: Vec<LabelId> = (0..names.len() as LabelId).collect();
+        sorted.sort_unstable_by(|&a, &b| names.get(a as usize).cmp(names.get(b as usize)));
+        for w in sorted.windows(2) {
+            if names.get(w[0] as usize) == names.get(w[1] as usize) {
+                return Err(format!(
+                    "alphabet: duplicate label name {:?}",
+                    names.get(w[0] as usize)
+                ));
+            }
+        }
+        Ok(Self {
+            names,
+            kinds,
+            lookup: LookupIndex::Sorted(sorted),
+        })
+    }
+
+    /// True if the names are zero-copy views into a shared buffer.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.names, StrTable::Shared { .. })
+    }
+
     /// Label names in id order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.names.iter().map(String::as_str)
+        self.names.iter()
     }
 
     /// Looks up an existing label.
     pub fn lookup(&self, name: &str) -> Option<LabelId> {
-        self.map.get(name).copied()
+        match &self.lookup {
+            LookupIndex::Map(map) => map.get(name).copied(),
+            LookupIndex::Sorted(sorted) => sorted
+                .binary_search_by(|&id| self.names.get(id as usize).cmp(name))
+                .ok()
+                .map(|i| sorted[i]),
+        }
     }
 
     /// The name of `id`.
     pub fn name(&self, id: LabelId) -> &str {
-        &self.names[id as usize]
+        self.names.get(id as usize)
     }
 
     /// The kind of `id`.

@@ -56,13 +56,13 @@ fn main() {
     // printing each reachable state set's skip classification.
     println!("\ntop-down approximation (Def. 4.2) and jumps:");
     let mut tda = Tda::new(&asta);
-    let start = tda.top_set();
+    let start = tda.top_set(&asta);
     let mut seen = vec![start];
     let mut queue = vec![start];
-    let mut hits = 0;
+    let mut stats = xwq::core::EvalStats::default();
     while let Some(set) = queue.pop() {
         let members: Vec<String> = tda.sets.get(set).iter().map(|q| format!("q{q}")).collect();
-        let info = tda.skip_info(set);
+        let info = tda.skip_info(&asta, set);
         let jump: Vec<&str> = info.jump.iter().map(|l| alphabet.name(l)).collect();
         let how = match info.kind {
             SkipKind::Both => format!("jump dt/ft to top-most {{{}}}", jump.join(",")),
@@ -72,7 +72,7 @@ fn main() {
         };
         println!("   {{{}}} : {how}", members.join(","));
         for l in alphabet.ids() {
-            let t = tda.trans(set, l, &mut hits);
+            let t = tda.trans(&asta, set, l, &mut stats);
             for next in [t.r1, t.r2] {
                 if !seen.contains(&next) && !tda.sets.get(next).is_empty() {
                     seen.push(next);

@@ -3,6 +3,7 @@
 //! ```sh
 //! xwq index <file.xml> -o <file.xwqi> [--topology array|succinct]
 //! xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
+//! xwq explain (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
 //! xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
 //! xwq '<xpath>' <file.xml> [options]     # legacy one-shot form
 //! ```
@@ -28,6 +29,7 @@ const USAGE: &str = "\
 usage:
   xwq index <file.xml> -o <file.xwqi> [--topology array|succinct] [--mmap]
   xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
+  xwq explain (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap]
@@ -36,7 +38,8 @@ usage:
   xwq --help | --version
 
 options:
-  --strategy naive|pruning|jumping|memo|opt|hybrid   evaluation strategy [opt]
+  --strategy naive|pruning|jumping|memo|opt|hybrid|auto
+                 evaluation strategy [auto: per-query cost-based planner]
   --count        print only the number of selected nodes
   --stats        print traversal / cache statistics to stderr
   --text         include each node's text content
@@ -50,6 +53,9 @@ options:
 subcommands:
   index       parse + index an XML file once, persist it as a .xwqi artifact
   query       evaluate one XPath query against an .xwqi index or an XML file
+  explain     print the physical plan a strategy chooses for a query (per-
+              operator cost estimates), then run it and report estimated vs
+              actual visit counts
   batch       evaluate a file of queries (one per line, # comments) via a
               Session with a compiled-query LRU cache
   bench       run the fixed XMark query suite under every strategy and write
@@ -114,6 +120,7 @@ fn main() -> ExitCode {
         }
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
@@ -306,6 +313,90 @@ fn cmd_query(args: &[String]) -> ExitCode {
             }
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// `xwq explain (--index <file.xwqi> | <file.xml>) '<xpath>' [options]`
+///
+/// Prints the physical plan the strategy lowers to — one row per operator
+/// (LabelJump / UpwardMatch / PredicateProbe / SpineDescend / Intersect /
+/// AutomatonRun) with the planner's cost estimates — then executes it and
+/// reports estimated vs actual visits.
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut index_path: Option<&str> = None;
+    let mut flags = CommonFlags::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => index_path = Some(p),
+                    None => return usage_error("--index needs a path"),
+                }
+            }
+            _ => match parse_common_flag(args, &mut i, &mut flags) {
+                FlagParse::Consumed => {}
+                FlagParse::Err(code) => return code,
+                FlagParse::Positional(p) => positional.push(p),
+            },
+        }
+        i += 1;
+    }
+    let (query, engine) = match (index_path, &positional[..]) {
+        (Some(path), [q]) => {
+            let loaded = if flags.mmap {
+                xwq::store::read_index_file_mmap(path)
+            } else {
+                xwq::store::read_index_file(path)
+            };
+            match loaded {
+                Ok((_, index)) => (*q, Engine::from_index(index)),
+                Err(e) => return fail(format!("{path}: {e}")),
+            }
+        }
+        (None, [q, file]) => match load_xml(file) {
+            Ok(doc) => (*q, Engine::build(&doc)),
+            Err(code) => return code,
+        },
+        _ => return usage_error("explain needs '<xpath>' plus --index <file.xwqi> or <file.xml>"),
+    };
+    let compiled = match engine.compile(query) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let plan = engine.plan(&compiled, flags.strategy);
+    let mut text = format!(
+        "plan for {query} [{}]\n  chosen because: {}\n",
+        flags.strategy.token(),
+        plan.reason
+    );
+    for (n, line) in plan.describe(engine.index()).iter().enumerate() {
+        text.push_str(&format!(
+            "  {:>2}. {:<15} {:<52} est cost {:>8.0}  ~{:.0} visits\n",
+            n + 1,
+            line.op,
+            line.detail,
+            line.est.cost,
+            line.est.visits
+        ));
+    }
+    let t0 = std::time::Instant::now();
+    let out = engine.run(&compiled, flags.strategy);
+    let elapsed = t0.elapsed();
+    text.push_str(&format!(
+        "estimated: cost {:.0}, ~{:.0} visits\n",
+        plan.est.cost, plan.est.visits
+    ));
+    text.push_str(&format!(
+        "actual:    visited {}, jumps {}, selected {}, {:.1?} (cold run)\n",
+        out.stats.visited, out.stats.jumps, out.stats.selected, elapsed
+    ));
+    // EPIPE-tolerant: `xwq explain … | head` (or `| grep -q`) must exit
+    // cleanly when the reader closes the pipe, not panic.
+    use std::io::Write as _;
+    let _ = std::io::stdout().lock().write_all(text.as_bytes());
     ExitCode::SUCCESS
 }
 
@@ -567,9 +658,12 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         if use_mmap { " (mmap-served)" } else { "" }
     );
 
-    // The compilable subset of the fixed suite.
-    let suite: Vec<(usize, &'static str, xwq::core::CompiledQuery)> = xwq::xmark::queries()
-        .filter_map(|(n, q)| engine.compile(q).ok().map(|c| (n, q, c)))
+    // The compilable subset of the fixed suite (query texts only — each
+    // strategy compiles its own copies below, so the per-query memo pools
+    // a `CompiledQuery` carries never leak one strategy's warm tables
+    // into another's measurements).
+    let suite: Vec<(usize, &'static str)> = xwq::xmark::queries()
+        .filter(|(_, q)| engine.compile(q).is_ok())
         .collect();
     if suite.is_empty() {
         return fail("no query of the suite compiled");
@@ -589,17 +683,23 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let mut total_ns = 0f64;
         let mut total = xwq::core::EvalStats::default();
         let mut per_query = String::new();
-        for (n, text, q) in &suite {
+        for &(n, text) in &suite {
+            let q = engine.compile(text).expect("pre-checked above");
             let mut best = f64::INFINITY;
             let mut stats = xwq::core::EvalStats::default();
-            for _ in 0..repeats {
+            for rep in 0..repeats {
                 let t0 = std::time::Instant::now();
-                let out = engine.run_with_scratch(q, strat, &mut scratch);
+                let out = engine.run_with_scratch(&q, strat, &mut scratch);
                 let dt = t0.elapsed().as_nanos() as f64;
                 if dt < best {
                     best = dt;
                 }
-                stats = out.stats;
+                // Counters come from the *cold* run: they describe the
+                // strategy's traversal algorithm. ns keeps the best-of —
+                // including pool-warm repeats, the serving-path number.
+                if rep == 0 {
+                    stats = out.stats;
+                }
             }
             total_ns += best;
             total.accumulate(&stats);
@@ -644,7 +744,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let session = Session::new(Arc::new(store));
     let requests: Vec<QueryRequest> = suite
         .iter()
-        .map(|(_, q, _)| QueryRequest::new("bench", *q))
+        .map(|&(_, q)| QueryRequest::new("bench", q))
         .collect();
     // Warm the compiled-query cache, then measure the serial baseline as
     // its own run — every speedup below is relative to this *measured*
