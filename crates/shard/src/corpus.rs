@@ -1,0 +1,422 @@
+//! The [`Corpus`]: a catalog of documents spread over a fixed set of
+//! shards.
+//!
+//! A corpus owns `N` independent [`DocumentStore`] shards. Every document
+//! registered with the corpus is placed on exactly one shard by the
+//! corpus's [`PlacementPolicy`] and stays there for its lifetime — the
+//! doc→shard mapping is what [`crate::ShardedSession`] workers pin to.
+//! Shards are ordinary stores: several corpora (or several processes)
+//! opening the same `.xwqi` files via [`DocumentStore::open_mmap`] share
+//! the kernel page cache, which is what makes per-shard serving cheap —
+//! a shard adds affinity, not a copy.
+
+use crate::manifest::{Manifest, ManifestError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+use xwq_index::TopologyKind;
+use xwq_store::{DocumentStore, StoreError, StoredDocument};
+
+/// How new documents are assigned to shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Cycle through the shards in registration order: the shard with the
+    /// fewest documents wins (ties to the lowest index). Best when
+    /// documents are similar in size or arrival order should dominate.
+    #[default]
+    RoundRobin,
+    /// The shard with the fewest total *nodes* wins (ties to the lowest
+    /// index), so a few large documents don't pile onto one shard while
+    /// small ones pad the rest. Best for heterogeneous corpora.
+    SizeBalanced,
+}
+
+impl PlacementPolicy {
+    /// Picks the shard for a document of `doc_nodes` nodes given the
+    /// current per-shard loads. `loads` is never empty.
+    pub fn place(self, loads: &[ShardLoad], doc_nodes: usize) -> usize {
+        let _ = doc_nodes; // both built-in policies only look at loads
+        let key = |l: &ShardLoad| match self {
+            PlacementPolicy::RoundRobin => l.docs,
+            PlacementPolicy::SizeBalanced => l.nodes,
+        };
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| (key(l), *i))
+            .map(|(i, _)| i)
+            .expect("corpus has at least one shard")
+    }
+
+    /// The CLI token for this policy.
+    pub fn token(self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::SizeBalanced => "size-balanced",
+        }
+    }
+}
+
+impl std::str::FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "round-robin" | "rr" => Ok(PlacementPolicy::RoundRobin),
+            "size-balanced" | "size" => Ok(PlacementPolicy::SizeBalanced),
+            other => Err(format!(
+                "unknown placement policy {other:?} (expected round-robin|size-balanced)"
+            )),
+        }
+    }
+}
+
+/// What one shard currently holds (placement input + observability).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Documents registered on this shard.
+    pub docs: usize,
+    /// Total nodes across those documents.
+    pub nodes: usize,
+}
+
+/// Errors from corpus operations.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A document with this name is already in the corpus.
+    DuplicateDocument(String),
+    /// The request named a document the corpus does not have.
+    UnknownDocument(String),
+    /// The underlying shard store rejected the operation.
+    Store(StoreError),
+    /// Reading or writing the corpus manifest failed.
+    Manifest(ManifestError),
+    /// An operation on one named document failed (context wrapper, so a
+    /// multi-file corpus open names the artifact that broke).
+    Doc {
+        /// The document whose artifact or registration failed.
+        name: String,
+        /// What went wrong.
+        source: Box<CorpusError>,
+    },
+    /// The admission queue is full (active + waiting callers at capacity).
+    Overloaded {
+        /// Concurrent `query_corpus` calls currently being served.
+        active: usize,
+        /// Callers parked waiting for an admission slot.
+        waiting: usize,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::DuplicateDocument(d) => write!(f, "document {d:?} already in corpus"),
+            CorpusError::UnknownDocument(d) => write!(f, "no document named {d:?} in corpus"),
+            CorpusError::Store(e) => write!(f, "{e}"),
+            CorpusError::Manifest(e) => write!(f, "{e}"),
+            CorpusError::Doc { name, source } => write!(f, "document {name:?}: {source}"),
+            CorpusError::Overloaded { active, waiting } => write!(
+                f,
+                "corpus overloaded: {active} active and {waiting} waiting callers at capacity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Store(e) => Some(e),
+            CorpusError::Manifest(e) => Some(e),
+            CorpusError::Doc { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CorpusError {
+    fn from(e: StoreError) -> Self {
+        CorpusError::Store(e)
+    }
+}
+
+impl From<ManifestError> for CorpusError {
+    fn from(e: ManifestError) -> Self {
+        CorpusError::Manifest(e)
+    }
+}
+
+/// The mutable catalog state: doc name → shard, plus per-shard loads.
+/// A `BTreeMap` keeps document iteration in name order, which is what
+/// makes corpus-wide results deterministic regardless of shard layout.
+struct Catalog {
+    placements: BTreeMap<String, usize>,
+    loads: Vec<ShardLoad>,
+}
+
+/// A catalog of documents spread over a fixed set of shards.
+pub struct Corpus {
+    shards: Vec<Arc<DocumentStore>>,
+    policy: PlacementPolicy,
+    catalog: RwLock<Catalog>,
+}
+
+impl Corpus {
+    /// An empty corpus with `shards` shards (at least one) and the given
+    /// placement policy.
+    pub fn new(shards: usize, policy: PlacementPolicy) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Arc::new(DocumentStore::new()))
+                .collect(),
+            policy,
+            catalog: RwLock::new(Catalog {
+                placements: BTreeMap::new(),
+                loads: vec![ShardLoad::default(); shards],
+            }),
+        }
+    }
+
+    /// Opens a corpus directory produced by `xwq corpus build`: reads its
+    /// manifest and memory-maps every per-document `.xwqi` — the zero-copy
+    /// path, so shards mapping the same artifacts share the page cache.
+    pub fn open_dir(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Self, CorpusError> {
+        let dir = dir.as_ref();
+        let manifest = Manifest::read_dir(dir)?;
+        let corpus = Self::new(shards, policy);
+        for entry in manifest.docs() {
+            corpus
+                .add_mmap(&entry.name, dir.join(&entry.file))
+                .map_err(|e| CorpusError::Doc {
+                    name: entry.name.clone(),
+                    source: Box::new(e),
+                })?;
+        }
+        Ok(corpus)
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// The store behind shard `s` (for direct lookups / observability).
+    pub fn shard_store(&self, s: usize) -> &Arc<DocumentStore> {
+        &self.shards[s]
+    }
+
+    /// Current per-shard loads, indexed by shard.
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        self.catalog
+            .read()
+            .expect("corpus catalog poisoned")
+            .loads
+            .clone()
+    }
+
+    /// Number of documents in the corpus.
+    pub fn len(&self) -> usize {
+        self.catalog
+            .read()
+            .expect("corpus catalog poisoned")
+            .placements
+            .len()
+    }
+
+    /// True if the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All document names, sorted — the deterministic corpus order every
+    /// fan-out merges back into.
+    pub fn doc_names(&self) -> Vec<String> {
+        self.catalog
+            .read()
+            .expect("corpus catalog poisoned")
+            .placements
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The shard holding `name`, if the corpus has it.
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        self.catalog
+            .read()
+            .expect("corpus catalog poisoned")
+            .placements
+            .get(name)
+            .copied()
+    }
+
+    /// Looks a document up through its shard.
+    pub fn get(&self, name: &str) -> Option<Arc<StoredDocument>> {
+        let shard = self.shard_of(name)?;
+        self.shards[shard].get(name)
+    }
+
+    /// `(name, shard)` pairs in name order (the fan-out work list).
+    pub(crate) fn placements(&self) -> Vec<(String, usize)> {
+        self.catalog
+            .read()
+            .expect("corpus catalog poisoned")
+            .placements
+            .iter()
+            .map(|(n, &s)| (n.clone(), s))
+            .collect()
+    }
+
+    /// Places a document of `nodes` nodes, reserving its slot in the
+    /// catalog. Returns the chosen shard.
+    fn place(&self, name: &str, nodes: usize) -> Result<usize, CorpusError> {
+        let mut catalog = self.catalog.write().expect("corpus catalog poisoned");
+        if catalog.placements.contains_key(name) {
+            return Err(CorpusError::DuplicateDocument(name.to_string()));
+        }
+        let shard = self.policy.place(&catalog.loads, nodes);
+        catalog.placements.insert(name.to_string(), shard);
+        catalog.loads[shard].docs += 1;
+        catalog.loads[shard].nodes += nodes;
+        Ok(shard)
+    }
+
+    /// Undoes [`Self::place`] when the shard-store registration fails.
+    fn unplace(&self, name: &str, shard: usize, nodes: usize) {
+        let mut catalog = self.catalog.write().expect("corpus catalog poisoned");
+        catalog.placements.remove(name);
+        catalog.loads[shard].docs -= 1;
+        catalog.loads[shard].nodes -= nodes;
+    }
+
+    /// Registers an already-loaded document + index pair on the shard the
+    /// policy picks. All `add_*` entry points funnel through here.
+    pub fn add_prebuilt(
+        &self,
+        name: &str,
+        doc: xwq_xml::Document,
+        index: xwq_index::TreeIndex,
+    ) -> Result<usize, CorpusError> {
+        let nodes = doc.len();
+        let shard = self.place(name, nodes)?;
+        match self.shards[shard].insert_prebuilt(name, doc, index) {
+            Ok(_) => Ok(shard),
+            Err(e) => {
+                self.unplace(name, shard, nodes);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Parses, indexes and places an XML document. Returns its shard.
+    pub fn add_xml(
+        &self,
+        name: &str,
+        xml: &str,
+        topology: TopologyKind,
+    ) -> Result<usize, CorpusError> {
+        let doc = xwq_xml::parse(xml).map_err(|e| CorpusError::Store(StoreError::Parse(e)))?;
+        let index = xwq_index::TreeIndex::build_with(&doc, topology);
+        self.add_prebuilt(name, doc, index)
+    }
+
+    /// Memory-maps a `.xwqi` file and places it (the zero-copy load —
+    /// what [`Self::open_dir`] uses). Returns its shard.
+    pub fn add_mmap(&self, name: &str, path: impl AsRef<Path>) -> Result<usize, CorpusError> {
+        let (doc, index) = xwq_store::read_index_file_mmap(path).map_err(StoreError::Format)?;
+        self.add_prebuilt(name, doc, index)
+    }
+
+    /// Reads a `.xwqi` file into owned memory and places it. Returns its
+    /// shard.
+    pub fn add_index_file(&self, name: &str, path: impl AsRef<Path>) -> Result<usize, CorpusError> {
+        let (doc, index) = xwq_store::read_index_file(path).map_err(StoreError::Format)?;
+        self.add_prebuilt(name, doc, index)
+    }
+}
+
+impl fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Corpus")
+            .field("shards", &self.shard_count())
+            .field("policy", &self.policy)
+            .field("docs", &self.len())
+            .field("loads", &self.loads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_doc_counts() {
+        let corpus = Corpus::new(3, PlacementPolicy::RoundRobin);
+        for i in 0..7 {
+            corpus
+                .add_xml(&format!("d{i}"), "<r><x/></r>", TopologyKind::Array)
+                .unwrap();
+        }
+        let loads = corpus.loads();
+        let docs: Vec<usize> = loads.iter().map(|l| l.docs).collect();
+        assert_eq!(docs.iter().sum::<usize>(), 7);
+        assert!(docs.iter().all(|&d| d == 2 || d == 3), "{docs:?}");
+    }
+
+    #[test]
+    fn size_balanced_prefers_the_lightest_shard() {
+        let corpus = Corpus::new(2, PlacementPolicy::SizeBalanced);
+        // One big document lands on shard 0 (empty tie → lowest index)…
+        let big: String = format!("<r>{}</r>", "<x/>".repeat(200));
+        assert_eq!(corpus.add_xml("big", &big, TopologyKind::Array).unwrap(), 0);
+        // …then small documents all pile onto shard 1 until it catches up.
+        for i in 0..5 {
+            assert_eq!(
+                corpus
+                    .add_xml(&format!("s{i}"), "<r><x/></r>", TopologyKind::Array)
+                    .unwrap(),
+                1,
+                "small doc {i} should avoid the heavy shard"
+            );
+        }
+        let loads = corpus.loads();
+        assert!(loads[0].nodes > loads[1].nodes);
+        assert_eq!(loads[1].docs, 5);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_corpus_wide() {
+        // Even when the duplicate would land on a *different* shard.
+        let corpus = Corpus::new(2, PlacementPolicy::RoundRobin);
+        corpus.add_xml("d", "<r/>", TopologyKind::Array).unwrap();
+        assert!(matches!(
+            corpus.add_xml("d", "<r/>", TopologyKind::Array),
+            Err(CorpusError::DuplicateDocument(_))
+        ));
+        assert_eq!(corpus.len(), 1);
+    }
+
+    #[test]
+    fn doc_names_are_sorted_regardless_of_insertion_order() {
+        let corpus = Corpus::new(2, PlacementPolicy::RoundRobin);
+        for name in ["zeta", "alpha", "mid"] {
+            corpus.add_xml(name, "<r/>", TopologyKind::Array).unwrap();
+        }
+        assert_eq!(corpus.doc_names(), vec!["alpha", "mid", "zeta"]);
+        assert!(corpus.get("alpha").is_some());
+        assert!(corpus.get("nope").is_none());
+    }
+}

@@ -1,0 +1,861 @@
+//! The [`ShardedSession`]: corpus-wide query serving on per-shard pinned
+//! worker pools.
+//!
+//! Layout: every corpus shard gets its own long-lived worker pool (the
+//! condvar-parked design the single-document `Session` pool introduced)
+//! **and** its own [`Session`] — so the compiled-query LRU, the memo
+//! pools hanging off each `CompiledQuery`, and every worker's
+//! [`EvalScratch`] are all confined to one shard by construction. A
+//! worker thread is spawned *for* a shard, parks on that shard's condvar,
+//! and only ever evaluates documents placed on that shard: shard→worker
+//! affinity is structural, not advisory, which is exactly the handle a
+//! future NUMA binding needs (pin the shard's workers to the node whose
+//! memory holds the shard's mapped `.xwqi` pages).
+//!
+//! [`ShardedSession::query_corpus`] fans one query out over all (or a
+//! subset of) documents: the caller groups the target documents by shard,
+//! publishes one job per involved shard, and waits on a single corpus-wide
+//! completion latch while each shard's workers claim documents from their
+//! shard's atomic cursor. Results always come back merged in document-name
+//! order, so the answer is byte-identical no matter how many shards or
+//! workers served it.
+//!
+//! Concurrent callers pass through a **bounded admission queue** first: at
+//! most `max_active` fan-outs run at once, at most `max_waiting` callers
+//! park behind them, and everyone beyond that is rejected immediately with
+//! [`CorpusError::Overloaded`] — under overload the corpus degrades by
+//! shedding load, not by piling unbounded work onto the pools.
+
+use crate::{Corpus, CorpusError};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use xwq_core::{EvalScratch, Strategy};
+use xwq_store::{CacheStats, QueryResponse, Session, SessionError};
+
+/// The corpus-wide merged result slots, indexed by each document's
+/// position in the name-ordered target list and shared by every shard's
+/// job of one fan-out.
+type ResultSlots = Arc<Mutex<Vec<Option<Result<QueryResponse, SessionError>>>>>;
+
+/// One document's outcome within a corpus fan-out.
+#[derive(Debug)]
+pub struct DocOutcome {
+    /// The document name (outcomes are merged in name order).
+    pub doc: String,
+    /// The shard that served it.
+    pub shard: usize,
+    /// The per-document response or error (a bad document never aborts
+    /// the rest of the fan-out).
+    pub result: Result<QueryResponse, SessionError>,
+}
+
+/// Admission-queue limits for concurrent [`ShardedSession::query_corpus`]
+/// callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Fan-outs served concurrently (at least 1).
+    pub max_active: usize,
+    /// Callers allowed to wait behind them; one more is rejected.
+    pub max_waiting: usize,
+}
+
+impl Default for AdmissionConfig {
+    /// As many active fan-outs as the machine has cores, with a short
+    /// bounded queue behind them.
+    fn default() -> Self {
+        Self {
+            max_active: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_waiting: 64,
+        }
+    }
+}
+
+/// Admission observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Callers admitted (immediately or after waiting).
+    pub admitted: u64,
+    /// Callers that had to wait for a slot before being admitted.
+    pub waited: u64,
+    /// Callers rejected because the wait queue was full.
+    pub rejected: u64,
+}
+
+/// Tuning for a [`ShardedSession`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Long-lived workers pinned to each shard. `0` serves every fan-out
+    /// on the calling thread (shard by shard, in order) — the serial
+    /// reference mode.
+    pub workers_per_shard: usize,
+    /// Compiled-query LRU capacity of each shard's session.
+    pub cache_capacity: usize,
+    /// Admission-queue limits.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 1,
+            cache_capacity: xwq_store::DEFAULT_CACHE_CAPACITY,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// A corpus-wide serving session: one pinned worker pool + one
+/// compiled-query cache per shard, and a bounded admission queue in front.
+pub struct ShardedSession {
+    corpus: Arc<Corpus>,
+    shards: Vec<ShardServer>,
+    admission: Admission,
+    workers_per_shard: usize,
+}
+
+/// One shard's serving state.
+struct ShardServer {
+    /// The shard-local session: compiled-query LRU + store access. Its
+    /// *own* internal pool is never engaged (this layer always calls
+    /// [`Session::query_with_scratch`]), so the only threads touching a
+    /// shard are the ones pinned to it.
+    session: Arc<Session>,
+    pool: ShardPool,
+}
+
+impl ShardedSession {
+    /// A session over `corpus` with `workers_per_shard` pinned workers per
+    /// shard and default cache/admission settings.
+    pub fn new(corpus: Arc<Corpus>, workers_per_shard: usize) -> Self {
+        Self::with_config(
+            corpus,
+            ShardedConfig {
+                workers_per_shard,
+                ..ShardedConfig::default()
+            },
+        )
+    }
+
+    /// A session with explicit tuning.
+    pub fn with_config(corpus: Arc<Corpus>, config: ShardedConfig) -> Self {
+        let shards = (0..corpus.shard_count())
+            .map(|s| ShardServer {
+                session: Arc::new(Session::with_cache_capacity(
+                    Arc::clone(corpus.shard_store(s)),
+                    config.cache_capacity,
+                )),
+                pool: ShardPool::new(s),
+            })
+            .collect();
+        Self {
+            corpus,
+            shards,
+            admission: Admission::new(config.admission),
+            workers_per_shard: config.workers_per_shard,
+        }
+    }
+
+    /// The corpus this session serves.
+    pub fn corpus(&self) -> &Arc<Corpus> {
+        &self.corpus
+    }
+
+    /// Workers currently pinned to shard `s`.
+    pub fn shard_workers(&self, s: usize) -> usize {
+        self.shards[s].pool.worker_count()
+    }
+
+    /// Total live workers across all shards.
+    pub fn total_workers(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.shard_workers(s)).sum()
+    }
+
+    /// Admission-queue counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Aggregated compiled-query cache counters across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.session.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// Fans `query` out over **every** document in the corpus and merges
+    /// the per-document outcomes in document-name order.
+    pub fn query_corpus(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<Vec<DocOutcome>, CorpusError> {
+        let targets = self.corpus.placements();
+        self.run(query, strategy, targets)
+    }
+
+    /// [`Self::query_corpus`] restricted to a subset of document names
+    /// (any order, duplicates collapsed; unknown names fail the whole call
+    /// up front). Outcomes still come back in document-name order.
+    pub fn query_docs(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        docs: &[impl AsRef<str>],
+    ) -> Result<Vec<DocOutcome>, CorpusError> {
+        let mut names: Vec<&str> = docs.iter().map(AsRef::as_ref).collect();
+        names.sort_unstable();
+        names.dedup();
+        let targets = names
+            .into_iter()
+            .map(|name| {
+                self.corpus
+                    .shard_of(name)
+                    .map(|shard| (name.to_string(), shard))
+                    .ok_or_else(|| CorpusError::UnknownDocument(name.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run(query, strategy, targets)
+    }
+
+    /// The fan-out core. `targets` is `(name, shard)` in name order; the
+    /// returned outcomes keep that order.
+    fn run(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        targets: Vec<(String, usize)>,
+    ) -> Result<Vec<DocOutcome>, CorpusError> {
+        let _permit = self.admission.enter()?;
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group the name-ordered targets by shard, remembering each
+        // document's slot in the merged output.
+        let mut per_shard: Vec<Vec<(usize, String)>> = vec![Vec::new(); self.shards.len()];
+        for (slot, (name, shard)) in targets.iter().enumerate() {
+            per_shard[*shard].push((slot, name.clone()));
+        }
+        let out: ResultSlots = Arc::new(Mutex::new((0..targets.len()).map(|_| None).collect()));
+
+        if self.workers_per_shard == 0 {
+            // Serial reference mode: the caller serves each shard in
+            // order. The scratch is per *shard*, mirroring the pooled
+            // mode's invariant that evaluator state never crosses shards.
+            for (s, docs) in per_shard.iter().enumerate() {
+                if docs.is_empty() {
+                    continue;
+                }
+                let mut scratch = EvalScratch::new();
+                for (slot, name) in docs {
+                    let result = self.shards[s].session.query_with_scratch(
+                        name,
+                        query,
+                        strategy,
+                        &mut scratch,
+                    );
+                    out.lock().expect("corpus results poisoned")[*slot] = Some(result);
+                }
+            }
+        } else {
+            let pending = Arc::new((Mutex::new(targets.len()), Condvar::new()));
+            let query: Arc<str> = Arc::from(query);
+            for (s, docs) in per_shard.into_iter().enumerate() {
+                if docs.is_empty() {
+                    continue;
+                }
+                let limit = self.workers_per_shard.min(docs.len());
+                let job = ShardJob {
+                    query: Arc::clone(&query),
+                    strategy,
+                    docs: Arc::new(docs),
+                    cursor: Arc::new(AtomicUsize::new(0)),
+                    participants: Arc::new(AtomicUsize::new(0)),
+                    limit,
+                    out: Arc::clone(&out),
+                    pending: Arc::clone(&pending),
+                };
+                self.shards[s]
+                    .pool
+                    .ensure_workers(limit, &self.shards[s].session);
+                self.shards[s].pool.publish(job);
+            }
+            // The caller never works a shard itself in pooled mode — it
+            // would break pinning — so it just waits on the latch.
+            let (left, cv) = &*pending;
+            let mut left = left.lock().expect("corpus pending poisoned");
+            while *left > 0 {
+                left = cv.wait(left).expect("corpus pending poisoned");
+            }
+        }
+
+        let mut slots = out.lock().expect("corpus results poisoned");
+        Ok(targets
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|((doc, shard), slot)| DocOutcome {
+                doc,
+                shard,
+                result: slot.take().expect("every document answered exactly once"),
+            })
+            .collect())
+    }
+}
+
+impl Drop for ShardedSession {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.pool.begin_shutdown();
+        }
+        for shard in &self.shards {
+            shard.pool.join();
+        }
+    }
+}
+
+impl fmt::Debug for ShardedSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSession")
+            .field("shards", &self.shards.len())
+            .field("docs", &self.corpus.len())
+            .field("workers_per_shard", &self.workers_per_shard)
+            .field("total_workers", &self.total_workers())
+            .field("admission", &self.admission.stats())
+            .finish()
+    }
+}
+
+/// One published fan-out slice for one shard.
+#[derive(Clone)]
+struct ShardJob {
+    query: Arc<str>,
+    strategy: Strategy,
+    /// `(merged-output slot, document name)` — only documents placed on
+    /// this job's shard.
+    docs: Arc<Vec<(usize, String)>>,
+    cursor: Arc<AtomicUsize>,
+    /// Workers that joined (capped by `limit` so an explicit worker count
+    /// stays an upper bound even if the pool is larger).
+    participants: Arc<AtomicUsize>,
+    limit: usize,
+    /// The corpus-wide merged output, shared by every shard's job.
+    out: ResultSlots,
+    /// The corpus-wide completion latch `(documents left, signal)`.
+    pending: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl ShardJob {
+    /// Claims and answers this shard's documents until the cursor runs
+    /// out. `session` is the *shard's* session; `scratch` the calling
+    /// worker's lifetime scratch.
+    fn run_items(&self, session: &Session, scratch: &mut EvalScratch) {
+        /// Decrements the corpus latch exactly once per claimed document,
+        /// on the normal path and during unwinding — a panicking
+        /// evaluation surfaces as an unanswered slot, never as a caller
+        /// blocked forever.
+        struct PendingGuard<'a>(&'a (Mutex<usize>, Condvar));
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                let (left, cv) = self.0;
+                let mut left = left.lock().expect("corpus pending poisoned");
+                *left -= 1;
+                if *left == 0 {
+                    cv.notify_all();
+                }
+            }
+        }
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.docs.len() {
+                return;
+            }
+            let _guard = PendingGuard(&self.pending);
+            let (slot, name) = &self.docs[i];
+            let result = session.query_with_scratch(name, &self.query, self.strategy, scratch);
+            self.out.lock().expect("corpus results poisoned")[*slot] = Some(result);
+        }
+    }
+}
+
+/// A shard's persistent pinned pool: a job *queue* + condvar its workers
+/// park on. The single-document session pool gets away with one job slot
+/// because its caller participates in draining the cursor; here the
+/// caller only waits on the latch (working a shard itself would break
+/// pinning), so concurrent fan-outs admitted side by side must never
+/// overwrite each other's jobs — each publish enqueues, and workers keep
+/// claiming until the queue has nothing left for them. Scoped to one
+/// shard: a worker spawned here can never observe another shard's jobs,
+/// stores, or scratch.
+struct ShardPool {
+    shard: usize,
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct PoolShared {
+    /// Published jobs awaiting workers, oldest first. Entries are pruned
+    /// lazily during claim scans once fully claimed or saturated (running
+    /// workers hold their own clones).
+    jobs: Mutex<VecDeque<ShardJob>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Joins the first job in the queue that still wants workers, pruning
+/// entries that don't (cursor exhausted, or participant limit reached).
+/// `None` means nothing to do — the caller should park.
+fn claim(queue: &mut VecDeque<ShardJob>) -> Option<ShardJob> {
+    // Every scanned entry is either joined (return) or pruned, so the
+    // scan always looks at the queue head.
+    while let Some(job) = queue.front() {
+        if job.cursor.load(Ordering::Relaxed) >= job.docs.len() {
+            // Every document is claimed; whoever claimed them finishes
+            // them. Nothing left for a new joiner.
+            queue.pop_front();
+            continue;
+        }
+        if job.participants.fetch_add(1, Ordering::Relaxed) < job.limit {
+            return Some(job.clone());
+        }
+        // Saturated: the `limit` workers that joined drain the cursor to
+        // exhaustion, so dropping the entry strands nothing (the explicit
+        // worker count stays an upper bound).
+        queue.pop_front();
+    }
+    None
+}
+
+impl ShardPool {
+    fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            shared: Arc::new(PoolShared {
+                jobs: Mutex::new(VecDeque::new()),
+                work_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers.lock().expect("shard pool poisoned").len()
+    }
+
+    /// Grows this shard's pool to at least `want` workers, lazily — a
+    /// shard that never serves spawns none.
+    fn ensure_workers(&self, want: usize, session: &Arc<Session>) {
+        let mut workers = self.workers.lock().expect("shard pool poisoned");
+        while workers.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let session = Arc::clone(session);
+            let handle = std::thread::Builder::new()
+                .name(format!("xwq-shard{}-w{}", self.shard, workers.len()))
+                .spawn(move || worker_loop(shared, session))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+    }
+
+    fn publish(&self, job: ShardJob) {
+        let mut queue = self.shared.jobs.lock().expect("shard queue poisoned");
+        queue.push_back(job);
+        drop(queue);
+        self.shared.work_cv.notify_all();
+    }
+
+    fn begin_shutdown(&self) {
+        // Set the flag while holding the queue mutex: a worker checks
+        // `shutdown` and parks under this same mutex, so flipping it
+        // lock-free could land in the gap between a worker's check and
+        // its park — the notify would hit nobody and the worker would
+        // sleep through its own shutdown (hanging `join`).
+        let guard = self.shared.jobs.lock().expect("shard queue poisoned");
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(guard);
+        self.shared.work_cv.notify_all();
+    }
+
+    fn join(&self) {
+        let workers = std::mem::take(&mut *self.workers.lock().expect("shard pool poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A pinned worker: parks on its shard's condvar, keeps one
+/// [`EvalScratch`] for its whole lifetime, and only ever touches its
+/// shard's session.
+fn worker_loop(shared: Arc<PoolShared>, session: Arc<Session>) {
+    let mut scratch = EvalScratch::new();
+    loop {
+        let job = {
+            let mut queue = shared.jobs.lock().expect("shard queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match claim(&mut queue) {
+                    Some(job) => break job,
+                    None => queue = shared.work_cv.wait(queue).expect("shard queue poisoned"),
+                }
+            }
+        };
+        // Run the job to completion even if individual evaluations panic.
+        // The caller never participates in pooled mode, so a worker dying
+        // mid-job would strand the job's unclaimed documents and hang the
+        // caller on the latch forever. Instead: the panicked document's
+        // `PendingGuard` has already decremented the latch (its slot stays
+        // unanswered, which the caller surfaces), the scratch is rebuilt
+        // in case the unwind left it inconsistent, and the same worker —
+        // still a counted participant — re-enters `run_items` to claim
+        // the rest. Each retry consumes at least one cursor slot, so this
+        // loop always terminates.
+        while std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.run_items(&session, &mut scratch)
+        }))
+        .is_err()
+        {
+            scratch = EvalScratch::new();
+        }
+    }
+}
+
+/// The bounded admission queue: a counting gate with an explicit waiting
+/// cap. Pure std (mutex + condvar), like the pools.
+struct Admission {
+    config: AdmissionConfig,
+    /// `(active fan-outs, waiting callers)`.
+    state: Mutex<(usize, usize)>,
+    cv: Condvar,
+    admitted: AtomicU64,
+    waited: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Held for the duration of one admitted fan-out; releases the slot (and
+/// wakes one waiter) on drop, including during unwinding.
+struct AdmissionPermit<'a>(&'a Admission);
+
+impl Admission {
+    fn new(mut config: AdmissionConfig) -> Self {
+        config.max_active = config.max_active.max(1);
+        Self {
+            config,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn enter(&self) -> Result<AdmissionPermit<'_>, CorpusError> {
+        let mut state = self.state.lock().expect("admission poisoned");
+        if state.0 >= self.config.max_active {
+            if state.1 >= self.config.max_waiting {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(CorpusError::Overloaded {
+                    active: state.0,
+                    waiting: state.1,
+                });
+            }
+            state.1 += 1;
+            self.waited.fetch_add(1, Ordering::Relaxed);
+            while state.0 >= self.config.max_active {
+                state = self.cv.wait(state).expect("admission poisoned");
+            }
+            state.1 -= 1;
+        }
+        state.0 += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionPermit(self))
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            waited: self.waited.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("admission poisoned");
+        state.0 -= 1;
+        drop(state);
+        self.0.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementPolicy;
+    use xwq_index::TopologyKind;
+
+    fn corpus(shards: usize) -> Arc<Corpus> {
+        let corpus = Corpus::new(shards, PlacementPolicy::RoundRobin);
+        corpus
+            .add_xml("alpha", "<r><x><y/></x><x/></r>", TopologyKind::Array)
+            .unwrap();
+        corpus
+            .add_xml("beta", "<r><y/><x><y/></x></r>", TopologyKind::Succinct)
+            .unwrap();
+        corpus
+            .add_xml("gamma", "<r><x/><x><y/></x><x/></r>", TopologyKind::Array)
+            .unwrap();
+        Arc::new(corpus)
+    }
+
+    #[test]
+    fn fan_out_merges_in_name_order_and_matches_serial() {
+        let corpus = corpus(2);
+        let serial = ShardedSession::new(Arc::clone(&corpus), 0);
+        let expect = serial.query_corpus("//x[y]", Strategy::Auto).unwrap();
+        assert_eq!(
+            expect.iter().map(|o| o.doc.as_str()).collect::<Vec<_>>(),
+            vec!["alpha", "beta", "gamma"]
+        );
+        assert_eq!(serial.total_workers(), 0, "serial mode spawns no workers");
+        for workers in [1, 2, 8] {
+            let pooled = ShardedSession::new(Arc::clone(&corpus), workers);
+            let got = pooled.query_corpus("//x[y]", Strategy::Auto).unwrap();
+            assert_eq!(got.len(), expect.len());
+            for (a, b) in expect.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(
+                    a.result.as_ref().unwrap().nodes,
+                    b.result.as_ref().unwrap().nodes,
+                    "doc {} at {workers} workers",
+                    a.doc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workers_are_pinned_and_capped_per_shard() {
+        let corpus = corpus(2);
+        let session = ShardedSession::new(Arc::clone(&corpus), 8);
+        session.query_corpus("//y", Strategy::Optimized).unwrap();
+        for s in 0..corpus.shard_count() {
+            let docs_on_shard = corpus
+                .placements()
+                .iter()
+                .filter(|(_, shard)| *shard == s)
+                .count();
+            assert!(
+                session.shard_workers(s) <= docs_on_shard,
+                "shard {s}: {} workers for {docs_on_shard} docs",
+                session.shard_workers(s)
+            );
+        }
+        // A second identical fan-out reuses the pools (no growth) and the
+        // per-shard compiled-query caches.
+        let before = session.total_workers();
+        session.query_corpus("//y", Strategy::Optimized).unwrap();
+        assert_eq!(session.total_workers(), before);
+        let cache = session.cache_stats();
+        assert_eq!(cache.hits, 3, "second round hits every per-shard cache");
+    }
+
+    #[test]
+    fn concurrent_fan_outs_share_the_pools_without_losing_jobs() {
+        // Several admitted callers publish jobs to the same per-shard
+        // pools side by side; with a single job slot (instead of the job
+        // queue) a later publish would overwrite an unclaimed earlier job
+        // and strand its caller on the latch forever. Every call must
+        // complete with correct, identically-ordered results.
+        let corpus = corpus(2);
+        let session = Arc::new(ShardedSession::with_config(
+            Arc::clone(&corpus),
+            ShardedConfig {
+                workers_per_shard: 1,
+                admission: AdmissionConfig {
+                    max_active: 8,
+                    max_waiting: 64,
+                },
+                ..ShardedConfig::default()
+            },
+        ));
+        let expect: Vec<Vec<u32>> = session
+            .query_corpus("//x[y]", Strategy::Optimized)
+            .unwrap()
+            .into_iter()
+            .map(|o| o.result.unwrap().nodes)
+            .collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let got: Vec<Vec<u32>> = session
+                            .query_corpus("//x[y]", Strategy::Optimized)
+                            .unwrap()
+                            .into_iter()
+                            .map(|o| o.result.unwrap().nodes)
+                            .collect();
+                        assert_eq!(got, expect);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(session.admission_stats().admitted, 8 * 20 + 1);
+        assert_eq!(session.admission_stats().rejected, 0);
+    }
+
+    #[test]
+    fn subset_queries_validate_names_up_front() {
+        let session = ShardedSession::new(corpus(2), 1);
+        let out = session
+            .query_docs("//x", Strategy::Auto, &["gamma", "alpha", "gamma"])
+            .unwrap();
+        assert_eq!(
+            out.iter().map(|o| o.doc.as_str()).collect::<Vec<_>>(),
+            vec!["alpha", "gamma"],
+            "subset is deduped and name-ordered"
+        );
+        assert!(matches!(
+            session.query_docs("//x", Strategy::Auto, &["alpha", "nope"]),
+            Err(CorpusError::UnknownDocument(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn per_document_errors_do_not_abort_the_fan_out() {
+        let session = ShardedSession::new(corpus(2), 2);
+        let out = session.query_corpus("//[", Strategy::Auto).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out
+            .iter()
+            .all(|o| matches!(o.result, Err(SessionError::Query(_)))));
+    }
+
+    #[test]
+    fn empty_corpus_serves_empty_answers() {
+        let corpus = Arc::new(Corpus::new(2, PlacementPolicy::RoundRobin));
+        let session = ShardedSession::new(corpus, 4);
+        assert!(session
+            .query_corpus("//x", Strategy::Auto)
+            .unwrap()
+            .is_empty());
+        assert_eq!(session.total_workers(), 0);
+    }
+
+    #[test]
+    fn admission_gate_counts_and_rejects() {
+        let admission = Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_waiting: 0,
+        });
+        let first = admission.enter().unwrap();
+        // Queue full (no waiting allowed): immediate rejection.
+        assert!(matches!(
+            admission.enter(),
+            Err(CorpusError::Overloaded {
+                active: 1,
+                waiting: 0
+            })
+        ));
+        drop(first);
+        let second = admission.enter().unwrap();
+        drop(second);
+        let stats = admission.stats();
+        assert_eq!((stats.admitted, stats.waited, stats.rejected), (2, 0, 1));
+    }
+
+    #[test]
+    fn admission_waiters_are_released_in_bounded_order() {
+        let admission = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_waiting: 8,
+        }));
+        let permit = admission.enter().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let admission = Arc::clone(&admission);
+                std::thread::spawn(move || {
+                    let permit = admission.enter().unwrap();
+                    drop(permit);
+                })
+            })
+            .collect();
+        // Give the waiters time to park, then open the gate.
+        while admission.stats().waited < 4 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = admission.stats();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn sharded_session_rejects_when_overloaded() {
+        let corpus = corpus(1);
+        let session = Arc::new(ShardedSession::with_config(
+            corpus,
+            ShardedConfig {
+                workers_per_shard: 1,
+                admission: AdmissionConfig {
+                    max_active: 1,
+                    max_waiting: 0,
+                },
+                ..ShardedConfig::default()
+            },
+        ));
+        // Hold the only admission slot on another thread long enough for
+        // this thread to observe the rejection.
+        let holder = Arc::clone(&session);
+        let gate = Arc::new((Mutex::new(0u8), Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            let _permit = holder.admission.enter().unwrap();
+            let (stage, cv) = &*gate2;
+            *stage.lock().unwrap() = 1;
+            cv.notify_all();
+            let mut stage = stage.lock().unwrap();
+            while *stage < 2 {
+                stage = cv.wait(stage).unwrap();
+            }
+        });
+        let (stage, cv) = &*gate;
+        {
+            let mut stage = stage.lock().unwrap();
+            while *stage < 1 {
+                stage = cv.wait(stage).unwrap();
+            }
+        }
+        assert!(matches!(
+            session.query_corpus("//x", Strategy::Auto),
+            Err(CorpusError::Overloaded { .. })
+        ));
+        assert_eq!(session.admission_stats().rejected, 1);
+        *stage.lock().unwrap() = 2;
+        cv.notify_all();
+        t.join().unwrap();
+        // The slot is free again.
+        assert!(session.query_corpus("//x", Strategy::Auto).is_ok());
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-document isolation under sharding: a corpus fan-out must be
+//! byte-identical to querying each document through its own serial
+//! [`Session`], at every worker count — and the per-document memo pools
+//! must warm up per document without ever leaking across documents or
+//! shards.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xwq_core::Strategy;
+use xwq_index::TopologyKind;
+use xwq_shard::{Corpus, PlacementPolicy, ShardedSession};
+use xwq_store::{DocumentStore, Session};
+use xwq_xmark::GenOptions;
+
+/// Worker counts the acceptance criteria pin: serial-equals-pooled must
+/// hold at each of these.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Builds the same document set twice: once as a corpus, once as
+/// independent single-document stores (the serial reference).
+fn build_both(
+    seeds: &[u64],
+    factor: f64,
+    shards: usize,
+    policy: PlacementPolicy,
+) -> (Arc<Corpus>, Vec<(String, Session)>) {
+    let corpus = Corpus::new(shards, policy);
+    let mut reference = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let name = format!("doc{i}");
+        let doc = xwq_xmark::generate(GenOptions { factor, seed });
+        let topology = if i % 2 == 0 {
+            TopologyKind::Array
+        } else {
+            TopologyKind::Succinct
+        };
+        let index = xwq_index::TreeIndex::build_with(&doc, topology);
+        let ref_store = DocumentStore::new();
+        ref_store
+            .insert_prebuilt(&name, doc.clone(), index.clone())
+            .unwrap();
+        reference.push((name.clone(), Session::new(Arc::new(ref_store))));
+        corpus.add_prebuilt(&name, doc, index).unwrap();
+    }
+    (Arc::new(corpus), reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fan_out_is_byte_identical_to_per_doc_serial_sessions(
+        seeds in prop::collection::vec(1u64..5000, 3..6),
+        factor_milli in 2u32..8,
+        shards in 1usize..4,
+        policy in prop::sample::select(vec![
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::SizeBalanced,
+        ]),
+    ) {
+        let factor = factor_milli as f64 / 1000.0;
+        let (corpus, reference) = build_both(&seeds, factor, shards, policy);
+
+        // Reuse detectability: every document's index has a distinct
+        // process-unique identity, so pooled memos can never be confused
+        // across documents.
+        let mut identities: Vec<u64> = reference
+            .iter()
+            .map(|(name, _)| corpus.get(name).unwrap().engine().index().identity())
+            .collect();
+        identities.sort_unstable();
+        identities.dedup();
+        prop_assert_eq!(identities.len(), reference.len());
+
+        for strategy in [Strategy::Optimized, Strategy::Auto] {
+            for (qn, query) in xwq_xmark::queries() {
+                // Serial reference: each document through its own session.
+                let expected: Vec<(String, Result<Vec<u32>, ()>)> = reference
+                    .iter()
+                    .map(|(name, session)| {
+                        let r = session
+                            .query(name, query, strategy)
+                            .map(|resp| resp.nodes)
+                            .map_err(|_| ());
+                        (name.clone(), r)
+                    })
+                    .collect();
+                for workers in WORKER_COUNTS {
+                    let session = ShardedSession::new(Arc::clone(&corpus), workers);
+                    let got = session.query_corpus(query, strategy).unwrap();
+                    prop_assert_eq!(got.len(), expected.len());
+                    for (exp, out) in expected.iter().zip(&got) {
+                        prop_assert_eq!(&exp.0, &out.doc);
+                        match (&exp.1, &out.result) {
+                            (Ok(nodes), Ok(resp)) => prop_assert_eq!(
+                                nodes,
+                                &resp.nodes,
+                                "Q{:02} [{}] diverges on {} at {} workers",
+                                qn,
+                                strategy.token(),
+                                out.doc,
+                                workers
+                            ),
+                            (Err(()), Err(_)) => {}
+                            _ => return Err(TestCaseError::fail(format!(
+                                "Q{qn:02} on {}: serial/sharded disagree on success",
+                                out.doc
+                            ))),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Three-document corpus for the deterministic memo-isolation checks.
+fn memo_corpus() -> Arc<Corpus> {
+    let corpus = Corpus::new(2, PlacementPolicy::RoundRobin);
+    for (i, seed) in [11u64, 22, 33].iter().enumerate() {
+        let doc = xwq_xmark::generate(GenOptions {
+            factor: 0.01,
+            seed: *seed,
+        });
+        corpus
+            .add_prebuilt(
+                &format!("doc{i}"),
+                doc.clone(),
+                xwq_index::TreeIndex::build(&doc),
+            )
+            .unwrap();
+    }
+    Arc::new(corpus)
+}
+
+#[test]
+fn warm_per_shard_runs_report_zero_memo_misses() {
+    let session = ShardedSession::new(memo_corpus(), 2);
+    let query = "//item[name]";
+    let cold = session.query_corpus(query, Strategy::Optimized).unwrap();
+    assert_eq!(cold.len(), 3);
+    for o in &cold {
+        let resp = o.result.as_ref().unwrap();
+        assert!(!resp.cache_hit, "{}: first fan-out must compile", o.doc);
+        // Every document builds its *own* memo tables from scratch: if
+        // pooled memos leaked across documents, a later document's cold
+        // run would start warm (and, worse, could reuse node-keyed
+        // answers belonging to a different tree).
+        assert!(
+            resp.stats.memo_misses > 0,
+            "{}: cold run must populate its own memos, saw {:?}",
+            o.doc,
+            resp.stats
+        );
+        assert!(!resp.nodes.is_empty(), "{}: query should select", o.doc);
+    }
+    let warm = session.query_corpus(query, Strategy::Optimized).unwrap();
+    for (c, w) in cold.iter().zip(&warm) {
+        let resp = w.result.as_ref().unwrap();
+        assert!(
+            resp.cache_hit,
+            "{}: second fan-out hits the shard cache",
+            w.doc
+        );
+        assert_eq!(
+            resp.stats.memo_misses, 0,
+            "{}: warm run must reuse its pooled memo tables",
+            w.doc
+        );
+        assert_eq!(
+            c.result.as_ref().unwrap().nodes,
+            resp.nodes,
+            "{}: warm and cold runs must agree",
+            w.doc
+        );
+    }
+}
+
+#[test]
+fn cross_document_reuse_never_occurs_across_worker_counts() {
+    // The same corpus served by three sessions at different worker counts:
+    // each session's cold fan-out must rebuild memos per document (three
+    // cold compiles, three warmed pools), and results must be identical
+    // across the three sessions.
+    let corpus = memo_corpus();
+    let query = "//item[mailbox]";
+    let mut all_nodes: Vec<Vec<Vec<u32>>> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let session = ShardedSession::new(Arc::clone(&corpus), workers);
+        let cold = session.query_corpus(query, Strategy::Optimized).unwrap();
+        for o in &cold {
+            assert!(
+                o.result.as_ref().unwrap().stats.memo_misses > 0,
+                "{} at {workers} workers: cold run must miss",
+                o.doc
+            );
+        }
+        let warm = session.query_corpus(query, Strategy::Optimized).unwrap();
+        for o in &warm {
+            assert_eq!(
+                o.result.as_ref().unwrap().stats.memo_misses,
+                0,
+                "{} at {workers} workers: warm run must not miss",
+                o.doc
+            );
+        }
+        all_nodes.push(
+            warm.iter()
+                .map(|o| o.result.as_ref().unwrap().nodes.clone())
+                .collect(),
+        );
+    }
+    assert_eq!(all_nodes[0], all_nodes[1]);
+    assert_eq!(all_nodes[0], all_nodes[2]);
+}

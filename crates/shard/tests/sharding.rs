@@ -1,0 +1,94 @@
+//! Corpus-directory round-trip: documents persisted as per-doc `.xwqi`
+//! artifacts plus a manifest must reopen via [`Corpus::open_dir`] (the
+//! mmap path) and serve the same answers as the in-memory corpus,
+//! under both placement policies and several shard counts.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use xwq_core::Strategy;
+use xwq_index::TreeIndex;
+use xwq_shard::{Corpus, Manifest, PlacementPolicy, ShardedSession, MANIFEST_FILE};
+use xwq_xmark::GenOptions;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xwq-shard-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Writes a 3-document corpus directory and returns (dir, in-memory corpus).
+fn build_corpus_dir(tag: &str) -> (PathBuf, Arc<Corpus>) {
+    let dir = tmp_dir(tag);
+    let memory = Corpus::new(2, PlacementPolicy::RoundRobin);
+    let mut manifest = Manifest::new();
+    for (i, seed) in [7u64, 8, 9].iter().enumerate() {
+        let name = format!("doc{i}");
+        let file = format!("{name}.xwqi");
+        let doc = xwq_xmark::generate(GenOptions {
+            factor: 0.005,
+            seed: *seed,
+        });
+        let index = TreeIndex::build(&doc);
+        xwq_store::write_index_file(dir.join(&file), &doc, &index).expect("write .xwqi");
+        manifest.push(&name, &file, doc.len()).unwrap();
+        memory.add_prebuilt(&name, doc, index).unwrap();
+    }
+    manifest.write_dir(&dir).expect("write manifest");
+    (dir, Arc::new(memory))
+}
+
+#[test]
+fn open_dir_serves_identically_to_the_in_memory_corpus() {
+    let (dir, memory) = build_corpus_dir("roundtrip");
+    for shards in [1, 2, 3] {
+        for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::SizeBalanced] {
+            let mapped = Corpus::open_dir(&dir, shards, policy).expect("open_dir");
+            assert_eq!(mapped.shard_count(), shards);
+            assert_eq!(mapped.doc_names(), memory.doc_names());
+            let mem_session = ShardedSession::new(Arc::clone(&memory), 0);
+            let map_session = ShardedSession::new(Arc::new(mapped), 2);
+            for query in ["//item", "//item[name]", "//person/name"] {
+                let a = mem_session.query_corpus(query, Strategy::Auto).unwrap();
+                let b = map_session.query_corpus(query, Strategy::Auto).unwrap();
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.doc, y.doc);
+                    assert_eq!(
+                        x.result.as_ref().unwrap().nodes,
+                        y.result.as_ref().unwrap().nodes,
+                        "{query} diverges on {} ({shards} shards, {policy:?})",
+                        x.doc
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn placement_spreads_mapped_documents() {
+    let (dir, _memory) = build_corpus_dir("placement");
+    let corpus = Corpus::open_dir(&dir, 2, PlacementPolicy::SizeBalanced).unwrap();
+    let loads = corpus.loads();
+    assert_eq!(loads.iter().map(|l| l.docs).sum::<usize>(), 3);
+    assert!(
+        loads.iter().all(|l| l.docs >= 1),
+        "size-balanced placement left a shard empty: {loads:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_dir_reports_broken_directories() {
+    let dir = tmp_dir("broken");
+    // No manifest at all.
+    assert!(Corpus::open_dir(&dir, 2, PlacementPolicy::RoundRobin).is_err());
+    // Manifest naming a missing artifact.
+    std::fs::write(
+        dir.join(MANIFEST_FILE),
+        "xwq-corpus 1\ndoc\tghost\tghost.xwqi\t10\n",
+    )
+    .unwrap();
+    assert!(Corpus::open_dir(&dir, 2, PlacementPolicy::RoundRobin).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -478,7 +478,14 @@ fn worker_loop(shared: Arc<PoolShared>, inner: Arc<SessionInner>) {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        // Set the flag while holding the job mutex: workers check
+        // `shutdown` and park under this same mutex, so a lock-free store
+        // could land in the gap between a worker's check and its park —
+        // the notify would hit nobody and that worker would sleep through
+        // its own shutdown, hanging the join below.
+        let slot = self.pool.shared.job.lock().expect("pool job poisoned");
         self.pool.shared.shutdown.store(true, Ordering::Release);
+        drop(slot);
         self.pool.shared.work_cv.notify_all();
         let workers = std::mem::take(&mut *self.pool.workers.lock().expect("pool poisoned"));
         for w in workers {

@@ -27,6 +27,6 @@ mod tree;
 
 pub use bitvec::BitVec;
 pub use bp::Bp;
-pub use rank_select::{RankSelect, SELECT_SAMPLE};
+pub use rank_select::{select_in_word, select_in_word_scalar, RankSelect, SELECT_SAMPLE};
 pub use storage::{Owner, Pod, SharedSlice, Store, StrTable};
 pub use tree::{SuccinctTree, SuccinctTreeBuilder};

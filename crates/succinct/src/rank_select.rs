@@ -384,8 +384,28 @@ const fn build_select_in_byte() -> [u8; 256 * 8] {
 }
 
 /// Position of the `k`-th (0-based) set bit within `w`; requires `k < popcount(w)`.
+///
+/// Dispatches to the BMI2 `pdep` path when the crate is built with the
+/// `simd` feature on `x86_64` *and* the CPU supports BMI2 (detected once
+/// at runtime); the portable scalar reduction is the default and the
+/// fallback everywhere else. Public (with [`select_in_word_scalar`]) so
+/// the equivalence property test can pin the two paths against each
+/// other.
 #[inline]
-fn select_in_word(mut w: u64, mut k: u32) -> u32 {
+pub fn select_in_word(w: u64, k: u32) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if bmi2::available() {
+        // SAFETY: `available()` confirmed BMI2 support on this CPU.
+        return unsafe { bmi2::select_in_word_pdep(w, k) };
+    }
+    select_in_word_scalar(w, k)
+}
+
+/// The portable in-word select: binary reduction over halves, then one
+/// byte-table lookup. Always compiled — it is both the non-`simd` default
+/// and the runtime fallback on CPUs without BMI2.
+#[inline]
+pub fn select_in_word_scalar(mut w: u64, mut k: u32) -> u32 {
     // Portable binary reduction: halve the candidate range three times,
     // then finish the remaining byte with one table lookup.
     let mut pos = 0u32;
@@ -398,6 +418,33 @@ fn select_in_word(mut w: u64, mut k: u32) -> u32 {
         }
     }
     pos + SELECT_IN_BYTE[(w as usize & 0xFF) * 8 + k as usize] as u32
+}
+
+/// The BMI2 fast path: `pdep(1 << k, w)` deposits a lone bit into the
+/// `k`-th set position of `w`, and `tzcnt` reads its index — branchless,
+/// table-free, two instructions.
+///
+/// Gated behind runtime detection because `pdep`/`pext` are microcoded
+/// (tens of cycles) on pre-Zen3 AMD cores, where losing the dispatch
+/// branch to the scalar path is the right call anyway — the `simd`
+/// feature opts into the dispatch, the CPU check picks the winner.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod bmi2 {
+    /// CPUID probe. `is_x86_feature_detected!` caches the result in a
+    /// process-global atomic internally, so calling it per dispatch is a
+    /// load + branch, not a repeated CPUID.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("bmi2")
+    }
+
+    /// # Safety
+    /// The CPU must support BMI2 (check [`available`] first).
+    #[target_feature(enable = "bmi2")]
+    #[inline]
+    pub unsafe fn select_in_word_pdep(w: u64, k: u32) -> u32 {
+        std::arch::x86_64::_pdep_u64(1u64 << k, w).trailing_zeros()
+    }
 }
 
 #[cfg(test)]

@@ -158,3 +158,43 @@ fn select_boundaries() {
     assert_eq!(rs.select0(n - 2), Some(n - 2));
     assert_eq!(rs.select0(n - 1), None, "k == count_zeros is out of range");
 }
+
+// SIMD satellite: the dispatched `select_in_word` (BMI2 `pdep` when the
+// `simd` feature is on and the CPU has it, scalar otherwise) must agree
+// with the portable scalar path on every valid `(word, k)` pair. Runs in
+// both feature configurations — without `simd` it pins dispatch == scalar,
+// with `simd` it is the hardware-vs-portable equivalence proof.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn select_in_word_simd_matches_scalar(
+        lo in 0u64..u64::MAX,
+        hi in 0u64..u64::MAX,
+        mask_shift in 0u32..64,
+    ) {
+        use xwq_succinct::{select_in_word, select_in_word_scalar};
+        // Mix two raw words and a density mask so sparse, dense and
+        // clustered patterns all show up.
+        for w in [lo, hi, lo & hi, lo | hi, lo ^ hi, lo >> mask_shift, !0u64, 1u64 << mask_shift] {
+            if w == 0 {
+                continue; // select is undefined on empty words
+            }
+            for k in 0..w.count_ones() {
+                let scalar = select_in_word_scalar(w, k);
+                prop_assert_eq!(
+                    select_in_word(w, k),
+                    scalar,
+                    "w = {:#018x}, k = {}",
+                    w,
+                    k
+                );
+                // The scalar path itself must honour the contract: the
+                // returned position holds a set bit with exactly k set
+                // bits below it.
+                prop_assert!(w & (1u64 << scalar) != 0);
+                prop_assert_eq!((w & ((1u64 << scalar) - 1)).count_ones(), k);
+            }
+        }
+    }
+}

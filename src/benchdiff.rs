@@ -235,6 +235,21 @@ impl<'a> JsonParser<'a> {
     }
 }
 
+/// Relative change of `new_ns` vs `old_ns` (+0.20 = 20% slower). A
+/// degenerate baseline (`old_ns <= 0` against a real new measurement)
+/// yields `+∞` so it fails the gate loudly instead of being silently
+/// judged "ok" at delta 0 — a zeroed row in the old file should never
+/// wave a real slowdown through.
+fn relative_delta(old_ns: f64, new_ns: f64) -> f64 {
+    if old_ns > 0.0 {
+        (new_ns - old_ns) / old_ns
+    } else if new_ns > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
 /// One strategy-level comparison row.
 pub struct DiffRow {
     pub strategy: String,
@@ -290,11 +305,7 @@ pub fn diff_benches(old: &Json, new: &Json, threshold: f64) -> Result<DiffReport
             only_old.push(strategy);
             continue;
         };
-        let delta = if old_ns > 0.0 {
-            (new_ns - old_ns) / old_ns
-        } else {
-            0.0
-        };
+        let delta = relative_delta(old_ns, new_ns);
         rows.push(DiffRow {
             regressed: delta > threshold,
             strategy,
@@ -312,6 +323,107 @@ pub fn diff_benches(old: &Json, new: &Json, threshold: f64) -> Result<DiffReport
         return Err("no strategy appears in both files".to_string());
     }
     Ok(DiffReport {
+        rows,
+        only_old,
+        only_new,
+    })
+}
+
+/// One corpus-section comparison row (`serial` or a per-worker-count run).
+pub struct CorpusRow {
+    /// `"serial"` or `"x<workers>"`.
+    pub label: String,
+    pub old_ns: f64,
+    pub new_ns: f64,
+    /// Relative change, +0.20 = 20% slower.
+    pub delta: f64,
+    pub regressed: bool,
+}
+
+/// The outcome of comparing the `corpus` bench sections of two files.
+pub enum CorpusDiff {
+    /// Neither file has a corpus section (both predate it) — nothing to
+    /// judge, nothing to warn about.
+    BothMissing,
+    /// Exactly one file has the section; `in_new` says which.
+    OneSided {
+        /// True when only the *new* file has it (section added).
+        in_new: bool,
+    },
+    /// Both files have it: matched rows plus the worker counts present in
+    /// only one file.
+    Compared {
+        rows: Vec<CorpusRow>,
+        only_old: Vec<u64>,
+        only_new: Vec<u64>,
+    },
+}
+
+/// Extracts `(serial_ns, [(workers, ns)…])` from a corpus section.
+fn corpus_rows(section: &Json, which: &str) -> Result<(f64, Vec<(u64, f64)>), String> {
+    let serial = section
+        .get("serial_ns")
+        .and_then(Json::as_f64)
+        .ok_or(format!("{which}: corpus section without `serial_ns`"))?;
+    let runs = section
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{which}: corpus section without `runs`"))?
+        .iter()
+        .map(|run| {
+            let workers = run
+                .get("workers")
+                .and_then(Json::as_f64)
+                .ok_or(format!("{which}: corpus run without `workers`"))?;
+            let ns = run
+                .get("ns")
+                .and_then(Json::as_f64)
+                .ok_or(format!("{which}: corpus run without `ns`"))?;
+            Ok((workers as u64, ns))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((serial, runs))
+}
+
+/// Compares the `corpus` bench sections of two parsed `BENCH_eval.json`
+/// documents. A file without the section is reported, never an error —
+/// bench files from before the corpus layer must stay diffable — and
+/// worker counts present in only one file are surfaced one-sidedly, like
+/// renamed strategies.
+pub fn diff_corpus(old: &Json, new: &Json, threshold: f64) -> Result<CorpusDiff, String> {
+    let (old_section, new_section) = (old.get("corpus"), new.get("corpus"));
+    let (old_section, new_section) = match (old_section, new_section) {
+        (None, None) => return Ok(CorpusDiff::BothMissing),
+        (Some(_), None) => return Ok(CorpusDiff::OneSided { in_new: false }),
+        (None, Some(_)) => return Ok(CorpusDiff::OneSided { in_new: true }),
+        (Some(o), Some(n)) => (o, n),
+    };
+    let (old_serial, old_runs) = corpus_rows(old_section, "old")?;
+    let (new_serial, new_runs) = corpus_rows(new_section, "new")?;
+    let row = |label: String, old_ns: f64, new_ns: f64| {
+        let delta = relative_delta(old_ns, new_ns);
+        CorpusRow {
+            regressed: delta > threshold,
+            label,
+            old_ns,
+            new_ns,
+            delta,
+        }
+    };
+    let mut rows = vec![row("serial".to_string(), old_serial, new_serial)];
+    let mut only_old = Vec::new();
+    for &(workers, old_ns) in &old_runs {
+        match new_runs.iter().find(|(w, _)| *w == workers) {
+            Some(&(_, new_ns)) => rows.push(row(format!("x{workers}"), old_ns, new_ns)),
+            None => only_old.push(workers),
+        }
+    }
+    let only_new: Vec<u64> = new_runs
+        .iter()
+        .map(|&(w, _)| w)
+        .filter(|w| !old_runs.iter().any(|(ow, _)| ow == w))
+        .collect();
+    Ok(CorpusDiff::Compared {
         rows,
         only_old,
         only_new,
@@ -357,6 +469,118 @@ mod tests {
         // Improvements never fail.
         let faster = diff_benches(&old, &bench_json(500.0), 0.15).unwrap();
         assert!(faster.rows.iter().all(|r| !r.regressed));
+    }
+
+    fn corpus_json(serial: f64, runs: &[(u64, f64)]) -> Json {
+        let runs: Vec<String> = runs
+            .iter()
+            .map(|(w, ns)| format!(r#"{{"workers": {w}, "ns": {ns}}}"#))
+            .collect();
+        parse_json(&format!(
+            r#"{{"eval": [{{"strategy": "opt", "ns_per_query": 1000}}],
+                "corpus": {{"docs": 3, "shards": 2, "serial_ns": {serial}, "runs": [{}]}}}}"#,
+            runs.join(", ")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn corpus_diff_flags_regressions_and_improvements() {
+        let old = corpus_json(10000.0, &[(1, 9000.0), (2, 5000.0)]);
+        let ok = corpus_json(10500.0, &[(1, 9400.0), (2, 2500.0)]);
+        match diff_corpus(&old, &ok, 0.15).unwrap() {
+            CorpusDiff::Compared {
+                rows,
+                only_old,
+                only_new,
+            } => {
+                assert!(only_old.is_empty() && only_new.is_empty());
+                assert_eq!(rows.len(), 3, "serial + two worker counts");
+                assert!(rows.iter().all(|r| !r.regressed));
+                assert_eq!(rows[0].label, "serial");
+                assert!(rows[2].delta < 0.0, "x2 improved");
+            }
+            _ => panic!("expected Compared"),
+        }
+        let bad = corpus_json(10000.0, &[(1, 20000.0), (2, 5000.0)]);
+        match diff_corpus(&old, &bad, 0.15).unwrap() {
+            CorpusDiff::Compared { rows, .. } => {
+                let x1 = rows.iter().find(|r| r.label == "x1").unwrap();
+                assert!(x1.regressed);
+                assert!((x1.delta - (20000.0 - 9000.0) / 9000.0).abs() < 1e-9);
+                assert!(!rows.iter().find(|r| r.label == "serial").unwrap().regressed);
+            }
+            _ => panic!("expected Compared"),
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_baseline_fails_loudly_not_silently() {
+        // A zeroed old row must never judge a real new measurement "ok".
+        let old = bench_json(0.0);
+        let report = diff_benches(&old, &bench_json(1200.0), 0.15).unwrap();
+        let row = report.rows.iter().find(|r| r.strategy == "opt").unwrap();
+        assert!(row.regressed, "zero baseline vs real ns must fail the gate");
+        assert!(row.delta.is_infinite());
+        // Zero vs zero is vacuous, not a regression.
+        let report = diff_benches(&old, &bench_json(0.0), 0.15).unwrap();
+        assert!(
+            !report
+                .rows
+                .iter()
+                .find(|r| r.strategy == "opt")
+                .unwrap()
+                .regressed
+        );
+        // Same rule for the corpus section.
+        let old = corpus_json(0.0, &[(1, 9000.0)]);
+        let new = corpus_json(10000.0, &[(1, 9000.0)]);
+        match diff_corpus(&old, &new, 0.15).unwrap() {
+            CorpusDiff::Compared { rows, .. } => {
+                assert!(rows.iter().find(|r| r.label == "serial").unwrap().regressed);
+            }
+            _ => panic!("expected Compared"),
+        }
+    }
+
+    #[test]
+    fn corpus_diff_surfaces_one_sided_worker_counts() {
+        let old = corpus_json(10000.0, &[(1, 9000.0), (8, 3000.0)]);
+        let new = corpus_json(10000.0, &[(1, 9000.0), (2, 5000.0)]);
+        match diff_corpus(&old, &new, 0.15).unwrap() {
+            CorpusDiff::Compared {
+                rows,
+                only_old,
+                only_new,
+            } => {
+                assert_eq!(rows.len(), 2, "serial + x1 are judged");
+                assert_eq!(only_old, vec![8]);
+                assert_eq!(only_new, vec![2]);
+            }
+            _ => panic!("expected Compared"),
+        }
+    }
+
+    #[test]
+    fn corpus_diff_tolerates_missing_sections() {
+        // Bench files from before the corpus layer have no section at all.
+        let without = bench_json(1000.0);
+        let with = corpus_json(10000.0, &[(1, 9000.0)]);
+        assert!(matches!(
+            diff_corpus(&without, &without, 0.15).unwrap(),
+            CorpusDiff::BothMissing
+        ));
+        assert!(matches!(
+            diff_corpus(&without, &with, 0.15).unwrap(),
+            CorpusDiff::OneSided { in_new: true }
+        ));
+        assert!(matches!(
+            diff_corpus(&with, &without, 0.15).unwrap(),
+            CorpusDiff::OneSided { in_new: false }
+        ));
+        // A present-but-broken section is an error, not a silent skip.
+        let broken = parse_json(r#"{"corpus": {"runs": []}}"#).unwrap();
+        assert!(diff_corpus(&broken, &with, 0.15).is_err());
     }
 
     #[test]

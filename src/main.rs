@@ -16,10 +16,12 @@
 //! Query output is one line per selected node: its preorder id, a simple
 //! absolute path, and (with `--text`) the concatenated text content.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use xwq::core::{Engine, Strategy};
 use xwq::index::TopologyKind;
+use xwq::shard::{Corpus, Manifest, PlacementPolicy, ShardedSession};
 use xwq::store::{DocumentStore, QueryRequest, Session};
 use xwq::xml::{Document, NodeId, NONE};
 
@@ -31,6 +33,10 @@ usage:
   xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq explain (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
+  xwq corpus build <xml-dir> -o <corpus-dir> [--topology array|succinct]
+  xwq corpus query <corpus-dir> '<xpath>' [--shards <n>] [--workers <m>]
+            [--policy round-robin|size-balanced] [--docs <a,b,…>] [options]
+  xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap]
   xwq bench-diff <old.json> <new.json> [--threshold <pct>]
@@ -58,6 +64,12 @@ subcommands:
               actual visit counts
   batch       evaluate a file of queries (one per line, # comments) via a
               Session with a compiled-query LRU cache
+  corpus      multi-document serving: `build` indexes every .xml in a
+              directory into per-document .xwqi artifacts plus a manifest;
+              `query` memory-maps the corpus across N shards and fans one
+              query out on M pinned workers per shard, merging results in
+              document-name order
+  xmark       generate an XMark sample document as XML (corpus seed data)
   bench       run the fixed XMark query suite under every strategy and write
               machine-readable results (ns/query, nodes/sec, cache hit rates,
               batch scaling vs a measured serial baseline) to BENCH_eval.json
@@ -122,6 +134,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("xmark") => cmd_xmark(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         // Legacy one-shot form: xwq '<xpath>' <file.xml> [options].
@@ -539,6 +553,302 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
 }
 
+/// `xwq corpus (build|query) …` — the sharded multi-document layer.
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_corpus_build(&args[1..]),
+        Some("query") => cmd_corpus_query(&args[1..]),
+        other => usage_error(&format!(
+            "corpus needs a subcommand (build|query), got {other:?}"
+        )),
+    }
+}
+
+/// `xwq corpus build <xml-dir> -o <corpus-dir> [--topology array|succinct]`
+///
+/// Indexes every `.xml` file in the source directory (sorted, so builds
+/// are reproducible) into one `.xwqi` artifact per document plus a
+/// `MANIFEST.xwqc`, ready for `xwq corpus query` to mmap.
+fn cmd_corpus_build(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out: Option<&str> = None;
+    let mut topology = TopologyKind::Array;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p),
+                    None => return usage_error("-o needs a path"),
+                }
+            }
+            "--topology" => {
+                i += 1;
+                topology = match args.get(i).map(String::as_str) {
+                    Some("array") => TopologyKind::Array,
+                    Some("succinct") => TopologyKind::Succinct,
+                    other => {
+                        return usage_error(&format!(
+                            "unknown topology {other:?} (expected array|succinct)"
+                        ))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let [src_dir] = positional[..] else {
+        return usage_error("corpus build needs exactly one source directory");
+    };
+    let Some(out_dir) = out else {
+        return usage_error("corpus build needs -o <corpus-dir>");
+    };
+
+    let mut xml_files: Vec<PathBuf> = match std::fs::read_dir(src_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "xml"))
+            .collect(),
+        Err(e) => return fail(format!("cannot read {src_dir}: {e}")),
+    };
+    xml_files.sort();
+    if xml_files.is_empty() {
+        return fail(format!("{src_dir}: no .xml files"));
+    }
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        return fail(format!("cannot create {out_dir}: {e}"));
+    }
+
+    let mut manifest = Manifest::new();
+    let mut total_nodes = 0usize;
+    for xml_path in &xml_files {
+        let Some(name) = xml_path.file_stem().and_then(|s| s.to_str()) else {
+            return fail(format!("{}: unusable file name", xml_path.display()));
+        };
+        let doc = match load_xml(&xml_path.display().to_string()) {
+            Ok(d) => d,
+            Err(code) => return code,
+        };
+        let index = xwq::index::TreeIndex::build_with(&doc, topology);
+        let artifact = format!("{name}.xwqi");
+        if let Err(e) =
+            xwq::store::write_index_file(Path::new(out_dir).join(&artifact), &doc, &index)
+        {
+            return fail(format!("{artifact}: {e}"));
+        }
+        if let Err(e) = manifest.push(name, &artifact, doc.len()) {
+            return fail(e);
+        }
+        total_nodes += doc.len();
+        eprintln!("# {name}: {} nodes -> {artifact}", doc.len());
+    }
+    match manifest.write_dir(out_dir) {
+        Ok(()) => {
+            eprintln!(
+                "# corpus: {} documents, {} nodes total -> {out_dir}",
+                manifest.docs().len(),
+                total_nodes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `xwq corpus query <corpus-dir> '<xpath>' [--shards n] [--workers m] …`
+///
+/// Memory-maps the corpus across `--shards` stores (placement per
+/// `--policy`), serves the query through a `ShardedSession` with
+/// `--workers` pinned workers per shard, and prints per-document results
+/// in document-name order — the output is identical no matter how many
+/// shards or workers served it.
+fn cmd_corpus_query(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut shards = 2usize;
+    let mut workers = 1usize;
+    let mut policy = PlacementPolicy::RoundRobin;
+    let mut docs: Option<Vec<String>> = None;
+    let mut strategy = Strategy::default();
+    let mut count_only = false;
+    let mut show_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {{
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(v)) => v,
+                    _ => return usage_error(concat!($name, " needs a valid value")),
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--shards" => {
+                shards = value!("--shards");
+                if shards == 0 {
+                    return usage_error("--shards needs a positive integer");
+                }
+            }
+            "--workers" => workers = value!("--workers"),
+            "--policy" => policy = value!("--policy"),
+            "--strategy" => strategy = value!("--strategy"),
+            "--docs" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => {
+                        docs = Some(list.split(',').map(|d| d.trim().to_string()).collect())
+                    }
+                    None => return usage_error("--docs needs a comma-separated list"),
+                }
+            }
+            "--count" => count_only = true,
+            "--stats" => show_stats = true,
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let [corpus_dir, query] = positional[..] else {
+        return usage_error("corpus query needs <corpus-dir> and '<xpath>'");
+    };
+
+    let corpus = match Corpus::open_dir(corpus_dir, shards, policy) {
+        Ok(c) => Arc::new(c),
+        Err(e) => return fail(format!("{corpus_dir}: {e}")),
+    };
+    let session = ShardedSession::new(Arc::clone(&corpus), workers);
+    let started = std::time::Instant::now();
+    let outcomes = match docs {
+        Some(names) => session.query_docs(query, strategy, &names),
+        None => session.query_corpus(query, strategy),
+    };
+    let outcomes = match outcomes {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let elapsed = started.elapsed();
+
+    // Buffered + EPIPE-tolerant, like `xwq query`.
+    let stdout = std::io::stdout();
+    let mut w = std::io::BufWriter::new(stdout.lock());
+    use std::io::Write as _;
+    let mut failures = 0usize;
+    let mut eval_total = xwq::core::EvalStats::default();
+    for o in &outcomes {
+        match &o.result {
+            Ok(resp) => {
+                eval_total.accumulate(&resp.stats);
+                if count_only {
+                    if writeln!(w, "{:>8}  {}", resp.nodes.len(), o.doc).is_err() {
+                        return ExitCode::SUCCESS;
+                    }
+                } else {
+                    let doc = corpus.get(&o.doc).expect("served doc is in the corpus");
+                    for &v in &resp.nodes {
+                        let line =
+                            writeln!(w, "{:>8}  {}  {}", v, o.doc, node_path(doc.document(), v));
+                        if line.is_err() {
+                            return ExitCode::SUCCESS;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("xwq: {}: {e}", o.doc);
+            }
+        }
+    }
+    if w.flush().is_err() {
+        return ExitCode::SUCCESS;
+    }
+    if show_stats {
+        let loads = corpus.loads();
+        let per_shard: Vec<String> = loads
+            .iter()
+            .enumerate()
+            .map(|(s, l)| {
+                format!(
+                    "shard {s}: {} docs, {} nodes, {} workers",
+                    l.docs,
+                    l.nodes,
+                    session.shard_workers(s)
+                )
+            })
+            .collect();
+        eprintln!(
+            "# {} documents on {} shards ({} placement, {workers} workers/shard) in {elapsed:.1?}",
+            outcomes.len(),
+            corpus.shard_count(),
+            policy.token()
+        );
+        eprintln!("# {}", per_shard.join("; "));
+        let adm = session.admission_stats();
+        eprintln!(
+            "# admission: {} admitted, {} waited, {} rejected; eval: {} visited, {} jumps, {} selected",
+            adm.admitted, adm.waited, adm.rejected,
+            eval_total.visited, eval_total.jumps, eval_total.selected
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]`
+///
+/// Writes an XMark sample document (the paper's benchmark generator) as
+/// XML — the seed data for corpus builds and CI smoke tests.
+fn cmd_xmark(args: &[String]) -> ExitCode {
+    let mut factor = 0.01f64;
+    let mut seed = 42u64;
+    let mut out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {{
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(v)) => v,
+                    _ => return usage_error(concat!($name, " needs a valid value")),
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--factor" => factor = value!("--factor"),
+            "--seed" => seed = value!("--seed"),
+            "-o" | "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p),
+                    None => return usage_error("-o needs a path"),
+                }
+            }
+            flag => return usage_error(&format!("unknown xmark flag {flag}")),
+        }
+        i += 1;
+    }
+    let Some(out) = out else {
+        return usage_error("xmark needs -o <file.xml>");
+    };
+    let doc = xwq::xmark::generate(xwq::xmark::GenOptions { factor, seed });
+    match std::fs::write(out, doc.to_xml()) {
+        Ok(()) => {
+            eprintln!(
+                "# xmark factor {factor} seed {seed}: {} nodes -> {out}",
+                doc.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("cannot write {out}: {e}")),
+    }
+}
+
 /// `xwq bench [--factor f] [--seed n] [--repeats n] [--threads n] [--out p]`
 ///
 /// Runs the fixed XMark query suite (the paper's Fig. 2 workload) under
@@ -782,6 +1092,76 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         );
     }
     json.push_str("\n  ],\n");
+
+    // Sharded corpus serving: three XMark documents (seed, seed+1,
+    // seed+2) on two shards, one full-suite fan-out per measurement.
+    // Every worker count gets a fresh `ShardedSession` (so pools and
+    // caches never leak between rows) warmed with one untimed pass; the
+    // baseline is the measured serial (workers = 0) mode.
+    let corpus_docs = 3usize;
+    let corpus_shards = 2usize;
+    let corpus = Corpus::new(corpus_shards, PlacementPolicy::RoundRobin);
+    for d in 0..corpus_docs {
+        let doc = xwq::xmark::generate(xwq::xmark::GenOptions {
+            factor,
+            seed: seed + d as u64,
+        });
+        let index = xwq::index::TreeIndex::build(&doc);
+        if let Err(e) = corpus.add_prebuilt(&format!("doc{d}"), doc, index) {
+            return fail(e);
+        }
+    }
+    let corpus = Arc::new(corpus);
+    let corpus_measure = |session: &ShardedSession| {
+        let suite_pass = || {
+            for &(_, q) in &suite {
+                let out = session
+                    .query_corpus(q, Strategy::default())
+                    .expect("corpus fan-out");
+                assert_eq!(out.len(), corpus_docs);
+            }
+        };
+        suite_pass(); // warm the per-shard compiled caches and pools
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = std::time::Instant::now();
+            suite_pass();
+            let dt = t0.elapsed().as_nanos() as f64;
+            if dt < best {
+                best = dt;
+            }
+        }
+        best
+    };
+    let corpus_serial_ns = corpus_measure(&ShardedSession::new(Arc::clone(&corpus), 0));
+    eprintln!(
+        "# corpus serial baseline {corpus_serial_ns:>12.0} ns/suite ({corpus_docs} docs, {corpus_shards} shards)"
+    );
+    json.push_str(&format!(
+        "  \"corpus\": {{\"docs\": {corpus_docs}, \"shards\": {corpus_shards}, \"queries\": {}, \"serial_ns\": {corpus_serial_ns:.0}, \"runs\": [\n",
+        suite.len()
+    ));
+    for (ci, &wkr) in thread_counts.iter().enumerate() {
+        let session = ShardedSession::new(Arc::clone(&corpus), wkr);
+        let best = corpus_measure(&session);
+        let speedup = if best > 0.0 {
+            corpus_serial_ns / best
+        } else {
+            0.0
+        };
+        if ci > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"workers\": {wkr}, \"ns\": {best:.0}, \"speedup_vs_serial\": {speedup:.2}}}"
+        ));
+        eprintln!(
+            "# corpus  x{wkr:<2} {best:>12.0} ns/suite  speedup {speedup:.2}x  ({} workers live)",
+            session.total_workers()
+        );
+    }
+    json.push_str("\n  ]},\n");
+
     // Read the cache counters only after the measured batches, so the hit
     // rate reflects the warm serving workload, not just the cold warm-up.
     let cache = session.cache_stats();
@@ -866,11 +1246,64 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             marker
         );
     }
+    // One-sided rows never pass silently: each gets an explicit warning
+    // (on stderr, so piped row output stays machine-readable) but never
+    // fails the diff by itself — workloads evolve.
     for s in &report.only_old {
-        println!("{s:<10} only in {old_path} — not judged (removed or renamed?)");
+        eprintln!(
+            "xwq: bench-diff: warning: strategy {s:?} only in {old_path} — not judged (removed or renamed?)"
+        );
     }
     for s in &report.only_new {
-        println!("{s:<10} only in {new_path} — not judged (added or renamed?)");
+        eprintln!(
+            "xwq: bench-diff: warning: strategy {s:?} only in {new_path} — not judged (added or renamed?)"
+        );
+    }
+    // The corpus section rides the same gate: judged when both files have
+    // it, warned about when only one does, silent only when neither does.
+    match benchdiff::diff_corpus(&old, &new, threshold_pct / 100.0) {
+        Ok(benchdiff::CorpusDiff::BothMissing) => {}
+        Ok(benchdiff::CorpusDiff::OneSided { in_new }) => {
+            let path = if in_new { new_path } else { old_path };
+            eprintln!(
+                "xwq: bench-diff: warning: corpus section only in {path} — not judged (bench versions differ?)"
+            );
+        }
+        Ok(benchdiff::CorpusDiff::Compared {
+            rows,
+            only_old,
+            only_new,
+        }) => {
+            for r in &rows {
+                let marker = if r.regressed {
+                    regressed = true;
+                    "REGRESSED"
+                } else if r.delta < 0.0 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "corpus/{:<3} {:>12.0} -> {:>12.0} ns/suite  {:>+7.1}%  {}",
+                    r.label,
+                    r.old_ns,
+                    r.new_ns,
+                    r.delta * 100.0,
+                    marker
+                );
+            }
+            for w in only_old {
+                eprintln!(
+                    "xwq: bench-diff: warning: corpus workers={w} only in {old_path} — not judged"
+                );
+            }
+            for w in only_new {
+                eprintln!(
+                    "xwq: bench-diff: warning: corpus workers={w} only in {new_path} — not judged"
+                );
+            }
+        }
+        Err(e) => return fail(e),
     }
     if regressed {
         eprintln!("xwq: bench-diff: regression beyond {threshold_pct}% threshold");

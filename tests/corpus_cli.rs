@@ -1,0 +1,160 @@
+//! End-to-end CLI tests for the sharded corpus workflow:
+//! `xwq xmark` → `xwq corpus build` → `xwq corpus query` must produce
+//! identical output at every worker/shard combination, and per-document
+//! results must match querying each `.xwqi` on its own.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xwq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xwq"))
+        .args(args)
+        .output()
+        .expect("spawn xwq")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xwq-corpus-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Generates three XMark samples and builds a corpus directory from them.
+fn build_corpus(root: &std::path::Path) -> (String, String) {
+    let src = root.join("src");
+    let out = root.join("corpus");
+    std::fs::create_dir_all(&src).unwrap();
+    for seed in ["1", "2", "3"] {
+        let path = src.join(format!("doc{seed}.xml"));
+        let gen = xwq(&[
+            "xmark",
+            "-o",
+            path.to_str().unwrap(),
+            "--factor",
+            "0.004",
+            "--seed",
+            seed,
+        ]);
+        assert!(gen.status.success(), "xmark gen failed: {gen:?}");
+    }
+    let built = xwq(&[
+        "corpus",
+        "build",
+        src.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert!(built.status.success(), "corpus build failed: {built:?}");
+    (src.display().to_string(), out.display().to_string())
+}
+
+#[test]
+fn corpus_query_is_identical_across_workers_and_shards() {
+    let root = tmp_dir("identical");
+    let (_, corpus) = build_corpus(&root);
+    for query in ["//item[name]", "//person/name", "//item[mailbox]"] {
+        let reference = xwq(&["corpus", "query", &corpus, query]);
+        assert!(reference.status.success(), "{query}: {reference:?}");
+        let expected = String::from_utf8_lossy(&reference.stdout).to_string();
+        assert!(!expected.trim().is_empty(), "{query} selected nothing");
+        for workers in ["1", "2", "8"] {
+            for shards in ["1", "2", "3"] {
+                for policy in ["round-robin", "size-balanced"] {
+                    let got = xwq(&[
+                        "corpus",
+                        "query",
+                        &corpus,
+                        query,
+                        "--workers",
+                        workers,
+                        "--shards",
+                        shards,
+                        "--policy",
+                        policy,
+                    ]);
+                    assert!(got.status.success(), "{query}: {got:?}");
+                    assert_eq!(
+                        expected,
+                        String::from_utf8_lossy(&got.stdout),
+                        "{query} diverges at {workers} workers / {shards} shards / {policy}"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corpus_results_match_per_document_queries() {
+    let root = tmp_dir("per-doc");
+    let (_, corpus) = build_corpus(&root);
+    let query = "//item[name]";
+    let merged = xwq(&["corpus", "query", &corpus, query, "--workers", "2"]);
+    assert!(merged.status.success(), "{merged:?}");
+    let merged = String::from_utf8_lossy(&merged.stdout).to_string();
+    // Rebuild the expected output from per-document `xwq query --index`
+    // runs (mmap path), prefixing each node id line with its doc name the
+    // way corpus query prints it.
+    let mut expected = String::new();
+    for doc in ["doc1", "doc2", "doc3"] {
+        let xwqi = format!("{corpus}/{doc}.xwqi");
+        let single = xwq(&["query", "--index", &xwqi, "--mmap", query]);
+        assert!(single.status.success(), "{doc}: {single:?}");
+        for line in String::from_utf8_lossy(&single.stdout).lines() {
+            let (id, path) = line.trim_start().split_once(' ').unwrap();
+            expected.push_str(&format!("{:>8}  {doc}  {}\n", id, path.trim_start()));
+        }
+    }
+    assert_eq!(expected, merged, "corpus merge diverges from per-doc runs");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corpus_query_subset_count_and_errors() {
+    let root = tmp_dir("subset");
+    let (src, corpus) = build_corpus(&root);
+    // --docs subset, deduped and name-ordered.
+    let subset = xwq(&[
+        "corpus",
+        "query",
+        &corpus,
+        "//item",
+        "--docs",
+        "doc3,doc1,doc3",
+        "--count",
+    ]);
+    assert!(subset.status.success(), "{subset:?}");
+    let lines: Vec<String> = String::from_utf8_lossy(&subset.stdout)
+        .lines()
+        .map(|l| l.trim_start().to_string())
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert!(
+        lines[0].ends_with("doc1") && lines[1].ends_with("doc3"),
+        "{lines:?}"
+    );
+    // Unknown doc fails the call.
+    let unknown = xwq(&["corpus", "query", &corpus, "//item", "--docs", "ghost"]);
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("ghost"));
+    // Bad query: per-document errors fail the exit code.
+    let bad = xwq(&["corpus", "query", &corpus, "//["]);
+    assert!(!bad.status.success());
+    // Building from a directory with no XML fails cleanly.
+    let empty = root.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let none = xwq(&[
+        "corpus",
+        "build",
+        empty.to_str().unwrap(),
+        "-o",
+        corpus.as_str(),
+    ]);
+    assert!(!none.status.success());
+    assert!(String::from_utf8_lossy(&none.stderr).contains("no .xml"));
+    // A corpus dir is rebuildable from the same sources (overwrite).
+    let again = xwq(&["corpus", "build", &src, "-o", &corpus]);
+    assert!(again.status.success(), "{again:?}");
+    std::fs::remove_dir_all(&root).ok();
+}
