@@ -6,7 +6,9 @@ use crate::plan::{Plan, PlanKind};
 use crate::{exec, planner, Asta};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use xwq_index::{Document, NodeId, TopologyKind, TreeIndex};
+use xwq_obs::TraceNode;
 use xwq_xpath::{parse_xpath, rewrite_forward, Path, XPathError};
 
 /// Evaluation strategies (the series of Fig. 4, plus hybrid, plus the
@@ -334,14 +336,60 @@ impl Engine {
         strategy: Strategy,
         scratch: &mut EvalScratch,
     ) -> QueryOutput {
+        self.run_plan_traced(q, plan, strategy, scratch, None)
+    }
+
+    /// Evaluates a compiled query and records a per-operator span tree:
+    /// one child span per plan op (the same names `explain` prints), each
+    /// carrying estimated-vs-actual counters and wall-clock nanoseconds.
+    ///
+    /// The trace's *text rendering without timings* is deterministic for a
+    /// warm run — see [`TraceNode::render_text`].
+    pub fn run_traced(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+    ) -> (QueryOutput, TraceNode) {
+        let plan = self.plan(q, strategy);
+        let mut root = TraceNode::new("Query", format!("strategy={}", strategy.token()));
+        let start = Instant::now();
+        let out = self.run_plan_traced(q, &plan, strategy, scratch, Some(&mut root));
+        root.ns = start.elapsed().as_nanos() as u64;
+        root.attr("est_cost", format!("{:.0}", plan.est.cost));
+        root.attr("est_visits", format!("{:.0}", plan.est.visits));
+        root.attr("visited", out.stats.visited);
+        root.attr("jumps", out.stats.jumps);
+        root.attr("memo_hits", out.stats.memo_hits);
+        root.attr("memo_misses", out.stats.memo_misses);
+        root.attr("selected", out.stats.selected);
+        (out, root)
+    }
+
+    fn run_plan_traced(
+        &self,
+        q: &CompiledQuery,
+        plan: &Plan,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+        mut trace: Option<&mut TraceNode>,
+    ) -> QueryOutput {
         match &plan.kind {
-            PlanKind::Empty => QueryOutput {
-                nodes: Vec::new(),
-                stats: EvalStats::default(),
-                hybrid_fallback: false,
-            },
+            PlanKind::Empty => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.child(TraceNode::new(
+                        "Empty",
+                        "a queried label does not occur in this document",
+                    ));
+                }
+                QueryOutput {
+                    nodes: Vec::new(),
+                    stats: EvalStats::default(),
+                    hybrid_fallback: false,
+                }
+            }
             PlanKind::Spine(sp) => {
-                let (nodes, stats) = exec::run_spine(sp, &self.ix, scratch);
+                let (nodes, stats) = exec::run_spine_traced(sp, &self.ix, scratch, trace);
                 QueryOutput {
                     nodes,
                     stats,
@@ -349,12 +397,26 @@ impl Engine {
                 }
             }
             PlanKind::Automaton(opts) => {
+                let start = Instant::now();
                 let identity = self.ix.identity();
                 let memo = q.cache.take_memo(identity, &q.asta);
                 let mut ev = Evaluator::with_memo(&q.asta, &self.ix, *opts, memo);
                 let nodes = ev.run_with_scratch(scratch);
                 let stats = ev.stats;
                 q.cache.put_memo(identity, ev.into_memo());
+                if let Some(t) = trace {
+                    let node = t.child(TraceNode::new(
+                        "AutomatonRun",
+                        format!(
+                            "pruning={} jumping={} memo={} info_prop={}",
+                            opts.pruning, opts.jumping, opts.memo, opts.info_prop
+                        ),
+                    ));
+                    node.ns = start.elapsed().as_nanos() as u64;
+                    node.attr("est_visits", format!("{:.0}", plan.est.visits));
+                    node.attr("visited", stats.visited);
+                    node.attr("jumps", stats.jumps);
+                }
                 QueryOutput {
                     nodes,
                     stats,
@@ -425,6 +487,28 @@ mod tests {
             e.compile("//a[ /b ]"),
             Err(QueryError::Compile(_))
         ));
+    }
+
+    #[test]
+    fn traced_run_agrees_and_renders_deterministically() {
+        let doc = parse("<a><b><c/><b><c/></b></b><d><b/></d></a>").unwrap();
+        let e = Engine::build(&doc);
+        let mut scratch = EvalScratch::new();
+        for strategy in [Strategy::Auto, Strategy::Optimized, Strategy::Hybrid] {
+            let q = e.compile("//b[c]").unwrap();
+            let untraced = e.run(&q, strategy);
+            let (out, trace) = e.run_traced(&q, strategy, &mut scratch);
+            assert_eq!(out.nodes, untraced.nodes, "{}", strategy.name());
+            assert!(trace.span_count() >= 2, "{}", strategy.name());
+            // Warm runs must render byte-identically (without timings).
+            let (_, t2) = e.run_traced(&q, strategy, &mut scratch);
+            let (_, t3) = e.run_traced(&q, strategy, &mut scratch);
+            assert_eq!(t2.render_text(false), t3.render_text(false));
+            assert!(t2
+                .render_text(false)
+                .starts_with(&format!("Query strategy={}", strategy.token())));
+            assert!(!t2.render_text(false).contains("ns="));
+        }
     }
 
     #[test]

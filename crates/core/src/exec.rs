@@ -1,6 +1,6 @@
 //! The unified plan executor.
 //!
-//! [`run_spine`] executes a [`SpinePlan`] set-at-a-time: LabelJump seeds a
+//! [`run_spine_traced`] executes a [`SpinePlan`] set-at-a-time: LabelJump seeds a
 //! sorted candidate list, pivot predicates and the memoized UpwardMatch
 //! filter it, then each downstream step transforms the whole list by its
 //! planned method (child scan, range scan / Intersect merge, or subtree
@@ -25,7 +25,9 @@ use crate::bits::StateBits;
 use crate::eval::{EvalScratch, EvalStats};
 use crate::plan::{Descend, PredPlan, Probe, SpinePlan, SpineTest};
 use crate::planner::star_kind;
+use std::time::Instant;
 use xwq_index::{FxHashMap, NodeId, TreeIndex, NONE};
+use xwq_obs::TraceNode;
 use xwq_xpath::{Axis, NodeTest, Pred, Step};
 
 /// Reusable spine-executor state, pooled inside [`EvalScratch`]: the
@@ -53,11 +55,15 @@ impl SpineScratch {
 }
 
 /// Executes a spine plan; returns selected nodes (document order,
-/// duplicate-free) and the run's statistics.
-pub(crate) fn run_spine(
+/// duplicate-free) and the run's statistics. When `trace` is given, one
+/// child span per pipeline phase (LabelJump seed, each descend step) is
+/// appended to it, carrying the phase's stats deltas and candidate counts
+/// next to the planner's estimate.
+pub(crate) fn run_spine_traced(
     plan: &SpinePlan,
     ix: &TreeIndex,
     scratch: &mut EvalScratch,
+    trace: Option<&mut TraceNode>,
 ) -> (Vec<NodeId>, EvalStats) {
     let mut spine = std::mem::take(&mut scratch.spine);
     spine.reset();
@@ -67,6 +73,7 @@ pub(crate) fn run_spine(
         stats: EvalStats::default(),
         s: &mut spine,
         use_memo: ix.label_count(plan.pivot_label) >= 4,
+        trace,
     };
     let out = ex.run();
     let stats = ex.stats;
@@ -83,6 +90,8 @@ struct SpineExec<'a> {
     /// predicate work; for a handful of candidates the hash traffic
     /// costs more than the recomputation it saves.
     use_memo: bool,
+    /// When tracing, phase spans are appended here.
+    trace: Option<&'a mut TraceNode>,
 }
 
 impl<'a> SpineExec<'a> {
@@ -91,6 +100,8 @@ impl<'a> SpineExec<'a> {
         let ix = self.ix;
         // LabelJump: seed candidates, filter by pivot predicates and the
         // upward context.
+        let seed_start = Instant::now();
+        let stats_before = self.stats;
         let mut cur = std::mem::take(&mut self.s.cur);
         for &v in ix.label_list(plan.pivot_label) {
             self.mark_visited(v);
@@ -102,14 +113,19 @@ impl<'a> SpineExec<'a> {
             }
             cur.push(v);
         }
+        self.trace_seed(seed_start, stats_before, cur.len());
         // Downstream steps transform the candidate list one at a time.
         let mut next = std::mem::take(&mut self.s.next);
         for si in plan.pivot + 1..plan.steps.len() {
+            let step_start = Instant::now();
+            let stats_before = self.stats;
+            let in_count = cur.len();
             next.clear();
             self.descend_step(si, &cur, &mut next);
             next.sort_unstable();
             next.dedup();
             std::mem::swap(&mut cur, &mut next);
+            self.trace_descend(si, step_start, stats_before, in_count, cur.len());
             if cur.is_empty() {
                 break;
             }
@@ -119,6 +135,64 @@ impl<'a> SpineExec<'a> {
         self.s.cur = cur;
         self.s.next = next;
         out
+    }
+
+    /// Span for the LabelJump seed phase (which interleaves pivot
+    /// predicates and the UpwardMatch prefix verification).
+    fn trace_seed(&mut self, start: Instant, before: EvalStats, matched: usize) {
+        let plan = self.plan;
+        let ix = self.ix;
+        let Some(t) = self.trace.as_deref_mut() else {
+            return;
+        };
+        let mut detail = ix.alphabet().name(plan.pivot_label).to_string();
+        if plan.pivot > 0 {
+            detail.push_str(" (+UpwardMatch prefix)");
+        }
+        let node = t.child(TraceNode::new("LabelJump", detail));
+        node.ns = start.elapsed().as_nanos() as u64;
+        node.attr("candidates", ix.label_count(plan.pivot_label));
+        node.attr("matched", matched);
+        node.attr("est_visits", format!("{:.0}", plan.seed_est.visits));
+        node.attr("visited", self.stats.visited - before.visited);
+        node.attr("jumps", self.stats.jumps - before.jumps);
+    }
+
+    /// Span for one descend step, named like the `explain` operator rows.
+    fn trace_descend(
+        &mut self,
+        si: usize,
+        start: Instant,
+        before: EvalStats,
+        in_count: usize,
+        out_count: usize,
+    ) {
+        let step = &self.plan.steps[si];
+        let al = self.ix.alphabet();
+        let Some(t) = self.trace.as_deref_mut() else {
+            return;
+        };
+        let (op, how): (&'static str, &str) = match (step.descend, step.axis) {
+            (Descend::RangeScan, Axis::Descendant) => ("Intersect", "merge label list"),
+            (Descend::RangeScan, _) => ("SpineDescend", "range scan + depth filter"),
+            (Descend::SubtreeScan, _) => ("SpineDescend", "subtree scan"),
+            _ => ("SpineDescend", "child scan"),
+        };
+        let test = match step.test {
+            SpineTest::Label(l) => al.name(l).to_string(),
+            SpineTest::Star => "*".to_string(),
+            SpineTest::Any => "node()".to_string(),
+        };
+        let node = t.child(TraceNode::new(
+            op,
+            format!("{}::{} via {how}", step.axis.name(), test),
+        ));
+        node.ns = start.elapsed().as_nanos() as u64;
+        node.attr("in", in_count);
+        node.attr("out", out_count);
+        node.attr("est_visits", format!("{:.0}", step.est.visits));
+        node.attr("visited", self.stats.visited - before.visited);
+        node.attr("jumps", self.stats.jumps - before.jumps);
     }
 
     /// Counts `v` as visited once.

@@ -42,3 +42,4 @@ pub use plan::{
 pub use results::{NodeList, ResultSet};
 pub use sets::SetInterner;
 pub use tda::{SkipKind, Tda};
+pub use xwq_obs::TraceNode;

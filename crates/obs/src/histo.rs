@@ -1,0 +1,214 @@
+//! Fixed-bucket log₂-scale latency histogram.
+//!
+//! Values (nanoseconds) land in bucket `bit_length(v)`: bucket 0 holds the
+//! value 0, bucket `i ≥ 1` holds `[2^(i-1), 2^i - 1]`. 65 buckets cover the
+//! full `u64` range, so `record` never clamps and never allocates — the hot
+//! path is four relaxed atomic ops.
+//!
+//! Percentile extraction walks the cumulative bucket counts and reports the
+//! bucket's inclusive upper bound, clamped to the recorded maximum. The
+//! reported value therefore always falls in the *same* log₂ bucket as the
+//! exact sorted-order percentile at the same rank (see the proptest in
+//! `tests/histo_percentiles.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for the value 0, plus one per bit length 1..=64.
+pub const HISTO_BUCKETS: usize = 65;
+
+/// Lock-free log₂-bucket histogram of `u64` samples (nanoseconds).
+pub struct LatencyHisto {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for a sample: its bit length (0 for the value 0).
+#[inline]
+pub(crate) fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturating for the top bucket).
+#[inline]
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHisto {
+    /// A standalone histogram (also constructible via [`crate::Registry::histo`]).
+    pub fn new() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free: four relaxed atomic RMW ops.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the raw bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTO_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Percentile `q` in `(0, 1]`, e.g. `0.99` for p99.
+    ///
+    /// Uses the nearest-rank definition: rank `max(1, ceil(q·n))`. Returns
+    /// `None` when the histogram is empty. The reported value is the
+    /// containing bucket's upper bound clamped to the recorded max, so it is
+    /// within one log₂ bucket of the exact sorted-order percentile.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let counts = self.bucket_counts();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max()));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// The standard quartet: (p50, p90, p99, p99.9). `None` when empty.
+    pub fn summary(&self) -> Option<HistoSummary> {
+        if self.count() == 0 {
+            return None;
+        }
+        Some(HistoSummary {
+            p50: self.percentile(0.50).unwrap_or(0),
+            p90: self.percentile(0.90).unwrap_or(0),
+            p99: self.percentile(0.99).unwrap_or(0),
+            p999: self.percentile(0.999).unwrap_or(0),
+            max: self.max(),
+            count: self.count(),
+            sum: self.sum(),
+        })
+    }
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto::new()
+    }
+}
+
+/// Extracted percentile summary of a [`LatencyHisto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoSummary {
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub max: u64,
+    pub count: u64,
+    pub sum: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histo_has_no_percentiles() {
+        let h = LatencyHisto::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LatencyHisto::new();
+        h.record(1000);
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            // Upper bound of bucket 10 is 1023, clamped to max 1000.
+            assert_eq!(h.percentile(q), Some(1000));
+        }
+        assert_eq!(h.sum(), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn percentiles_track_skewed_distribution() {
+        let h = LatencyHisto::new();
+        // 99 fast samples at ~100ns, one slow outlier at ~1ms.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let s = h.summary().unwrap();
+        assert_eq!(bucket_of(s.p50), bucket_of(100));
+        assert_eq!(bucket_of(s.p90), bucket_of(100));
+        // p99 rank is 99 → still the fast bucket; p99.9 and max see the tail.
+        assert_eq!(bucket_of(s.p99), bucket_of(100));
+        assert_eq!(s.p999, 1_000_000);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let h = LatencyHisto::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0));
+        assert_eq!(h.bucket_counts()[0], 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! `xwq-obs` — the dependency-free telemetry layer.
+//!
+//! Every serving layer of the engine reports into one [`Registry`] of
+//! named metrics:
+//!
+//! * [`Counter`] — a monotonic `u64` (cache hits, admission decisions);
+//! * [`Gauge`] — a signed instantaneous value (entries resident, workers
+//!   live);
+//! * [`LatencyHisto`] — a fixed-bucket log₂-scale histogram with a
+//!   **lock-free record path** (one atomic add per bucket + three more for
+//!   count/sum/max) cheap enough to sit on the query hot path, and exact
+//!   in-bucket p50/p90/p99/p99.9 + max extraction.
+//!
+//! Handles are `Arc`-shared: a serving layer resolves its metrics once at
+//! construction and the per-query cost is a few relaxed atomic ops — the
+//! registry lock is only taken at registration and render time.
+//!
+//! [`Registry::render`] exposes a snapshot in two formats — Prometheus
+//! text exposition and JSON — so `xwq stats` (and a future `xwq serve
+//! --stats` endpoint) are a render call.
+//!
+//! [`TraceNode`] (see [`trace`]) is the structured per-query span tree
+//! behind `xwq query --trace`.
+
+mod histo;
+mod registry;
+mod trace;
+
+pub use histo::{HistoSummary, LatencyHisto, HISTO_BUCKETS};
+pub use registry::{Counter, Gauge, Registry, RenderFormat};
+pub use trace::TraceNode;

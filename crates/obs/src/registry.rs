@@ -1,0 +1,471 @@
+//! Metric registry: named counters, gauges, and latency histograms with
+//! Prometheus-text and JSON exposition.
+//!
+//! Registration hands back `Arc` handles; the registry mutex is touched only
+//! at registration and render time, never on the record path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histo::{bucket_upper, LatencyHisto, HISTO_BUCKETS};
+
+/// Monotonic counter.
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value.
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            v: AtomicI64::new(0),
+        }
+    }
+
+    pub fn set(&self, n: i64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricType {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricType {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histo(Arc<LatencyHisto>),
+}
+
+impl Metric {
+    fn ty(&self) -> MetricType {
+        match self {
+            Metric::Counter(_) => MetricType::Counter,
+            Metric::Gauge(_) => MetricType::Gauge,
+            Metric::Histo(_) => MetricType::Histogram,
+        }
+    }
+}
+
+/// A metric series is identified by its name plus its sorted label set.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    metrics: BTreeMap<MetricId, Metric>,
+    help: BTreeMap<String, String>,
+}
+
+/// Exposition format for [`Registry::render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderFormat {
+    /// Prometheus text exposition (`# TYPE`, `# HELP`, cumulative `le` buckets).
+    Prometheus,
+    /// A JSON array of metric objects (histograms carry extracted percentiles).
+    Json,
+}
+
+/// Registry of named metrics. Cheap to share behind an `Arc`.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label(name: &str) -> bool {
+    !name.is_empty()
+        && name != "le"
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+fn label_vec(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| {
+            assert!(valid_label(k), "invalid metric label name: {k:?}");
+            (k.to_string(), val.to_string())
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Attach a `# HELP` line to a metric name.
+    pub fn describe(&self, name: &str, help: &str) {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut inner = self.inner.lock().unwrap();
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Register (or fetch) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Register (or fetch) a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let id = MetricId {
+            name: name.to_string(),
+            labels: label_vec(labels),
+        };
+        let mut inner = self.inner.lock().unwrap();
+        check_type(&inner, name, MetricType::Counter);
+        match inner
+            .metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => unreachable!("type checked above"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Register (or fetch) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let id = MetricId {
+            name: name.to_string(),
+            labels: label_vec(labels),
+        };
+        let mut inner = self.inner.lock().unwrap();
+        check_type(&inner, name, MetricType::Gauge);
+        match inner
+            .metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => unreachable!("type checked above"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled latency histogram.
+    pub fn histo(&self, name: &str) -> Arc<LatencyHisto> {
+        self.histo_with(name, &[])
+    }
+
+    /// Register (or fetch) a latency histogram with labels.
+    pub fn histo_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHisto> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let id = MetricId {
+            name: name.to_string(),
+            labels: label_vec(labels),
+        };
+        let mut inner = self.inner.lock().unwrap();
+        check_type(&inner, name, MetricType::Histogram);
+        match inner
+            .metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Histo(Arc::new(LatencyHisto::new())))
+        {
+            Metric::Histo(h) => Arc::clone(h),
+            _ => unreachable!("type checked above"),
+        }
+    }
+
+    /// Render a snapshot of every registered metric.
+    pub fn render(&self, format: RenderFormat) -> String {
+        let inner = self.inner.lock().unwrap();
+        match format {
+            RenderFormat::Prometheus => render_prometheus(&inner),
+            RenderFormat::Json => render_json(&inner),
+        }
+    }
+}
+
+fn check_type(inner: &Inner, name: &str, want: MetricType) {
+    if let Some((_, existing)) = inner.metrics.iter().find(|(id, _)| id.name == name) {
+        assert!(
+            existing.ty() == want,
+            "metric {name:?} already registered as {}, requested {}",
+            existing.ty().as_str(),
+            want.as_str()
+        );
+    }
+}
+
+fn render_prometheus(inner: &Inner) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for (id, metric) in &inner.metrics {
+        if last_name != Some(id.name.as_str()) {
+            if let Some(help) = inner.help.get(&id.name) {
+                out.push_str(&format!("# HELP {} {}\n", id.name, help.replace('\n', " ")));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", id.name, metric.ty().as_str()));
+            last_name = Some(id.name.as_str());
+        }
+        let labels = render_labels(&id.labels, None);
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("{}{} {}\n", id.name, labels, c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("{}{} {}\n", id.name, labels, g.get()));
+            }
+            Metric::Histo(h) => {
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (i, &c) in counts.iter().enumerate().take(HISTO_BUCKETS - 1) {
+                    cum += c;
+                    if c > 0 && i < 64 {
+                        let le =
+                            render_labels(&id.labels, Some(("le", &bucket_upper(i).to_string())));
+                        out.push_str(&format!("{}_bucket{} {}\n", id.name, le, cum));
+                    }
+                }
+                let inf = render_labels(&id.labels, Some(("le", "+Inf")));
+                out.push_str(&format!("{}_bucket{} {}\n", id.name, inf, h.count()));
+                out.push_str(&format!("{}_sum{} {}\n", id.name, labels, h.sum()));
+                out.push_str(&format!("{}_count{} {}\n", id.name, labels, h.count()));
+            }
+        }
+    }
+    out
+}
+
+fn render_json(inner: &Inner) -> String {
+    let mut entries = Vec::new();
+    for (id, metric) in &inner.metrics {
+        let mut obj = String::from("{");
+        obj.push_str(&format!("\"name\":\"{}\"", json_escape(&id.name)));
+        obj.push_str(&format!(",\"type\":\"{}\"", metric.ty().as_str()));
+        if !id.labels.is_empty() {
+            let labels: Vec<String> = id
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                .collect();
+            obj.push_str(&format!(",\"labels\":{{{}}}", labels.join(",")));
+        }
+        if let Some(help) = inner.help.get(&id.name) {
+            obj.push_str(&format!(",\"help\":\"{}\"", json_escape(help)));
+        }
+        match metric {
+            Metric::Counter(c) => obj.push_str(&format!(",\"value\":{}", c.get())),
+            Metric::Gauge(g) => obj.push_str(&format!(",\"value\":{}", g.get())),
+            Metric::Histo(h) => {
+                obj.push_str(&format!(",\"count\":{},\"sum\":{}", h.count(), h.sum()));
+                if let Some(s) = h.summary() {
+                    obj.push_str(&format!(
+                        ",\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}",
+                        s.p50, s.p90, s.p99, s.p999, s.max
+                    ));
+                }
+            }
+        }
+        obj.push('}');
+        entries.push(obj);
+    }
+    format!("[{}]\n", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("xwq_test_total");
+        let b = r.counter("xwq_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("xwq_hits_total", &[("shard", "0")]);
+        let b = r.counter_with("xwq_hits_total", &[("shard", "1")]);
+        a.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter_with("m_total", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("m_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("xwq_conflict");
+        let _ = r.gauge("xwq_conflict");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("9starts-with-digit");
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let r = Registry::new();
+        r.describe("xwq_queries_total", "Total queries served");
+        r.counter("xwq_queries_total").add(7);
+        r.gauge_with("xwq_cache_entries", &[("layer", "store")])
+            .set(3);
+        let h = r.histo("xwq_query_latency_ns");
+        h.record(100);
+        h.record(100_000);
+        let text = r.render(RenderFormat::Prometheus);
+        assert!(text.contains("# HELP xwq_queries_total Total queries served\n"));
+        assert!(text.contains("# TYPE xwq_queries_total counter\n"));
+        assert!(text.contains("xwq_queries_total 7\n"));
+        assert!(text.contains("xwq_cache_entries{layer=\"store\"} 3\n"));
+        assert!(text.contains("# TYPE xwq_query_latency_ns histogram\n"));
+        assert!(text.contains("xwq_query_latency_ns_bucket{le=\"127\"} 1\n"));
+        assert!(text.contains("xwq_query_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("xwq_query_latency_ns_sum 100100\n"));
+        assert!(text.contains("xwq_query_latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn json_render_shape() {
+        let r = Registry::new();
+        r.counter("xwq_total").add(5);
+        let h = r.histo_with("xwq_lat_ns", &[("shard", "2")]);
+        h.record(1000);
+        let json = r.render(RenderFormat::Json);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"name\":\"xwq_total\""));
+        assert!(json.contains("\"value\":5"));
+        assert!(json.contains("\"labels\":{\"shard\":\"2\"}"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50\":1000"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("m_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.render(RenderFormat::Prometheus);
+        assert!(text.contains("m_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Structured per-query trace spans.
+//!
+//! A [`TraceNode`] is one timed operation in a query's execution — a plan op,
+//! a phase, a whole query — with counter attributes (visits, jumps, memo
+//! hits, estimated-vs-actual) and child spans. The executor builds the tree;
+//! the CLI renders it.
+//!
+//! Wall-clock nanoseconds are carried on every node but only rendered when
+//! `show_ns` is requested: the default text rendering is **deterministic** —
+//! byte-identical across repeated warm runs of the same query on the same
+//! index — so it can be asserted on in tests and diffed across runs.
+
+/// One span in a query trace tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// Operation name (matches the plan op shown by `explain`, e.g.
+    /// `LabelJump`, `SpineDescend`, `Intersect`, `AutomatonRun`).
+    pub name: String,
+    /// Human-readable operand detail, e.g. the label or predicate tested.
+    pub detail: String,
+    /// Wall-clock time spent in this span (includes children).
+    pub ns: u64,
+    /// Counter attributes in insertion order, e.g. `("visited", "12")`.
+    pub attrs: Vec<(String, String)>,
+    /// Child spans in execution order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    pub fn new(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        TraceNode {
+            name: name.into(),
+            detail: detail.into(),
+            ns: 0,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Append a counter attribute.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.attrs.push((key.into(), value.to_string()));
+    }
+
+    /// Append a child span and return a mutable handle to it.
+    pub fn child(&mut self, node: TraceNode) -> &mut TraceNode {
+        self.children.push(node);
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Total number of spans in the tree (including this node).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Render the tree as indented text.
+    ///
+    /// With `show_ns = false` the output contains no wall-clock values and is
+    /// deterministic for a warm run; with `show_ns = true` each line gains a
+    /// trailing `ns=` field.
+    pub fn render_text(&self, show_ns: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, show_ns);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, show_ns: bool) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        if !self.detail.is_empty() {
+            out.push(' ');
+            out.push_str(&self.detail);
+        }
+        for (k, v) in &self.attrs {
+            out.push_str("  ");
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        if show_ns {
+            out.push_str("  ns=");
+            out.push_str(&self.ns.to_string());
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1, show_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceNode {
+        let mut root = TraceNode::new("Query", "//item[@id]");
+        root.ns = 5_000;
+        root.attr("visited", 42);
+        root.attr("jumps", 3);
+        let step = root.child(TraceNode::new("LabelJump", "item"));
+        step.ns = 3_000;
+        step.attr("candidates", 7);
+        root.child(TraceNode::new("PredicateProbe", "@id"));
+        root
+    }
+
+    #[test]
+    fn deterministic_render_hides_timing() {
+        let text = sample().render_text(false);
+        assert_eq!(
+            text,
+            "Query //item[@id]  visited=42  jumps=3\n  LabelJump item  candidates=7\n  PredicateProbe @id\n"
+        );
+        assert!(!text.contains("ns="));
+    }
+
+    #[test]
+    fn timed_render_appends_ns() {
+        let text = sample().render_text(true);
+        assert!(text.contains("ns=5000"));
+        assert!(text.contains("ns=3000"));
+    }
+
+    #[test]
+    fn span_count_walks_tree() {
+        assert_eq!(sample().span_count(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property test: histogram percentiles are within one log₂ bucket of the
+//! exact sorted-order percentile at the same rank.
+
+use proptest::prelude::*;
+use xwq_obs::LatencyHisto;
+
+/// Bit length of a sample — the histogram's bucket index.
+fn bucket_of(ns: u64) -> u32 {
+    64 - ns.leading_zeros()
+}
+
+/// Exact nearest-rank percentile over a sorted sample set.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_within_one_log2_bucket(
+        samples in prop::collection::vec(0u64..5_000_000_000, 1..400),
+    ) {
+        let h = LatencyHisto::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+
+        for q in [0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = exact_percentile(&sorted, q);
+            let reported = h.percentile(q).unwrap();
+            // Same log₂ bucket: the histogram cannot distinguish values
+            // within a bucket, but must never be off by a whole bucket.
+            prop_assert_eq!(
+                bucket_of(reported),
+                bucket_of(exact),
+                "q={} exact={} reported={}",
+                q,
+                exact,
+                reported
+            );
+            // And never above the recorded maximum.
+            prop_assert!(reported <= h.max());
+        }
+    }
+
+    #[test]
+    fn summary_matches_individual_percentiles(
+        samples in prop::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let h = LatencyHisto::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let s = h.summary().unwrap();
+        prop_assert_eq!(Some(s.p50), h.percentile(0.50));
+        prop_assert_eq!(Some(s.p90), h.percentile(0.90));
+        prop_assert_eq!(Some(s.p99), h.percentile(0.99));
+        prop_assert_eq!(Some(s.p999), h.percentile(0.999));
+        prop_assert_eq!(s.max, h.max());
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+}

@@ -30,8 +30,10 @@ use crate::{Corpus, CorpusError};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use xwq_core::{EvalScratch, Strategy};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+use xwq_core::{EvalScratch, EvalStats, Strategy};
+use xwq_obs::{Counter, LatencyHisto, Registry};
 use xwq_store::{CacheStats, QueryResponse, Session, SessionError};
 
 /// The corpus-wide merged result slots, indexed by each document's
@@ -115,6 +117,9 @@ pub struct ShardedSession {
     shards: Vec<ShardServer>,
     admission: Admission,
     workers_per_shard: usize,
+    /// `xwq_corpus_fanout_latency_ns`: end-to-end fan-out wall time
+    /// (admission wait included). Set by [`Self::enable_telemetry`].
+    fanout_latency: OnceLock<Arc<LatencyHisto>>,
 }
 
 /// One shard's serving state.
@@ -156,7 +161,39 @@ impl ShardedSession {
             shards,
             admission: Admission::new(config.admission),
             workers_per_shard: config.workers_per_shard,
+            fanout_latency: OnceLock::new(),
         }
+    }
+
+    /// Wires the whole serving stack into a metrics [`Registry`]: each
+    /// shard's session (latency histogram + cache counters, labelled
+    /// `shard="<n>"`), each shard's job-queue wait histogram, the
+    /// corpus-wide fan-out latency histogram, and the admission gate's
+    /// counters and wait histogram. Idempotent — only the first call takes
+    /// effect; until called, serving skips all telemetry work.
+    pub fn enable_telemetry(&self, registry: &Registry) {
+        registry.describe(
+            "xwq_corpus_fanout_latency_ns",
+            "End-to-end corpus fan-out latency (admission wait included), nanoseconds",
+        );
+        registry.describe(
+            "xwq_shard_queue_wait_ns",
+            "Time a published shard job waited before its first worker claimed it, nanoseconds",
+        );
+        let _ = self
+            .fanout_latency
+            .set(registry.histo("xwq_corpus_fanout_latency_ns"));
+        for (s, shard) in self.shards.iter().enumerate() {
+            let label = s.to_string();
+            shard
+                .session
+                .enable_telemetry(registry, &[("shard", &label)]);
+            let _ = shard
+                .pool
+                .queue_wait
+                .set(registry.histo_with("xwq_shard_queue_wait_ns", &[("shard", &label)]));
+        }
+        self.admission.enable_telemetry(registry);
     }
 
     /// The corpus this session serves.
@@ -200,6 +237,20 @@ impl ShardedSession {
         query: &str,
         strategy: Strategy,
     ) -> Result<Vec<DocOutcome>, CorpusError> {
+        self.query_corpus_stats(query, strategy).map(|(out, _)| out)
+    }
+
+    /// [`Self::query_corpus`] plus merged evaluation totals across every
+    /// document of the fan-out. Merge discipline: each pinned worker
+    /// accumulates the stats of the documents *it* served and folds them
+    /// into the fan-out total exactly once, at the corpus latch — so the
+    /// total equals the sum over successful outcomes and the serial run,
+    /// independent of worker count or claim order.
+    pub fn query_corpus_stats(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
         let targets = self.corpus.placements();
         self.run(query, strategy, targets)
     }
@@ -213,6 +264,18 @@ impl ShardedSession {
         strategy: Strategy,
         docs: &[impl AsRef<str>],
     ) -> Result<Vec<DocOutcome>, CorpusError> {
+        self.query_docs_stats(query, strategy, docs)
+            .map(|(out, _)| out)
+    }
+
+    /// [`Self::query_docs`] plus merged evaluation totals (see
+    /// [`Self::query_corpus_stats`]).
+    pub fn query_docs_stats(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        docs: &[impl AsRef<str>],
+    ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
         let mut names: Vec<&str> = docs.iter().map(AsRef::as_ref).collect();
         names.sort_unstable();
         names.dedup();
@@ -235,10 +298,12 @@ impl ShardedSession {
         query: &str,
         strategy: Strategy,
         targets: Vec<(String, usize)>,
-    ) -> Result<Vec<DocOutcome>, CorpusError> {
+    ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
+        let fanout_histo = self.fanout_latency.get();
+        let fanout_start = fanout_histo.map(|_| Instant::now());
         let _permit = self.admission.enter()?;
         if targets.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), EvalStats::default()));
         }
         // Group the name-ordered targets by shard, remembering each
         // document's slot in the merged output.
@@ -247,6 +312,7 @@ impl ShardedSession {
             per_shard[*shard].push((slot, name.clone()));
         }
         let out: ResultSlots = Arc::new(Mutex::new((0..targets.len()).map(|_| None).collect()));
+        let mut totals = EvalStats::default();
 
         if self.workers_per_shard == 0 {
             // Serial reference mode: the caller serves each shard in
@@ -264,27 +330,40 @@ impl ShardedSession {
                         strategy,
                         &mut scratch,
                     );
+                    if let Ok(resp) = &result {
+                        totals.accumulate(&resp.stats);
+                    }
                     out.lock().expect("corpus results poisoned")[*slot] = Some(result);
                 }
             }
         } else {
             let pending = Arc::new((Mutex::new(targets.len()), Condvar::new()));
+            let shared_totals = Arc::new(Mutex::new(EvalStats::default()));
             let query: Arc<str> = Arc::from(query);
             for (s, docs) in per_shard.into_iter().enumerate() {
                 if docs.is_empty() {
                     continue;
                 }
                 let limit = self.workers_per_shard.min(docs.len());
-                let job = ShardJob {
-                    query: Arc::clone(&query),
-                    strategy,
-                    docs: Arc::new(docs),
-                    cursor: Arc::new(AtomicUsize::new(0)),
-                    participants: Arc::new(AtomicUsize::new(0)),
-                    limit,
-                    out: Arc::clone(&out),
-                    pending: Arc::clone(&pending),
-                };
+                let job =
+                    ShardJob {
+                        query: Arc::clone(&query),
+                        strategy,
+                        docs: Arc::new(docs),
+                        cursor: Arc::new(AtomicUsize::new(0)),
+                        participants: Arc::new(AtomicUsize::new(0)),
+                        limit,
+                        out: Arc::clone(&out),
+                        pending: Arc::clone(&pending),
+                        totals: Arc::clone(&shared_totals),
+                        queue_wait: self.shards[s].pool.queue_wait.get().map(|histo| {
+                            QueueWaitProbe {
+                                published: Instant::now(),
+                                recorded: Arc::new(AtomicBool::new(false)),
+                                histo: Arc::clone(histo),
+                            }
+                        }),
+                    };
                 self.shards[s]
                     .pool
                     .ensure_workers(limit, &self.shards[s].session);
@@ -297,10 +376,12 @@ impl ShardedSession {
             while *left > 0 {
                 left = cv.wait(left).expect("corpus pending poisoned");
             }
+            drop(left);
+            totals = *shared_totals.lock().expect("corpus totals poisoned");
         }
 
         let mut slots = out.lock().expect("corpus results poisoned");
-        Ok(targets
+        let outcomes = targets
             .into_iter()
             .zip(slots.iter_mut())
             .map(|((doc, shard), slot)| DocOutcome {
@@ -308,7 +389,11 @@ impl ShardedSession {
                 shard,
                 result: slot.take().expect("every document answered exactly once"),
             })
-            .collect())
+            .collect();
+        if let (Some(histo), Some(start)) = (fanout_histo, fanout_start) {
+            histo.record(start.elapsed().as_nanos() as u64);
+        }
+        Ok((outcomes, totals))
     }
 }
 
@@ -352,12 +437,38 @@ struct ShardJob {
     out: ResultSlots,
     /// The corpus-wide completion latch `(documents left, signal)`.
     pending: Arc<(Mutex<usize>, Condvar)>,
+    /// The corpus-wide evaluation totals; each worker folds its local
+    /// accumulation in once (see [`ShardJob::run_items`]).
+    totals: Arc<Mutex<EvalStats>>,
+    /// Queue-wait telemetry: the first claiming worker records how long
+    /// the job sat published before any worker picked it up.
+    queue_wait: Option<QueueWaitProbe>,
+}
+
+/// Telemetry carried on a published job (see [`ShardJob::queue_wait`]).
+#[derive(Clone)]
+struct QueueWaitProbe {
+    published: Instant,
+    recorded: Arc<AtomicBool>,
+    histo: Arc<LatencyHisto>,
+}
+
+impl QueueWaitProbe {
+    /// Records the publish→first-claim delay, once per job.
+    fn record_first_claim(&self) {
+        if !self.recorded.swap(true, Ordering::Relaxed) {
+            self.histo
+                .record(self.published.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 impl ShardJob {
     /// Claims and answers this shard's documents until the cursor runs
     /// out. `session` is the *shard's* session; `scratch` the calling
-    /// worker's lifetime scratch.
+    /// worker's lifetime scratch. Stats of the documents this worker
+    /// answered are accumulated locally and folded into the fan-out
+    /// totals exactly once, at the end.
     fn run_items(&self, session: &Session, scratch: &mut EvalScratch) {
         /// Decrements the corpus latch exactly once per claimed document,
         /// on the normal path and during unwinding — a panicking
@@ -374,14 +485,30 @@ impl ShardJob {
                 }
             }
         }
+        let mut local = EvalStats::default();
+        // A document's latch decrement is deferred until the *next* claim
+        // (or the final merge): the caller must not wake before this
+        // worker's stats are folded into the totals. A panic drops the
+        // in-flight guard and still decrements every claimed document once.
+        let mut answered: Option<PendingGuard> = None;
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.docs.len() {
+                if local != EvalStats::default() {
+                    self.totals
+                        .lock()
+                        .expect("corpus totals poisoned")
+                        .accumulate(&local);
+                }
+                drop(answered);
                 return;
             }
-            let _guard = PendingGuard(&self.pending);
+            drop(answered.replace(PendingGuard(&self.pending)));
             let (slot, name) = &self.docs[i];
             let result = session.query_with_scratch(name, &self.query, self.strategy, scratch);
+            if let Ok(resp) = &result {
+                local.accumulate(&resp.stats);
+            }
             self.out.lock().expect("corpus results poisoned")[*slot] = Some(result);
         }
     }
@@ -400,6 +527,9 @@ struct ShardPool {
     shard: usize,
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// `xwq_shard_queue_wait_ns{shard=...}`: publish→first-claim delay of
+    /// this shard's jobs. Set by [`ShardedSession::enable_telemetry`].
+    queue_wait: OnceLock<Arc<LatencyHisto>>,
 }
 
 struct PoolShared {
@@ -445,6 +575,7 @@ impl ShardPool {
                 shutdown: AtomicBool::new(false),
             }),
             workers: Mutex::new(Vec::new()),
+            queue_wait: OnceLock::new(),
         }
     }
 
@@ -512,6 +643,9 @@ fn worker_loop(shared: Arc<PoolShared>, session: Arc<Session>) {
                 }
             }
         };
+        if let Some(probe) = &job.queue_wait {
+            probe.record_first_claim();
+        }
         // Run the job to completion even if individual evaluations panic.
         // The caller never participates in pooled mode, so a worker dying
         // mid-job would strand the job's unclaimed documents and hang the
@@ -532,20 +666,59 @@ fn worker_loop(shared: Arc<PoolShared>, session: Arc<Session>) {
     }
 }
 
-/// The bounded admission queue: a counting gate with an explicit waiting
-/// cap. Pure std (mutex + condvar), like the pools.
+/// The bounded admission queue: a **ticketed FIFO** gate with an explicit
+/// waiting cap. Pure std (mutex + condvar), like the pools.
+///
+/// Every caller that cannot be admitted immediately takes a monotonically
+/// increasing ticket; slots freed by departing permits go to the lowest
+/// outstanding ticket, so waiters are admitted strictly in arrival order.
+/// (The previous design woke waiters in whatever order the condvar chose,
+/// so a late arrival could starve an early one under sustained load.) A
+/// newly arriving caller never jumps the queue either: with any ticket
+/// outstanding, a free slot belongs to the head waiter, and the arrival
+/// takes the next ticket behind it.
 struct Admission {
     config: AdmissionConfig,
-    /// `(active fan-outs, waiting callers)`.
-    state: Mutex<(usize, usize)>,
+    state: Mutex<AdmissionState>,
     cv: Condvar,
     admitted: AtomicU64,
     waited: AtomicU64,
     rejected: AtomicU64,
+    telemetry: OnceLock<AdmissionTelemetry>,
+}
+
+/// The gate's ticket dispenser. Waiting callers are exactly the tickets
+/// issued but not yet served, so the parked-caller count needs no separate
+/// bookkeeping (and cannot drift from the queue's true state).
+#[derive(Default)]
+struct AdmissionState {
+    /// Fan-outs currently holding a permit.
+    active: usize,
+    /// The next ticket to hand out.
+    next_ticket: u64,
+    /// The lowest ticket not yet admitted; `serving == next_ticket` means
+    /// nobody is waiting.
+    serving: u64,
+}
+
+impl AdmissionState {
+    fn waiting(&self) -> usize {
+        (self.next_ticket - self.serving) as usize
+    }
+}
+
+/// Registry wiring for the gate (see [`Admission::enable_telemetry`]).
+struct AdmissionTelemetry {
+    admitted: Arc<Counter>,
+    waited: Arc<Counter>,
+    rejected: Arc<Counter>,
+    /// Records 0 for immediate admissions too, so the percentiles describe
+    /// *all* callers, not just the unlucky ones.
+    wait_ns: Arc<LatencyHisto>,
 }
 
 /// Held for the duration of one admitted fan-out; releases the slot (and
-/// wakes one waiter) on drop, including during unwinding.
+/// wakes the head waiter) on drop, including during unwinding.
 struct AdmissionPermit<'a>(&'a Admission);
 
 impl Admission {
@@ -553,33 +726,82 @@ impl Admission {
         config.max_active = config.max_active.max(1);
         Self {
             config,
-            state: Mutex::new((0, 0)),
+            state: Mutex::new(AdmissionState::default()),
             cv: Condvar::new(),
             admitted: AtomicU64::new(0),
             waited: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         }
     }
 
+    /// Wires the gate into a metrics [`Registry`]. Idempotent; until
+    /// called, `enter` touches no telemetry.
+    fn enable_telemetry(&self, registry: &Registry) {
+        registry.describe(
+            "xwq_admission_admitted_total",
+            "Fan-outs admitted through the gate, immediately or after waiting",
+        );
+        registry.describe(
+            "xwq_admission_waited_total",
+            "Fan-outs that took a ticket and waited before admission",
+        );
+        registry.describe(
+            "xwq_admission_rejected_total",
+            "Fan-outs rejected because the admission wait queue was full",
+        );
+        registry.describe(
+            "xwq_admission_wait_ns",
+            "Admission wait latency in nanoseconds (0 for immediate admissions)",
+        );
+        let _ = self.telemetry.set(AdmissionTelemetry {
+            admitted: registry.counter("xwq_admission_admitted_total"),
+            waited: registry.counter("xwq_admission_waited_total"),
+            rejected: registry.counter("xwq_admission_rejected_total"),
+            wait_ns: registry.histo("xwq_admission_wait_ns"),
+        });
+    }
+
     fn enter(&self) -> Result<AdmissionPermit<'_>, CorpusError> {
+        let telemetry = self.telemetry.get();
         let mut state = self.state.lock().expect("admission poisoned");
-        if state.0 >= self.config.max_active {
-            if state.1 >= self.config.max_waiting {
+        if state.active >= self.config.max_active || state.waiting() > 0 {
+            if state.waiting() >= self.config.max_waiting {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = telemetry {
+                    t.rejected.inc();
+                }
                 return Err(CorpusError::Overloaded {
-                    active: state.0,
-                    waiting: state.1,
+                    active: state.active,
+                    waiting: state.waiting(),
                 });
             }
-            state.1 += 1;
+            let me = state.next_ticket;
+            state.next_ticket += 1;
             self.waited.fetch_add(1, Ordering::Relaxed);
-            while state.0 >= self.config.max_active {
+            if let Some(t) = telemetry {
+                t.waited.inc();
+            }
+            let start = telemetry.map(|_| Instant::now());
+            while !(state.serving == me && state.active < self.config.max_active) {
                 state = self.cv.wait(state).expect("admission poisoned");
             }
-            state.1 -= 1;
+            state.serving += 1;
+            if let (Some(t), Some(start)) = (telemetry, start) {
+                t.wait_ns.record(start.elapsed().as_nanos() as u64);
+            }
+        } else if let Some(t) = telemetry {
+            t.wait_ns.record(0);
         }
-        state.0 += 1;
+        state.active += 1;
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = telemetry {
+            t.admitted.inc();
+        }
+        drop(state);
+        // With max_active > 1 there may still be a free slot for the next
+        // ticket holder — wake the queue so its head can check.
+        self.cv.notify_all();
         Ok(AdmissionPermit(self))
     }
 
@@ -595,9 +817,12 @@ impl Admission {
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         let mut state = self.0.state.lock().expect("admission poisoned");
-        state.0 -= 1;
+        state.active -= 1;
         drop(state);
-        self.0.cv.notify_one();
+        // notify_all, not notify_one: only the head ticket's holder may
+        // proceed, and a single wake could land on a later ticket, which
+        // would re-park and strand the queue.
+        self.0.cv.notify_all();
     }
 }
 
@@ -809,6 +1034,97 @@ mod tests {
         let stats = admission.stats();
         assert_eq!(stats.admitted, 5);
         assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn admission_releases_waiters_in_strict_fifo_order() {
+        let admission = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_waiting: 8,
+        }));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let permit = admission.enter().unwrap();
+        let mut handles = Vec::new();
+        for i in 0..6u32 {
+            let waited_before = admission.stats().waited;
+            let gate = Arc::clone(&admission);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let permit = gate.enter().unwrap();
+                order.lock().unwrap().push(i);
+                drop(permit);
+            }));
+            // Tickets are issued under the gate's mutex, so once the
+            // waited counter moves this waiter's ticket is fixed and the
+            // next spawn queues strictly behind it.
+            while admission.stats().waited == waited_before {
+                std::thread::yield_now();
+            }
+        }
+        drop(permit);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![0, 1, 2, 3, 4, 5],
+            "waiters must be admitted in arrival order"
+        );
+    }
+
+    #[test]
+    fn corpus_stats_totals_match_serial_across_worker_counts() {
+        // Hybrid compiles to a pure spine plan: per-request stats carry no
+        // memo warmth, so a fresh session yields identical stats per
+        // document regardless of worker count or claim order.
+        let corpus = corpus(2);
+        let serial = ShardedSession::new(Arc::clone(&corpus), 0);
+        let (outcomes, serial_totals) = serial
+            .query_corpus_stats("//x[y]", Strategy::Hybrid)
+            .unwrap();
+        let mut summed = EvalStats::default();
+        for o in &outcomes {
+            summed.accumulate(&o.result.as_ref().unwrap().stats);
+        }
+        assert_eq!(
+            serial_totals, summed,
+            "serial totals equal the sum over outcomes"
+        );
+        for workers in [1, 2, 8] {
+            let pooled = ShardedSession::new(Arc::clone(&corpus), workers);
+            let (out, totals) = pooled
+                .query_corpus_stats("//x[y]", Strategy::Hybrid)
+                .unwrap();
+            assert_eq!(out.len(), outcomes.len());
+            assert_eq!(totals, serial_totals, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn telemetry_covers_fanout_queue_wait_and_admission() {
+        let corpus = corpus(2);
+        let session = ShardedSession::new(Arc::clone(&corpus), 2);
+        let registry = Registry::new();
+        session.enable_telemetry(&registry);
+        session.query_corpus("//x[y]", Strategy::Auto).unwrap();
+        session.query_corpus("//x[y]", Strategy::Auto).unwrap();
+        let text = registry.render(xwq_obs::RenderFormat::Prometheus);
+        assert!(
+            text.contains("xwq_corpus_fanout_latency_ns_count 2"),
+            "fan-out histogram counts both calls:\n{text}"
+        );
+        assert!(
+            text.contains("xwq_shard_queue_wait_ns"),
+            "queue-wait histogram is registered:\n{text}"
+        );
+        assert!(
+            text.contains("xwq_admission_admitted_total 2"),
+            "admission counters move:\n{text}"
+        );
+        assert!(
+            text.contains("xwq_session_query_latency_ns_count{shard=\"0\"}"),
+            "per-shard session latency is labelled:\n{text}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use xwq_core::Strategy;
+use xwq_core::{EvalStats, Strategy};
 use xwq_index::TopologyKind;
 use xwq_shard::{Corpus, PlacementPolicy, ShardedSession};
 use xwq_store::{DocumentStore, Session};
@@ -87,8 +87,25 @@ proptest! {
                     .collect();
                 for workers in WORKER_COUNTS {
                     let session = ShardedSession::new(Arc::clone(&corpus), workers);
-                    let got = session.query_corpus(query, strategy).unwrap();
+                    let (got, totals) = session.query_corpus_stats(query, strategy).unwrap();
                     prop_assert_eq!(got.len(), expected.len());
+                    // Merge discipline: the fan-out total equals the sum
+                    // of per-document stats — no worker's contribution is
+                    // lost or double-counted, at any worker count.
+                    let mut summed = EvalStats::default();
+                    for o in &got {
+                        if let Ok(resp) = &o.result {
+                            summed.accumulate(&resp.stats);
+                        }
+                    }
+                    prop_assert_eq!(
+                        totals,
+                        summed,
+                        "Q{:02} [{}] totals drift at {} workers",
+                        qn,
+                        strategy.token(),
+                        workers
+                    );
                     for (exp, out) in expected.iter().zip(&got) {
                         prop_assert_eq!(&exp.0, &out.doc);
                         match (&exp.1, &out.result) {
@@ -173,6 +190,23 @@ fn warm_per_shard_runs_report_zero_memo_misses() {
             "{}: warm and cold runs must agree",
             w.doc
         );
+    }
+}
+
+#[test]
+fn fan_out_totals_equal_serial_totals() {
+    // Hybrid compiles to a pure spine plan, so per-document stats carry no
+    // memo warmth: a fresh session's totals must be identical between the
+    // serial reference mode and every pooled worker count.
+    let corpus = memo_corpus();
+    let query = "//item[name]";
+    let serial = ShardedSession::new(Arc::clone(&corpus), 0);
+    let (_, expect) = serial.query_corpus_stats(query, Strategy::Hybrid).unwrap();
+    assert!(expect.visited > 0, "reference totals must be non-trivial");
+    for workers in WORKER_COUNTS {
+        let session = ShardedSession::new(Arc::clone(&corpus), workers);
+        let (_, totals) = session.query_corpus_stats(query, Strategy::Hybrid).unwrap();
+        assert_eq!(totals, expect, "{workers} workers");
     }
 }
 

@@ -24,8 +24,10 @@ use crate::lru::LruCache;
 use crate::{DocumentStore, StoredDocument};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 use xwq_core::{CompiledQuery, EvalScratch, EvalStats, QueryError, Strategy};
+use xwq_obs::{Counter, LatencyHisto, Registry};
 use xwq_xml::NodeId;
 
 /// Default number of compiled queries kept per session.
@@ -128,6 +130,18 @@ pub struct Session {
     pool: WorkerPool,
 }
 
+/// Pre-resolved telemetry handles: set once via
+/// [`Session::enable_telemetry`], after which the per-query cost is one
+/// `Instant` read plus a few relaxed atomic ops. When unset the record
+/// path is a single `OnceLock::get` branch.
+struct SessionTelemetry {
+    /// `xwq_session_query_latency_ns`: end-to-end per-query wall time.
+    query_latency: Arc<LatencyHisto>,
+    /// `xwq_session_cache_hits_total` / `_misses_total`.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+}
+
 /// The `'static` part workers share with the session.
 struct SessionInner {
     store: Arc<DocumentStore>,
@@ -135,6 +149,9 @@ struct SessionInner {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Set at most once (the inner struct is `Arc`-shared with pool
+    /// workers, so late wiring must go through `&self`).
+    telemetry: OnceLock<SessionTelemetry>,
 }
 
 impl Session {
@@ -152,9 +169,34 @@ impl Session {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                telemetry: OnceLock::new(),
             }),
             pool: WorkerPool::new(),
         }
+    }
+
+    /// Wires this session into a metrics [`Registry`]: per-query latency
+    /// histogram plus compiled-query-cache hit/miss counters, all carrying
+    /// `labels` (e.g. `[("shard", "3")]`). Idempotent — only the first call
+    /// takes effect. Until called, queries skip all telemetry work.
+    pub fn enable_telemetry(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        registry.describe(
+            "xwq_session_query_latency_ns",
+            "End-to-end per-query latency (compile-or-cache + evaluate), nanoseconds",
+        );
+        registry.describe(
+            "xwq_session_cache_hits_total",
+            "Queries served from the compiled-query cache",
+        );
+        registry.describe(
+            "xwq_session_cache_misses_total",
+            "Queries that had to compile",
+        );
+        let _ = self.inner.telemetry.set(SessionTelemetry {
+            query_latency: registry.histo_with("xwq_session_query_latency_ns", labels),
+            cache_hits: registry.counter_with("xwq_session_cache_hits_total", labels),
+            cache_misses: registry.counter_with("xwq_session_cache_misses_total", labels),
+        });
     }
 
     /// The underlying store.
@@ -215,16 +257,42 @@ impl Session {
         requests: &[QueryRequest],
         threads: usize,
     ) -> Vec<Result<QueryResponse, SessionError>> {
+        self.query_many_stats(requests, threads).0
+    }
+
+    /// [`Self::query_many_with_threads`] plus merged evaluation totals.
+    ///
+    /// The merge discipline: each participating thread accumulates the
+    /// stats of the requests *it* answered into a thread-local
+    /// [`EvalStats`] and folds that into the batch total exactly once,
+    /// when its participation ends — so the total is independent of how
+    /// the work cursor distributed requests across workers and always
+    /// equals the sum over successful responses.
+    pub fn query_many_stats(
+        &self,
+        requests: &[QueryRequest],
+        threads: usize,
+    ) -> (Vec<Result<QueryResponse, SessionError>>, EvalStats) {
         let threads = threads.max(1).min(requests.len().max(1));
         if threads == 1 {
             let mut scratch = EvalScratch::new();
-            return requests
+            let mut totals = EvalStats::default();
+            let results = requests
                 .iter()
                 .map(|r| {
-                    self.inner
-                        .query_with_scratch(&r.document, &r.query, r.strategy, &mut scratch)
+                    let result = self.inner.query_with_scratch(
+                        &r.document,
+                        &r.query,
+                        r.strategy,
+                        &mut scratch,
+                    );
+                    if let Ok(resp) = &result {
+                        totals.accumulate(&resp.stats);
+                    }
+                    result
                 })
                 .collect();
+            return (results, totals);
         }
         // The workers need owned requests (they outlive this call's
         // borrows); cloning a batch of strings is far cheaper than the
@@ -237,6 +305,7 @@ impl Session {
             limit: threads,
             out: Arc::new(Mutex::new((0..requests.len()).map(|_| None).collect())),
             pending: Arc::new((Mutex::new(requests.len()), Condvar::new())),
+            totals: Arc::new(Mutex::new(EvalStats::default())),
         };
         // The caller is participant #0; the pool contributes the rest.
         job.participants.fetch_add(1, Ordering::Relaxed);
@@ -245,10 +314,13 @@ impl Session {
         let mut scratch = EvalScratch::new();
         self.inner.run_job_items(&job, &mut scratch);
         job.wait_done();
+        let totals = *job.totals.lock().expect("batch totals poisoned");
         let mut out = job.out.lock().expect("batch results poisoned");
-        out.iter_mut()
+        let results = out
+            .iter_mut()
             .map(|slot| slot.take().expect("every request answered exactly once"))
-            .collect()
+            .collect();
+        (results, totals)
     }
 
     /// Current cache counters.
@@ -318,12 +390,23 @@ impl SessionInner {
         strategy: Strategy,
         scratch: &mut EvalScratch,
     ) -> Result<QueryResponse, SessionError> {
+        // The disabled path pays exactly one branch here.
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
         let doc = self
             .store
             .get(document)
             .ok_or_else(|| SessionError::UnknownDocument(document.to_string()))?;
         let (compiled, cache_hit) = self.compiled(&doc, query, strategy)?;
         let out = doc.engine().run_with_scratch(&compiled, strategy, scratch);
+        if let (Some(t), Some(start)) = (telemetry, start) {
+            t.query_latency.record(start.elapsed().as_nanos() as u64);
+            if cache_hit {
+                t.cache_hits.inc();
+            } else {
+                t.cache_misses.inc();
+            }
+        }
         Ok(QueryResponse {
             nodes: out.nodes,
             stats: out.stats,
@@ -332,7 +415,9 @@ impl SessionInner {
         })
     }
 
-    /// Claims and answers batch items until the cursor is exhausted.
+    /// Claims and answers batch items until the cursor is exhausted,
+    /// accumulating the stats of the items *this thread* answered and
+    /// merging them into the batch totals exactly once, at the end.
     fn run_job_items(&self, job: &Job, scratch: &mut EvalScratch) {
         /// Decrements the pending count exactly once per claimed item —
         /// on the normal path *and* during unwinding, so a panic inside
@@ -350,14 +435,31 @@ impl SessionInner {
                 }
             }
         }
+        let mut local = EvalStats::default();
+        // An item's decrement is deferred until the *next* claim (or the
+        // final merge below): `wait_done` must not return before this
+        // thread's stats are folded into the totals, so the last answered
+        // item may only tick the latch after the merge. A panic drops the
+        // in-flight guard and still decrements every claimed item once.
+        let mut answered: Option<PendingGuard> = None;
         loop {
             let i = job.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= job.requests.len() {
+                if local != EvalStats::default() {
+                    job.totals
+                        .lock()
+                        .expect("batch totals poisoned")
+                        .accumulate(&local);
+                }
+                drop(answered);
                 return;
             }
-            let _guard = PendingGuard(&job.pending);
+            drop(answered.replace(PendingGuard(&job.pending)));
             let r = &job.requests[i];
             let result = self.query_with_scratch(&r.document, &r.query, r.strategy, scratch);
+            if let Ok(resp) = &result {
+                local.accumulate(&resp.stats);
+            }
             job.out.lock().expect("batch results poisoned")[i] = Some(result);
         }
     }
@@ -381,6 +483,9 @@ struct Job {
     out: Arc<Mutex<BatchResults>>,
     /// `(items not yet answered, completion signal)`.
     pending: Arc<(Mutex<usize>, Condvar)>,
+    /// Batch-wide evaluation totals; each participant folds its local
+    /// accumulation in once (see [`SessionInner::run_job_items`]).
+    totals: Arc<Mutex<EvalStats>>,
 }
 
 impl Job {
@@ -622,6 +727,64 @@ mod tests {
         let again = session.query_many_with_threads(&requests, 4);
         assert_eq!(again.len(), serial.len());
         assert_eq!(session.pool_workers(), 7);
+    }
+
+    #[test]
+    fn batch_stats_totals_match_serial() {
+        let mut xml = String::from("<r>");
+        for i in 0..60 {
+            xml.push_str(if i % 3 == 0 { "<x><y/></x>" } else { "<x/>" });
+        }
+        xml.push_str("</r>");
+        // Hybrid plans are pure spine runs with per-run scratch state, so
+        // per-request stats are identical no matter which worker (or how
+        // warm a session) serves them — totals must match exactly.
+        let requests: Vec<QueryRequest> = ["//x", "//x[y]", "//y", "//r/x"]
+            .iter()
+            .cycle()
+            .take(24)
+            .map(|q| QueryRequest::new("d", *q).with_strategy(Strategy::Hybrid))
+            .collect();
+        let serial_store = Arc::new(DocumentStore::new());
+        serial_store
+            .insert_xml("d", &xml, TopologyKind::Succinct)
+            .unwrap();
+        let serial_session = Session::new(serial_store);
+        let (serial_results, serial_totals) = serial_session.query_many_stats(&requests, 1);
+        assert!(serial_totals.visited > 0);
+        for threads in [2, 4, 8] {
+            let store = Arc::new(DocumentStore::new());
+            store.insert_xml("d", &xml, TopologyKind::Succinct).unwrap();
+            let session = Session::new(store);
+            let (results, totals) = session.query_many_stats(&requests, threads);
+            assert_eq!(totals, serial_totals, "{threads} threads vs serial");
+            // The merged total is exactly the sum over successful responses.
+            let mut summed = EvalStats::default();
+            for r in results.iter().flatten() {
+                summed.accumulate(&r.stats);
+            }
+            assert_eq!(totals, summed, "{threads} threads vs response sum");
+            assert_eq!(results.len(), serial_results.len());
+        }
+    }
+
+    #[test]
+    fn telemetry_records_latency_and_cache_traffic() {
+        let registry = Registry::new();
+        let session = Session::new(store());
+        session.enable_telemetry(&registry, &[]);
+        session.enable_telemetry(&registry, &[("dup", "ignored")]); // idempotent
+        session.query("a", "//x[y]", Strategy::Auto).unwrap();
+        session.query("a", "//x[y]", Strategy::Auto).unwrap();
+        session.query("a", "//x", Strategy::Auto).unwrap();
+        let histo = registry.histo("xwq_session_query_latency_ns");
+        assert_eq!(histo.count(), 3);
+        assert!(histo.sum() > 0);
+        assert_eq!(registry.counter("xwq_session_cache_hits_total").get(), 1);
+        assert_eq!(registry.counter("xwq_session_cache_misses_total").get(), 2);
+        let text = registry.render(xwq_obs::RenderFormat::Prometheus);
+        assert!(text.contains("# TYPE xwq_session_query_latency_ns histogram"));
+        assert!(text.contains("xwq_session_cache_hits_total 1"));
     }
 
     #[test]

@@ -27,6 +27,8 @@ mod tree;
 
 pub use bitvec::BitVec;
 pub use bp::Bp;
+#[cfg(feature = "probe-counters")]
+pub use rank_select::probes;
 pub use rank_select::{select_in_word, select_in_word_scalar, RankSelect, SELECT_SAMPLE};
 pub use storage::{Owner, Pod, SharedSlice, Store, StrTable};
 pub use tree::{SuccinctTree, SuccinctTreeBuilder};

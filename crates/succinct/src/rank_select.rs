@@ -20,6 +20,57 @@
 
 use crate::{BitVec, Store};
 
+/// Process-global rank/select probe counters, compiled in only with the
+/// `probe-counters` feature. Counting is a relaxed `fetch_add` per probe —
+/// cheap, but not free — so the default build carries none of it and the
+/// operations stay pure directory reads.
+///
+/// The counters are global (not per-[`RankSelect`]) on purpose: the study
+/// they serve is "how many directory probes does this *workload* issue",
+/// and threading a handle through every succinct-tree call site would
+/// distort exactly the hot paths being measured.
+#[cfg(feature = "probe-counters")]
+pub mod probes {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static RANK1: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static RANK0: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static SELECT1: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static SELECT0: AtomicU64 = AtomicU64::new(0);
+
+    /// A snapshot of the global probe counters.
+    ///
+    /// `rank0` delegates to `rank1` internally, so every `rank0` probe
+    /// also advances `rank1` — `rank1` counts directory reads, not
+    /// distinct API calls.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct ProbeCounts {
+        pub rank1: u64,
+        pub rank0: u64,
+        pub select1: u64,
+        pub select0: u64,
+    }
+
+    /// Reads all four counters (relaxed; exact only while no other thread
+    /// is probing).
+    pub fn snapshot() -> ProbeCounts {
+        ProbeCounts {
+            rank1: RANK1.load(Ordering::Relaxed),
+            rank0: RANK0.load(Ordering::Relaxed),
+            select1: SELECT1.load(Ordering::Relaxed),
+            select0: SELECT0.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all four counters.
+    pub fn reset() {
+        RANK1.store(0, Ordering::Relaxed);
+        RANK0.store(0, Ordering::Relaxed);
+        SELECT1.store(0, Ordering::Relaxed);
+        SELECT0.store(0, Ordering::Relaxed);
+    }
+}
+
 const SUPER_BITS: usize = 512; // 8 words per superblock
 const WORDS_PER_SUPER: usize = SUPER_BITS / 64;
 
@@ -131,6 +182,8 @@ impl RankSelect {
     /// Number of set bits in `[0, i)`. `i` may equal `len()`.
     #[inline]
     pub fn rank1(&self, i: usize) -> usize {
+        #[cfg(feature = "probe-counters")]
+        probes::RANK1.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         debug_assert!(i <= self.bits.len());
         if i == self.bits.len() {
             return self.ones;
@@ -149,12 +202,16 @@ impl RankSelect {
     /// Number of clear bits in `[0, i)`.
     #[inline]
     pub fn rank0(&self, i: usize) -> usize {
+        #[cfg(feature = "probe-counters")]
+        probes::RANK0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         i - self.rank1(i)
     }
 
     /// Position of the `k`-th (0-based) set bit, or `None` if
     /// `k >= count_ones()`. See the module docs for the convention.
     pub fn select1(&self, k: usize) -> Option<usize> {
+        #[cfg(feature = "probe-counters")]
+        probes::SELECT1.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if k >= self.ones {
             return None;
         }
@@ -174,6 +231,8 @@ impl RankSelect {
     /// Position of the `k`-th (0-based) clear bit, or `None` if
     /// `k >= count_zeros()`.
     pub fn select0(&self, k: usize) -> Option<usize> {
+        #[cfg(feature = "probe-counters")]
+        probes::SELECT0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if k >= self.count_zeros() {
             return None;
         }
@@ -587,6 +646,33 @@ mod tests {
         for k in 0..32 {
             assert_eq!(select_in_word(w, k), 2 * k + 1);
         }
+    }
+
+    #[cfg(feature = "probe-counters")]
+    #[test]
+    fn probe_counters_advance_with_probes() {
+        let rs = RankSelect::new((0..2048).map(|i| i % 3 == 0).collect());
+        let before = probes::snapshot();
+        for i in 0..100 {
+            rs.rank1(i);
+        }
+        for k in 0..50 {
+            rs.select1(k);
+        }
+        rs.rank0(7);
+        rs.select0(7);
+        let after = probes::snapshot();
+        // The counters are process-global and other tests probe
+        // concurrently, so assert lower bounds, not exact deltas. The
+        // rank0 call delegates to rank1, hence 101.
+        assert!(after.rank1 >= before.rank1 + 101, "{before:?} -> {after:?}");
+        assert!(after.rank0 >= before.rank0 + 1);
+        assert!(after.select1 >= before.select1 + 50);
+        assert!(after.select0 >= before.select0 + 1);
+        // reset() zeroes the counters; concurrent probes may already have
+        // advanced them again, so only exercise it (exactness is a
+        // single-threaded guarantee).
+        probes::reset();
     }
 
     #[test]

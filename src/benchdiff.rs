@@ -329,6 +329,74 @@ pub fn diff_benches(old: &Json, new: &Json, threshold: f64) -> Result<DiffReport
     })
 }
 
+/// One tail-latency comparison row (per strategy, `p99_ns`).
+pub struct PercentileRow {
+    pub strategy: String,
+    pub old_ns: f64,
+    pub new_ns: f64,
+    /// Relative change, +0.20 = 20% slower.
+    pub delta: f64,
+    pub regressed: bool,
+}
+
+/// The outcome of comparing per-strategy `p99_ns` rows.
+pub struct PercentileDiff {
+    /// Strategies whose `p99_ns` exists in both files, in old-file order.
+    pub rows: Vec<PercentileRow>,
+    /// Strategies present in both files where exactly one side carries
+    /// `p99_ns` (bench versions straddle the percentile rollout) —
+    /// surfaced, never judged, never silently dropped.
+    pub unjudged: Vec<String>,
+}
+
+/// Compares per-strategy tail latency (`p99_ns`) between two parsed
+/// `BENCH_eval.json` documents. Tail latency is noisier than the
+/// best-of-`repeats` mean, so it gets its own (looser) `threshold`.
+/// Strategies missing from one file entirely are [`diff_benches`]'s
+/// business; rows where *both* files lack percentiles predate the rollout
+/// and are silently vacuous.
+pub fn diff_percentiles(old: &Json, new: &Json, threshold: f64) -> Result<PercentileDiff, String> {
+    let eval_of = |j: &Json, which: &str| -> Result<Vec<(String, Option<f64>)>, String> {
+        j.get("eval")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{which}: no `eval` array"))?
+            .iter()
+            .map(|row| {
+                let strategy = row
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{which}: eval row without `strategy`"))?
+                    .to_string();
+                Ok((strategy, row.get("p99_ns").and_then(Json::as_f64)))
+            })
+            .collect()
+    };
+    let old_rows = eval_of(old, "old")?;
+    let new_rows = eval_of(new, "new")?;
+    let mut rows = Vec::new();
+    let mut unjudged = Vec::new();
+    for (strategy, old_p99) in old_rows {
+        let Some(&(_, new_p99)) = new_rows.iter().find(|(s, _)| *s == strategy) else {
+            continue;
+        };
+        match (old_p99, new_p99) {
+            (Some(old_ns), Some(new_ns)) => {
+                let delta = relative_delta(old_ns, new_ns);
+                rows.push(PercentileRow {
+                    regressed: delta > threshold,
+                    strategy,
+                    old_ns,
+                    new_ns,
+                    delta,
+                });
+            }
+            (None, None) => {}
+            _ => unjudged.push(strategy),
+        }
+    }
+    Ok(PercentileDiff { rows, unjudged })
+}
+
 /// One corpus-section comparison row (`serial` or a per-worker-count run).
 pub struct CorpusRow {
     /// `"serial"` or `"x<workers>"`.
@@ -541,6 +609,64 @@ mod tests {
             }
             _ => panic!("expected Compared"),
         }
+    }
+
+    fn bench_json_p99(opt_ns: f64, opt_p99: Option<f64>) -> Json {
+        let p99 = opt_p99.map_or(String::new(), |v| format!(r#", "p99_ns": {v}"#));
+        parse_json(&format!(
+            r#"{{"eval": [
+                {{"strategy": "opt", "ns_per_query": {opt_ns}{p99}}},
+                {{"strategy": "naive", "ns_per_query": 100000, "p99_ns": 200000}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn p99_gate_flags_only_real_tail_regressions() {
+        let old = bench_json_p99(1000.0, Some(2000.0));
+        // Within the (looser) threshold: a 30% tail bump passes at 40%.
+        let ok = diff_percentiles(&old, &bench_json_p99(1000.0, Some(2600.0)), 0.40).unwrap();
+        assert!(ok.unjudged.is_empty());
+        assert!(ok.rows.iter().all(|r| !r.regressed));
+        // Beyond it: fails, with the exact delta.
+        let bad = diff_percentiles(&old, &bench_json_p99(1000.0, Some(3000.0)), 0.40).unwrap();
+        let row = bad.rows.iter().find(|r| r.strategy == "opt").unwrap();
+        assert!(row.regressed);
+        assert!((row.delta - 0.5).abs() < 1e-9);
+        // An improved tail never fails, and the mean gate stays separate:
+        // ns_per_query may regress while p99 improves.
+        let faster = diff_percentiles(&old, &bench_json_p99(9999.0, Some(1000.0)), 0.40).unwrap();
+        assert!(faster.rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn p99_gate_surfaces_one_sided_percentiles() {
+        // Old file predates percentile rows for `opt`: surfaced as
+        // unjudged, never judged, never an error.
+        let old = bench_json_p99(1000.0, None);
+        let new = bench_json_p99(1000.0, Some(99999999.0));
+        let report = diff_percentiles(&old, &new, 0.40).unwrap();
+        assert_eq!(report.unjudged, vec!["opt".to_string()]);
+        assert_eq!(report.rows.len(), 1, "only `naive` carries p99 on both");
+        assert!(!report.rows[0].regressed);
+        // Same one-sidedness the other way around (percentiles removed).
+        let report = diff_percentiles(&new, &old, 0.40).unwrap();
+        assert_eq!(report.unjudged, vec!["opt".to_string()]);
+    }
+
+    #[test]
+    fn p99_gate_is_vacuous_when_both_files_predate_percentiles() {
+        let old = bench_json(1000.0);
+        let report = diff_percentiles(&old, &bench_json(2000.0), 0.40).unwrap();
+        assert!(report.rows.is_empty());
+        assert!(report.unjudged.is_empty());
+        // A degenerate zero baseline still fails loudly, like the mean gate.
+        let zeroed = bench_json_p99(1000.0, Some(0.0));
+        let real = bench_json_p99(1000.0, Some(2000.0));
+        let report = diff_percentiles(&zeroed, &real, 0.40).unwrap();
+        let row = report.rows.iter().find(|r| r.strategy == "opt").unwrap();
+        assert!(row.regressed && row.delta.is_infinite());
     }
 
     #[test]

@@ -33,13 +33,15 @@ usage:
   xwq query (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq explain (--index <file.xwqi> | <file.xml>) '<xpath>' [options]
   xwq batch (--index <file.xwqi> | --xml <file.xml>) <queries.txt> [options]
+  xwq stats (--index <file.xwqi> | --xml <file.xml>) <queries.txt>
+            [--format prometheus|json] [options]
   xwq corpus build <xml-dir> -o <corpus-dir> [--topology array|succinct]
   xwq corpus query <corpus-dir> '<xpath>' [--shards <n>] [--workers <m>]
             [--policy round-robin|size-balanced] [--docs <a,b,…>] [options]
   xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap]
-  xwq bench-diff <old.json> <new.json> [--threshold <pct>]
+  xwq bench-diff <old.json> <new.json> [--threshold <pct>] [--p99-threshold <pct>]
   xwq '<xpath>' <file.xml> [options]
   xwq --help | --version
 
@@ -47,7 +49,10 @@ options:
   --strategy naive|pruning|jumping|memo|opt|hybrid|auto
                  evaluation strategy [auto: per-query cost-based planner]
   --count        print only the number of selected nodes
-  --stats        print traversal / cache statistics to stderr
+  --stats        print traversal / cache statistics to stderr (with
+                 `corpus query`, also a Prometheus metrics dump)
+  --trace        (query) print the per-operator span tree the evaluation
+                 recorded — deterministic, no wall-clock values
   --text         include each node's text content
   --mmap         serve from a memory-mapped .xwqi (zero-copy load; with
                  `index` it verifies the written file by mapping it back)
@@ -64,6 +69,10 @@ subcommands:
               actual visit counts
   batch       evaluate a file of queries (one per line, # comments) via a
               Session with a compiled-query LRU cache
+  stats       serve a query workload through a telemetry-enabled Session,
+              then print the metrics registry (latency histogram with
+              p50/p90/p99/p99.9, cache counters) in Prometheus text or
+              JSON exposition format
   corpus      multi-document serving: `build` indexes every .xml in a
               directory into per-document .xwqi artifacts plus a manifest;
               `query` memory-maps the corpus across N shards and fans one
@@ -74,7 +83,8 @@ subcommands:
               machine-readable results (ns/query, nodes/sec, cache hit rates,
               batch scaling vs a measured serial baseline) to BENCH_eval.json
   bench-diff  compare two BENCH_eval.json runs; exit non-zero when any
-              strategy's ns/query regressed by more than the threshold [15%]";
+              strategy's ns/query regressed by more than the threshold [15%]
+              or its p99 ns regressed beyond --p99-threshold [40%]";
 
 fn usage_error(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -134,6 +144,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("xmark") => cmd_xmark(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -221,6 +232,7 @@ fn cmd_index(args: &[String]) -> ExitCode {
 fn cmd_query(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut index_path: Option<&str> = None;
+    let mut trace = false;
     let mut flags = CommonFlags::new();
     let mut i = 0;
     while i < args.len() {
@@ -232,6 +244,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
                     None => return usage_error("--index needs a path"),
                 }
             }
+            "--trace" => trace = true,
             _ => match parse_common_flag(args, &mut i, &mut flags) {
                 FlagParse::Consumed => {}
                 FlagParse::Err(code) => return code,
@@ -279,7 +292,15 @@ fn cmd_query(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(e),
     };
-    let out = engine.run(&compiled, flags.strategy);
+    let traced_start = std::time::Instant::now();
+    let (out, span_tree) = if trace {
+        let mut scratch = xwq::core::EvalScratch::new();
+        let (out, root) = engine.run_traced(&compiled, flags.strategy, &mut scratch);
+        (out, Some(root))
+    } else {
+        (engine.run(&compiled, flags.strategy), None)
+    };
+    let traced_elapsed = traced_start.elapsed();
 
     if flags.count_only {
         println!("{}", out.nodes.len());
@@ -302,6 +323,20 @@ fn cmd_query(args: &[String]) -> ExitCode {
         if w.flush().is_err() {
             return ExitCode::SUCCESS;
         }
+    }
+    if let Some(root) = &span_tree {
+        // Deterministic rendering (no wall-clock values): two runs of the
+        // same query against the same index print byte-identical trees.
+        // The measured total goes to stderr, out of the comparable stream.
+        use std::io::Write as _;
+        let text = root.render_text(false);
+        if std::io::stdout().lock().write_all(text.as_bytes()).is_err() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "# trace: {} spans, {traced_elapsed:.1?} total",
+            root.span_count()
+        );
     }
     if flags.show_stats {
         let s = &out.stats;
@@ -553,6 +588,139 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
 }
 
+/// `xwq stats (--index <file.xwqi> | --xml <file.xml>) <queries.txt>
+/// [--format prometheus|json] [options]`
+///
+/// Serves the workload through a telemetry-enabled `Session`, then prints
+/// the metrics registry — the query latency histogram (with p50/p90/p99/
+/// p99.9/max) and the compiled-query cache hit/miss counters — in
+/// Prometheus text or JSON exposition format on stdout.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut index_path: Option<&str> = None;
+    let mut xml_path: Option<&str> = None;
+    let mut format = xwq::obs::RenderFormat::Prometheus;
+    let mut flags = CommonFlags::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => index_path = Some(p),
+                    None => return usage_error("--index needs a path"),
+                }
+            }
+            "--xml" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => xml_path = Some(p),
+                    None => return usage_error("--xml needs a path"),
+                }
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("prometheus") => xwq::obs::RenderFormat::Prometheus,
+                    Some("json") => xwq::obs::RenderFormat::Json,
+                    other => {
+                        return usage_error(&format!(
+                            "unknown format {other:?} (expected prometheus|json)"
+                        ))
+                    }
+                };
+            }
+            _ => match parse_common_flag(args, &mut i, &mut flags) {
+                FlagParse::Consumed => {}
+                FlagParse::Err(code) => return code,
+                FlagParse::Positional(p) => positional.push(p),
+            },
+        }
+        i += 1;
+    }
+    let [queries_path] = positional[..] else {
+        return usage_error("stats needs exactly one queries file");
+    };
+    if flags.show_text || flags.count_only {
+        return usage_error("--text/--count make no sense for stats (it prints metrics)");
+    }
+
+    let store = DocumentStore::new();
+    let doc_name = match (index_path, xml_path) {
+        (Some(path), None) => {
+            let loaded = if flags.mmap {
+                store.open_mmap("doc", path)
+            } else {
+                store.load_index_file("doc", path)
+            };
+            match loaded {
+                Ok(_) => "doc",
+                Err(e) => return fail(format!("{path}: {e}")),
+            }
+        }
+        (None, Some(path)) => {
+            if flags.mmap {
+                return usage_error("--mmap needs --index (XML is always parsed)");
+            }
+            match store.load_xml_file("doc", path, TopologyKind::Array) {
+                Ok(_) => "doc",
+                Err(e) => return fail(format!("{path}: {e}")),
+            }
+        }
+        _ => return usage_error("stats needs exactly one of --index or --xml"),
+    };
+
+    let queries: Vec<String> = match std::fs::read_to_string(queries_path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect(),
+        Err(e) => return fail(format!("cannot read {queries_path}: {e}")),
+    };
+    if queries.is_empty() {
+        return fail(format!("{queries_path}: no queries"));
+    }
+
+    let registry = xwq::obs::Registry::new();
+    let session = Session::new(Arc::new(store));
+    session.enable_telemetry(&registry, &[]);
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::new(doc_name, q).with_strategy(flags.strategy))
+        .collect();
+    let threads = flags.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let mut failures = 0usize;
+    for round in 0..flags.repeat.max(1) {
+        let results = session.query_many_with_threads(&requests, threads);
+        if round == 0 {
+            for (q, r) in queries.iter().zip(&results) {
+                if let Err(e) = r {
+                    failures += 1;
+                    eprintln!("xwq: {q}: {e}");
+                }
+            }
+        } else {
+            failures += results.iter().filter(|r| r.is_err()).count();
+        }
+    }
+    // EPIPE-tolerant like the other exposition paths.
+    use std::io::Write as _;
+    let _ = std::io::stdout()
+        .lock()
+        .write_all(registry.render(format).as_bytes());
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `xwq corpus (build|query) …` — the sharded multi-document layer.
 fn cmd_corpus(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
@@ -720,6 +888,12 @@ fn cmd_corpus_query(args: &[String]) -> ExitCode {
         Err(e) => return fail(format!("{corpus_dir}: {e}")),
     };
     let session = ShardedSession::new(Arc::clone(&corpus), workers);
+    // Wire the serving stack into a registry up front so the fan-out below
+    // is recorded; rendered with the rest of the --stats report.
+    let registry = show_stats.then(xwq::obs::Registry::new);
+    if let Some(registry) = &registry {
+        session.enable_telemetry(registry);
+    }
     let started = std::time::Instant::now();
     let outcomes = match docs {
         Some(names) => session.query_docs(query, strategy, &names),
@@ -792,6 +966,9 @@ fn cmd_corpus_query(args: &[String]) -> ExitCode {
             adm.admitted, adm.waited, adm.rejected,
             eval_total.visited, eval_total.jumps, eval_total.selected
         );
+        if let Some(registry) = &registry {
+            eprint!("{}", registry.render(xwq::obs::RenderFormat::Prometheus));
+        }
     }
     if failures > 0 {
         ExitCode::FAILURE
@@ -993,6 +1170,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let mut total_ns = 0f64;
         let mut total = xwq::core::EvalStats::default();
         let mut per_query = String::new();
+        // Every (query, repeat) evaluation feeds the strategy's latency
+        // histogram, so the percentile rows describe the full measured
+        // distribution — warm repeats included — not just the best-of.
+        let histo = xwq::obs::LatencyHisto::new();
         for &(n, text) in &suite {
             let q = engine.compile(text).expect("pre-checked above");
             let mut best = f64::INFINITY;
@@ -1001,6 +1182,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 let t0 = std::time::Instant::now();
                 let out = engine.run_with_scratch(&q, strat, &mut scratch);
                 let dt = t0.elapsed().as_nanos() as f64;
+                histo.record(dt as u64);
                 if dt < best {
                     best = dt;
                 }
@@ -1036,14 +1218,22 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             json.push_str(",\n");
         }
         first = false;
+        let pct = histo.summary().expect("suite is non-empty");
         json.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"ns_per_query\": {ns_per_query:.0}, \"visited_nodes_per_sec\": {nodes_per_sec:.0}, \"memo_hit_rate\": {hit_rate:.4}, \"queries\": [{per_query}]}}",
-            strat.token()
+            "    {{\"strategy\": \"{}\", \"ns_per_query\": {ns_per_query:.0}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"visited_nodes_per_sec\": {nodes_per_sec:.0}, \"memo_hit_rate\": {hit_rate:.4}, \"queries\": [{per_query}]}}",
+            strat.token(),
+            pct.p50,
+            pct.p90,
+            pct.p99,
+            pct.p999,
+            pct.max
         ));
         eprintln!(
-            "# {:<14} {:>12.0} ns/query  {:>14.0} visited-nodes/s  memo hit rate {:.1}%",
+            "# {:<14} {:>12.0} ns/query  p50 {:>10} p99 {:>10}  {:>14.0} visited-nodes/s  memo hit rate {:.1}%",
             strat.token(),
             ns_per_query,
+            pct.p50,
+            pct.p99,
             nodes_per_sec,
             hit_rate * 100.0
         );
@@ -1051,7 +1241,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     json.push_str("\n  ],\n");
 
     // Serving layer: compiled-query cache hit rate and batch scaling.
-    let session = Session::new(Arc::new(store));
+    let store = Arc::new(store);
+    let session = Session::new(Arc::clone(&store));
     let requests: Vec<QueryRequest> = suite
         .iter()
         .map(|&(_, q)| QueryRequest::new("bench", q))
@@ -1162,6 +1353,48 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
     json.push_str("\n  ]},\n");
 
+    // Hot-path telemetry overhead: the same auto-strategy suite served
+    // serially through two fresh sessions over the same store — one with a
+    // wired registry, one without — warm caches. Each timed sample covers a
+    // block of back-to-back suite runs: one ~100µs suite run per sample is
+    // inside scheduler noise, and the true per-query cost (two clock reads
+    // + three relaxed atomics) is only resolvable once amortized.
+    let overhead_measure = |telemetry: bool| {
+        const BLOCK: usize = 32;
+        let session = Session::new(Arc::clone(&store));
+        let registry = xwq::obs::Registry::new();
+        if telemetry {
+            session.enable_telemetry(&registry, &[]);
+        }
+        let _ = session.query_many_with_threads(&requests, 1);
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = std::time::Instant::now();
+            for _ in 0..BLOCK {
+                let results = session.query_many_with_threads(&requests, 1);
+                assert_eq!(results.len(), requests.len());
+            }
+            let dt = t0.elapsed().as_nanos() as f64 / BLOCK as f64;
+            if dt < best {
+                best = dt;
+            }
+        }
+        best
+    };
+    let plain_ns = overhead_measure(false);
+    let telemetry_ns = overhead_measure(true);
+    let overhead_pct = if plain_ns > 0.0 {
+        (telemetry_ns - plain_ns) / plain_ns * 100.0
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"suite_ns_plain\": {plain_ns:.0}, \"suite_ns_telemetry\": {telemetry_ns:.0}, \"overhead_pct\": {overhead_pct:.2}}},\n"
+    ));
+    eprintln!(
+        "# telemetry overhead: {plain_ns:.0} -> {telemetry_ns:.0} ns/suite ({overhead_pct:+.2}%)"
+    );
+
     // Read the cache counters only after the measured batches, so the hit
     // rate reflects the warm serving workload, not just the cold warm-up.
     let cache = session.cache_stats();
@@ -1197,6 +1430,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 fn cmd_bench_diff(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut threshold_pct = 15.0f64;
+    // Tail latency is judged at its own, looser default: p99 over a
+    // best-of-`repeats` suite is inherently noisier than the mean.
+    let mut p99_threshold_pct = 40.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1205,6 +1441,13 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| s.parse::<f64>()) {
                     Some(Ok(v)) if v >= 0.0 => threshold_pct = v,
                     _ => return usage_error("--threshold needs a non-negative percentage"),
+                }
+            }
+            "--p99-threshold" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) if v >= 0.0 => p99_threshold_pct = v,
+                    _ => return usage_error("--p99-threshold needs a non-negative percentage"),
                 }
             }
             flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
@@ -1259,6 +1502,37 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             "xwq: bench-diff: warning: strategy {s:?} only in {new_path} — not judged (added or renamed?)"
         );
     }
+    // Tail latency rides its own gate with a looser threshold; rows where
+    // only one file carries percentiles (bench versions straddle the
+    // rollout) are warned about, never judged.
+    match benchdiff::diff_percentiles(&old, &new, p99_threshold_pct / 100.0) {
+        Ok(report) => {
+            for r in &report.rows {
+                let marker = if r.regressed {
+                    regressed = true;
+                    "REGRESSED"
+                } else if r.delta < 0.0 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "p99/{:<6} {:>12.0} -> {:>12.0} ns        {:>+7.1}%  {}",
+                    r.strategy,
+                    r.old_ns,
+                    r.new_ns,
+                    r.delta * 100.0,
+                    marker
+                );
+            }
+            for s in &report.unjudged {
+                eprintln!(
+                    "xwq: bench-diff: warning: strategy {s:?} has p99_ns in only one file — tail not judged"
+                );
+            }
+        }
+        Err(e) => return fail(e),
+    }
     // The corpus section rides the same gate: judged when both files have
     // it, warned about when only one does, silent only when neither does.
     match benchdiff::diff_corpus(&old, &new, threshold_pct / 100.0) {
@@ -1306,7 +1580,9 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     }
     if regressed {
-        eprintln!("xwq: bench-diff: regression beyond {threshold_pct}% threshold");
+        eprintln!(
+            "xwq: bench-diff: regression beyond threshold ({threshold_pct}% mean, {p99_threshold_pct}% p99)"
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,322 @@
+//! End-to-end CLI tests for the telemetry layer:
+//! `xwq query --trace` must be byte-identical across warm runs, and
+//! `xwq stats` must emit well-formed Prometheus text exposition.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xwq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xwq"))
+        .args(args)
+        .output()
+        .expect("spawn xwq")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xwq-obs-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+const DOC: &str = r#"<site><regions><europe><item id="1"><name>gold ring</name></item>
+<item id="2"><name>silver spoon</name></item></europe>
+<asia><item id="3"><name>jade dragon</name><mailbox><mail/></mailbox></item></asia></regions>
+<people><person id="p0"><name>Ann</name></person></people></site>"#;
+
+#[test]
+fn trace_output_is_byte_identical_across_runs_and_strategies() {
+    let dir = tmp_dir("trace");
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, DOC).unwrap();
+    let xml = xml.to_str().unwrap();
+
+    for strategy in ["auto", "hybrid", "memo", "naive"] {
+        let args = [
+            "query",
+            "//item[name]",
+            xml,
+            "--strategy",
+            strategy,
+            "--trace",
+            "--count",
+        ];
+        let first = xwq(&args);
+        assert!(first.status.success(), "{strategy}: {first:?}");
+        let text = String::from_utf8_lossy(&first.stdout).into_owned();
+        assert!(
+            text.contains("Query strategy="),
+            "{strategy}: missing trace root:\n{text}"
+        );
+        assert!(
+            text.contains("visited="),
+            "{strategy}: missing per-op stats:\n{text}"
+        );
+        // Wall-clock values would break determinism; render_text(false)
+        // must omit them.
+        assert!(
+            !text.contains("ns="),
+            "{strategy}: trace leaks wall-clock time:\n{text}"
+        );
+
+        for rerun in 0..2 {
+            let again = xwq(&args);
+            assert!(
+                again.status.success(),
+                "{strategy} rerun {rerun}: {again:?}"
+            );
+            assert_eq!(
+                first.stdout, again.stdout,
+                "{strategy}: trace output diverges on rerun {rerun}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_composes_with_indexed_documents() {
+    let dir = tmp_dir("trace-idx");
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, DOC).unwrap();
+    let xml = xml.to_str().unwrap();
+    let xwqi = dir.join("doc.xwqi");
+    let xwqi = xwqi.to_str().unwrap();
+
+    let out = xwq(&["index", xml, "-o", xwqi]);
+    assert!(out.status.success(), "index failed: {out:?}");
+
+    let args = [
+        "query",
+        "--index",
+        xwqi,
+        "//item[name]",
+        "--trace",
+        "--count",
+    ];
+    let first = xwq(&args);
+    assert!(first.status.success(), "{first:?}");
+    assert!(String::from_utf8_lossy(&first.stdout).contains("Query strategy="));
+    let again = xwq(&args);
+    assert_eq!(first.stdout, again.stdout, "indexed trace diverges");
+}
+
+/// Minimal Prometheus text-exposition validator: every sample line must use a
+/// declared metric family, HELP/TYPE must precede samples, histogram buckets
+/// must be cumulative and end with `+Inf`, and `_sum`/`_count` must be present
+/// for every histogram family.
+fn check_prometheus(text: &str) {
+    let valid_name = |name: &str| {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    };
+
+    let mut declared: Vec<String> = Vec::new();
+    let mut histos: Vec<String> = Vec::new();
+    // family -> (buckets seen so far, saw +Inf, last cumulative value)
+    let mut bucket_state: std::collections::HashMap<String, (u64, bool)> =
+        std::collections::HashMap::new();
+    let mut sums: Vec<String> = Vec::new();
+    let mut counts: Vec<String> = Vec::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP has a name");
+            assert!(valid_name(name), "bad metric name in HELP: {line}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE has a name");
+            let kind = parts.next().expect("TYPE has a kind");
+            assert!(valid_name(name), "bad metric name in TYPE: {line}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind: {line}"
+            );
+            declared.push(name.to_string());
+            if kind == "histogram" {
+                histos.push(name.to_string());
+            }
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+
+        // Sample line: `name{labels} value` or `name value`.
+        let name_end = line
+            .find(['{', ' '])
+            .unwrap_or_else(|| panic!("malformed sample line: {line}"));
+        let name = &line[..name_end];
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| histos.iter().any(|h| h == *f))
+            .unwrap_or(name);
+        assert!(valid_name(name), "bad sample name: {line}");
+        assert!(
+            declared.iter().any(|d| d == family),
+            "sample before TYPE declaration (or undeclared family): {line}"
+        );
+
+        let value: f64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("sample has no numeric value: {line}"));
+
+        if histos.iter().any(|h| h == family) {
+            // Key bucket series by family + labels minus the `le` label so
+            // differently-labelled series are validated independently.
+            let sample = &line[..line.rfind(' ').unwrap()];
+            let series = match sample.find('{') {
+                None => sample.replace("_bucket", ""),
+                Some(brace) => {
+                    let kept: Vec<&str> = sample[brace + 1..sample.len() - 1]
+                        .split(',')
+                        .filter(|l| !l.starts_with("le="))
+                        .collect();
+                    format!("{}{{{}}}", family, kept.join(","))
+                }
+            };
+            if name.ends_with("_bucket") {
+                assert!(
+                    line.contains("le="),
+                    "bucket sample without le label: {line}"
+                );
+                let entry = bucket_state.entry(series).or_insert((0, false));
+                assert!(!entry.1, "bucket after +Inf: {line}");
+                assert!(
+                    value as u64 >= entry.0,
+                    "buckets not cumulative: {line} (prev {})",
+                    entry.0
+                );
+                entry.0 = value as u64;
+                if line.contains("le=\"+Inf\"") {
+                    entry.1 = true;
+                }
+            } else if name.ends_with("_sum") {
+                sums.push(family.to_string());
+            } else if name.ends_with("_count") {
+                counts.push(family.to_string());
+            }
+        }
+    }
+
+    assert!(!declared.is_empty(), "no metric families declared:\n{text}");
+    for h in &histos {
+        assert!(sums.iter().any(|s| s == h), "histogram {h} missing _sum");
+        assert!(
+            counts.iter().any(|c| c == h),
+            "histogram {h} missing _count"
+        );
+    }
+    for (series, (_, saw_inf)) in &bucket_state {
+        assert!(saw_inf, "bucket series {series} never reaches le=\"+Inf\"");
+    }
+}
+
+#[test]
+fn stats_emits_well_formed_prometheus_exposition() {
+    let dir = tmp_dir("stats");
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, DOC).unwrap();
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "//item[name]\n//item\n//person/name\n").unwrap();
+
+    let out = xwq(&[
+        "stats",
+        "--xml",
+        xml.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--repeat",
+        "3",
+    ]);
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    check_prometheus(&text);
+    assert!(
+        text.contains("xwq_session_query_latency_ns"),
+        "missing query latency histogram:\n{text}"
+    );
+    assert!(
+        text.contains("xwq_session_query_latency_ns_count 9"),
+        "latency count should equal 3 queries x 3 repeats:\n{text}"
+    );
+    assert!(text.contains("xwq_session_cache_hits_total"), "{text}");
+    assert!(text.contains("xwq_session_cache_misses_total"), "{text}");
+}
+
+#[test]
+fn stats_json_format_carries_percentiles() {
+    let dir = tmp_dir("stats-json");
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, DOC).unwrap();
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "//item[name]\n").unwrap();
+
+    let out = xwq(&[
+        "stats",
+        "--xml",
+        xml.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"p50\"", "\"p90\"", "\"p99\"", "\"p999\"", "\"max\""] {
+        assert!(text.contains(key), "JSON render missing {key}:\n{text}");
+    }
+    assert!(
+        text.contains("xwq_session_query_latency_ns"),
+        "JSON render missing latency histogram:\n{text}"
+    );
+}
+
+#[test]
+fn corpus_stats_expose_shard_labelled_metrics() {
+    let dir = tmp_dir("corpus");
+    let xmls = dir.join("xmls");
+    std::fs::create_dir_all(&xmls).unwrap();
+    for i in 0..4 {
+        std::fs::write(xmls.join(format!("d{i}.xml")), DOC).unwrap();
+    }
+    let corp = dir.join("corp");
+    let out = xwq(&[
+        "corpus",
+        "build",
+        xmls.to_str().unwrap(),
+        "-o",
+        corp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "corpus build failed: {out:?}");
+
+    let out = xwq(&[
+        "corpus",
+        "query",
+        corp.to_str().unwrap(),
+        "//item[name]",
+        "--count",
+        "--stats",
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "corpus query failed: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    for needle in [
+        "xwq_corpus_fanout_latency_ns",
+        "xwq_shard_queue_wait_ns",
+        "xwq_admission_admitted_total",
+        "shard=\"0\"",
+    ] {
+        assert!(
+            err.contains(needle),
+            "missing {needle} in --stats dump:\n{err}"
+        );
+    }
+}
