@@ -21,6 +21,15 @@
 //!   deterministic name order; a bounded admission queue sheds load when
 //!   too many callers pile up ([`CorpusError::Overloaded`]).
 //!
+//! * **Durability** — a corpus opened from a directory is mutable and
+//!   crash-safe: [`Corpus::add_durable`] / [`Corpus::replace`] /
+//!   [`Corpus::remove`] commit through a checksummed write-ahead log
+//!   (`MANIFEST.wal`, see [`mod@wal`]) before touching the in-memory
+//!   catalog, [`Corpus::open_dir`] replays and repairs after a crash, and
+//!   superseded artifacts are reclaimed by epoch-based GC ([`mod@gc`])
+//!   only once in-flight readers drain and a [`Corpus::checkpoint`] seals
+//!   the change.
+//!
 //! Shard→worker affinity being structural (a worker thread belongs to
 //! exactly one shard for its whole life) is what makes later NUMA binding
 //! a local change: pin each shard's workers to the node that holds its
@@ -49,9 +58,13 @@
 //! ```
 
 mod corpus;
+pub mod gc;
 mod manifest;
 mod session;
+pub mod wal;
 
-pub use corpus::{Corpus, CorpusError, PlacementPolicy, ShardLoad};
+pub use corpus::{Corpus, CorpusError, DurableEntry, PlacementPolicy, RecoveryStats, ShardLoad};
+pub use gc::{EpochGc, EpochGuard};
 pub use manifest::{Manifest, ManifestDoc, ManifestError, MANIFEST_FILE, MANIFEST_VERSION};
 pub use session::{AdmissionConfig, AdmissionStats, DocOutcome, ShardedConfig, ShardedSession};
+pub use wal::{FailPoint, FaultPlan, WalError, WalOp, WalRecord};

@@ -179,9 +179,15 @@ impl Manifest {
         Ok(manifest)
     }
 
-    /// Writes `MANIFEST.xwqc` into `dir`.
+    /// Writes `MANIFEST.xwqc` into `dir`, atomically and durably: the text
+    /// is staged to a temporary sibling, `sync_data`'d, renamed over the
+    /// target, and the directory is fsync'd. A crash at any point leaves
+    /// either the old manifest or the new one — never a torn mix — which
+    /// is what lets the WAL checkpoint treat the manifest as a consistent
+    /// baseline.
     pub fn write_dir(&self, dir: impl AsRef<Path>) -> Result<(), ManifestError> {
-        std::fs::write(dir.as_ref().join(MANIFEST_FILE), self.to_text()).map_err(ManifestError::Io)
+        crate::wal::atomic_write(dir.as_ref(), MANIFEST_FILE, self.to_text().as_bytes())
+            .map_err(ManifestError::Io)
     }
 
     /// Reads `MANIFEST.xwqc` from `dir`.

@@ -27,11 +27,11 @@
 //! shedding load, not by piling unbounded work onto the pools.
 
 use crate::{Corpus, CorpusError};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xwq_core::{EvalScratch, EvalStats, Strategy};
 use xwq_obs::{Counter, LatencyHisto, Registry};
 use xwq_store::{CacheStats, QueryResponse, Session, SessionError};
@@ -61,17 +61,23 @@ pub struct AdmissionConfig {
     pub max_active: usize,
     /// Callers allowed to wait behind them; one more is rejected.
     pub max_waiting: usize,
+    /// How long a waiter may stay parked before giving up with
+    /// [`CorpusError::Overloaded`]. `None` waits indefinitely. A timed-out
+    /// waiter withdraws its ticket without stalling the FIFO queue behind
+    /// it.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for AdmissionConfig {
     /// As many active fan-outs as the machine has cores, with a short
-    /// bounded queue behind them.
+    /// bounded queue behind them and no wait deadline.
     fn default() -> Self {
         Self {
             max_active: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             max_waiting: 64,
+            timeout: None,
         }
     }
 }
@@ -85,6 +91,8 @@ pub struct AdmissionStats {
     pub waited: u64,
     /// Callers rejected because the wait queue was full.
     pub rejected: u64,
+    /// Waiters that gave up when their admission deadline expired.
+    pub timed_out: u64,
 }
 
 /// Tuning for a [`ShardedSession`].
@@ -168,9 +176,11 @@ impl ShardedSession {
     /// Wires the whole serving stack into a metrics [`Registry`]: each
     /// shard's session (latency histogram + cache counters, labelled
     /// `shard="<n>"`), each shard's job-queue wait histogram, the
-    /// corpus-wide fan-out latency histogram, and the admission gate's
-    /// counters and wait histogram. Idempotent — only the first call takes
-    /// effect; until called, serving skips all telemetry work.
+    /// corpus-wide fan-out latency histogram, the admission gate's
+    /// counters and wait histogram, and the corpus durability metrics
+    /// (WAL commit latency, recovery counters, GC reclaim counter).
+    /// Idempotent — only the first call takes effect; until called,
+    /// serving skips all telemetry work.
     pub fn enable_telemetry(&self, registry: &Registry) {
         registry.describe(
             "xwq_corpus_fanout_latency_ns",
@@ -194,6 +204,7 @@ impl ShardedSession {
                 .set(registry.histo_with("xwq_shard_queue_wait_ns", &[("shard", &label)]));
         }
         self.admission.enable_telemetry(registry);
+        self.corpus.enable_telemetry(registry);
     }
 
     /// The corpus this session serves.
@@ -301,6 +312,10 @@ impl ShardedSession {
     ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
         let fanout_histo = self.fanout_latency.get();
         let fanout_start = fanout_histo.map(|_| Instant::now());
+        // Pin the artifact-GC epoch for the whole fan-out: a durable
+        // replace/remove committed while this request runs cannot unlink
+        // the generation it is reading until the guard drops.
+        let _epoch = self.corpus.pin();
         let _permit = self.admission.enter()?;
         if targets.is_empty() {
             return Ok((Vec::new(), EvalStats::default()));
@@ -684,12 +699,14 @@ struct Admission {
     admitted: AtomicU64,
     waited: AtomicU64,
     rejected: AtomicU64,
+    timed_out: AtomicU64,
     telemetry: OnceLock<AdmissionTelemetry>,
 }
 
 /// The gate's ticket dispenser. Waiting callers are exactly the tickets
-/// issued but not yet served, so the parked-caller count needs no separate
-/// bookkeeping (and cannot drift from the queue's true state).
+/// issued but neither served nor abandoned, so the parked-caller count
+/// needs no separate bookkeeping (and cannot drift from the queue's true
+/// state).
 #[derive(Default)]
 struct AdmissionState {
     /// Fan-outs currently holding a permit.
@@ -699,11 +716,24 @@ struct AdmissionState {
     /// The lowest ticket not yet admitted; `serving == next_ticket` means
     /// nobody is waiting.
     serving: u64,
+    /// Tickets whose holders timed out while parked behind `serving`;
+    /// skipped (and forgotten) when `serving` reaches them, so a
+    /// withdrawal never stalls the FIFO order behind it.
+    abandoned: BTreeSet<u64>,
 }
 
 impl AdmissionState {
     fn waiting(&self) -> usize {
-        (self.next_ticket - self.serving) as usize
+        (self.next_ticket - self.serving) as usize - self.abandoned.len()
+    }
+
+    /// Moves `serving` past any abandoned successors. Must run after every
+    /// `serving` advance so `serving` never rests on a ticket nobody holds
+    /// (which would park the whole queue until its timeout).
+    fn skip_abandoned(&mut self) {
+        while self.abandoned.remove(&self.serving) {
+            self.serving += 1;
+        }
     }
 }
 
@@ -712,6 +742,7 @@ struct AdmissionTelemetry {
     admitted: Arc<Counter>,
     waited: Arc<Counter>,
     rejected: Arc<Counter>,
+    timed_out: Arc<Counter>,
     /// Records 0 for immediate admissions too, so the percentiles describe
     /// *all* callers, not just the unlucky ones.
     wait_ns: Arc<LatencyHisto>,
@@ -731,6 +762,7 @@ impl Admission {
             admitted: AtomicU64::new(0),
             waited: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
             telemetry: OnceLock::new(),
         }
     }
@@ -751,6 +783,10 @@ impl Admission {
             "Fan-outs rejected because the admission wait queue was full",
         );
         registry.describe(
+            "xwq_admission_timeout_total",
+            "Waiters that abandoned the queue when their admission deadline expired",
+        );
+        registry.describe(
             "xwq_admission_wait_ns",
             "Admission wait latency in nanoseconds (0 for immediate admissions)",
         );
@@ -758,6 +794,7 @@ impl Admission {
             admitted: registry.counter("xwq_admission_admitted_total"),
             waited: registry.counter("xwq_admission_waited_total"),
             rejected: registry.counter("xwq_admission_rejected_total"),
+            timed_out: registry.counter("xwq_admission_timeout_total"),
             wait_ns: registry.histo("xwq_admission_wait_ns"),
         });
     }
@@ -783,10 +820,45 @@ impl Admission {
                 t.waited.inc();
             }
             let start = telemetry.map(|_| Instant::now());
+            let deadline = self.config.timeout.map(|d| Instant::now() + d);
             while !(state.serving == me && state.active < self.config.max_active) {
-                state = self.cv.wait(state).expect("admission poisoned");
+                state = match deadline {
+                    None => self.cv.wait(state).expect("admission poisoned"),
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            // Withdraw the ticket. As the head waiter,
+                            // hand `serving` on (and skip other
+                            // abandoners) so the queue behind never
+                            // stalls; otherwise leave a tombstone for
+                            // `serving` to skip when it gets here.
+                            if state.serving == me {
+                                state.serving += 1;
+                                state.skip_abandoned();
+                            } else {
+                                state.abandoned.insert(me);
+                            }
+                            self.timed_out.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = telemetry {
+                                t.timed_out.inc();
+                            }
+                            let err = CorpusError::Overloaded {
+                                active: state.active,
+                                waiting: state.waiting(),
+                            };
+                            drop(state);
+                            self.cv.notify_all();
+                            return Err(err);
+                        }
+                        self.cv
+                            .wait_timeout(state, deadline - now)
+                            .expect("admission poisoned")
+                            .0
+                    }
+                };
             }
             state.serving += 1;
+            state.skip_abandoned();
             if let (Some(t), Some(start)) = (telemetry, start) {
                 t.wait_ns.record(start.elapsed().as_nanos() as u64);
             }
@@ -810,6 +882,7 @@ impl Admission {
             admitted: self.admitted.load(Ordering::Relaxed),
             waited: self.waited.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -913,6 +986,7 @@ mod tests {
                 admission: AdmissionConfig {
                     max_active: 8,
                     max_waiting: 64,
+                    timeout: None,
                 },
                 ..ShardedConfig::default()
             },
@@ -990,6 +1064,7 @@ mod tests {
         let admission = Admission::new(AdmissionConfig {
             max_active: 1,
             max_waiting: 0,
+            timeout: None,
         });
         let first = admission.enter().unwrap();
         // Queue full (no waiting allowed): immediate rejection.
@@ -1012,6 +1087,7 @@ mod tests {
         let admission = Arc::new(Admission::new(AdmissionConfig {
             max_active: 1,
             max_waiting: 8,
+            timeout: None,
         }));
         let permit = admission.enter().unwrap();
         let handles: Vec<_> = (0..4)
@@ -1041,6 +1117,7 @@ mod tests {
         let admission = Arc::new(Admission::new(AdmissionConfig {
             max_active: 1,
             max_waiting: 8,
+            timeout: None,
         }));
         let order = Arc::new(Mutex::new(Vec::new()));
         let permit = admission.enter().unwrap();
@@ -1069,6 +1146,105 @@ mod tests {
             *order.lock().unwrap(),
             vec![0, 1, 2, 3, 4, 5],
             "waiters must be admitted in arrival order"
+        );
+    }
+
+    #[test]
+    fn admission_timeout_returns_overloaded_and_counts() {
+        let admission = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_waiting: 8,
+            timeout: Some(Duration::from_millis(20)),
+        }));
+        let permit = admission.enter().unwrap();
+        let gate = Arc::clone(&admission);
+        let waiter = std::thread::spawn(move || gate.enter().map(drop));
+        while admission.stats().waited < 1 {
+            std::thread::yield_now();
+        }
+        // The held permit outlives the waiter's deadline.
+        let result = waiter.join().unwrap();
+        assert!(matches!(result, Err(CorpusError::Overloaded { .. })));
+        let stats = admission.stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.admitted, 1);
+        drop(permit);
+        // The gate still works after the withdrawal.
+        drop(admission.enter().unwrap());
+        assert_eq!(admission.stats().admitted, 2);
+    }
+
+    #[test]
+    fn timed_out_waiters_do_not_stall_the_queue_behind_them() {
+        // Two waiters park and both abandon: the one behind the head
+        // leaves a tombstone, the head hands `serving` past it. A fresh
+        // waiter arriving afterwards (full deadline ahead of it) must
+        // still be admitted the moment the permit frees — abandoned
+        // tickets may not wedge `serving`.
+        let admission = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_waiting: 8,
+            timeout: Some(Duration::from_millis(25)),
+        }));
+        let permit = admission.enter().unwrap();
+        let quitters: Vec<_> = (0..2u64)
+            .map(|i| {
+                let gate = Arc::clone(&admission);
+                let t = std::thread::spawn(move || gate.enter().map(drop));
+                // Ticket order is fixed once the waited counter moves.
+                while admission.stats().waited < i + 1 {
+                    std::thread::yield_now();
+                }
+                t
+            })
+            .collect();
+        for q in quitters {
+            assert!(matches!(
+                q.join().unwrap(),
+                Err(CorpusError::Overloaded { .. })
+            ));
+        }
+        assert_eq!(admission.stats().timed_out, 2);
+        // Both tickets are withdrawn; a fresh waiter starts its own clock.
+        let gate = Arc::clone(&admission);
+        let stayer = std::thread::spawn(move || gate.enter().map(drop));
+        while admission.stats().waited < 3 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        assert!(stayer.join().unwrap().is_ok());
+        let stats = admission.stats();
+        assert_eq!((stats.admitted, stats.timed_out), (2, 2));
+    }
+
+    #[test]
+    fn session_config_timeout_reaches_the_gate() {
+        let corpus = corpus(1);
+        let session = ShardedSession::with_config(
+            corpus,
+            ShardedConfig {
+                workers_per_shard: 1,
+                admission: AdmissionConfig {
+                    max_active: 1,
+                    max_waiting: 4,
+                    timeout: Some(Duration::from_millis(10)),
+                },
+                ..ShardedConfig::default()
+            },
+        );
+        let registry = Registry::new();
+        session.enable_telemetry(&registry);
+        let _permit = session.admission.enter().unwrap();
+        // This caller waits behind the held permit and times out.
+        assert!(matches!(
+            session.query_corpus("//x", Strategy::Auto),
+            Err(CorpusError::Overloaded { .. })
+        ));
+        assert_eq!(session.admission_stats().timed_out, 1);
+        let text = registry.render(xwq_obs::RenderFormat::Prometheus);
+        assert!(
+            text.contains("xwq_admission_timeout_total 1"),
+            "timeout counter must export:\n{text}"
         );
     }
 
@@ -1137,6 +1313,7 @@ mod tests {
                 admission: AdmissionConfig {
                     max_active: 1,
                     max_waiting: 0,
+                    timeout: None,
                 },
                 ..ShardedConfig::default()
             },

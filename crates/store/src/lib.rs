@@ -80,10 +80,15 @@ pub use bytes::IndexBytes;
 pub use format::{
     deserialize, deserialize_shared, deserialize_shared_trusted, read_index_file,
     read_index_file_mmap, read_index_file_mmap_trusted, serialize, serialize_version,
-    write_index_file, FormatError, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
+    write_index_file, write_index_file_durable, FormatError, HEADER_LEN, MAGIC, MIN_VERSION,
+    VERSION,
 };
 pub use lru::LruCache;
 pub use session::{
     CacheStats, QueryRequest, QueryResponse, Session, SessionError, DEFAULT_CACHE_CAPACITY,
 };
 pub use store::{DocumentStore, StoreError, StoredDocument};
+/// The `.xwqi` payload checksum, exported so sibling on-disk formats (the
+/// corpus write-ahead log) share one pinned checksum spec instead of
+/// growing a second, subtly different mixer.
+pub use wire::checksum as payload_checksum;

@@ -38,6 +38,11 @@ usage:
   xwq corpus build <xml-dir> -o <corpus-dir> [--topology array|succinct]
   xwq corpus query <corpus-dir> '<xpath>' [--shards <n>] [--workers <m>]
             [--policy round-robin|size-balanced] [--docs <a,b,…>] [options]
+  xwq corpus add <corpus-dir> <file.xml> [--name <doc>] [--topology array|succinct]
+  xwq corpus replace <corpus-dir> <file.xml> [--name <doc>] [--topology array|succinct]
+  xwq corpus rm <corpus-dir> <doc>
+  xwq corpus checkpoint <corpus-dir>
+  xwq corpus verify <corpus-dir>
   xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap]
@@ -77,7 +82,11 @@ subcommands:
               directory into per-document .xwqi artifacts plus a manifest;
               `query` memory-maps the corpus across N shards and fans one
               query out on M pinned workers per shard, merging results in
-              document-name order
+              document-name order; `add`/`replace`/`rm` mutate a corpus
+              durably through its write-ahead log (crash-safe: recovery
+              replays the WAL on the next open), `checkpoint` folds the
+              log into the manifest, and `verify` opens the corpus, runs
+              recovery, and checks every artifact against the catalog
   xmark       generate an XMark sample document as XML (corpus seed data)
   bench       run the fixed XMark query suite under every strategy and write
               machine-readable results (ns/query, nodes/sec, cache hit rates,
@@ -721,14 +730,257 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     }
 }
 
-/// `xwq corpus (build|query) …` — the sharded multi-document layer.
+/// `xwq corpus (build|query|add|replace|rm|checkpoint|verify) …` — the
+/// sharded multi-document layer and its durable mutation path.
 fn cmd_corpus(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("build") => cmd_corpus_build(&args[1..]),
         Some("query") => cmd_corpus_query(&args[1..]),
+        Some("add") => cmd_corpus_mutate(&args[1..], MutateKind::Add),
+        Some("replace") => cmd_corpus_mutate(&args[1..], MutateKind::Replace),
+        Some("rm") => cmd_corpus_rm(&args[1..]),
+        Some("checkpoint") => cmd_corpus_checkpoint(&args[1..]),
+        Some("verify") => cmd_corpus_verify(&args[1..]),
         other => usage_error(&format!(
-            "corpus needs a subcommand (build|query), got {other:?}"
+            "corpus needs a subcommand (build|query|add|replace|rm|checkpoint|verify), got {other:?}"
         )),
+    }
+}
+
+/// Opens a corpus directory for a durable mutation (one shard — mutation
+/// commands don't serve queries) and honors the `XWQ_CORPUS_FAIL` fault
+/// hook used by the crash-recovery CI matrix: when set to a
+/// [`xwq::shard::FailPoint`] token (`write:<n>`, `sync`, `stage-sync`,
+/// `dir-sync`), the next commit is killed at that I/O point, simulating a
+/// power cut for `xwq corpus verify` to recover from.
+fn open_durable(dir: &str, create: bool) -> Result<Corpus, ExitCode> {
+    let opened = if create {
+        Corpus::open_or_create_dir(dir, 1, PlacementPolicy::RoundRobin)
+    } else {
+        Corpus::open_dir(dir, 1, PlacementPolicy::RoundRobin)
+    };
+    let corpus = opened.map_err(|e| fail(format!("{dir}: {e}")))?;
+    if let Ok(token) = std::env::var("XWQ_CORPUS_FAIL") {
+        let point: xwq::shard::FailPoint = token
+            .parse()
+            .map_err(|e| fail(format!("XWQ_CORPUS_FAIL={token}: {e}")))?;
+        corpus
+            .inject_fault(point)
+            .map_err(|e| fail(format!("{dir}: {e}")))?;
+        eprintln!("# fault injection armed: {token}");
+    }
+    Ok(corpus)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum MutateKind {
+    Add,
+    Replace,
+}
+
+/// `xwq corpus (add|replace) <corpus-dir> <file.xml> [--name <doc>]
+/// [--topology array|succinct]`
+///
+/// Indexes the XML file and commits it into the corpus through the WAL:
+/// the artifact is staged and fsynced, the log record committed, then the
+/// artifact atomically renamed into place — a crash at any point leaves
+/// the corpus recoverable on the old or the new state, never between.
+/// `add` creates the corpus directory if needed; `replace` requires the
+/// document to exist (readers mid-query keep the old generation until
+/// they finish).
+fn cmd_corpus_mutate(args: &[String], kind: MutateKind) -> ExitCode {
+    let verb = if kind == MutateKind::Add {
+        "add"
+    } else {
+        "replace"
+    };
+    let mut positional: Vec<&str> = Vec::new();
+    let mut name: Option<&str> = None;
+    let mut topology = TopologyKind::Array;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--name" => {
+                i += 1;
+                match args.get(i) {
+                    Some(n) => name = Some(n),
+                    None => return usage_error("--name needs a document name"),
+                }
+            }
+            "--topology" => {
+                i += 1;
+                topology = match args.get(i).map(String::as_str) {
+                    Some("array") => TopologyKind::Array,
+                    Some("succinct") => TopologyKind::Succinct,
+                    other => {
+                        return usage_error(&format!(
+                            "unknown topology {other:?} (expected array|succinct)"
+                        ))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let [dir, xml_path] = positional[..] else {
+        return usage_error(&format!("corpus {verb} needs <corpus-dir> and <file.xml>"));
+    };
+    let name = match name {
+        Some(n) => n.to_string(),
+        None => match Path::new(xml_path).file_stem().and_then(|s| s.to_str()) {
+            Some(stem) => stem.to_string(),
+            None => return fail(format!("{xml_path}: unusable file name (pass --name)")),
+        },
+    };
+    let corpus = match open_durable(dir, kind == MutateKind::Add) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let doc = match load_xml(xml_path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let nodes = doc.len();
+    let index = xwq::index::TreeIndex::build_with(&doc, topology);
+    let committed = match kind {
+        MutateKind::Add => corpus.add_durable(&name, doc, index),
+        MutateKind::Replace => corpus.replace(&name, doc, index),
+    };
+    match committed {
+        Ok(_shard) => {
+            eprintln!(
+                "# {verb} {name}: {nodes} nodes committed ({} WAL ops since checkpoint)",
+                corpus.wal_ops_since_checkpoint()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("{verb} {name}: {e}")),
+    }
+}
+
+/// `xwq corpus rm <corpus-dir> <doc>` — durably removes a document. The
+/// artifact file stays on disk until the removal is sealed by a
+/// checkpoint (crash recovery may still need it).
+fn cmd_corpus_rm(args: &[String]) -> ExitCode {
+    let [dir, name] = args else {
+        return usage_error("corpus rm needs <corpus-dir> and <doc>");
+    };
+    let corpus = match open_durable(dir, false) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match corpus.remove(name) {
+        Ok(()) => {
+            eprintln!(
+                "# rm {name}: committed ({} WAL ops since checkpoint)",
+                corpus.wal_ops_since_checkpoint()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("rm {name}: {e}")),
+    }
+}
+
+/// `xwq corpus checkpoint <corpus-dir>` — folds the WAL into the
+/// manifest (atomic rewrite), resets the log, and reclaims superseded
+/// artifacts that no reader or recoverable log prefix can still need.
+fn cmd_corpus_checkpoint(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        return usage_error("corpus checkpoint needs <corpus-dir>");
+    };
+    let corpus = match open_durable(dir, false) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let folded = corpus.wal_ops_since_checkpoint();
+    match corpus.checkpoint() {
+        Ok(()) => {
+            eprintln!(
+                "# checkpoint: {} docs in manifest, {folded} WAL ops folded, {} artifacts reclaimed",
+                corpus.len(),
+                corpus.gc().unlinked_total()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("checkpoint: {e}")),
+    }
+}
+
+/// `xwq corpus verify <corpus-dir>`
+///
+/// Opens the corpus — which runs crash recovery: WAL replay, torn-tail
+/// truncation, staged-rename completion, orphan sweep — reports what
+/// recovery did, then checks every catalog entry's artifact opens from
+/// disk and agrees with the catalog's node count, and that the corpus
+/// answers a fan-out query. Exits non-zero if anything is inconsistent.
+fn cmd_corpus_verify(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        return usage_error("corpus verify needs <corpus-dir>");
+    };
+    let corpus = match Corpus::open_dir(dir, 1, PlacementPolicy::RoundRobin) {
+        Ok(c) => Arc::new(c),
+        Err(e) => return fail(format!("{dir}: {e}")),
+    };
+    let stats = corpus.recovery_stats();
+    eprintln!(
+        "# recovery: {} ops replayed, {} bytes dropped{}, {} renames completed, {} files swept",
+        stats.replayed_ops,
+        stats.dropped_bytes,
+        if stats.torn {
+            " (torn tail truncated)"
+        } else {
+            ""
+        },
+        stats.completed_renames,
+        stats.swept_files
+    );
+    let mut bad = 0usize;
+    for (name, entry) in corpus.durable_entries() {
+        match xwq::store::read_index_file(Path::new(dir).join(&entry.file)) {
+            Ok((doc, _index)) if doc.len() as u64 == entry.nodes => {}
+            Ok((doc, _index)) => {
+                bad += 1;
+                eprintln!(
+                    "xwq: {name}: artifact {} has {} nodes, catalog says {}",
+                    entry.file,
+                    doc.len(),
+                    entry.nodes
+                );
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("xwq: {name}: artifact {}: {e}", entry.file);
+            }
+        }
+    }
+    if bad == 0 && !corpus.is_empty() {
+        let session = ShardedSession::new(Arc::clone(&corpus), 0);
+        match session.query_corpus("/*", Strategy::default()) {
+            Ok(outcomes) => {
+                for o in &outcomes {
+                    if let Err(e) = &o.result {
+                        bad += 1;
+                        eprintln!("xwq: {}: query check failed: {e}", o.doc);
+                    }
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("xwq: query check failed: {e}");
+            }
+        }
+    }
+    if bad == 0 {
+        eprintln!(
+            "# verify: {} documents consistent ({} WAL ops pending checkpoint)",
+            corpus.len(),
+            corpus.wal_ops_since_checkpoint()
+        );
+        ExitCode::SUCCESS
+    } else {
+        fail(format!("verify: {bad} inconsistent documents"))
     }
 }
 
@@ -803,7 +1055,7 @@ fn cmd_corpus_build(args: &[String]) -> ExitCode {
         let index = xwq::index::TreeIndex::build_with(&doc, topology);
         let artifact = format!("{name}.xwqi");
         if let Err(e) =
-            xwq::store::write_index_file(Path::new(out_dir).join(&artifact), &doc, &index)
+            xwq::store::write_index_file_durable(Path::new(out_dir).join(&artifact), &doc, &index)
         {
             return fail(format!("{artifact}: {e}"));
         }

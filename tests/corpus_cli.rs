@@ -158,3 +158,98 @@ fn corpus_query_subset_count_and_errors() {
     assert!(again.status.success(), "{again:?}");
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn corpus_durable_mutation_lifecycle_via_cli() {
+    let root = tmp_dir("durable");
+    let corpus = root.join("corpus");
+    let corpus = corpus.to_str().unwrap();
+    let a = root.join("alpha.xml");
+    let b = root.join("beta.xml");
+    std::fs::write(&a, "<r><x/><x/></r>").unwrap();
+    std::fs::write(&b, "<r><x/><x/><x/></r>").unwrap();
+
+    // add creates the corpus directory; verify passes on the recovered
+    // (WAL-replayed) state in a fresh process.
+    let add = xwq(&["corpus", "add", corpus, a.to_str().unwrap()]);
+    assert!(add.status.success(), "{add:?}");
+    let add = xwq(&["corpus", "add", corpus, b.to_str().unwrap()]);
+    assert!(add.status.success(), "{add:?}");
+    let dup = xwq(&["corpus", "add", corpus, a.to_str().unwrap()]);
+    assert!(!dup.status.success(), "duplicate add must fail");
+    let verify = xwq(&["corpus", "verify", corpus]);
+    assert!(verify.status.success(), "{verify:?}");
+    assert!(String::from_utf8_lossy(&verify.stderr).contains("2 ops replayed"));
+
+    // replace swaps in a new generation; rm drops a doc; both land in the
+    // catalog other processes see.
+    std::fs::write(&a, "<r><x/><x/><x/><x/></r>").unwrap();
+    let replace = xwq(&["corpus", "replace", corpus, a.to_str().unwrap()]);
+    assert!(replace.status.success(), "{replace:?}");
+    let rm = xwq(&["corpus", "rm", corpus, "beta"]);
+    assert!(rm.status.success(), "{rm:?}");
+    let count = xwq(&["corpus", "query", corpus, "//x", "--count", "--shards", "1"]);
+    assert!(count.status.success(), "{count:?}");
+    let out = String::from_utf8_lossy(&count.stdout);
+    assert!(out.contains("4  alpha"), "replace not visible: {out}");
+    assert!(!out.contains("beta"), "removed doc still served: {out}");
+
+    // checkpoint folds the WAL; verify then reports a clean baseline.
+    let checkpoint = xwq(&["corpus", "checkpoint", corpus]);
+    assert!(checkpoint.status.success(), "{checkpoint:?}");
+    let verify = xwq(&["corpus", "verify", corpus]);
+    assert!(verify.status.success(), "{verify:?}");
+    let err = String::from_utf8_lossy(&verify.stderr);
+    assert!(err.contains("0 ops replayed"), "{err}");
+    assert!(err.contains("0 WAL ops pending checkpoint"), "{err}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corpus_add_killed_by_fault_injection_recovers_on_verify() {
+    let root = tmp_dir("fault");
+    let corpus = root.join("corpus");
+    let corpus = corpus.to_str().unwrap();
+    let a = root.join("alpha.xml");
+    let b = root.join("beta.xml");
+    std::fs::write(&a, "<r><x/><x/></r>").unwrap();
+    std::fs::write(&b, "<r><x/><x/><x/></r>").unwrap();
+    let add = xwq(&["corpus", "add", corpus, a.to_str().unwrap()]);
+    assert!(add.status.success(), "{add:?}");
+
+    // The same injection points CI's crash matrix drives: each kills the
+    // commit mid-flight, and verify must recover to a consistent catalog.
+    for point in [
+        "write:0",
+        "write:5",
+        "write:17",
+        "sync",
+        "stage-sync",
+        "dir-sync",
+    ] {
+        let killed = Command::new(env!("CARGO_BIN_EXE_xwq"))
+            .args(["corpus", "add", corpus, b.to_str().unwrap()])
+            .env("XWQ_CORPUS_FAIL", point)
+            .output()
+            .expect("spawn xwq");
+        assert!(!killed.status.success(), "{point}: injected add must fail");
+        let verify = xwq(&["corpus", "verify", corpus]);
+        assert!(
+            verify.status.success(),
+            "{point}: verify after crash: {verify:?}"
+        );
+        // Recovery may land old or new depending on how far the commit
+        // got; scrub back to the old state so every point starts equal.
+        let rm = xwq(&["corpus", "rm", corpus, "beta"]);
+        let _ = rm; // ok either way: beta exists only if the WAL record survived
+    }
+    // A bad fail-point token is rejected up front, before any I/O.
+    let bad = Command::new(env!("CARGO_BIN_EXE_xwq"))
+        .args(["corpus", "add", corpus, b.to_str().unwrap()])
+        .env("XWQ_CORPUS_FAIL", "explode")
+        .output()
+        .expect("spawn xwq");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("XWQ_CORPUS_FAIL"));
+    std::fs::remove_dir_all(&root).ok();
+}
