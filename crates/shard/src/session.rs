@@ -26,11 +26,14 @@
 //! [`CorpusError::Overloaded`] — under overload the corpus degrades by
 //! shedding load, not by piling unbounded work onto the pools.
 
+use crate::sync::{
+    thread as sync_thread, wait_deadline, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex,
+    Ordering,
+};
 use crate::{Corpus, CorpusError};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use xwq_core::{EvalScratch, EvalStats, Strategy};
 use xwq_obs::{Counter, LatencyHisto, Registry};
@@ -471,7 +474,14 @@ struct QueueWaitProbe {
 impl QueueWaitProbe {
     /// Records the publish→first-claim delay, once per job.
     fn record_first_claim(&self) {
-        if !self.recorded.swap(true, Ordering::Relaxed) {
+        // AcqRel (upgraded from Relaxed): exactly-once already follows from
+        // the swap's total modification order, but with Relaxed the winner's
+        // histogram write was unordered with the flag — a thread observing
+        // `recorded == true` could not assume the sample had landed, and the
+        // `published` read had no edge of its own to the publisher beyond
+        // the queue mutex this probe is documented not to rely on. AcqRel
+        // makes "flag set ⇒ sample recorded" a real happens-before claim.
+        if !self.recorded.swap(true, Ordering::AcqRel) {
             self.histo
                 .record(self.published.elapsed().as_nanos() as u64);
         }
@@ -507,6 +517,11 @@ impl ShardJob {
         // in-flight guard and still decrements every claimed document once.
         let mut answered: Option<PendingGuard> = None;
         loop {
+            // Relaxed is sufficient: the fetch_add's total modification
+            // order alone partitions indices uniquely among workers, and
+            // every field a worker reads through the claimed index
+            // (`docs`, `query`, the slot vec) was published to it by the
+            // jobs-mutex release/acquire pair in publish→claim.
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.docs.len() {
                 if local != EvalStats::default() {
@@ -541,7 +556,7 @@ impl ShardJob {
 struct ShardPool {
     shard: usize,
     shared: Arc<PoolShared>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<sync_thread::JoinHandle<()>>>,
     /// `xwq_shard_queue_wait_ns{shard=...}`: publish→first-claim delay of
     /// this shard's jobs. Set by [`ShardedSession::enable_telemetry`].
     queue_wait: OnceLock<Arc<LatencyHisto>>,
@@ -563,6 +578,12 @@ fn claim(queue: &mut VecDeque<ShardJob>) -> Option<ShardJob> {
     // Every scanned entry is either joined (return) or pruned, so the
     // scan always looks at the queue head.
     while let Some(job) = queue.front() {
+        // Relaxed is sufficient for both atomics here: the scan runs under
+        // the jobs mutex, which carries every publish→claim edge, and the
+        // values are monotonic counters used only as admission thresholds —
+        // a stale-low `cursor` read merely lets one extra worker join and
+        // find the cursor exhausted on its first claim, which the
+        // `run_items` loop handles as the normal exit path.
         if job.cursor.load(Ordering::Relaxed) >= job.docs.len() {
             // Every document is claimed; whoever claimed them finishes
             // them. Nothing left for a new joiner.
@@ -605,7 +626,7 @@ impl ShardPool {
         while workers.len() < want {
             let shared = Arc::clone(&self.shared);
             let session = Arc::clone(session);
-            let handle = std::thread::Builder::new()
+            let handle = sync_thread::Builder::new()
                 .name(format!("xwq-shard{}-w{}", self.shard, workers.len()))
                 .spawn(move || worker_loop(shared, session))
                 .expect("spawn shard worker");
@@ -696,6 +717,11 @@ struct Admission {
     config: AdmissionConfig,
     state: Mutex<AdmissionState>,
     cv: Condvar,
+    // The four counters below are monotonic statistics: every access is a
+    // single Relaxed RMW or load, nothing branches on them inside the
+    // protocol, and `stats()` promises only an eventually-consistent
+    // snapshot — so Relaxed is sufficient for all of them (each site says
+    // so by citing this invariant).
     admitted: AtomicU64,
     waited: AtomicU64,
     rejected: AtomicU64,
@@ -800,8 +826,17 @@ impl Admission {
     }
 
     fn enter(&self) -> Result<AdmissionPermit<'_>, CorpusError> {
+        self.enter_ticketed().map(|(permit, _)| permit)
+    }
+
+    /// [`Self::enter`], also reporting the FIFO ticket this caller waited
+    /// on (`None` for an immediate admission). The ticket is how the
+    /// model-checking harness asserts arrival-order admission across all
+    /// interleavings; production callers go through [`Self::enter`].
+    fn enter_ticketed(&self) -> Result<(AdmissionPermit<'_>, Option<u64>), CorpusError> {
         let telemetry = self.telemetry.get();
         let mut state = self.state.lock().expect("admission poisoned");
+        let mut waited_on = None;
         if state.active >= self.config.max_active || state.waiting() > 0 {
             if state.waiting() >= self.config.max_waiting {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -815,6 +850,7 @@ impl Admission {
             }
             let me = state.next_ticket;
             state.next_ticket += 1;
+            waited_on = Some(me);
             self.waited.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = telemetry {
                 t.waited.inc();
@@ -822,11 +858,19 @@ impl Admission {
             let start = telemetry.map(|_| Instant::now());
             let deadline = self.config.timeout.map(|d| Instant::now() + d);
             while !(state.serving == me && state.active < self.config.max_active) {
-                state = match deadline {
-                    None => self.cv.wait(state).expect("admission poisoned"),
+                match deadline {
+                    None => state = self.cv.wait(state).expect("admission poisoned"),
                     Some(deadline) => {
-                        let now = Instant::now();
-                        if now >= deadline {
+                        let (guard, timed_out) = wait_deadline(&self.cv, state, deadline);
+                        state = guard;
+                        // A wake that is simultaneously a timeout and an
+                        // admission goes to admission: re-check the
+                        // predicate before withdrawing (under `--cfg model`
+                        // the timeout is a scheduler choice, so both orders
+                        // of that race are explored).
+                        if timed_out
+                            && !(state.serving == me && state.active < self.config.max_active)
+                        {
                             // Withdraw the ticket. As the head waiter,
                             // hand `serving` on (and skip other
                             // abandoners) so the queue behind never
@@ -850,10 +894,6 @@ impl Admission {
                             self.cv.notify_all();
                             return Err(err);
                         }
-                        self.cv
-                            .wait_timeout(state, deadline - now)
-                            .expect("admission poisoned")
-                            .0
                     }
                 };
             }
@@ -874,7 +914,7 @@ impl Admission {
         // With max_active > 1 there may still be a free slot for the next
         // ticket holder — wake the queue so its head can check.
         self.cv.notify_all();
-        Ok(AdmissionPermit(self))
+        Ok((AdmissionPermit(self), waited_on))
     }
 
     fn stats(&self) -> AdmissionStats {
@@ -1350,5 +1390,210 @@ mod tests {
         t.join().unwrap();
         // The slot is free again.
         assert!(session.query_corpus("//x", Strategy::Auto).is_ok());
+    }
+}
+
+/// Exhaustive model checks of this module's concurrency protocols. Only
+/// built under `RUSTFLAGS="--cfg model"`, where `crate::sync` resolves to
+/// the `xwq_verify` shims: every test body runs once per schedule the
+/// deterministic scheduler can construct within the preemption bound, and
+/// the assertions must hold on *all* of them. A failure panics with a
+/// seed that `XWQ_MODEL_REPLAY` replays deterministically.
+#[cfg(all(test, model))]
+mod model_tests {
+    use super::*;
+    use xwq_store::DocumentStore;
+    use xwq_verify::Config;
+
+    /// Preemption bound 2 covers every bug class this repo has shipped
+    /// (see `crates/verify/tests/pr5_race.rs`): one unforced switch to
+    /// open a race window, one to land in it.
+    fn cfg() -> Config {
+        Config {
+            preemption_bound: Some(2),
+            ..Config::default()
+        }
+    }
+
+    fn tiny_session() -> Arc<Session> {
+        let store = DocumentStore::new();
+        store
+            .insert_xml("d0", "<r><x/><x/></r>", xwq_index::TopologyKind::Array)
+            .unwrap();
+        store
+            .insert_xml("d1", "<r><x/></r>", xwq_index::TopologyKind::Array)
+            .unwrap();
+        Arc::new(Session::with_cache_capacity(Arc::new(store), 4))
+    }
+
+    fn shard_job(
+        slot: usize,
+        name: &str,
+        out: &ResultSlots,
+        pending: &Arc<(Mutex<usize>, Condvar)>,
+        totals: &Arc<Mutex<EvalStats>>,
+    ) -> ShardJob {
+        ShardJob {
+            query: Arc::from("//x"),
+            strategy: Strategy::Auto,
+            docs: Arc::new(vec![(slot, name.to_string())]),
+            cursor: Arc::new(AtomicUsize::new(0)),
+            participants: Arc::new(AtomicUsize::new(0)),
+            limit: 1,
+            out: Arc::clone(out),
+            pending: Arc::clone(pending),
+            totals: Arc::clone(totals),
+            queue_wait: None,
+        }
+    }
+
+    /// Publish → claim → park → shutdown on a real `ShardPool` with a real
+    /// (single-worker) session: across every schedule, both queued jobs are
+    /// fully answered, the caller's latch releases, and `begin_shutdown` +
+    /// `join` terminate — no lost wakeup, no overwritten job, no worker
+    /// sleeping through its own shutdown.
+    #[test]
+    fn model_pool_publish_claim_park_shutdown() {
+        let report = xwq_verify::check("shard-pool-lifecycle", cfg(), || {
+            let session = tiny_session();
+            let pool = ShardPool::new(0);
+            pool.ensure_workers(1, &session);
+            let out: ResultSlots = Arc::new(Mutex::new(vec![None, None]));
+            let pending = Arc::new((Mutex::new(2usize), Condvar::new()));
+            let totals = Arc::new(Mutex::new(EvalStats::default()));
+            // Two outstanding jobs: with a single job *slot* instead of the
+            // queue, one publish would overwrite the other and strand the
+            // latch in some schedule.
+            pool.publish(shard_job(0, "d0", &out, &pending, &totals));
+            pool.publish(shard_job(1, "d1", &out, &pending, &totals));
+            let (left, cv) = &*pending;
+            let mut left = left.lock().unwrap();
+            while *left > 0 {
+                left = cv.wait(left).unwrap();
+            }
+            drop(left);
+            {
+                let slots = out.lock().unwrap();
+                let n0 = slots[0].as_ref().unwrap().as_ref().unwrap().nodes.len();
+                let n1 = slots[1].as_ref().unwrap().as_ref().unwrap().nodes.len();
+                assert_eq!((n0, n1), (2, 1), "every document answered correctly");
+            }
+            pool.begin_shutdown();
+            pool.join();
+        });
+        // A floor on the explored-schedule count: if the cfg wiring ever
+        // degrades the shims to passthrough, exploration collapses to one
+        // schedule and this catches it.
+        assert!(report.schedules > 50, "exploration collapsed: {report:?}");
+        assert!(report.complete, "schedule tree exhausted: {report:?}");
+    }
+
+    /// FIFO admission under every interleaving: two callers race for
+    /// tickets behind a held permit; whoever drew the lower ticket must be
+    /// admitted first, and the gate must end fully drained.
+    #[test]
+    fn model_admission_gate_is_fifo_and_drains() {
+        let report = xwq_verify::check("admission-fifo", cfg(), || {
+            let admission = Arc::new(Admission::new(AdmissionConfig {
+                max_active: 1,
+                max_waiting: 4,
+                timeout: None,
+            }));
+            // Admission order log. With `max_active == 1` a holder logs its
+            // ticket *before* releasing the permit, so log order is exactly
+            // admission order.
+            let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            let head = admission.enter().unwrap();
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&admission);
+                    let log = Arc::clone(&log);
+                    sync_thread::spawn(move || {
+                        let (permit, ticket) = gate.enter_ticketed().unwrap();
+                        if let Some(t) = ticket {
+                            log.lock().unwrap().push(t);
+                        }
+                        drop(permit);
+                    })
+                })
+                .collect();
+            drop(head);
+            for w in waiters {
+                w.join().unwrap();
+            }
+            let log = log.lock().unwrap();
+            assert!(
+                log.windows(2).all(|w| w[0] < w[1]),
+                "tickets admitted out of arrival order: {log:?}"
+            );
+            let state = admission.state.lock().unwrap();
+            assert_eq!(state.active, 0);
+            assert_eq!(state.serving, state.next_ticket, "queue fully drained");
+            assert!(state.abandoned.is_empty());
+            drop(state);
+            assert_eq!(admission.stats().admitted, 3);
+        });
+        // A floor on the explored-schedule count: if the cfg wiring ever
+        // degrades the shims to passthrough, exploration collapses to one
+        // schedule and this catches it.
+        assert!(report.schedules > 50, "exploration collapsed: {report:?}");
+        assert!(report.complete, "schedule tree exhausted: {report:?}");
+    }
+
+    /// Timeout withdrawal under every interleaving: with a deadline
+    /// configured, the model scheduler chooses nondeterministically at each
+    /// wake whether a waiter's deadline has expired, so this explores head
+    /// hand-off, behind-the-head tombstones, and the timeout-vs-admission
+    /// tie (admission must win). Invariants: nobody strands (the check
+    /// itself fails on deadlock), the gate drains, and every caller is
+    /// accounted admitted or timed out.
+    #[test]
+    fn model_admission_timeout_hands_off_and_strands_nobody() {
+        let report = xwq_verify::check("admission-timeout", cfg(), || {
+            let admission = Arc::new(Admission::new(AdmissionConfig {
+                max_active: 1,
+                max_waiting: 4,
+                // The duration is irrelevant under `--cfg model`: expiry is
+                // a scheduler decision, not a clock read.
+                timeout: Some(Duration::from_millis(1)),
+            }));
+            let head = admission.enter().unwrap();
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&admission);
+                    sync_thread::spawn(move || match gate.enter() {
+                        Ok(permit) => {
+                            drop(permit);
+                            true
+                        }
+                        Err(CorpusError::Overloaded { .. }) => false,
+                        Err(e) => panic!("unexpected admission error: {e}"),
+                    })
+                })
+                .collect();
+            drop(head);
+            let admitted_waiters = waiters
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .filter(|admitted| *admitted)
+                .count() as u64;
+            let state = admission.state.lock().unwrap();
+            assert_eq!(state.active, 0);
+            assert_eq!(
+                state.serving, state.next_ticket,
+                "withdrawn tickets may not wedge `serving`"
+            );
+            assert!(state.abandoned.is_empty(), "tombstones are consumed");
+            drop(state);
+            let stats = admission.stats();
+            assert_eq!(stats.admitted, 1 + admitted_waiters);
+            assert_eq!(stats.timed_out, 2 - admitted_waiters);
+            assert_eq!(stats.rejected, 0);
+        });
+        // A floor on the explored-schedule count: if the cfg wiring ever
+        // degrades the shims to passthrough, exploration collapses to one
+        // schedule and this catches it.
+        assert!(report.schedules > 50, "exploration collapsed: {report:?}");
+        assert!(report.complete, "schedule tree exhausted: {report:?}");
     }
 }

@@ -1,0 +1,101 @@
+//! The crate's sync abstraction: `std::sync` in normal builds, the
+//! [`xwq_verify`] model-checker shims under `--cfg model`.
+//!
+//! Everything that participates in a cross-thread *protocol* — the shard
+//! pools' queue mutex + park condvar + shutdown flag, the fan-out latch and
+//! result slots, the admission gate's state + condvar, the GC's epoch map —
+//! must come from this module so that `RUSTFLAGS="--cfg model"` builds can
+//! exhaustively model-check those protocols (see `crates/verify` and the
+//! `model_` tests in this crate). In a normal build every name here is a
+//! plain re-export of `std`, so the abstraction has zero runtime cost — a
+//! unit test asserts the types are literally `std`'s.
+//!
+//! Deliberately *not* routed through this module:
+//!
+//! * **Monotonic statistics counters** (`admitted`, `waited`, `unlinked`,
+//!   cache hit/miss tallies). They are race-benign — every touch is a single
+//!   atomic RMW or load, no other state depends on their value — and each
+//!   shim op is a scheduler yield point, so modeling them would multiply the
+//!   schedule tree without adding any checkable behavior.
+//! * **`Corpus`'s catalog `RwLock`** and other read-mostly registry locks.
+//!   The fan-out read path takes them only for leaf lookups and never while
+//!   blocking on a modeled primitive with a writer present.
+//! * `Arc`, `OnceLock`, `Instant`: no blocking, nothing to model.
+
+#[cfg(not(model))]
+mod imp {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// Model-aware thread handles: plain `std::thread` here.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+
+    use std::time::Instant;
+
+    /// Waits on `cv` until notified or `deadline` passes; returns the
+    /// reacquired guard and whether the deadline had passed on wake. The
+    /// flag is advisory — callers re-check their predicate, exactly as with
+    /// `Condvar::wait_timeout`. Panics on a poisoned mutex.
+    ///
+    /// Exists so the model build can treat the timeout as a scheduler
+    /// choice: under `--cfg model` this maps to
+    /// [`xwq_verify::sync::wait_deadline`], which explores both the
+    /// notified-first and timed-out-first orders without real-time sleeps.
+    pub fn wait_deadline<'a, T>(
+        cv: &Condvar,
+        guard: MutexGuard<'a, T>,
+        deadline: Instant,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let now = Instant::now();
+        if now >= deadline {
+            return (guard, true);
+        }
+        let (guard, result) = cv
+            .wait_timeout(guard, deadline - now)
+            .unwrap_or_else(|_| panic!("wait_deadline: mutex poisoned"));
+        (guard, result.timed_out() || Instant::now() >= deadline)
+    }
+}
+
+#[cfg(model)]
+mod imp {
+    pub use xwq_verify::sync::{
+        wait_deadline, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+    };
+
+    /// Model-aware thread handles: scheduler-registered spawns and joins.
+    pub mod thread {
+        pub use xwq_verify::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+pub use imp::*;
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use std::any::TypeId;
+
+    /// The zero-cost claim, checked: outside `--cfg model` the re-exports
+    /// are literally `std::sync`'s types, not wrappers.
+    #[test]
+    fn normal_build_reexports_are_plain_std() {
+        assert_eq!(
+            TypeId::of::<super::Mutex<u8>>(),
+            TypeId::of::<std::sync::Mutex<u8>>()
+        );
+        assert_eq!(
+            TypeId::of::<super::Condvar>(),
+            TypeId::of::<std::sync::Condvar>()
+        );
+        assert_eq!(
+            TypeId::of::<super::AtomicBool>(),
+            TypeId::of::<std::sync::atomic::AtomicBool>()
+        );
+        assert_eq!(
+            TypeId::of::<super::thread::Builder>(),
+            TypeId::of::<std::thread::Builder>()
+        );
+    }
+}

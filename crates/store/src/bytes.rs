@@ -48,6 +48,8 @@ enum Backing {
 // SAFETY: the buffer is immutable for the lifetime of the value, and both
 // backings are safe to access from any thread.
 unsafe impl Send for IndexBytes {}
+// SAFETY: same argument as `Send` — `&IndexBytes` only ever exposes the
+// bytes read-only, so concurrent shared access cannot race.
 unsafe impl Sync for IndexBytes {}
 
 impl IndexBytes {
@@ -75,10 +77,7 @@ impl IndexBytes {
         let len = usize::try_from(file.metadata()?.len())
             .map_err(|_| std::io::Error::other("file too large to address"))?;
         let mut buf = vec![0u64; len.div_ceil(8)];
-        // SAFETY: a `u64` buffer viewed as bytes is plain memory; we only
-        // write within its length.
-        let bytes =
-            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        let bytes = aligned_bytes_mut(&mut buf);
         file.read_exact(&mut bytes[..len])?;
         Ok(Arc::new(Self::from_aligned(buf, len)))
     }
@@ -88,9 +87,7 @@ impl IndexBytes {
     pub fn from_vec(bytes: Vec<u8>) -> Arc<IndexBytes> {
         let len = bytes.len();
         let mut buf = vec![0u64; len.div_ceil(8)];
-        // SAFETY: as above.
-        let dst =
-            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        let dst = aligned_bytes_mut(&mut buf);
         dst[..len].copy_from_slice(&bytes);
         Arc::new(Self::from_aligned(buf, len))
     }
@@ -194,6 +191,14 @@ impl std::fmt::Debug for IndexBytes {
             .field("mapped", &self.is_mapped())
             .finish()
     }
+}
+
+/// Views a `u64` allocation as its full byte range, for the one bulk
+/// read/copy that fills it.
+fn aligned_bytes_mut(buf: &mut [u64]) -> &mut [u8] {
+    // SAFETY: a `u64` buffer viewed as bytes is plain memory, and the byte
+    // length is exactly the allocation's.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) }
 }
 
 /// Minimal raw mmap bindings (libc is not a dependency; these are the

@@ -74,6 +74,7 @@ mod format;
 mod lru;
 mod session;
 mod store;
+pub mod sync;
 mod wire;
 
 pub use bytes::IndexBytes;

@@ -21,10 +21,18 @@
 //! thread works the batch too, so progress never depends on the pool.
 
 use crate::lru::LruCache;
+use crate::sync::{
+    thread as sync_thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering,
+};
 use crate::{DocumentStore, StoredDocument};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+// The compiled-query cache and its hit/miss/eviction counters stay on
+// plain `std` primitives even under `--cfg model` (see the `crate::sync`
+// module docs): they are outside the modeled pool protocol, and no model
+// yield point ever runs inside their critical sections.
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::Mutex as StdMutex;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use xwq_core::{CompiledQuery, EvalScratch, EvalStats, QueryError, Strategy};
 use xwq_obs::{Counter, LatencyHisto, Registry};
@@ -145,10 +153,12 @@ struct SessionTelemetry {
 /// The `'static` part workers share with the session.
 struct SessionInner {
     store: Arc<DocumentStore>,
-    cache: Mutex<LruCache<CacheKey, Arc<CompiledQuery>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    cache: StdMutex<LruCache<CacheKey, Arc<CompiledQuery>>>,
+    // Monotonic statistics: nothing branches on these, `Relaxed` is
+    // exact under the `fetch_add` total modification order.
+    hits: StdAtomicU64,
+    misses: StdAtomicU64,
+    evictions: StdAtomicU64,
     /// Set at most once (the inner struct is `Arc`-shared with pool
     /// workers, so late wiring must go through `&self`).
     telemetry: OnceLock<SessionTelemetry>,
@@ -165,10 +175,10 @@ impl Session {
         Self {
             inner: Arc::new(SessionInner {
                 store,
-                cache: Mutex::new(LruCache::new(capacity)),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
+                cache: StdMutex::new(LruCache::new(capacity)),
+                hits: StdAtomicU64::new(0),
+                misses: StdAtomicU64::new(0),
+                evictions: StdAtomicU64::new(0),
                 telemetry: OnceLock::new(),
             }),
             pool: WorkerPool::new(),
@@ -443,6 +453,10 @@ impl SessionInner {
         // in-flight guard and still decrements every claimed item once.
         let mut answered: Option<PendingGuard> = None;
         loop {
+            // Relaxed (audit note): claim uniqueness comes from `fetch_add`'s
+            // total modification order alone; the request slice itself is
+            // published to workers by the `job` mutex hand-off, not by this
+            // cursor.
             let i = job.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= job.requests.len() {
                 if local != EvalStats::default() {
@@ -501,7 +515,7 @@ impl Job {
 /// The persistent worker pool: a job slot + condvar the workers park on.
 struct WorkerPool {
     shared: Arc<PoolShared>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<sync_thread::JoinHandle<()>>>,
     next_job: AtomicU64,
 }
 
@@ -527,6 +541,9 @@ impl WorkerPool {
     }
 
     fn next_job_id(&self) -> u64 {
+        // Relaxed (audit note): only uniqueness and per-publisher monotonicity
+        // matter; workers compare ids against the slot contents they read
+        // under the `job` mutex.
         self.next_job.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -541,7 +558,7 @@ impl WorkerPool {
         while workers.len() < want {
             let shared = Arc::clone(&self.shared);
             let inner = Arc::clone(inner);
-            workers.push(std::thread::spawn(move || worker_loop(shared, inner)));
+            workers.push(sync_thread::spawn(move || worker_loop(shared, inner)));
         }
     }
 
@@ -573,7 +590,9 @@ fn worker_loop(shared: Arc<PoolShared>, inner: Arc<SessionInner>) {
         };
         last_job = job.id;
         // Respect the batch's thread limit: latecomers beyond it (the
-        // caller already counted itself) sit this one out.
+        // caller already counted itself) sit this one out. Relaxed (audit
+        // note): admission only needs the counter's total modification
+        // order; all job state was already acquired via the slot mutex.
         if job.participants.fetch_add(1, Ordering::Relaxed) >= job.limit {
             continue;
         }
@@ -817,5 +836,51 @@ mod tests {
         assert!(stats.evictions >= 1);
         // "//x" was evicted by the time it repeats, so all 4 are misses.
         assert_eq!(stats.misses, 4);
+    }
+}
+
+/// Exhaustive model check of the worker pool's publish/claim/park/shutdown
+/// state machine. Built only under `RUSTFLAGS="--cfg model"`, where
+/// `crate::sync` resolves to the `xwq_verify` shims: the body runs once
+/// per schedule the deterministic scheduler can construct within the
+/// preemption bound, and a failing schedule panics with a replayable seed.
+#[cfg(all(test, model))]
+mod model_tests {
+    use super::*;
+    use xwq_index::TopologyKind;
+
+    /// One real parallel batch (caller + one pool worker racing on the
+    /// claim cursor) followed by the `Drop` shutdown, across every
+    /// interleaving: both requests answered exactly once, the latch
+    /// releases, and the worker never sleeps through its own shutdown
+    /// (the checker reports any hang as a deadlock).
+    #[test]
+    fn model_batch_claim_and_drop_shutdown() {
+        let config = xwq_verify::Config {
+            preemption_bound: Some(2),
+            ..xwq_verify::Config::default()
+        };
+        let report = xwq_verify::check("store-pool-batch", config, || {
+            let store = DocumentStore::new();
+            store
+                .insert_xml("a", "<r><x/><x/></r>", TopologyKind::Array)
+                .unwrap();
+            let session = Session::with_cache_capacity(Arc::new(store), 4);
+            let requests = [QueryRequest::new("a", "//x"), QueryRequest::new("a", "//x")];
+            let results = session.query_many_with_threads(&requests, 2);
+            assert_eq!(results.len(), 2);
+            for r in results {
+                assert_eq!(r.unwrap().nodes.len(), 2, "every slot answered");
+            }
+            // Drop = shutdown + join of the parked worker, still under the
+            // model scheduler: the lock-free flag-store variant of this
+            // (the PR 5 race) hangs here in some schedule.
+            drop(session);
+        });
+        // A floor on the explored-schedule count: if the cfg wiring ever
+        // degrades the shims to passthrough, exploration collapses to one
+        // schedule and this catches it.
+        assert!(report.schedules > 50, "exploration collapsed: {report:?}");
+        assert!(report.complete, "schedule tree exhausted: {report:?}");
     }
 }

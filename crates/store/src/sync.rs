@@ -1,0 +1,63 @@
+//! The crate's sync abstraction: `std::sync` in normal builds, the
+//! [`xwq_verify`] model-checker shims under `--cfg model`.
+//!
+//! Covers the [`Session`](crate::Session) worker pool's protocol state —
+//! the job slot mutex, park condvar, shutdown flag, claim cursor and
+//! participant counter, plus the batch latch and result slots — so that
+//! `RUSTFLAGS="--cfg model"` builds can model-check the
+//! publish/claim/park/shutdown state machine (see `crates/verify` and the
+//! `model_` tests in `src/session.rs`). In normal builds every name is a
+//! plain `std` re-export with zero runtime cost.
+//!
+//! The cache hit/miss/eviction counters stay on `std` atomics on purpose:
+//! they are race-benign monotonic statistics, and each shim op is a
+//! scheduler yield point — modeling them would multiply the explored
+//! schedule tree without adding checkable behavior.
+
+#[cfg(not(model))]
+mod imp {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// Model-aware thread handles: plain `std::thread` here.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+#[cfg(model)]
+mod imp {
+    pub use xwq_verify::sync::{
+        AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+    };
+
+    /// Model-aware thread handles: scheduler-registered spawns and joins.
+    pub mod thread {
+        pub use xwq_verify::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+pub use imp::*;
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use std::any::TypeId;
+
+    /// The zero-cost claim, checked: outside `--cfg model` the re-exports
+    /// are literally `std::sync`'s types, not wrappers.
+    #[test]
+    fn normal_build_reexports_are_plain_std() {
+        assert_eq!(
+            TypeId::of::<super::Mutex<u8>>(),
+            TypeId::of::<std::sync::Mutex<u8>>()
+        );
+        assert_eq!(
+            TypeId::of::<super::Condvar>(),
+            TypeId::of::<std::sync::Condvar>()
+        );
+        assert_eq!(
+            TypeId::of::<super::AtomicU64>(),
+            TypeId::of::<std::sync::atomic::AtomicU64>()
+        );
+    }
+}

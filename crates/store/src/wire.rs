@@ -208,6 +208,18 @@ impl<'a> Reader<'a> {
                 // only yields the correctly aligned middle.
                 let (pre, mid, post) = unsafe { bytes.align_to::<T>() };
                 if pre.is_empty() && post.is_empty() {
+                    // An empty pre/post split can only mean the region was
+                    // already aligned and an exact multiple of the element
+                    // size; guard the cast against either invariant rotting.
+                    debug_assert!(
+                        (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()),
+                        "aligned split from a misaligned region"
+                    );
+                    debug_assert_eq!(
+                        std::mem::size_of_val(mid),
+                        bytes.len(),
+                        "aligned split dropped bytes"
+                    );
                     // SAFETY: `bytes` borrows from the owner's memory per
                     // the `new_shared` contract.
                     return Store::Shared(unsafe { SharedSlice::new(owner.clone(), mid) });

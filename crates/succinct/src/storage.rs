@@ -37,9 +37,14 @@ pub type Owner = Arc<dyn Any + Send + Sync>;
 /// and no interior mutability.
 pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
+// SAFETY: a primitive integer is `Copy`, has no padding, no interior
+// mutability, and every bit pattern is a valid value.
 unsafe impl Pod for u8 {}
+// SAFETY: as for `u8`.
 unsafe impl Pod for u32 {}
+// SAFETY: as for `u8`.
 unsafe impl Pod for u64 {}
+// SAFETY: as for `u8`.
 unsafe impl Pod for i32 {}
 
 /// A `'static`, immutable slice view whose backing memory is kept alive by
@@ -54,6 +59,7 @@ pub struct SharedSlice<T: Pod> {
 // SAFETY: the view is immutable, `T: Pod` carries no interior mutability,
 // and the owner is itself `Send + Sync`.
 unsafe impl<T: Pod> Send for SharedSlice<T> {}
+// SAFETY: same argument as `Send` — shared access is read-only throughout.
 unsafe impl<T: Pod> Sync for SharedSlice<T> {}
 
 impl<T: Pod> SharedSlice<T> {
@@ -64,6 +70,12 @@ impl<T: Pod> SharedSlice<T> {
     /// that memory must stay valid, immutable and correctly aligned for as
     /// long as any clone of `owner` exists.
     pub unsafe fn new(owner: Owner, slice: &[T]) -> Self {
+        // A `&[T]` is aligned by construction; this guards callers that
+        // manufacture the slice from a raw byte cast upstream.
+        debug_assert!(
+            (slice.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()),
+            "SharedSlice backing must be aligned for T"
+        );
         Self {
             _owner: owner,
             ptr: slice.as_ptr(),
@@ -332,6 +344,7 @@ mod tests {
     #[test]
     fn store_make_mut_detaches_shared() {
         let (owner, buf) = owned_u64s(&[7, 8]);
+        // SAFETY: slice points into the Arc'd Vec held by `owner`.
         let mut s: Store<u64> = unsafe { SharedSlice::new(owner, buf.as_slice()) }.into();
         assert!(s.is_shared());
         assert_eq!(s[1], 8);
@@ -346,7 +359,10 @@ mod tests {
         let blob = Arc::new(b"heywo".to_vec());
         let offs = Arc::new(vec![0u64, 3, 5]);
         let mk = |o: &Arc<Vec<u64>>, b: &Arc<Vec<u8>>| {
+            // SAFETY: each slice points into the Arc'd Vec passed as its
+            // own owner.
             let ov = unsafe { SharedSlice::new(o.clone() as Owner, o.as_slice()) };
+            // SAFETY: as above.
             let bv = unsafe { SharedSlice::new(b.clone() as Owner, b.as_slice()) };
             StrTable::shared(ov, bv)
         };
@@ -371,7 +387,10 @@ mod tests {
     fn str_table_push_detaches() {
         let blob = Arc::new(b"ab".to_vec());
         let offs = Arc::new(vec![0u64, 1, 2]);
+        // SAFETY: each slice points into the Arc'd Vec passed as its own
+        // owner.
         let ov = unsafe { SharedSlice::new(offs.clone() as Owner, offs.as_slice()) };
+        // SAFETY: as above.
         let bv = unsafe { SharedSlice::new(blob.clone() as Owner, blob.as_slice()) };
         let mut t = StrTable::shared(ov, bv).unwrap();
         t.push("c".to_string());

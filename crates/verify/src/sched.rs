@@ -1,0 +1,825 @@
+//! The deterministic DFS scheduler behind [`check`](crate::check).
+//!
+//! # Execution model
+//!
+//! A *modeled* program runs on real OS threads, but at most one of them is
+//! runnable at a time: the scheduler hands a token to exactly one thread and
+//! every shim operation ([`crate::sync`], [`crate::thread`]) passes through a
+//! *yield point* that may move the token elsewhere. Between two yield points a
+//! thread runs uninterrupted, so the set of observable interleavings is exactly
+//! the set of token-passing sequences — a finite tree of scheduling decisions
+//! that depth-first search can enumerate exhaustively.
+//!
+//! Each decision point with more than one candidate is recorded as a
+//! `(num_options, picked_index)` pair. The sequence of picked indices *is* the
+//! schedule seed: printing it on failure and re-running with
+//! [`Config::replay`] drives the program down the identical path. Candidate
+//! lists are ordered current-thread-first, so index 0 always means "keep
+//! running" and a default-filled suffix never introduces a preemption — which
+//! is also what makes greedy prefix-truncation minimization work.
+//!
+//! # Preemption bounding
+//!
+//! An unforced switch away from a still-runnable thread counts against
+//! [`Config::preemption_bound`]; once spent, the scheduler stays on the
+//! current thread whenever it remains schedulable. Most real concurrency bugs
+//! (including the PR 5 park/notify shutdown hang this crate was built to
+//! catch) need only 1–2 preemptions, while the bound keeps the schedule tree
+//! tractable. Replays must use the same bound as the original exploration:
+//! the bound changes which decision points branch, and the seed indexes into
+//! that exact branch sequence.
+//!
+//! # Failure handling
+//!
+//! A panic in any modeled thread records the first failure and lets the
+//! remaining threads run to completion, so every OS thread is joined and no
+//! state leaks. A deadlock (no schedulable thread while some are blocked) is
+//! reported with a description of every blocked thread — a condvar waiter with
+//! no runnable peer is precisely a lost notify — and the stuck OS threads are
+//! abandoned (detached); they hold only that execution's object graph.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Once};
+
+pub(crate) const NO_THREAD: usize = usize::MAX;
+
+/// A replayable schedule: the picked-candidate indices at every branching
+/// decision point, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule(pub Vec<u32>);
+
+impl Schedule {
+    /// Parses a seed printed by a failure report: comma-separated indices,
+    /// e.g. `"0,2,1"`.
+    pub fn parse(s: &str) -> Schedule {
+        Schedule(
+            s.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| t.parse::<u32>().expect("schedule seed: expected u32"))
+                .collect(),
+        )
+    }
+
+    /// The seed in its printable form (`"0,2,1"`).
+    pub fn seed(&self) -> String {
+        self.0
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.seed())
+    }
+}
+
+/// Exploration parameters for [`check`](crate::check) / [`explore`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of unforced context switches per execution; `None`
+    /// removes the bound (full exhaustive search). Defaults to 2, which
+    /// covers every bug class this repo has actually shipped.
+    pub preemption_bound: Option<usize>,
+    /// Safety valve on the number of explored schedules. If hit, the report
+    /// comes back with `complete == false` and no failure.
+    pub max_schedules: usize,
+    /// Greedily shrink a failing schedule to its shortest failing prefix
+    /// before reporting.
+    pub minimize: bool,
+    /// Replay a single schedule instead of exploring. Must be paired with the
+    /// same `preemption_bound` the seed was found under.
+    pub replay: Option<Schedule>,
+    /// Stack size for modeled OS threads (`None` = platform default). Small
+    /// stacks keep abandoned deadlock executions cheap.
+    pub stack_size: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 1_000_000,
+            minimize: true,
+            replay: None,
+            stack_size: None,
+        }
+    }
+}
+
+/// What a failing execution looked like.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Panic payload or a description of every blocked thread.
+    pub message: String,
+    /// Seed that reproduces the failure under the same `Config`.
+    pub schedule: Schedule,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A modeled thread panicked (assertion failure in the harness).
+    Panic,
+    /// No schedulable thread remained while some were still blocked. A
+    /// condvar waiter in this state is a lost notify.
+    Deadlock,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of schedules executed (including minimization replays).
+    pub schedules: usize,
+    /// True iff the whole schedule tree within the bound was exhausted
+    /// without hitting `max_schedules` or a failure.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting to acquire the mutex keyed by `.0`.
+    BlockedMutex(usize),
+    /// Waiting on the condvar keyed by `cv`. `wakeable` is set by a notify;
+    /// `timed` waiters are additionally always schedulable via a spontaneous
+    /// timeout firing.
+    BlockedCondvar {
+        cv: usize,
+        wakeable: bool,
+        timed: bool,
+    },
+    /// Waiting for thread `.0` to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    /// Number of candidates at this decision point; 0 = unknown (a
+    /// user-supplied replay seed).
+    n: u32,
+    picked: u32,
+}
+
+#[derive(Default)]
+struct MutexState {
+    holder: Option<usize>,
+}
+
+#[derive(Default)]
+struct CvState {
+    next_ticket: u64,
+    /// FIFO wait queue: (ticket, tid).
+    waiters: Vec<(u64, usize)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Explore,
+    Replay,
+}
+
+struct Inner {
+    statuses: Vec<Status>,
+    names: Vec<String>,
+    active: usize,
+    mutexes: HashMap<usize, MutexState>,
+    condvars: HashMap<usize, CvState>,
+    /// Per-thread flag: the wake a blocked-timed waiter just received was a
+    /// timeout firing, not a notify.
+    wake_timeout: Vec<bool>,
+    // --- exploration state ---
+    mode: Mode,
+    /// Choices to follow before default-filling.
+    prefix: Vec<Choice>,
+    /// Choices actually taken this execution.
+    trace: Vec<Choice>,
+    cursor: usize,
+    bound: Option<usize>,
+    preemptions: usize,
+    failure: Option<Failure>,
+    done: bool,
+}
+
+pub(crate) struct Exec {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+}
+
+/// Identity of the current modeled thread, carried in a thread-local.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Mark the calling OS thread as the given modeled thread (used by the
+/// [`crate::thread`] spawn wrapper).
+pub(crate) fn enter_thread(ctx: Ctx) {
+    set_current(Some(ctx));
+}
+
+pub(crate) fn exit_thread() {
+    set_current(None);
+}
+
+/// Suppress the default "thread panicked" stderr spew for modeled threads:
+/// exploration *expects* failing schedules (that is the point), and the
+/// failure is reported through [`Report`] instead.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Inner {
+    fn schedulable(&self, tid: usize) -> bool {
+        match self.statuses[tid] {
+            Status::Runnable => true,
+            Status::BlockedMutex(key) => self.mutexes.get(&key).is_none_or(|m| m.holder.is_none()),
+            Status::BlockedCondvar {
+                wakeable, timed, ..
+            } => wakeable || timed,
+            Status::BlockedJoin(target) => matches!(self.statuses[target], Status::Finished),
+            Status::Finished => false,
+        }
+    }
+
+    /// Schedulable candidates, current-thread-first so that picked index 0
+    /// always means "no preemption".
+    fn candidates(&self, me: usize) -> Vec<usize> {
+        let mut cands = Vec::new();
+        if me != NO_THREAD && self.schedulable(me) {
+            cands.push(me);
+        }
+        for tid in 0..self.statuses.len() {
+            if tid != me && self.schedulable(tid) {
+                cands.push(tid);
+            }
+        }
+        cands
+    }
+
+    /// Consume one decision: follow the prefix while it lasts, then
+    /// default-fill with index 0. Only branching points (n > 1) are recorded.
+    fn decide(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let pick = if self.cursor < self.prefix.len() {
+            let c = self.prefix[self.cursor];
+            if self.mode == Mode::Explore {
+                debug_assert!(
+                    c.n as usize == n,
+                    "nondeterministic harness: decision point {} had {} candidates, now {n}",
+                    self.cursor,
+                    c.n,
+                );
+            }
+            (c.picked as usize).min(n - 1)
+        } else {
+            0
+        };
+        self.trace.push(Choice {
+            n: n as u32,
+            picked: pick as u32,
+        });
+        self.cursor += 1;
+        pick
+    }
+
+    fn schedule_seed(&self) -> Schedule {
+        Schedule(self.trace.iter().map(|c| c.picked).collect())
+    }
+
+    fn describe_blocked(&self) -> String {
+        let mut parts = Vec::new();
+        for (tid, st) in self.statuses.iter().enumerate() {
+            let what = match st {
+                Status::Runnable => continue,
+                Status::Finished => continue,
+                Status::BlockedMutex(_) => "blocked acquiring a mutex".to_string(),
+                Status::BlockedCondvar { timed, .. } => {
+                    if *timed {
+                        "waiting on a condvar (timed)".to_string()
+                    } else {
+                        "waiting on a condvar — possible lost notify".to_string()
+                    }
+                }
+                Status::BlockedJoin(t) => {
+                    format!("joining thread {} ('{}')", t, self.names[*t])
+                }
+            };
+            parts.push(format!("thread {} ('{}') {}", tid, self.names[tid], what));
+        }
+        parts.join("; ")
+    }
+}
+
+impl Exec {
+    fn new(mode: Mode, prefix: Vec<Choice>, bound: Option<usize>) -> Arc<Exec> {
+        Arc::new(Exec {
+            inner: StdMutex::new(Inner {
+                statuses: vec![Status::Runnable],
+                names: vec!["main".to_string()],
+                active: 0,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                wake_timeout: vec![false],
+                mode,
+                prefix,
+                trace: Vec::new(),
+                cursor: 0,
+                bound,
+                preemptions: 0,
+                failure: None,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Pick and activate the next thread. Called with `me` already moved to
+    /// its new status. Handles completion and deadlock detection.
+    fn pick_next(&self, g: &mut Inner, me: usize) {
+        let me_schedulable = me != NO_THREAD && g.schedulable(me);
+        let mut cands = g.candidates(me);
+        if cands.is_empty() {
+            if g.statuses.iter().all(|s| matches!(s, Status::Finished)) {
+                g.active = NO_THREAD;
+                g.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            if g.failure.is_none() {
+                let schedule = g.schedule_seed();
+                g.failure = Some(Failure {
+                    kind: FailureKind::Deadlock,
+                    message: format!("deadlock: {}", g.describe_blocked()),
+                    schedule,
+                });
+            }
+            g.active = NO_THREAD;
+            g.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if me_schedulable && g.preemptions >= g.bound.unwrap_or(usize::MAX) {
+            cands = vec![me];
+        }
+        let idx = g.decide(cands.len());
+        let next = cands[idx];
+        if me_schedulable && next != me {
+            g.preemptions += 1;
+        }
+        if let Status::BlockedCondvar {
+            wakeable, timed, ..
+        } = g.statuses[next]
+        {
+            // When both a notify and a timeout could explain the wake, the
+            // winner is itself a scheduling decision.
+            let timed_out = if wakeable && timed {
+                g.decide(2) == 1
+            } else {
+                !wakeable
+            };
+            g.wake_timeout[next] = timed_out;
+        }
+        g.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Move `me` to `status`, pick the next thread, and (unless `me` is
+    /// finished) park until the token comes back.
+    fn reschedule(&self, me: usize, status: Status) {
+        let mut g = self.lock();
+        g.statuses[me] = status;
+        self.pick_next(&mut g, me);
+        if matches!(status, Status::Finished) {
+            return;
+        }
+        // A deadlocked execution never reactivates us: we stay parked and the
+        // controller abandons this OS thread.
+        while g.active != me {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Plain preemption opportunity (atomic ops, notifies, post-spawn).
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.reschedule(me, Status::Runnable);
+    }
+
+    pub(crate) fn mutex_lock(&self, me: usize, key: usize) {
+        self.yield_point(me);
+        loop {
+            {
+                let mut g = self.lock();
+                let m = g.mutexes.entry(key).or_default();
+                if m.holder.is_none() {
+                    m.holder = Some(me);
+                    g.statuses[me] = Status::Runnable;
+                    return;
+                }
+            }
+            self.reschedule(me, Status::BlockedMutex(key));
+        }
+    }
+
+    /// Releases are not yield points: the releasing thread's next shim op
+    /// yields, which observes the same interleavings with half the tree.
+    pub(crate) fn mutex_unlock(&self, _me: usize, key: usize) {
+        let mut g = self.lock();
+        g.mutexes.entry(key).or_default().holder = None;
+    }
+
+    /// Atomically release `mutex_key`, wait on `cv_key`, then re-acquire.
+    /// Returns whether the wake was a timeout firing (always `false` for
+    /// untimed waits).
+    pub(crate) fn condvar_wait(
+        &self,
+        me: usize,
+        cv_key: usize,
+        mutex_key: usize,
+        timed: bool,
+    ) -> bool {
+        // Yield *before* registering, with the model mutex still held: this
+        // is the check→park window. The caller decided to wait based on a
+        // predicate it just read; operations not ordered by the mutex (atomic
+        // flag flips, notifies) can land right here, and a notify that does
+        // so is lost — the bug class behind the PR 5 shutdown hang.
+        self.yield_point(me);
+        {
+            let mut g = self.lock();
+            let c = g.condvars.entry(cv_key).or_default();
+            let ticket = c.next_ticket;
+            c.next_ticket += 1;
+            c.waiters.push((ticket, me));
+            g.mutexes.entry(mutex_key).or_default().holder = None;
+        }
+        self.reschedule(
+            me,
+            Status::BlockedCondvar {
+                cv: cv_key,
+                wakeable: false,
+                timed,
+            },
+        );
+        let timed_out = {
+            let mut g = self.lock();
+            let t = g.wake_timeout[me];
+            g.wake_timeout[me] = false;
+            if let Some(c) = g.condvars.get_mut(&cv_key) {
+                c.waiters.retain(|&(_, tid)| tid != me);
+            }
+            g.statuses[me] = Status::Runnable;
+            t
+        };
+        // Re-acquire without the leading yield: being scheduled out of the
+        // wait *was* the yield.
+        loop {
+            {
+                let mut g = self.lock();
+                let m = g.mutexes.entry(mutex_key).or_default();
+                if m.holder.is_none() {
+                    m.holder = Some(me);
+                    g.statuses[me] = Status::Runnable;
+                    break;
+                }
+            }
+            self.reschedule(me, Status::BlockedMutex(mutex_key));
+        }
+        timed_out
+    }
+
+    pub(crate) fn notify_one(&self, me: usize, cv_key: usize) {
+        self.yield_point(me);
+        let mut g = self.lock();
+        let pick = g.condvars.get(&cv_key).and_then(|c| {
+            c.waiters
+                .iter()
+                .filter(|&&(_, tid)| {
+                    matches!(
+                        g.statuses[tid],
+                        Status::BlockedCondvar {
+                            wakeable: false,
+                            ..
+                        }
+                    )
+                })
+                .min_by_key(|&&(ticket, _)| ticket)
+                .map(|&(_, tid)| tid)
+        });
+        if let Some(tid) = pick {
+            if let Status::BlockedCondvar { wakeable, .. } = &mut g.statuses[tid] {
+                *wakeable = true;
+            }
+        }
+    }
+
+    pub(crate) fn notify_all(&self, me: usize, cv_key: usize) {
+        self.yield_point(me);
+        let mut g = self.lock();
+        let waiters: Vec<usize> = g
+            .condvars
+            .get(&cv_key)
+            .map(|c| c.waiters.iter().map(|&(_, tid)| tid).collect())
+            .unwrap_or_default();
+        for tid in waiters {
+            if let Status::BlockedCondvar { wakeable, .. } = &mut g.statuses[tid] {
+                *wakeable = true;
+            }
+        }
+    }
+
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut g = self.lock();
+        let tid = g.statuses.len();
+        g.statuses.push(Status::Runnable);
+        g.names.push(name);
+        g.wake_timeout.push(false);
+        tid
+    }
+
+    /// First action of a freshly spawned modeled thread: park until scheduled.
+    pub(crate) fn wait_for_token(&self, me: usize) {
+        let mut g = self.lock();
+        while g.active != me {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    pub(crate) fn join_block(&self, me: usize, target: usize) {
+        loop {
+            {
+                let mut g = self.lock();
+                if matches!(g.statuses[target], Status::Finished) {
+                    g.statuses[me] = Status::Runnable;
+                    return;
+                }
+            }
+            self.reschedule(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Record an optional panic as the first failure, mark `me` finished, and
+    /// hand the token onward.
+    pub(crate) fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        {
+            let mut g = self.lock();
+            if let Some(msg) = panic_msg {
+                if g.failure.is_none() {
+                    let schedule = g.schedule_seed();
+                    let name = g.names[me].clone();
+                    g.failure = Some(Failure {
+                        kind: FailureKind::Panic,
+                        message: format!("thread {me} ('{name}') panicked: {msg}"),
+                        schedule,
+                    });
+                }
+            }
+        }
+        self.reschedule(me, Status::Finished);
+    }
+}
+
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct ExecOutcome {
+    trace: Vec<Choice>,
+    failure: Option<Failure>,
+}
+
+/// Run the harness once under the given choice prefix.
+fn run_once<F>(
+    f: &Arc<F>,
+    prefix: Vec<Choice>,
+    mode: Mode,
+    bound: Option<usize>,
+    stack_size: Option<usize>,
+) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Exec::new(mode, prefix, bound);
+    let f2 = Arc::clone(f);
+    let exec2 = Arc::clone(&exec);
+    let mut builder = std::thread::Builder::new().name("xwq-model-main".to_string());
+    if let Some(s) = stack_size {
+        builder = builder.stack_size(s);
+    }
+    let handle = builder
+        .spawn(move || {
+            set_current(Some(Ctx {
+                exec: Arc::clone(&exec2),
+                tid: 0,
+            }));
+            let result = catch_unwind(AssertUnwindSafe(|| f2()));
+            let panic_msg = result.err().map(|p| payload_to_string(p.as_ref()));
+            exec2.finish_thread(0, panic_msg);
+            set_current(None);
+        })
+        .expect("model checker: failed to spawn main thread");
+    let (trace, failure) = {
+        let mut g = exec.lock();
+        while !g.done {
+            g = exec.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        (g.trace.clone(), g.failure.take())
+    };
+    let deadlocked = matches!(
+        failure,
+        Some(Failure {
+            kind: FailureKind::Deadlock,
+            ..
+        })
+    );
+    if deadlocked {
+        // The blocked OS threads (possibly including main) can never make
+        // progress; abandon them. They hold only this execution's objects.
+        drop(handle);
+    } else {
+        let _ = handle.join();
+    }
+    ExecOutcome { trace, failure }
+}
+
+/// Shrink a failing schedule to its shortest failing prefix: the candidate
+/// ordering makes default-fill "never preempt again", so the first prefix
+/// length that still fails is the minimal seed in this family.
+fn minimize<F>(f: &Arc<F>, original: Failure, config: &Config, schedules: &mut usize) -> Failure
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    const BUDGET: usize = 64;
+    let full = &original.schedule.0;
+    for i in 0..full.len().min(BUDGET) {
+        let prefix: Vec<Choice> = full[..i]
+            .iter()
+            .map(|&picked| Choice { n: 0, picked })
+            .collect();
+        let out = run_once(
+            f,
+            prefix,
+            Mode::Replay,
+            config.preemption_bound,
+            config.stack_size,
+        );
+        *schedules += 1;
+        if let Some(found) = out.failure {
+            return Failure {
+                kind: found.kind,
+                message: found.message,
+                schedule: Schedule(full[..i].to_vec()),
+            };
+        }
+    }
+    original
+}
+
+/// Explore every schedule of `f` within the bound (or replay one seed).
+/// Returns instead of panicking; see [`check`](crate::check) for the
+/// assert-style wrapper.
+pub fn explore<F>(config: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    let f = Arc::new(f);
+    let replay = config.replay.clone().or_else(|| {
+        std::env::var("XWQ_MODEL_REPLAY")
+            .ok()
+            .map(|s| Schedule::parse(&s))
+    });
+    if let Some(seed) = replay {
+        let prefix: Vec<Choice> = seed
+            .0
+            .iter()
+            .map(|&picked| Choice { n: 0, picked })
+            .collect();
+        let out = run_once(
+            &f,
+            prefix,
+            Mode::Replay,
+            config.preemption_bound,
+            config.stack_size,
+        );
+        return Report {
+            schedules: 1,
+            complete: false,
+            failure: out.failure,
+        };
+    }
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let out = run_once(
+            &f,
+            prefix.clone(),
+            Mode::Explore,
+            config.preemption_bound,
+            config.stack_size,
+        );
+        schedules += 1;
+        if let Some(failure) = out.failure {
+            let failure = if config.minimize {
+                minimize(&f, failure, config, &mut schedules)
+            } else {
+                failure
+            };
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+        // Backtrack: bump the deepest decision that still has an unexplored
+        // sibling, dropping everything after it.
+        let mut trace = out.trace;
+        loop {
+            match trace.last().copied() {
+                None => {
+                    return Report {
+                        schedules,
+                        complete: true,
+                        failure: None,
+                    }
+                }
+                Some(c) if c.picked + 1 < c.n => {
+                    let last = trace.last_mut().unwrap();
+                    last.picked += 1;
+                    break;
+                }
+                Some(_) => {
+                    trace.pop();
+                }
+            }
+        }
+        prefix = trace;
+        if schedules >= config.max_schedules {
+            return Report {
+                schedules,
+                complete: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Explore every schedule of `f`; panic with a pretty, replayable report on
+/// the first invariant violation or deadlock.
+pub fn check<F>(name: &str, config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(&config, f);
+    if let Some(fail) = &report.failure {
+        panic!(
+            "model check '{name}' failed after {} schedules ({:?})\n  {}\n  replay seed: \"{}\"\n  (reproduce with XWQ_MODEL_REPLAY=\"{}\" or Config {{ replay: Some(Schedule::parse(\"{}\")), .. }} under the same preemption_bound)",
+            report.schedules,
+            fail.kind,
+            fail.message,
+            fail.schedule.seed(),
+            fail.schedule.seed(),
+            fail.schedule.seed(),
+        );
+    }
+    report
+}

@@ -1,0 +1,355 @@
+//! Drop-in `std::sync` shims driven by the model scheduler.
+//!
+//! Each type wraps the real `std` primitive. Outside a model execution
+//! (no scheduler token on this thread) every operation passes straight
+//! through to `std`, so a `--cfg model` build still runs ordinary unit tests
+//! correctly. Inside [`check`](crate::check), operations additionally route
+//! through the scheduler: acquires and atomic ops are yield points, condvar
+//! waits park the modeled thread, and mutual exclusion is enforced by the
+//! token — the inner `std` lock is then always uncontended.
+//!
+//! Deliberate simplifications, documented here once:
+//!
+//! * **No spurious wakeups.** A modeled condvar waiter resumes only via a
+//!   notify or (for timed waits) a nondeterministic timeout firing. All
+//!   production wait loops re-check their predicate, so a spurious wake
+//!   cannot introduce behavior the modeled schedules miss.
+//! * **No poisoning under the model.** A panicking schedule already fails the
+//!   check; results are `Ok` so harness code using `.expect()` behaves the
+//!   same on both paths.
+//! * **Shim objects are keyed by address.** Harnesses must keep a primitive
+//!   at a stable address (in an `Arc`, a struct field, or an unmoved local)
+//!   for the duration of an execution — true of all production uses.
+
+use std::sync::{LockResult, PoisonError};
+use std::time::Instant;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched::{current, Ctx};
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]. Holds the real `std` guard; releases it
+/// before reporting the unlock to the scheduler.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<Ctx>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Mutex<T> as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(ctx) => {
+                ctx.exec.mutex_lock(ctx.tid, self.key());
+                // The scheduler granted us the model lock, so the real one is
+                // free: its guard is dropped before the model unlock.
+                let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: Some(ctx),
+                })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<'a, T> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the real lock first
+        if let Some(ctx) = self.model.take() {
+            ctx.exec.mutex_unlock(ctx.tid, self.lock.key());
+        }
+    }
+}
+
+impl<'a, T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for [`std::sync::Condvar`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match guard.model.take() {
+            None => {
+                let std_guard = guard.inner.take().expect("guard taken");
+                // `guard` now drops as a no-op.
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some(ctx) => {
+                guard.inner = None; // release the real lock
+                ctx.exec
+                    .condvar_wait(ctx.tid, self.key(), lock.key(), false);
+                let g = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: Some(ctx),
+                })
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match current() {
+            None => self.inner.notify_one(),
+            Some(ctx) => ctx.exec.notify_one(ctx.tid, self.key()),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match current() {
+            None => self.inner.notify_all(),
+            Some(ctx) => ctx.exec.notify_all(ctx.tid, self.key()),
+        }
+    }
+}
+
+/// Deadline wait: blocks until notified or `deadline` passes; returns the
+/// reacquired guard and whether the wake was a timeout.
+///
+/// Under the model the timeout is a *scheduler choice* — both the
+/// notified-first and timed-out-first orders are explored, including the
+/// simultaneous case — so harness runs finish without real-time sleeps.
+/// Production code must treat `timed_out == true` as advisory and re-check
+/// its predicate, exactly as with `std::sync::Condvar::wait_timeout`.
+///
+/// Panics on a poisoned mutex (the callers' `.expect()` policy, hoisted).
+pub fn wait_deadline<'a, T>(
+    cv: &Condvar,
+    mut guard: MutexGuard<'a, T>,
+    deadline: Instant,
+) -> (MutexGuard<'a, T>, bool) {
+    let lock = guard.lock;
+    match guard.model.take() {
+        None => {
+            let std_guard = guard.inner.take().expect("guard taken");
+            let now = Instant::now();
+            if now >= deadline {
+                return (
+                    MutexGuard {
+                        lock,
+                        inner: Some(std_guard),
+                        model: None,
+                    },
+                    true,
+                );
+            }
+            let (g, result) = cv
+                .inner
+                .wait_timeout(std_guard, deadline - now)
+                .unwrap_or_else(|_| panic!("wait_deadline: mutex poisoned"));
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: None,
+                },
+                result.timed_out() || Instant::now() >= deadline,
+            )
+        }
+        Some(ctx) => {
+            guard.inner = None;
+            let timed_out = ctx.exec.condvar_wait(ctx.tid, cv.key(), lock.key(), true);
+            let g = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: Some(ctx),
+                },
+                timed_out,
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn model_yield() {
+    if let Some(ctx) = current() {
+        ctx.exec.yield_point(ctx.tid);
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Model-aware atomic: every operation is a scheduler yield point;
+        /// the value itself lives in the real `std` atomic.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(value: $prim) -> $name {
+                $name {
+                    inner: <$std>::new(value),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's order.
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, value: $prim, order: Ordering) {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's order.
+                self.inner.store(value, order)
+            }
+
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's order.
+                self.inner.swap(value, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                currentv: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's orders.
+                self.inner.compare_exchange(currentv, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's order.
+                self.inner.fetch_add(value, order)
+            }
+
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                model_yield();
+                // lint: allow(atomic-ordering) — forwards the caller's order.
+                self.inner.fetch_sub(value, order)
+            }
+        }
+    };
+}
+
+model_atomic_arith!(AtomicUsize, usize);
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicU32, u32);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        model_yield();
+        // lint: allow(atomic-ordering) — forwards the caller's order.
+        self.inner.fetch_or(value, order)
+    }
+
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        model_yield();
+        // lint: allow(atomic-ordering) — forwards the caller's order.
+        self.inner.fetch_and(value, order)
+    }
+}

@@ -1,0 +1,136 @@
+//! Model-aware replacements for `std::thread` spawning and joining.
+//!
+//! Outside a model execution these are thin wrappers over `std::thread`.
+//! Inside one, a spawned thread is registered with the scheduler, starts
+//! parked until first scheduled, and reports its completion (or panic) back
+//! so the DFS can account for it; `join` becomes a modeled blocking edge.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{current, Ctx, Exec};
+
+/// Model-aware [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    model: Option<(Arc<Exec>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some(ctx) = current() {
+                exec.join_block(ctx.tid, *target);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(value)) => Ok(value),
+            // The modeled closure panicked; the payload was already routed to
+            // the scheduler as the execution's failure.
+            Ok(None) => Err(Box::new("modeled thread panicked".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn thread(&self) -> &std::thread::Thread {
+        self.inner.thread()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Model-aware [`std::thread::Builder`].
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+    stack_size: Option<usize>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn stack_size(mut self, size: usize) -> Builder {
+        self.stack_size = Some(size);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = &self.name {
+            builder = builder.name(name.clone());
+        }
+        if let Some(size) = self.stack_size {
+            builder = builder.stack_size(size);
+        }
+        match current() {
+            None => {
+                let inner = builder.spawn(move || Some(f()))?;
+                Ok(JoinHandle { inner, model: None })
+            }
+            Some(ctx) => {
+                let name = self.name.unwrap_or_else(|| "spawned".to_string());
+                let tid = ctx.exec.register_thread(name);
+                let exec = Arc::clone(&ctx.exec);
+                let inner = builder.spawn(move || {
+                    crate::sched::enter_thread(Ctx {
+                        exec: Arc::clone(&exec),
+                        tid,
+                    });
+                    exec.wait_for_token(tid);
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    let panic_msg = match &result {
+                        Ok(_) => None,
+                        Err(p) => Some(crate::sched::payload_to_string(p.as_ref())),
+                    };
+                    exec.finish_thread(tid, panic_msg);
+                    crate::sched::exit_thread();
+                    result.ok()
+                })?;
+                // Yield so schedules where the child runs immediately are
+                // part of the explored tree.
+                ctx.exec.yield_point(ctx.tid);
+                Ok(JoinHandle {
+                    inner,
+                    model: Some((ctx.exec, tid)),
+                })
+            }
+        }
+    }
+}
+
+/// Model-aware [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Model-aware [`std::thread::yield_now`]: a plain scheduler yield point.
+pub fn yield_now() {
+    match current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.exec.yield_point(ctx.tid),
+    }
+}

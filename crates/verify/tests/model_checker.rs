@@ -1,0 +1,269 @@
+//! Self-tests for the model checker: it must find planted bugs (with
+//! replayable, minimized schedules), prove their absence in fixed code, and
+//! behave as plain `std` passthrough outside an execution.
+
+use std::sync::Arc;
+
+use xwq_verify::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+use xwq_verify::{explore, Config, FailureKind, Schedule};
+
+/// Two racy read-modify-write increments (load, then store). The canonical
+/// lost-update bug: needs one preemption between a load and its store.
+fn racy_double_increment() {
+    let n = Arc::new(AtomicUsize::new(0));
+    let n2 = Arc::clone(&n);
+    let t = xwq_verify::thread::spawn(move || {
+        let v = n2.load(Ordering::SeqCst);
+        n2.store(v + 1, Ordering::SeqCst);
+    });
+    let v = n.load(Ordering::SeqCst);
+    n.store(v + 1, Ordering::SeqCst);
+    t.join().unwrap();
+    assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn finds_lost_update_and_seed_replays_deterministically() {
+    let report = explore(&Config::default(), racy_double_increment);
+    let failure = report.failure.expect("checker must find the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+
+    // The printed seed replays the exact failing schedule: a single
+    // execution, same failure, twice in a row.
+    let seed = failure.schedule.seed();
+    for _ in 0..2 {
+        let replay = explore(
+            &Config {
+                replay: Some(Schedule::parse(&seed)),
+                ..Config::default()
+            },
+            racy_double_increment,
+        );
+        assert_eq!(replay.schedules, 1);
+        let rf = replay.failure.expect("replayed schedule must fail again");
+        assert_eq!(rf.kind, FailureKind::Panic);
+        assert!(rf.message.contains("lost update"), "{}", rf.message);
+    }
+}
+
+#[test]
+fn preemption_bound_sweep_gates_the_bug() {
+    // Bound 0: every thread runs to completion once scheduled, so each
+    // increment is effectively atomic — the full (bounded) tree is explored
+    // and the assertion holds.
+    let bound0 = explore(
+        &Config {
+            preemption_bound: Some(0),
+            minimize: false,
+            ..Config::default()
+        },
+        racy_double_increment,
+    );
+    assert!(bound0.complete, "bound-0 tree must be exhausted");
+    assert!(
+        bound0.failure.is_none(),
+        "no lost update without preemption"
+    );
+
+    // Bounds 1 and 2 admit the load/store interleaving; the tree also grows.
+    let mut prev_schedules = bound0.schedules;
+    for bound in [1usize, 2] {
+        let report = explore(
+            &Config {
+                preemption_bound: Some(bound),
+                minimize: false,
+                ..Config::default()
+            },
+            racy_double_increment,
+        );
+        let failure = report
+            .failure
+            .unwrap_or_else(|| panic!("bound {bound} must expose the race"));
+        assert!(failure.message.contains("lost update"));
+        assert!(
+            report.schedules >= prev_schedules.min(2),
+            "larger bound should not shrink the searched tree"
+        );
+        prev_schedules = report.schedules;
+    }
+}
+
+#[test]
+fn minimized_schedule_is_short_and_still_fails() {
+    let report = explore(&Config::default(), racy_double_increment);
+    let failure = report.failure.expect("must fail");
+    // The race needs exactly one preemption; greedy prefix truncation should
+    // land well under a dozen branch choices.
+    assert!(
+        failure.schedule.0.len() <= 8,
+        "expected a minimized seed, got {} choices: {}",
+        failure.schedule.0.len(),
+        failure.schedule.seed()
+    );
+}
+
+#[test]
+fn detects_two_lock_cycle_deadlock() {
+    let report = explore(&Config::default(), || {
+        let locks = Arc::new((Mutex::new(0u32), Mutex::new(0u32)));
+        let l2 = Arc::clone(&locks);
+        let t = xwq_verify::thread::spawn(move || {
+            let _b = l2.1.lock().unwrap();
+            let _a = l2.0.lock().unwrap();
+        });
+        let _a = locks.0.lock().unwrap();
+        let _b = locks.1.lock().unwrap();
+        drop(_b);
+        drop(_a);
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("must find the lock-order deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("blocked acquiring a mutex"),
+        "{}",
+        failure.message
+    );
+
+    // And the seed reproduces it.
+    let replay = explore(
+        &Config {
+            replay: Some(failure.schedule.clone()),
+            ..Config::default()
+        },
+        || {
+            let locks = Arc::new((Mutex::new(0u32), Mutex::new(0u32)));
+            let l2 = Arc::clone(&locks);
+            let t = xwq_verify::thread::spawn(move || {
+                let _b = l2.1.lock().unwrap();
+                let _a = l2.0.lock().unwrap();
+            });
+            let _a = locks.0.lock().unwrap();
+            let _b = locks.1.lock().unwrap();
+            drop(_b);
+            drop(_a);
+            t.join().unwrap();
+        },
+    );
+    assert_eq!(replay.failure.map(|f| f.kind), Some(FailureKind::Deadlock));
+}
+
+#[test]
+fn detects_lost_notify_as_deadlock() {
+    use xwq_verify::sync::AtomicBool;
+    // Predicate kept in an atomic and flipped *without* the mutex: the
+    // store+notify can land in the window between the waiter's predicate
+    // check (under the lock) and its wait — the notify sees no waiters and
+    // the wakeup is lost. This is the bug class behind the PR 5 hang.
+    let report = explore(&Config::default(), || {
+        let state = Arc::new((Mutex::new(()), Condvar::new(), AtomicBool::new(false)));
+        let s2 = Arc::clone(&state);
+        let waiter = xwq_verify::thread::spawn(move || {
+            let mut guard = s2.0.lock().unwrap();
+            while !s2.2.load(Ordering::Acquire) {
+                guard = s2.1.wait(guard).unwrap();
+            }
+            drop(guard);
+        });
+        state.2.store(true, Ordering::Release);
+        state.1.notify_all();
+        waiter.join().unwrap();
+    });
+    let failure = report.failure.expect("lost notify must be detected");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("lost notify"),
+        "diagnostic should name the condvar wait: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn locked_predicate_flip_is_proved_sound() {
+    // The corrected discipline — flip the predicate while holding the mutex,
+    // notify after release — has no lost-wakeup window; the checker proves it
+    // across every schedule in the bound.
+    let report = explore(&Config::default(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let waiter = xwq_verify::thread::spawn(move || {
+            let mut ready = s2.0.lock().unwrap();
+            while !*ready {
+                ready = s2.1.wait(ready).unwrap();
+            }
+        });
+        {
+            let mut ready = state.0.lock().unwrap();
+            *ready = true;
+        }
+        state.1.notify_all();
+        waiter.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn verified_correct_counter_explores_clean() {
+    let report = explore(&Config::default(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let t = xwq_verify::thread::spawn(move || {
+            *n2.lock().unwrap() += 1;
+        });
+        *n.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(report.complete, "tree must be exhausted");
+    assert!(report.failure.is_none());
+    assert!(
+        report.schedules > 1,
+        "mutex acquisition order must actually branch"
+    );
+}
+
+#[test]
+fn passthrough_outside_model_execution() {
+    // The shims behave as plain std primitives when no scheduler is active —
+    // this is what keeps ordinary unit tests working under --cfg model.
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let n = AtomicUsize::new(0);
+    n.fetch_add(2, Ordering::SeqCst);
+    assert_eq!(n.load(Ordering::SeqCst), 2);
+
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let t = xwq_verify::thread::spawn(move || {
+        let mut ready = p2.0.lock().unwrap();
+        *ready = true;
+        p2.1.notify_all();
+    });
+    let mut ready = pair.0.lock().unwrap();
+    while !*ready {
+        ready = pair.1.wait(ready).unwrap();
+    }
+    drop(ready);
+    t.join().unwrap();
+}
+
+#[test]
+fn wait_deadline_passthrough_times_out() {
+    use std::time::{Duration, Instant};
+    let m = Mutex::new(());
+    let cv = Condvar::new();
+    let guard = m.lock().unwrap();
+    let start = Instant::now();
+    let (_guard, timed_out) =
+        xwq_verify::sync::wait_deadline(&cv, guard, Instant::now() + Duration::from_millis(20));
+    assert!(timed_out);
+    assert!(start.elapsed() >= Duration::from_millis(15));
+}

@@ -4,6 +4,8 @@
 //! single `xwq::` namespace. See the README for a tour and `xwq_core::Engine`
 //! for the main entry point.
 
+pub mod lint;
+
 pub use xwq_automata as automata;
 pub use xwq_baseline as baseline;
 pub use xwq_core as core;

@@ -47,6 +47,7 @@ usage:
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap]
   xwq bench-diff <old.json> <new.json> [--threshold <pct>] [--p99-threshold <pct>]
+  xwq lint [--root <dir>]
   xwq '<xpath>' <file.xml> [options]
   xwq --help | --version
 
@@ -93,7 +94,12 @@ subcommands:
               batch scaling vs a measured serial baseline) to BENCH_eval.json
   bench-diff  compare two BENCH_eval.json runs; exit non-zero when any
               strategy's ns/query regressed by more than the threshold [15%]
-              or its p99 ns regressed beyond --p99-threshold [40%]";
+              or its p99 ns regressed beyond --p99-threshold [40%]
+  lint        token-level hygiene pass over the workspace sources: unsafe
+              only in whitelisted modules and always under a SAFETY
+              comment, no static mut, no wildcard Ordering imports,
+              explicit Ordering on every atomic op; exits non-zero with
+              file:line diagnostics on any violation (the CI gate)";
 
 fn usage_error(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -158,6 +164,7 @@ fn main() -> ExitCode {
         Some("xmark") => cmd_xmark(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         // Legacy one-shot form: xwq '<xpath>' <file.xml> [options].
         Some(_) => cmd_query(&args),
     }
@@ -1679,6 +1686,43 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 /// Exits non-zero when any strategy's `ns_per_query` in `new` regressed by
 /// more than the threshold (percent, default 15) against `old` — the CI
 /// gate that closes the perf-regression loop on `BENCH_eval.json`.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => return usage_error("--root needs a directory"),
+                }
+            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            p => return usage_error(&format!("lint takes no positional argument ({p})")),
+        }
+        i += 1;
+    }
+    let report = match xwq::lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{}: {e}", root.display())),
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.clean() {
+        eprintln!("xwq lint: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xwq lint: {} violation(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_bench_diff(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut threshold_pct = 15.0f64;
