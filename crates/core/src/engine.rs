@@ -1,10 +1,13 @@
 //! The public engine API.
 
+use crate::bytecode::{compile_plan, ProgKind, Program};
 use crate::compile::{compile_path_indexed, CompileError};
 use crate::eval::{EvalMemo, EvalScratch, EvalStats, Evaluator};
 use crate::plan::{Plan, PlanKind};
-use crate::{exec, planner, Asta};
+use crate::planner::{CostModel, Feedback};
+use crate::{exec, planner, vm, Asta};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use xwq_index::{Document, NodeId, TopologyKind, TreeIndex};
@@ -199,13 +202,68 @@ impl CompiledQuery {
 /// (threads beyond it simply build and drop a fresh memo).
 const MEMO_POOL_CAP: usize = 2;
 
+/// A compiled-program slot, tagged with the owning document's identity.
+type ProgSlot = Mutex<Option<(u64, Arc<ProgramCell>)>>;
+
 /// The per-`(document, query)` caches living inside a [`CompiledQuery`].
 #[derive(Debug, Default)]
 struct QueryCache {
     /// One plan slot per strategy, tagged with the document identity.
     plans: [OnceLock<(u64, Arc<Plan>)>; 7],
+    /// One compiled-program slot per strategy, tagged with the document
+    /// identity. A `Mutex`, not a `OnceLock`: the slot is *replaced* when
+    /// feedback triggers a re-plan or a warm `.xwqp` program is installed.
+    progs: [ProgSlot; 7],
     /// Pooled automaton memo tables, tagged with the document identity.
     pool: Mutex<Vec<(u64, EvalMemo)>>,
+}
+
+/// A cached compiled program plus its execution feedback: cumulative
+/// actual visits and run count, compared against the program's estimate to
+/// decide whether the planner should take another look (see
+/// [`Engine::set_replan_factor`]).
+#[derive(Debug)]
+pub struct ProgramCell {
+    /// The compiled, validated program.
+    pub program: Program,
+    actual_visits: AtomicU64,
+    runs: AtomicU64,
+    replan_attempted: AtomicBool,
+}
+
+impl ProgramCell {
+    fn new(program: Program) -> Self {
+        Self {
+            program,
+            actual_visits: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            replan_attempted: AtomicBool::new(false),
+        }
+    }
+
+    /// How many times this program has executed.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed visits per run, if it has run at all.
+    pub fn avg_actual_visits(&self) -> Option<f64> {
+        let runs = self.runs();
+        (runs > 0).then(|| self.actual_visits.load(Ordering::Relaxed) as f64 / runs as f64)
+    }
+}
+
+/// Plan-provenance counters for one [`Engine`] (how programs came to be:
+/// planned cold, installed warm from a `.xwqp` sidecar, or re-planned
+/// after visit-estimate feedback).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Programs derived by running the planner in this process.
+    pub planned: u64,
+    /// Programs installed from a persisted sidecar, skipping the planner.
+    pub installed: u64,
+    /// Programs replaced after actual-vs-estimated visit feedback.
+    pub replans: u64,
 }
 
 impl QueryCache {
@@ -245,36 +303,91 @@ pub struct QueryOutput {
     /// True if [`Strategy::Hybrid`] was requested but the query shape made
     /// the engine fall back to the optimized automaton run.
     pub hybrid_fallback: bool,
+    /// Nanoseconds spent in the VM dispatch loop (0 for automaton/empty
+    /// programs and the tree-executor oracle path).
+    pub vm_dispatch_ns: u64,
+    /// True if this run's visit feedback just triggered a re-plan (the
+    /// *next* run uses the replacement program).
+    pub replanned: bool,
 }
+
+/// The default re-plan trigger: re-plan when a program's observed visits
+/// exceed its estimate by more than this factor.
+pub const DEFAULT_REPLAN_FACTOR: f64 = 4.0;
+
+/// Programs observing fewer visits than this never trigger a re-plan —
+/// on tiny inputs the constant terms dominate and ratios are noise.
+const REPLAN_MIN_VISITS: f64 = 16.0;
 
 /// The XPath engine over one indexed document.
 pub struct Engine {
     ix: TreeIndex,
+    model: CostModel,
+    replan_factor: f64,
+    planned: AtomicU64,
+    installed: AtomicU64,
+    replans: AtomicU64,
 }
 
 impl Engine {
+    fn with_index(ix: TreeIndex) -> Self {
+        Self {
+            ix,
+            model: CostModel::default(),
+            replan_factor: DEFAULT_REPLAN_FACTOR,
+            planned: AtomicU64::new(0),
+            installed: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+        }
+    }
+
     /// Indexes `doc` with the default (array) topology.
     pub fn build(doc: &Document) -> Self {
-        Self {
-            ix: TreeIndex::build(doc),
-        }
+        Self::with_index(TreeIndex::build(doc))
     }
 
     /// Indexes `doc` with an explicit topology backend.
     pub fn build_with(doc: &Document, kind: TopologyKind) -> Self {
-        Self {
-            ix: TreeIndex::build_with(doc, kind),
-        }
+        Self::with_index(TreeIndex::build_with(doc, kind))
     }
 
     /// Wraps an existing index.
     pub fn from_index(ix: TreeIndex) -> Self {
-        Self { ix }
+        Self::with_index(ix)
     }
 
     /// The underlying index.
     pub fn index(&self) -> &TreeIndex {
         &self.ix
+    }
+
+    /// The planner's cost constants (defaults, unless calibrated ones were
+    /// set).
+    pub fn cost_model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Replaces the planner's cost constants (e.g. with calibrated values
+    /// from `xwq bench --calibrate`). Affects plans derived afterwards;
+    /// already-cached plans and programs are kept.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.model = model;
+    }
+
+    /// Sets the actual-vs-estimated visit factor beyond which an `Auto`
+    /// program is re-planned (default [`DEFAULT_REPLAN_FACTOR`]).
+    pub fn set_replan_factor(&mut self, factor: f64) {
+        self.replan_factor = factor.max(1.0);
+    }
+
+    /// Plan-provenance counters: how many programs this engine planned
+    /// cold, installed warm, and re-planned on feedback.
+    pub fn plan_counters(&self) -> PlanCounters {
+        PlanCounters {
+            planned: self.planned.load(Ordering::Relaxed),
+            installed: self.installed.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+        }
     }
 
     /// Parses and compiles a query against this document's alphabet.
@@ -302,14 +415,97 @@ impl Engine {
             }
             // Compiled against one document, run against another: plan
             // fresh without caching (the slot stays owned by the first).
-            return Arc::new(planner::plan_strategy(strategy, &q.path, &self.ix));
+            return Arc::new(planner::plan_strategy_with(
+                strategy,
+                &q.path,
+                &self.ix,
+                &self.model,
+            ));
         }
-        let plan = Arc::new(planner::plan_strategy(strategy, &q.path, &self.ix));
+        let plan = Arc::new(planner::plan_strategy_with(
+            strategy,
+            &q.path,
+            &self.ix,
+            &self.model,
+        ));
         let _ = slot.set((identity, Arc::clone(&plan)));
         plan
     }
 
-    /// Evaluates a compiled query under a strategy.
+    /// The compiled bytecode program `strategy` uses for `q` on this
+    /// document, cached on the compiled query (planning and lowering on
+    /// first use). This is what [`Self::run`] executes.
+    pub fn program(&self, q: &CompiledQuery, strategy: Strategy) -> Arc<ProgramCell> {
+        let identity = self.ix.identity();
+        let slot = &q.cache.progs[strategy.idx()];
+        {
+            let guard = slot.lock().expect("program slot poisoned");
+            if let Some((tag, cell)) = guard.as_ref() {
+                if *tag == identity {
+                    return Arc::clone(cell);
+                }
+                // Foreign-document slot: compile fresh without caching
+                // (mirrors the plan cache's ownership rule).
+                drop(guard);
+                let plan = self.plan(q, strategy);
+                self.planned.fetch_add(1, Ordering::Relaxed);
+                return Arc::new(ProgramCell::new(compile_plan(&plan)));
+            }
+        }
+        // Plan and lower outside the lock.
+        let plan = self.plan(q, strategy);
+        let cell = Arc::new(ProgramCell::new(compile_plan(&plan)));
+        self.planned.fetch_add(1, Ordering::Relaxed);
+        let mut guard = slot.lock().expect("program slot poisoned");
+        match guard.as_ref() {
+            Some((tag, existing)) if *tag == identity => Arc::clone(existing),
+            _ => {
+                *guard = Some((identity, Arc::clone(&cell)));
+                cell
+            }
+        }
+    }
+
+    /// The cached program for `(q, strategy)` on this document, if one
+    /// exists — without planning.
+    pub fn cached_program(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+    ) -> Option<Arc<ProgramCell>> {
+        let identity = self.ix.identity();
+        let guard = q.cache.progs[strategy.idx()]
+            .lock()
+            .expect("program slot poisoned");
+        guard
+            .as_ref()
+            .filter(|(tag, _)| *tag == identity)
+            .map(|(_, cell)| Arc::clone(cell))
+    }
+
+    /// Installs a deserialized program (e.g. from a `.xwqp` sidecar) as
+    /// the cached program for `(q, strategy)`, skipping the planner.
+    /// Returns `false` — leaving the cache untouched — if the program does
+    /// not validate against this index or a program is already cached; a
+    /// rejected install silently falls back to cold planning on first run.
+    pub fn install_program(&self, q: &CompiledQuery, strategy: Strategy, program: Program) -> bool {
+        if program.validate(&self.ix).is_err() {
+            return false;
+        }
+        let identity = self.ix.identity();
+        let mut guard = q.cache.progs[strategy.idx()]
+            .lock()
+            .expect("program slot poisoned");
+        if guard.as_ref().is_some_and(|(tag, _)| *tag == identity) {
+            return false;
+        }
+        *guard = Some((identity, Arc::new(ProgramCell::new(program))));
+        self.installed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Evaluates a compiled query under a strategy (through the bytecode
+    /// VM — see [`Self::run_plan`] for the tree-executor oracle).
     pub fn run(&self, q: &CompiledQuery, strategy: Strategy) -> QueryOutput {
         self.run_with_scratch(q, strategy, &mut EvalScratch::new())
     }
@@ -318,17 +514,23 @@ impl Engine {
     /// A thread serving many queries over the same (or similar) documents
     /// keeps one scratch and avoids re-allocating the document-sized
     /// visited set per query.
+    ///
+    /// This is the default execution path: the cached bytecode program
+    /// runs in the register VM, actual-vs-estimated visits are recorded,
+    /// and (for [`Strategy::Auto`]) a large enough miss re-plans the query
+    /// for subsequent runs.
     pub fn run_with_scratch(
         &self,
         q: &CompiledQuery,
         strategy: Strategy,
         scratch: &mut EvalScratch,
     ) -> QueryOutput {
-        let plan = self.plan(q, strategy);
-        self.run_plan(q, &plan, strategy, scratch)
+        self.run_program_traced(q, strategy, scratch, None)
     }
 
-    /// Executes a plan obtained from [`Self::plan`] for the same query.
+    /// Executes a plan obtained from [`Self::plan`] for the same query in
+    /// the *tree executor* — the differential-testing oracle for the VM.
+    /// No program cache, feedback, or re-planning is involved.
     pub fn run_plan(
         &self,
         q: &CompiledQuery,
@@ -340,8 +542,9 @@ impl Engine {
     }
 
     /// Evaluates a compiled query and records a per-operator span tree:
-    /// one child span per plan op (the same names `explain` prints), each
-    /// carrying estimated-vs-actual counters and wall-clock nanoseconds.
+    /// one child span per program op (the same names `explain` prints),
+    /// each carrying estimated-vs-actual counters and wall-clock
+    /// nanoseconds.
     ///
     /// The trace's *text rendering without timings* is deterministic for a
     /// warm run — see [`TraceNode::render_text`].
@@ -351,19 +554,167 @@ impl Engine {
         strategy: Strategy,
         scratch: &mut EvalScratch,
     ) -> (QueryOutput, TraceNode) {
-        let plan = self.plan(q, strategy);
         let mut root = TraceNode::new("Query", format!("strategy={}", strategy.token()));
         let start = Instant::now();
-        let out = self.run_plan_traced(q, &plan, strategy, scratch, Some(&mut root));
+        let (out, est) = self.run_program_inner(q, strategy, scratch, Some(&mut root));
         root.ns = start.elapsed().as_nanos() as u64;
-        root.attr("est_cost", format!("{:.0}", plan.est.cost));
-        root.attr("est_visits", format!("{:.0}", plan.est.visits));
+        root.attr("est_cost", format!("{:.0}", est.0));
+        root.attr("est_visits", format!("{:.0}", est.1));
         root.attr("visited", out.stats.visited);
         root.attr("jumps", out.stats.jumps);
         root.attr("memo_hits", out.stats.memo_hits);
         root.attr("memo_misses", out.stats.memo_misses);
         root.attr("selected", out.stats.selected);
         (out, root)
+    }
+
+    fn run_program_traced(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+        trace: Option<&mut TraceNode>,
+    ) -> QueryOutput {
+        self.run_program_inner(q, strategy, scratch, trace).0
+    }
+
+    /// The program execution path. Also returns the program's
+    /// `(est_cost, est_visits)` so tracing can annotate the root span.
+    fn run_program_inner(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+        scratch: &mut EvalScratch,
+        mut trace: Option<&mut TraceNode>,
+    ) -> (QueryOutput, (f64, f64)) {
+        let cell = self.program(q, strategy);
+        let est = (cell.program.est.cost, cell.program.est.visits);
+        let mut out = match &cell.program.kind {
+            ProgKind::Empty => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.child(TraceNode::new(
+                        "Empty",
+                        "a queried label does not occur in this document",
+                    ));
+                }
+                QueryOutput {
+                    nodes: Vec::new(),
+                    stats: EvalStats::default(),
+                    hybrid_fallback: false,
+                    vm_dispatch_ns: 0,
+                    replanned: false,
+                }
+            }
+            ProgKind::Automaton(opts) => {
+                let stats_out =
+                    self.run_automaton(q, *opts, cell.program.est.visits, scratch, trace);
+                QueryOutput {
+                    hybrid_fallback: strategy == Strategy::Hybrid,
+                    ..stats_out
+                }
+            }
+            ProgKind::Spine(sp) => {
+                let run = vm::run_program_traced(sp, &self.ix, scratch, trace);
+                QueryOutput {
+                    nodes: run.nodes,
+                    stats: run.stats,
+                    hybrid_fallback: false,
+                    vm_dispatch_ns: run.dispatch_ns,
+                    replanned: false,
+                }
+            }
+        };
+        if !matches!(cell.program.kind, ProgKind::Empty) {
+            cell.actual_visits
+                .fetch_add(out.stats.visited, Ordering::Relaxed);
+            cell.runs.fetch_add(1, Ordering::Relaxed);
+            if strategy == Strategy::Auto {
+                out.replanned = self.maybe_replan(q, &cell, &out);
+            }
+        }
+        (out, est)
+    }
+
+    /// Re-plans an `Auto` program whose observed visits exceeded its
+    /// estimate by more than the configured factor. At most one re-plan
+    /// per cached program (the replacement never re-plans itself), so a
+    /// query settles after a single correction instead of oscillating.
+    fn maybe_replan(&self, q: &CompiledQuery, cell: &Arc<ProgramCell>, out: &QueryOutput) -> bool {
+        let actual = out.stats.visited as f64;
+        if actual < REPLAN_MIN_VISITS {
+            return false;
+        }
+        let factor = actual / cell.program.est.visits.max(1.0);
+        if factor <= self.replan_factor {
+            return false;
+        }
+        if cell.replan_attempted.swap(true, Ordering::Relaxed) {
+            return false;
+        }
+        let prev_pivot = match &cell.program.kind {
+            ProgKind::Spine(sp) => Some(sp.pivot as usize),
+            _ => None,
+        };
+        let plan = planner::plan_auto_with(
+            &q.path,
+            &self.ix,
+            &self.model,
+            Some(Feedback { prev_pivot, factor }),
+        );
+        let replacement = ProgramCell::new(compile_plan(&plan));
+        replacement.replan_attempted.store(true, Ordering::Relaxed);
+        let identity = self.ix.identity();
+        let mut guard = q.cache.progs[Strategy::Auto.idx()]
+            .lock()
+            .expect("program slot poisoned");
+        match guard.as_ref() {
+            // Only swap the slot we actually ran from (a concurrent
+            // install/re-plan wins, and foreign-document cells stay put).
+            Some((tag, current)) if *tag == identity && Arc::ptr_eq(current, cell) => {
+                *guard = Some((identity, Arc::new(replacement)));
+                self.replans.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// One automaton run with the pooled memo tables.
+    fn run_automaton(
+        &self,
+        q: &CompiledQuery,
+        opts: crate::eval::EvalOptions,
+        est_visits: f64,
+        scratch: &mut EvalScratch,
+        trace: Option<&mut TraceNode>,
+    ) -> QueryOutput {
+        let start = Instant::now();
+        let identity = self.ix.identity();
+        let memo = q.cache.take_memo(identity, &q.asta);
+        let mut ev = Evaluator::with_memo(&q.asta, &self.ix, opts, memo);
+        let nodes = ev.run_with_scratch(scratch);
+        let stats = ev.stats;
+        q.cache.put_memo(identity, ev.into_memo());
+        if let Some(t) = trace {
+            let node = t.child(TraceNode::new(
+                "AutomatonRun",
+                format!(
+                    "pruning={} jumping={} memo={} info_prop={}",
+                    opts.pruning, opts.jumping, opts.memo, opts.info_prop
+                ),
+            ));
+            node.ns = start.elapsed().as_nanos() as u64;
+            node.attr("est_visits", format!("{est_visits:.0}"));
+            node.attr("visited", stats.visited);
+            node.attr("jumps", stats.jumps);
+        }
+        QueryOutput {
+            nodes,
+            stats,
+            hybrid_fallback: false,
+            vm_dispatch_ns: 0,
+            replanned: false,
+        }
     }
 
     fn run_plan_traced(
@@ -386,6 +737,8 @@ impl Engine {
                     nodes: Vec::new(),
                     stats: EvalStats::default(),
                     hybrid_fallback: false,
+                    vm_dispatch_ns: 0,
+                    replanned: false,
                 }
             }
             PlanKind::Spine(sp) => {
@@ -394,33 +747,15 @@ impl Engine {
                     nodes,
                     stats,
                     hybrid_fallback: false,
+                    vm_dispatch_ns: 0,
+                    replanned: false,
                 }
             }
             PlanKind::Automaton(opts) => {
-                let start = Instant::now();
-                let identity = self.ix.identity();
-                let memo = q.cache.take_memo(identity, &q.asta);
-                let mut ev = Evaluator::with_memo(&q.asta, &self.ix, *opts, memo);
-                let nodes = ev.run_with_scratch(scratch);
-                let stats = ev.stats;
-                q.cache.put_memo(identity, ev.into_memo());
-                if let Some(t) = trace {
-                    let node = t.child(TraceNode::new(
-                        "AutomatonRun",
-                        format!(
-                            "pruning={} jumping={} memo={} info_prop={}",
-                            opts.pruning, opts.jumping, opts.memo, opts.info_prop
-                        ),
-                    ));
-                    node.ns = start.elapsed().as_nanos() as u64;
-                    node.attr("est_visits", format!("{:.0}", plan.est.visits));
-                    node.attr("visited", stats.visited);
-                    node.attr("jumps", stats.jumps);
-                }
+                let out = self.run_automaton(q, *opts, plan.est.visits, scratch, trace);
                 QueryOutput {
-                    nodes,
-                    stats,
                     hybrid_fallback: strategy == Strategy::Hybrid,
+                    ..out
                 }
             }
         }

@@ -35,22 +35,28 @@ use xwq_xpath::{Axis, NodeTest, Pred, Step};
 /// candidate buffers all keep their capacity across runs.
 #[derive(Debug, Default)]
 pub(crate) struct SpineScratch {
-    seen: StateBits,
+    pub(crate) seen: StateBits,
     /// `(prefix length, node) → does the spine prefix match above node`.
-    up_memo: FxHashMap<(u32, NodeId), bool>,
+    pub(crate) up_memo: FxHashMap<(u32, NodeId), bool>,
     /// `(walk-predicate id, node) → does the predicate hold`.
-    pred_memo: FxHashMap<(u32, NodeId), bool>,
+    pub(crate) pred_memo: FxHashMap<(u32, NodeId), bool>,
     cur: Vec<NodeId>,
     next: Vec<NodeId>,
+    /// Candidate-set register file for the bytecode VM; the vectors keep
+    /// their capacity across runs.
+    pub(crate) regs: Vec<Vec<NodeId>>,
 }
 
 impl SpineScratch {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.seen.clear();
         self.up_memo.clear();
         self.pred_memo.clear();
         self.cur.clear();
         self.next.clear();
+        for r in &mut self.regs {
+            r.clear();
+        }
     }
 }
 
@@ -317,7 +323,7 @@ impl<'a> SpineExec<'a> {
                             return b;
                         }
                     }
-                    let b = self.walk_pred(pred, u);
+                    let b = self.walk_ctx().walk_pred(pred, u);
                     if self.use_memo {
                         self.s.pred_memo.insert(key, b);
                     }
@@ -401,21 +407,7 @@ impl<'a> SpineExec<'a> {
             Probe::Not(a) => !self.probe_holds(a, c),
             Probe::Const(b) => *b,
             Probe::TextEq(None) => false,
-            Probe::TextEq(Some(id)) => {
-                // Text-child search, exactly like the compiled automaton's
-                // general case: a **text** child carrying this content id.
-                // Attribute children also have content ids but `[text()=…]`
-                // never matches them, and a self-content context (a text
-                // or attribute node — no children) simply has no match.
-                let list = self.ix.text_list(*id);
-                let end = self.ix.subtree_end(c);
-                let want = self.ix.depth(c) + 1;
-                let from = list.partition_point(|&u| u <= c);
-                self.stats.jumps += 1;
-                list[from..].iter().take_while(|&&u| u < end).any(|&u| {
-                    self.ix.depth(u) == want && self.ix.kind(u) == xwq_xml::LabelKind::Text
-                })
-            }
+            Probe::TextEq(Some(id)) => self.walk_ctx().probe_text_eq(*id, c),
             // The compiler's self-content special case: a direct text
             // predicate on an attribute-axis or text() step filters the
             // node's own content.
@@ -425,11 +417,62 @@ impl<'a> SpineExec<'a> {
             Probe::SelfTextContains(lit) => {
                 self.ix.text_of(c).is_some_and(|t| t.contains(lit.as_str()))
             }
-            Probe::Chain(steps) => self.chain_exists(steps, c),
+            Probe::Chain(steps) => self.walk_ctx().chain_exists(steps, c),
         }
     }
 
-    fn chain_exists(&mut self, steps: &[crate::plan::ProbeStep], c: NodeId) -> bool {
+    /// The shared walk/probe context, borrowing this executor's counters
+    /// and visited set. The bytecode VM builds the same context over its
+    /// own state, so both execution paths run literally the same
+    /// predicate-walk code.
+    fn walk_ctx(&mut self) -> WalkCtx<'_> {
+        WalkCtx {
+            ix: self.ix,
+            stats: &mut self.stats,
+            seen: &mut self.s.seen,
+        }
+    }
+}
+
+/// The general tree-walking predicate evaluator plus the index-probe
+/// helpers whose semantics must match it exactly. Shared between the tree
+/// executor (the differential-testing oracle) and the bytecode VM: both
+/// borrow their counters and visited set into one of these, so the two
+/// paths cannot drift apart.
+pub(crate) struct WalkCtx<'a> {
+    pub(crate) ix: &'a TreeIndex,
+    pub(crate) stats: &'a mut EvalStats,
+    pub(crate) seen: &'a mut StateBits,
+}
+
+impl WalkCtx<'_> {
+    /// Counts `v` as visited once.
+    #[inline]
+    fn mark_visited(&mut self, v: NodeId) {
+        if self.seen.insert_check(v) {
+            self.stats.visited += 1;
+        }
+    }
+
+    /// `Probe::TextEq` semantics: a **text** child of `c` carrying the
+    /// interned content `id`. Attribute children also have content ids
+    /// but `[text()=…]` never matches them, and a self-content context (a
+    /// text or attribute node — no children) simply has no match.
+    pub(crate) fn probe_text_eq(&mut self, id: u32, c: NodeId) -> bool {
+        let list = self.ix.text_list(id);
+        let end = self.ix.subtree_end(c);
+        let want = self.ix.depth(c) + 1;
+        let from = list.partition_point(|&u| u <= c);
+        self.stats.jumps += 1;
+        list[from..]
+            .iter()
+            .take_while(|&&u| u < end)
+            .any(|&u| self.ix.depth(u) == want && self.ix.kind(u) == xwq_xml::LabelKind::Text)
+    }
+
+    /// `Probe::Chain` semantics: each step searched in the context's
+    /// subtree range, child-like steps additionally depth-constrained.
+    pub(crate) fn chain_exists(&mut self, steps: &[crate::plan::ProbeStep], c: NodeId) -> bool {
         let ix = self.ix;
         let st = steps[0];
         let rest = &steps[1..];
@@ -458,7 +501,7 @@ impl<'a> SpineExec<'a> {
     // memoized per (predicate, node) by the caller.
     // ------------------------------------------------------------------
 
-    fn walk_pred(&mut self, p: &Pred, u: NodeId) -> bool {
+    pub(crate) fn walk_pred(&mut self, p: &Pred, u: NodeId) -> bool {
         match p {
             Pred::And(a, b) => self.walk_pred(a, u) && self.walk_pred(b, u),
             Pred::Or(a, b) => self.walk_pred(a, u) || self.walk_pred(b, u),

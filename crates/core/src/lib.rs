@@ -19,6 +19,7 @@
 
 mod asta;
 mod bits;
+pub mod bytecode;
 mod cache;
 mod compile;
 mod engine;
@@ -29,11 +30,17 @@ pub mod planner;
 mod results;
 mod sets;
 mod tda;
+mod vm;
 
 pub use asta::{Asta, AstaTransition, Formula, StateId};
 pub use bits::StateBits;
+pub use bytecode::{compile_plan, BytecodeError, ProgKind, Program, BYTECODE_VERSION};
+pub use engine::{
+    CompiledQuery, Engine, ParseStrategyError, PlanCounters, ProgramCell, QueryError, QueryOutput,
+    Strategy, DEFAULT_REPLAN_FACTOR,
+};
+
 pub use compile::{compile_path, compile_path_indexed, CompileError};
-pub use engine::{CompiledQuery, Engine, ParseStrategyError, QueryError, QueryOutput, Strategy};
 pub use eval::{EvalMemo, EvalOptions, EvalScratch, EvalStats, Evaluator};
 pub use plan::{
     CostEstimate, Descend, Plan, PlanKind, PlanOpLine, PredPlan, Probe, ProbeStep, SpinePlan,

@@ -33,6 +33,43 @@ pub const AUTOMATON_VISIT: f64 = 8.0;
 /// Fixed overhead charged to an automaton run (setup of the tda tables).
 const AUTOMATON_SETUP: f64 = 32.0;
 
+/// The planner's tunable cost constants. The defaults are the compiled-in
+/// estimates; `xwq bench --calibrate` measures them per deployment (ratio
+/// of automaton to spine per-visit cost on this machine/document mix) and
+/// persists the result next to the compiled programs, so warm restarts
+/// plan with measured constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of one automaton node visit, in spine-visit units.
+    pub automaton_visit: f64,
+    /// Fixed overhead charged to an automaton run.
+    pub automaton_setup: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            automaton_visit: AUTOMATON_VISIT,
+            automaton_setup: AUTOMATON_SETUP,
+        }
+    }
+}
+
+/// Observed-visits feedback from a previous execution of the same query,
+/// used to re-plan when the estimate was off: the previously chosen
+/// alternative's estimate is scaled by the observed factor before
+/// re-ranking, which can genuinely flip the spine/automaton (or pivot)
+/// choice instead of re-deriving the identical plan.
+#[derive(Clone, Copy, Debug)]
+pub struct Feedback {
+    /// The pivot step of the previously chosen spine plan, or `None` if
+    /// the automaton was chosen.
+    pub prev_pivot: Option<usize>,
+    /// `observed visits / estimated visits` of the previous run (> 1 when
+    /// the plan under-estimated).
+    pub factor: f64,
+}
+
 /// Cost of one label-list binary search.
 fn probe_cost(list_len: usize) -> f64 {
     ((list_len + 2) as f64).log2()
@@ -42,28 +79,52 @@ fn probe_cost(list_len: usize) -> f64 {
 /// fixed templates; `Hybrid` is the spine template with the legacy pivot
 /// rule; `Auto` is the cost-based choice.
 pub fn plan_strategy(strategy: Strategy, path: &Path, ix: &TreeIndex) -> Plan {
+    plan_strategy_with(strategy, path, ix, &CostModel::default())
+}
+
+/// [`plan_strategy`] with explicit (e.g. calibrated) cost constants.
+pub fn plan_strategy_with(
+    strategy: Strategy,
+    path: &Path,
+    ix: &TreeIndex,
+    model: &CostModel,
+) -> Plan {
     let sigma = ix.alphabet().len();
     match strategy {
-        Strategy::Naive => automaton(EvalOptions::naive(), ix, "strategy template: naive"),
-        Strategy::Pruning => automaton(EvalOptions::pruning(), ix, "strategy template: pruning"),
+        Strategy::Naive => automaton(EvalOptions::naive(), ix, model, "strategy template: naive"),
+        Strategy::Pruning => automaton(
+            EvalOptions::pruning(),
+            ix,
+            model,
+            "strategy template: pruning",
+        ),
         Strategy::Jumping => automaton(
             EvalOptions::jumping(sigma),
             ix,
+            model,
             "strategy template: jumping",
         ),
-        Strategy::Memoized => automaton(EvalOptions::memoized(), ix, "strategy template: memo"),
-        Strategy::Optimized => {
-            automaton(EvalOptions::optimized(sigma), ix, "strategy template: opt")
-        }
-        Strategy::Hybrid => plan_hybrid(path, ix),
-        Strategy::Auto => plan_auto(path, ix),
+        Strategy::Memoized => automaton(
+            EvalOptions::memoized(),
+            ix,
+            model,
+            "strategy template: memo",
+        ),
+        Strategy::Optimized => automaton(
+            EvalOptions::optimized(sigma),
+            ix,
+            model,
+            "strategy template: opt",
+        ),
+        Strategy::Hybrid => plan_hybrid_with(path, ix, model),
+        Strategy::Auto => plan_auto_with(path, ix, model, None),
     }
 }
 
-fn automaton(opts: EvalOptions, ix: &TreeIndex, reason: &str) -> Plan {
+fn automaton(opts: EvalOptions, ix: &TreeIndex, model: &CostModel, reason: &str) -> Plan {
     Plan {
         est: CostEstimate {
-            cost: ix.len() as f64 * AUTOMATON_VISIT,
+            cost: ix.len() as f64 * model.automaton_visit,
             visits: ix.len() as f64,
         },
         kind: PlanKind::Automaton(opts),
@@ -75,12 +136,17 @@ fn automaton(opts: EvalOptions, ix: &TreeIndex, reason: &str) -> Plan {
 /// rarest named spine label (§4.4), falling back to the optimized
 /// automaton when the shape is outside the spine fragment.
 pub fn plan_hybrid(path: &Path, ix: &TreeIndex) -> Plan {
+    plan_hybrid_with(path, ix, &CostModel::default())
+}
+
+/// [`plan_hybrid`] with explicit cost constants.
+pub fn plan_hybrid_with(path: &Path, ix: &TreeIndex, model: &CostModel) -> Plan {
     let stats = ix.stats();
     match normalize(path, ix) {
         Normalized::Empty => empty_plan("a spine label does not occur in the document"),
         Normalized::Outside(why) => Plan {
             reason: format!("outside the spine fragment ({why}); optimized automaton"),
-            ..automaton(EvalOptions::optimized(ix.alphabet().len()), ix, "")
+            ..automaton(EvalOptions::optimized(ix.alphabet().len()), ix, model, "")
         },
         Normalized::Spine(steps) => {
             let pivot = (0..steps.len())
@@ -92,7 +158,7 @@ pub fn plan_hybrid(path: &Path, ix: &TreeIndex) -> Plan {
             match pivot {
                 None => Plan {
                     reason: "no named spine step to pivot on; optimized automaton".to_string(),
-                    ..automaton(EvalOptions::optimized(ix.alphabet().len()), ix, "")
+                    ..automaton(EvalOptions::optimized(ix.alphabet().len()), ix, model, "")
                 },
                 Some(pivot) => {
                     let est = estimate_pipeline(&steps, pivot, ix, stats);
@@ -108,12 +174,36 @@ pub fn plan_hybrid(path: &Path, ix: &TreeIndex) -> Plan {
 /// The cost-based plan: the cheapest pivot (if the spine fragment applies)
 /// against the estimated automaton run.
 pub fn plan_auto(path: &Path, ix: &TreeIndex) -> Plan {
+    plan_auto_with(path, ix, &CostModel::default(), None)
+}
+
+/// [`plan_auto`] with explicit cost constants and, optionally, observed
+/// feedback from a previous execution (see [`Feedback`]).
+pub fn plan_auto_with(
+    path: &Path,
+    ix: &TreeIndex,
+    model: &CostModel,
+    feedback: Option<Feedback>,
+) -> Plan {
     let stats = ix.stats();
-    let auto_est = estimate_automaton(path, ix, stats);
+    let mut auto_est = estimate_automaton(path, ix, stats, model);
+    if let Some(f) = feedback {
+        if f.prev_pivot.is_none() {
+            auto_est.cost *= f.factor;
+            auto_est.visits *= f.factor;
+        }
+    }
+    let note = match feedback {
+        Some(f) => format!(
+            "; re-planned after observed/estimated visits x{:.1}",
+            f.factor
+        ),
+        None => String::new(),
+    };
     let fallback = |why: String| Plan {
         est: auto_est,
         kind: PlanKind::Automaton(EvalOptions::optimized(ix.alphabet().len())),
-        reason: why,
+        reason: format!("{why}{note}"),
     };
     match normalize(path, ix) {
         Normalized::Empty => empty_plan("a spine label does not occur in the document"),
@@ -121,7 +211,16 @@ pub fn plan_auto(path: &Path, ix: &TreeIndex) -> Plan {
         Normalized::Spine(steps) => {
             let best = (0..steps.len())
                 .filter(|&i| matches!(steps[i].test, SpineTest::Label(_)))
-                .map(|i| (i, estimate_pipeline(&steps, i, ix, stats)))
+                .map(|i| {
+                    let mut est = estimate_pipeline(&steps, i, ix, stats);
+                    if let Some(f) = feedback {
+                        if f.prev_pivot == Some(i) {
+                            est.cost *= f.factor;
+                            est.visits *= f.factor;
+                        }
+                    }
+                    (i, est)
+                })
                 .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost));
             match best {
                 None => fallback("no named spine step to pivot on".to_string()),
@@ -131,7 +230,7 @@ pub fn plan_auto(path: &Path, ix: &TreeIndex) -> Plan {
                 )),
                 Some((pivot, est)) => {
                     let reason = format!(
-                        "cost-based pivot on step {} (spine {:.0} vs automaton {:.0})",
+                        "cost-based pivot on step {} (spine {:.0} vs automaton {:.0}){note}",
                         pivot + 1,
                         est.cost,
                         auto_est.cost
@@ -334,7 +433,12 @@ fn pred_cost(p: &PredPlan, ctx_subtree: f64, ix: &TreeIndex) -> f64 {
 /// Estimates a full automaton run: jumping visits roughly the occurrences
 /// of the query's named labels; wildcard-only queries cannot jump and
 /// visit everything.
-fn estimate_automaton(path: &Path, ix: &TreeIndex, stats: &IndexStats) -> CostEstimate {
+fn estimate_automaton(
+    path: &Path,
+    ix: &TreeIndex,
+    stats: &IndexStats,
+    model: &CostModel,
+) -> CostEstimate {
     let n = stats.nodes as f64;
     let mut labels: Vec<u32> = Vec::new();
     collect_path_labels(path, ix, &mut labels);
@@ -350,7 +454,7 @@ fn estimate_automaton(path: &Path, ix: &TreeIndex, stats: &IndexStats) -> CostEs
         (sum + 32.0).min(n)
     };
     CostEstimate {
-        cost: visits * AUTOMATON_VISIT + AUTOMATON_SETUP,
+        cost: visits * model.automaton_visit + model.automaton_setup,
         visits,
     }
 }

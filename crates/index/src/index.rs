@@ -131,6 +131,11 @@ pub struct TreeIndex {
     text_lists: Vec<Vec<NodeId>>,
     /// Lazily computed planner statistics, shared across clones.
     stats: Arc<OnceLock<IndexStats>>,
+    /// Per-label prefix maxima of subtree ends over the preorder lists
+    /// (`pm[l][i] = max(subtree_end(list_l[j]) for j ≤ i)`), built lazily
+    /// on the first ancestor probe and shared across clones. One extra
+    /// `u32` per node in total.
+    anc_ends: Arc<OnceLock<Vec<Vec<NodeId>>>>,
     /// Process-unique identity, shared by clones (see [`Self::identity`]).
     uid: u64,
 }
@@ -181,6 +186,7 @@ impl TreeIndex {
             text_ids: text_ids.into(),
             text_lists,
             stats: Arc::new(OnceLock::new()),
+            anc_ends: Arc::new(OnceLock::new()),
             uid: NEXT_INDEX_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -266,6 +272,7 @@ impl TreeIndex {
             text_ids,
             text_lists,
             stats: Arc::new(OnceLock::new()),
+            anc_ends: Arc::new(OnceLock::new()),
             uid: NEXT_INDEX_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
@@ -374,6 +381,64 @@ impl TreeIndex {
     #[inline]
     pub fn label_list(&self, l: LabelId) -> &[NodeId] {
         &self.label_lists[l as usize]
+    }
+
+    fn anc_ends(&self) -> &[Vec<NodeId>] {
+        self.anc_ends.get_or_init(|| {
+            self.label_lists
+                .iter()
+                .map(|list| {
+                    let mut pm = Vec::with_capacity(list.len());
+                    let mut m: NodeId = 0;
+                    for &v in list.iter() {
+                        m = m.max(self.subtree_end(v));
+                        pm.push(m);
+                    }
+                    pm
+                })
+                .collect()
+        })
+    }
+
+    /// Does `v` have a strict ancestor labelled `l`? Two binary searches
+    /// over `l`'s preorder list and its prefix-max subtree-end array: the
+    /// candidates are the entries `u < v`, and since preorder ranges are
+    /// laminar, one of them contains `v` iff the running maximum of their
+    /// subtree ends exceeds `v`.
+    pub fn has_label_ancestor(&self, l: LabelId, v: NodeId) -> bool {
+        let list = &self.label_lists[l as usize];
+        let k = list.partition_point(|&u| u < v);
+        k > 0 && self.anc_ends()[l as usize][k - 1] > v
+    }
+
+    /// The ancestors of `v` labelled `l`, outermost first. Each yielded
+    /// node is found with O(log n) work: the walk starts at the outermost
+    /// containing entry (binary search on the prefix-max array) and skips
+    /// every non-containing same-label subtree with one binary search.
+    /// This is the index primitive behind the VM's `UpwardMatch` lowering
+    /// — deep upward contexts cost O(log n) per candidate instead of a
+    /// parent-chain walk.
+    pub fn label_ancestors(&self, l: LabelId, v: NodeId) -> LabelAncestors<'_> {
+        let list: &[NodeId] = &self.label_lists[l as usize];
+        let pm = &self.anc_ends()[l as usize];
+        let k = list.partition_point(|&u| u < v);
+        // First containing entry: `pm[i] > v ≥ pm[i-1]` means entry `i`
+        // itself ends past `v` (it set the new maximum), and no earlier
+        // entry contains `v`.
+        let pos = pm[..k].partition_point(|&e| e <= v);
+        LabelAncestors {
+            ix: self,
+            list,
+            v,
+            pos,
+            k,
+            probes: 2,
+        }
+    }
+
+    /// The nearest (deepest) strict ancestor of `v` labelled `l`.
+    pub fn nearest_label_ancestor(&self, l: LabelId, v: NodeId) -> Option<NodeId> {
+        self.label_ancestors(l, v).last()
     }
 
     /// Smallest node id in `[lo, hi)` whose label is in `L`, or [`NONE`].
@@ -529,6 +594,51 @@ impl TreeIndex {
     }
 }
 
+/// Iterator over the ancestors of one node carrying one label, outermost
+/// first (see [`TreeIndex::label_ancestors`]). The containing entries of
+/// a preorder list form a nested chain; the iterator walks the chain
+/// inward, skipping each non-containing same-label subtree with one
+/// binary search.
+pub struct LabelAncestors<'a> {
+    ix: &'a TreeIndex,
+    list: &'a [NodeId],
+    v: NodeId,
+    /// Scan position in `list`.
+    pos: usize,
+    /// Exclusive bound: entries `≥ k` start at or after `v`.
+    k: usize,
+    probes: u32,
+}
+
+impl LabelAncestors<'_> {
+    /// Binary searches performed so far (for `jumps` accounting).
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+}
+
+impl Iterator for LabelAncestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.pos < self.k {
+            let u = self.list[self.pos];
+            let end = self.ix.subtree_end(u);
+            if end > self.v {
+                // `u < v < end`: a containing chain member. The next
+                // member, if any, lies strictly inside it.
+                self.pos += 1;
+                return Some(u);
+            }
+            // `u`'s subtree ends before `v`: no entry inside it can
+            // contain `v` either — skip them all.
+            self.pos += self.list[self.pos..self.k].partition_point(|&w| w < end);
+            self.probes += 1;
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +654,50 @@ mod tests {
             ix.alphabet().len(),
             names.iter().map(|n| ix.alphabet().lookup(n).unwrap()),
         )
+    }
+
+    #[test]
+    fn label_ancestor_probes() {
+        let ix = idx();
+        let a = ix.alphabet().lookup("a").unwrap();
+        let b = ix.alphabet().lookup("b").unwrap();
+        let c = ix.alphabet().lookup("c").unwrap();
+        assert!(ix.has_label_ancestor(a, 3));
+        assert!(ix.has_label_ancestor(b, 3));
+        assert!(!ix.has_label_ancestor(c, 3));
+        assert!(!ix.has_label_ancestor(b, 1));
+        assert_eq!(ix.label_ancestors(b, 3).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(ix.nearest_label_ancestor(b, 3), Some(1));
+        assert_eq!(ix.nearest_label_ancestor(c, 5), Some(4));
+        assert_eq!(ix.nearest_label_ancestor(c, 2), None);
+        assert_eq!(ix.label_ancestors(a, 2).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn label_ancestors_match_parent_chain_walk() {
+        let ix = TreeIndex::build(
+            &parse("<a><b><a><b><a><b/><c/></a></b></a></b><a><c><a/></c></a></a>").unwrap(),
+        );
+        for v in 0..ix.len() as NodeId {
+            for l in 0..ix.alphabet().len() as LabelId {
+                let mut expect = Vec::new();
+                let mut p = ix.parent(v);
+                while p != NONE {
+                    if ix.label(p) == l {
+                        expect.push(p);
+                    }
+                    p = ix.parent(p);
+                }
+                expect.reverse();
+                assert_eq!(
+                    ix.label_ancestors(l, v).collect::<Vec<_>>(),
+                    expect,
+                    "label {l} node {v}"
+                );
+                assert_eq!(ix.has_label_ancestor(l, v), !expect.is_empty());
+                assert_eq!(ix.nearest_label_ancestor(l, v), expect.last().copied());
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ mod index;
 mod topology;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use index::{IndexStats, LabelStat, TreeIndex};
+pub use index::{IndexStats, LabelAncestors, LabelStat, TreeIndex};
 pub use topology::{ArrayTopology, SuccinctTopology, Topology, TopologyKind};
 
 pub use xwq_xml::{Alphabet, Document, LabelId, LabelKind, LabelSet, NodeId, NONE};

@@ -418,7 +418,12 @@ impl Corpus {
             let item = item.map_err(CorpusError::Io)?;
             let fname = item.file_name().to_string_lossy().into_owned();
             let orphan = fname.starts_with(".stage.")
-                || (fname.ends_with(".xwqi") && !referenced.contains(&fname));
+                || (fname.ends_with(".xwqi") && !referenced.contains(&fname))
+                // A plan sidecar is only meaningful next to its index;
+                // sweep any whose `.xwqi` is gone or unreferenced.
+                || fname.strip_suffix(".xwqp").is_some_and(|stem| {
+                    !referenced.contains(&format!("{stem}.xwqi"))
+                });
             if orphan {
                 std::fs::remove_file(item.path()).map_err(CorpusError::Io)?;
                 stats.swept_files += 1;
@@ -569,9 +574,19 @@ impl Corpus {
         doc: xwq_xml::Document,
         index: xwq_index::TreeIndex,
     ) -> Result<usize, CorpusError> {
+        self.add_prebuilt_inner(name, doc, index, None)
+    }
+
+    fn add_prebuilt_inner(
+        &self,
+        name: &str,
+        doc: xwq_xml::Document,
+        index: xwq_index::TreeIndex,
+        plans: Option<std::sync::Arc<xwq_store::PlanSet>>,
+    ) -> Result<usize, CorpusError> {
         let nodes = doc.len();
         let shard = self.place(name, nodes)?;
-        match self.shards[shard].insert_prebuilt(name, doc, index) {
+        match self.shards[shard].insert_prebuilt_with_plans(name, doc, index, plans) {
             Ok(_) => Ok(shard),
             Err(e) => {
                 self.unplace(name, shard, nodes);
@@ -595,8 +610,11 @@ impl Corpus {
     /// Memory-maps a `.xwqi` file and places it (the zero-copy load —
     /// what [`Self::open_dir`] uses). Returns its shard.
     pub fn add_mmap(&self, name: &str, path: impl AsRef<Path>) -> Result<usize, CorpusError> {
+        // A validated `.xwqp` sidecar rides along onto whatever shard the
+        // document lands on, so per-shard sessions start warm too.
+        let plans = xwq_store::load_sidecar_plans(path.as_ref());
         let (doc, index) = xwq_store::read_index_file_mmap(path).map_err(StoreError::Format)?;
-        self.add_prebuilt(name, doc, index)
+        self.add_prebuilt_inner(name, doc, index, plans)
     }
 
     /// Reads a `.xwqi` file into owned memory and places it. Returns its

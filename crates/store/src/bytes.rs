@@ -9,7 +9,9 @@
 //!   read syscall copies, no heap allocation proportional to the file.
 //! * **aligned heap read** (fallback, and [`IndexBytes::read`]): the file
 //!   is read once into a `u64`-aligned heap buffer, so the zero-copy
-//!   reader can still reinterpret numeric sections in place.
+//!   reader can still reinterpret numeric sections in place. Miri builds
+//!   always use this backing (the raw `mmap` FFI is outside Miri's model),
+//!   which is what lets the nightly Miri job cover this crate's reader.
 //!
 //! Either way the buffer is handed around as `Arc<IndexBytes>`; the
 //! borrowed views built over it (see `xwq_succinct::SharedSlice`) hold a
@@ -41,7 +43,7 @@ pub struct IndexBytes {
 enum Backing {
     /// `u64`-aligned heap buffer (kept for the allocation; read via `ptr`).
     Heap(#[allow(dead_code)] Vec<u64>),
-    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
     Mmap { map_len: usize },
 }
 
@@ -57,7 +59,7 @@ impl IndexBytes {
     /// platforms without the mmap path, for empty files (zero-length
     /// mappings are an error), and when the map syscall fails.
     pub fn open_mmap(path: impl AsRef<Path>) -> std::io::Result<Arc<IndexBytes>> {
-        #[cfg(all(unix, target_pointer_width = "64"))]
+        #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
         {
             let file = std::fs::File::open(path.as_ref())?;
             let len = file.metadata()?.len();
@@ -105,7 +107,7 @@ impl IndexBytes {
     pub fn is_mapped(&self) -> bool {
         match self.backing {
             Backing::Heap(_) => false,
-            #[cfg(all(unix, target_pointer_width = "64"))]
+            #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
             Backing::Mmap { .. } => true,
         }
     }
@@ -116,7 +118,7 @@ impl IndexBytes {
     /// and on platforms without the mmap path; advisory everywhere — a
     /// failed advise changes nothing but timing.
     pub fn advise_willneed(&self) {
-        #[cfg(all(unix, target_pointer_width = "64"))]
+        #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
         if let Backing::Mmap { map_len } = self.backing {
             // SAFETY: advising the exact region this value mapped.
             unsafe {
@@ -137,7 +139,7 @@ impl IndexBytes {
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 
-    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
     fn mmap_file(file: &std::fs::File, len: usize) -> Option<IndexBytes> {
         use std::os::unix::io::AsRawFd;
         // SAFETY: a fresh read-only private mapping of `len` bytes over an
@@ -165,7 +167,7 @@ impl IndexBytes {
 
 impl Drop for IndexBytes {
     fn drop(&mut self) {
-        #[cfg(all(unix, target_pointer_width = "64"))]
+        #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
         if let Backing::Mmap { map_len } = self.backing {
             // SAFETY: unmapping the exact region this value mapped; all
             // views into it hold an Arc to this value, so none outlive it.
@@ -203,7 +205,7 @@ fn aligned_bytes_mut(buf: &mut [u64]) -> &mut [u8] {
 
 /// Minimal raw mmap bindings (libc is not a dependency; these are the
 /// stable POSIX symbols the platform libc exports).
-#[cfg(all(unix, target_pointer_width = "64"))]
+#[cfg(all(unix, target_pointer_width = "64", not(miri)))]
 mod sys {
     use core::ffi::c_void;
 
@@ -255,7 +257,7 @@ mod tests {
         assert_eq!(&**mapped, &**read);
         assert_eq!(&**mapped, &data[..]);
         assert_eq!(mapped.as_slice().as_ptr() as usize % 8, 0);
-        #[cfg(all(unix, target_pointer_width = "64"))]
+        #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
         assert!(mapped.is_mapped());
         // The mapping outlives other handles via Arc.
         let keep = Arc::clone(&mapped);

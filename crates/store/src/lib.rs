@@ -72,6 +72,7 @@
 mod bytes;
 mod format;
 mod lru;
+mod plans;
 mod session;
 mod store;
 pub mod sync;
@@ -85,10 +86,14 @@ pub use format::{
     VERSION,
 };
 pub use lru::LruCache;
+pub use plans::{
+    deserialize_plans, peek_index_checksum, plans_sidecar_path, read_plans_file, serialize_plans,
+    write_plans_file_durable, PlanEntry, PlanSet, PLANS_HEADER_LEN, PLANS_MAGIC, PLANS_VERSION,
+};
 pub use session::{
     CacheStats, QueryRequest, QueryResponse, Session, SessionError, DEFAULT_CACHE_CAPACITY,
 };
-pub use store::{DocumentStore, StoreError, StoredDocument};
+pub use store::{load_sidecar_plans, DocumentStore, StoreError, StoredDocument};
 /// The `.xwqi` payload checksum, exported so sibling on-disk formats (the
 /// corpus write-ahead log) share one pinned checksum spec instead of
 /// growing a second, subtly different mixer.

@@ -109,6 +109,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(&self.entry(i).value)
     }
 
+    /// Iterates entries most-recently-used first, without promoting
+    /// anything (used to snapshot the cache, e.g. for plan persistence).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        std::iter::successors((self.head != NIL).then_some(self.head), move |&i| {
+            let next = self.entry(i).next;
+            (next != NIL).then_some(next)
+        })
+        .map(move |i| {
+            let e = self.entry(i);
+            (&e.key, &e.value)
+        })
+    }
+
     /// Inserts `key → value`, evicting the least recently used entry if
     /// the cache is full. Returns the displaced `(key, value)` pair: the
     /// evicted LRU entry, the previous value under the same key, or the

@@ -21,11 +21,15 @@
 //! thread works the batch too, so progress never depends on the pool.
 
 use crate::lru::LruCache;
+use crate::plans::{
+    peek_index_checksum, plans_sidecar_path, write_plans_file_durable, PlanEntry, PlanSet,
+};
 use crate::sync::{
     thread as sync_thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering,
 };
-use crate::{DocumentStore, StoredDocument};
+use crate::{DocumentStore, FormatError, StoredDocument};
 use std::fmt;
+use std::path::Path;
 // The compiled-query cache and its hit/miss/eviction counters stay on
 // plain `std` primitives even under `--cfg model` (see the `crate::sync`
 // module docs): they are outside the modeled pool protocol, and no model
@@ -34,7 +38,8 @@ use std::sync::atomic::AtomicU64 as StdAtomicU64;
 use std::sync::Mutex as StdMutex;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
-use xwq_core::{CompiledQuery, EvalScratch, EvalStats, QueryError, Strategy};
+use xwq_core::planner::CostModel;
+use xwq_core::{CompiledQuery, EvalScratch, EvalStats, Program, QueryError, Strategy};
 use xwq_obs::{Counter, LatencyHisto, Registry};
 use xwq_xml::NodeId;
 
@@ -48,6 +53,8 @@ pub enum SessionError {
     UnknownDocument(String),
     /// Parsing or compiling the query failed.
     Query(QueryError),
+    /// Writing or binding a `.xwqp` plan sidecar failed.
+    Persist(FormatError),
 }
 
 impl fmt::Display for SessionError {
@@ -55,6 +62,7 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::UnknownDocument(d) => write!(f, "no document named {d:?}"),
             SessionError::Query(e) => write!(f, "{e}"),
+            SessionError::Persist(e) => write!(f, "persisting plans: {e}"),
         }
     }
 }
@@ -63,6 +71,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Query(e) => Some(e),
+            SessionError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -108,6 +117,12 @@ pub struct QueryResponse {
     pub cache_hit: bool,
     /// True if [`Strategy::Hybrid`] fell back to the optimized automaton.
     pub hybrid_fallback: bool,
+    /// True if this run's actual-vs-estimated visit feedback triggered a
+    /// re-plan (subsequent runs use the replacement program).
+    pub replanned: bool,
+    /// Nanoseconds spent in the register VM's dispatch loop (0 when the
+    /// query ran on the automaton path or selected nothing).
+    pub vm_dispatch_ns: u64,
 }
 
 /// Cache observability counters.
@@ -148,6 +163,10 @@ struct SessionTelemetry {
     /// `xwq_session_cache_hits_total` / `_misses_total`.
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    /// `xwq_plan_replans_total`: programs replaced after visit feedback.
+    plan_replans: Arc<Counter>,
+    /// `xwq_vm_dispatch_ns`: register-VM dispatch-loop time per query.
+    vm_dispatch: Arc<LatencyHisto>,
 }
 
 /// The `'static` part workers share with the session.
@@ -202,10 +221,20 @@ impl Session {
             "xwq_session_cache_misses_total",
             "Queries that had to compile",
         );
+        registry.describe(
+            "xwq_plan_replans_total",
+            "Compiled programs re-planned after actual-vs-estimated visit feedback",
+        );
+        registry.describe(
+            "xwq_vm_dispatch_ns",
+            "Register-VM dispatch-loop time per query, nanoseconds",
+        );
         let _ = self.inner.telemetry.set(SessionTelemetry {
             query_latency: registry.histo_with("xwq_session_query_latency_ns", labels),
             cache_hits: registry.counter_with("xwq_session_cache_hits_total", labels),
             cache_misses: registry.counter_with("xwq_session_cache_misses_total", labels),
+            plan_replans: registry.counter_with("xwq_plan_replans_total", labels),
+            vm_dispatch: registry.histo_with("xwq_vm_dispatch_ns", labels),
         });
     }
 
@@ -333,6 +362,56 @@ impl Session {
         (results, totals)
     }
 
+    /// Snapshots every compiled program this session has planned for
+    /// `document` into a `.xwqp` sidecar next to `index_path` (the
+    /// document's persisted `.xwqi` file), so a later
+    /// [`DocumentStore::load_index_file`] / `open_mmap` of that index
+    /// starts warm: the first query per entry installs the persisted
+    /// program instead of planning cold.
+    ///
+    /// The sidecar is bound to the index file's payload checksum; loading
+    /// it next to any other index (or a rewritten one) silently falls back
+    /// to cold planning. Written durably via a staged rename. Returns the
+    /// number of programs persisted.
+    pub fn persist_plans(
+        &self,
+        document: &str,
+        index_path: impl AsRef<Path>,
+    ) -> Result<usize, SessionError> {
+        let index_path = index_path.as_ref();
+        let doc = self
+            .inner
+            .store
+            .get(document)
+            .ok_or_else(|| SessionError::UnknownDocument(document.to_string()))?;
+        let mut set = PlanSet::new(peek_index_checksum(index_path).map_err(SessionError::Persist)?);
+        set.model = doc.engine().cost_model();
+        set.calibrated = set.model != CostModel::default();
+        {
+            let cache = self.inner.cache.lock().expect("cache lock poisoned");
+            for ((name, generation, query, strategy), compiled) in cache.iter() {
+                if name != doc.name() || *generation != doc.generation() {
+                    continue;
+                }
+                if let Some(cell) = doc.engine().cached_program(compiled, *strategy) {
+                    set.entries.push(PlanEntry {
+                        query: query.clone(),
+                        strategy: *strategy,
+                        program: cell.program.encode(),
+                    });
+                }
+            }
+        }
+        // Deterministic on-disk order regardless of cache recency.
+        set.entries.sort_by(|a, b| {
+            (a.query.as_str(), a.strategy.name()).cmp(&(b.query.as_str(), b.strategy.name()))
+        });
+        let count = set.entries.len();
+        write_plans_file_durable(plans_sidecar_path(index_path), &set)
+            .map_err(SessionError::Persist)?;
+        Ok(count)
+    }
+
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.inner.cache.lock().expect("cache lock poisoned");
@@ -378,6 +457,20 @@ impl SessionInner {
         // threads may race to compile the same query; both results are
         // identical and the second insert simply refreshes the entry.
         let compiled = Arc::new(doc.engine().compile(query).map_err(SessionError::Query)?);
+        // Warm start: if the document came with a validated `.xwqp`
+        // sidecar carrying a program for this exact (query, strategy),
+        // install it so the first run skips cold planning. Any decode or
+        // validation failure silently falls through to planning.
+        if let Some(plans) = doc.warm_plans() {
+            for entry in &plans.entries {
+                if entry.query == query && entry.strategy == strategy {
+                    if let Ok(program) = Program::decode(&entry.program) {
+                        doc.engine().install_program(&compiled, strategy, program);
+                    }
+                    break;
+                }
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let displaced = self
             .cache
@@ -409,12 +502,20 @@ impl SessionInner {
             .ok_or_else(|| SessionError::UnknownDocument(document.to_string()))?;
         let (compiled, cache_hit) = self.compiled(&doc, query, strategy)?;
         let out = doc.engine().run_with_scratch(&compiled, strategy, scratch);
-        if let (Some(t), Some(start)) = (telemetry, start) {
-            t.query_latency.record(start.elapsed().as_nanos() as u64);
+        if let Some(t) = telemetry {
+            if let Some(start) = start {
+                t.query_latency.record(start.elapsed().as_nanos() as u64);
+            }
             if cache_hit {
                 t.cache_hits.inc();
             } else {
                 t.cache_misses.inc();
+            }
+            if out.replanned {
+                t.plan_replans.inc();
+            }
+            if out.vm_dispatch_ns > 0 {
+                t.vm_dispatch.record(out.vm_dispatch_ns);
             }
         }
         Ok(QueryResponse {
@@ -422,6 +523,8 @@ impl SessionInner {
             stats: out.stats,
             cache_hit,
             hybrid_fallback: out.hybrid_fallback,
+            replanned: out.replanned,
+            vm_dispatch_ns: out.vm_dispatch_ns,
         })
     }
 
@@ -823,6 +926,77 @@ mod tests {
         }
         // Pool never exceeds the largest batch's worker demand.
         assert!(session.pool_workers() <= 2);
+    }
+
+    #[test]
+    fn plan_sidecar_warm_start_corruption_and_staleness() {
+        let dir = std::env::temp_dir().join(format!("xwq-warm-start-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.xwqi");
+        let store = Arc::new(DocumentStore::new());
+        let d = store
+            .insert_xml(
+                "d",
+                "<r><x><y/></x><x/><z>t</z><x><y/></x></r>",
+                TopologyKind::Succinct,
+            )
+            .unwrap();
+        d.save(&path).unwrap();
+        let session = Session::new(Arc::clone(&store));
+        let queries = ["//x[y]", "//x", "//z[text()='t']"];
+        let cold: Vec<Vec<NodeId>> = queries
+            .iter()
+            .map(|q| session.query("d", q, Strategy::Auto).unwrap().nodes)
+            .collect();
+        assert_eq!(session.persist_plans("d", &path).unwrap(), queries.len());
+        let sidecar = crate::plans_sidecar_path(&path);
+        let good_sidecar = std::fs::read(&sidecar).unwrap();
+
+        // Warm open: the sidecar validates, and the first compile of each
+        // persisted query installs its program instead of planning cold.
+        let store2 = Arc::new(DocumentStore::new());
+        let d2 = store2.load_index_file("d", &path).unwrap();
+        assert!(d2.warm_plans().is_some(), "valid sidecar must load");
+        let warm = Session::new(Arc::clone(&store2));
+        for (q, expect) in queries.iter().zip(&cold) {
+            assert_eq!(&warm.query("d", q, Strategy::Auto).unwrap().nodes, expect);
+        }
+        let counters = d2.engine().plan_counters();
+        assert_eq!(counters.installed, queries.len() as u64);
+        assert_eq!(counters.planned, 0, "warm start must skip planning");
+
+        // Corrupt sidecar: silently ignored, answers stay correct.
+        let mut bad = good_sidecar.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(&sidecar, &bad).unwrap();
+        let store3 = Arc::new(DocumentStore::new());
+        let d3 = store3.load_index_file("d", &path).unwrap();
+        assert!(d3.warm_plans().is_none(), "corrupt sidecar must be ignored");
+        let fallback = Session::new(Arc::clone(&store3));
+        for (q, expect) in queries.iter().zip(&cold) {
+            assert_eq!(
+                &fallback.query("d", q, Strategy::Auto).unwrap().nodes,
+                expect
+            );
+        }
+        assert!(d3.engine().plan_counters().planned > 0);
+
+        // Stale identity: a valid sidecar bound to a *different* index
+        // (the path was rewritten from another document) must be ignored.
+        std::fs::write(&sidecar, &good_sidecar).unwrap();
+        let other = DocumentStore::new();
+        let od = other
+            .insert_xml("o", "<r><x/><q>t</q></r>", TopologyKind::Succinct)
+            .unwrap();
+        od.save(&path).unwrap();
+        let store4 = Arc::new(DocumentStore::new());
+        let d4 = store4.load_index_file("d", &path).unwrap();
+        assert!(d4.warm_plans().is_none(), "stale sidecar must be ignored");
+        let stale = Session::new(Arc::clone(&store4));
+        assert_eq!(stale.query("d", "//x", Strategy::Auto).unwrap().nodes, [1]);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! under a short read lock and then query lock-free; inserting or removing
 //! documents never invalidates in-flight queries.
 
+use crate::plans::{peek_index_checksum, plans_sidecar_path, read_plans_file, PlanSet};
 use crate::{read_index_file, write_index_file, FormatError};
 use std::collections::HashMap;
 use std::fmt;
@@ -70,6 +71,10 @@ pub struct StoredDocument {
     generation: u64,
     doc: Document,
     engine: Engine,
+    /// Compiled plans loaded from a `.xwqp` sidecar, if one sat next to
+    /// the index file and validated against it. [`crate::Session`]
+    /// installs them on first compile, skipping cold planning.
+    plans: Option<Arc<PlanSet>>,
 }
 
 impl StoredDocument {
@@ -100,6 +105,20 @@ impl StoredDocument {
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FormatError> {
         write_index_file(path, &self.doc, self.engine.index())
     }
+
+    /// The warm compiled plans this document was opened with, if any.
+    pub fn warm_plans(&self) -> Option<&Arc<PlanSet>> {
+        self.plans.as_ref()
+    }
+}
+
+/// Loads and validates the `.xwqp` sidecar next to an index file. Any
+/// failure — no sidecar, unreadable, corrupt, or bound to a different
+/// index checksum — yields `None`: the caller simply starts cold.
+pub fn load_sidecar_plans(index_path: &Path) -> Option<Arc<PlanSet>> {
+    let set = read_plans_file(plans_sidecar_path(index_path)).ok()?;
+    let checksum = peek_index_checksum(index_path).ok()?;
+    (set.index_checksum == checksum).then(|| Arc::new(set))
 }
 
 impl fmt::Debug for StoredDocument {
@@ -128,12 +147,18 @@ impl DocumentStore {
         name: &str,
         doc: Document,
         index: TreeIndex,
+        plans: Option<Arc<PlanSet>>,
     ) -> Result<Arc<StoredDocument>, StoreError> {
+        let mut engine = Engine::from_index(index);
+        if let Some(p) = &plans {
+            engine.set_cost_model(p.model);
+        }
         let stored = Arc::new(StoredDocument {
             name: name.to_string(),
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
-            engine: Engine::from_index(index),
+            engine,
             doc,
+            plans,
         });
         let mut docs = self.docs.write().expect("store lock poisoned");
         if docs.contains_key(name) {
@@ -151,7 +176,7 @@ impl DocumentStore {
         topology: TopologyKind,
     ) -> Result<Arc<StoredDocument>, StoreError> {
         let index = TreeIndex::build_with(&doc, topology);
-        self.register(name, doc, index)
+        self.register(name, doc, index, None)
     }
 
     /// Registers a document with an index that was already built over it
@@ -162,7 +187,21 @@ impl DocumentStore {
         doc: Document,
         index: TreeIndex,
     ) -> Result<Arc<StoredDocument>, StoreError> {
-        self.register(name, doc, index)
+        self.register(name, doc, index, None)
+    }
+
+    /// [`Self::insert_prebuilt`] carrying warm compiled plans (e.g. a
+    /// validated `.xwqp` sidecar from [`load_sidecar_plans`]) — the hook
+    /// callers that load index bytes themselves (the sharded corpus) use
+    /// to keep the warm-start path.
+    pub fn insert_prebuilt_with_plans(
+        &self,
+        name: &str,
+        doc: Document,
+        index: TreeIndex,
+        plans: Option<Arc<PlanSet>>,
+    ) -> Result<Arc<StoredDocument>, StoreError> {
+        self.register(name, doc, index, plans)
     }
 
     /// Parses XML text, indexes it, and registers it under `name`.
@@ -183,8 +222,9 @@ impl DocumentStore {
         name: &str,
         path: impl AsRef<Path>,
     ) -> Result<Arc<StoredDocument>, StoreError> {
+        let plans = load_sidecar_plans(path.as_ref());
         let (doc, index) = read_index_file(path)?;
-        self.register(name, doc, index)
+        self.register(name, doc, index, plans)
     }
 
     /// Memory-maps a persisted `.xwqi` file and registers it under `name`:
@@ -199,8 +239,9 @@ impl DocumentStore {
         name: &str,
         path: impl AsRef<Path>,
     ) -> Result<Arc<StoredDocument>, StoreError> {
+        let plans = load_sidecar_plans(path.as_ref());
         let (doc, index) = crate::read_index_file_mmap(path)?;
-        self.register(name, doc, index)
+        self.register(name, doc, index, plans)
     }
 
     /// [`Self::open_mmap`] for **trusted local files**: skips the payload
@@ -215,8 +256,9 @@ impl DocumentStore {
         name: &str,
         path: impl AsRef<Path>,
     ) -> Result<Arc<StoredDocument>, StoreError> {
+        let plans = load_sidecar_plans(path.as_ref());
         let (doc, index) = crate::read_index_file_mmap_trusted(path)?;
-        self.register(name, doc, index)
+        self.register(name, doc, index, plans)
     }
 
     /// Parses and indexes an XML file and registers it under `name`.

@@ -498,6 +498,149 @@ pub fn diff_corpus(old: &Json, new: &Json, threshold: f64) -> Result<CorpusDiff,
     })
 }
 
+/// One labeled comparison row from a rollout-gated section (`vm`, `fig3`).
+pub struct SectionRow {
+    pub label: String,
+    pub old: f64,
+    pub new: f64,
+    /// Relative change, +0.20 = 20% more.
+    pub delta: f64,
+    pub regressed: bool,
+}
+
+/// The outcome of comparing a section that may be missing from files
+/// predating its rollout — the same tolerate-missing contract as
+/// [`CorpusDiff`]: judged when both files carry it, warned about when one
+/// does, silent only when neither does.
+pub enum SectionDiff {
+    /// Neither file has the section.
+    BothMissing,
+    /// Exactly one file has it; `in_new` says which.
+    OneSided {
+        /// True when only the *new* file has it.
+        in_new: bool,
+    },
+    /// Both files have it: matched rows plus labels present in only one.
+    Compared {
+        rows: Vec<SectionRow>,
+        only_old: Vec<String>,
+        only_new: Vec<String>,
+    },
+}
+
+fn section_row(label: String, old: f64, new: f64, threshold: f64) -> SectionRow {
+    let delta = relative_delta(old, new);
+    SectionRow {
+        regressed: delta > threshold,
+        label,
+        old,
+        new,
+        delta,
+    }
+}
+
+/// Compares the `vm` bench sections (register-VM vs tree-executor
+/// dispatch cost over the auto-planned suite). Both `vm_ns_per_query`
+/// (the default execution path) and `tree_ns_per_query` (the
+/// differential-testing oracle) ride the gate: the oracle regressing
+/// unnoticed would quietly inflate every future VM "speedup".
+pub fn diff_vm(old: &Json, new: &Json, threshold: f64) -> Result<SectionDiff, String> {
+    let (old_section, new_section) = match (old.get("vm"), new.get("vm")) {
+        (None, None) => return Ok(SectionDiff::BothMissing),
+        (Some(_), None) => return Ok(SectionDiff::OneSided { in_new: false }),
+        (None, Some(_)) => return Ok(SectionDiff::OneSided { in_new: true }),
+        (Some(o), Some(n)) => (o, n),
+    };
+    let field = |section: &Json, which: &str, key: &str| -> Result<f64, String> {
+        section
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("{which}: vm section without `{key}`"))
+    };
+    let rows = vec![
+        section_row(
+            "vm".to_string(),
+            field(old_section, "old", "vm_ns_per_query")?,
+            field(new_section, "new", "vm_ns_per_query")?,
+            threshold,
+        ),
+        section_row(
+            "tree".to_string(),
+            field(old_section, "old", "tree_ns_per_query")?,
+            field(new_section, "new", "tree_ns_per_query")?,
+            threshold,
+        ),
+    ];
+    Ok(SectionDiff::Compared {
+        rows,
+        only_old: Vec::new(),
+        only_new: Vec::new(),
+    })
+}
+
+/// Extracts `[(strategy, visited)…]` from a `fig3` section.
+fn fig3_rows(section: &Json, which: &str) -> Result<Vec<(String, f64)>, String> {
+    section
+        .as_arr()
+        .ok_or(format!("{which}: `fig3` is not an array"))?
+        .iter()
+        .map(|row| {
+            let strategy = row
+                .get("strategy")
+                .and_then(Json::as_str)
+                .ok_or(format!("{which}: fig3 row without `strategy`"))?
+                .to_string();
+            let visited = row
+                .get("visited")
+                .and_then(Json::as_f64)
+                .ok_or(format!("{which}: fig3 row without `visited`"))?;
+            Ok((strategy, visited))
+        })
+        .collect()
+}
+
+/// Compares the `fig3` bench sections: per-strategy suite-total `visited`
+/// counters — deterministic traversal-work facts (the paper's Fig. 3
+/// measure), so a growth beyond the threshold means the strategy's
+/// algorithm does more work, not that the machine was noisy. `jumps` and
+/// `selected` are recorded in the file but not judged here: more jumps
+/// with fewer visits is an improvement, not a regression.
+pub fn diff_fig3(old: &Json, new: &Json, threshold: f64) -> Result<SectionDiff, String> {
+    let (old_section, new_section) = match (old.get("fig3"), new.get("fig3")) {
+        (None, None) => return Ok(SectionDiff::BothMissing),
+        (Some(_), None) => return Ok(SectionDiff::OneSided { in_new: false }),
+        (None, Some(_)) => return Ok(SectionDiff::OneSided { in_new: true }),
+        (Some(o), Some(n)) => (o, n),
+    };
+    let old_rows = fig3_rows(old_section, "old")?;
+    let new_rows = fig3_rows(new_section, "new")?;
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for (strategy, old_visited) in old_rows.iter() {
+        match new_rows.iter().find(|(s, _)| s == strategy) {
+            Some(&(_, new_visited)) => {
+                rows.push(section_row(
+                    strategy.clone(),
+                    *old_visited,
+                    new_visited,
+                    threshold,
+                ));
+            }
+            None => only_old.push(strategy.clone()),
+        }
+    }
+    let only_new: Vec<String> = new_rows
+        .iter()
+        .map(|(s, _)| s.clone())
+        .filter(|s| !old_rows.iter().any(|(os, _)| os == s))
+        .collect();
+    Ok(SectionDiff::Compared {
+        rows,
+        only_old,
+        only_new,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,6 +850,119 @@ mod tests {
         // A present-but-broken section is an error, not a silent skip.
         let broken = parse_json(r#"{"corpus": {"runs": []}}"#).unwrap();
         assert!(diff_corpus(&broken, &with, 0.15).is_err());
+    }
+
+    fn vm_json(vm_ns: f64, tree_ns: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"eval": [{{"strategy": "opt", "ns_per_query": 1000}}],
+                "vm": {{"vm_ns_per_query": {vm_ns}, "tree_ns_per_query": {tree_ns}, "speedup_vs_tree": 1.0}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn vm_gate_judges_both_paths_and_tolerates_missing_sections() {
+        let old = vm_json(1000.0, 1200.0);
+        match diff_vm(&old, &vm_json(1100.0, 1300.0), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert!(rows.iter().all(|r| !r.regressed));
+            }
+            _ => panic!("expected Compared"),
+        }
+        // The VM path regressing fails; so does the oracle on its own.
+        match diff_vm(&old, &vm_json(2000.0, 1200.0), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert!(rows.iter().find(|r| r.label == "vm").unwrap().regressed);
+                assert!(!rows.iter().find(|r| r.label == "tree").unwrap().regressed);
+            }
+            _ => panic!("expected Compared"),
+        }
+        match diff_vm(&old, &vm_json(1000.0, 9000.0), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert!(rows.iter().find(|r| r.label == "tree").unwrap().regressed);
+            }
+            _ => panic!("expected Compared"),
+        }
+        // Files predating the section: warned about, never an error.
+        let without = bench_json(1000.0);
+        assert!(matches!(
+            diff_vm(&without, &without, 0.15).unwrap(),
+            SectionDiff::BothMissing
+        ));
+        assert!(matches!(
+            diff_vm(&without, &old, 0.15).unwrap(),
+            SectionDiff::OneSided { in_new: true }
+        ));
+        assert!(matches!(
+            diff_vm(&old, &without, 0.15).unwrap(),
+            SectionDiff::OneSided { in_new: false }
+        ));
+        // A present-but-broken section is an error, not a silent skip.
+        let broken = parse_json(r#"{"vm": {"speedup_vs_tree": 1.0}}"#).unwrap();
+        assert!(diff_vm(&broken, &old, 0.15).is_err());
+    }
+
+    fn fig3_json(opt_visited: u64) -> Json {
+        parse_json(&format!(
+            r#"{{"eval": [{{"strategy": "opt", "ns_per_query": 1000}}],
+                "fig3": [
+                  {{"strategy": "opt", "visited": {opt_visited}, "jumps": 40, "selected": 9}},
+                  {{"strategy": "naive", "visited": 5000, "jumps": 0, "selected": 9}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fig3_gate_flags_traversal_work_growth() {
+        let old = fig3_json(100);
+        // Counters are deterministic: identical runs sit at delta 0.
+        match diff_fig3(&old, &fig3_json(100), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert!(rows.iter().all(|r| !r.regressed && r.delta == 0.0));
+            }
+            _ => panic!("expected Compared"),
+        }
+        match diff_fig3(&old, &fig3_json(200), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                let opt = rows.iter().find(|r| r.label == "opt").unwrap();
+                assert!(opt.regressed);
+                assert!((opt.delta - 1.0).abs() < 1e-9);
+                assert!(!rows.iter().find(|r| r.label == "naive").unwrap().regressed);
+            }
+            _ => panic!("expected Compared"),
+        }
+        // Fewer visits is an improvement, never a failure.
+        match diff_fig3(&old, &fig3_json(50), 0.15).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert!(rows.iter().all(|r| !r.regressed));
+            }
+            _ => panic!("expected Compared"),
+        }
+        // Strategies present on one side only are surfaced, not judged.
+        let renamed = parse_json(
+            r#"{"fig3": [{"strategy": "optimized", "visited": 1, "jumps": 0, "selected": 0}]}"#,
+        )
+        .unwrap();
+        match diff_fig3(&old, &renamed, 0.15).unwrap() {
+            SectionDiff::Compared {
+                rows,
+                only_old,
+                only_new,
+            } => {
+                assert!(rows.is_empty());
+                assert_eq!(only_old, vec!["opt".to_string(), "naive".to_string()]);
+                assert_eq!(only_new, vec!["optimized".to_string()]);
+            }
+            _ => panic!("expected Compared"),
+        }
+        // Missing sections follow the rollout contract.
+        assert!(matches!(
+            diff_fig3(&bench_json(1.0), &old, 0.15).unwrap(),
+            SectionDiff::OneSided { in_new: true }
+        ));
     }
 
     #[test]

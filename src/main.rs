@@ -45,7 +45,7 @@ usage:
   xwq corpus verify <corpus-dir>
   xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
-            [--out <file.json>] [--mmap]
+            [--out <file.json>] [--mmap] [--calibrate]
   xwq bench-diff <old.json> <new.json> [--threshold <pct>] [--p99-threshold <pct>]
   xwq lint [--root <dir>]
   xwq '<xpath>' <file.xml> [options]
@@ -62,6 +62,11 @@ options:
   --text         include each node's text content
   --mmap         serve from a memory-mapped .xwqi (zero-copy load; with
                  `index` it verifies the written file by mapping it back)
+  --no-save-plans
+                 (query --index) do not write the compiled program back to
+                 the .xwqp plan sidecar after a cold plan
+  --calibrate    (bench) fit per-deployment planner cost constants from the
+                 measured suite and stamp them into the warm-start sidecar
   --repeat <n>   (batch) run the workload n times, exercising the cache [1]
   --threads <n>  (batch) worker threads for the batch [machine cores]
                  (bench) comma-separated list of thread counts to measure,
@@ -69,10 +74,13 @@ options:
 
 subcommands:
   index       parse + index an XML file once, persist it as a .xwqi artifact
-  query       evaluate one XPath query against an .xwqi index or an XML file
+  query       evaluate one XPath query against an .xwqi index or an XML file;
+              with --index, compiled programs are read from / written to a
+              .xwqp sidecar so repeat invocations skip planning (warm start)
   explain     print the physical plan a strategy chooses for a query (per-
-              operator cost estimates), then run it and report estimated vs
-              actual visit counts
+              operator cost estimates) and the register-VM bytecode it
+              lowers to, then run it and report estimated vs actual visit
+              counts, re-plan activity, and the cost model in effect
   batch       evaluate a file of queries (one per line, # comments) via a
               Session with a compiled-query LRU cache
   stats       serve a query workload through a telemetry-enabled Session,
@@ -91,7 +99,9 @@ subcommands:
   xmark       generate an XMark sample document as XML (corpus seed data)
   bench       run the fixed XMark query suite under every strategy and write
               machine-readable results (ns/query, nodes/sec, cache hit rates,
-              batch scaling vs a measured serial baseline) to BENCH_eval.json
+              batch scaling vs a measured serial baseline, VM-vs-tree-executor
+              dispatch cost, Fig. 3 traversal counters, warm-vs-cold
+              time-to-first-query) to BENCH_eval.json
   bench-diff  compare two BENCH_eval.json runs; exit non-zero when any
               strategy's ns/query regressed by more than the threshold [15%]
               or its p99 ns regressed beyond --p99-threshold [40%]
@@ -249,6 +259,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut index_path: Option<&str> = None;
     let mut trace = false;
+    let mut save_plans = true;
     let mut flags = CommonFlags::new();
     let mut i = 0;
     while i < args.len() {
@@ -261,6 +272,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 }
             }
             "--trace" => trace = true,
+            "--no-save-plans" => save_plans = false,
             _ => match parse_common_flag(args, &mut i, &mut flags) {
                 FlagParse::Consumed => {}
                 FlagParse::Err(code) => return code,
@@ -277,7 +289,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
         return usage_error("--threads is only valid with the batch subcommand");
     }
 
-    let (query, doc, engine) = match (index_path, &positional[..]) {
+    let (query, doc, mut engine) = match (index_path, &positional[..]) {
         (Some(path), [q]) => {
             let loaded = if flags.mmap {
                 xwq::store::read_index_file_mmap(path)
@@ -304,10 +316,26 @@ fn cmd_query(args: &[String]) -> ExitCode {
         _ => return usage_error("query needs '<xpath>' plus --index <file.xwqi> or <file.xml>"),
     };
 
+    // Warm start: a validated `.xwqp` sidecar next to the index supplies
+    // compiled programs and the deployment's calibrated cost model.
+    let warm = index_path.and_then(|p| xwq::store::load_sidecar_plans(Path::new(p)));
+    if let Some(set) = &warm {
+        engine.set_cost_model(set.model);
+    }
+    let engine = engine;
+
     let compiled = match engine.compile(query) {
         Ok(c) => c,
         Err(e) => return fail(e),
     };
+    let warm_installed = warm.as_ref().is_some_and(|set| {
+        set.entries.iter().any(|e| {
+            e.query == query
+                && e.strategy == flags.strategy
+                && xwq::core::Program::decode(&e.program)
+                    .is_ok_and(|p| engine.install_program(&compiled, flags.strategy, p))
+        })
+    });
     let traced_start = std::time::Instant::now();
     let (out, span_tree) = if trace {
         let mut scratch = xwq::core::EvalScratch::new();
@@ -377,6 +405,56 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 ""
             }
         );
+        if index_path.is_some() {
+            eprintln!(
+                "# plan source: {}{}",
+                if warm_installed {
+                    "warm sidecar"
+                } else {
+                    "cold planner"
+                },
+                if out.replanned { ", re-planned" } else { "" }
+            );
+        }
+    }
+    // Write the program back next to the index so the next invocation
+    // starts warm. Only when this run actually planned something new —
+    // warm hits never rewrite the sidecar.
+    if let Some(path) = index_path.filter(|_| save_plans && !warm_installed) {
+        if let Some(cell) = engine.cached_program(&compiled, flags.strategy) {
+            match xwq::store::peek_index_checksum(path) {
+                Ok(checksum) => {
+                    let mut set = warm
+                        .as_deref()
+                        .cloned()
+                        .unwrap_or_else(|| xwq::store::PlanSet::new(checksum));
+                    set.model = engine.cost_model();
+                    set.entries
+                        .retain(|e| !(e.query == query && e.strategy == flags.strategy));
+                    set.entries.push(xwq::store::PlanEntry {
+                        query: query.to_string(),
+                        strategy: flags.strategy,
+                        program: cell.program.encode(),
+                    });
+                    set.entries.sort_by(|a, b| {
+                        (a.query.as_str(), a.strategy.token())
+                            .cmp(&(b.query.as_str(), b.strategy.token()))
+                    });
+                    let sidecar = xwq::store::plans_sidecar_path(Path::new(path));
+                    match xwq::store::write_plans_file_durable(&sidecar, &set) {
+                        Ok(()) => eprintln!(
+                            "# plan: saved {} compiled plan(s) -> {}",
+                            set.entries.len(),
+                            sidecar.display()
+                        ),
+                        Err(e) => {
+                            eprintln!("xwq: warning: cannot write {}: {e}", sidecar.display())
+                        }
+                    }
+                }
+                Err(e) => eprintln!("xwq: warning: cannot fingerprint {path}: {e}"),
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -409,7 +487,7 @@ fn cmd_explain(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let (query, engine) = match (index_path, &positional[..]) {
+    let (query, mut engine) = match (index_path, &positional[..]) {
         (Some(path), [q]) => {
             let loaded = if flags.mmap {
                 xwq::store::read_index_file_mmap(path)
@@ -427,6 +505,13 @@ fn cmd_explain(args: &[String]) -> ExitCode {
         },
         _ => return usage_error("explain needs '<xpath>' plus --index <file.xwqi> or <file.xml>"),
     };
+    // Explain under the same cost model a query against this index would
+    // run with: a valid `.xwqp` sidecar carries any calibrated constants.
+    let warm = index_path.and_then(|p| xwq::store::load_sidecar_plans(Path::new(p)));
+    if let Some(set) = &warm {
+        engine.set_cost_model(set.model);
+    }
+    let engine = engine;
     let compiled = match engine.compile(query) {
         Ok(c) => c,
         Err(e) => return fail(e),
@@ -447,6 +532,18 @@ fn cmd_explain(args: &[String]) -> ExitCode {
             line.est.visits
         ));
     }
+    // The bytecode the register VM actually dispatches: the same plan,
+    // lowered to the persistable program form.
+    let cell = engine.program(&compiled, flags.strategy);
+    let encoded = cell.program.encode();
+    text.push_str(&format!(
+        "bytecode (v{}, {} bytes encoded):\n",
+        xwq::core::BYTECODE_VERSION,
+        encoded.len()
+    ));
+    for (pc, line) in cell.program.listing(engine.index()).iter().enumerate() {
+        text.push_str(&format!("  {pc:>3}  {line}\n"));
+    }
     let t0 = std::time::Instant::now();
     let out = engine.run(&compiled, flags.strategy);
     let elapsed = t0.elapsed();
@@ -457,6 +554,24 @@ fn cmd_explain(args: &[String]) -> ExitCode {
     text.push_str(&format!(
         "actual:    visited {}, jumps {}, selected {}, {:.1?} (cold run)\n",
         out.stats.visited, out.stats.jumps, out.stats.selected, elapsed
+    ));
+    let counters = engine.plan_counters();
+    text.push_str(&format!(
+        "replans:   {} this engine (re-plan factor {}, this run re-planned: {})\n",
+        counters.replans,
+        xwq::core::DEFAULT_REPLAN_FACTOR,
+        out.replanned
+    ));
+    let model = engine.cost_model();
+    text.push_str(&format!(
+        "cost model: automaton_visit {:.3}, automaton_setup {:.1} ({})\n",
+        model.automaton_visit,
+        model.automaton_setup,
+        if model == xwq::core::planner::CostModel::default() {
+            "paper defaults"
+        } else {
+            "calibrated"
+        }
     ));
     // EPIPE-tolerant: `xwq explain … | head` (or `| grep -q`) must exit
     // cleanly when the reader closes the pipe, not panic.
@@ -1299,6 +1414,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut repeats = 5usize;
     let mut thread_list: Option<Vec<usize>> = None;
     let mut use_mmap = false;
+    let mut calibrate = false;
     let mut out_path = String::from("BENCH_eval.json");
     let mut i = 0;
     while i < args.len() {
@@ -1335,6 +1451,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 }
             }
             "--mmap" => use_mmap = true,
+            "--calibrate" => calibrate = true,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -1425,6 +1542,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     json.push_str("  \"eval\": [\n");
     let mut scratch = xwq::core::EvalScratch::new();
     let mut first = true;
+    // Deterministic per-strategy traversal totals — the paper's Fig. 3
+    // table over this workload (visited/jumps/selected are counter facts,
+    // not timings, so bench-diff can gate them at a tight threshold).
+    let mut fig3_rows = String::new();
+    // (visited, best-ns) samples per strategy, feeding `--calibrate`'s
+    // least-squares fit of per-visit and setup costs.
+    let mut opt_samples: Vec<(f64, f64)> = Vec::new();
+    let mut jump_samples: Vec<(f64, f64)> = Vec::new();
     for strat in Strategy::ALL {
         let mut total_ns = 0f64;
         let mut total = xwq::core::EvalStats::default();
@@ -1454,6 +1579,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
             total_ns += best;
             total.accumulate(&stats);
+            match strat {
+                Strategy::Optimized => opt_samples.push((stats.visited as f64, best)),
+                Strategy::Jumping => jump_samples.push((stats.visited as f64, best)),
+                _ => {}
+            }
             if !per_query.is_empty() {
                 per_query.push_str(", ");
             }
@@ -1496,8 +1626,94 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             nodes_per_sec,
             hit_rate * 100.0
         );
+        if !fig3_rows.is_empty() {
+            fig3_rows.push_str(",\n");
+        }
+        fig3_rows.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"visited\": {}, \"jumps\": {}, \"selected\": {}}}",
+            strat.token(),
+            total.visited,
+            total.jumps,
+            total.selected
+        ));
     }
     json.push_str("\n  ],\n");
+    json.push_str(&format!("  \"fig3\": [\n{fig3_rows}\n  ],\n"));
+
+    // Register VM vs the retired tree-walking plan executor over the same
+    // auto-planned suite: the dispatch-loop cost the compiled-plans work
+    // is accountable for, measured head-to-head on identical plans.
+    let (vm_ns, tree_ns) = {
+        let compiled: Vec<_> = suite
+            .iter()
+            .map(|&(_, text)| {
+                let q = engine.compile(text).expect("pre-checked above");
+                let plan = engine.plan(&q, Strategy::Auto);
+                (q, plan)
+            })
+            .collect();
+        let mut vm_best = f64::INFINITY;
+        let mut tree_best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = std::time::Instant::now();
+            for (q, _) in &compiled {
+                engine.run_with_scratch(q, Strategy::Auto, &mut scratch);
+            }
+            vm_best = vm_best.min(t0.elapsed().as_nanos() as f64);
+            let t0 = std::time::Instant::now();
+            for (q, plan) in &compiled {
+                engine.run_plan(q, plan, Strategy::Auto, &mut scratch);
+            }
+            tree_best = tree_best.min(t0.elapsed().as_nanos() as f64);
+        }
+        let n = suite.len() as f64;
+        (vm_best / n, tree_best / n)
+    };
+    let vm_speedup = if vm_ns > 0.0 { tree_ns / vm_ns } else { 0.0 };
+    json.push_str(&format!(
+        "  \"vm\": {{\"vm_ns_per_query\": {vm_ns:.0}, \"tree_ns_per_query\": {tree_ns:.0}, \"speedup_vs_tree\": {vm_speedup:.2}}},\n"
+    ));
+    eprintln!(
+        "# vm dispatch   {vm_ns:>12.0} ns/query  vs tree executor {tree_ns:>12.0} ns/query  ({vm_speedup:.2}x)"
+    );
+
+    // `--calibrate`: fit per-deployment cost constants from the measured
+    // (visited, ns) samples. Optimized is the automaton path; Jumping's
+    // per-visit slope stands in for the spine-visit unit the planner
+    // prices everything in. Degenerate fits keep the paper defaults.
+    let default_model = xwq::core::planner::CostModel::default();
+    let calibrated_model = if calibrate {
+        let (a_opt, b_opt) = linear_fit(&opt_samples);
+        let (_, b_jump) = linear_fit(&jump_samples);
+        if b_opt > 0.0 && b_jump > 0.0 {
+            Some(xwq::core::planner::CostModel {
+                automaton_visit: (b_opt / b_jump).max(0.01),
+                automaton_setup: (a_opt / b_jump).max(0.0),
+            })
+        } else {
+            eprintln!("# calibrate: degenerate fit, keeping paper defaults");
+            None
+        }
+    } else {
+        None
+    };
+    let model = calibrated_model.unwrap_or(default_model);
+    json.push_str(&format!(
+        "  \"calibration\": {{\"automaton_visit\": {:.4}, \"automaton_setup\": {:.4}, \"calibrated\": {}}},\n",
+        model.automaton_visit,
+        model.automaton_setup,
+        calibrated_model.is_some()
+    ));
+    eprintln!(
+        "# cost model    automaton_visit {:.3}  automaton_setup {:.1}  ({})",
+        model.automaton_visit,
+        model.automaton_setup,
+        if calibrated_model.is_some() {
+            "calibrated"
+        } else {
+            "paper defaults"
+        }
+    );
 
     // Serving layer: compiled-query cache hit rate and batch scaling.
     let store = Arc::new(store);
@@ -1611,6 +1827,86 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         );
     }
     json.push_str("\n  ]},\n");
+
+    // Warm start: persist this index, serve the suite once to build the
+    // compiled-plan sidecar, then compare time-to-first-query of a fresh
+    // open (load + session + one query) with and without the `.xwqp`.
+    let warm_tmp = std::env::temp_dir().join(format!("xwq-bench-warm-{}.xwqi", std::process::id()));
+    let warm_sidecar = xwq::store::plans_sidecar_path(&warm_tmp);
+    if let Err(e) = stored.save(&warm_tmp) {
+        return fail(format!("{}: {e}", warm_tmp.display()));
+    }
+    std::fs::remove_file(&warm_sidecar).ok();
+    let first_query = suite[0].1;
+    let time_first = |rounds: usize| -> Result<(f64, u64), String> {
+        let mut best = f64::INFINITY;
+        let mut installs = 0u64;
+        for _ in 0..rounds {
+            let store = Arc::new(DocumentStore::new());
+            let session = Session::new(Arc::clone(&store));
+            let t0 = std::time::Instant::now();
+            store
+                .load_index_file("w", &warm_tmp)
+                .map_err(|e| e.to_string())?;
+            session
+                .query("w", first_query, Strategy::Auto)
+                .map_err(|e| e.to_string())?;
+            best = best.min(t0.elapsed().as_nanos() as f64);
+            installs = store
+                .get("w")
+                .expect("just loaded")
+                .engine()
+                .plan_counters()
+                .installed;
+        }
+        Ok((best, installs))
+    };
+    let (cold_first_ns, _) = match time_first(repeats) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let plan_entries = {
+        let store = Arc::new(DocumentStore::new());
+        let session = Session::new(Arc::clone(&store));
+        if let Err(e) = store.load_index_file("w", &warm_tmp) {
+            return fail(e);
+        }
+        for &(_, q) in &suite {
+            if let Err(e) = session.query("w", q, Strategy::Auto) {
+                return fail(e);
+            }
+        }
+        match session.persist_plans("w", &warm_tmp) {
+            Ok(n) => n,
+            Err(e) => return fail(e),
+        }
+    };
+    if calibrated_model.is_some() {
+        // Stamp the calibrated constants into the sidecar so every warm
+        // open (here and outside this bench) plans with them.
+        match xwq::store::read_plans_file(&warm_sidecar) {
+            Ok(mut set) => {
+                set.model = model;
+                set.calibrated = true;
+                if let Err(e) = xwq::store::write_plans_file_durable(&warm_sidecar, &set) {
+                    return fail(format!("{}: {e}", warm_sidecar.display()));
+                }
+            }
+            Err(e) => return fail(format!("{}: {e}", warm_sidecar.display())),
+        }
+    }
+    let (warm_first_ns, warm_installs) = match time_first(repeats) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    std::fs::remove_file(&warm_tmp).ok();
+    std::fs::remove_file(&warm_sidecar).ok();
+    json.push_str(&format!(
+        "  \"warm_start\": {{\"cold_first_query_ns\": {cold_first_ns:.0}, \"warm_first_query_ns\": {warm_first_ns:.0}, \"plan_entries\": {plan_entries}, \"warm_installs\": {warm_installs}}},\n"
+    ));
+    eprintln!(
+        "# warm start    cold first query {cold_first_ns:>12.0} ns, warm {warm_first_ns:>12.0} ns  ({plan_entries} sidecar entries, {warm_installs} installed)"
+    );
 
     // Hot-path telemetry overhead: the same auto-strategy suite served
     // serially through two fresh sessions over the same store — one with a
@@ -1875,6 +2171,65 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         }
         Err(e) => return fail(e),
     }
+    // The vm (dispatch cost) and fig3 (traversal counters) sections ride
+    // the same rollout contract as corpus: judged when both files carry
+    // them, warned about when one does, silent only when neither does.
+    for (name, unit, diffed) in [
+        (
+            "vm",
+            "ns/query",
+            benchdiff::diff_vm(&old, &new, threshold_pct / 100.0),
+        ),
+        (
+            "fig3",
+            "visited ",
+            benchdiff::diff_fig3(&old, &new, threshold_pct / 100.0),
+        ),
+    ] {
+        match diffed {
+            Ok(benchdiff::SectionDiff::BothMissing) => {}
+            Ok(benchdiff::SectionDiff::OneSided { in_new }) => {
+                let path = if in_new { new_path } else { old_path };
+                eprintln!(
+                    "xwq: bench-diff: warning: {name} section only in {path} — not judged (bench versions differ?)"
+                );
+            }
+            Ok(benchdiff::SectionDiff::Compared {
+                rows,
+                only_old,
+                only_new,
+            }) => {
+                for r in &rows {
+                    let marker = if r.regressed {
+                        regressed = true;
+                        "REGRESSED"
+                    } else if r.delta < 0.0 {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{name}/{:<7} {:>12.0} -> {:>12.0} {unit} {:>+7.1}%  {marker}",
+                        r.label,
+                        r.old,
+                        r.new,
+                        r.delta * 100.0,
+                    );
+                }
+                for l in only_old {
+                    eprintln!(
+                        "xwq: bench-diff: warning: {name} row {l:?} only in {old_path} — not judged"
+                    );
+                }
+                for l in only_new {
+                    eprintln!(
+                        "xwq: bench-diff: warning: {name} row {l:?} only in {new_path} — not judged"
+                    );
+                }
+            }
+            Err(e) => return fail(e),
+        }
+    }
     if regressed {
         eprintln!(
             "xwq: bench-diff: regression beyond threshold ({threshold_pct}% mean, {p99_threshold_pct}% p99)"
@@ -1883,6 +2238,25 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Least-squares fit of `y ≈ a + b·x`, returned as `(a, b)`. Degenerate
+/// inputs (empty, or no spread in `x`) yield a flat fit through the mean
+/// so callers can detect them via `b == 0`.
+fn linear_fit(samples: &[(f64, f64)]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mx = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let my = samples.iter().map(|s| s.1).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|s| (s.0 - mx) * (s.0 - mx)).sum();
+    if sxx <= f64::EPSILON {
+        return (my, 0.0);
+    }
+    let sxy: f64 = samples.iter().map(|s| (s.0 - mx) * (s.1 - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
