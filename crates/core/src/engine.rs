@@ -251,6 +251,13 @@ impl ProgramCell {
         let runs = self.runs();
         (runs > 0).then(|| self.actual_visits.load(Ordering::Relaxed) as f64 / runs as f64)
     }
+
+    /// Cumulative visits observed across every run (the numerator of
+    /// [`Self::avg_actual_visits`]); with [`Self::runs`] this is the
+    /// execution history a `.xwqp` sidecar persists.
+    pub fn total_visits(&self) -> u64 {
+        self.actual_visits.load(Ordering::Relaxed)
+    }
 }
 
 /// Plan-provenance counters for one [`Engine`] (how programs came to be:
@@ -489,8 +496,56 @@ impl Engine {
     /// not validate against this index or a program is already cached; a
     /// rejected install silently falls back to cold planning on first run.
     pub fn install_program(&self, q: &CompiledQuery, strategy: Strategy, program: Program) -> bool {
+        self.install_program_with_history(q, strategy, program, 0, 0)
+    }
+
+    /// [`Self::install_program`] carrying the program's recorded execution
+    /// history (cumulative `runs` / `total_visits` observed before it was
+    /// persisted). The history seeds the installed cell's feedback
+    /// counters, and for [`Strategy::Auto`] it is consulted *at install
+    /// time*: if the persisted mean observed visits already exceeds the
+    /// program's estimate by more than the re-plan factor, the engine
+    /// re-plans immediately with that feedback and installs the corrected
+    /// program instead — a restarted server re-plans from observed visits
+    /// rather than re-learning them from cold estimates.
+    pub fn install_program_with_history(
+        &self,
+        q: &CompiledQuery,
+        strategy: Strategy,
+        program: Program,
+        runs: u64,
+        total_visits: u64,
+    ) -> bool {
         if program.validate(&self.ix).is_err() {
             return false;
+        }
+        // Decide on a history-driven correction *outside* the slot lock
+        // (planning can be slow). The persisted history describes the
+        // persisted program, so a corrected replacement starts with fresh
+        // counters and never re-plans itself — the same settling rule as
+        // live feedback (`maybe_replan`).
+        let mut cell = ProgramCell::new(program);
+        cell.actual_visits = AtomicU64::new(total_visits);
+        cell.runs = AtomicU64::new(runs);
+        let mut replanned = false;
+        if strategy == Strategy::Auto && runs > 0 {
+            let avg = total_visits as f64 / runs as f64;
+            let factor = avg / cell.program.est.visits.max(1.0);
+            if avg >= REPLAN_MIN_VISITS && factor > self.replan_factor {
+                let prev_pivot = match &cell.program.kind {
+                    ProgKind::Spine(sp) => Some(sp.pivot as usize),
+                    _ => None,
+                };
+                let plan = planner::plan_auto_with(
+                    &q.path,
+                    &self.ix,
+                    &self.model,
+                    Some(Feedback { prev_pivot, factor }),
+                );
+                cell = ProgramCell::new(compile_plan(&plan));
+                cell.replan_attempted.store(true, Ordering::Relaxed);
+                replanned = true;
+            }
         }
         let identity = self.ix.identity();
         let mut guard = q.cache.progs[strategy.idx()]
@@ -499,8 +554,11 @@ impl Engine {
         if guard.as_ref().is_some_and(|(tag, _)| *tag == identity) {
             return false;
         }
-        *guard = Some((identity, Arc::new(ProgramCell::new(program))));
+        *guard = Some((identity, Arc::new(cell)));
         self.installed.fetch_add(1, Ordering::Relaxed);
+        if replanned {
+            self.replans.fetch_add(1, Ordering::Relaxed);
+        }
         true
     }
 

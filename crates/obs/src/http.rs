@@ -1,0 +1,104 @@
+//! HTTP serving metrics: the request/connection instruments `xwq serve`
+//! reports through the shared [`Registry`].
+//!
+//! The serving tier resolves one [`HttpMetrics`] at startup; the handler
+//! path then touches only `Arc`'d atomics — per-status counters are
+//! pre-registered for the status codes the server can actually emit, so a
+//! request's accounting is an inc + a histogram record, with no registry
+//! lock.
+
+use crate::{Counter, Gauge, LatencyHisto, Registry};
+use std::sync::Arc;
+
+/// Status codes pre-registered as `xwq_http_requests_total{status="..."}`
+/// label values — every status the serve handler can produce. A status
+/// outside this set (impossible today) is folded into `"500"` rather than
+/// silently dropped.
+const STATUSES: &[u16] = &[200, 400, 404, 405, 408, 413, 500, 503];
+
+/// The serve tier's instruments, resolved once from a [`Registry`].
+pub struct HttpMetrics {
+    /// `xwq_http_requests_total{status}` — completed responses by status.
+    requests: Vec<(u16, Arc<Counter>)>,
+    /// `xwq_http_request_latency_ns` — read-first-byte → response-flushed.
+    pub latency: Arc<LatencyHisto>,
+    /// `xwq_http_connections_active` — connections currently open.
+    pub connections: Arc<Gauge>,
+}
+
+impl HttpMetrics {
+    /// Registers (or re-resolves) the HTTP metrics on `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        registry.describe(
+            "xwq_http_requests_total",
+            "HTTP responses sent, by status code",
+        );
+        registry.describe(
+            "xwq_http_request_latency_ns",
+            "HTTP request service time (first request byte to response flushed), nanoseconds",
+        );
+        registry.describe(
+            "xwq_http_connections_active",
+            "HTTP connections currently open",
+        );
+        HttpMetrics {
+            requests: STATUSES
+                .iter()
+                .map(|&s| {
+                    let label = s.to_string();
+                    (
+                        s,
+                        registry.counter_with("xwq_http_requests_total", &[("status", &label)]),
+                    )
+                })
+                .collect(),
+            latency: registry.histo("xwq_http_request_latency_ns"),
+            connections: registry.gauge("xwq_http_connections_active"),
+        }
+    }
+
+    /// Accounts one completed response: the status counter plus the
+    /// service-time histogram.
+    pub fn record_response(&self, status: u16, latency_ns: u64) {
+        self.counter_for(status).inc();
+        self.latency.record(latency_ns);
+    }
+
+    /// The `xwq_http_requests_total` counter for `status` (folding unknown
+    /// statuses into 500, see [`STATUSES`]).
+    pub fn counter_for(&self, status: u16) -> &Arc<Counter> {
+        self.requests
+            .iter()
+            .find(|(s, _)| *s == status)
+            .or_else(|| self.requests.iter().find(|(s, _)| *s == 500))
+            .map(|(_, c)| c)
+            .expect("500 is always registered")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RenderFormat;
+
+    #[test]
+    fn records_and_renders() {
+        let registry = Registry::new();
+        let m = HttpMetrics::new(&registry);
+        m.connections.add(1);
+        m.record_response(200, 1_500);
+        m.record_response(200, 2_500);
+        m.record_response(503, 900);
+        m.record_response(799, 10); // unknown → folded into 500
+        m.connections.add(-1);
+        let text = registry.render(RenderFormat::Prometheus);
+        assert!(text.contains("xwq_http_requests_total{status=\"200\"} 2"));
+        assert!(text.contains("xwq_http_requests_total{status=\"503\"} 1"));
+        assert!(text.contains("xwq_http_requests_total{status=\"500\"} 1"));
+        assert!(text.contains("xwq_http_connections_active 0"));
+        assert!(text.contains("xwq_http_request_latency_ns_count 4"));
+        // Zero-valued statuses are pre-registered so dashboards see the
+        // full label space from the first scrape.
+        assert!(text.contains("xwq_http_requests_total{status=\"400\"} 0"));
+    }
+}

@@ -23,9 +23,11 @@
 //! behind `xwq query --trace`.
 
 mod histo;
+mod http;
 mod registry;
 mod trace;
 
 pub use histo::{HistoSummary, LatencyHisto, HISTO_BUCKETS};
+pub use http::HttpMetrics;
 pub use registry::{Counter, Gauge, Registry, RenderFormat};
 pub use trace::TraceNode;

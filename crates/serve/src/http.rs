@@ -1,0 +1,359 @@
+//! HTTP/1.1 on a socket, the minimal honest subset: request parsing with
+//! hard size caps, `Content-Length` bodies, keep-alive, and fixed or
+//! chunked responses. Anything outside the subset — stray transfer
+//! encodings, HTTP/2 preambles, header floods — is rejected with a clean
+//! 4xx, never a panic: every byte here arrived from the network.
+
+use std::io::{self, BufRead, Write};
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path with any `?query` suffix split off (the server routes on the
+    /// path alone and ignores query strings).
+    pub path: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if the client asked to close the connection after this
+    /// response (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. Carries the status the connection
+/// should answer with before closing (0 = no answer, just close).
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF on a request boundary — the client is done.
+    Eof,
+    /// Read timed out (between or inside requests) → 408.
+    Timeout,
+    /// Malformed request line / headers / framing → 400.
+    Bad(&'static str),
+    /// Header section or declared body over the configured cap → 413.
+    TooLarge(&'static str),
+    /// Transport failure mid-request; nothing sensible to answer.
+    Io(io::Error),
+}
+
+impl ReadError {
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            ReadError::Eof | ReadError::Io(_) => None,
+            ReadError::Timeout => Some((408, "request read timed out")),
+            ReadError::Bad(m) => Some((400, m)),
+            ReadError::TooLarge(m) => Some((413, m)),
+        }
+    }
+}
+
+fn classify(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one line (through `\n`), enforcing a running header-byte budget.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    first: bool,
+) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let n = {
+            let buf = reader.fill_buf().map_err(classify)?;
+            if buf.is_empty() {
+                return Err(if first && line.is_empty() {
+                    ReadError::Eof
+                } else {
+                    ReadError::Bad("connection closed mid-request")
+                });
+            }
+            let take = buf
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| i + 1)
+                .unwrap_or(buf.len());
+            let take = take.min(*budget + 1);
+            line.extend_from_slice(&buf[..take]);
+            take
+        };
+        reader.consume(n);
+        if n > *budget {
+            return Err(ReadError::TooLarge("header section exceeds the cap"));
+        }
+        *budget -= n;
+        if line.last() == Some(&b'\n') {
+            break;
+        }
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ReadError::Bad("non-UTF-8 header bytes"))
+}
+
+/// Reads one request off `reader`. `max_header` bounds the request line +
+/// headers together; `max_body` bounds the declared `Content-Length`.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_header: usize,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut budget = max_header;
+    let request_line = read_line(reader, &mut budget, true)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(ReadError::Bad("malformed request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Bad("unsupported HTTP version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ReadError::Bad("malformed method"));
+    }
+    let path = path.split('?').next().expect("split yields a first piece");
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad("malformed header line"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ReadError::Bad("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(ReadError::Bad("request transfer-encoding not supported"));
+    }
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| ReadError::Bad("malformed content-length"))?;
+        if len > max_body {
+            return Err(ReadError::TooLarge("request body exceeds the cap"));
+        }
+        let mut body = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            let n = reader.read(&mut body[filled..]).map_err(classify)?;
+            if n == 0 {
+                return Err(ReadError::Bad("connection closed mid-body"));
+            }
+            filled += n;
+        }
+        req.body = body;
+    }
+    Ok(req)
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra` headers are emitted
+/// verbatim (already `Name: value` formatted, no terminators).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[&str],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    for h in extra {
+        write!(w, "{h}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Incremental chunked-transfer response: `begin` writes the header,
+/// each `chunk` flushes one piece to the wire immediately (this is the
+/// mechanism that puts the first document's bytes on the socket while
+/// later shards are still evaluating), `finish` terminates the stream.
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+    started: bool,
+    done: bool,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    pub fn new(w: &'a mut W) -> Self {
+        ChunkedWriter {
+            w,
+            started: false,
+            done: false,
+        }
+    }
+
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    pub fn begin(&mut self, status: u16, content_type: &str, keep_alive: bool) -> io::Result<()> {
+        debug_assert!(!self.started);
+        self.started = true;
+        write!(
+            self.w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            status,
+            status_reason(status),
+            content_type,
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        self.w.flush()
+    }
+
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        debug_assert!(self.started && !self.done);
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    pub fn finish(&mut self) -> io::Result<()> {
+        debug_assert!(self.started && !self.done);
+        self.done = true;
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(bytes), 1024, 4096)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_keepalive() {
+        let req =
+            parse(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!((req.method.as_str(), req.path.as_str()), ("POST", "/query"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+        let req = parse(b"GET /healthz?x=1 HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn garbage_is_400_and_oversize_is_413() {
+        for bad in [
+            &b"\x16\x03\x01 TLS hello\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            match parse(bad) {
+                Err(ReadError::Bad(_)) => {}
+                other => panic!("{bad:?} → {other:?}"),
+            }
+        }
+        let flood = format!("GET /x HTTP/1.1\r\nA: {}\r\n\r\n", "y".repeat(5000));
+        assert!(matches!(
+            parse(flood.as_bytes()),
+            Err(ReadError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n"),
+            Err(ReadError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_clean() {
+        assert!(matches!(parse(b""), Err(ReadError::Eof)));
+        assert!(matches!(
+            parse(b"GET /x HT"),
+            Err(ReadError::Bad(_)) // mid-request close is not clean
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut r, 1024, 1024).unwrap().path, "/a");
+        assert_eq!(read_request(&mut r, 1024, 1024).unwrap().path, "/b");
+        assert!(matches!(
+            read_request(&mut r, 1024, 1024),
+            Err(ReadError::Eof)
+        ));
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        let mut cw = ChunkedWriter::new(&mut out);
+        cw.begin(200, "text/plain", true).unwrap();
+        cw.chunk(b"hello ").unwrap();
+        cw.chunk(b"").unwrap(); // dropped, would otherwise end the stream
+        cw.chunk(b"world").unwrap();
+        cw.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"));
+    }
+}

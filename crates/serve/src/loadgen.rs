@@ -1,0 +1,221 @@
+//! Open-loop, closed-socket load generator for `xwq serve`.
+//!
+//! Open-loop means the arrival schedule is fixed up front — request `i`
+//! is *due* at `start + i/rate` whether or not earlier requests have
+//! finished — and latency is measured **from the scheduled arrival
+//! time**, not from when a worker got around to sending. A closed-loop
+//! generator (send, wait, send) silently stops offering load the moment
+//! the server slows down, which hides exactly the queueing behaviour a
+//! latency percentile is supposed to expose (coordinated omission).
+//!
+//! Closed-socket: every request uses a fresh connection, so accept-queue
+//! and connection-setup costs are inside the measurement, as they are
+//! for a new client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What to offer, where, for how long.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// `host:port` of a running `xwq serve`.
+    pub addr: String,
+    /// Offered arrival rate, requests per second.
+    pub rate_hz: f64,
+    /// Total requests in the schedule.
+    pub requests: u64,
+    /// JSON body sent as `POST /query` on every request.
+    pub body: String,
+    /// Sender threads. More than the server's worker count is fine —
+    /// senders mostly sleep; short of it, a slow server makes *this*
+    /// side the bottleneck and the report says so via `late`.
+    pub senders: usize,
+    /// Per-socket read/write timeout; a request past it counts as an
+    /// error.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            rate_hz: 50.0,
+            requests: 100,
+            body: "{\"query\":\"//x\",\"count\":true}".to_string(),
+            senders: 8,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The aggregate outcome of one run. Latencies are nanoseconds from the
+/// *scheduled* arrival to the last response byte.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    pub sent: u64,
+    pub ok: u64,
+    /// Non-200 responses plus transport failures.
+    pub errors: u64,
+    /// Requests whose sender was not free at the scheduled arrival
+    /// (their latency includes the wait, per open-loop rules).
+    pub late: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    pub error_rate: f64,
+    /// `sent / wall-clock`, for checking the offered rate was achieved.
+    pub achieved_rps: f64,
+    pub elapsed_ns: u64,
+}
+
+/// Runs the schedule to completion and aggregates.
+pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate_hz.max(0.001));
+    let next = AtomicU64::new(0);
+    let lat = Mutex::new(Vec::<u64>::with_capacity(cfg.requests as usize));
+    let counters = Mutex::new((0u64, 0u64, 0u64)); // (ok, errors, late)
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..cfg.senders.max(1) {
+            scope.spawn(|| {
+                let mut local_lat = Vec::new();
+                let (mut ok, mut errors, mut late) = (0u64, 0u64, 0u64);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cfg.requests {
+                        break;
+                    }
+                    let due = interval.mul_f64(i as f64);
+                    let now = start.elapsed();
+                    if now < due {
+                        thread::sleep(due - now);
+                    } else if now > due + Duration::from_millis(1) {
+                        late += 1;
+                    }
+                    match one_request(cfg) {
+                        Ok(200) => ok += 1,
+                        _ => errors += 1,
+                    }
+                    // Scheduled-arrival latency: queueing delay on this
+                    // side (a busy sender) counts against the server's
+                    // percentiles, exactly as a real client would see it.
+                    local_lat.push(start.elapsed().saturating_sub(due).as_nanos() as u64);
+                }
+                lat.lock()
+                    .expect("loadgen latencies poisoned")
+                    .extend(local_lat);
+                let mut c = counters.lock().expect("loadgen counters poisoned");
+                c.0 += ok;
+                c.1 += errors;
+                c.2 += late;
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let mut lat = lat.into_inner().expect("loadgen latencies poisoned");
+    lat.sort_unstable();
+    let (ok, errors, late) = counters.into_inner().expect("loadgen counters poisoned");
+    let sent = ok + errors;
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() - 1) as f64 * p).round() as usize;
+        lat[idx]
+    };
+    LoadgenReport {
+        sent,
+        ok,
+        errors,
+        late,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        max_ns: lat.last().copied().unwrap_or(0),
+        error_rate: if sent > 0 {
+            errors as f64 / sent as f64
+        } else {
+            0.0
+        },
+        achieved_rps: if elapsed.as_secs_f64() > 0.0 {
+            sent as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        elapsed_ns: elapsed.as_nanos() as u64,
+    }
+}
+
+/// One closed-socket request: connect, send, read the status line, drain
+/// the response. Returns the HTTP status.
+fn one_request(cfg: &LoadgenConfig) -> Result<u16, ()> {
+    let stream = TcpStream::connect(&cfg.addr).map_err(|_| ())?;
+    stream.set_read_timeout(Some(cfg.timeout)).map_err(|_| ())?;
+    stream
+        .set_write_timeout(Some(cfg.timeout))
+        .map_err(|_| ())?;
+    let mut w = stream.try_clone().map_err(|_| ())?;
+    write!(
+        w,
+        "POST /query HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        cfg.addr,
+        cfg.body.len()
+    )
+    .map_err(|_| ())?;
+    w.write_all(cfg.body.as_bytes()).map_err(|_| ())?;
+    w.flush().map_err(|_| ())?;
+    let mut r = BufReader::new(stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line).map_err(|_| ())?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(())?;
+    // `Connection: close` → the server ends the response with EOF; drain
+    // so the measurement covers the full body.
+    let mut sink = [0u8; 4096];
+    loop {
+        match r.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_reports_zeros() {
+        let report = run(&LoadgenConfig {
+            requests: 0,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!((report.sent, report.ok, report.errors), (0, 0, 0));
+        assert_eq!(report.error_rate, 0.0);
+    }
+
+    #[test]
+    fn unreachable_server_counts_errors_not_panics() {
+        // A port from the ephemeral range with nothing listening: every
+        // request must come back as an error, schedule still completes.
+        let report = run(&LoadgenConfig {
+            addr: "127.0.0.1:1".to_string(),
+            rate_hz: 1000.0,
+            requests: 5,
+            senders: 2,
+            timeout: Duration::from_millis(500),
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(report.sent, 5);
+        assert_eq!(report.errors, 5);
+        assert!((report.error_rate - 1.0).abs() < 1e-9);
+    }
+}

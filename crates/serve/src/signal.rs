@@ -1,0 +1,66 @@
+//! Process signal → atomic flag: the serving tier's only unsafe
+//! boundary (whitelisted in `xwq lint`). `SIGINT`/`SIGTERM` set a
+//! process-global flag that `xwq serve` polls to start a graceful
+//! drain; nothing else happens in handler context, because almost
+//! nothing is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+const SIG_ERR: usize = usize::MAX;
+
+extern "C" {
+    /// ISO C `signal(2)`, linked from the platform libc that `std`
+    /// already pulls in — no new dependency. The handler argument and
+    /// return value are `void (*)(int)` smuggled as `usize`.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The installed handler: a single atomic store, the canonical
+/// async-signal-safe operation.
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes `SIGINT` and `SIGTERM` to the shutdown flag. Returns `false`
+/// if the platform refused either registration (the caller keeps
+/// running; it just won't drain on signals).
+pub fn install_shutdown_handler() -> bool {
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    // SAFETY: `signal` is the ISO C registration call with the
+    // documented signature; `handler` is a non-capturing `extern "C"`
+    // function whose body performs only an atomic store, which is
+    // async-signal-safe. No Rust state other than the static atomic is
+    // touched from handler context.
+    let a = unsafe { signal(SIGINT, handler) };
+    // SAFETY: as above.
+    let b = unsafe { signal(SIGTERM, handler) };
+    a != SIG_ERR && b != SIG_ERR
+}
+
+/// True once any routed signal has fired.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the flag from Rust (tests, and an in-process equivalent of a
+/// signal for the CLI's `--drain-after-ms` test hook).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip_and_handler_installs() {
+        assert!(install_shutdown_handler());
+        // Exercise the handler exactly as the kernel would call it.
+        on_signal(SIGTERM);
+        assert!(shutdown_requested());
+    }
+}

@@ -632,6 +632,13 @@ impl Corpus {
         self.durable.is_some()
     }
 
+    /// The backing directory of a durable corpus (`None` when in-memory).
+    pub fn dir(&self) -> Option<PathBuf> {
+        self.durable
+            .as_ref()
+            .map(|d| d.lock().expect("durable state poisoned").dir.clone())
+    }
+
     /// What recovery did when this corpus was opened (all zeros for a
     /// clean open or an in-memory corpus).
     pub fn recovery_stats(&self) -> RecoveryStats {

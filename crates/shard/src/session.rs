@@ -131,7 +131,17 @@ pub struct ShardedSession {
     /// `xwq_corpus_fanout_latency_ns`: end-to-end fan-out wall time
     /// (admission wait included). Set by [`Self::enable_telemetry`].
     fanout_latency: OnceLock<Arc<LatencyHisto>>,
+    /// Test-only slow-shard fixture: a hook every evaluation passes its
+    /// document name through before running, so a test can make one
+    /// shard's documents arbitrarily slow (or block them on a signal) and
+    /// observe streaming emission ordering deterministically.
+    #[cfg(test)]
+    eval_gate: Mutex<Option<EvalGate>>,
 }
+
+/// See [`ShardedSession::eval_gate`].
+#[cfg(test)]
+type EvalGate = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// One shard's serving state.
 struct ShardServer {
@@ -173,6 +183,8 @@ impl ShardedSession {
             admission: Admission::new(config.admission),
             workers_per_shard: config.workers_per_shard,
             fanout_latency: OnceLock::new(),
+            #[cfg(test)]
+            eval_gate: Mutex::new(None),
         }
     }
 
@@ -244,6 +256,34 @@ impl ShardedSession {
         total
     }
 
+    /// Snapshots every compiled program the shard sessions hold into
+    /// `.xwqp` sidecars next to each durable document's `.xwqi` artifact —
+    /// execution history included, so the next open of this corpus starts
+    /// warm *and* re-plans from observed visits (see
+    /// [`xwq_store::Session::persist_plans`]). Best effort by design: a
+    /// document that cannot be persisted (no cached programs, a vanished
+    /// artifact) is skipped, never an error — this runs on server drain,
+    /// which must not fail. Returns the number of programs persisted.
+    /// No-op (0) for an in-memory corpus.
+    pub fn persist_plans(&self) -> usize {
+        let Some(dir) = self.corpus.dir() else {
+            return 0;
+        };
+        // Pin the epoch so artifact GC cannot unlink a generation between
+        // the catalog read and the sidecar write next to it.
+        let _epoch = self.corpus.pin();
+        let mut saved = 0;
+        for (name, entry) in self.corpus.durable_entries() {
+            if let Some(shard) = self.corpus.shard_of(&name) {
+                saved += self.shards[shard]
+                    .session
+                    .persist_plans(&name, dir.join(&entry.file))
+                    .unwrap_or(0);
+            }
+        }
+        saved
+    }
+
     /// Fans `query` out over **every** document in the corpus and merges
     /// the per-document outcomes in document-name order.
     pub fn query_corpus(
@@ -305,6 +345,55 @@ impl ShardedSession {
         self.run(query, strategy, targets)
     }
 
+    /// Streaming [`Self::query_corpus_stats`]: instead of materializing
+    /// the merged outcome vector, `sink` receives each [`DocOutcome`] in
+    /// document-name order **as it completes** — the first document's
+    /// outcome is delivered while later shards are still evaluating, so a
+    /// network caller can start writing its response before the fan-out
+    /// finishes. Emission is *ordered* incremental: outcome `i` is held
+    /// until outcomes `0..i` have been emitted, so the concatenated stream
+    /// is byte-identical to the non-streaming merge.
+    ///
+    /// The sink runs on the calling thread with no internal lock held; a
+    /// slow sink never stalls shard workers, but it does extend how long
+    /// this fan-out holds its admission permit. Returns the merged
+    /// evaluation totals (identical to the non-streaming call).
+    pub fn query_corpus_streaming(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        mut sink: impl FnMut(DocOutcome),
+    ) -> Result<EvalStats, CorpusError> {
+        let targets = self.corpus.placements();
+        self.run_with_sink(query, strategy, targets, Some(&mut sink))
+            .map(|(_, stats)| stats)
+    }
+
+    /// Streaming [`Self::query_docs_stats`] (see
+    /// [`Self::query_corpus_streaming`] for the emission contract).
+    pub fn query_docs_streaming(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        docs: &[impl AsRef<str>],
+        mut sink: impl FnMut(DocOutcome),
+    ) -> Result<EvalStats, CorpusError> {
+        let mut names: Vec<&str> = docs.iter().map(AsRef::as_ref).collect();
+        names.sort_unstable();
+        names.dedup();
+        let targets = names
+            .into_iter()
+            .map(|name| {
+                self.corpus
+                    .shard_of(name)
+                    .map(|shard| (name.to_string(), shard))
+                    .ok_or_else(|| CorpusError::UnknownDocument(name.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run_with_sink(query, strategy, targets, Some(&mut sink))
+            .map(|(_, stats)| stats)
+    }
+
     /// The fan-out core. `targets` is `(name, shard)` in name order; the
     /// returned outcomes keep that order.
     fn run(
@@ -312,6 +401,22 @@ impl ShardedSession {
         query: &str,
         strategy: Strategy,
         targets: Vec<(String, usize)>,
+    ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
+        self.run_with_sink(query, strategy, targets, None)
+    }
+
+    /// [`Self::run`], optionally emitting each outcome through `sink` in
+    /// document-name order *as it completes* instead of materializing the
+    /// merged vector (streaming mode returns an empty outcome vec). The
+    /// sink runs on the calling thread with no session lock held, so it
+    /// may block (e.g. on a socket write) without stalling shard workers —
+    /// though a blocked sink does hold this fan-out's admission permit.
+    fn run_with_sink(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        targets: Vec<(String, usize)>,
+        mut sink: Option<&mut dyn FnMut(DocOutcome)>,
     ) -> Result<(Vec<DocOutcome>, EvalStats), CorpusError> {
         let fanout_histo = self.fanout_latency.get();
         let fanout_start = fanout_histo.map(|_| Instant::now());
@@ -331,6 +436,9 @@ impl ShardedSession {
         }
         let out: ResultSlots = Arc::new(Mutex::new((0..targets.len()).map(|_| None).collect()));
         let mut totals = EvalStats::default();
+        // Next slot a streaming sink is owed (slots strictly below it have
+        // been taken and emitted already).
+        let mut emitted = 0usize;
 
         if self.workers_per_shard == 0 {
             // Serial reference mode: the caller serves each shard in
@@ -342,6 +450,10 @@ impl ShardedSession {
                 }
                 let mut scratch = EvalScratch::new();
                 for (slot, name) in docs {
+                    #[cfg(test)]
+                    if let Some(gate) = self.eval_gate.lock().expect("gate poisoned").clone() {
+                        gate(name);
+                    }
                     let result = self.shards[s].session.query_with_scratch(
                         name,
                         query,
@@ -352,6 +464,9 @@ impl ShardedSession {
                         totals.accumulate(&resp.stats);
                     }
                     out.lock().expect("corpus results poisoned")[*slot] = Some(result);
+                    if let Some(sink) = sink.as_deref_mut() {
+                        emitted = drain_ready(&targets, &out, emitted, sink);
+                    }
                 }
             }
         } else {
@@ -381,6 +496,8 @@ impl ShardedSession {
                                 histo: Arc::clone(histo),
                             }
                         }),
+                        #[cfg(test)]
+                        gate: self.eval_gate.lock().expect("gate poisoned").clone(),
                     };
                 self.shards[s]
                     .pool
@@ -388,13 +505,28 @@ impl ShardedSession {
                 self.shards[s].pool.publish(job);
             }
             // The caller never works a shard itself in pooled mode — it
-            // would break pinning — so it just waits on the latch.
+            // would break pinning — so it waits on the latch. A streaming
+            // sink additionally drains the completed name-order prefix on
+            // every latch tick: a document's slot is written before its
+            // latch decrement fires (see `ShardJob::run_items`), so each
+            // wakeup can only ever find *more* of the prefix complete.
             let (left, cv) = &*pending;
-            let mut left = left.lock().expect("corpus pending poisoned");
-            while *left > 0 {
-                left = cv.wait(left).expect("corpus pending poisoned");
+            let mut remaining = *left.lock().expect("corpus pending poisoned");
+            loop {
+                if let Some(sink) = sink.as_deref_mut() {
+                    emitted = drain_ready(&targets, &out, emitted, sink);
+                }
+                if remaining == 0 {
+                    break;
+                }
+                let guard = left.lock().expect("corpus pending poisoned");
+                let guard = if *guard == remaining {
+                    cv.wait(guard).expect("corpus pending poisoned")
+                } else {
+                    guard
+                };
+                remaining = *guard;
             }
-            drop(left);
             totals = *shared_totals.lock().expect("corpus totals poisoned");
         }
 
@@ -402,7 +534,9 @@ impl ShardedSession {
         let outcomes = targets
             .into_iter()
             .zip(slots.iter_mut())
-            .map(|((doc, shard), slot)| DocOutcome {
+            .enumerate()
+            .filter(|(slot, _)| *slot >= emitted)
+            .map(|(_, ((doc, shard), slot))| DocOutcome {
                 doc,
                 shard,
                 result: slot.take().expect("every document answered exactly once"),
@@ -461,6 +595,36 @@ struct ShardJob {
     /// Queue-wait telemetry: the first claiming worker records how long
     /// the job sat published before any worker picked it up.
     queue_wait: Option<QueueWaitProbe>,
+    /// Slow-shard test fixture (see [`ShardedSession::eval_gate`]).
+    #[cfg(test)]
+    gate: Option<EvalGate>,
+}
+
+/// Takes and emits the contiguous completed prefix of `out` starting at
+/// `emitted`, returning the new high-water mark. Each slot is taken under
+/// the lock but handed to the sink with no lock held.
+fn drain_ready(
+    targets: &[(String, usize)],
+    out: &ResultSlots,
+    mut emitted: usize,
+    sink: &mut dyn FnMut(DocOutcome),
+) -> usize {
+    loop {
+        let taken = {
+            let mut slots = out.lock().expect("corpus results poisoned");
+            if emitted < targets.len() && slots[emitted].is_some() {
+                slots[emitted].take()
+            } else {
+                None
+            }
+        };
+        let Some(result) = taken else {
+            return emitted;
+        };
+        let (doc, shard) = targets[emitted].clone();
+        sink(DocOutcome { doc, shard, result });
+        emitted += 1;
+    }
 }
 
 /// Telemetry carried on a published job (see [`ShardJob::queue_wait`]).
@@ -505,9 +669,11 @@ impl ShardJob {
                 let (left, cv) = self.0;
                 let mut left = left.lock().expect("corpus pending poisoned");
                 *left -= 1;
-                if *left == 0 {
-                    cv.notify_all();
-                }
+                // Notify on *every* decrement, not just the last: a
+                // streaming caller wakes per document to emit the completed
+                // prefix, and the non-streaming caller just re-checks
+                // `left > 0` on the spurious wakeups.
+                cv.notify_all();
             }
         }
         let mut local = EvalStats::default();
@@ -535,6 +701,10 @@ impl ShardJob {
             }
             drop(answered.replace(PendingGuard(&self.pending)));
             let (slot, name) = &self.docs[i];
+            #[cfg(test)]
+            if let Some(gate) = &self.gate {
+                gate(name);
+            }
             let result = session.query_with_scratch(name, &self.query, self.strategy, scratch);
             if let Ok(resp) = &result {
                 local.accumulate(&resp.stats);
@@ -983,6 +1153,93 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streaming_emission_matches_materialized_merge_across_combos() {
+        for shards in [1, 2, 3] {
+            let corpus = corpus(shards);
+            let serial = ShardedSession::new(Arc::clone(&corpus), 0);
+            let (expect, expect_stats) =
+                serial.query_corpus_stats("//x[y]", Strategy::Auto).unwrap();
+            for workers in [0, 1, 2, 8] {
+                let session = ShardedSession::new(Arc::clone(&corpus), workers);
+                let mut streamed = Vec::new();
+                let stats = session
+                    .query_corpus_streaming("//x[y]", Strategy::Auto, |o| streamed.push(o))
+                    .unwrap();
+                assert_eq!(stats, expect_stats, "{shards} shards {workers} workers");
+                assert_eq!(streamed.len(), expect.len());
+                for (a, b) in expect.iter().zip(&streamed) {
+                    assert_eq!((a.doc.as_str(), a.shard), (b.doc.as_str(), b.shard));
+                    assert_eq!(
+                        a.result.as_ref().unwrap().nodes,
+                        b.result.as_ref().unwrap().nodes,
+                        "doc {} at {shards} shards {workers} workers",
+                        a.doc
+                    );
+                }
+                // Subset streaming too, including the error outcome path.
+                let mut subset = Vec::new();
+                session
+                    .query_docs_streaming("//x[y]", Strategy::Auto, &["gamma", "alpha"], |o| {
+                        subset.push(o.doc)
+                    })
+                    .unwrap();
+                assert_eq!(subset, vec!["alpha", "gamma"]);
+            }
+        }
+    }
+
+    /// The slow-shard fixture: "beta" (alone on shard 1 of 2 under
+    /// round-robin) blocks inside evaluation until the test releases it.
+    /// The streaming sink must receive "alpha" — a different shard's
+    /// document — while "beta" is still blocked, proving emission is
+    /// incremental rather than gated on the full corpus latch. A merge
+    /// that waited for every shard would deadlock here (bounded by the
+    /// receive timeout) instead of passing.
+    #[test]
+    fn streaming_delivers_first_document_before_slow_shard_finishes() {
+        use std::sync::mpsc;
+        let corpus = corpus(2);
+        let session = Arc::new(ShardedSession::new(Arc::clone(&corpus), 1));
+        let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let gate = {
+            let release = Arc::clone(&release);
+            Arc::new(move |name: &str| {
+                if name == "beta" {
+                    let (lock, cv) = &*release;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+            }) as EvalGate
+        };
+        *session.eval_gate.lock().unwrap() = Some(gate);
+
+        let (tx, rx) = mpsc::channel();
+        let worker = {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                session
+                    .query_corpus_streaming("//x", Strategy::Auto, |o| tx.send(o.doc).unwrap())
+                    .unwrap()
+            })
+        };
+        let first = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("first outcome must arrive while the slow shard is still blocked");
+        assert_eq!(first, "alpha");
+        // Only now let "beta" evaluate; the rest of the stream follows.
+        {
+            let (lock, cv) = &*release;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let rest: Vec<String> = rx.into_iter().collect();
+        assert_eq!(rest, vec!["beta", "gamma"]);
+        worker.join().unwrap();
     }
 
     #[test]
@@ -1444,6 +1701,7 @@ mod model_tests {
             pending: Arc::clone(pending),
             totals: Arc::clone(totals),
             queue_wait: None,
+            gate: None,
         }
     }
 

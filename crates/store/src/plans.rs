@@ -45,8 +45,10 @@ use xwq_core::Strategy;
 /// File magic: `XWQP`.
 pub const PLANS_MAGIC: [u8; 4] = *b"XWQP";
 
-/// Current `.xwqp` format version.
-pub const PLANS_VERSION: u32 = 1;
+/// Current `.xwqp` format version. Version 2 added per-entry execution
+/// history (cumulative runs / visits) after each program blob; version 1
+/// sidecars are still read, with zero history.
+pub const PLANS_VERSION: u32 = 2;
 
 /// Header size in bytes (same shape as the `.xwqi` header).
 pub const PLANS_HEADER_LEN: usize = 32;
@@ -68,6 +70,13 @@ pub struct PlanEntry {
     pub strategy: Strategy,
     /// `Program::encode()` bytes.
     pub program: Vec<u8>,
+    /// How many times the program had executed when it was persisted.
+    pub runs: u64,
+    /// Cumulative visits those runs observed — with `runs`, the feedback a
+    /// restarted server re-plans from instead of cold estimates (see
+    /// [`xwq_core::Engine::install_program_with_history`]). Version-1
+    /// sidecars carry no history; both fields read back as zero.
+    pub total_visits: u64,
 }
 
 /// A full sidecar: the index binding, the cost model the programs were
@@ -132,6 +141,8 @@ pub fn serialize_plans(set: &PlanSet) -> Vec<u8> {
         put_bytes(&mut p, e.query.as_bytes());
         put_bytes(&mut p, e.strategy.token().as_bytes());
         put_bytes(&mut p, &e.program);
+        p.extend_from_slice(&e.runs.to_le_bytes());
+        p.extend_from_slice(&e.total_visits.to_le_bytes());
     }
     let mut out = Vec::with_capacity(PLANS_HEADER_LEN + p.len());
     out.extend_from_slice(&PLANS_MAGIC);
@@ -158,7 +169,7 @@ pub fn deserialize_plans(bytes: &[u8]) -> Result<PlanSet, FormatError> {
         return Err(FormatError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != PLANS_VERSION {
+    if !(1..=PLANS_VERSION).contains(&version) {
         return Err(FormatError::UnsupportedVersion(version));
     }
     let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
@@ -218,10 +229,18 @@ pub fn deserialize_plans(bytes: &[u8]) -> Result<PlanSet, FormatError> {
         let strategy = Strategy::from_str(&token)
             .map_err(|_| FormatError::Corrupt(format!("unknown strategy token {token:?}")))?;
         let program = r.bytes(PROGRAM_MAX)?.to_vec();
+        // Execution history arrived with version 2; v1 entries start cold.
+        let (runs, total_visits) = if version >= 2 {
+            (r.u64()?, r.u64()?)
+        } else {
+            (0, 0)
+        };
         entries.push(PlanEntry {
             query,
             strategy,
             program,
+            runs,
+            total_visits,
         });
     }
     if r.remaining() != 0 {
@@ -338,11 +357,15 @@ mod tests {
                     query: "//item[quantity]".into(),
                     strategy: Strategy::Auto,
                     program: vec![1, 2, 3, 4, 5],
+                    runs: 12,
+                    total_visits: 4800,
                 },
                 PlanEntry {
                     query: "/site//name".into(),
                     strategy: Strategy::Hybrid,
                     program: vec![9; 64],
+                    runs: 0,
+                    total_visits: 0,
                 },
             ],
         }
@@ -397,6 +420,43 @@ mod tests {
             deserialize_plans(&bytes),
             Err(FormatError::UnsupportedVersion(99))
         ));
+    }
+
+    /// A version-1 sidecar (no per-entry history) still reads back, with
+    /// every entry starting cold. Serialized by hand exactly as the v1
+    /// writer did.
+    #[test]
+    fn version_1_sidecars_read_back_with_zero_history() {
+        let want = sample();
+        let mut p = Vec::new();
+        p.extend_from_slice(&want.index_checksum.to_le_bytes());
+        p.extend_from_slice(&want.model.automaton_visit.to_bits().to_le_bytes());
+        p.extend_from_slice(&want.model.automaton_setup.to_bits().to_le_bytes());
+        p.push(want.calibrated as u8);
+        p.extend_from_slice(&(want.entries.len() as u32).to_le_bytes());
+        for e in &want.entries {
+            put_bytes(&mut p, e.query.as_bytes());
+            put_bytes(&mut p, e.strategy.token().as_bytes());
+            put_bytes(&mut p, &e.program);
+        }
+        let mut bytes = Vec::with_capacity(PLANS_HEADER_LEN + p.len());
+        bytes.extend_from_slice(&PLANS_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum(&p).to_le_bytes());
+        bytes.extend_from_slice(&p);
+
+        let got = deserialize_plans(&bytes).unwrap();
+        assert_eq!(got.index_checksum, want.index_checksum);
+        assert_eq!(got.entries.len(), want.entries.len());
+        for (g, w) in got.entries.iter().zip(&want.entries) {
+            assert_eq!(g.query, w.query);
+            assert_eq!(g.strategy, w.strategy);
+            assert_eq!(g.program, w.program);
+            assert_eq!((g.runs, g.total_visits), (0, 0), "v1 entries start cold");
+        }
     }
 
     #[test]

@@ -398,6 +398,8 @@ impl Session {
                         query: query.clone(),
                         strategy: *strategy,
                         program: cell.program.encode(),
+                        runs: cell.runs(),
+                        total_visits: cell.total_visits(),
                     });
                 }
             }
@@ -465,7 +467,16 @@ impl SessionInner {
             for entry in &plans.entries {
                 if entry.query == query && entry.strategy == strategy {
                     if let Ok(program) = Program::decode(&entry.program) {
-                        doc.engine().install_program(&compiled, strategy, program);
+                        // Persisted execution history rides along: a
+                        // program whose recorded visits already blew its
+                        // estimate is corrected at install, not re-learned.
+                        doc.engine().install_program_with_history(
+                            &compiled,
+                            strategy,
+                            program,
+                            entry.runs,
+                            entry.total_visits,
+                        );
                     }
                     break;
                 }
@@ -995,6 +1006,68 @@ mod tests {
         assert!(d4.warm_plans().is_none(), "stale sidecar must be ignored");
         let stale = Session::new(Arc::clone(&store4));
         assert_eq!(stale.query("d", "//x", Strategy::Auto).unwrap().nodes, [1]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Persisted visit history drives re-planning across a restart: a
+    /// sidecar whose recorded observed visits dwarf the program's estimate
+    /// makes the warm install re-plan immediately (counted as a replan,
+    /// results unchanged), while honest history installs as-is.
+    #[test]
+    fn sidecar_history_replans_at_warm_install() {
+        let dir = std::env::temp_dir().join(format!("xwq-warm-history-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.xwqi");
+        let store = Arc::new(DocumentStore::new());
+        let d = store
+            .insert_xml(
+                "d",
+                "<r><x><y/></x><x/><z>t</z><x><y/></x></r>",
+                TopologyKind::Succinct,
+            )
+            .unwrap();
+        d.save(&path).unwrap();
+        let session = Session::new(Arc::clone(&store));
+        let expect = session.query("d", "//x[y]", Strategy::Auto).unwrap().nodes;
+        assert_eq!(session.persist_plans("d", &path).unwrap(), 1);
+        let sidecar = crate::plans_sidecar_path(&path);
+
+        // Round 1: honest history (one quiet run) installs untouched.
+        let store2 = Arc::new(DocumentStore::new());
+        let d2 = store2.load_index_file("d", &path).unwrap();
+        let plans = d2.warm_plans().expect("sidecar must load");
+        assert_eq!(plans.entries[0].runs, 1, "history must persist");
+        assert!(plans.entries[0].total_visits > 0);
+        let warm = Session::new(Arc::clone(&store2));
+        assert_eq!(
+            warm.query("d", "//x[y]", Strategy::Auto).unwrap().nodes,
+            expect
+        );
+        let counters = d2.engine().plan_counters();
+        assert_eq!((counters.installed, counters.replans), (1, 0));
+
+        // Round 2: rewrite the sidecar with history claiming the program
+        // wildly under-estimated. The warm install must re-plan from that
+        // feedback instead of installing the known-bad program.
+        let mut set = crate::read_plans_file(&sidecar).unwrap();
+        set.entries[0].runs = 16;
+        set.entries[0].total_visits = 16_000_000;
+        crate::write_plans_file_durable(&sidecar, &set).unwrap();
+        let store3 = Arc::new(DocumentStore::new());
+        let d3 = store3.load_index_file("d", &path).unwrap();
+        let corrected = Session::new(Arc::clone(&store3));
+        assert_eq!(
+            corrected
+                .query("d", "//x[y]", Strategy::Auto)
+                .unwrap()
+                .nodes,
+            expect,
+            "a history-driven re-plan never changes answers"
+        );
+        let counters = d3.engine().plan_counters();
+        assert_eq!(counters.installed, 1);
+        assert_eq!(counters.replans, 1, "bad history must trigger a re-plan");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -641,6 +641,81 @@ pub fn diff_fig3(old: &Json, new: &Json, threshold: f64) -> Result<SectionDiff, 
     })
 }
 
+/// Compares the `serve` bench sections (open-loop loadgen against a live
+/// `xwq serve`). Latency percentiles are judged at the caller's p99
+/// threshold — network serving tails are noisier than in-process
+/// dispatch — and the error rate rides along so an overloaded or broken
+/// server cannot pass by answering fast with 503s.
+pub fn diff_serve(old: &Json, new: &Json, threshold: f64) -> Result<SectionDiff, String> {
+    let (old_section, new_section) = match (old.get("serve"), new.get("serve")) {
+        (None, None) => return Ok(SectionDiff::BothMissing),
+        (Some(_), None) => return Ok(SectionDiff::OneSided { in_new: false }),
+        (None, Some(_)) => return Ok(SectionDiff::OneSided { in_new: true }),
+        (Some(o), Some(n)) => (o, n),
+    };
+    let field = |section: &Json, which: &str, key: &str| -> Result<f64, String> {
+        section
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("{which}: serve section without `{key}`"))
+    };
+    let rows = vec![
+        section_row(
+            "p50".to_string(),
+            field(old_section, "old", "p50_ns")?,
+            field(new_section, "new", "p50_ns")?,
+            threshold,
+        ),
+        section_row(
+            "p99".to_string(),
+            field(old_section, "old", "p99_ns")?,
+            field(new_section, "new", "p99_ns")?,
+            threshold,
+        ),
+        section_row(
+            "errors".to_string(),
+            field(old_section, "old", "error_rate")?,
+            field(new_section, "new", "error_rate")?,
+            threshold,
+        ),
+    ];
+    Ok(SectionDiff::Compared {
+        rows,
+        only_old: Vec::new(),
+        only_new: Vec::new(),
+    })
+}
+
+/// Upserts a top-level `"name": value` entry at the *end* of a JSON
+/// object document, preserving the rest of the file byte-for-byte. This
+/// is how `xwq loadgen --bench-out` adds its `serve` section to a
+/// `BENCH_eval.json` that `xwq bench` wrote: the bench writer emits by
+/// format string (no serializer exists in this dependency-free binary),
+/// so the section is spliced textually — and the invariant that *we* are
+/// the only writer of this key, always appending it last, is what makes
+/// the replace path a simple suffix swap. The result is re-parsed before
+/// it is returned; a malformed splice is an error, never a corrupt file.
+pub fn upsert_trailing_section(doc: &str, name: &str, value: &str) -> Result<String, String> {
+    let trimmed = doc.trim_end();
+    if !trimmed.ends_with('}') {
+        return Err("target file is not a JSON object".to_string());
+    }
+    let anchor = format!(",\n  \"{name}\":");
+    let base = match trimmed.rfind(&anchor) {
+        // Our previously appended section runs to the closing brace.
+        Some(i) => &trimmed[..i],
+        None => trimmed[..trimmed.len() - 1].trim_end(),
+    };
+    let merged = if base.ends_with('{') {
+        // Splicing into an empty object: no separating comma.
+        format!("{base}\n  \"{name}\": {value}\n}}\n")
+    } else {
+        format!("{base},\n  \"{name}\": {value}\n}}\n")
+    };
+    parse_json(&merged).map_err(|e| format!("splicing {name:?} produced invalid JSON: {e}"))?;
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,5 +1057,76 @@ mod tests {
         // With zero overlap the diff refuses instead of passing vacuously.
         let disjoint = parse_json(r#"{"eval": [{"strategy": "x", "ns_per_query": 1}]}"#).unwrap();
         assert!(diff_benches(&old, &disjoint, 0.15).is_err());
+    }
+
+    fn serve_json(p99: f64, error_rate: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"serve": {{"p50_ns": 400000, "p99_ns": {p99}, "error_rate": {error_rate}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_section_judges_latency_and_errors() {
+        // Self-diff is neutral: no regressions, all deltas zero.
+        let a = serve_json(2_000_000.0, 0.0);
+        match diff_serve(&a, &a, 0.40).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert_eq!(rows.len(), 3);
+                assert!(rows.iter().all(|r| !r.regressed && r.delta == 0.0));
+            }
+            _ => panic!("expected Compared"),
+        }
+        // p99 regression beyond the threshold is flagged.
+        match diff_serve(&a, &serve_json(3_500_000.0, 0.0), 0.40).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert!(rows.iter().any(|r| r.label == "p99" && r.regressed));
+            }
+            _ => panic!("expected Compared"),
+        }
+        // A zero → nonzero error rate is an infinite relative delta:
+        // always a regression, no matter the threshold.
+        match diff_serve(&a, &serve_json(2_000_000.0, 0.25), 10.0).unwrap() {
+            SectionDiff::Compared { rows, .. } => {
+                assert!(rows.iter().any(|r| r.label == "errors" && r.regressed));
+            }
+            _ => panic!("expected Compared"),
+        }
+        // Rollout contract.
+        let empty = parse_json("{}").unwrap();
+        assert!(matches!(
+            diff_serve(&empty, &empty, 0.4).unwrap(),
+            SectionDiff::BothMissing
+        ));
+        assert!(matches!(
+            diff_serve(&empty, &a, 0.4).unwrap(),
+            SectionDiff::OneSided { in_new: true }
+        ));
+        assert!(diff_serve(&a, &parse_json(r#"{"serve": {}}"#).unwrap(), 0.4).is_err());
+    }
+
+    #[test]
+    fn trailing_section_upsert_inserts_then_replaces() {
+        let base = "{\n  \"eval\": [1, 2]\n}\n";
+        let once = upsert_trailing_section(base, "serve", r#"{"p99_ns": 5}"#).unwrap();
+        assert_eq!(
+            once,
+            "{\n  \"eval\": [1, 2],\n  \"serve\": {\"p99_ns\": 5}\n}\n"
+        );
+        // Re-running replaces the section instead of stacking duplicates,
+        // and leaves the rest of the document untouched.
+        let twice = upsert_trailing_section(&once, "serve", r#"{"p99_ns": 9}"#).unwrap();
+        assert_eq!(
+            twice,
+            "{\n  \"eval\": [1, 2],\n  \"serve\": {\"p99_ns\": 9}\n}\n"
+        );
+        let parsed = parse_json(&twice).unwrap();
+        assert_eq!(
+            parsed.get("serve").unwrap().get("p99_ns").unwrap().as_f64(),
+            Some(9.0)
+        );
+        // A bad splice is rejected before it can reach the file.
+        assert!(upsert_trailing_section("[1, 2]\n", "serve", "{}").is_err());
+        assert!(upsert_trailing_section(base, "serve", "{broken").is_err());
     }
 }

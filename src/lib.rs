@@ -11,6 +11,7 @@ pub use xwq_baseline as baseline;
 pub use xwq_core as core;
 pub use xwq_index as index;
 pub use xwq_obs as obs;
+pub use xwq_serve as serve;
 pub use xwq_shard as shard;
 pub use xwq_store as store;
 pub use xwq_succinct as succinct;

@@ -43,6 +43,14 @@ usage:
   xwq corpus rm <corpus-dir> <doc>
   xwq corpus checkpoint <corpus-dir>
   xwq corpus verify <corpus-dir>
+  xwq serve <corpus-dir> [--addr <host:port>] [--shards <n>] [--workers <m>]
+            [--policy round-robin|size-balanced] [--http-workers <n>]
+            [--max-active <n>] [--max-waiting <n>] [--admission-timeout-ms <n>]
+            [--max-queued <n>] [--read-timeout-ms <n>] [--drain-after-ms <n>]
+            [--allow-latency-injection]
+  xwq loadgen --addr <host:port> --query '<xpath>' [--rate <hz>]
+            [--requests <n>] [--senders <n>] [--strategy <s>] [--count]
+            [--stream] [--bench-out <file.json>]
   xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]
   xwq bench [--factor <f>] [--seed <n>] [--repeats <n>] [--threads <list>]
             [--out <file.json>] [--mmap] [--calibrate]
@@ -96,6 +104,19 @@ subcommands:
               replays the WAL on the next open), `checkpoint` folds the
               log into the manifest, and `verify` opens the corpus, runs
               recovery, and checks every artifact against the catalog
+  serve       expose a corpus over HTTP/1.1 (std::net, no dependencies):
+              POST /query (JSON, exact-CLI text, or chunked streaming NDJSON
+              where each document row is written as its shard finishes),
+              GET /metrics (Prometheus text exposition), GET /healthz;
+              bounded accept queue + fixed worker pool, keep-alive, 503 +
+              Retry-After on overload, graceful drain on SIGINT/SIGTERM
+              (compiled plans are persisted to .xwqp sidecars on the way
+              down so a restarted server re-plans from observed visits)
+  loadgen     open-loop (fixed arrival schedule, latency measured from the
+              scheduled arrival — no coordinated omission), closed-socket
+              load generator against a running `xwq serve`; prints p50/p99/
+              error-rate and can publish them into the `serve` section of
+              BENCH_eval.json (judged by bench-diff)
   xmark       generate an XMark sample document as XML (corpus seed data)
   bench       run the fixed XMark query suite under every strategy and write
               machine-readable results (ns/query, nodes/sec, cache hit rates,
@@ -171,6 +192,8 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("xmark") => cmd_xmark(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
@@ -435,6 +458,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
                         query: query.to_string(),
                         strategy: flags.strategy,
                         program: cell.program.encode(),
+                        runs: cell.runs(),
+                        total_visits: cell.total_visits(),
                     });
                     set.entries.sort_by(|a, b| {
                         (a.query.as_str(), a.strategy.token())
@@ -1351,6 +1376,294 @@ fn cmd_corpus_query(args: &[String]) -> ExitCode {
     }
 }
 
+/// `xwq serve <corpus-dir> [--addr <host:port>] …`
+///
+/// Opens the corpus exactly as `corpus query` does, then serves it over
+/// HTTP/1.1 until SIGINT/SIGTERM (or `--drain-after-ms`, a test hook),
+/// draining in-flight requests before exit and persisting compiled
+/// plans — with their observed-visit history — to `.xwqp` sidecars so a
+/// restarted server re-plans from what this one actually measured.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut shards = 2usize;
+    let mut workers = 1usize;
+    let mut policy = PlacementPolicy::RoundRobin;
+    let mut admission = xwq::shard::AdmissionConfig::default();
+    let mut serve_cfg = xwq::serve::ServeConfig::default();
+    let mut drain_after_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {{
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(v)) => v,
+                    _ => return usage_error(concat!($name, " needs a valid value")),
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => return usage_error("--addr needs host:port"),
+                }
+            }
+            "--shards" => {
+                shards = value!("--shards");
+                if shards == 0 {
+                    return usage_error("--shards needs a positive integer");
+                }
+            }
+            "--workers" => workers = value!("--workers"),
+            "--policy" => policy = value!("--policy"),
+            "--http-workers" => {
+                serve_cfg.http_workers = value!("--http-workers");
+                if serve_cfg.http_workers == 0 {
+                    return usage_error("--http-workers needs a positive integer");
+                }
+            }
+            "--max-active" => admission.max_active = value!("--max-active"),
+            "--max-waiting" => admission.max_waiting = value!("--max-waiting"),
+            "--admission-timeout-ms" => {
+                let ms: u64 = value!("--admission-timeout-ms");
+                admission.timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-queued" => serve_cfg.max_queued = value!("--max-queued"),
+            "--read-timeout-ms" => {
+                let ms: u64 = value!("--read-timeout-ms");
+                serve_cfg.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--drain-after-ms" => drain_after_ms = Some(value!("--drain-after-ms")),
+            "--allow-latency-injection" => serve_cfg.allow_latency_injection = true,
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown serve flag {flag}"))
+            }
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+    let [corpus_dir] = positional[..] else {
+        return usage_error("serve needs <corpus-dir>");
+    };
+
+    let corpus = match Corpus::open_dir(corpus_dir, shards, policy) {
+        Ok(c) => Arc::new(c),
+        Err(e) => return fail(format!("{corpus_dir}: {e}")),
+    };
+    let session = Arc::new(ShardedSession::with_config(
+        Arc::clone(&corpus),
+        xwq::shard::ShardedConfig {
+            workers_per_shard: workers,
+            admission,
+            ..xwq::shard::ShardedConfig::default()
+        },
+    ));
+    let registry = Arc::new(xwq::obs::Registry::new());
+    session.enable_telemetry(&registry);
+    if !xwq::serve::signal::install_shutdown_handler() {
+        eprintln!("xwq: serve: warning: signal handlers unavailable; rely on --drain-after-ms");
+    }
+    let server = match xwq::serve::Server::start(
+        Arc::clone(&session),
+        Arc::clone(&registry),
+        &addr,
+        serve_cfg,
+    ) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{addr}: {e}")),
+    };
+    // Printed to stdout and flushed eagerly: CI backgrounds the server and
+    // greps this line for the kernel-chosen port when `--addr` ends in `:0`.
+    println!(
+        "xwq: serving {corpus_dir} on http://{}",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let deadline =
+        drain_after_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    while !xwq::serve::signal::shutdown_requested() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("xwq: serve: draining");
+    server.shutdown();
+    let saved = session.persist_plans();
+    eprintln!("xwq: serve: drained; {saved} plan sidecar(s) persisted");
+    ExitCode::SUCCESS
+}
+
+/// `xwq loadgen --addr <host:port> --query '<xpath>' …`
+///
+/// Drives a running `xwq serve` with an open-loop schedule (see
+/// `xwq_serve::loadgen`) and prints the latency/error report. With
+/// `--bench-out`, the report is spliced into the `serve` section of the
+/// named bench JSON so `xwq bench-diff` judges it next to the vm and
+/// fig3 sections.
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut query: Option<String> = None;
+    let mut cfg = xwq::serve::LoadgenConfig::default();
+    let mut strategy: Option<Strategy> = None;
+    let mut count_only = false;
+    let mut stream = false;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {{
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(v)) => v,
+                    _ => return usage_error(concat!($name, " needs a valid value")),
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = Some(a.clone()),
+                    None => return usage_error("--addr needs host:port"),
+                }
+            }
+            "--query" => {
+                i += 1;
+                match args.get(i) {
+                    Some(q) => query = Some(q.clone()),
+                    None => return usage_error("--query needs an XPath expression"),
+                }
+            }
+            "--rate" => {
+                cfg.rate_hz = value!("--rate");
+                if !cfg.rate_hz.is_finite() || cfg.rate_hz <= 0.0 {
+                    return usage_error("--rate needs a positive number");
+                }
+            }
+            "--requests" => cfg.requests = value!("--requests"),
+            "--senders" => {
+                cfg.senders = value!("--senders");
+                if cfg.senders == 0 {
+                    return usage_error("--senders needs a positive integer");
+                }
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value!("--timeout-ms");
+                cfg.timeout = std::time::Duration::from_millis(ms);
+            }
+            "--strategy" => strategy = Some(value!("--strategy")),
+            "--count" => count_only = true,
+            "--stream" => stream = true,
+            "--bench-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench_out = Some(PathBuf::from(p)),
+                    None => return usage_error("--bench-out needs a path"),
+                }
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown loadgen flag {flag}"))
+            }
+            _ => return usage_error("loadgen takes no positional arguments"),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return usage_error("loadgen needs --addr");
+    };
+    let Some(query) = query else {
+        return usage_error("loadgen needs --query");
+    };
+    if let Err(e) = xwq::xpath::parse_xpath(&query) {
+        return fail(format!("--query: {e}"));
+    }
+    cfg.addr = addr;
+    let mut body = String::from("{\"query\":");
+    body.push_str(&xwq::serve::json::escaped(&query));
+    if let Some(s) = strategy {
+        body.push_str(",\"strategy\":\"");
+        body.push_str(s.token());
+        body.push('"');
+    }
+    if count_only {
+        body.push_str(",\"count\":true");
+    }
+    if stream {
+        body.push_str(",\"stream\":true");
+    }
+    body.push('}');
+    cfg.body = body;
+
+    let report = xwq::serve::loadgen::run(&cfg);
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "# loadgen: {} requests offered at {:.1} rps to {} ({} senders)",
+        cfg.requests, cfg.rate_hz, cfg.addr, cfg.senders
+    );
+    println!(
+        "  sent {}  ok {}  errors {}  late {}  (error rate {:.2}%)",
+        report.sent,
+        report.ok,
+        report.errors,
+        report.late,
+        report.error_rate * 100.0
+    );
+    println!(
+        "  latency from scheduled arrival: p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        ms(report.p50_ns),
+        ms(report.p99_ns),
+        ms(report.max_ns)
+    );
+    println!(
+        "  achieved {:.1} rps over {:.3} s",
+        report.achieved_rps,
+        report.elapsed_ns as f64 / 1e9
+    );
+
+    if let Some(path) = bench_out {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(d) => d,
+            // A fresh file starts as an empty object; the splice below
+            // adds the serve section as its only key.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => "{\n}\n".to_string(),
+            Err(e) => return fail(format!("{}: {e}", path.display())),
+        };
+        let value = format!(
+            "{{\"rate_hz\": {:.3}, \"requests\": {}, \"sent\": {}, \"ok\": {}, \"errors\": {}, \"late\": {}, \"error_rate\": {:.6}, \"achieved_rps\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            cfg.rate_hz,
+            cfg.requests,
+            report.sent,
+            report.ok,
+            report.errors,
+            report.late,
+            report.error_rate,
+            report.achieved_rps,
+            report.p50_ns,
+            report.p99_ns,
+            report.max_ns
+        );
+        let merged = match benchdiff::upsert_trailing_section(&doc, "serve", &value) {
+            Ok(m) => m,
+            Err(e) => return fail(format!("{}: {e}", path.display())),
+        };
+        if let Err(e) = std::fs::write(&path, merged) {
+            return fail(format!("{}: {e}", path.display()));
+        }
+        eprintln!("# serve section -> {}", path.display());
+    }
+
+    if report.sent > 0 && report.ok == 0 {
+        fail("loadgen: every request failed")
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `xwq xmark -o <file.xml> [--factor <f>] [--seed <n>]`
 ///
 /// Writes an XMark sample document (the paper's benchmark generator) as
@@ -2184,6 +2497,11 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             "fig3",
             "visited ",
             benchdiff::diff_fig3(&old, &new, threshold_pct / 100.0),
+        ),
+        (
+            "serve",
+            "        ",
+            benchdiff::diff_serve(&old, &new, threshold_pct / 100.0),
         ),
     ] {
         match diffed {

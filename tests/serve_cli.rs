@@ -1,0 +1,179 @@
+//! End-to-end identity test for the serving tier: for the same corpus,
+//! query, and strategy, a `POST /query` with `"format": "text"` against
+//! `xwq serve` must return **byte-identical** output to `xwq corpus
+//! query` run over the same corpus — whatever the server's worker and
+//! shard geometry. The network layer is a transport, not a formatter.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn xwq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xwq"))
+        .args(args)
+        .output()
+        .expect("spawn xwq")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xwq-serve-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Generates three XMark samples and builds a corpus directory from them.
+fn build_corpus(root: &std::path::Path) -> String {
+    let src = root.join("src");
+    let out = root.join("corpus");
+    std::fs::create_dir_all(&src).unwrap();
+    for seed in ["1", "2", "3"] {
+        let path = src.join(format!("doc{seed}.xml"));
+        let gen = xwq(&[
+            "xmark",
+            "-o",
+            path.to_str().unwrap(),
+            "--factor",
+            "0.004",
+            "--seed",
+            seed,
+        ]);
+        assert!(gen.status.success(), "xmark gen failed: {gen:?}");
+    }
+    let built = xwq(&[
+        "corpus",
+        "build",
+        src.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert!(built.status.success(), "corpus build failed: {built:?}");
+    out.display().to_string()
+}
+
+/// A running `xwq serve` child plus the address it printed. Killed (not
+/// drained) on drop — clean shutdown has its own tests.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(corpus: &str, extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xwq"))
+            .args(["serve", corpus, "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn xwq serve");
+        let mut line = String::new();
+        BufReader::new(child.stdout.as_mut().expect("child stdout"))
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .rsplit("http://")
+            .next()
+            .expect("listening line carries the address")
+            .trim()
+            .to_string();
+        assert!(addr.contains(':'), "unparsable listening line: {line:?}");
+        ServerProc { child, addr }
+    }
+
+    /// `POST /query`, returning `(status, body_bytes)`. `Connection:
+    /// close` so the body simply runs to EOF.
+    fn query(&self, body: &str) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        )
+        .expect("send request");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read response");
+        let head_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("header terminator");
+        let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        (status, raw[head_end + 4..].to_vec())
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn server_text_responses_are_byte_identical_to_cli_output() {
+    let root = tmp_dir("identity");
+    let corpus = build_corpus(&root);
+    // Two server geometries; the CLI reference is re-run per strategy but
+    // is itself geometry-independent (corpus_cli.rs proves that).
+    let geometries: &[&[&str]] = &[
+        &["--shards", "1", "--workers", "1"],
+        &["--shards", "3", "--workers", "2"],
+    ];
+    for geometry in geometries {
+        let server = ServerProc::start(&corpus, geometry);
+        for query in ["//item[name]", "//person/name"] {
+            for strategy in ["naive", "jumping", "auto"] {
+                for count in [false, true] {
+                    let mut cli_args =
+                        vec!["corpus", "query", &corpus, query, "--strategy", strategy];
+                    if count {
+                        cli_args.push("--count");
+                    }
+                    let cli = xwq(&cli_args);
+                    assert!(cli.status.success(), "{query}/{strategy}: {cli:?}");
+                    let body = format!(
+                        "{{\"query\":\"{query}\",\"strategy\":\"{strategy}\",\"count\":{count},\"format\":\"text\"}}"
+                    );
+                    let (status, served) = server.query(&body);
+                    assert_eq!(status, 200, "{query}/{strategy} count={count}");
+                    assert_eq!(
+                        cli.stdout, served,
+                        "{query}/{strategy} count={count} geometry={geometry:?}: \
+                         server bytes diverge from CLI stdout"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn server_doc_subset_matches_cli_docs_flag() {
+    let root = tmp_dir("subset");
+    let corpus = build_corpus(&root);
+    let server = ServerProc::start(&corpus, &[]);
+    let cli = xwq(&[
+        "corpus",
+        "query",
+        &corpus,
+        "//item",
+        "--docs",
+        "doc3,doc1",
+        "--count",
+    ]);
+    assert!(cli.status.success(), "{cli:?}");
+    let (status, served) = server.query(
+        "{\"query\":\"//item\",\"docs\":[\"doc3\",\"doc1\"],\"count\":true,\"format\":\"text\"}",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(cli.stdout, served, "--docs subset diverges");
+    std::fs::remove_dir_all(&root).ok();
+}
